@@ -1,0 +1,25 @@
+"""Regenerate §4.1's before/after narrative: initiator drift.
+
+Paper: 75 → 63 → 19 → 23 unique A&A initiators per crawl; 56
+disappeared between the first and last crawl, including DoubleClick,
+Facebook, and AddThis; receiver-side services barely changed.
+"""
+
+from repro.analysis.drift import compute_initiator_drift, render_drift
+
+
+def test_initiator_drift(benchmark, bench_study):
+    drift = benchmark(compute_initiator_drift, bench_study.views)
+    print()
+    print(render_drift(drift))
+    assert {c: len(d) for c, d in drift.per_crawl.items()} == {
+        0: 75, 1: 63, 2: 19, 3: 23
+    }
+    assert len(drift.per_crawl[0] - drift.per_crawl[3]) == 56
+    for major in ("doubleclick.net", "facebook.net", "google.com",
+                  "addthis.com"):
+        assert major in drift.disappeared_after_patch, major
+    # The persistent core: WebSocket-dependent services.
+    for service in ("zopim.com", "intercom.io", "disqus.com"):
+        assert service in drift.persistent, service
+    assert drift.survival_rate < 0.5

@@ -1,0 +1,67 @@
+"""Micro-benchmarks: filter matching, inclusion building, crawl rate."""
+
+from repro.browser import Browser
+from repro.cdp import EventBus, SessionRecorder
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.inclusion import InclusionTreeBuilder
+from repro.net.http import ResourceType
+from repro.web.filterlists import build_filter_engine
+
+
+def test_filter_matching_throughput(benchmark, bench_web):
+    engine = build_filter_engine(bench_web.registry)
+    urls = [
+        ("https://securepubads.doubleclick.net/ads/tag.js", ResourceType.SCRIPT),
+        ("https://cdn.intercom.io/widget/chat.js", ResourceType.SCRIPT),
+        ("https://px.scorecardresearch.com/pixel.gif?uid=1", ResourceType.IMAGE),
+        ("wss://widget-mediator.zopim.com/socket", ResourceType.WEBSOCKET),
+        ("https://www.benignsite.example/static/app.js", ResourceType.SCRIPT),
+        ("https://cdn1.lockerdome.com/uploads/ad1.jpg", ResourceType.IMAGE),
+    ] * 50
+
+    def match_all():
+        hits = 0
+        for url, rtype in urls:
+            if engine.would_block(url, rtype, "https://pub.example/"):
+                hits += 1
+        return hits
+
+    hits = benchmark(match_all)
+    print(f"\nfilter engine: {engine.rule_count} rules, "
+          f"{hits}/{len(urls)} requests blocked")
+    assert hits > 0
+
+
+def test_inclusion_tree_build_throughput(benchmark, bench_web):
+    # Record one busy page's event stream once, then measure rebuilds.
+    site = next(iter(bench_web.plan.site_plans.values())).site
+    bus = EventBus()
+    browser = Browser(version=57, bus=bus)
+    recorder = SessionRecorder(bus)
+    browser.visit(bench_web.blueprint(site, 0, 0))
+    events = recorder.events
+
+    def rebuild():
+        builder = InclusionTreeBuilder()
+        for event in events:
+            builder.handle(event)
+        return builder.result()
+
+    tree = benchmark(rebuild)
+    print(f"\ninclusion tree: {tree.resource_count} resources, "
+          f"{len(tree.websockets)} sockets from {len(events)} events")
+    assert tree.resource_count > 0
+
+
+def test_crawl_throughput(benchmark, bench_web):
+    sites = bench_web.seed_list.sites[:20]
+
+    def crawl():
+        config = CrawlConfig(index=0, label="bench", chrome_major=57,
+                             start_date="2017-04-02", pages_per_site=3)
+        return Crawler(bench_web, config, observers=[]).run(sites)
+
+    summary = benchmark.pedantic(crawl, rounds=2, iterations=1)
+    print(f"\ncrawl: {summary.pages_visited} pages, "
+          f"{summary.events_published} events")
+    assert summary.pages_visited == 60

@@ -1,0 +1,29 @@
+"""Regenerate Figure 3: WebSocket usage by Alexa site rank.
+
+Paper shape: both socket types are most prevalent on highly ranked
+publishers with a drop between 10K and 20K; A&A sockets ≈ 2× non-A&A
+overall and ≈ 4.5× within the top 10K.
+"""
+
+from repro.analysis.figure3 import compute_figure3
+from repro.analysis.report import render_figure3
+
+
+def test_figure3(benchmark, bench_study):
+    series = benchmark(
+        compute_figure3, bench_study.views, bench_study.dataset.crawl_sites
+    )
+    print()
+    print(render_figure3(series))
+    # A&A sockets dominate non-A&A, more strongly at the top.
+    assert series.overall_ratio > 1.5
+    assert series.top10k_ratio > 2.0
+    # Prevalence declines from the head of the ranking: the first bin
+    # beats the average of the well-populated mid bins.
+    head = series.aa_fraction[0]
+    mid = [
+        series.aa_fraction[i] for i in range(2, 10)
+        if series.publishers_per_bin[i] > 50
+    ]
+    assert head > (sum(mid) / len(mid)) * 0.9 if mid else True
+    assert series.publishers_per_bin[0] > 0

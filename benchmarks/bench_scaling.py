@@ -1,0 +1,42 @@
+"""Ablation: stability of headline marginals across crawl scales.
+
+DESIGN.md's calibration contract says percentages are scale-free while
+unique-entity counts are pinned. This bench sweeps the crawl scale and
+verifies the headline marginals hold.
+"""
+
+from repro.experiments import StudyConfig
+from repro.experiments.runner import run_study
+
+
+def _marginals(scale, sample):
+    config = StudyConfig(scale=scale, sample_scale=sample,
+                         pages_per_site=6, crawls=(0,), name="sweep")
+    result = run_study(config)
+    row = result.table1[0]
+    return {
+        "scale": scale,
+        "aa_init_pct": row.pct_sockets_aa_initiators,
+        "aa_recv_pct": row.pct_sockets_aa_receivers,
+        "unique_init": row.unique_aa_initiators,
+        "cross_origin": result.overall.pct_cross_origin,
+    }
+
+
+def test_scaling_sweep(benchmark):
+    small = _marginals(0.03, 0.002)
+    large = benchmark.pedantic(
+        lambda: _marginals(0.08, 0.004), rounds=1, iterations=1
+    )
+    print()
+    print("scale sweep (crawl 0 only):")
+    for m in (small, large):
+        print(f"  scale={m['scale']}: A&A-init {m['aa_init_pct']:.1f}%  "
+              f"A&A-recv {m['aa_recv_pct']:.1f}%  "
+              f"unique initiators {m['unique_init']}  "
+              f"cross-origin {m['cross_origin']:.1f}%")
+    # Unique initiators pinned at 75 regardless of scale.
+    assert small["unique_init"] == large["unique_init"] == 75
+    # Percentages stable within a band.
+    assert abs(small["aa_init_pct"] - large["aa_init_pct"]) < 15
+    assert abs(small["aa_recv_pct"] - large["aa_recv_pct"]) < 15

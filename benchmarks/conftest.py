@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+The four-crawl dataset is built once per session (the expensive part);
+each table/figure bench then measures its analysis stage and prints the
+regenerated artifact next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import StudyConfig
+from repro.experiments.runner import SyntheticWeb, WebScale, analyze, run_crawls
+
+# Bench preset: enough scale for every entity to appear, small enough
+# that the one-time crawl stays in tens of seconds.
+BENCH_CONFIG = StudyConfig(
+    scale=0.05, sample_scale=0.01, pages_per_site=10, name="bench"
+)
+
+
+@pytest.fixture(scope="session")
+def bench_web():
+    return SyntheticWeb(
+        scale=WebScale(sample_scale=BENCH_CONFIG.resolved_sample_scale,
+                       entity_scale=BENCH_CONFIG.scale),
+        seed=BENCH_CONFIG.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_web):
+    dataset, summaries = run_crawls(bench_web, BENCH_CONFIG)
+    return dataset, summaries
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_web, bench_dataset):
+    dataset, summaries = bench_dataset
+    return analyze(BENCH_CONFIG, bench_web, dataset, summaries)

@@ -1,0 +1,79 @@
+"""Before/after the Chrome 58 patch: who stopped using WebSockets?
+
+Runs the first (Apr 2017, Chrome 57) and last (Oct 2017, Chrome 58)
+crawls and diffs the A&A initiator populations — reproducing the
+paper's finding that 56 A&A initiators (including DoubleClick,
+Facebook, and AddThis) disappeared, while receiver-side services whose
+products *depend* on WebSockets carried on.
+
+Run:  python examples/before_after_study.py
+"""
+
+from collections import Counter
+
+from repro.analysis.classify import classify_sockets
+from repro.experiments import StudyConfig
+from repro.experiments.runner import SyntheticWeb, WebScale, run_crawls
+from repro.net.domains import display_name
+
+
+def main() -> None:
+    config = StudyConfig(scale=0.05, sample_scale=0.004, pages_per_site=8,
+                         crawls=(0, 3), name="before-after")
+    web = SyntheticWeb(
+        scale=WebScale(sample_scale=config.resolved_sample_scale,
+                       entity_scale=config.scale),
+        seed=config.seed,
+    )
+    print("Crawling twice: Apr 2017 (Chrome 57) and Oct 2017 (Chrome 58)…")
+    dataset, summaries = run_crawls(web, config)
+    for summary in summaries:
+        print(f"  {summary.config.label}: {summary.sockets_observed} sockets "
+              f"on {summary.sites_visited} sites "
+              f"(Chrome {summary.config.chrome_major})")
+
+    views = classify_sockets(dataset)
+    before = {v.initiator_domain for v in views if v.crawl == 0 and v.aa_initiated}
+    after = {v.initiator_domain for v in views if v.crawl == 3 and v.aa_initiated}
+
+    gone, stayed, new = before - after, before & after, after - before
+    print(f"\nA&A initiators before: {len(before)}   after: {len(after)}")
+    print(f"Disappeared after the patch: {len(gone)}")
+
+    majors = {"doubleclick.net", "facebook.net", "google.com", "addthis.com",
+              "googlesyndication.com", "adnxs.com", "sharethis.com",
+              "twitter.com"}
+    print("\nMajor ad platforms that stopped initiating WebSockets:")
+    for domain in sorted(gone & majors):
+        print(f"  ✗ {display_name(domain)}")
+    print(f"…plus {len(gone - majors)} long-tail ad-tech initiators.")
+
+    print("\nPersistent initiators (WebSocket-dependent services):")
+    for domain in sorted(stayed)[:12]:
+        print(f"  ✓ {display_name(domain)}")
+
+    # Did the overall A&A share change? (The paper: essentially no.)
+    shares = {}
+    for crawl in (0, 3):
+        crawl_views = [v for v in views if v.crawl == crawl]
+        aa = sum(1 for v in crawl_views if v.aa_initiated)
+        shares[crawl] = 100.0 * aa / len(crawl_views) if crawl_views else 0.0
+    print(f"\nShare of sockets initiated by A&A domains: "
+          f"{shares[0]:.1f}% before → {shares[3]:.1f}% after")
+
+    receivers = Counter(
+        v.receiver_domain for v in views if v.crawl == 3 and v.aa_received
+    )
+    print("\nTop A&A receivers still active in Oct 2017:")
+    for domain, count in receivers.most_common(6):
+        print(f"  {display_name(domain):16s} {count} sockets")
+
+    print("""
+As in §6 of the paper: the majors' retreat right after the patch is
+'an odd coincidence' the observational design cannot explain causally —
+but chat/comments/replay services kept using WebSockets, because for
+them the protocol is the product, not a blocker-evasion channel.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of *How Tracking Companies Circumvented Ad Blockers
+Using WebSockets* (Bashir et al., IMC 2018).
+
+Top-level convenience imports cover the objects a downstream user
+reaches for first; the subpackages hold the full system (see README
+§Architecture).
+"""
+
+__version__ = "1.0.0"
+
+from repro.browser import Browser
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    FULL_CONFIG,
+    TINY_CONFIG,
+    StudyConfig,
+    StudyResult,
+    run_study,
+)
+from repro.inclusion import InclusionTreeBuilder
+from repro.web.server import SyntheticWeb, WebScale
+
+__all__ = [
+    "__version__",
+    "Browser",
+    "InclusionTreeBuilder",
+    "SyntheticWeb",
+    "WebScale",
+    "StudyConfig",
+    "StudyResult",
+    "run_study",
+    "TINY_CONFIG",
+    "DEFAULT_CONFIG",
+    "FULL_CONFIG",
+]

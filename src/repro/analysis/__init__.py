@@ -1,0 +1,43 @@
+"""Analyses reproducing the paper's evaluation (§4).
+
+Each ``tableN``/``figure3`` module computes one published artifact
+from a :class:`~repro.crawler.dataset.StudyDataset`; ``classify``
+applies the derived A&A labels to socket records; ``blocking`` runs
+the §4.2 post-hoc filter-list analysis; ``stats`` computes the §4.1
+prose statistics; ``report`` renders fixed-width text tables.
+"""
+
+from repro.analysis.classify import SocketView, classify_sockets
+from repro.analysis.table1 import Table1Row, compute_table1
+from repro.analysis.table2 import Table2Row, compute_table2
+from repro.analysis.table3 import Table3Row, compute_table3
+from repro.analysis.table4 import Table4Row, compute_table4
+from repro.analysis.table5 import Table5, compute_table5
+from repro.analysis.figure3 import Figure3Series, compute_figure3
+from repro.analysis.blocking import BlockingStats, compute_blocking_stats
+from repro.analysis.drift import InitiatorDrift, compute_initiator_drift, render_drift
+from repro.analysis.stats import OverallStats, compute_overall_stats
+
+__all__ = [
+    "SocketView",
+    "classify_sockets",
+    "Table1Row",
+    "compute_table1",
+    "Table2Row",
+    "compute_table2",
+    "Table3Row",
+    "compute_table3",
+    "Table4Row",
+    "compute_table4",
+    "Table5",
+    "compute_table5",
+    "Figure3Series",
+    "compute_figure3",
+    "BlockingStats",
+    "compute_blocking_stats",
+    "OverallStats",
+    "compute_overall_stats",
+    "InitiatorDrift",
+    "compute_initiator_drift",
+    "render_drift",
+]

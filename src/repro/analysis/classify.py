@@ -1,0 +1,87 @@
+"""Applying the derived A&A labels to socket records (§3.2).
+
+A socket is attributed by descending its inclusion-tree branch: if any
+parent resource's (effective) domain is in the A&A set, the socket is
+an *A&A socket*. The initiator is the direct parent; the receiver is
+the endpoint's domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crawler.dataset import SocketRecord, StudyDataset
+from repro.labeling.aa_labeler import AaLabeler
+from repro.labeling.resolver import DomainResolver
+
+
+@dataclass(frozen=True)
+class SocketView:
+    """A socket record with derived attribution.
+
+    Attributes:
+        record: The underlying measurement record.
+        initiator_domain: Effective domain of the initiating resource.
+        receiver_domain: Effective domain of the endpoint.
+        aa_initiated: Initiator domain is labeled A&A.
+        aa_received: Receiver domain is labeled A&A.
+        aa_chain: Some chain ancestor's domain is labeled A&A (the
+            §3.2 "A&A socket" criterion).
+    """
+
+    record: SocketRecord
+    initiator_domain: str
+    receiver_domain: str
+    aa_initiated: bool
+    aa_received: bool
+    aa_chain: bool
+
+    @property
+    def is_aa_socket(self) -> bool:
+        """Whether the socket is A&A in any sense the paper uses."""
+        return self.aa_initiated or self.aa_received or self.aa_chain
+
+    @property
+    def crawl(self) -> int:
+        return self.record.crawl
+
+    @property
+    def is_self_pair(self) -> bool:
+        """Initiator and receiver share a domain."""
+        return self.initiator_domain == self.receiver_domain
+
+
+def classify_sockets(
+    dataset: StudyDataset,
+    labeler: AaLabeler | None = None,
+    resolver: DomainResolver | None = None,
+) -> list[SocketView]:
+    """Classify every socket record in the dataset."""
+    labeler = labeler or dataset.derive_labeler()
+    resolver = resolver or dataset.derive_resolver(labeler)
+    views: list[SocketView] = []
+    for record in dataset.socket_records:
+        views.append(classify_one(record, labeler, resolver))
+    return views
+
+
+def classify_one(
+    record: SocketRecord, labeler: AaLabeler, resolver: DomainResolver
+) -> SocketView:
+    """Classify a single socket record."""
+    initiator_domain = resolver.effective_domain(record.initiator_host)
+    receiver_domain = resolver.effective_domain(record.socket_host)
+    # Chain ancestors: everything above the socket itself.
+    ancestor_hosts = record.chain_hosts[:-1] if record.chain_hosts else ()
+    aa_chain = any(
+        resolver.effective_domain(host) in labeler.aa_domains
+        for host in ancestor_hosts
+    )
+    return SocketView(
+        record=record,
+        initiator_domain=initiator_domain,
+        receiver_domain=receiver_domain,
+        aa_initiated=initiator_domain in labeler.aa_domains,
+        aa_received=receiver_domain in labeler.aa_domains,
+        aa_chain=aa_chain,
+    )

@@ -1,0 +1,113 @@
+"""Behavioral classification of WebSocket receivers (§4.2's taxonomy).
+
+The paper sorts the A&A receivers by business model — session replay,
+live chat, real-time infrastructure, advertising — from manual
+inspection. This module infers the same taxonomy *from observed socket
+behaviour alone*: what a receiver gets sent (DOMs, fingerprints,
+identifiers) and what it pushes back (HTML bubbles, ad units, JSON
+updates). Tests verify the inference rediscovers the registry's
+ground-truth roles.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.classify import SocketView
+from repro.content.items import ReceivedClass, SentItem
+from repro.content.sent import SentDataAnalyzer
+
+_ANALYZER = SentDataAnalyzer()
+
+
+@dataclass
+class ServiceProfile:
+    """Aggregated wire behaviour of one receiver domain.
+
+    Attributes:
+        receiver_domain: The receiver.
+        sockets: Socket count observed.
+        html_share: Fraction of sockets receiving HTML.
+        json_share: Fraction receiving JSON.
+        dom_share: Fraction with serialized-DOM uploads.
+        fingerprint_share: Fraction sending ≥3 fingerprint items.
+        ad_unit_share: Fraction delivering ad units.
+        cookie_share: Fraction carrying a cookie.
+    """
+
+    receiver_domain: str
+    sockets: int = 0
+    html_share: float = 0.0
+    json_share: float = 0.0
+    dom_share: float = 0.0
+    fingerprint_share: float = 0.0
+    ad_unit_share: float = 0.0
+    cookie_share: float = 0.0
+
+    @property
+    def inferred_role(self) -> str:
+        """The service class the behaviour implies."""
+        if self.ad_unit_share > 0.2:
+            return "ad_server"
+        if self.dom_share > 0.05:
+            return "session_replay"
+        if self.fingerprint_share > 0.5:
+            return "fingerprinting"
+        if self.html_share > 0.35:
+            return "chat_or_comments"
+        if self.json_share > 0.25 or self.sockets > 0:
+            return "realtime_feed"
+        return "other"
+
+
+def profile_receivers(
+    views: list[SocketView], min_sockets: int = 3
+) -> dict[str, ServiceProfile]:
+    """Build behaviour profiles for every A&A receiver."""
+    groups: dict[str, list[SocketView]] = defaultdict(list)
+    for view in views:
+        if view.aa_received:
+            groups[view.receiver_domain].append(view)
+    profiles: dict[str, ServiceProfile] = {}
+    for domain, group in groups.items():
+        if len(group) < min_sockets:
+            continue
+        n = len(group)
+        profiles[domain] = ServiceProfile(
+            receiver_domain=domain,
+            sockets=n,
+            html_share=sum(
+                ReceivedClass.HTML in v.record.received_classes for v in group
+            ) / n,
+            json_share=sum(
+                ReceivedClass.JSON in v.record.received_classes for v in group
+            ) / n,
+            dom_share=sum(
+                SentItem.DOM in v.record.sent_items for v in group
+            ) / n,
+            fingerprint_share=sum(
+                _ANALYZER.is_fingerprinting(set(v.record.sent_items))
+                for v in group
+            ) / n,
+            ad_unit_share=sum(
+                bool(v.record.ad_units) for v in group
+            ) / n,
+            cookie_share=sum(
+                SentItem.COOKIE in v.record.sent_items for v in group
+            ) / n,
+        )
+    return profiles
+
+
+def render_service_taxonomy(profiles: dict[str, ServiceProfile]) -> str:
+    """Text rendering of the inferred taxonomy, grouped by role."""
+    by_role: dict[str, list[ServiceProfile]] = defaultdict(list)
+    for profile in profiles.values():
+        by_role[profile.inferred_role].append(profile)
+    lines = []
+    for role in sorted(by_role):
+        members = sorted(by_role[role], key=lambda p: -p.sockets)
+        names = ", ".join(p.receiver_domain for p in members[:8])
+        lines.append(f"{role}: {names}")
+    return "\n".join(lines)

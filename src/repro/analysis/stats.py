@@ -1,0 +1,123 @@
+"""The §4.1 prose statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.classify import SocketView
+
+
+@dataclass(frozen=True)
+class OverallStats:
+    """Merged-dataset statistics quoted in §4.1's text.
+
+    Attributes:
+        total_sockets: All sockets across all crawls.
+        pct_cross_origin: % of sockets contacting a third-party domain.
+        unique_third_party_receivers: Distinct third-party receiver
+            domains (the paper: 382).
+        unique_aa_receivers: Distinct A&A receiver domains (20).
+        unique_aa_initiators: Distinct A&A initiator domains (94).
+        avg_sockets_per_socket_site: Mean sockets per (crawl, site)
+            among sites with sockets (6–12 in the paper).
+        pct_aa_receivers_ge_10_initiators: % of A&A receivers contacted
+            by ≥10 distinct initiators (>47%).
+        disappeared_initiators: A&A initiators present in the first
+            crawl but absent from the last (56).
+        sockets_per_aa_initiator: Mean sockets per A&A initiator domain.
+        sockets_per_non_aa_initiator: Mean sockets per non-A&A
+            initiator domain — §4.1 observes A&A entities are involved
+            in "an order of magnitude more" connections.
+        aa_involvement_ratio: The former divided by the latter.
+    """
+
+    total_sockets: int
+    pct_cross_origin: float
+    unique_third_party_receivers: int
+    unique_aa_receivers: int
+    unique_aa_initiators: int
+    avg_sockets_per_socket_site: float
+    pct_aa_receivers_ge_10_initiators: float
+    disappeared_initiators: int
+    sockets_per_aa_initiator: float = 0.0
+    sockets_per_non_aa_initiator: float = 0.0
+
+    @property
+    def aa_involvement_ratio(self) -> float:
+        """How many times busier an A&A initiator is than a benign one."""
+        if not self.sockets_per_non_aa_initiator:
+            return float("inf") if self.sockets_per_aa_initiator else 0.0
+        return self.sockets_per_aa_initiator / self.sockets_per_non_aa_initiator
+
+
+def compute_overall_stats(views: list[SocketView]) -> OverallStats:
+    """Compute the merged-dataset § 4.1 statistics."""
+    total = len(views)
+    cross = sum(1 for v in views if v.record.cross_origin)
+    third_party_receivers = {
+        v.receiver_domain for v in views if v.record.cross_origin
+    }
+    aa_receivers = {v.receiver_domain for v in views if v.aa_received}
+    aa_initiators = {v.initiator_domain for v in views if v.aa_initiated}
+
+    per_site: Counter = Counter()
+    for view in views:
+        per_site[(view.crawl, view.record.site_domain)] += 1
+    avg_per_site = (
+        sum(per_site.values()) / len(per_site) if per_site else 0.0
+    )
+
+    initiators_per_receiver: dict[str, set[str]] = {}
+    for view in views:
+        if view.aa_received:
+            initiators_per_receiver.setdefault(
+                view.receiver_domain, set()
+            ).add(view.initiator_domain)
+    ge10 = sum(
+        1 for initiators in initiators_per_receiver.values()
+        if len(initiators) >= 10
+    )
+    pct_ge10 = (
+        100.0 * ge10 / len(initiators_per_receiver)
+        if initiators_per_receiver else 0.0
+    )
+
+    aa_counts: Counter = Counter()
+    non_aa_counts: Counter = Counter()
+    for view in views:
+        bucket = aa_counts if view.aa_initiated else non_aa_counts
+        bucket[view.initiator_domain] += 1
+    sockets_per_aa = (
+        sum(aa_counts.values()) / len(aa_counts) if aa_counts else 0.0
+    )
+    sockets_per_non_aa = (
+        sum(non_aa_counts.values()) / len(non_aa_counts)
+        if non_aa_counts else 0.0
+    )
+
+    crawls = sorted({v.crawl for v in views})
+    disappeared = 0
+    if len(crawls) >= 2:
+        first = {
+            v.initiator_domain for v in views
+            if v.crawl == crawls[0] and v.aa_initiated
+        }
+        last = {
+            v.initiator_domain for v in views
+            if v.crawl == crawls[-1] and v.aa_initiated
+        }
+        disappeared = len(first - last)
+
+    return OverallStats(
+        total_sockets=total,
+        pct_cross_origin=100.0 * cross / total if total else 0.0,
+        unique_third_party_receivers=len(third_party_receivers),
+        unique_aa_receivers=len(aa_receivers),
+        unique_aa_initiators=len(aa_initiators),
+        avg_sockets_per_socket_site=avg_per_site,
+        pct_aa_receivers_ge_10_initiators=pct_ge10,
+        disappeared_initiators=disappeared,
+        sockets_per_aa_initiator=sockets_per_aa,
+        sockets_per_non_aa_initiator=sockets_per_non_aa,
+    )

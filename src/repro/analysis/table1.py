@@ -1,0 +1,71 @@
+"""Table 1: high-level statistics per crawl."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classify import SocketView
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One crawl's row of Table 1.
+
+    Attributes:
+        crawl: Crawl index.
+        label: Crawl window label.
+        pct_sites_with_sockets: % of crawled sites with ≥1 socket.
+        pct_sockets_aa_initiators: % of sockets initiated by an A&A
+            domain's resource.
+        unique_aa_initiators: # distinct A&A initiator domains.
+        pct_sockets_aa_receivers: % of sockets received by an A&A
+            domain.
+        unique_aa_receivers: # distinct A&A receiver domains.
+        total_sockets: Socket count (not printed by the paper; kept
+            for diagnostics).
+        sites_crawled: Denominator for the site percentage.
+    """
+
+    crawl: int
+    label: str
+    pct_sites_with_sockets: float
+    pct_sockets_aa_initiators: float
+    unique_aa_initiators: int
+    pct_sockets_aa_receivers: float
+    unique_aa_receivers: int
+    total_sockets: int
+    sites_crawled: int
+
+
+def compute_table1(
+    views: list[SocketView],
+    crawl_sites: dict[int, list[tuple[str, int]]],
+    crawl_labels: dict[int, str],
+) -> list[Table1Row]:
+    """Compute one row per crawl, in crawl order."""
+    rows: list[Table1Row] = []
+    for crawl in sorted(crawl_sites):
+        crawl_views = [v for v in views if v.crawl == crawl]
+        total = len(crawl_views)
+        sites_with_sockets = {v.record.site_domain for v in crawl_views}
+        aa_initiated = [v for v in crawl_views if v.aa_initiated]
+        aa_received = [v for v in crawl_views if v.aa_received]
+        site_count = len(crawl_sites[crawl])
+        rows.append(Table1Row(
+            crawl=crawl,
+            label=crawl_labels.get(crawl, f"crawl {crawl}"),
+            pct_sites_with_sockets=(
+                100.0 * len(sites_with_sockets) / site_count if site_count else 0.0
+            ),
+            pct_sockets_aa_initiators=(
+                100.0 * len(aa_initiated) / total if total else 0.0
+            ),
+            unique_aa_initiators=len({v.initiator_domain for v in aa_initiated}),
+            pct_sockets_aa_receivers=(
+                100.0 * len(aa_received) / total if total else 0.0
+            ),
+            unique_aa_receivers=len({v.receiver_domain for v in aa_received}),
+            total_sockets=total,
+            sites_crawled=site_count,
+        ))
+    return rows

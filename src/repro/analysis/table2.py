@@ -1,0 +1,76 @@
+"""Table 2: top WebSocket initiators by number of unique receivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classify import SocketView
+from repro.net.domains import display_name
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One initiator's row.
+
+    Attributes:
+        initiator: Short display name (``doubleclick``).
+        initiator_domain: Full second-level domain.
+        is_aa: Whether the initiator is A&A (bold in the paper).
+        receivers_total: # unique receiver domains.
+        receivers_aa: # unique A&A receiver domains.
+        socket_count: Total sockets initiated.
+    """
+
+    initiator: str
+    initiator_domain: str
+    is_aa: bool
+    receivers_total: int
+    receivers_aa: int
+    socket_count: int
+
+
+def compute_table2(
+    views: list[SocketView],
+    top: int = 15,
+    exclude_first_party_initiators: bool = False,
+) -> list[Table2Row]:
+    """Aggregate per initiator over the merged dataset.
+
+    Publisher first-party initiators are included by default, as in the
+    paper (slither.io tops its own sockets); they rank low anyway since
+    each publisher contacts only its own handful of vendors.
+    """
+    receivers: dict[str, set[str]] = {}
+    receivers_aa: dict[str, set[str]] = {}
+    counts: dict[str, int] = {}
+    aa_flags: dict[str, bool] = {}
+    for view in views:
+        initiator = view.initiator_domain
+        if exclude_first_party_initiators and _is_first_party(view):
+            continue
+        receivers.setdefault(initiator, set()).add(view.receiver_domain)
+        if view.aa_received:
+            receivers_aa.setdefault(initiator, set()).add(view.receiver_domain)
+        counts[initiator] = counts.get(initiator, 0) + 1
+        aa_flags[initiator] = view.aa_initiated
+    rows = [
+        Table2Row(
+            initiator=display_name(domain),
+            initiator_domain=domain,
+            is_aa=aa_flags[domain],
+            receivers_total=len(receivers[domain]),
+            receivers_aa=len(receivers_aa.get(domain, ())),
+            socket_count=counts[domain],
+        )
+        for domain in receivers
+    ]
+    rows.sort(key=lambda r: (-r.receivers_total, -r.socket_count, r.initiator))
+    return rows[:top]
+
+
+def _is_first_party(view: SocketView) -> bool:
+    from repro.net.domains import registrable_domain
+
+    return view.initiator_domain == registrable_domain(
+        view.record.first_party_host
+    )

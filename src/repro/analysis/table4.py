@@ -1,0 +1,73 @@
+"""Table 4: top initiator/receiver pairs communicating via WebSockets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classify import SocketView
+from repro.net.domains import display_name
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One cross-domain pair's row.
+
+    Attributes:
+        initiator: Initiator display name.
+        receiver: Receiver display name.
+        initiator_is_aa / receiver_is_aa: Bold flags from the paper.
+        socket_count: Sockets between the pair (merged dataset).
+    """
+
+    initiator: str
+    receiver: str
+    initiator_is_aa: bool
+    receiver_is_aa: bool
+    socket_count: int
+
+
+@dataclass(frozen=True)
+class Table4:
+    """The pair table plus the aggregated self-pair row.
+
+    Attributes:
+        rows: Top cross-domain pairs by socket count.
+        self_pair_sockets: Total "A&A domain to itself" sockets.
+    """
+
+    rows: tuple[Table4Row, ...]
+    self_pair_sockets: int
+
+
+def compute_table4(views: list[SocketView], top: int = 15) -> Table4:
+    """Aggregate A&A sockets per (initiator, receiver) pair.
+
+    Only *A&A sockets* qualify (§3.2 attribution: an A&A initiator,
+    receiver, or chain ancestor). Pairs where initiator and receiver
+    share a domain are aggregated into the self-pair row, as the paper
+    does.
+    """
+    counts: dict[tuple[str, str], int] = {}
+    flags: dict[tuple[str, str], tuple[bool, bool]] = {}
+    self_pairs = 0
+    for view in views:
+        if not view.is_aa_socket:
+            continue
+        if view.is_self_pair:
+            self_pairs += 1
+            continue
+        key = (view.initiator_domain, view.receiver_domain)
+        counts[key] = counts.get(key, 0) + 1
+        flags[key] = (view.aa_initiated, view.aa_received)
+    rows = [
+        Table4Row(
+            initiator=display_name(initiator),
+            receiver=display_name(receiver),
+            initiator_is_aa=flags[(initiator, receiver)][0],
+            receiver_is_aa=flags[(initiator, receiver)][1],
+            socket_count=count,
+        )
+        for (initiator, receiver), count in counts.items()
+    ]
+    rows.sort(key=lambda r: (-r.socket_count, r.initiator, r.receiver))
+    return Table4(rows=tuple(rows[:top]), self_pair_sockets=self_pairs)

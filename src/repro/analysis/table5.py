@@ -1,0 +1,150 @@
+"""Table 5: items sent/received over A&A sockets vs HTTP/S to A&A domains."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import SocketView
+from repro.content.items import (
+    RECEIVED_CLASSES,
+    SENT_ITEMS,
+    ReceivedClass,
+    SentItem,
+)
+from repro.content.sent import SentDataAnalyzer
+from repro.crawler.dataset import StudyDataset
+from repro.labeling.aa_labeler import AaLabeler
+from repro.labeling.resolver import DomainResolver
+
+_ANALYZER = SentDataAnalyzer()
+
+
+@dataclass(frozen=True)
+class Table5Cell:
+    """One (item, channel) cell: count and percentage."""
+
+    count: int
+    percent: float
+
+
+@dataclass
+class Table5:
+    """The full table.
+
+    Attributes:
+        ws_total: A&A sockets (the WebSocket denominators).
+        http_total: HTTP/S requests to A&A domains.
+        sent_ws / sent_http: Item → cell, sent direction.
+        received_ws / received_http: Class → cell, received direction.
+        ws_sent_nothing / ws_received_nothing: "No data" rows.
+        fingerprinting_sockets: Sockets exfiltrating fingerprint items.
+        fingerprinting_pairs: Unique (initiator, receiver) pairs doing
+            so, with the top receiver's share (§4.3's 97% statistic).
+        dom_receivers: Receivers of serialized DOMs.
+    """
+
+    ws_total: int = 0
+    http_total: int = 0
+    sent_ws: dict[SentItem, Table5Cell] = field(default_factory=dict)
+    sent_http: dict[SentItem, Table5Cell] = field(default_factory=dict)
+    received_ws: dict[ReceivedClass, Table5Cell] = field(default_factory=dict)
+    received_http: dict[ReceivedClass, Table5Cell] = field(default_factory=dict)
+    ws_sent_nothing: Table5Cell = Table5Cell(0, 0.0)
+    ws_received_nothing: Table5Cell = Table5Cell(0, 0.0)
+    fingerprinting_sockets: int = 0
+    fingerprinting_pairs: int = 0
+    fingerprinting_top_receiver: str = ""
+    fingerprinting_top_receiver_share: float = 0.0
+    dom_receivers: tuple[str, ...] = ()
+
+
+def compute_table5(
+    dataset: StudyDataset,
+    views: list[SocketView],
+    labeler: AaLabeler | None = None,
+    resolver: DomainResolver | None = None,
+) -> Table5:
+    """Compute the table over the merged dataset."""
+    labeler = labeler or dataset.derive_labeler()
+    resolver = resolver or dataset.derive_resolver(labeler)
+    table = Table5()
+
+    # --- WebSocket side: the A&A sockets. --------------------------------
+    aa_views = [v for v in views if v.is_aa_socket]
+    table.ws_total = len(aa_views)
+    sent_counts: Counter = Counter()
+    recv_counts: Counter = Counter()
+    sent_nothing = 0
+    received_nothing = 0
+    fp_pairs: Counter = Counter()
+    fp_sockets = 0
+    dom_receivers: set[str] = set()
+    for view in aa_views:
+        items = view.record.sent_items
+        for item in items:
+            sent_counts[item] += 1
+        if view.record.sent_nothing:
+            sent_nothing += 1
+        for cls in view.record.received_classes:
+            recv_counts[cls] += 1
+        if view.record.received_nothing:
+            received_nothing += 1
+        if _ANALYZER.is_fingerprinting(set(items)):
+            fp_sockets += 1
+            fp_pairs[(view.initiator_domain, view.receiver_domain)] += 1
+        if SentItem.DOM in items:
+            dom_receivers.add(view.receiver_domain)
+    total = table.ws_total or 1
+    table.sent_ws = {
+        item: Table5Cell(sent_counts[item], 100.0 * sent_counts[item] / total)
+        for item in SENT_ITEMS
+    }
+    table.received_ws = {
+        cls: Table5Cell(recv_counts[cls], 100.0 * recv_counts[cls] / total)
+        for cls in RECEIVED_CLASSES
+    }
+    table.ws_sent_nothing = Table5Cell(sent_nothing, 100.0 * sent_nothing / total)
+    table.ws_received_nothing = Table5Cell(
+        received_nothing, 100.0 * received_nothing / total
+    )
+    table.fingerprinting_sockets = fp_sockets
+    table.fingerprinting_pairs = len(fp_pairs)
+    if fp_pairs:
+        by_receiver: Counter = Counter()
+        for (_, receiver), _count in fp_pairs.items():
+            by_receiver[receiver] += 1
+        top_receiver, top_count = by_receiver.most_common(1)[0]
+        table.fingerprinting_top_receiver = top_receiver
+        table.fingerprinting_top_receiver_share = (
+            100.0 * top_count / len(fp_pairs)
+        )
+    table.dom_receivers = tuple(sorted(dom_receivers))
+
+    # --- HTTP side: requests to A&A domains. ------------------------------
+    http_total = 0
+    http_sent: Counter = Counter()
+    http_received: Counter = Counter()
+    for host, count in dataset.http_requests_by_host.items():
+        if not labeler.is_aa(resolver.effective_domain(host)):
+            continue
+        http_total += count
+        bucket = dataset.http_items_by_host.get(host)
+        if bucket:
+            http_sent.update(bucket)
+        received = dataset.http_received_by_host.get(host)
+        if received:
+            http_received.update(received)
+    table.http_total = http_total
+    denom = http_total or 1
+    table.sent_http = {
+        item: Table5Cell(http_sent[item], 100.0 * http_sent[item] / denom)
+        for item in SENT_ITEMS
+    }
+    table.received_http = {
+        cls: Table5Cell(
+            http_received[cls], 100.0 * http_received[cls] / denom
+        )
+        for cls in RECEIVED_CLASSES
+    }
+    return table

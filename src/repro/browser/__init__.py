@@ -1,0 +1,12 @@
+"""The simulated Chrome browser.
+
+Executes page blueprints from the synthetic web, emitting the same
+DevTools-protocol event stream the paper's crawler consumed from stock
+Chrome. The browser owns client state (cookie jar, device profile,
+version) and hosts the extension layer — including the webRequest bug
+on versions before 58.
+"""
+
+from repro.browser.browser import Browser, VisitResult
+
+__all__ = ["Browser", "VisitResult"]

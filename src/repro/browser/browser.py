@@ -1,0 +1,608 @@
+"""The Browser: blueprint in, CDP events out.
+
+A visit walks the blueprint's resource tree depth-first, emitting
+``Network``/``Debugger``/``Page`` events exactly as the paper's
+instrumentation observed them (§3.1–3.2):
+
+* remote scripts fire ``Debugger.scriptParsed`` with their own URL;
+  inline scripts fire it with the *document's* URL — which is why
+  publisher-initiated sockets attribute to the first party;
+* every dynamic request's ``initiator`` carries the initiating script
+  URL and call stack;
+* WebSockets fire the six ``Network.webSocket*`` events, with payload
+  frames rendered from the socket's payload profile against live
+  browser state (cookies, device profile, clock);
+* when an extension is installed, every HTTP request passes through
+  ``chrome.webRequest`` — and WebSocket handshakes do too, *unless*
+  the browser version has the webRequest bug.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+from repro.cdp.bus import EventBus
+from repro.cdp.events import (
+    FrameNavigated,
+    Initiator,
+    RequestWillBeSent,
+    ResponseReceived,
+    ScriptParsed,
+    WebSocketClosed,
+    WebSocketCreated,
+    WebSocketFrameReceived,
+    WebSocketFrameSent,
+    WebSocketHandshakeResponseReceived,
+    WebSocketWillSendHandshakeRequest,
+)
+from repro.extension.webrequest import WebRequestApi
+from repro.extension.workaround import WebSocketWrapperWorkaround
+from repro.net.cookies import CookieJar
+from repro.net.http import HttpRequest, ResourceType
+from repro.net.useragent import DeviceProfile, default_profile
+from repro.net.websocket import FrameDirection, OpCode, make_client_key
+from repro.util.rng import RngStream, derive_seed
+from repro.util.simtime import SimClock
+from repro.util.urls import parse_url
+from repro.browser.dom import serialize_document
+from repro.web.blueprint import PageBlueprint, ResourceNode, SocketPlan
+from repro.web.payloads import PayloadContext, render_profile
+
+_CDP_TYPE_NAMES = {
+    ResourceType.MAIN_FRAME: "Document",
+    ResourceType.SUB_FRAME: "Document",
+    ResourceType.SCRIPT: "Script",
+    ResourceType.IMAGE: "Image",
+    ResourceType.STYLESHEET: "Stylesheet",
+    ResourceType.XHR: "XHR",
+    ResourceType.FONT: "Font",
+    ResourceType.MEDIA: "Media",
+    ResourceType.PING: "Ping",
+    ResourceType.OTHER: "Other",
+    ResourceType.WEBSOCKET: "WebSocket",
+}
+
+
+@dataclass
+class VisitResult:
+    """Counters from one page visit.
+
+    Attributes:
+        page_url: The visited page.
+        requests: HTTP requests issued (document included).
+        blocked_requests: HTTP requests cancelled by the extension.
+        sockets_opened: WebSocket connections established.
+        sockets_blocked: WebSocket handshakes cancelled by the
+            extension (possible only without the WRB).
+        frames_sent: Data frames sent across all sockets.
+        frames_received: Data frames received across all sockets.
+    """
+
+    page_url: str = ""
+    requests: int = 0
+    blocked_requests: int = 0
+    sockets_opened: int = 0
+    sockets_blocked: int = 0
+    frames_sent: int = 0
+    frames_received: int = 0
+
+
+@dataclass
+class _FrameContext:
+    """Where in the frame tree execution currently is."""
+
+    frame_id: str
+    document_url: str
+
+
+class Browser:
+    """A simulated Chrome instance.
+
+    Attributes:
+        version: Chrome major version; versions < 58 have the WRB.
+        bus: Event bus carrying the DevTools event stream.
+        clock: Simulated clock stamped onto every event.
+        device: The client device profile (fingerprint surface).
+        jar: The cookie jar (reset per site by the crawler, like a
+            stateless measurement profile).
+        webrequest: The extension attachment point.
+    """
+
+    def __init__(
+        self,
+        version: int = 58,
+        bus: EventBus | None = None,
+        clock: SimClock | None = None,
+        device: DeviceProfile | None = None,
+        profile_id: str = "crawler",
+        seed: int = 2017,
+    ) -> None:
+        self.version = version
+        self.bus = bus or EventBus()
+        self.clock = clock or SimClock()
+        self.device = device or default_profile(version)
+        self.jar = CookieJar(profile_id=profile_id)
+        self.webrequest = WebRequestApi(version)
+        self.ws_workaround: WebSocketWrapperWorkaround | None = None
+        self.seed = seed
+        self._main_frame_id = ""
+        self._serialized_dom = ""
+        self._request_counter = 0
+        self._script_counter = 0
+        self._frame_counter = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def new_profile(self, profile_id: str) -> None:
+        """Clear client state, as if launching a fresh browser profile."""
+        self.jar = CookieJar(profile_id=profile_id)
+
+    def visit(self, page: PageBlueprint, crawl: int = 0) -> VisitResult:
+        """Load a page: emit the full event stream for the visit."""
+        result = VisitResult(page_url=page.url)
+        rng = RngStream(self.seed, "visit", page.url, crawl, self.version)
+        main_frame = _FrameContext(
+            frame_id=self._next_frame_id(), document_url=page.url
+        )
+        self._main_frame_id = main_frame.frame_id
+        self._serialized_dom = ""
+        self._emit_document(page.url, main_frame, parent_frame_id="")
+        result.requests += 1
+        for node in page.resources:
+            self._process_node(
+                node,
+                page,
+                main_frame,
+                Initiator(type="parser", url=page.url),
+                ancestors=(),
+                result=result,
+                rng=rng,
+                crawl=crawl,
+            )
+        # The crawler scrolls to the bottom and dwells (§3.3).
+        self.clock.advance(rng.uniform(1.0, 4.0))
+        return result
+
+    # -- document & resources -------------------------------------------------
+
+    def _emit_document(
+        self, url: str, frame: _FrameContext, parent_frame_id: str,
+        initiator_url: str = "",
+    ) -> None:
+        request_id = self._next_request_id()
+        headers = self._request_headers(url, first_party=url, send_cookie=True)
+        self.bus.publish(RequestWillBeSent(
+            timestamp=self.clock.timestamp(),
+            request_id=request_id,
+            document_url=url,
+            url=url,
+            method="GET",
+            resource_type="Document",
+            frame_id=frame.frame_id,
+            initiator=Initiator(type="other", url=initiator_url),
+            headers=headers,
+        ))
+        self.bus.publish(ResponseReceived(
+            timestamp=self.clock.timestamp(),
+            request_id=request_id,
+            url=url,
+            status=200,
+            mime_type="text/html",
+            resource_type="Document",
+            frame_id=frame.frame_id,
+        ))
+        self.bus.publish(FrameNavigated(
+            timestamp=self.clock.timestamp(),
+            frame_id=frame.frame_id,
+            parent_frame_id=parent_frame_id,
+            url=url,
+            initiator_url=initiator_url,
+        ))
+
+    def _process_node(
+        self,
+        node: ResourceNode,
+        page: PageBlueprint,
+        frame: _FrameContext,
+        initiator: Initiator,
+        ancestors: tuple[str, ...],
+        result: VisitResult,
+        rng: RngStream,
+        crawl: int,
+    ) -> None:
+        if node.inline:
+            # Inline script: parses under the document's URL; no fetch.
+            script_id = self._next_script_id()
+            self.bus.publish(ScriptParsed(
+                timestamp=self.clock.timestamp(),
+                script_id=script_id,
+                url=frame.document_url,
+                frame_id=frame.frame_id,
+                is_inline=True,
+            ))
+            child_initiator = Initiator(
+                type="script",
+                url=frame.document_url,
+                script_id=script_id,
+                stack_urls=(frame.document_url, *ancestors),
+            )
+            self._run_script_effects(
+                node, page, frame, child_initiator,
+                (frame.document_url, *ancestors), result, rng, crawl,
+            )
+            return
+
+        fetched_url = self._fetch(node, page, frame, initiator, result)
+        if fetched_url is None:
+            return
+        if node.resource_type == ResourceType.SCRIPT:
+            script_id = self._next_script_id()
+            self.bus.publish(ScriptParsed(
+                timestamp=self.clock.timestamp(),
+                script_id=script_id,
+                url=node.url,
+                frame_id=frame.frame_id,
+            ))
+            child_initiator = Initiator(
+                type="script",
+                url=node.url,
+                script_id=script_id,
+                stack_urls=(node.url, *ancestors),
+            )
+            self._run_script_effects(
+                node, page, frame, child_initiator,
+                (node.url, *ancestors), result, rng, crawl,
+            )
+        elif node.resource_type == ResourceType.SUB_FRAME:
+            child_frame = _FrameContext(
+                frame_id=self._next_frame_id(), document_url=fetched_url
+            )
+            self.bus.publish(FrameNavigated(
+                timestamp=self.clock.timestamp(),
+                frame_id=child_frame.frame_id,
+                parent_frame_id=frame.frame_id,
+                url=fetched_url,
+                initiator_url=initiator.url,
+            ))
+            for child in node.children:
+                self._process_node(
+                    child, page, child_frame,
+                    Initiator(type="parser", url=node.url),
+                    (node.url, *ancestors), result, rng, crawl,
+                )
+        else:
+            # Non-script resources cannot include children or sockets.
+            for child in node.children:
+                self._process_node(
+                    child, page, frame, initiator, ancestors, result, rng,
+                    crawl,
+                )
+
+    def _run_script_effects(
+        self,
+        node: ResourceNode,
+        page: PageBlueprint,
+        frame: _FrameContext,
+        child_initiator: Initiator,
+        ancestors: tuple[str, ...],
+        result: VisitResult,
+        rng: RngStream,
+        crawl: int,
+    ) -> None:
+        for child in node.children:
+            self._process_node(
+                child, page, frame, child_initiator, ancestors, result, rng,
+                crawl,
+            )
+        for plan in node.sockets:
+            self._open_sockets(
+                plan, page, frame, child_initiator, result, rng, crawl
+            )
+
+    def _fetch(
+        self,
+        node: ResourceNode,
+        page: PageBlueprint,
+        frame: _FrameContext,
+        initiator: Initiator,
+        result: VisitResult,
+    ) -> str | None:
+        """Issue one HTTP fetch; returns the rendered URL, or None when
+        the extension cancelled the request."""
+        url = self._render_url(node, page)
+        headers = self._request_headers(
+            url, first_party=page.url, send_cookie=node.send_cookie,
+            referer=frame.document_url,
+        )
+        post_data = self._render_post_data(node, page, url)
+        request = HttpRequest(
+            url=url,
+            method=node.beacon.method if node.beacon else "GET",
+            resource_type=node.resource_type,
+            headers=headers,
+            body=post_data,
+            first_party_url=page.url,
+            initiator_url=initiator.url,
+        )
+        if not self.webrequest.dispatch_on_before_request(request):
+            result.blocked_requests += 1
+            return None
+        if node.sets_cookie:
+            self.jar.ensure_tracking_id(
+                request.host, "uid", self.clock.timestamp()
+            )
+        request_id = self._next_request_id()
+        result.requests += 1
+        self.bus.publish(RequestWillBeSent(
+            timestamp=self.clock.timestamp(),
+            request_id=request_id,
+            document_url=frame.document_url,
+            url=url,
+            method=request.method,
+            resource_type=_CDP_TYPE_NAMES.get(node.resource_type, "Other"),
+            frame_id=frame.frame_id,
+            initiator=initiator,
+            headers=headers,
+            post_data=post_data,
+        ))
+        self.bus.publish(ResponseReceived(
+            timestamp=self.clock.timestamp(),
+            request_id=request_id,
+            url=url,
+            status=200,
+            mime_type=node.mime_type,
+            resource_type=_CDP_TYPE_NAMES.get(node.resource_type, "Other"),
+            frame_id=frame.frame_id,
+        ))
+        self.clock.advance(0.02)
+        return url
+
+    # -- WebSockets -----------------------------------------------------------
+
+    def _open_sockets(
+        self,
+        plan: SocketPlan,
+        page: PageBlueprint,
+        frame: _FrameContext,
+        initiator: Initiator,
+        result: VisitResult,
+        rng: RngStream,
+        crawl: int,
+    ) -> None:
+        for index in range(plan.count):
+            socket_rng = rng.child("socket", initiator.url, plan.ws_url,
+                                   plan.profile, index)
+            ws_url = plan.ws_url or socket_rng.choice(list(plan.ws_pool))
+            self._open_one_socket(
+                ws_url, plan, page, frame, initiator, result, socket_rng
+            )
+
+    def _open_one_socket(
+        self,
+        ws_url: str,
+        plan: SocketPlan,
+        page: PageBlueprint,
+        frame: _FrameContext,
+        initiator: Initiator,
+        result: VisitResult,
+        rng: RngStream,
+    ) -> None:
+        # A uBO-Extra-style content-script wrapper sees the constructor
+        # call in page context — before the network stack, and
+        # regardless of the webRequest bug.
+        if self.ws_workaround is not None:
+            in_subframe = frame.frame_id != self._main_frame_id
+            if not self.ws_workaround.allow_socket(
+                ws_url, page.url, in_subframe, rng.child("wrap").random()
+            ):
+                result.sockets_blocked += 1
+                return
+        handshake_request = HttpRequest(
+            url=ws_url,
+            method="GET",
+            resource_type=ResourceType.WEBSOCKET,
+            first_party_url=page.url,
+            initiator_url=initiator.url,
+        )
+        # The WRB lives inside dispatch: pre-58 versions never consult
+        # listeners for WebSocket requests.
+        if not self.webrequest.dispatch_on_before_request(handshake_request):
+            result.sockets_blocked += 1
+            return
+        ws_host = parse_url(ws_url).host
+        cookie = self.jar.cookies_for(ws_host)
+        if not cookie and plan.cookie_enabled and rng.bernoulli(0.5):
+            # The service recognizes (or mints) its visitor identifier.
+            self.jar.ensure_tracking_id(ws_host, "uid", self.clock.timestamp())
+            cookie = self.jar.cookies_for(ws_host)
+        request_id = self._next_request_id()
+        client_key = make_client_key(
+            derive_seed(self.seed, "ws-key", request_id, ws_url).to_bytes(8, "big")
+        )
+        page_origin = parse_url(page.url).origin
+        headers = {
+            "User-Agent": self.device.user_agent,
+            "Upgrade": "websocket",
+            "Connection": "Upgrade",
+            "Sec-WebSocket-Key": client_key,
+            "Sec-WebSocket-Version": "13",
+            "Origin": page_origin,
+        }
+        cookie_header = self.jar.header_for(ws_host)
+        if cookie_header:
+            headers["Cookie"] = cookie_header
+        self.bus.publish(WebSocketCreated(
+            timestamp=self.clock.timestamp(),
+            request_id=request_id,
+            url=ws_url,
+            initiator=initiator,
+            frame_id=frame.frame_id,
+        ))
+        self.bus.publish(WebSocketWillSendHandshakeRequest(
+            timestamp=self.clock.timestamp(),
+            request_id=request_id,
+            headers=headers,
+            wall_time=self.clock.timestamp(),
+        ))
+        self.bus.publish(WebSocketHandshakeResponseReceived(
+            timestamp=self.clock.timestamp(),
+            request_id=request_id,
+            status=101,
+            headers={"Upgrade": "websocket", "Connection": "Upgrade"},
+        ))
+        result.sockets_opened += 1
+        self._exchange_frames(
+            ws_url, ws_host, plan, page, request_id, result, rng
+        )
+        self.bus.publish(WebSocketClosed(
+            timestamp=self.clock.timestamp(), request_id=request_id
+        ))
+
+    def _exchange_frames(
+        self,
+        ws_url: str,
+        ws_host: str,
+        plan: SocketPlan,
+        page: PageBlueprint,
+        request_id: str,
+        result: VisitResult,
+        rng: RngStream,
+    ) -> None:
+        cookies = self.jar.cookies_for(ws_host)
+        cookie_value = cookies[0].value if cookies else ""
+        first_seen = cookies[0].created_at if cookies else None
+        if not self._serialized_dom:
+            # What a replay script would capture: the page's full
+            # document, serialized once per visit.
+            self._serialized_dom = serialize_document(page)
+        ctx = PayloadContext(
+            device=self.device,
+            page_url=page.url,
+            receiver_host=ws_host,
+            cookie_value=cookie_value,
+            cookie_first_seen=first_seen,
+            user_id=plan.user_id,
+            client_ip=self.device.public_ip,
+            dom_html=self._serialized_dom,
+            scroll_position=rng.randint(400, 6000),
+            timestamp=self.clock.timestamp(),
+            rng=rng.child("payload"),
+        )
+        for frame_plan in render_profile(plan.profile, ctx):
+            event_type = (
+                WebSocketFrameSent
+                if frame_plan.direction == FrameDirection.SENT
+                else WebSocketFrameReceived
+            )
+            if frame_plan.direction == FrameDirection.SENT:
+                result.frames_sent += 1
+            else:
+                result.frames_received += 1
+            self.bus.publish(event_type(
+                timestamp=self.clock.timestamp(),
+                request_id=request_id,
+                opcode=int(frame_plan.opcode),
+                payload_data=frame_plan.payload,
+                masked=frame_plan.direction == FrameDirection.SENT,
+            ))
+            self.clock.advance(0.05)
+
+    # -- rendering --------------------------------------------------------------
+
+    def _render_url(self, node: ResourceNode, page: PageBlueprint) -> str:
+        if node.beacon is None or not node.beacon.query_items:
+            return node.url
+        params = [
+            f"{name}={value}"
+            for name, value in (
+                (item, self._item_value(item, node.url, page))
+                for item in node.beacon.query_items
+            )
+            if value
+        ]
+        if not params:
+            return node.url
+        joiner = "&" if "?" in node.url else "?"
+        return node.url + joiner + "&".join(params)
+
+    def _render_post_data(
+        self, node: ResourceNode, page: PageBlueprint, url: str
+    ) -> str:
+        if node.beacon is None or not node.beacon.post_items:
+            return ""
+        parts = []
+        for item in node.beacon.post_items:
+            value = self._item_value(item, url, page)
+            if value:
+                parts.append(f"{item}={value}")
+        return "&".join(parts)
+
+    def _item_value(self, item: str, url: str, page: PageBlueprint) -> str:
+        host = parse_url(url).host
+        d = self.device
+        if item == "uid":
+            cookie = self.jar.ensure_tracking_id(
+                host, "uid", self.clock.timestamp()
+            )
+            return cookie.value
+        if item == "user_id":
+            return f"u{derive_seed(self.seed, 'http-user', host) % 10**10:010d}"
+        if item == "ip":
+            return d.public_ip
+        if item == "language":
+            return d.language
+        if item == "viewport":
+            return d.viewport
+        if item == "device":
+            return d.device_type
+        if item == "resolution":
+            return d.resolution
+        if item == "screen":
+            return d.screen
+        if item == "browser":
+            return d.browser_family
+        if item == "first_seen":
+            first = self.jar.first_seen(host, "uid")
+            if first is None:
+                return ""
+            return dt.datetime.fromtimestamp(
+                first, tz=dt.timezone.utc
+            ).strftime("%Y-%m-%dT%H:%M:%SZ")
+        if item == "dom":
+            if not self._serialized_dom:
+                self._serialized_dom = serialize_document(page)
+            return self._serialized_dom
+        return ""
+
+    def _request_headers(
+        self,
+        url: str,
+        first_party: str,
+        send_cookie: bool,
+        referer: str = "",
+    ) -> dict[str, str]:
+        headers = {"User-Agent": self.device.user_agent}
+        if referer:
+            headers["Referer"] = referer
+        if send_cookie:
+            # Send only cookies that already exist — identifiers are
+            # minted by responses (``sets_cookie``), never by requests.
+            cookie_header = self.jar.header_for(parse_url(url).host)
+            if cookie_header:
+                headers["Cookie"] = cookie_header
+        return headers
+
+    # -- identifiers --------------------------------------------------------------
+
+    def _next_request_id(self) -> str:
+        self._request_counter += 1
+        return f"1000.{self._request_counter}"
+
+    def _next_script_id(self) -> str:
+        self._script_counter += 1
+        return str(self._script_counter)
+
+    def _next_frame_id(self) -> str:
+        self._frame_counter += 1
+        return f"F{self._frame_counter}"

@@ -1,0 +1,134 @@
+"""A miniature DOM: the syntactic document structure of a page.
+
+The paper contrasts the DOM (syntactic nesting) with the inclusion tree
+(semantic causation): its Figure 2 shows the same page as both. This
+module builds the DOM side — the element tree a page's markup implies —
+so that:
+
+* serialized-DOM payloads (what session-replay services exfiltrate)
+  contain the page's *actual* structure, scripts and images included;
+* Figure 2 can be demonstrated concretely: the DOM puts every element
+  under ``<body>`` while the inclusion tree hangs the WebSocket off the
+  script that opened it.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+from dataclasses import dataclass, field
+
+from repro.net.http import ResourceType
+from repro.web.blueprint import PageBlueprint, ResourceNode
+
+_VOID_TAGS = frozenset({"img", "link", "meta", "input", "br"})
+
+
+@dataclass
+class DomNode:
+    """One element in the document tree.
+
+    Attributes:
+        tag: Element name (lower-case).
+        attrs: Attribute mapping, in insertion order.
+        children: Child elements.
+        text: Direct text content (rendered before children).
+        raw_html: Pre-rendered HTML injected verbatim (used for the
+            page's content fragment, which may contain sensitive form
+            state).
+    """
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["DomNode"] = field(default_factory=list)
+    text: str = ""
+    raw_html: str = ""
+
+    def append(self, child: "DomNode") -> "DomNode":
+        """Attach and return a child element."""
+        self.children.append(child)
+        return child
+
+    def walk(self):
+        """Yield this node and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def serialize(self) -> str:
+        """Render the subtree as HTML."""
+        attrs = "".join(
+            f' {name}="{html_mod.escape(value, quote=True)}"'
+            for name, value in self.attrs.items()
+        )
+        if self.tag in _VOID_TAGS:
+            return f"<{self.tag}{attrs}/>"
+        inner = (
+            html_mod.escape(self.text) if self.text else ""
+        ) + self.raw_html + "".join(c.serialize() for c in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+def _element_for(resource: ResourceNode) -> DomNode | None:
+    """The markup element a resource inclusion corresponds to."""
+    if resource.inline:
+        return DomNode("script", text="/* inline bootstrap */")
+    rtype = resource.resource_type
+    if rtype == ResourceType.SCRIPT:
+        return DomNode("script", {"src": resource.url})
+    if rtype == ResourceType.IMAGE:
+        return DomNode("img", {"src": resource.url})
+    if rtype == ResourceType.STYLESHEET:
+        return DomNode("link", {"rel": "stylesheet", "href": resource.url})
+    if rtype == ResourceType.SUB_FRAME:
+        return DomNode("iframe", {"src": resource.url})
+    # XHR/ping/font/media inclusions have no markup element of their own.
+    return None
+
+
+def build_dom(page: PageBlueprint) -> DomNode:
+    """Build the document tree for a page blueprint.
+
+    Only *syntactic* children appear nested (an iframe's document);
+    resources requested by scripts do NOT nest under the script element
+    — that relationship belongs to the inclusion tree, which is the
+    whole point of Figure 2.
+    """
+    root = DomNode("html")
+    head = root.append(DomNode("head"))
+    head.append(DomNode("title", text=page.title))
+    body = root.append(DomNode("body"))
+    if page.title:
+        body.append(DomNode("h1", text=page.title))
+    for resource in page.resources:
+        _place(resource, head, body)
+    if page.dom_html:
+        body.append(DomNode("div", {"class": "content"},
+                            raw_html=page.dom_html))
+    return root
+
+
+def _place(resource: ResourceNode, head: DomNode, body: DomNode) -> None:
+    element = _element_for(resource)
+    if element is None:
+        return
+    if element.tag == "link":
+        head.append(element)
+    else:
+        body.append(element)
+    if resource.resource_type == ResourceType.SUB_FRAME:
+        # The iframe's own document nests syntactically.
+        frame_doc = DomNode("html")
+        frame_body = frame_doc.append(DomNode("body"))
+        for child in resource.children:
+            _place(child, frame_doc, frame_body)
+        element.append(frame_doc)
+    else:
+        # Dynamically requested children render wherever the script put
+        # them — conventionally appended to <body>, NOT under <script>.
+        for child in resource.children:
+            _place(child, head, body)
+
+
+def serialize_document(page: PageBlueprint) -> str:
+    """The full serialized document, as a replay service would capture."""
+    return "<!DOCTYPE html>" + build_dom(page).serialize()

@@ -1,0 +1,43 @@
+"""Chrome DevTools Protocol event layer.
+
+The simulated browser communicates with the measurement tooling the same
+way the paper's crawler talked to stock Chrome: a stream of DevTools
+events in the ``Debugger``, ``Network``, and ``Page`` domains. The
+inclusion-tree builder (§3.1–3.2 of the paper) consumes exactly this
+stream and nothing else, so it would work unchanged against a real
+browser emitting the same events.
+"""
+
+from repro.cdp.bus import EventBus
+from repro.cdp.events import (
+    CdpEvent,
+    FrameNavigated,
+    Initiator,
+    RequestWillBeSent,
+    ResponseReceived,
+    ScriptParsed,
+    WebSocketClosed,
+    WebSocketCreated,
+    WebSocketFrameReceived,
+    WebSocketFrameSent,
+    WebSocketHandshakeResponseReceived,
+    WebSocketWillSendHandshakeRequest,
+)
+from repro.cdp.recorder import SessionRecorder
+
+__all__ = [
+    "EventBus",
+    "CdpEvent",
+    "Initiator",
+    "ScriptParsed",
+    "RequestWillBeSent",
+    "ResponseReceived",
+    "FrameNavigated",
+    "WebSocketCreated",
+    "WebSocketWillSendHandshakeRequest",
+    "WebSocketHandshakeResponseReceived",
+    "WebSocketFrameSent",
+    "WebSocketFrameReceived",
+    "WebSocketClosed",
+    "SessionRecorder",
+]

@@ -1,0 +1,62 @@
+"""Synchronous event bus connecting the browser to its observers.
+
+The browser publishes :class:`~repro.cdp.events.CdpEvent` instances; the
+inclusion-tree builder, session recorder, and any test hooks subscribe.
+Delivery is synchronous and in publication order — the same total order a
+single DevTools WebSocket connection would provide.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.cdp.events import CdpEvent
+
+Subscriber = Callable[[CdpEvent], None]
+
+
+class EventBus:
+    """Fan-out of CDP events to registered subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[Subscriber, tuple[type, ...] | None]] = []
+        self._published = 0
+
+    def subscribe(
+        self,
+        handler: Subscriber,
+        event_types: Iterable[type] | None = None,
+    ) -> Callable[[], None]:
+        """Register a handler, optionally filtered to specific event types.
+
+        Returns:
+            A zero-argument unsubscribe function.
+        """
+        filter_types = tuple(event_types) if event_types is not None else None
+        entry = (handler, filter_types)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: CdpEvent) -> None:
+        """Deliver an event to every matching subscriber, in order."""
+        self._published += 1
+        for handler, filter_types in list(self._subscribers):
+            if filter_types is None or isinstance(event, filter_types):
+                handler(event)
+
+    @property
+    def published_count(self) -> int:
+        """Total number of events published on this bus."""
+        return self._published
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of live subscriptions."""
+        return len(self._subscribers)

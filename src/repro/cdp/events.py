@@ -1,0 +1,391 @@
+"""Typed DevTools protocol events.
+
+Each class mirrors one CDP event the paper's crawler subscribed to
+(§3.1–3.2): ``Debugger.scriptParsed``, ``Network.requestWillBeSent``,
+``Network.responseReceived``, ``Page.frameNavigated``, and the six
+``Network.webSocket*`` events. ``to_cdp()`` renders the canonical
+wire-shape dictionary; ``from_cdp()`` parses one back, so recorded
+sessions round-trip through JSONL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Type
+
+
+@dataclass(frozen=True)
+class Initiator:
+    """Who caused a network request, per CDP ``Network.Initiator``.
+
+    Attributes:
+        type: ``"parser"`` (static HTML inclusion), ``"script"`` (dynamic
+            inclusion by JavaScript), or ``"other"`` (navigation).
+        url: Initiating document or script URL, when known.
+        script_id: DevTools script identifier for script initiators.
+        stack_urls: Script URLs on the initiating call stack, innermost
+            first — what real CDP exposes as ``initiator.stack``.
+    """
+
+    type: str = "other"
+    url: str = ""
+    script_id: str = ""
+    stack_urls: tuple[str, ...] = ()
+
+    def to_cdp(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"type": self.type}
+        if self.url:
+            payload["url"] = self.url
+        if self.stack_urls:
+            payload["stack"] = {
+                "callFrames": [
+                    {"url": url, "scriptId": self.script_id, "functionName": ""}
+                    for url in self.stack_urls
+                ]
+            }
+        return payload
+
+    @classmethod
+    def from_cdp(cls, payload: dict[str, Any]) -> "Initiator":
+        stack = payload.get("stack", {}).get("callFrames", [])
+        return cls(
+            type=payload.get("type", "other"),
+            url=payload.get("url", ""),
+            script_id=(stack[0].get("scriptId", "") if stack else ""),
+            stack_urls=tuple(frame.get("url", "") for frame in stack),
+        )
+
+
+@dataclass(frozen=True)
+class CdpEvent:
+    """Base class for all protocol events."""
+
+    METHOD: ClassVar[str] = ""
+
+    timestamp: float
+
+    def params(self) -> dict[str, Any]:
+        """Event parameters in CDP wire shape (overridden by subclasses)."""
+        return {}
+
+    def to_cdp(self) -> dict[str, Any]:
+        """Full wire message: ``{"method": ..., "params": {...}}``."""
+        params = self.params()
+        params["timestamp"] = self.timestamp
+        return {"method": self.METHOD, "params": params}
+
+
+@dataclass(frozen=True)
+class ScriptParsed(CdpEvent):
+    """``Debugger.scriptParsed`` — a script began executing.
+
+    Fired for both remote scripts (``url`` set to the source URL) and
+    inline scripts (``url`` set to the containing document, as Chrome
+    does for scripts without a ``//# sourceURL``).
+    """
+
+    METHOD: ClassVar[str] = "Debugger.scriptParsed"
+
+    script_id: str = ""
+    url: str = ""
+    frame_id: str = ""
+    is_inline: bool = False
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "scriptId": self.script_id,
+            "url": self.url,
+            "executionContextAuxData": {"frameId": self.frame_id},
+            "hasSourceURL": False,
+            "isModule": False,
+            "embedderName": self.url,
+            "isInline": self.is_inline,
+        }
+
+
+@dataclass(frozen=True)
+class RequestWillBeSent(CdpEvent):
+    """``Network.requestWillBeSent`` — an HTTP/S request is leaving."""
+
+    METHOD: ClassVar[str] = "Network.requestWillBeSent"
+
+    request_id: str = ""
+    document_url: str = ""
+    url: str = ""
+    method: str = "GET"
+    resource_type: str = "Other"
+    frame_id: str = ""
+    initiator: Initiator = field(default_factory=Initiator)
+    headers: dict[str, str] = field(default_factory=dict)
+    post_data: str = ""
+
+    def params(self) -> dict[str, Any]:
+        request: dict[str, Any] = {
+            "url": self.url,
+            "method": self.method,
+            "headers": dict(self.headers),
+        }
+        if self.post_data:
+            request["postData"] = self.post_data
+        return {
+            "requestId": self.request_id,
+            "documentURL": self.document_url,
+            "request": request,
+            "initiator": self.initiator.to_cdp(),
+            "type": self.resource_type,
+            "frameId": self.frame_id,
+        }
+
+
+@dataclass(frozen=True)
+class ResponseReceived(CdpEvent):
+    """``Network.responseReceived`` — response headers arrived."""
+
+    METHOD: ClassVar[str] = "Network.responseReceived"
+
+    request_id: str = ""
+    url: str = ""
+    status: int = 200
+    mime_type: str = ""
+    resource_type: str = "Other"
+    frame_id: str = ""
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "requestId": self.request_id,
+            "response": {
+                "url": self.url,
+                "status": self.status,
+                "mimeType": self.mime_type,
+            },
+            "type": self.resource_type,
+            "frameId": self.frame_id,
+        }
+
+
+@dataclass(frozen=True)
+class FrameNavigated(CdpEvent):
+    """``Page.frameNavigated`` — a frame committed a navigation."""
+
+    METHOD: ClassVar[str] = "Page.frameNavigated"
+
+    frame_id: str = ""
+    parent_frame_id: str = ""
+    url: str = ""
+    initiator_url: str = ""
+
+    def params(self) -> dict[str, Any]:
+        frame: dict[str, Any] = {"id": self.frame_id, "url": self.url}
+        if self.parent_frame_id:
+            frame["parentId"] = self.parent_frame_id
+        if self.initiator_url:
+            frame["initiatorUrl"] = self.initiator_url
+        return {"frame": frame}
+
+
+@dataclass(frozen=True)
+class WebSocketCreated(CdpEvent):
+    """``Network.webSocketCreated`` — ``new WebSocket(url)`` was called."""
+
+    METHOD: ClassVar[str] = "Network.webSocketCreated"
+
+    request_id: str = ""
+    url: str = ""
+    initiator: Initiator = field(default_factory=Initiator)
+    frame_id: str = ""
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "requestId": self.request_id,
+            "url": self.url,
+            "initiator": self.initiator.to_cdp(),
+            "frameId": self.frame_id,
+        }
+
+
+@dataclass(frozen=True)
+class WebSocketWillSendHandshakeRequest(CdpEvent):
+    """``Network.webSocketWillSendHandshakeRequest`` — upgrade leaving."""
+
+    METHOD: ClassVar[str] = "Network.webSocketWillSendHandshakeRequest"
+
+    request_id: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "requestId": self.request_id,
+            "wallTime": self.wall_time,
+            "request": {"headers": dict(self.headers)},
+        }
+
+
+@dataclass(frozen=True)
+class WebSocketHandshakeResponseReceived(CdpEvent):
+    """``Network.webSocketHandshakeResponseReceived`` — 101 arrived."""
+
+    METHOD: ClassVar[str] = "Network.webSocketHandshakeResponseReceived"
+
+    request_id: str = ""
+    status: int = 101
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "requestId": self.request_id,
+            "response": {
+                "status": self.status,
+                "statusText": "Switching Protocols" if self.status == 101 else "",
+                "headers": dict(self.headers),
+            },
+        }
+
+
+@dataclass(frozen=True)
+class _WebSocketFrameEvent(CdpEvent):
+    """Shared shape of frame-sent / frame-received events."""
+
+    request_id: str = ""
+    opcode: int = 1
+    payload_data: str = ""
+    masked: bool = False
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "requestId": self.request_id,
+            "response": {
+                "opcode": self.opcode,
+                "mask": self.masked,
+                "payloadData": self.payload_data,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class WebSocketFrameSent(_WebSocketFrameEvent):
+    """``Network.webSocketFrameSent`` — client → server data frame."""
+
+    METHOD: ClassVar[str] = "Network.webSocketFrameSent"
+
+
+@dataclass(frozen=True)
+class WebSocketFrameReceived(_WebSocketFrameEvent):
+    """``Network.webSocketFrameReceived`` — server → client data frame."""
+
+    METHOD: ClassVar[str] = "Network.webSocketFrameReceived"
+
+
+@dataclass(frozen=True)
+class WebSocketClosed(CdpEvent):
+    """``Network.webSocketClosed`` — the connection ended."""
+
+    METHOD: ClassVar[str] = "Network.webSocketClosed"
+
+    request_id: str = ""
+
+    def params(self) -> dict[str, Any]:
+        return {"requestId": self.request_id}
+
+
+EVENT_TYPES: tuple[Type[CdpEvent], ...] = (
+    ScriptParsed,
+    RequestWillBeSent,
+    ResponseReceived,
+    FrameNavigated,
+    WebSocketCreated,
+    WebSocketWillSendHandshakeRequest,
+    WebSocketHandshakeResponseReceived,
+    WebSocketFrameSent,
+    WebSocketFrameReceived,
+    WebSocketClosed,
+)
+
+METHOD_TO_TYPE: dict[str, Type[CdpEvent]] = {t.METHOD: t for t in EVENT_TYPES}
+
+
+def parse_event(message: dict[str, Any]) -> CdpEvent:
+    """Parse a CDP wire message back into a typed event.
+
+    Only the fields the pipeline consumes are recovered; unknown methods
+    raise ``KeyError`` so corrupt recordings fail loudly.
+    """
+    method = message["method"]
+    params = message.get("params", {})
+    timestamp = float(params.get("timestamp", 0.0))
+    event_type = METHOD_TO_TYPE[method]
+    if event_type is ScriptParsed:
+        return ScriptParsed(
+            timestamp=timestamp,
+            script_id=params.get("scriptId", ""),
+            url=params.get("url", ""),
+            frame_id=params.get("executionContextAuxData", {}).get("frameId", ""),
+            is_inline=bool(params.get("isInline", False)),
+        )
+    if event_type is RequestWillBeSent:
+        request = params.get("request", {})
+        return RequestWillBeSent(
+            timestamp=timestamp,
+            request_id=params.get("requestId", ""),
+            document_url=params.get("documentURL", ""),
+            url=request.get("url", ""),
+            method=request.get("method", "GET"),
+            resource_type=params.get("type", "Other"),
+            frame_id=params.get("frameId", ""),
+            initiator=Initiator.from_cdp(params.get("initiator", {})),
+            headers=dict(request.get("headers", {})),
+            post_data=request.get("postData", ""),
+        )
+    if event_type is ResponseReceived:
+        response = params.get("response", {})
+        return ResponseReceived(
+            timestamp=timestamp,
+            request_id=params.get("requestId", ""),
+            url=response.get("url", ""),
+            status=int(response.get("status", 0)),
+            mime_type=response.get("mimeType", ""),
+            resource_type=params.get("type", "Other"),
+            frame_id=params.get("frameId", ""),
+        )
+    if event_type is FrameNavigated:
+        frame = params.get("frame", {})
+        return FrameNavigated(
+            timestamp=timestamp,
+            frame_id=frame.get("id", ""),
+            parent_frame_id=frame.get("parentId", ""),
+            url=frame.get("url", ""),
+            initiator_url=frame.get("initiatorUrl", ""),
+        )
+    if event_type is WebSocketCreated:
+        return WebSocketCreated(
+            timestamp=timestamp,
+            request_id=params.get("requestId", ""),
+            url=params.get("url", ""),
+            initiator=Initiator.from_cdp(params.get("initiator", {})),
+            frame_id=params.get("frameId", ""),
+        )
+    if event_type is WebSocketWillSendHandshakeRequest:
+        return WebSocketWillSendHandshakeRequest(
+            timestamp=timestamp,
+            request_id=params.get("requestId", ""),
+            headers=dict(params.get("request", {}).get("headers", {})),
+            wall_time=float(params.get("wallTime", 0.0)),
+        )
+    if event_type is WebSocketHandshakeResponseReceived:
+        response = params.get("response", {})
+        return WebSocketHandshakeResponseReceived(
+            timestamp=timestamp,
+            request_id=params.get("requestId", ""),
+            status=int(response.get("status", 0)),
+            headers=dict(response.get("headers", {})),
+        )
+    if event_type in (WebSocketFrameSent, WebSocketFrameReceived):
+        response = params.get("response", {})
+        return event_type(
+            timestamp=timestamp,
+            request_id=params.get("requestId", ""),
+            opcode=int(response.get("opcode", 1)),
+            payload_data=response.get("payloadData", ""),
+            masked=bool(response.get("mask", False)),
+        )
+    return WebSocketClosed(timestamp=timestamp, request_id=params.get("requestId", ""))

@@ -1,0 +1,63 @@
+"""Recording and replaying CDP sessions.
+
+The original study archived raw crawl output and analyzed it post-hoc
+(e.g. the filter lists were applied to chains "post-hoc", §4.2). The
+recorder captures the exact event stream of a page visit so analyses can
+be re-run without re-crawling, and so fixtures for tests can be stored
+as plain JSONL.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.cdp.bus import EventBus
+from repro.cdp.events import CdpEvent, parse_event
+from repro.util.serialization import read_jsonl, write_jsonl
+
+
+class SessionRecorder:
+    """Accumulates every event published on a bus."""
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.events: list[CdpEvent] = []
+        self._unsubscribe = None
+        if bus is not None:
+            self.attach(bus)
+
+    def attach(self, bus: EventBus) -> None:
+        """Start recording events from a bus."""
+        self.detach()
+        self._unsubscribe = bus.subscribe(self.events.append)
+
+    def detach(self) -> None:
+        """Stop recording."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def clear(self) -> None:
+        """Drop recorded events."""
+        self.events.clear()
+
+    def save(self, path: str | Path) -> int:
+        """Write the recorded session to JSONL; returns the event count."""
+        return write_jsonl(path, (event.to_cdp() for event in self.events))
+
+    @staticmethod
+    def load(path: str | Path) -> list[CdpEvent]:
+        """Parse a recorded session back into typed events."""
+        return [parse_event(record) for record in read_jsonl(path)]
+
+    def replay_into(self, bus: EventBus) -> int:
+        """Publish all recorded events onto another bus, in order."""
+        for event in self.events:
+            bus.publish(event)
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[CdpEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

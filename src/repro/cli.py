@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``study``   — run the four-crawl study and print every artifact.
+* ``visit``   — load one site in the simulated browser and print its
+  inclusion tree and WebSocket traffic.
+* ``check``   — evaluate a URL against the synthetic EasyList/EasyPrivacy.
+* ``lists``   — dump the synthetic filter lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import report as report_mod
+from repro.browser import Browser
+from repro.cdp import EventBus, SessionRecorder
+from repro.cdp.har import save_har
+from repro.experiments import DEFAULT_CONFIG, FULL_CONFIG, TINY_CONFIG, run_study
+from repro.extension.adblocker import AdBlockerExtension
+from repro.inclusion import InclusionTreeBuilder
+from repro.net.http import ResourceType
+from repro.web.filterlists import (
+    build_easylist_text,
+    build_easyprivacy_text,
+    build_filter_engine,
+)
+from repro.web.registry import default_registry
+from repro.web.server import SyntheticWeb, WebScale
+
+_PRESETS = {"tiny": TINY_CONFIG, "default": DEFAULT_CONFIG, "full": FULL_CONFIG}
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    config = _PRESETS[args.preset]
+    result = run_study(config)
+    print(report_mod.render_table1(result.table1), "\n")
+    print("TABLE 2 — top initiators")
+    print(report_mod.render_table2(result.table2), "\n")
+    print("TABLE 3 — top A&A receivers")
+    print(report_mod.render_table3(result.table3), "\n")
+    print("TABLE 4 — initiator/receiver pairs")
+    print(report_mod.render_table4(result.table4), "\n")
+    print("TABLE 5 — content analysis")
+    print(report_mod.render_table5(result.table5), "\n")
+    print("FIGURE 3 — usage by rank")
+    print(report_mod.render_figure3(result.figure3), "\n")
+    print(report_mod.render_overall(result.overall), "\n")
+    print(report_mod.render_blocking(result.blocking))
+    return 0
+
+
+def _cmd_visit(args: argparse.Namespace) -> int:
+    web = SyntheticWeb(scale=WebScale(sample_scale=args.sample_scale,
+                                      entity_scale=args.scale))
+    if args.domain:
+        plan = web.plan.plan_for(args.domain)
+        if plan is None:
+            try:
+                site = web.site(args.domain)
+            except KeyError:
+                print(f"unknown domain {args.domain!r}; socket-hosting "
+                      f"sites include:", file=sys.stderr)
+                for domain in list(web.plan.site_plans)[:10]:
+                    print(f"  {domain}", file=sys.stderr)
+                return 2
+        else:
+            site = plan.site
+    else:
+        site = next(iter(web.plan.site_plans.values())).site
+    bus = EventBus()
+    browser = Browser(version=args.chrome, bus=bus)
+    if args.blocker:
+        AdBlockerExtension(build_filter_engine(web.registry)).install(
+            browser.webrequest
+        )
+    recorder = SessionRecorder(bus) if args.har else None
+    builder = InclusionTreeBuilder()
+    builder.attach(bus)
+    result = browser.visit(web.blueprint(site, args.page, args.crawl),
+                           crawl=args.crawl)
+    builder.detach()
+    tree = builder.result()
+    print(f"{tree.root.url}  (Chrome {args.chrome}, crawl {args.crawl}"
+          f"{', blocker on' if args.blocker else ''})")
+    print(f"requests={result.requests} blocked={result.blocked_requests} "
+          f"sockets={result.sockets_opened} "
+          f"sockets_blocked={result.sockets_blocked}")
+    for node in tree.all_nodes():
+        indent = "  " * node.depth()
+        marker = {"document": "□", "resource": "·", "websocket": "⇄"}
+        print(f"{indent}{marker[node.kind.value]} {node.url}")
+    for ws in tree.websockets:
+        print(f"\n⇄ {ws.url}")
+        for frame in ws.websocket.frames[: args.frames]:
+            print(f"  {'→' if frame.sent else '←'} {frame.payload[:100]}")
+    if recorder is not None:
+        path = save_har(args.har, recorder.events)
+        print(f"\nHAR written to {path}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    engine = build_filter_engine(default_registry())
+    try:
+        rtype = ResourceType(args.type)
+    except ValueError:
+        print(f"unknown resource type {args.type!r}", file=sys.stderr)
+        return 2
+    result = engine.match(args.url, rtype, args.first_party)
+    if result.blocked:
+        print(f"BLOCKED by {result.list_name}: {result.rule.raw}")
+    elif result.matched:
+        print(f"allowed (exception {result.exception_rule.raw} overrides "
+              f"{result.rule.raw})")
+    else:
+        print("allowed (no rule matched)")
+    return 0
+
+
+def _cmd_lists(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.list in ("easylist", "both"):
+        print(build_easylist_text(registry))
+    if args.list in ("easyprivacy", "both"):
+        print(build_easyprivacy_text(registry))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WebSocket ad-blocker-circumvention study (IMC 2018) "
+                    "reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run the four-crawl study")
+    study.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+    study.set_defaults(func=_cmd_study)
+
+    visit = sub.add_parser("visit", help="visit one site, print its tree")
+    visit.add_argument("domain", nargs="?", default="")
+    visit.add_argument("--crawl", type=int, default=0, choices=range(4))
+    visit.add_argument("--page", type=int, default=0)
+    visit.add_argument("--chrome", type=int, default=57)
+    visit.add_argument("--blocker", action="store_true")
+    visit.add_argument("--frames", type=int, default=6)
+    visit.add_argument("--scale", type=float, default=0.03)
+    visit.add_argument("--sample-scale", type=float, default=0.002,
+                       dest="sample_scale")
+    visit.add_argument("--har", default="",
+                       help="write the visit's session as a HAR file")
+    visit.set_defaults(func=_cmd_visit)
+
+    check = sub.add_parser("check", help="match a URL against the lists")
+    check.add_argument("url")
+    check.add_argument("--type", default="script")
+    check.add_argument("--first-party", default="https://publisher.example/",
+                       dest="first_party")
+    check.set_defaults(func=_cmd_check)
+
+    lists = sub.add_parser("lists", help="dump the synthetic filter lists")
+    lists.add_argument("--list", choices=("easylist", "easyprivacy", "both"),
+                       default="both")
+    lists.set_defaults(func=_cmd_lists)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Content analysis: what flows over sockets and beacons (Table 5).
+
+Reimplements the paper's approach: "We extracted all of these variables
+from raw network traffic by manually building up a large library of
+regular expressions" (§4.3). The analyzers see only wire text — payload
+frames, handshake headers, URLs, POST bodies — and classify:
+
+* **sent items**: user agent, cookie, IP, user ID, device, screen,
+  browser, viewport, scroll position, orientation, first seen,
+  resolution, language, DOM, binary;
+* **received data**: HTML, JSON, JavaScript, image, binary.
+
+Protocol-mandated headers other than ``User-Agent`` and ``Cookie`` are
+not treated as exfiltration (``Accept-Language`` is not a tracked
+"Language" item; an explicit ``lang=…`` parameter is).
+"""
+
+from repro.content.items import RECEIVED_CLASSES, SENT_ITEMS, ReceivedClass, SentItem
+from repro.content.received import classify_frame, classify_http_response
+from repro.content.sent import SentDataAnalyzer
+
+__all__ = [
+    "SentItem",
+    "ReceivedClass",
+    "SENT_ITEMS",
+    "RECEIVED_CLASSES",
+    "SentDataAnalyzer",
+    "classify_frame",
+    "classify_http_response",
+]

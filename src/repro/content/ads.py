@@ -1,0 +1,107 @@
+"""Extraction of ad units delivered over WebSockets (§4.3, Figure 4).
+
+The paper found no ad *images* flowing over sockets directly — instead
+Lockerdome pushed JSON containing creative URLs "along with meta-data
+such as image captions, heights, and widths", hosted on
+``cdn1.lockerdome.com``, which no filter list covered. This module
+recognizes such ad units in received frame text, so the analysis can
+both count them and check whether the creative hosts are list-covered.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.inclusion.node import FrameData
+
+# Keys that signal an ad unit inside a JSON object.
+_IMAGE_KEYS = ("image", "img", "creative", "image_url", "src")
+_CAPTION_KEYS = ("caption", "headline", "title", "text")
+
+
+@dataclass(frozen=True)
+class AdUnit:
+    """One advertisement delivered over a socket.
+
+    Attributes:
+        image_url: URL of the creative.
+        caption: The ad's headline/caption text.
+        width / height: Declared dimensions (0 when absent).
+        click_url: Landing URL, when present.
+    """
+
+    image_url: str
+    caption: str = ""
+    width: int = 0
+    height: int = 0
+    click_url: str = ""
+
+
+def _as_int(value) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return 0
+
+
+def _unit_from_object(obj) -> AdUnit | None:
+    if not isinstance(obj, dict):
+        return None
+    image_url = ""
+    for key in _IMAGE_KEYS:
+        value = obj.get(key)
+        if isinstance(value, str) and value.startswith(("http://", "https://")):
+            image_url = value
+            break
+    if not image_url:
+        return None
+    caption = ""
+    for key in _CAPTION_KEYS:
+        value = obj.get(key)
+        if isinstance(value, str) and value:
+            caption = value
+            break
+    return AdUnit(
+        image_url=image_url,
+        caption=caption,
+        width=_as_int(obj.get("width") or obj.get("w")),
+        height=_as_int(obj.get("height") or obj.get("h")),
+        click_url=obj.get("click_url", "") if isinstance(
+            obj.get("click_url", ""), str) else "",
+    )
+
+
+def _walk_json(value, found: list[AdUnit]) -> None:
+    unit = _unit_from_object(value)
+    if unit is not None:
+        found.append(unit)
+        return
+    if isinstance(value, dict):
+        for child in value.values():
+            _walk_json(child, found)
+    elif isinstance(value, list):
+        for child in value:
+            _walk_json(child, found)
+
+
+def extract_ad_units(frames: list[FrameData]) -> list[AdUnit]:
+    """Find ad units in a socket's received frames.
+
+    Only JSON-bearing text frames are inspected; an ad unit is any
+    object carrying a creative URL (plus optional caption/dimensions),
+    however deeply nested.
+    """
+    units: list[AdUnit] = []
+    for frame in frames:
+        if frame.sent or not frame.payload:
+            continue
+        stripped = frame.payload.strip()
+        if not stripped or stripped[0] not in "{[":
+            continue
+        try:
+            parsed = json.loads(stripped)
+        except ValueError:
+            continue
+        _walk_json(parsed, units)
+    return units

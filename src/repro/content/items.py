@@ -1,0 +1,52 @@
+"""The Table 5 item taxonomy."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SentItem(str, enum.Enum):
+    """Items detectable in data sent to a server (Table 5, top half)."""
+
+    USER_AGENT = "User Agent"
+    COOKIE = "Cookie"
+    IP = "IP"
+    USER_ID = "User ID"
+    DEVICE = "Device"
+    SCREEN = "Screen"
+    BROWSER = "Browser"
+    VIEWPORT = "Viewport"
+    SCROLL_POSITION = "Scroll Position"
+    ORIENTATION = "Orientation"
+    FIRST_SEEN = "First Seen"
+    RESOLUTION = "Resolution"
+    LANGUAGE = "Language"
+    DOM = "DOM"
+    BINARY = "Binary"
+
+
+class ReceivedClass(str, enum.Enum):
+    """Classes of data received from a server (Table 5, bottom half)."""
+
+    HTML = "HTML"
+    JSON = "JSON"
+    JAVASCRIPT = "JavaScript"
+    IMAGE = "Image"
+    BINARY = "Binary"
+
+
+# Fixed display orders matching the paper's table.
+SENT_ITEMS: tuple[SentItem, ...] = tuple(SentItem)
+RECEIVED_CLASSES: tuple[ReceivedClass, ...] = tuple(ReceivedClass)
+
+# The fingerprinting subset (§4.3's "Fingerprinting" statistic counts
+# sockets exfiltrating screen geometry and friends).
+FINGERPRINT_ITEMS: frozenset[SentItem] = frozenset({
+    SentItem.SCREEN,
+    SentItem.RESOLUTION,
+    SentItem.VIEWPORT,
+    SentItem.ORIENTATION,
+    SentItem.SCROLL_POSITION,
+    SentItem.BROWSER,
+    SentItem.DEVICE,
+})

@@ -1,0 +1,83 @@
+"""Received-data classification: HTML / JSON / JavaScript / image / binary.
+
+WebSocket frames are classified by content sniffing (there is no MIME
+type on a socket frame); HTTP responses are classified by their MIME
+type, as the paper's crawler observed via ``Network.responseReceived``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.content.items import ReceivedClass
+from repro.content.regexlib import looks_like_image
+from repro.inclusion.node import FrameData
+from repro.net.websocket import OpCode
+
+_HTML_RE = re.compile(r"^\s*<(?:!doctype|html|div|li|p|span|iframe|body|head)\b",
+                      re.IGNORECASE)
+_JS_RE = re.compile(
+    r"(?:\bfunction\s*\(|=>\s*{|\bvar\s+\w+\s*=|\bdocument\.|\bwindow\.)"
+)
+_JSON_START_RE = re.compile(r'^\s*[\[{]\s*["\[{]')
+
+
+def classify_frame(frame: FrameData) -> ReceivedClass | None:
+    """Classify one received WebSocket frame; ``None`` when nondescript."""
+    payload = frame.payload
+    if not payload:
+        return None
+    if frame.opcode == int(OpCode.BINARY):
+        if looks_like_image(payload):
+            return ReceivedClass.IMAGE
+        return ReceivedClass.BINARY
+    if looks_like_image(payload):
+        return ReceivedClass.IMAGE
+    if _HTML_RE.match(payload):
+        return ReceivedClass.HTML
+    if _JSON_START_RE.match(payload) or _looks_like_json(payload):
+        return ReceivedClass.JSON
+    if _JS_RE.search(payload):
+        return ReceivedClass.JAVASCRIPT
+    return None
+
+
+def _looks_like_json(payload: str) -> bool:
+    stripped = payload.strip()
+    if not stripped or stripped[0] not in "{[":
+        return False
+    return stripped[-1] in "}]"
+
+
+def classify_socket_received(frames: list[FrameData]) -> set[ReceivedClass]:
+    """All received-data classes observed on one socket."""
+    classes: set[ReceivedClass] = set()
+    for frame in frames:
+        if frame.sent:
+            continue
+        cls = classify_frame(frame)
+        if cls is not None:
+            classes.add(cls)
+    return classes
+
+
+_MIME_TO_CLASS: tuple[tuple[str, ReceivedClass], ...] = (
+    ("text/html", ReceivedClass.HTML),
+    ("application/json", ReceivedClass.JSON),
+    ("application/javascript", ReceivedClass.JAVASCRIPT),
+    ("text/javascript", ReceivedClass.JAVASCRIPT),
+    ("application/x-javascript", ReceivedClass.JAVASCRIPT),
+    ("image/", ReceivedClass.IMAGE),
+    ("application/octet-stream", ReceivedClass.BINARY),
+    ("video/", ReceivedClass.BINARY),
+    ("audio/", ReceivedClass.BINARY),
+)
+
+
+def classify_http_response(mime_type: str) -> ReceivedClass | None:
+    """Classify an HTTP response by MIME type; ``None`` when other."""
+    lowered = mime_type.lower()
+    for prefix, cls in _MIME_TO_CLASS:
+        if lowered.startswith(prefix):
+            return cls
+    return None

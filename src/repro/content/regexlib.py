@@ -1,0 +1,144 @@
+"""The regular-expression library for PII and fingerprint detection.
+
+Patterns are written against the wire formats trackers actually use —
+JSON keys (``"screen": "1920x1080"``), query parameters (``scr=``,
+``vp=``, ``lang=``), and form-encoded bodies — not against this
+repository's generators. Each pattern carries a cheap substring
+pre-check so scanning millions of short strings stays fast.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.content.items import SentItem
+
+
+@dataclass(frozen=True)
+class ItemPattern:
+    """One detector: item + fast pre-check + the regex itself."""
+
+    item: SentItem
+    prechecks: tuple[str, ...]
+    regex: re.Pattern[str]
+
+    def search(self, text: str) -> bool:
+        """Whether the item appears in the text."""
+        for probe in self.prechecks:
+            if probe in text:
+                return self.regex.search(text) is not None
+        return False
+
+
+def _pattern(item: SentItem, prechecks: tuple[str, ...], expr: str) -> ItemPattern:
+    return ItemPattern(item=item, prechecks=prechecks,
+                       regex=re.compile(expr, re.IGNORECASE))
+
+
+# Keys are matched as JSON ("key": value), query (key=value), or
+# form-encoded (key=value) variants.
+def _kv(keys: str, value: str) -> str:
+    return rf'(?:"(?:{keys})"\s*:\s*|[?&;]?\b(?:{keys})=)\s*"?(?:{value})'
+
+
+SENT_PATTERNS: tuple[ItemPattern, ...] = (
+    _pattern(
+        SentItem.IP,
+        ("ip",),
+        _kv(r"ip|ip_?addr(?:ess)?|client_?ip|remote_?ip",
+            r"(?:\d{1,3}\.){3}\d{1,3}"),
+    ),
+    _pattern(
+        SentItem.USER_ID,
+        ("user_id", "userid", "account_id", "client_id", "accountid",
+         "clientid", "userId", "accountId", "clientId"),
+        _kv(r"user_?id|account_?id|client_?id", r"[\w-]{4,}"),
+    ),
+    _pattern(
+        SentItem.DEVICE,
+        ("device", "dev="),
+        _kv(r"device(?:_?(?:type|family))?|dev",
+            r"desktop|mobile|tablet|bot|tv|console|other"),
+    ),
+    _pattern(
+        SentItem.SCREEN,
+        ("screen", "scr="),
+        _kv(r"screen(?:_?size)?|scr", r"\d{3,4}\s*[xX*]\s*\d{3,4}(?![\dxX])"),
+    ),
+    _pattern(
+        SentItem.BROWSER,
+        ("browser", "br="),
+        _kv(r"browser(?:_?(?:type|family|name))?|br",
+            r"chrome|firefox|safari|edge|opera|msie|other"),
+    ),
+    _pattern(
+        SentItem.VIEWPORT,
+        ("viewport", "vp="),
+        _kv(r"viewport|vp|window_?size", r"\d{3,4}\s*[xX*]\s*\d{3,4}"),
+    ),
+    _pattern(
+        SentItem.SCROLL_POSITION,
+        ("scroll",),
+        _kv(r"scroll(?:_?(?:position|top|y|depth))?", r"-?\d+"),
+    ),
+    _pattern(
+        SentItem.ORIENTATION,
+        ("orientation",),
+        _kv(r"orientation", r"landscape|portrait")
+        + r"(?:-(?:primary|secondary))?",
+    ),
+    _pattern(
+        SentItem.FIRST_SEEN,
+        ("first_seen", "firstseen", "fs=", "created_at", "first_visit"),
+        _kv(r"first_?seen|fs|created_?at|first_?visit",
+            r"\d{4}-\d{2}-\d{2}"),
+    ),
+    _pattern(
+        SentItem.RESOLUTION,
+        ("resolution", "res="),
+        _kv(r"resolution|res", r"\d{3,4}x\d{3,4}(?:x\d{1,2})?"),
+    ),
+    _pattern(
+        SentItem.LANGUAGE,
+        ("lang", "locale"),
+        _kv(r"lang(?:uage)?|locale", r"[a-z]{2}(?:[-_][A-Za-z]{2})?\b"),
+    ),
+    _pattern(
+        SentItem.DOM,
+        ("<html", "%3Chtml", "dom="),
+        r"(?:<html[\s>]|%3Chtml|\bdom=)",
+    ),
+    _pattern(
+        SentItem.USER_AGENT,
+        ("user_agent", "useragent", "ua=", "Mozilla/"),
+        _kv(r"user_?agent|ua", r"Mozilla|\w") ,
+    ),
+)
+
+# Cookie-bearing keys inside payloads (distinct from the Cookie header):
+# visitor/session identifiers minted from the tracker's own cookie.
+COOKIE_PAYLOAD_PATTERN = _pattern(
+    SentItem.COOKIE,
+    ("cookie", "sid", "vid=", "visitor", "auth"),
+    _kv(r"(?:visitor_)?cookie|sid|vid|visitor_?id|auth", r"[0-9a-f]{12,}"),
+)
+
+
+def scan_sent_text(text: str) -> set[SentItem]:
+    """All items detectable in one piece of sent wire text."""
+    found: set[SentItem] = set()
+    for pattern in SENT_PATTERNS:
+        if pattern.search(text):
+            found.add(pattern.item)
+    if COOKIE_PAYLOAD_PATTERN.search(text):
+        found.add(SentItem.COOKIE)
+    return found
+
+
+_IMAGE_MAGIC = ("\x89PNG", "GIF8", "\xff\xd8\xff", "data:image/")
+
+
+def looks_like_image(payload: str) -> bool:
+    """Whether a payload carries image data (magic bytes or data URI)."""
+    return any(payload.startswith(m) or m in payload[:64] for m in _IMAGE_MAGIC)

@@ -1,0 +1,67 @@
+"""Sent-data analysis: items per socket and per HTTP request."""
+
+from __future__ import annotations
+
+from repro.content.items import FINGERPRINT_ITEMS, SentItem
+from repro.content.regexlib import scan_sent_text
+from repro.inclusion.node import WebSocketRecord
+from repro.net.websocket import OpCode
+
+
+class SentDataAnalyzer:
+    """Classifies outgoing data against the Table 5 item taxonomy.
+
+    One socket (or HTTP request) yields the *set* of items observed —
+    Table 5 counts sockets/requests per item, so presence is what
+    matters, not multiplicity.
+    """
+
+    def analyze_socket(self, record: WebSocketRecord) -> set[SentItem]:
+        """Items sent over one WebSocket (handshake + data frames).
+
+        The User-Agent and Cookie handshake headers count as sent data
+        (they reach the receiving server), which is how the paper's
+        100% User-Agent figure arises.
+        """
+        items: set[SentItem] = set()
+        headers = record.handshake_headers
+        for name, value in headers.items():
+            lowered = name.lower()
+            if lowered == "user-agent" and value:
+                items.add(SentItem.USER_AGENT)
+            elif lowered == "cookie" and value:
+                items.add(SentItem.COOKIE)
+        for frame in record.sent_frames:
+            if frame.opcode == int(OpCode.BINARY):
+                items.add(SentItem.BINARY)
+                continue
+            items |= scan_sent_text(frame.payload)
+        return items
+
+    def socket_sent_nothing(self, record: WebSocketRecord) -> bool:
+        """Whether the socket carried no client data frames at all."""
+        return not record.sent_frames
+
+    def is_fingerprinting(self, items: set[SentItem]) -> bool:
+        """§4.3's fingerprinting criterion: ≥3 fingerprint-class items."""
+        return len(items & FINGERPRINT_ITEMS) >= 3
+
+    def analyze_http(
+        self,
+        url_query: str,
+        headers: dict[str, str],
+        post_data: str = "",
+    ) -> set[SentItem]:
+        """Items sent on one HTTP request (query + headers + body)."""
+        items: set[SentItem] = set()
+        for name, value in headers.items():
+            lowered = name.lower()
+            if lowered == "user-agent" and value:
+                items.add(SentItem.USER_AGENT)
+            elif lowered == "cookie" and value:
+                items.add(SentItem.COOKIE)
+        if url_query:
+            items |= scan_sent_text(url_query)
+        if post_data:
+            items |= scan_sent_text(post_data)
+        return items

@@ -1,0 +1,30 @@
+"""The measurement crawler (§3.3).
+
+Drives the browser over the seed list the way the paper's crawler drove
+stock Chrome: homepage first, then up to 14 randomly chosen same-site
+links, with a realistic User-Agent, scrolling, and ~60 simulated
+seconds between page visits. Every page visit yields a
+:class:`~repro.crawler.observation.PageObservation`, which streams into
+the :class:`~repro.crawler.dataset.StudyDataset`.
+"""
+
+from repro.crawler.crawler import CrawlConfig, Crawler, CrawlRunSummary
+from repro.crawler.dataset import SocketRecord, StudyDataset
+from repro.crawler.observation import (
+    PageObservation,
+    ResourceObservation,
+    SocketObservation,
+    observe_page,
+)
+
+__all__ = [
+    "Crawler",
+    "CrawlConfig",
+    "CrawlRunSummary",
+    "StudyDataset",
+    "SocketRecord",
+    "PageObservation",
+    "SocketObservation",
+    "ResourceObservation",
+    "observe_page",
+]

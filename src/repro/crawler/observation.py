@@ -1,0 +1,206 @@
+"""Page observations: the compact measurement record of one page visit.
+
+An observation is derived purely from the inclusion tree (itself built
+from the CDP event stream) plus seed-list metadata. Payload analysis
+happens here, at observation time, so raw frame text never needs to be
+retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.content.ads import AdUnit, extract_ad_units
+from repro.content.items import ReceivedClass, SentItem
+from repro.content.received import classify_socket_received
+from repro.content.sent import SentDataAnalyzer
+from repro.inclusion.builder import PageTree
+from repro.inclusion.chains import chain_to
+from repro.inclusion.node import InclusionNode, NodeKind
+from repro.net.domains import registrable_domain
+from repro.net.http import ResourceType
+from repro.util.urls import parse_url
+
+_ANALYZER = SentDataAnalyzer()
+
+
+def _strip_query(url: str) -> str:
+    return url.split("?", 1)[0]
+
+
+@dataclass(frozen=True)
+class ResourceObservation:
+    """One HTTP resource fetched during the visit."""
+
+    url: str
+    host: str
+    resource_type: ResourceType
+    mime_type: str
+    has_cookie: bool
+    sent_items: frozenset[SentItem]
+    chain_hosts: tuple[str, ...]
+    chain_script_urls: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SocketObservation:
+    """One WebSocket connection observed during the visit.
+
+    Attributes:
+        url: Socket endpoint.
+        host: Endpoint host.
+        initiator_host: Host of the direct parent resource — the
+            JavaScript (or document, for inline scripts) that called
+            ``new WebSocket``.
+        initiator_url: Direct parent's URL.
+        chain_hosts: Hosts along the inclusion chain, root first,
+            socket host last.
+        chain_script_urls: Query-stripped URLs of the script nodes in
+            the chain (for the §4.2 post-hoc blocking analysis).
+        first_party_host: The page's host.
+        cross_origin: Whether the endpoint is third-party w.r.t. the
+            page (registrable-domain comparison).
+        handshake_cookie: Cookie header present on the upgrade.
+        sent_items: Table 5 items detected in sent data.
+        received_classes: Table 5 classes detected in received data.
+        sent_nothing: No client data frames at all.
+        received_nothing: No server data frames at all.
+        frames_sent: Count of client data frames.
+        frames_received: Count of server data frames.
+        ad_units: Advertisements delivered over the socket (§4.3).
+    """
+
+    url: str
+    host: str
+    initiator_host: str
+    initiator_url: str
+    chain_hosts: tuple[str, ...]
+    chain_script_urls: tuple[str, ...]
+    first_party_host: str
+    cross_origin: bool
+    handshake_cookie: bool
+    sent_items: frozenset[SentItem]
+    received_classes: frozenset[ReceivedClass]
+    sent_nothing: bool
+    received_nothing: bool
+    frames_sent: int
+    frames_received: int
+    ad_units: tuple[AdUnit, ...] = ()
+
+
+@dataclass
+class PageObservation:
+    """Everything measured on one page visit."""
+
+    site_domain: str
+    rank: int
+    category: str
+    crawl: int
+    page_url: str
+    sockets: list[SocketObservation] = field(default_factory=list)
+    resources: list[ResourceObservation] = field(default_factory=list)
+    orphan_count: int = 0
+
+
+def _chain_parts(node: InclusionNode) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(hosts, script URLs) along the chain to ``node``, root first."""
+    hosts: list[str] = []
+    scripts: list[str] = []
+    for member in chain_to(node):
+        if not member.url:
+            continue
+        try:
+            host = parse_url(member.url).host
+        except Exception:
+            continue
+        hosts.append(host)
+        if (
+            member.resource_type == ResourceType.SCRIPT
+            and member.kind == NodeKind.RESOURCE
+        ):
+            scripts.append(_strip_query(member.url))
+    return tuple(hosts), tuple(scripts)
+
+
+def observe_page(
+    tree: PageTree, site_domain: str, rank: int, category: str, crawl: int
+) -> PageObservation:
+    """Reduce an inclusion tree to its measurement record."""
+    page_url = tree.root.url
+    first_party_host = parse_url(page_url).host
+    first_party_domain = registrable_domain(first_party_host)
+    observation = PageObservation(
+        site_domain=site_domain,
+        rank=rank,
+        category=category,
+        crawl=crawl,
+        page_url=page_url,
+        orphan_count=tree.orphan_count,
+    )
+    for node in tree.all_nodes():
+        if node.kind == NodeKind.WEBSOCKET:
+            observation.sockets.append(
+                _observe_socket(node, first_party_host, first_party_domain)
+            )
+        elif node is tree.root or not node.url:
+            continue
+        else:
+            # Plain resources and sub-frame documents alike are HTTP
+            # fetches the paper's HTTP/S statistics count.
+            observation.resources.append(_observe_resource(node))
+    return observation
+
+
+def _observe_socket(
+    node: InclusionNode, first_party_host: str, first_party_domain: str
+) -> SocketObservation:
+    record = node.websocket
+    host = parse_url(node.url).host
+    parent = node.parent
+    initiator_url = parent.url if parent is not None else ""
+    initiator_host = (
+        parse_url(initiator_url).host if initiator_url else first_party_host
+    )
+    hosts, scripts = _chain_parts(node)
+    sent_items = _ANALYZER.analyze_socket(record)
+    received_classes = classify_socket_received(record.frames)
+    return SocketObservation(
+        url=node.url,
+        host=host,
+        initiator_host=initiator_host,
+        initiator_url=initiator_url,
+        chain_hosts=hosts,
+        chain_script_urls=scripts,
+        first_party_host=first_party_host,
+        cross_origin=registrable_domain(host) != first_party_domain,
+        handshake_cookie=bool(
+            record.handshake_headers.get("Cookie")
+            or record.handshake_headers.get("cookie")
+        ),
+        sent_items=frozenset(sent_items),
+        received_classes=frozenset(received_classes),
+        sent_nothing=not record.sent_frames,
+        received_nothing=not record.received_frames,
+        frames_sent=len(record.sent_frames),
+        frames_received=len(record.received_frames),
+        ad_units=tuple(extract_ad_units(record.frames)),
+    )
+
+
+def _observe_resource(node: InclusionNode) -> ResourceObservation:
+    hosts, scripts = _chain_parts(node)
+    query = parse_url(node.url).query
+    return ResourceObservation(
+        url=node.url,
+        host=parse_url(node.url).host,
+        resource_type=node.resource_type,
+        mime_type=node.mime_type,
+        has_cookie=bool(
+            node.request_headers.get("Cookie") or node.request_headers.get("cookie")
+        ),
+        sent_items=frozenset(
+            _ANALYZER.analyze_http(query, node.request_headers, node.post_data)
+        ),
+        chain_hosts=hosts,
+        chain_script_urls=scripts,
+    )

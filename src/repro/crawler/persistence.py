@@ -1,0 +1,89 @@
+"""Archiving socket records — the study's primary artifact.
+
+The original study archived raw crawl output; the compact equivalent
+here is the socket-record table (every Table 1–5 computation and
+Figure 3 can be re-derived from it plus the aggregate counters). These
+helpers write and read it as JSONL, so results can be shared, diffed,
+and re-analyzed without re-crawling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.content.ads import AdUnit
+from repro.content.items import ReceivedClass, SentItem
+from repro.crawler.dataset import SocketRecord
+from repro.util.serialization import read_jsonl, write_jsonl
+
+
+def socket_record_to_json(record: SocketRecord) -> dict:
+    """Encode one socket record as a JSON-able dict."""
+    return {
+        "crawl": record.crawl,
+        "site": record.site_domain,
+        "rank": record.rank,
+        "page": record.page_url,
+        "socket_host": record.socket_host,
+        "initiator_host": record.initiator_host,
+        "initiator_url": record.initiator_url,
+        "chain_hosts": list(record.chain_hosts),
+        "chain_script_urls": list(record.chain_script_urls),
+        "first_party_host": record.first_party_host,
+        "cross_origin": record.cross_origin,
+        "handshake_cookie": record.handshake_cookie,
+        "sent_items": sorted(item.value for item in record.sent_items),
+        "received_classes": sorted(
+            cls.value for cls in record.received_classes
+        ),
+        "sent_nothing": record.sent_nothing,
+        "received_nothing": record.received_nothing,
+        "ad_units": [
+            {"image_url": u.image_url, "caption": u.caption,
+             "width": u.width, "height": u.height,
+             "click_url": u.click_url}
+            for u in record.ad_units
+        ],
+    }
+
+
+def socket_record_from_json(payload: dict) -> SocketRecord:
+    """Decode one socket record."""
+    return SocketRecord(
+        crawl=payload["crawl"],
+        site_domain=payload["site"],
+        rank=payload["rank"],
+        page_url=payload["page"],
+        socket_host=payload["socket_host"],
+        initiator_host=payload["initiator_host"],
+        initiator_url=payload["initiator_url"],
+        chain_hosts=tuple(payload["chain_hosts"]),
+        chain_script_urls=tuple(payload["chain_script_urls"]),
+        first_party_host=payload["first_party_host"],
+        cross_origin=payload["cross_origin"],
+        handshake_cookie=payload["handshake_cookie"],
+        sent_items=frozenset(
+            SentItem(value) for value in payload["sent_items"]
+        ),
+        received_classes=frozenset(
+            ReceivedClass(value) for value in payload["received_classes"]
+        ),
+        sent_nothing=payload["sent_nothing"],
+        received_nothing=payload["received_nothing"],
+        ad_units=tuple(
+            AdUnit(**unit) for unit in payload.get("ad_units", ())
+        ),
+    )
+
+
+def save_socket_records(
+    path: str | Path, records: Iterable[SocketRecord]
+) -> int:
+    """Write socket records to JSONL (``.gz`` supported); returns count."""
+    return write_jsonl(path, (socket_record_to_json(r) for r in records))
+
+
+def load_socket_records(path: str | Path) -> list[SocketRecord]:
+    """Read socket records back from JSONL."""
+    return list(read_jsonl(path, decoder=socket_record_from_json))

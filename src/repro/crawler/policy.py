@@ -1,0 +1,59 @@
+"""The paper's page-visit policy (§3.3).
+
+For every site: visit the homepage, extract the same-site links L, and
+randomly visit up to 14 of them (15 pages total). If |L| < 14 the
+crawler tries links discovered on visited pages until the budget is
+met or links run out. Between visits the crawler scrolls to the bottom
+and waits ~60 seconds — simulated time here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import RngStream
+from repro.util.urls import parse_url, same_host
+
+
+@dataclass(frozen=True)
+class VisitPolicy:
+    """Visit-selection parameters.
+
+    Attributes:
+        pages_per_site: Total page budget per site (homepage included).
+        wait_seconds: Simulated dwell between page visits.
+    """
+
+    pages_per_site: int = 15
+    wait_seconds: float = 60.0
+
+    def select_links(
+        self, homepage_url: str, links: list[str], rng: RngStream
+    ) -> list[str]:
+        """Choose which same-site links to visit after the homepage."""
+        same_site = [
+            link for link in links
+            if _is_same_site(link, homepage_url)
+        ]
+        budget = max(0, self.pages_per_site - 1)
+        return rng.sample(same_site, budget)
+
+
+def _is_same_site(link: str, homepage_url: str) -> bool:
+    try:
+        return same_host(link, homepage_url)
+    except Exception:
+        return False
+
+
+def page_index_for_link(link: str) -> int:
+    """Recover the generator page index from an internal link URL.
+
+    The synthetic web exposes ``/article/{i}`` paths; unknown paths map
+    to a stable small index so the crawler still gets a page.
+    """
+    path = parse_url(link).path
+    tail = path.rstrip("/").rsplit("/", 1)[-1]
+    if tail.isdigit():
+        return int(tail)
+    return 1

@@ -1,0 +1,19 @@
+"""The four-crawl study harness and paper-expected values."""
+
+from repro.experiments.runner import (
+    StudyConfig,
+    StudyResult,
+    run_study,
+    DEFAULT_CONFIG,
+    TINY_CONFIG,
+    FULL_CONFIG,
+)
+
+__all__ = [
+    "StudyConfig",
+    "StudyResult",
+    "run_study",
+    "DEFAULT_CONFIG",
+    "TINY_CONFIG",
+    "FULL_CONFIG",
+]

@@ -1,0 +1,182 @@
+"""Paper-vs-measured comparison rendering for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from repro.analysis.blocking import BlockingStats
+from repro.analysis.figure3 import Figure3Series
+from repro.analysis.stats import OverallStats
+from repro.analysis.table1 import Table1Row
+from repro.analysis.table2 import Table2Row
+from repro.analysis.table3 import Table3Row
+from repro.analysis.table4 import Table4
+from repro.analysis.table5 import Table5
+from repro.content.items import RECEIVED_CLASSES, SENT_ITEMS
+from repro.experiments import expected
+
+
+def _md_table(header: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def compare_table1(rows: list[Table1Row]) -> str:
+    """Table 1 comparison block."""
+    body = []
+    for paper, measured in zip(expected.PAPER_TABLE1, rows):
+        body.append([
+            paper.label,
+            f"{paper.pct_sites_with_sockets:.1f} / "
+            f"{measured.pct_sites_with_sockets:.1f}",
+            f"{paper.pct_sockets_aa_initiators:.1f} / "
+            f"{measured.pct_sockets_aa_initiators:.1f}",
+            f"{paper.unique_aa_initiators} / "
+            f"{measured.unique_aa_initiators}",
+            f"{paper.pct_sockets_aa_receivers:.1f} / "
+            f"{measured.pct_sockets_aa_receivers:.1f}",
+            f"{paper.unique_aa_receivers} / "
+            f"{measured.unique_aa_receivers}",
+        ])
+    return _md_table(
+        ["Crawl", "% sites w/ sockets", "% A&A-initiated",
+         "# A&A initiators", "% A&A-received", "# A&A receivers"],
+        body,
+    )
+
+
+def compare_table2(rows: list[Table2Row]) -> str:
+    by_name = {r.initiator: r for r in rows}
+    body = []
+    for name, (total, aa, sockets) in expected.PAPER_TABLE2.items():
+        measured = by_name.get(name)
+        body.append([
+            name,
+            f"{total} / {measured.receivers_total if measured else '—'}",
+            f"{aa} / {measured.receivers_aa if measured else '—'}",
+            f"{sockets} / {measured.socket_count if measured else '—'}",
+        ])
+    return _md_table(
+        ["Initiator", "# receivers (paper/ours)", "# A&A (paper/ours)",
+         "sockets (paper/ours)"],
+        body,
+    )
+
+
+def compare_table3(rows: list[Table3Row]) -> str:
+    """Table 3 comparison; pass deep rows (top=100) to avoid '—' gaps."""
+    by_name = {r.receiver: r for r in rows}
+    body = []
+    for name, (total, aa, sockets) in expected.PAPER_TABLE3.items():
+        measured = by_name.get(name)
+        body.append([
+            name,
+            f"{total} / {measured.initiators_total if measured else '—'}",
+            f"{aa} / {measured.initiators_aa if measured else '—'}",
+            f"{sockets} / {measured.socket_count if measured else '—'}",
+        ])
+    return _md_table(
+        ["Receiver", "# initiators (paper/ours)", "# A&A (paper/ours)",
+         "sockets (paper/ours)"],
+        body,
+    )
+
+
+def compare_table4(table: Table4) -> str:
+    counts = {(r.initiator, r.receiver): r.socket_count for r in table.rows}
+    body = []
+    for pair, paper_count in expected.PAPER_TABLE4.items():
+        measured = counts.get(pair, "—")
+        body.append([f"{pair[0]} → {pair[1]}", str(paper_count),
+                     str(measured)])
+    body.append(["A&A domain to itself",
+                 f"{expected.PAPER_TABLE4_SELF_PAIR:,}",
+                 f"{table.self_pair_sockets:,}"])
+    return _md_table(["Pair", "paper sockets", "measured"], body)
+
+
+def compare_table5(table: Table5) -> str:
+    body = []
+    for item in SENT_ITEMS:
+        paper_ws = expected.PAPER_TABLE5_SENT_WS.get(item.value, 0.0)
+        paper_http = expected.PAPER_TABLE5_SENT_HTTP.get(item.value, 0.0)
+        body.append([
+            item.value,
+            f"{paper_ws:.2f} / {table.sent_ws[item].percent:.2f}",
+            f"{paper_http:.2f} / {table.sent_http[item].percent:.2f}",
+        ])
+    body.append([
+        "No data (sent)",
+        f"{expected.PAPER_TABLE5_SENT_WS_NO_DATA:.2f} / "
+        f"{table.ws_sent_nothing.percent:.2f}",
+        "— / —",
+    ])
+    for cls in RECEIVED_CLASSES:
+        paper_ws = expected.PAPER_TABLE5_RECEIVED_WS.get(cls.value, 0.0)
+        paper_http = expected.PAPER_TABLE5_RECEIVED_HTTP.get(cls.value, 0.0)
+        body.append([
+            f"recv {cls.value}",
+            f"{paper_ws:.2f} / {table.received_ws[cls].percent:.2f}",
+            f"{paper_http:.2f} / {table.received_http[cls].percent:.2f}",
+        ])
+    body.append([
+        "No data (received)",
+        f"{expected.PAPER_TABLE5_RECEIVED_WS_NO_DATA:.2f} / "
+        f"{table.ws_received_nothing.percent:.2f}",
+        "— / —",
+    ])
+    return _md_table(
+        ["Item", "WS % (paper/ours)", "HTTP % (paper/ours)"], body
+    )
+
+
+def compare_overall(
+    overall: OverallStats,
+    blocking: BlockingStats,
+    figure3: Figure3Series,
+    table5: Table5,
+) -> str:
+    paper = expected.PAPER_OVERALL
+    fp_pct = (100.0 * table5.fingerprinting_sockets / table5.ws_total
+              if table5.ws_total else 0.0)
+    body = [
+        ["cross-origin sockets", f">{paper['pct_cross_origin']:.0f}%",
+         f"{overall.pct_cross_origin:.1f}%"],
+        ["unique A&A initiators", str(paper["unique_aa_initiators"]),
+         str(overall.unique_aa_initiators)],
+        ["unique A&A receivers", str(paper["unique_aa_receivers"]),
+         str(overall.unique_aa_receivers)],
+        ["initiators disappeared (first→last)",
+         str(paper["disappeared_initiators"]),
+         str(overall.disappeared_initiators)],
+        ["unique third-party receivers",
+         str(paper["unique_third_party_receivers"]),
+         f"{overall.unique_third_party_receivers} (scales with crawl size)"],
+        ["avg sockets per socket site",
+         f"{paper['sockets_per_site_low']}–{paper['sockets_per_site_high']}",
+         f"{overall.avg_sockets_per_socket_site:.1f}"],
+        ["A&A receivers with ≥10 initiators",
+         f">{paper['pct_aa_receivers_ge_10_initiators']:.0f}%",
+         f"{overall.pct_aa_receivers_ge_10_initiators:.0f}%"],
+        ["socket chains blocked by lists",
+         f"~{paper['pct_socket_chains_blocked']:.0f}%",
+         f"{blocking.pct_socket_chains_blocked:.1f}%"],
+        ["all A&A chains blocked",
+         f"~{paper['pct_aa_chains_blocked']:.0f}%",
+         f"{blocking.pct_aa_chains_blocked:.1f}%"],
+        ["fingerprinting sockets",
+         f"~{paper['pct_fingerprinting_sockets']:.1f}%",
+         f"{fp_pct:.1f}%"],
+        ["top fingerprint receiver share",
+         f"{paper['fingerprinting_top_receiver_share']:.0f}% (33across)",
+         f"{table5.fingerprinting_top_receiver_share:.0f}% "
+         f"({table5.fingerprinting_top_receiver})"],
+        ["Figure 3 overall A&A/non-A&A ratio",
+         f"~{paper['figure3_overall_ratio']:.0f}x",
+         f"{figure3.overall_ratio:.1f}x"],
+        ["Figure 3 top-10K ratio",
+         f"~{paper['figure3_top10k_ratio']:.1f}x",
+         f"{figure3.top10k_ratio:.1f}x"],
+    ]
+    return _md_table(["Statistic", "paper", "measured"], body)

@@ -1,0 +1,163 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+These values are NEVER consumed by the measurement pipeline — they
+exist so reports, benches, and EXPERIMENTS.md can print
+paper-vs-measured columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """One row of the paper's Table 1."""
+
+    label: str
+    pct_sites_with_sockets: float
+    pct_sockets_aa_initiators: float
+    unique_aa_initiators: int
+    pct_sockets_aa_receivers: float
+    unique_aa_receivers: int
+
+
+PAPER_TABLE1: tuple[PaperTable1Row, ...] = (
+    PaperTable1Row("Apr 02-05, 2017", 2.1, 60.6, 75, 73.7, 16),
+    PaperTable1Row("Apr 11-16, 2017", 2.4, 61.3, 63, 74.6, 18),
+    PaperTable1Row("May 07-12, 2017", 1.6, 60.2, 19, 69.7, 15),
+    PaperTable1Row("Oct 12-16, 2017", 2.5, 63.4, 23, 63.7, 18),
+)
+
+# Table 2: initiator -> (total receivers, A&A receivers, socket count).
+PAPER_TABLE2: dict[str, tuple[int, int, int]] = {
+    "facebook": (35, 11, 441),
+    "espncdn": (35, 0, 92),
+    "h-cdn": (30, 0, 39),
+    "doubleclick": (29, 9, 250),
+    "slither": (25, 0, 33),
+    "inspectlet": (25, 6, 820),
+    "google": (23, 11, 381),
+    "pusher": (22, 8, 634),
+    "youtube": (18, 8, 129),
+    "hotjar": (17, 11, 2249),
+    "cloudflare": (15, 1, 873),
+    "addthis": (14, 8, 101),
+    "googlesyndication": (10, 6, 71),
+    "adnxs": (8, 3, 31),
+    "googleapis": (7, 0, 157),
+}
+
+# Table 3: receiver -> (total initiators, A&A initiators, socket count).
+PAPER_TABLE3: dict[str, tuple[int, int, int]] = {
+    "intercom": (156, 16, 5531),
+    "33across": (57, 19, 1375),
+    "zopim": (44, 12, 19656),
+    "realtime": (41, 27, 1548),
+    "smartsupp": (26, 4, 670),
+    "feedjit": (25, 10, 3013),
+    "inspectlet": (25, 6, 820),
+    "pusher": (22, 8, 634),
+    "disqus": (17, 13, 4798),
+    "hotjar": (13, 7, 2407),
+    "freshrelevance": (10, 2, 403),
+    "lockerdome": (10, 8, 408),
+    "velaro": (4, 3, 62),
+    "truconversion": (3, 2, 298),
+    "simpleheatmaps": (1, 0, 93),
+}
+
+# Table 4: (initiator, receiver) -> socket count; plus the self row.
+PAPER_TABLE4: dict[tuple[str, str], int] = {
+    ("webspectator", "realtime"): 1285,
+    ("google", "zopim"): 172,
+    ("blogger", "feedjit"): 158,
+    ("hotjar", "intercom"): 144,
+    ("clickdesk", "pusher"): 125,
+    ("cdn77", "smartsupp"): 122,
+    ("acenterforrecovery", "intercom"): 114,
+    ("facebook", "zopim"): 112,
+    ("vatit", "intercom"): 110,
+    ("plymouthart", "intercom"): 108,
+    ("welchllp", "intercom"): 105,
+    ("biozone", "intercom"): 101,
+    ("getambassador", "pusher"): 101,
+    ("rubymonk", "intercom"): 98,
+    ("googleapis", "sportingindex"): 96,
+}
+PAPER_TABLE4_SELF_PAIR = 36_056
+
+# Table 5, WebSocket side: item -> percent of A&A sockets.
+PAPER_TABLE5_SENT_WS: dict[str, float] = {
+    "User Agent": 100.0,
+    "Cookie": 69.90,
+    "IP": 6.62,
+    "User ID": 4.30,
+    "Device": 3.61,
+    "Screen": 3.59,
+    "Browser": 3.40,
+    "Viewport": 3.40,
+    "Scroll Position": 3.40,
+    "Orientation": 3.40,
+    "First Seen": 3.40,
+    "Resolution": 3.40,
+    "Language": 1.79,
+    "DOM": 1.63,
+    "Binary": 0.98,
+}
+PAPER_TABLE5_SENT_WS_NO_DATA = 17.84
+
+PAPER_TABLE5_SENT_HTTP: dict[str, float] = {
+    "User Agent": 100.0,
+    "Cookie": 22.77,
+    "IP": 0.90,
+    "User ID": 1.12,
+    "Device": 0.18,
+    "Screen": 0.10,
+    "Browser": 0.09,
+    "Viewport": 0.34,
+    "Scroll Position": 0.00,
+    "Orientation": 0.00,
+    "First Seen": 0.01,
+    "Resolution": 0.13,
+    "Language": 0.92,
+    "DOM": 0.01,
+    "Binary": 0.01,
+}
+
+PAPER_TABLE5_RECEIVED_WS: dict[str, float] = {
+    "HTML": 47.16,
+    "JSON": 12.81,
+    "JavaScript": 0.88,
+    "Image": 0.31,
+    "Binary": 0.25,
+}
+PAPER_TABLE5_RECEIVED_WS_NO_DATA = 21.33
+
+PAPER_TABLE5_RECEIVED_HTTP: dict[str, float] = {
+    "HTML": 11.61,
+    "JSON": 1.63,
+    "JavaScript": 27.04,
+    "Image": 21.34,
+    "Binary": 0.50,
+}
+
+# §4.1 / §4.2 / §4.3 prose statistics.
+PAPER_OVERALL = {
+    "pct_sites_with_sockets": 2.0,          # "only ~2% of the websites"
+    "sockets_per_site_low": 6, "sockets_per_site_high": 12,
+    "pct_cross_origin": 90.0,               # ">90% contact a third-party"
+    "unique_third_party_receivers": 382,
+    "unique_aa_receivers": 20,
+    "unique_aa_initiators": 94,
+    "disappeared_initiators": 56,
+    "pct_aa_receivers_ge_10_initiators": 47.0,
+    "pct_socket_chains_blocked": 5.0,
+    "pct_aa_chains_blocked": 27.0,
+    "pct_fingerprinting_sockets": 3.4,
+    "fingerprinting_pairs": 60,
+    "fingerprinting_top_receiver_share": 97.0,
+    "pct_dom_exfiltration_sockets": 1.6,
+    "figure3_overall_ratio": 2.0,
+    "figure3_top10k_ratio": 4.5,
+}

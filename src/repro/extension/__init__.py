@@ -1,0 +1,26 @@
+"""Extension host: the ``chrome.webRequest`` API and an ad blocker.
+
+This package models the mechanism at the heart of the paper: blocking
+extensions interpose on network requests through
+``chrome.webRequest.onBeforeRequest`` — and, before Chrome 58, that
+callback was simply never fired for WebSocket connections (the
+*webRequest bug*, Chromium issue 129353).
+"""
+
+from repro.extension.webrequest import (
+    BlockingResponse,
+    RequestFilter,
+    WebRequestApi,
+    WEBREQUEST_BUG_FIX_VERSION,
+)
+from repro.extension.adblocker import AdBlockerExtension
+from repro.extension.workaround import WebSocketWrapperWorkaround
+
+__all__ = [
+    "WebRequestApi",
+    "RequestFilter",
+    "BlockingResponse",
+    "WEBREQUEST_BUG_FIX_VERSION",
+    "AdBlockerExtension",
+    "WebSocketWrapperWorkaround",
+]

@@ -1,0 +1,146 @@
+"""``chrome.webRequest`` simulation, webRequest bug included.
+
+Faithful to the mechanics the paper documents:
+
+* Listeners register for ``onBeforeRequest`` with URL-pattern filters
+  and optional resource-type filters, and may cancel requests.
+* **The webRequest bug (WRB):** in Chrome versions before 58, WebSocket
+  requests never reach ``onBeforeRequest`` at all — listeners are not
+  consulted, so blocking extensions cannot see ``ws://``/``wss://``
+  connections (Chromium issue 129353, patched 2017-04-19 in 58).
+* **The Franken et al. pitfall (§5):** even on patched Chrome, a
+  listener whose URL patterns are ``http://*`` / ``https://*`` (instead
+  of ``ws://*`` / ``wss://*``) still fails to intercept WebSockets,
+  because pattern matching is scheme-sensitive.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.http import HttpRequest, ResourceType
+
+# Chrome major version that shipped the WRB patch.
+WEBREQUEST_BUG_FIX_VERSION = 58
+
+
+@dataclass(frozen=True)
+class BlockingResponse:
+    """A listener's verdict, per the extension API."""
+
+    cancel: bool = False
+
+
+@dataclass(frozen=True)
+class RequestFilter:
+    """The ``filter`` argument of ``onBeforeRequest.addListener``.
+
+    Attributes:
+        url_patterns: Chrome match patterns (``scheme://host/path``
+            with ``*`` wildcards). ``<all_urls>`` matches everything.
+        resource_types: Types the listener wants; empty = all.
+    """
+
+    url_patterns: tuple[str, ...] = ("<all_urls>",)
+    resource_types: tuple[ResourceType, ...] = ()
+
+    def matches(self, request: HttpRequest) -> bool:
+        """Whether the listener should see this request."""
+        if self.resource_types and request.resource_type not in self.resource_types:
+            return False
+        for pattern in self.url_patterns:
+            if pattern == "<all_urls>":
+                return True
+            if _match_pattern(pattern, request.url):
+                return True
+        return False
+
+
+def _match_pattern(pattern: str, url: str) -> bool:
+    """Chrome match-pattern semantics, approximated with fnmatch.
+
+    ``http://*`` is treated (as Chrome does) as scheme ``http`` with
+    any host and any path, so it does NOT match ``ws://`` URLs — the
+    exact mistake Franken et al. found in blocking extensions.
+    """
+    scheme, sep, rest = pattern.partition("://")
+    if not sep:
+        return fnmatch.fnmatch(url, pattern)
+    url_scheme, _, url_rest = url.partition("://")
+    if scheme != "*" and url_scheme != scheme:
+        return False
+    if not rest or rest == "*":
+        return True
+    return fnmatch.fnmatch(url_rest, rest if "/" in rest else rest + "/*")
+
+
+Listener = Callable[[HttpRequest], BlockingResponse | None]
+
+
+@dataclass
+class _Registration:
+    listener: Listener
+    request_filter: RequestFilter
+    blocking: bool
+
+
+class WebRequestApi:
+    """The per-browser extension attachment point.
+
+    Attributes:
+        chrome_major: Browser version; controls the WRB.
+    """
+
+    def __init__(self, chrome_major: int) -> None:
+        self.chrome_major = chrome_major
+        self._on_before_request: list[_Registration] = []
+        self.dispatched = 0
+        self.suppressed_by_wrb = 0
+
+    @property
+    def has_webrequest_bug(self) -> bool:
+        """Whether this browser version suffers the WRB."""
+        return self.chrome_major < WEBREQUEST_BUG_FIX_VERSION
+
+    def add_on_before_request(
+        self,
+        listener: Listener,
+        request_filter: RequestFilter | None = None,
+        blocking: bool = True,
+    ) -> None:
+        """Register an ``onBeforeRequest`` listener."""
+        self._on_before_request.append(
+            _Registration(
+                listener=listener,
+                request_filter=request_filter or RequestFilter(),
+                blocking=blocking,
+            )
+        )
+
+    def dispatch_on_before_request(self, request: HttpRequest) -> bool:
+        """Run listeners for a request; returns True when it may proceed.
+
+        WebSocket requests bypass every listener on pre-58 versions:
+        that is the webRequest bug.
+        """
+        if (
+            request.resource_type == ResourceType.WEBSOCKET
+            and self.has_webrequest_bug
+        ):
+            self.suppressed_by_wrb += 1
+            return True
+        self.dispatched += 1
+        for registration in self._on_before_request:
+            if not registration.request_filter.matches(request):
+                continue
+            response = registration.listener(request)
+            if registration.blocking and response and response.cancel:
+                return False
+        return True
+
+    @property
+    def listener_count(self) -> int:
+        """Number of registered ``onBeforeRequest`` listeners."""
+        return len(self._on_before_request)

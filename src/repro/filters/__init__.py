@@ -1,0 +1,30 @@
+"""Adblock-Plus-compatible filter list engine.
+
+Implements the network-blocking subset of the ABP filter syntax that
+EasyList and EasyPrivacy rely on: ``||`` / ``|`` anchors, ``*``
+wildcards, ``^`` separators, ``@@`` exception rules, and the
+``$script/$image/$websocket/$third-party/$domain=`` option vocabulary.
+Element-hiding rules are recognized and skipped (they do not affect
+network measurements).
+
+The engine serves two distinct roles from the paper:
+
+* tagging resources as A&A vs non-A&A to derive the A&A domain set
+  (§3.2), and
+* the post-hoc "would this chain have been blocked?" analysis (§4.2).
+"""
+
+from repro.filters.engine import FilterEngine, MatchResult
+from repro.filters.parser import FilterParseError, parse_filter_line, parse_filter_list
+from repro.filters.rules import FilterList, FilterRule, RuleOptions
+
+__all__ = [
+    "FilterEngine",
+    "MatchResult",
+    "FilterParseError",
+    "parse_filter_line",
+    "parse_filter_list",
+    "FilterRule",
+    "FilterList",
+    "RuleOptions",
+]

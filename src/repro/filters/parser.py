@@ -1,0 +1,150 @@
+"""Parser for Adblock-Plus filter list text.
+
+Handles the network-rule subset of the syntax plus enough of the rest
+(comments, headers, element-hiding) to consume real list files without
+choking. Unsupported options mark a rule as skipped rather than silently
+misinterpreting it — the same conservative stance real blockers take.
+"""
+
+from __future__ import annotations
+
+from repro.filters.rules import (
+    ALL_TYPES,
+    DEFAULT_TYPES,
+    TYPE_OPTION_NAMES,
+    FilterList,
+    FilterRule,
+    RuleOptions,
+)
+from repro.net.domains import registrable_domain
+from repro.net.http import ResourceType
+
+
+class FilterParseError(ValueError):
+    """Raised for syntactically invalid filter rules in strict mode."""
+
+
+# Options we recognize but that do not constrain our simulated requests.
+_IGNORABLE_OPTIONS = frozenset(
+    {"popup", "genericblock", "generichide", "elemhide", "object", "object-subrequest"}
+)
+
+_HIDING_MARKERS = ("##", "#@#", "#?#", "#$#")
+
+
+def _parse_options(option_text: str) -> RuleOptions | None:
+    """Parse the ``$opt1,opt2=...`` suffix; ``None`` = unsupported rule."""
+    include_types: set[ResourceType] = set()
+    exclude_types: set[ResourceType] = set()
+    third_party: bool | None = None
+    include_domains: list[str] = []
+    exclude_domains: list[str] = []
+    match_case = False
+    for raw_option in option_text.split(","):
+        option = raw_option.strip()
+        if not option:
+            continue
+        lowered = option.lower()
+        if lowered == "match-case":
+            match_case = True
+        elif lowered == "third-party":
+            third_party = True
+        elif lowered == "~third-party":
+            third_party = False
+        elif lowered in TYPE_OPTION_NAMES:
+            include_types.add(TYPE_OPTION_NAMES[lowered])
+        elif lowered.startswith("~") and lowered[1:] in TYPE_OPTION_NAMES:
+            exclude_types.add(TYPE_OPTION_NAMES[lowered[1:]])
+        elif lowered.startswith("domain="):
+            for entry in option[len("domain=") :].split("|"):
+                entry = entry.strip().lower()
+                if not entry:
+                    continue
+                if entry.startswith("~"):
+                    exclude_domains.append(registrable_domain(entry[1:]))
+                else:
+                    include_domains.append(registrable_domain(entry))
+        elif lowered in _IGNORABLE_OPTIONS:
+            continue
+        else:
+            return None  # Unknown option: skip the rule, like real blockers.
+    if include_types:
+        resource_types = frozenset(include_types)
+    elif exclude_types:
+        resource_types = frozenset(ALL_TYPES - exclude_types)
+    else:
+        resource_types = DEFAULT_TYPES
+    return RuleOptions(
+        resource_types=resource_types,
+        third_party=third_party,
+        include_domains=tuple(sorted(set(include_domains))),
+        exclude_domains=tuple(sorted(set(exclude_domains))),
+        match_case=match_case,
+    )
+
+
+def parse_filter_line(line: str) -> FilterRule | None:
+    """Parse one line of a filter list.
+
+    Returns:
+        The parsed network rule, or ``None`` for blanks, comments,
+        headers, element-hiding rules, and rules with unsupported
+        options.
+    """
+    text = line.strip()
+    if not text or text.startswith("!") or text.startswith("["):
+        return None
+    if any(marker in text for marker in _HIDING_MARKERS):
+        return None
+    is_exception = text.startswith("@@")
+    body = text[2:] if is_exception else text
+    if not body:
+        return None
+    pattern, sep, option_text = _split_options(body)
+    options = _parse_options(option_text) if sep else RuleOptions()
+    if options is None:
+        return None
+    if not pattern:
+        return None
+    return FilterRule(
+        raw=text, pattern=pattern, is_exception=is_exception, options=options
+    )
+
+
+def _split_options(body: str) -> tuple[str, bool, str]:
+    """Split ``pattern$options`` at the last ``$`` that starts options.
+
+    A ``$`` inside a URL pattern is rare but legal; ABP treats the last
+    ``$`` whose suffix looks like an option list as the separator.
+    """
+    idx = body.rfind("$")
+    if idx <= 0 or idx == len(body) - 1:
+        return body, False, ""
+    return body[:idx], True, body[idx + 1 :]
+
+
+def parse_filter_list(name: str, text: str, strict: bool = False) -> FilterList:
+    """Parse a whole filter list file into a :class:`FilterList`.
+
+    Args:
+        name: List name for reporting.
+        text: Raw file contents.
+        strict: When True, raise on lines that are neither parseable
+            rules nor recognized non-rules.
+    """
+    parsed = FilterList(name=name)
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("!") or stripped.startswith("["):
+            continue
+        if any(marker in stripped for marker in _HIDING_MARKERS):
+            parsed.hiding_rule_count += 1
+            continue
+        rule = parse_filter_line(stripped)
+        if rule is None:
+            if strict:
+                raise FilterParseError(f"unsupported filter rule: {stripped!r}")
+            parsed.skipped_lines.append(stripped)
+            continue
+        parsed.rules.append(rule)
+    return parsed

@@ -1,0 +1,217 @@
+"""Filter rule data model.
+
+A parsed rule carries its activation options (resource types, party
+constraint, domain constraints) and a compiled regular expression for the
+URL pattern. Compilation happens lazily so list parsing stays fast even
+for rules that never get near the hot path.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.net.domains import registrable_domain
+from repro.net.http import ResourceType
+
+# Option keywords that select resource types, mapped onto our enum.
+TYPE_OPTION_NAMES: dict[str, ResourceType] = {
+    "script": ResourceType.SCRIPT,
+    "image": ResourceType.IMAGE,
+    "stylesheet": ResourceType.STYLESHEET,
+    "xmlhttprequest": ResourceType.XHR,
+    "websocket": ResourceType.WEBSOCKET,
+    "font": ResourceType.FONT,
+    "media": ResourceType.MEDIA,
+    "ping": ResourceType.PING,
+    "subdocument": ResourceType.SUB_FRAME,
+    "document": ResourceType.MAIN_FRAME,
+    "other": ResourceType.OTHER,
+}
+
+ALL_TYPES: frozenset[ResourceType] = frozenset(ResourceType)
+
+# Types implied by a rule with no type options, per ABP semantics:
+# everything except main_frame documents (those need an explicit
+# ``$document``).
+DEFAULT_TYPES: frozenset[ResourceType] = frozenset(
+    t for t in ResourceType if t != ResourceType.MAIN_FRAME
+)
+
+
+@dataclass(frozen=True)
+class RuleOptions:
+    """Activation constraints parsed from the ``$...`` suffix.
+
+    Attributes:
+        resource_types: Types this rule applies to.
+        third_party: ``True`` = only third-party requests, ``False`` =
+            only first-party, ``None`` = either.
+        include_domains: If non-empty, the first-party registrable domain
+            must be one of these (or a subdomain).
+        exclude_domains: First-party domains on which the rule is inert.
+        match_case: Whether the pattern is case-sensitive.
+    """
+
+    resource_types: frozenset[ResourceType] = DEFAULT_TYPES
+    third_party: bool | None = None
+    include_domains: tuple[str, ...] = ()
+    exclude_domains: tuple[str, ...] = ()
+    match_case: bool = False
+
+    def applies_to(
+        self,
+        resource_type: ResourceType,
+        is_third_party_request: bool,
+        first_party_host: str,
+    ) -> bool:
+        """Whether the request context satisfies every constraint."""
+        if resource_type not in self.resource_types:
+            return False
+        if self.third_party is not None and is_third_party_request != self.third_party:
+            return False
+        if self.include_domains or self.exclude_domains:
+            party = registrable_domain(first_party_host) if first_party_host else ""
+            if self.exclude_domains and party in self.exclude_domains:
+                return False
+            if self.include_domains and party not in self.include_domains:
+                return False
+        return True
+
+
+def pattern_to_regex(pattern: str) -> str:
+    """Translate an ABP URL pattern to a Python regex (ABP reference rules).
+
+    * ``||`` start anchor: beginning of the host portion of the URL.
+    * ``|`` at the start / end: URL start / end.
+    * ``*``: any character run (including none).
+    * ``^``: a separator — any char that is not alphanumeric or one of
+      ``_ - . %``, or the end of the URL.
+    """
+    if pattern.startswith("||"):
+        prefix = r"^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?"
+        body = pattern[2:]
+    elif pattern.startswith("|"):
+        prefix = "^"
+        body = pattern[1:]
+    else:
+        prefix = ""
+        body = pattern
+    if body.endswith("|"):
+        suffix = "$"
+        body = body[:-1]
+    else:
+        suffix = ""
+    out: list[str] = []
+    for ch in body:
+        if ch == "*":
+            out.append(".*")
+        elif ch == "^":
+            out.append(r"(?:[^a-zA-Z0-9_\-.%]|$)")
+        else:
+            out.append(re.escape(ch))
+    return prefix + "".join(out) + suffix
+
+
+_TOKEN_RE = re.compile(r"[a-z0-9]{3,}")
+# Characters at which literal runs end for token extraction purposes.
+_BREAKERS = set("*^|")
+
+
+@dataclass
+class FilterRule:
+    """One parsed network-filter rule.
+
+    Attributes:
+        raw: The original filter text, e.g. ``||doubleclick.net^$third-party``.
+        pattern: The URL pattern portion (anchors intact, options stripped).
+        is_exception: ``True`` for ``@@`` exception (whitelist) rules.
+        options: Parsed activation options.
+    """
+
+    raw: str
+    pattern: str
+    is_exception: bool
+    options: RuleOptions = field(default_factory=RuleOptions)
+    _regex: re.Pattern[str] | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def regex(self) -> re.Pattern[str]:
+        """The compiled URL-matching regex (compiled on first use)."""
+        if self._regex is None:
+            flags = 0 if self.options.match_case else re.IGNORECASE
+            self._regex = re.compile(pattern_to_regex(self.pattern), flags)
+        return self._regex
+
+    def matches_url(self, url: str) -> bool:
+        """Whether the URL pattern matches (context checked separately)."""
+        return self.regex.search(url) is not None
+
+    def anchor_domain(self) -> str | None:
+        """For ``||domain...`` rules, the anchoring registrable domain."""
+        if not self.pattern.startswith("||"):
+            return None
+        body = self.pattern[2:]
+        host_chars: list[str] = []
+        for ch in body:
+            if ch.isalnum() or ch in ".-":
+                host_chars.append(ch)
+            else:
+                break
+        host = "".join(host_chars).strip(".")
+        if not host or "." not in host:
+            return None
+        return registrable_domain(host)
+
+    def index_tokens(self) -> list[str]:
+        """Literal tokens that must appear in any matching URL.
+
+        Used by the matcher to shard rules: a rule is only tried against
+        URLs containing one of its tokens. Tokens are maximal ≥3-char
+        alphanumeric runs inside literal (non-wildcard) spans.
+        """
+        literal: list[str] = []
+        span: list[str] = []
+        body = self.pattern.lstrip("|")
+        for ch in body:
+            if ch in _BREAKERS:
+                literal.append("".join(span))
+                span = []
+            else:
+                span.append(ch)
+        literal.append("".join(span))
+        tokens: list[str] = []
+        for chunk in literal:
+            tokens.extend(_TOKEN_RE.findall(chunk.lower()))
+        return tokens
+
+
+@dataclass
+class FilterList:
+    """A named collection of parsed rules (one EasyList, one EasyPrivacy…).
+
+    Attributes:
+        name: List name, e.g. ``"easylist"``.
+        rules: Network rules in file order.
+        hiding_rule_count: Count of element-hiding rules that were
+            recognized and skipped.
+        skipped_lines: Unparseable or unsupported lines, for diagnostics.
+    """
+
+    name: str
+    rules: list[FilterRule] = field(default_factory=list)
+    hiding_rule_count: int = 0
+    skipped_lines: list[str] = field(default_factory=list)
+
+    @property
+    def block_rules(self) -> list[FilterRule]:
+        """Blocking (non-exception) rules."""
+        return [r for r in self.rules if not r.is_exception]
+
+    @property
+    def exception_rules(self) -> list[FilterRule]:
+        """``@@`` exception rules."""
+        return [r for r in self.rules if r.is_exception]
+
+    def __len__(self) -> int:
+        return len(self.rules)

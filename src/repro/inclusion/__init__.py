@@ -1,0 +1,24 @@
+"""Inclusion trees (Arshad et al. 2016), built from DevTools events.
+
+An inclusion tree captures the *semantic* relationships between
+resource inclusions — which script caused which request — rather than
+the DOM's syntactic nesting or the (misleading) Referer header. This
+package reconstructs the trees the paper's crawler recorded, treating
+WebSockets as children of the JavaScript resource that opened them
+(Figure 2 of the paper).
+"""
+
+from repro.inclusion.node import InclusionNode, NodeKind, WebSocketRecord
+from repro.inclusion.builder import InclusionTreeBuilder, PageTree
+from repro.inclusion.chains import chain_domains, chain_to, chain_urls
+
+__all__ = [
+    "InclusionNode",
+    "NodeKind",
+    "WebSocketRecord",
+    "InclusionTreeBuilder",
+    "PageTree",
+    "chain_to",
+    "chain_urls",
+    "chain_domains",
+]

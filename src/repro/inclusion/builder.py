@@ -1,0 +1,268 @@
+"""Inclusion-tree construction from the DevTools event stream.
+
+Mirrors the paper's methodology (§3.1–3.2):
+
+* ``Debugger.scriptParsed`` registers executing scripts (inline scripts
+  carry the document URL);
+* ``Network.requestWillBeSent`` attaches a node under its semantic
+  parent — the initiating script for ``initiator.type == "script"``,
+  the containing document for parser-driven inclusions;
+* ``Page.frameNavigated`` attaches sub-frame documents beneath the
+  resource that created the frame;
+* ``Network.webSocketCreated`` attaches a WebSocket node as a child of
+  the initiating JavaScript node (Figure 2), and the remaining
+  ``webSocket*`` events populate its handshake and frame data.
+
+The builder consumes events only — it would work unchanged against a
+real Chrome emitting the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdp.bus import EventBus
+from repro.cdp.events import (
+    CdpEvent,
+    FrameNavigated,
+    RequestWillBeSent,
+    ResponseReceived,
+    ScriptParsed,
+    WebSocketClosed,
+    WebSocketCreated,
+    WebSocketFrameReceived,
+    WebSocketFrameSent,
+    WebSocketHandshakeResponseReceived,
+    WebSocketWillSendHandshakeRequest,
+)
+from repro.inclusion.node import (
+    FrameData,
+    InclusionNode,
+    NodeKind,
+    WebSocketRecord,
+)
+from repro.net.http import ResourceType
+
+_TYPE_FROM_CDP = {
+    "Document": ResourceType.MAIN_FRAME,
+    "Script": ResourceType.SCRIPT,
+    "Image": ResourceType.IMAGE,
+    "Stylesheet": ResourceType.STYLESHEET,
+    "XHR": ResourceType.XHR,
+    "Fetch": ResourceType.XHR,
+    "Font": ResourceType.FONT,
+    "Media": ResourceType.MEDIA,
+    "Ping": ResourceType.PING,
+    "WebSocket": ResourceType.WEBSOCKET,
+    "Other": ResourceType.OTHER,
+}
+
+
+@dataclass
+class PageTree:
+    """The finished inclusion tree for one page visit.
+
+    Attributes:
+        root: The main document node.
+        websockets: Every WebSocket node in the tree (in open order).
+        orphan_count: Events whose parent could not be resolved; they
+            attach under the root, as the paper's tooling did for
+            unattributable inclusions.
+    """
+
+    root: InclusionNode
+    websockets: list[InclusionNode] = field(default_factory=list)
+    orphan_count: int = 0
+
+    def all_nodes(self):
+        """Every node in the tree, depth-first."""
+        yield from self.root.walk()
+
+    @property
+    def resource_count(self) -> int:
+        """Number of non-document nodes."""
+        return sum(1 for n in self.all_nodes() if n.kind != NodeKind.DOCUMENT)
+
+
+class InclusionTreeBuilder:
+    """Builds one :class:`PageTree` from a visit's event stream."""
+
+    def __init__(self) -> None:
+        self.tree: PageTree | None = None
+        self._by_url: dict[str, InclusionNode] = {}
+        self._docs_by_frame: dict[str, InclusionNode] = {}
+        self._by_request_id: dict[str, InclusionNode] = {}
+        self._scripts: dict[str, str] = {}  # script_id -> url
+        self._unsubscribe = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe to a bus; call :meth:`detach` after the visit."""
+        self.detach()
+        self._unsubscribe = bus.subscribe(self.handle)
+
+    def detach(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def handle(self, event: CdpEvent) -> None:
+        """Process one event (dispatch by type)."""
+        if isinstance(event, RequestWillBeSent):
+            self._on_request(event)
+        elif isinstance(event, ResponseReceived):
+            self._on_response(event)
+        elif isinstance(event, ScriptParsed):
+            self._scripts[event.script_id] = event.url
+        elif isinstance(event, FrameNavigated):
+            self._on_frame(event)
+        elif isinstance(event, WebSocketCreated):
+            self._on_socket_created(event)
+        elif isinstance(event, WebSocketWillSendHandshakeRequest):
+            node = self._by_request_id.get(event.request_id)
+            if node is not None and node.websocket is not None:
+                node.websocket.handshake_headers = dict(event.headers)
+                node.request_headers = dict(event.headers)
+        elif isinstance(event, WebSocketHandshakeResponseReceived):
+            node = self._by_request_id.get(event.request_id)
+            if node is not None and node.websocket is not None:
+                node.websocket.response_status = event.status
+        elif isinstance(event, (WebSocketFrameSent, WebSocketFrameReceived)):
+            node = self._by_request_id.get(event.request_id)
+            if node is not None and node.websocket is not None:
+                node.websocket.frames.append(FrameData(
+                    sent=isinstance(event, WebSocketFrameSent),
+                    opcode=event.opcode,
+                    payload=event.payload_data,
+                ))
+        elif isinstance(event, WebSocketClosed):
+            node = self._by_request_id.get(event.request_id)
+            if node is not None and node.websocket is not None:
+                node.websocket.closed = True
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _on_request(self, event: RequestWillBeSent) -> None:
+        resource_type = _TYPE_FROM_CDP.get(event.resource_type,
+                                           ResourceType.OTHER)
+        if resource_type == ResourceType.MAIN_FRAME and self.tree is not None:
+            # A Document request after the main one is a sub-frame
+            # navigation — the type ad blockers call "subdocument".
+            resource_type = ResourceType.SUB_FRAME
+        if resource_type == ResourceType.MAIN_FRAME and self.tree is None:
+            root = InclusionNode(
+                url=event.url,
+                kind=NodeKind.DOCUMENT,
+                resource_type=ResourceType.MAIN_FRAME,
+                request_headers=dict(event.headers),
+                frame_id=event.frame_id,
+            )
+            self.tree = PageTree(root=root)
+            self._by_url[event.url] = root
+            self._docs_by_frame[event.frame_id] = root
+            self._by_request_id[event.request_id] = root
+            return
+        parent = self._resolve_parent(event.initiator, event.frame_id)
+        node = InclusionNode(
+            url=event.url,
+            kind=NodeKind.RESOURCE,
+            resource_type=resource_type,
+            request_headers=dict(event.headers),
+            post_data=event.post_data,
+            frame_id=event.frame_id,
+        )
+        if parent is None:
+            node_parent = self._root_or_none()
+            if node_parent is None:
+                return  # Event before any document: drop, as real logs do.
+            self.tree.orphan_count += 1
+            node_parent.add_child(node)
+        else:
+            parent.add_child(node)
+        self._by_url[event.url] = node
+        self._by_request_id[event.request_id] = node
+
+    def _on_response(self, event: ResponseReceived) -> None:
+        node = self._by_request_id.get(event.request_id)
+        if node is not None:
+            node.mime_type = event.mime_type
+
+    def _on_frame(self, event: FrameNavigated) -> None:
+        if self.tree is None:
+            return
+        if event.frame_id in self._docs_by_frame and not event.parent_frame_id:
+            return  # main frame re-announcement
+        doc = self._by_url.get(event.url)
+        if doc is not None and doc.kind != NodeKind.DOCUMENT:
+            # The frame's document request node becomes a document node.
+            doc.kind = NodeKind.DOCUMENT
+            self._docs_by_frame[event.frame_id] = doc
+            return
+        if doc is None:
+            parent = None
+            if event.initiator_url:
+                parent = self._by_url.get(event.initiator_url)
+            if parent is None and event.parent_frame_id:
+                parent = self._docs_by_frame.get(event.parent_frame_id)
+            if parent is None:
+                parent = self._root_or_none()
+                if parent is None:
+                    return
+            doc = InclusionNode(
+                url=event.url,
+                kind=NodeKind.DOCUMENT,
+                resource_type=ResourceType.SUB_FRAME,
+                frame_id=event.frame_id,
+            )
+            parent.add_child(doc)
+            self._by_url[event.url] = doc
+        self._docs_by_frame[event.frame_id] = doc
+
+    def _on_socket_created(self, event: WebSocketCreated) -> None:
+        if self.tree is None:
+            return
+        parent = self._resolve_parent(event.initiator, event.frame_id)
+        if parent is None:
+            parent = self.tree.root
+            self.tree.orphan_count += 1
+        node = InclusionNode(
+            url=event.url,
+            kind=NodeKind.WEBSOCKET,
+            resource_type=ResourceType.WEBSOCKET,
+            frame_id=event.frame_id,
+            websocket=WebSocketRecord(url=event.url),
+        )
+        parent.add_child(node)
+        self._by_request_id[event.request_id] = node
+        self.tree.websockets.append(node)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _root_or_none(self) -> InclusionNode | None:
+        return self.tree.root if self.tree is not None else None
+
+    def _resolve_parent(self, initiator, frame_id: str) -> InclusionNode | None:
+        """Find the semantic parent for an initiator descriptor."""
+        if initiator.type == "script":
+            for url in (initiator.url, *initiator.stack_urls):
+                if url:
+                    node = self._by_url.get(url)
+                    if node is not None:
+                        return node
+            return self._docs_by_frame.get(frame_id)
+        if initiator.type == "parser":
+            if initiator.url:
+                node = self._by_url.get(initiator.url)
+                if node is not None:
+                    return node
+            return self._docs_by_frame.get(frame_id)
+        return self._docs_by_frame.get(frame_id)
+
+    # -- results -----------------------------------------------------------------
+
+    def result(self) -> PageTree:
+        """The finished tree; raises if no document was ever seen."""
+        if self.tree is None:
+            raise RuntimeError("no main document observed")
+        return self.tree

@@ -1,0 +1,29 @@
+"""Inclusion chains: root-to-node paths through a tree.
+
+A *chain* is the sequence of resources leading from the page document
+to a given inclusion — the unit of analysis for both A&A attribution
+(§3.2: descend the branch that includes the socket) and the post-hoc
+blocking analysis (§4.2: would any script in the chain have been
+blocked?).
+"""
+
+from __future__ import annotations
+
+from repro.inclusion.node import InclusionNode
+
+
+def chain_to(node: InclusionNode) -> list[InclusionNode]:
+    """The chain from the root document down to ``node`` (inclusive)."""
+    chain = [node] + node.ancestors()
+    chain.reverse()
+    return chain
+
+
+def chain_urls(node: InclusionNode) -> list[str]:
+    """URLs along the chain, root first."""
+    return [n.url for n in chain_to(node)]
+
+
+def chain_domains(node: InclusionNode) -> list[str]:
+    """Second-level domains along the chain, root first, '' filtered."""
+    return [n.domain for n in chain_to(node) if n.domain]

@@ -1,0 +1,120 @@
+"""Inclusion tree node model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.domains import second_level_of_url
+from repro.net.http import ResourceType
+
+
+class NodeKind(str, enum.Enum):
+    """What a tree node represents."""
+
+    DOCUMENT = "document"
+    RESOURCE = "resource"
+    WEBSOCKET = "websocket"
+
+
+@dataclass
+class FrameData:
+    """One data frame observed on a socket (direction + opcode + text)."""
+
+    sent: bool
+    opcode: int
+    payload: str
+
+
+@dataclass
+class WebSocketRecord:
+    """Everything observed about one WebSocket connection.
+
+    Attributes:
+        url: The ws/wss endpoint.
+        handshake_headers: Request headers of the upgrade.
+        response_status: Upgrade response status (101 when accepted).
+        frames: Data frames in observation order.
+        closed: Whether a close event was seen.
+    """
+
+    url: str
+    handshake_headers: dict[str, str] = field(default_factory=dict)
+    response_status: int = 0
+    frames: list[FrameData] = field(default_factory=list)
+    closed: bool = False
+
+    @property
+    def sent_frames(self) -> list[FrameData]:
+        return [f for f in self.frames if f.sent]
+
+    @property
+    def received_frames(self) -> list[FrameData]:
+        return [f for f in self.frames if not f.sent]
+
+
+@dataclass
+class InclusionNode:
+    """One node of an inclusion tree.
+
+    Attributes:
+        url: Resource URL (document URL for document nodes).
+        kind: Document, plain resource, or WebSocket.
+        resource_type: The webRequest-style resource type.
+        mime_type: Response MIME type, when observed.
+        request_headers: Request headers (UA, Cookie, Referer…).
+        post_data: POST body, when any.
+        parent: Parent node (None at the root).
+        children: Child inclusions in observation order.
+        frame_id: Frame the resource loaded in.
+        websocket: Socket record for WebSocket nodes.
+        inline: Whether this was an inline script.
+    """
+
+    url: str
+    kind: NodeKind = NodeKind.RESOURCE
+    resource_type: ResourceType = ResourceType.OTHER
+    mime_type: str = ""
+    request_headers: dict[str, str] = field(default_factory=dict)
+    post_data: str = ""
+    parent: "InclusionNode | None" = None
+    children: list["InclusionNode"] = field(default_factory=list)
+    frame_id: str = ""
+    websocket: WebSocketRecord | None = None
+    inline: bool = False
+
+    def add_child(self, child: "InclusionNode") -> "InclusionNode":
+        """Attach a child and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    @property
+    def domain(self) -> str:
+        """Second-level domain of the node's URL ('' when unparseable)."""
+        try:
+            return second_level_of_url(self.url)
+        except Exception:
+            return ""
+
+    def ancestors(self) -> list["InclusionNode"]:
+        """Parent chain, nearest first, root last."""
+        out: list[InclusionNode] = []
+        node = self.parent
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    def walk(self):
+        """Yield this node and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Distance to the root (root = 0)."""
+        return len(self.ancestors())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InclusionNode({self.kind.value}, {self.url!r}, children={len(self.children)})"

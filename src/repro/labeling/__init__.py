@@ -1,0 +1,14 @@
+"""A&A domain labeling (§3.2).
+
+Derives the set of Advertising & Analytics second-level domains from a
+corpus of filter-list-tagged resource observations using the paper's
+rule ``a(d) ≥ 0.1 · n(d)``, then layers on the Cloudfront CDN mapping
+(A&A companies serving their code from ``*.cloudfront.net`` subdomains
+must be attributed to the tenant, not to Amazon).
+"""
+
+from repro.labeling.aa_labeler import AaLabeler, DomainTagCounter
+from repro.labeling.cloudfront import CloudfrontMapper
+from repro.labeling.resolver import DomainResolver
+
+__all__ = ["DomainTagCounter", "AaLabeler", "CloudfrontMapper", "DomainResolver"]

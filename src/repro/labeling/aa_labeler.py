@@ -1,0 +1,85 @@
+"""The ``a(d) ≥ 0.1 · n(d)`` labeler.
+
+From the paper: each resource in the tagged corpus is labeled A&A or
+non-A&A by the EasyList/EasyPrivacy rules; for every second-level
+domain *d*, ``a(d)`` and ``n(d)`` count those labels, and *d* enters
+the A&A set when ``a(d) ≥ 0.1 · n(d)`` — filtering out domains that
+are flagged less than ~10% of the time to eliminate false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.domains import registrable_domain
+
+
+@dataclass
+class DomainTagCounter:
+    """Per-domain tag counts over the crawl corpus.
+
+    Attributes:
+        aa: ``a(d)`` — resources of the domain matched by the lists.
+        non_aa: ``n(d)`` — resources not matched.
+    """
+
+    aa: dict[str, int] = field(default_factory=dict)
+    non_aa: dict[str, int] = field(default_factory=dict)
+
+    def observe(self, host: str, matched: bool, weight: int = 1) -> None:
+        """Record one tagged resource observation."""
+        domain = registrable_domain(host)
+        bucket = self.aa if matched else self.non_aa
+        bucket[domain] = bucket.get(domain, 0) + weight
+
+    def merge(self, other: "DomainTagCounter") -> None:
+        """Fold another counter into this one."""
+        for domain, count in other.aa.items():
+            self.aa[domain] = self.aa.get(domain, 0) + count
+        for domain, count in other.non_aa.items():
+            self.non_aa[domain] = self.non_aa.get(domain, 0) + count
+
+    def domains(self) -> set[str]:
+        """Every observed domain (the set *D* of the paper)."""
+        return set(self.aa) | set(self.non_aa)
+
+    def counts(self, domain: str) -> tuple[int, int]:
+        """``(a(d), n(d))`` for a domain."""
+        return self.aa.get(domain, 0), self.non_aa.get(domain, 0)
+
+
+@dataclass(frozen=True)
+class AaLabeler:
+    """The derived A&A domain set.
+
+    Attributes:
+        aa_domains: Second-level domains labeled A&A.
+        threshold: The ratio used (0.1 in the paper).
+    """
+
+    aa_domains: frozenset[str]
+    threshold: float = 0.1
+
+    @classmethod
+    def from_counts(
+        cls, counter: DomainTagCounter, threshold: float = 0.1
+    ) -> "AaLabeler":
+        """Apply the paper's rule to a tag-count corpus.
+
+        A domain with zero A&A observations is never labeled (the rule
+        would vacuously hold when ``n(d) = 0``, but an unobserved-as-A&A
+        domain has no evidence at all).
+        """
+        labeled = set()
+        for domain in counter.domains():
+            a, n = counter.counts(domain)
+            if a > 0 and a >= threshold * n:
+                labeled.add(domain)
+        return cls(aa_domains=frozenset(labeled), threshold=threshold)
+
+    def is_aa(self, host_or_domain: str) -> bool:
+        """Whether a host's second-level domain is labeled A&A."""
+        return registrable_domain(host_or_domain) in self.aa_domains
+
+    def __len__(self) -> int:
+        return len(self.aa_domains)

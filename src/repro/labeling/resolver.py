@@ -1,0 +1,36 @@
+"""Host → effective second-level domain resolution.
+
+Combines plain eTLD+1 extraction with the derived Cloudfront tenant
+mapping, so every analysis stage attributes CDN-hosted A&A code to the
+company that actually operates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.domains import registrable_domain
+
+
+@dataclass(frozen=True)
+class DomainResolver:
+    """Resolves hosts to the second-level domain analyses should use.
+
+    Attributes:
+        cloudfront_mapping: fully-qualified Cloudfront host → tenant
+            second-level domain (from
+            :class:`~repro.labeling.cloudfront.CloudfrontMapper`).
+    """
+
+    cloudfront_mapping: dict[str, str] = field(default_factory=dict)
+
+    def effective_domain(self, host: str) -> str:
+        """The domain a host's behaviour should be attributed to."""
+        mapped = self.cloudfront_mapping.get(host)
+        if mapped is not None:
+            return mapped
+        return registrable_domain(host)
+
+    def effective_domains(self, hosts: list[str]) -> list[str]:
+        """Map a chain of hosts, preserving order."""
+        return [self.effective_domain(h) for h in hosts]

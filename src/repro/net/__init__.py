@@ -1,0 +1,23 @@
+"""Network substrate: domains, HTTP and WebSocket message models."""
+
+from repro.net.domains import second_level_domain, registrable_domain, is_third_party
+from repro.net.http import HttpRequest, HttpResponse, ResourceType
+from repro.net.websocket import (
+    WebSocketFrame,
+    WebSocketHandshake,
+    FrameDirection,
+    OpCode,
+)
+
+__all__ = [
+    "second_level_domain",
+    "registrable_domain",
+    "is_third_party",
+    "HttpRequest",
+    "HttpResponse",
+    "ResourceType",
+    "WebSocketFrame",
+    "WebSocketHandshake",
+    "FrameDirection",
+    "OpCode",
+]

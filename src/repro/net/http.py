@@ -1,0 +1,97 @@
+"""HTTP message models used by the simulated network stack.
+
+These are deliberately small: enough structure for the webRequest API,
+the filter engine (which needs the resource type and initiating context),
+and the content analyzer (which scans headers, query strings, and bodies
+for the items of Table 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.urls import parse_url
+
+
+class ResourceType(str, enum.Enum):
+    """Resource types as exposed to ``chrome.webRequest`` listeners."""
+
+    MAIN_FRAME = "main_frame"
+    SUB_FRAME = "sub_frame"
+    SCRIPT = "script"
+    IMAGE = "image"
+    STYLESHEET = "stylesheet"
+    XHR = "xmlhttprequest"
+    WEBSOCKET = "websocket"
+    FONT = "font"
+    MEDIA = "media"
+    PING = "ping"
+    OTHER = "other"
+
+
+@dataclass
+class HttpRequest:
+    """An outgoing HTTP/S request.
+
+    Attributes:
+        url: Absolute request URL.
+        method: HTTP method (the simulator uses GET and POST).
+        resource_type: What the browser is fetching.
+        headers: Request headers (title-cased keys).
+        body: Optional request body (POST beacons and exfiltration).
+        first_party_url: The top-level page URL the request belongs to.
+        initiator_url: URL of the resource whose code caused this request
+            (the document itself for static inclusions).
+        request_id: Browser-assigned identifier, unique within a page load.
+    """
+
+    url: str
+    method: str = "GET"
+    resource_type: ResourceType = ResourceType.OTHER
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str = ""
+    first_party_url: str = ""
+    initiator_url: str = ""
+    request_id: str = ""
+
+    @property
+    def host(self) -> str:
+        """Lower-cased host of the request URL."""
+        return parse_url(self.url).host
+
+    @property
+    def query(self) -> str:
+        """Query string of the request URL (no leading ``?``)."""
+        return parse_url(self.url).query
+
+    def header(self, name: str, default: str = "") -> str:
+        """Case-insensitive header lookup."""
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP/S response delivered to the browser."""
+
+    url: str
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str = ""
+    mime_type: str = "text/html"
+    request_id: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status code indicates success."""
+        return 200 <= self.status < 300
+
+    def header(self, name: str, default: str = "") -> str:
+        """Case-insensitive header lookup."""
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default

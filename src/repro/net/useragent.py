@@ -1,0 +1,66 @@
+"""User-Agent strings and client device profiles.
+
+The paper crawled "using a valid User-Agent" (§3.3) with stock Chrome.
+Every HTTP request and WebSocket handshake carries one (Table 5: 100% of
+A&A sockets transmitted a UA), and fingerprinting scripts read the rest
+of the profile (screen, viewport, language, orientation…).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def chrome_user_agent(major_version: int) -> str:
+    """Render the desktop-Linux Chrome UA string for a major version."""
+    return (
+        "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 "
+        f"(KHTML, like Gecko) Chrome/{major_version}.0.3029.110 Safari/537.36"
+    )
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """The client-side state fingerprinting scripts can observe.
+
+    Attributes map one-to-one onto the Table 5 item taxonomy: screen,
+    viewport, resolution, orientation, language, device and browser
+    family, plus the public IP the receiving server observes.
+    """
+
+    user_agent: str
+    screen_width: int = 1920
+    screen_height: int = 1080
+    viewport_width: int = 1920
+    viewport_height: int = 948
+    color_depth: int = 24
+    pixel_ratio: float = 1.0
+    orientation: str = "landscape-primary"
+    language: str = "en-US"
+    timezone_offset_minutes: int = 300
+    platform: str = "Linux x86_64"
+    device_type: str = "desktop"
+    device_family: str = "Other"
+    browser_type: str = "Chrome"
+    browser_family: str = "Chrome"
+    public_ip: str = "155.33.17.68"
+
+    @property
+    def screen(self) -> str:
+        """``WxH`` screen geometry string."""
+        return f"{self.screen_width}x{self.screen_height}"
+
+    @property
+    def viewport(self) -> str:
+        """``WxH`` viewport geometry string."""
+        return f"{self.viewport_width}x{self.viewport_height}"
+
+    @property
+    def resolution(self) -> str:
+        """Screen geometry including color depth, as trackers report it."""
+        return f"{self.screen_width}x{self.screen_height}x{self.color_depth}"
+
+
+def default_profile(chrome_major: int) -> DeviceProfile:
+    """The stock desktop profile the crawler browses with."""
+    return DeviceProfile(user_agent=chrome_user_agent(chrome_major))

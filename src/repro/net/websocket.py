@@ -1,0 +1,148 @@
+"""WebSocket protocol model (RFC 6455 subset).
+
+The simulator models the parts of RFC 6455 that the measurement pipeline
+observes through the DevTools protocol: the HTTP upgrade handshake
+(including a real ``Sec-WebSocket-Key``/``Sec-WebSocket-Accept``
+computation) and data frames with text/binary opcodes. There is no real
+network, but the handshake math is implemented faithfully so the model
+can be validated against the RFC's published test vector.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class OpCode(enum.IntEnum):
+    """Frame opcodes (data opcodes only; control frames are implicit)."""
+
+    TEXT = 0x1
+    BINARY = 0x2
+    CLOSE = 0x8
+    PING = 0x9
+    PONG = 0xA
+
+
+class FrameDirection(str, enum.Enum):
+    """Which peer produced a frame."""
+
+    SENT = "sent"  # client → server
+    RECEIVED = "received"  # server → client
+
+
+def accept_key(client_key: str) -> str:
+    """Compute ``Sec-WebSocket-Accept`` for a client key, per RFC 6455 §4.2.2."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def make_client_key(seed_bytes: bytes) -> str:
+    """Derive a 16-byte base64 client key from deterministic seed bytes."""
+    material = hashlib.sha256(seed_bytes).digest()[:16]
+    return base64.b64encode(material).decode("ascii")
+
+
+@dataclass
+class WebSocketHandshake:
+    """The upgrade handshake for one WebSocket connection.
+
+    Attributes:
+        url: The ``ws://`` or ``wss://`` endpoint.
+        client_key: ``Sec-WebSocket-Key`` sent by the client.
+        origin: The page origin that opened the socket.
+        first_party_url: Top-level page URL.
+        initiator_url: URL of the script that called ``new WebSocket(...)``.
+        protocol: Optional subprotocol requested by the client.
+        accepted: Whether the server completed the upgrade.
+    """
+
+    url: str
+    client_key: str
+    origin: str = ""
+    first_party_url: str = ""
+    initiator_url: str = ""
+    protocol: str = ""
+    accepted: bool = True
+
+    @property
+    def server_accept(self) -> str:
+        """The ``Sec-WebSocket-Accept`` value the server must return."""
+        return accept_key(self.client_key)
+
+    def request_headers(self) -> dict[str, str]:
+        """The upgrade request headers, as a blocker would inspect them."""
+        headers = {
+            "Upgrade": "websocket",
+            "Connection": "Upgrade",
+            "Sec-WebSocket-Key": self.client_key,
+            "Sec-WebSocket-Version": "13",
+        }
+        if self.origin:
+            headers["Origin"] = self.origin
+        if self.protocol:
+            headers["Sec-WebSocket-Protocol"] = self.protocol
+        return headers
+
+    def response_headers(self) -> dict[str, str]:
+        """The 101 Switching Protocols response headers."""
+        headers = {
+            "Upgrade": "websocket",
+            "Connection": "Upgrade",
+            "Sec-WebSocket-Accept": self.server_accept,
+        }
+        if self.protocol:
+            headers["Sec-WebSocket-Protocol"] = self.protocol
+        return headers
+
+
+@dataclass
+class WebSocketFrame:
+    """A single data frame on an established connection.
+
+    Attributes:
+        direction: SENT (client→server) or RECEIVED (server→client).
+        opcode: TEXT or BINARY for data frames.
+        payload: Frame payload. Binary payloads are carried as latin-1
+            text so the whole pipeline stays string-typed; the content
+            classifier detects them via :attr:`opcode`.
+        timestamp: Simulated POSIX timestamp of the frame.
+    """
+
+    direction: FrameDirection
+    opcode: OpCode
+    payload: str
+    timestamp: float = 0.0
+
+    @property
+    def is_text(self) -> bool:
+        """Whether this frame carries text data."""
+        return self.opcode == OpCode.TEXT
+
+    @property
+    def size(self) -> int:
+        """Payload length in characters (bytes for latin-1 binary)."""
+        return len(self.payload)
+
+
+@dataclass
+class WebSocketConnection:
+    """A full connection record: handshake plus the frames exchanged."""
+
+    handshake: WebSocketHandshake
+    frames: list[WebSocketFrame] = field(default_factory=list)
+    closed_clean: bool = True
+
+    @property
+    def sent_frames(self) -> list[WebSocketFrame]:
+        """Frames sent by the client (browser)."""
+        return [f for f in self.frames if f.direction == FrameDirection.SENT]
+
+    @property
+    def received_frames(self) -> list[WebSocketFrame]:
+        """Frames received from the server."""
+        return [f for f in self.frames if f.direction == FrameDirection.RECEIVED]

@@ -1,0 +1,144 @@
+"""RFC 6455 frame wire codec.
+
+The simulator's traffic never touches a real socket, but the frame
+format is implemented faithfully (FIN/opcode byte, 7/16/64-bit payload
+lengths, client-side masking with the 4-byte XOR key) so recorded
+frames can be serialized to byte-exact wire form — and so the model can
+be validated against the RFC's framing rules.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.websocket import FrameDirection, OpCode, WebSocketFrame
+
+_FIN_BIT = 0x80
+_MASK_BIT = 0x80
+_LEN_16 = 126
+_LEN_64 = 127
+_MAX_7BIT = 125
+_MAX_16BIT = 0xFFFF
+
+
+class WireError(ValueError):
+    """Raised on malformed wire data."""
+
+
+def _apply_mask(payload: bytes, mask_key: bytes) -> bytes:
+    return bytes(b ^ mask_key[i % 4] for i, b in enumerate(payload))
+
+
+def encode_frame(
+    frame: WebSocketFrame,
+    mask_key: bytes | None = None,
+    fin: bool = True,
+) -> bytes:
+    """Encode one data frame to its RFC 6455 wire form.
+
+    Args:
+        frame: The frame to encode. SENT frames must be masked (RFC
+            6455 §5.3: client-to-server frames are always masked);
+            provide ``mask_key`` for them.
+        mask_key: 4-byte masking key; required iff the frame is SENT.
+        fin: Whether this is the final fragment.
+
+    Raises:
+        WireError: On masking-key violations.
+    """
+    sent = frame.direction == FrameDirection.SENT
+    if sent and (mask_key is None or len(mask_key) != 4):
+        raise WireError("client frames require a 4-byte mask key")
+    if not sent and mask_key is not None:
+        raise WireError("server frames must not be masked")
+    payload = frame.payload.encode(
+        "utf-8" if frame.opcode == OpCode.TEXT else "latin-1"
+    )
+    header = bytearray()
+    first = int(frame.opcode) | (_FIN_BIT if fin else 0)
+    header.append(first)
+    mask_flag = _MASK_BIT if sent else 0
+    length = len(payload)
+    if length <= _MAX_7BIT:
+        header.append(mask_flag | length)
+    elif length <= _MAX_16BIT:
+        header.append(mask_flag | _LEN_16)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_flag | _LEN_64)
+        header += struct.pack("!Q", length)
+    if sent:
+        header += mask_key
+        payload = _apply_mask(payload, mask_key)
+    return bytes(header) + payload
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """One frame decoded from the wire, plus how many bytes it used."""
+
+    frame: WebSocketFrame
+    fin: bool
+    consumed: int
+
+
+def decode_frame(data: bytes) -> DecodedFrame:
+    """Decode one frame from the head of a byte buffer.
+
+    Direction is inferred from the mask bit (masked = client-sent),
+    per RFC 6455 §5.3.
+
+    Raises:
+        WireError: On truncated or malformed data.
+    """
+    if len(data) < 2:
+        raise WireError("truncated frame header")
+    first, second = data[0], data[1]
+    fin = bool(first & _FIN_BIT)
+    try:
+        opcode = OpCode(first & 0x0F)
+    except ValueError as exc:
+        raise WireError(f"unknown opcode {first & 0x0F:#x}") from exc
+    masked = bool(second & _MASK_BIT)
+    length = second & 0x7F
+    offset = 2
+    if length == _LEN_16:
+        if len(data) < offset + 2:
+            raise WireError("truncated 16-bit length")
+        (length,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+    elif length == _LEN_64:
+        if len(data) < offset + 8:
+            raise WireError("truncated 64-bit length")
+        (length,) = struct.unpack_from("!Q", data, offset)
+        offset += 8
+    mask_key = b""
+    if masked:
+        if len(data) < offset + 4:
+            raise WireError("truncated mask key")
+        mask_key = data[offset:offset + 4]
+        offset += 4
+    if len(data) < offset + length:
+        raise WireError("truncated payload")
+    payload = data[offset:offset + length]
+    if masked:
+        payload = _apply_mask(payload, mask_key)
+    text = payload.decode("utf-8" if opcode == OpCode.TEXT else "latin-1")
+    frame = WebSocketFrame(
+        direction=FrameDirection.SENT if masked else FrameDirection.RECEIVED,
+        opcode=opcode,
+        payload=text,
+    )
+    return DecodedFrame(frame=frame, fin=fin, consumed=offset + length)
+
+
+def decode_stream(data: bytes) -> list[WebSocketFrame]:
+    """Decode a buffer of back-to-back frames."""
+    frames: list[WebSocketFrame] = []
+    offset = 0
+    while offset < len(data):
+        decoded = decode_frame(data[offset:])
+        frames.append(decoded.frame)
+        offset += decoded.consumed
+    return frames

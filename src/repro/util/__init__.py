@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic RNG streams, URLs, time, serialization."""
+
+from repro.util.rng import RngStream, derive_seed
+from repro.util.simtime import SimClock
+from repro.util.urls import ParsedUrl, parse_url
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "SimClock",
+    "ParsedUrl",
+    "parse_url",
+]

@@ -1,0 +1,81 @@
+"""JSON-lines persistence helpers.
+
+Crawl datasets and CDP event logs can be written to and restored from
+JSONL files, mirroring how the original study archived raw crawl output.
+Dataclass-aware encoding keeps the call sites simple.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as dt
+import gzip
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert dataclasses/datetimes/sets into JSON-encodable structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dt.datetime):
+        return value.isoformat()
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in value)
+    if isinstance(value, tuple):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, list):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    return value
+
+
+def dumps(value: Any) -> str:
+    """Serialize a value (dataclasses welcome) to compact JSON."""
+    return json.dumps(to_jsonable(value), separators=(",", ":"), sort_keys=True)
+
+
+def _open_for_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_for_read(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def write_jsonl(path: str | Path, records: Iterable[Any]) -> int:
+    """Write records to a JSONL (optionally .gz) file; returns the count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open_for_write(path) as handle:
+        for record in records:
+            handle.write(dumps(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(
+    path: str | Path, decoder: Callable[[dict], Any] | None = None
+) -> Iterator[Any]:
+    """Yield records from a JSONL (optionally .gz) file."""
+    path = Path(path)
+    with _open_for_read(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            yield decoder(record) if decoder else record

@@ -1,0 +1,52 @@
+"""Simulated wall-clock time.
+
+The paper's crawler waited ~60 seconds between page visits and each crawl
+spans several calendar days. Re-creating that with real sleeps would be
+absurd, so the whole system runs on a :class:`SimClock` that advances only
+when told to. Timestamps flow into CDP events, cookie creation dates (the
+"First Seen" item of Table 5), and crawl metadata.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+UTC = dt.timezone.utc
+
+
+def parse_date(text: str) -> dt.datetime:
+    """Parse ``YYYY-MM-DD`` into a UTC-midnight datetime."""
+    return dt.datetime.strptime(text, "%Y-%m-%d").replace(tzinfo=UTC)
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Attributes:
+        now: The current simulated instant (UTC).
+    """
+
+    now: dt.datetime = field(default_factory=lambda: parse_date("2017-04-02"))
+
+    def advance(self, seconds: float) -> dt.datetime:
+        """Advance the clock by a positive number of seconds."""
+        if seconds < 0:
+            raise ValueError("SimClock cannot run backwards")
+        self.now = self.now + dt.timedelta(seconds=seconds)
+        return self.now
+
+    def set_to(self, instant: dt.datetime) -> None:
+        """Jump to a later instant (e.g. the start of the next crawl)."""
+        if instant < self.now:
+            raise ValueError("SimClock cannot run backwards")
+        self.now = instant
+
+    def timestamp(self) -> float:
+        """POSIX timestamp of the current instant."""
+        return self.now.timestamp()
+
+    def isoformat(self) -> str:
+        """ISO-8601 text of the current instant."""
+        return self.now.isoformat()

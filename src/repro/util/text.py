@@ -1,0 +1,44 @@
+"""Small text helpers shared across packages."""
+
+from __future__ import annotations
+
+import base64
+import string
+
+_SLUG_ALLOWED = set(string.ascii_lowercase + string.digits + "-")
+
+
+def slugify(text: str) -> str:
+    """Lower-case and squash a string into a DNS-label-safe slug."""
+    out = []
+    previous_dash = False
+    for ch in text.lower():
+        if ch in _SLUG_ALLOWED and ch != "-":
+            out.append(ch)
+            previous_dash = False
+        elif not previous_dash and out:
+            out.append("-")
+            previous_dash = True
+    return "".join(out).strip("-") or "x"
+
+
+def b64_text(data: bytes) -> str:
+    """Standard base64 text of raw bytes."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def truncate(text: str, limit: int = 120) -> str:
+    """Truncate long strings for logging, appending an ellipsis."""
+    if len(text) <= limit:
+        return text
+    return text[: limit - 1] + "…"
+
+
+def format_count(value: int) -> str:
+    """Format an integer with thousands separators, matching the paper."""
+    return f"{value:,}"
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a ratio in [0,1] as a percentage string."""
+    return f"{100.0 * value:.{digits}f}"

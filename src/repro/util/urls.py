@@ -1,0 +1,142 @@
+"""Lightweight URL parsing tailored to the simulator's needs.
+
+The crawler, filter engine, and inclusion-tree builder all reason about
+URLs. We use a small parsed representation rather than round-tripping
+through :mod:`urllib.parse` everywhere, both for speed (filter matching is
+the hot path) and so that scheme handling for ``ws``/``wss`` is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+WEBSOCKET_SCHEMES = frozenset({"ws", "wss"})
+HTTP_SCHEMES = frozenset({"http", "https"})
+KNOWN_SCHEMES = WEBSOCKET_SCHEMES | HTTP_SCHEMES | {"data", "blob", "about"}
+
+_DEFAULT_PORTS = {"http": 80, "ws": 80, "https": 443, "wss": 443}
+
+
+class UrlError(ValueError):
+    """Raised when a URL cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """A parsed absolute URL.
+
+    Attributes:
+        scheme: Lower-cased scheme, e.g. ``"https"`` or ``"wss"``.
+        host: Lower-cased host name (no port).
+        port: Explicit or default port for the scheme.
+        path: Path beginning with ``/`` (``/`` for empty paths).
+        query: Query string without the leading ``?`` (may be empty).
+    """
+
+    scheme: str
+    host: str
+    port: int
+    path: str
+    query: str
+
+    @property
+    def is_websocket(self) -> bool:
+        """Whether this is a ws:// or wss:// URL."""
+        return self.scheme in WEBSOCKET_SCHEMES
+
+    @property
+    def is_secure(self) -> bool:
+        """Whether the transport is TLS (https or wss)."""
+        return self.scheme in ("https", "wss")
+
+    @property
+    def origin(self) -> str:
+        """Scheme+host(+non-default port) origin string."""
+        default = _DEFAULT_PORTS.get(self.scheme)
+        if default is not None and self.port == default:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    def __str__(self) -> str:
+        url = f"{self.origin}{self.path}"
+        if self.query:
+            url = f"{url}?{self.query}"
+        return url
+
+    def with_path(self, path: str, query: str = "") -> "ParsedUrl":
+        """Return a copy pointing at a different path/query on this host."""
+        if not path.startswith("/"):
+            path = "/" + path
+        return ParsedUrl(self.scheme, self.host, self.port, path, query)
+
+
+@lru_cache(maxsize=65536)
+def parse_url(url: str) -> ParsedUrl:
+    """Parse an absolute URL string into a :class:`ParsedUrl`.
+
+    Args:
+        url: An absolute URL with an explicit scheme.
+
+    Raises:
+        UrlError: If the URL has no scheme, an empty host, or a bad port.
+    """
+    scheme, sep, rest = url.partition("://")
+    if not sep:
+        raise UrlError(f"URL has no scheme: {url!r}")
+    scheme = scheme.lower()
+    hostport, slash, tail = rest.partition("/")
+    path_and_query = slash + tail if slash else "/"
+    if "?" in hostport:
+        # Query directly after the authority (no path), e.g. http://x.com?a=1
+        hostport, _, query_only = hostport.partition("?")
+        path_and_query = "/?" + query_only
+    path, _, query = path_and_query.partition("?")
+    host, _, port_text = hostport.partition(":")
+    host = host.lower().rstrip(".")
+    if not host:
+        raise UrlError(f"URL has no host: {url!r}")
+    if port_text:
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise UrlError(f"bad port in URL: {url!r}") from exc
+        if not 0 < port < 65536:
+            raise UrlError(f"port out of range in URL: {url!r}")
+    else:
+        default = _DEFAULT_PORTS.get(scheme)
+        if default is None:
+            port = 0
+        else:
+            port = default
+    return ParsedUrl(scheme=scheme, host=host, port=port, path=path or "/", query=query)
+
+
+def host_of(url: str) -> str:
+    """Return the lower-cased host of an absolute URL."""
+    return parse_url(url).host
+
+
+def same_host(url_a: str, url_b: str) -> bool:
+    """Whether two absolute URLs share a host."""
+    return host_of(url_a) == host_of(url_b)
+
+
+def resolve_relative(base: str, target: str) -> str:
+    """Resolve ``target`` against ``base`` like a browser would (subset).
+
+    Supports absolute URLs, scheme-relative (``//host/...``),
+    host-relative (``/path``), and naive relative paths.
+    """
+    if "://" in target:
+        return target
+    parsed = parse_url(base)
+    if target.startswith("//"):
+        return f"{parsed.scheme}:{target}"
+    if target.startswith("/"):
+        path, _, query = target.partition("?")
+        return str(parsed.with_path(path, query))
+    # Relative to the base path's directory.
+    directory = parsed.path.rsplit("/", 1)[0]
+    path, _, query = target.partition("?")
+    return str(parsed.with_path(f"{directory}/{path}", query))

@@ -1,0 +1,35 @@
+"""The synthetic web: publishers, third-party services, and ad chains.
+
+This package is the stand-in for the live 2017 web the paper crawled.
+It is generated deterministically from a seeded RNG and a **company
+registry** that encodes the real A&A ecosystem the paper observed —
+which companies initiate WebSockets, to whom, with what payloads, and
+how that changed when Chrome 58 patched the webRequest bug.
+
+The rest of the system treats this package exactly like a remote
+origin: the browser asks :class:`~repro.web.server.SyntheticWeb` for a
+page blueprint and "loads" it, emitting DevTools events along the way.
+"""
+
+from repro.web.alexa import AlexaUniverse, SeedList
+from repro.web.registry import CompanyRegistry, default_registry
+
+
+def __getattr__(name):
+    # SyntheticWeb lives in repro.web.server, which imports half the
+    # package; expose it lazily to keep `import repro.web` light.
+    if name in ("SyntheticWeb", "WebScale"):
+        from repro.web import server
+
+        return getattr(server, name)
+    raise AttributeError(name)
+
+
+__all__ = [
+    "AlexaUniverse",
+    "SeedList",
+    "CompanyRegistry",
+    "default_registry",
+    "SyntheticWeb",
+    "WebScale",
+]

@@ -1,0 +1,194 @@
+"""The synthetic Alexa top-1M universe and seed-list sampling (§3.3).
+
+The paper seeded its crawls with ~100K unique sites: the top 5.8K from
+each of the 17 Alexa top categories plus 5.8K sampled from the Alexa
+top-1M, deduplicated. We reproduce that procedure over a deterministic
+universe of one million ranked publisher domains; a ``scale`` parameter
+shrinks every sample proportionally so the study runs at laptop scale
+while keeping rank structure intact (ranks remain 1..1,000,000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.util.rng import RngStream, derive_seed
+from repro.web.categories import CATEGORIES, CATEGORY_NAMES
+
+UNIVERSE_SIZE = 1_000_000
+PAPER_PER_CATEGORY = 5_800
+PAPER_RANDOM_SAMPLE = 5_800
+
+_TLDS = ("com", "com", "com", "net", "org", "io", "co", "info", "tv", "me")
+_PREFIXES = ("", "", "", "my", "the", "get", "go", "top", "all", "pro", "e")
+_SUFFIXES = ("", "", "hub", "zone", "base", "spot", "now", "lab", "world", "hq", "central")
+
+
+@dataclass(frozen=True)
+class Site:
+    """One publisher in the universe.
+
+    Attributes:
+        rank: Alexa rank, 1-based (1 = most popular).
+        domain: Registrable domain, e.g. ``dailytribunenow.com``.
+        category: Alexa top-category name.
+    """
+
+    rank: int
+    domain: str
+    category: str
+
+    @property
+    def homepage(self) -> str:
+        """The site's homepage URL."""
+        return f"https://www.{self.domain}/"
+
+
+class AlexaUniverse:
+    """Deterministic generator of the ranked 1M-site universe.
+
+    Sites are derived (not stored): ``site_at(rank)`` is a pure function
+    of the universe seed, so sampling 2K or 100K sites costs memory
+    proportional to the sample, never to the universe.
+    """
+
+    def __init__(self, seed: int = 2017) -> None:
+        self.seed = seed
+
+    @lru_cache(maxsize=300_000)
+    def site_at(self, rank: int) -> Site:
+        """The site occupying a given rank (1-based)."""
+        if not 1 <= rank <= UNIVERSE_SIZE:
+            raise ValueError(f"rank out of range: {rank}")
+        rng = RngStream(self.seed, "universe", rank)
+        category = CATEGORIES[
+            derive_seed(self.seed, "cat", rank) % len(CATEGORIES)
+        ]
+        word_a = rng.choice(category.words)
+        word_b = rng.choice(category.words)
+        prefix = rng.choice(_PREFIXES)
+        suffix = rng.choice(_SUFFIXES)
+        tld = rng.choice(_TLDS)
+        core = word_a if word_a == word_b else word_a + word_b
+        label = f"{prefix}{core}{suffix}"
+        # Rank digits make collisions impossible without looking machine-made
+        # for the common case: only ~1 in 6 names carry them.
+        if rng.bernoulli(0.18):
+            label = f"{label}{rank % 1000}"
+        else:
+            label = f"{label}{_disambiguator(rank)}"
+        return Site(rank=rank, domain=f"{label}.{tld}", category=category.name)
+
+    def top_of_category(self, category: str, count: int) -> list[Site]:
+        """The ``count`` best-ranked sites of a category.
+
+        Mirrors Alexa's per-category toplists: we scan ranks in order and
+        keep those whose site belongs to the category. Category assignment
+        is uniform, so the scan touches ~17×count ranks.
+        """
+        if category not in CATEGORY_NAMES:
+            raise ValueError(f"unknown category: {category}")
+        found: list[Site] = []
+        rank = 1
+        while len(found) < count and rank <= UNIVERSE_SIZE:
+            site = self.site_at(rank)
+            if site.category == category:
+                found.append(site)
+            rank += 1
+        return found
+
+    def random_sample(self, count: int, stream: RngStream) -> list[Site]:
+        """Uniformly sample ``count`` distinct ranks from the top-1M."""
+        ranks: set[int] = set()
+        while len(ranks) < count:
+            ranks.add(stream.randint(1, UNIVERSE_SIZE))
+        return [self.site_at(r) for r in sorted(ranks)]
+
+
+def _disambiguator(rank: int) -> str:
+    """A short letter suffix unique per rank (base-26)."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    n = rank
+    out = []
+    while n:
+        n, rem = divmod(n, 26)
+        out.append(letters[rem])
+    return "".join(out)
+
+
+@dataclass
+class SeedList:
+    """The crawl seed list: the deduplicated union of all samples.
+
+    Attributes:
+        sites: Sites ordered by rank.
+        per_category: How many sites each category sample requested.
+        random_count: Size of the top-1M random sample.
+    """
+
+    sites: list[Site]
+    per_category: int
+    random_count: int
+    extra_sites: list[Site] = field(default_factory=list)
+
+    @property
+    def domains(self) -> list[str]:
+        """Seed domains in rank order."""
+        return [s.domain for s in self.sites]
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+def build_seed_list(
+    universe: AlexaUniverse,
+    scale: float = 1.0,
+    extra_sites: list[Site] | None = None,
+    seed: int = 2017,
+) -> SeedList:
+    """Reproduce the paper's seed-list construction, optionally scaled.
+
+    Args:
+        universe: The ranked universe to sample from.
+        scale: Fraction of the paper's sample sizes (1.0 = 5.8K per
+            category + 5.8K random ≈ 100K sites after dedup).
+        extra_sites: Deterministically placed sites that must be crawled
+            (the registry's reserved publishers), merged in after
+            sampling and deduplication.
+        seed: RNG seed for the random top-1M sample.
+
+    Returns:
+        The deduplicated, rank-ordered seed list.
+    """
+    if not 0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    per_category = max(1, round(PAPER_PER_CATEGORY * scale))
+    random_count = max(1, round(PAPER_RANDOM_SAMPLE * scale))
+    by_domain: dict[str, Site] = {}
+    # Single rank scan filling all 17 per-category toplists at once
+    # (equivalent to 17 top_of_category calls, one pass instead of 17).
+    remaining = {name: per_category for name in CATEGORY_NAMES}
+    unfilled = len(remaining)
+    rank = 1
+    while unfilled and rank <= UNIVERSE_SIZE:
+        site = universe.site_at(rank)
+        left = remaining[site.category]
+        if left > 0:
+            by_domain[site.domain] = site
+            remaining[site.category] = left - 1
+            if left == 1:
+                unfilled -= 1
+        rank += 1
+    stream = RngStream(seed, "seed-list", "random-sample")
+    for site in universe.random_sample(random_count, stream):
+        by_domain[site.domain] = site
+    for site in extra_sites or []:
+        by_domain[site.domain] = site
+    ordered = sorted(by_domain.values(), key=lambda s: s.rank)
+    return SeedList(
+        sites=ordered,
+        per_category=per_category,
+        random_count=random_count,
+        extra_sites=list(extra_sites or []),
+    )

@@ -1,0 +1,244 @@
+"""Ambient HTTP ecosystem: the ad/tracking traffic around the sockets.
+
+These companies never open WebSockets; they are the ordinary display-ad
+and analytics ecosystem of 2017. They matter for three measurements:
+
+* the HTTP/S columns of Table 5 (items sent/received to A&A domains
+  over HTTP, against which the WebSocket numbers are contrasted);
+* the tagged-resource corpus from which the A&A domain set is derived
+  (§3.2's ``a(d) ≥ 0.1·n(d)`` rule);
+* the §4.2 baseline that ~27% of all A&A inclusion chains would have
+  been blocked by EasyList/EasyPrivacy.
+
+``blockable_share`` controls what fraction of a company's resources
+match its own filter rules: ad exchanges are almost fully covered,
+analytics SDKs only partially — which is exactly why chain blocking
+stops only a minority of A&A chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.model import Company, Role
+
+
+@dataclass(frozen=True)
+class AmbientSpec:
+    """Deployment parameters for one ambient company.
+
+    Attributes:
+        company: The company record (rules, paths, mixes).
+        deploy_weight: Popularity weight for per-page selection.
+        blockable_share: Probability a generated resource uses a
+            blockable path (and therefore matches the lists).
+        chains_children: Average number of downstream A&A partners a
+            script of this company pulls in (ad-exchange fan-out).
+        top_bias: >1 skews deployment toward highly ranked sites.
+    """
+
+    company: Company
+    deploy_weight: float
+    blockable_share: float
+    chains_children: float = 0.0
+    top_bias: float = 1.0
+
+
+def _exchange(key: str, domain: str, weight: float, children: float) -> AmbientSpec:
+    return AmbientSpec(
+        company=Company(
+            key=key,
+            domain=domain,
+            role=Role.AD_EXCHANGE,
+            easylist_rules=(f"||{domain}^$third-party",),
+            blockable_paths=("/ads/tag.js", "/bid/request", "/imp/px.gif",
+                             "/ads/frame.html"),
+            clean_paths=(),
+            http_mix=(("script", 2.6), ("image", 1.2), ("sub_frame", 2.6),
+                      ("xmlhttprequest", 0.2), ("ping", 1.8)),
+            cookie_probability=0.55,
+        ),
+        deploy_weight=weight,
+        blockable_share=0.92,
+        chains_children=children,
+        top_bias=1.4,
+    )
+
+
+def _pixel(key: str, domain: str, weight: float) -> AmbientSpec:
+    return AmbientSpec(
+        company=Company(
+            key=key,
+            domain=domain,
+            role=Role.ANALYTICS,
+            easyprivacy_rules=(f"||{domain}^$image,third-party",
+                               f"||{domain}/sync^"),
+            blockable_paths=("/pixel.gif", "/sync/match"),
+            clean_paths=(),
+            http_mix=(("image", 1.6), ("ping", 2.4)),
+            cookie_probability=0.35,
+        ),
+        deploy_weight=weight,
+        blockable_share=0.95,
+        top_bias=1.2,
+    )
+
+
+def _sdk(key: str, domain: str, weight: float, blockable: float) -> AmbientSpec:
+    """Analytics SDKs: only their beacon endpoints are listed."""
+    return AmbientSpec(
+        company=Company(
+            key=key,
+            domain=domain,
+            role=Role.ANALYTICS,
+            easyprivacy_rules=(f"||{domain}/collect^", f"||{domain}/beacon^"),
+            blockable_paths=("/collect", "/beacon/b.gif"),
+            clean_paths=("/sdk/loader.js", "/sdk/app.js"),
+            http_mix=(("script", 3.2), ("image", 1.0), ("ping", 1.0),
+                      ("xmlhttprequest", 0.25)),
+            cookie_probability=0.5,
+        ),
+        deploy_weight=weight,
+        blockable_share=blockable,
+        top_bias=1.1,
+    )
+
+
+def _utility(key: str, domain: str, weight: float,
+             mix: tuple[tuple[str, float], ...]) -> AmbientSpec:
+    """Non-A&A infrastructure: CDNs, fonts, JS libraries."""
+    return AmbientSpec(
+        company=Company(
+            key=key,
+            domain=domain,
+            role=Role.CDN,
+            aa_expected=False,
+            clean_paths=("/lib/core.min.js", "/assets/styles.css",
+                         "/fonts/roboto.woff2", "/img/sprite.png"),
+            http_mix=mix,
+            cookie_probability=0.05,
+        ),
+        deploy_weight=weight,
+        blockable_share=0.0,
+    )
+
+
+AMBIENT_SPECS: tuple[AmbientSpec, ...] = (
+    # --- Ad exchanges / SSPs (heavily blacklisted, deep chains) ---------
+    _exchange("rubicon", "rubiconproject.com", 4.0, 1.6),
+    _exchange("pubmatic", "pubmatic.com", 3.5, 1.5),
+    _exchange("openx", "openx.net", 3.5, 1.4),
+    _exchange("criteo", "criteo.com", 4.5, 1.2),
+    _exchange("casalemedia", "casalemedia.com", 2.5, 1.3),
+    _exchange("indexexchange", "indexexchange.com", 2.0, 1.3),
+    _exchange("contextweb", "contextweb.com", 1.5, 1.2),
+    _exchange("spotxchange", "spotxchange.com", 1.2, 1.1),
+    _exchange("smartadserver", "smartadserver.com", 1.4, 1.2),
+    _exchange("adform", "adform.net", 1.6, 1.2),
+    _exchange("mediamath", "mathtag.com", 2.2, 1.1),
+    _exchange("adsrvr", "adsrvr.org", 2.0, 1.1),
+    _exchange("amazonads", "amazon-adsystem.com", 3.8, 1.2),
+    _exchange("taboola", "taboola.com", 3.0, 1.3),
+    _exchange("outbrain", "outbrain.com", 3.0, 1.3),
+    _exchange("sovrn", "sovrn.com", 1.4, 1.1),
+    _exchange("gumgum", "gumgum.com", 1.0, 1.0),
+    _exchange("sonobi", "sonobi.com", 0.9, 1.0),
+    _exchange("yieldmo", "yieldmo.com", 0.8, 1.0),
+    _exchange("teads", "teads.tv", 1.2, 1.1),
+    # --- Cookie-sync / data-management pixels ---------------------------
+    _pixel("scorecardresearch", "scorecardresearch.com", 4.0),
+    _pixel("quantserve", "quantserve.com", 3.6),
+    _pixel("bluekai", "bluekai.com", 2.4),
+    _pixel("demdex", "demdex.net", 2.6),
+    _pixel("krxd", "krxd.net", 2.2),
+    _pixel("exelator", "exelator.com", 1.6),
+    _pixel("eyeota", "eyeota.net", 1.2),
+    _pixel("tapad", "tapad.com", 1.3),
+    _pixel("rlcdn", "rlcdn.com", 1.8),
+    _pixel("crwdcntrl", "crwdcntrl.net", 1.5),
+    _pixel("agkn", "agkn.com", 1.4),
+    _pixel("everesttech", "everesttech.net", 1.5),
+    _pixel("turn", "turn.com", 1.4),
+    _pixel("bidswitch", "bidswitch.net", 1.6),
+    _pixel("moatads", "moatads.com", 2.0),
+    _pixel("doubleverify", "doubleverify.com", 1.6),
+    _pixel("adsafeprotected", "adsafeprotected.com", 1.9),
+    # --- Analytics SDKs (lightly listed: beacons only) -------------------
+    _sdk("googleanalytics", "google-analytics.com", 6.0, 0.45),
+    _sdk("chartbeat", "chartbeat.com", 2.2, 0.40),
+    _sdk("mixpanel", "mixpanel.com", 1.6, 0.40),
+    _sdk("segment", "segment.io", 1.4, 0.35),
+    _sdk("newrelic", "nr-data.net", 2.0, 0.35),
+    _sdk("optimizely", "optimizely.com", 1.6, 0.30),
+    _sdk("crazyegg", "crazyegg.com", 1.2, 0.40),
+    _sdk("parsely", "parsely.com", 0.9, 0.35),
+    _sdk("yandexmetrica", "mc-yandex.ru", 1.4, 0.45),
+    _sdk("statcounter", "statcounter.com", 1.3, 0.50),
+    # --- Non-A&A infrastructure ------------------------------------------
+    _utility("jquerycdn", "jquery.com", 4.0, (("script", 4.0),)),
+    _utility("gstatic", "gstatic.com", 5.0,
+             (("font", 2.0), ("image", 1.5), ("script", 1.0),
+              ("stylesheet", 1.0))),
+    _utility("bootstrapcdn", "bootstrapcdn.com", 2.5,
+             (("stylesheet", 2.0), ("script", 1.5))),
+    _utility("unpkg", "unpkg.com", 1.5, (("script", 3.0),)),
+    _utility("wpcontent", "wp.com", 3.0,
+             (("image", 3.0), ("script", 1.0), ("stylesheet", 1.0))),
+    _utility("gravatar", "gravatar.com", 2.0, (("image", 4.0),)),
+    _utility("typekit", "typekit.net", 1.8,
+             (("font", 3.0), ("stylesheet", 1.0), ("script", 1.0))),
+    _utility("akamai", "akamaihd.net", 2.5,
+             (("script", 2.0), ("image", 2.0), ("media", 1.0))),
+    _utility("fastly", "fastly.net", 2.0,
+             (("script", 1.5), ("image", 2.0), ("stylesheet", 1.0))),
+    _utility("jsdelivr", "jsdelivr.net", 1.5, (("script", 3.0),)),
+)
+
+# Ambient A&A companies that serve their tags from Cloudfront, making
+# up (with luckyorange and freshrelevance) the 13 manually mapped
+# Cloudfront subdomains of §3.2.
+CLOUDFRONT_TENANTS: tuple[tuple[str, str], ...] = (
+    ("snowplow", "d2xwmjc4uy2hr5.cloudfront.net"),
+    ("heapanalytics", "d36mpcpuzc4ztk.cloudfront.net"),
+    ("kissmetrics", "dm8fcbfr9nqzs.cloudfront.net"),
+    ("bouncex", "d3e54v103j8qbb.cloudfront.net"),
+    ("sailthru", "d1qpxk1wfeh8v1.cloudfront.net"),
+    ("bounceexchange", "d2nq0f8d9ofdwv.cloudfront.net"),
+    ("petametrics", "d22e4d61ky6061.cloudfront.net"),
+    ("simplereach", "d8rk54i4mohrb.cloudfront.net"),
+    ("getclicky", "dpmfv8i5oy8ar.cloudfront.net"),
+    ("adroll", "d31bfnnwekbny6.cloudfront.net"),
+    ("vwo", "d5phz18u4wuww.cloudfront.net"),
+)
+
+
+def cloudfront_ambient_specs() -> list[AmbientSpec]:
+    """Ambient analytics companies hosted on Cloudfront subdomains."""
+    specs = []
+    for key, cf_host in CLOUDFRONT_TENANTS:
+        domain = f"{key}.com"
+        specs.append(
+            AmbientSpec(
+                company=Company(
+                    key=key,
+                    domain=domain,
+                    role=Role.ANALYTICS,
+                    easyprivacy_rules=(f"||{domain}^$third-party",),
+                    blockable_paths=("/t/beacon.gif", "/sync/id"),
+                    clean_paths=("/sdk/tracker.js",),
+                    http_mix=(("script", 2.0), ("image", 2.0),
+                              ("xmlhttprequest", 1.0)),
+                    cookie_probability=0.6,
+                    cloudfront_host=cf_host,
+                ),
+                deploy_weight=0.8,
+                blockable_share=0.55,
+                top_bias=1.1,
+            )
+        )
+    return specs
+
+
+def all_ambient_specs() -> list[AmbientSpec]:
+    """Every ambient company, Cloudfront tenants included."""
+    return list(AMBIENT_SPECS) + cloudfront_ambient_specs()

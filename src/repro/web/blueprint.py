@@ -1,0 +1,140 @@
+"""Page blueprints: the declarative form of a page the browser executes.
+
+A blueprint is what the :class:`~repro.web.server.SyntheticWeb` returns
+for a (site, page, crawl) triple: a tree of resources with optional
+socket plans attached to script nodes. The browser walks the tree,
+emits CDP events, renders payloads against its own state (cookies,
+device profile, clock), and consults its extension for blocking — so
+the same blueprint produces different traffic under different browser
+configurations, which is exactly what the WRB ablation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.http import ResourceType
+
+
+@dataclass
+class HttpBeaconPlan:
+    """Tracking parameters to render onto an HTTP request at visit time.
+
+    Attributes:
+        query_items: Item names to place into the query string. Item
+            names come from the Table 5 taxonomy: ``uid``, ``cookie``,
+            ``language``, ``screen``, ``viewport``, ``device``,
+            ``resolution``, ``ip``, ``user_id``, ``first_seen``,
+            ``browser``.
+        post_items: Item names to place into a POST body instead
+            (``dom`` — session-replay uploads — must go here).
+    """
+
+    query_items: tuple[str, ...] = ()
+    post_items: tuple[str, ...] = ()
+
+    @property
+    def method(self) -> str:
+        """POST when a body is planned, GET otherwise."""
+        return "POST" if self.post_items else "GET"
+
+
+@dataclass
+class SocketPlan:
+    """A WebSocket to open from a script node.
+
+    Attributes:
+        ws_url: Endpoint URL, or empty when ``ws_pool`` is used.
+        ws_pool: Candidate endpoints; the browser picks one per socket.
+        profile: Payload profile name.
+        count: Number of sockets to open (Table 4's spp knob).
+        user_id: Pre-rendered user identifier ('' = anonymous visit).
+        receiver_key: Registry key of the receiving company ('' for
+            benign/unknown receivers) — carried for generation-side
+            bookkeeping only; the pipeline never sees it.
+        cookie_enabled: Whether this installation uses cookie-based
+            visitor identity at all (stable per site+deployment).
+    """
+
+    ws_url: str = ""
+    ws_pool: tuple[str, ...] = ()
+    profile: str = "chat"
+    count: int = 1
+    user_id: str = ""
+    receiver_key: str = ""
+    cookie_enabled: bool = True
+
+
+@dataclass
+class ResourceNode:
+    """One resource in the page's inclusion structure.
+
+    Attributes:
+        url: Absolute URL to fetch.
+        resource_type: What the browser fetches it as.
+        mime_type: Response MIME type (drives received-data classing).
+        inline: True for inline scripts — no fetch happens; the script
+            "parses" with the document's URL, so sockets it opens are
+            attributed to the first party (how FIRST_PARTY initiation
+            manifests in the inclusion tree).
+        children: Resources requested by this node's code.
+        sockets: Sockets this node's code opens (script nodes only).
+        sets_cookie: Whether the response sets a tracking cookie for
+            the resource's domain.
+        send_cookie: Whether the request carries the domain's cookie.
+        beacon: Tracking parameters to render onto the request.
+        body_size: Approximate response size (for realism only).
+    """
+
+    url: str
+    resource_type: ResourceType = ResourceType.SCRIPT
+    mime_type: str = "application/javascript"
+    inline: bool = False
+    children: list["ResourceNode"] = field(default_factory=list)
+    sockets: list[SocketPlan] = field(default_factory=list)
+    sets_cookie: bool = False
+    send_cookie: bool = False
+    beacon: HttpBeaconPlan | None = None
+    body_size: int = 0
+
+    def walk(self):
+        """Yield this node and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class PageBlueprint:
+    """A complete page: document plus its resource tree.
+
+    Attributes:
+        url: Page URL.
+        title: Document title (flows into serialized-DOM payloads).
+        resources: Top-level resources included by the document itself.
+        links: Same-site links the crawler may follow (§3.3's 15-link
+            policy applies to these).
+        dom_html: The page's *content fragment* (article body, forms,
+            unsent input state). The browser composes the full
+            serialized document from the resource tree plus this
+            fragment (see ``repro.browser.dom``); session-replay
+            payloads exfiltrate that serialization.
+    """
+
+    url: str
+    title: str = ""
+    resources: list[ResourceNode] = field(default_factory=list)
+    links: list[str] = field(default_factory=list)
+    dom_html: str = ""
+
+    def all_nodes(self):
+        """Yield every resource node in the page, depth-first."""
+        for resource in self.resources:
+            yield from resource.walk()
+
+    @property
+    def socket_count(self) -> int:
+        """Total sockets the page would open (unblocked)."""
+        return sum(
+            plan.count for node in self.all_nodes() for plan in node.sockets
+        )

@@ -1,0 +1,53 @@
+"""The 17 Alexa top categories the paper sampled from (§3.3).
+
+Each category carries a small vocabulary used to mint plausible
+publisher domain names, so generated hostnames look like the web rather
+than like ``site00042.com``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Category:
+    """One Alexa top category.
+
+    Attributes:
+        name: Category name as Alexa spelled it.
+        words: Vocabulary for domain-name generation.
+        ad_intensity: Relative propensity of sites in this category to
+            carry advertising (news sites are ad-heavy; reference sites
+            are not). Used by the site generator.
+    """
+
+    name: str
+    words: tuple[str, ...]
+    ad_intensity: float = 1.0
+
+
+CATEGORIES: tuple[Category, ...] = (
+    Category("Arts", ("gallery", "film", "music", "artist", "theater", "culture", "design", "photo"), 1.1),
+    Category("Business", ("capital", "trade", "invest", "market", "biz", "corp", "finance", "ledger"), 0.9),
+    Category("Computers", ("tech", "code", "dev", "cloud", "data", "byte", "stack", "linux"), 0.8),
+    Category("Games", ("game", "play", "arcade", "quest", "pixel", "guild", "clan", "arena"), 1.3),
+    Category("Health", ("health", "clinic", "care", "wellness", "fit", "medic", "recovery", "therapy"), 1.0),
+    Category("Home", ("home", "garden", "decor", "kitchen", "diy", "craft", "casa", "nest"), 1.0),
+    Category("Kids_and_Teens", ("kids", "teen", "school", "fun", "learn", "junior", "youth", "campus"), 0.9),
+    Category("News", ("news", "daily", "times", "post", "herald", "tribune", "wire", "gazette"), 1.6),
+    Category("Recreation", ("travel", "outdoor", "camp", "trail", "voyage", "tour", "resort", "fishing"), 1.0),
+    Category("Reference", ("wiki", "ref", "dictionary", "atlas", "scholar", "archive", "lexicon", "library"), 0.6),
+    Category("Regional", ("city", "local", "region", "metro", "town", "county", "village", "province"), 1.0),
+    Category("Science", ("science", "lab", "research", "physics", "bio", "astro", "quantum", "geo"), 0.7),
+    Category("Shopping", ("shop", "store", "deal", "cart", "bargain", "outlet", "mall", "boutique"), 1.4),
+    Category("Society", ("forum", "community", "social", "voice", "people", "culture", "debate", "alliance"), 1.1),
+    Category("Sports", ("sport", "score", "league", "team", "athletic", "stadium", "racing", "goal"), 1.4),
+    Category("Adult", ("date", "flirt", "night", "glam", "desire", "velvet", "charm", "amour"), 1.5),
+    Category("World", ("world", "global", "international", "planet", "continental", "pan", "terra", "orbis"), 1.0),
+)
+
+CATEGORY_NAMES: tuple[str, ...] = tuple(c.name for c in CATEGORIES)
+CATEGORY_BY_NAME: dict[str, Category] = {c.name: c for c in CATEGORIES}
+
+assert len(CATEGORIES) == 17, "the paper sampled 17 Alexa top categories"

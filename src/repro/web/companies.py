@@ -1,0 +1,370 @@
+"""The company data behind the synthetic web.
+
+Every named initiator, receiver, and pair from Tables 2–4 of the paper
+is declared here, together with calibrated deployment parameters chosen
+so the *measured* outputs of the pipeline reproduce the paper's shape:
+
+* the per-crawl unique A&A initiator counts (75 / 63 / 19 / 23) follow
+  from the activity windows below — eight major ad platforms
+  (DoubleClick, Facebook, Google, AddThis, …) and most long-tail ad-tech
+  initiators stop initiating after the Chrome 58 patch;
+* receiver-side counts (16 / 18 / 15 / 18 unique A&A receivers) follow
+  from the per-crawl presence of the minor receivers;
+* per-pair socket counts approximate Table 4 at full scale.
+
+Derivations live in the comments next to each constant; the measurement
+pipeline never reads this module.
+"""
+
+from __future__ import annotations
+
+from repro.web.model import (
+    ALL_CRAWLS,
+    FIRST_PARTY,
+    PRE_PATCH_CRAWLS,
+    Company,
+    CrawlMood,
+    Role,
+    SocketPairSpec,
+    TailPlan,
+)
+
+# ---------------------------------------------------------------------------
+# Crawl windows (Table 1 rows). Chrome 58 shipped 2017-04-19.
+# ---------------------------------------------------------------------------
+
+CRAWL_MOODS: tuple[CrawlMood, ...] = (
+    CrawlMood("Apr 02-05, 2017", "2017-04-02", 57, activity=1.00, ambient_socket_boost=1.00),
+    CrawlMood("Apr 11-16, 2017", "2017-04-11", 57, activity=1.13, ambient_socket_boost=1.25),
+    CrawlMood("May 07-12, 2017", "2017-05-07", 58, activity=1.00, ambient_socket_boost=1.10),
+    CrawlMood("Oct 12-16, 2017", "2017-10-12", 58, activity=1.15, ambient_socket_boost=1.40),
+)
+
+# Per-crawl activity windows for the minor A&A receivers, chosen so the
+# unique-receiver row of Table 1 comes out 16 / 18 / 15 / 18 by
+# measurement (13 receivers are always-on; see CRAWLS_* below).
+CRAWLS_VELARO = frozenset({1, 3})
+CRAWLS_TRUCONVERSION = frozenset({0, 1, 3})
+CRAWLS_SIMPLEHEATMAPS = frozenset({1, 3})
+CRAWLS_SESSIONCAM = frozenset({0, 2})
+CRAWLS_LIVECHATINC = frozenset({0, 1})
+CRAWLS_TAWK = frozenset({1, 3})
+CRAWLS_USERREPLAY = frozenset({2, 3})
+
+
+def _chat(key: str, domain: str, **kw) -> Company:
+    defaults = dict(
+        role=Role.LIVE_CHAT,
+        easyprivacy_rules=(f"||{domain}/track^", f"||{domain}/visitor-sync^"),
+        blockable_paths=("/track/beacon.gif", "/visitor-sync/px.gif"),
+        clean_paths=("/widget/chat.js", "/widget/chat.css"),
+        http_mix=(("script", 3.0), ("image", 1.0), ("xmlhttprequest", 1.0)),
+        cookie_probability=0.9,
+    )
+    defaults.update(kw)
+    return Company(key=key, domain=domain, **defaults)
+
+
+def _replay(key: str, domain: str, **kw) -> Company:
+    defaults = dict(
+        role=Role.SESSION_REPLAY,
+        easyprivacy_rules=(f"||{domain}/collect^", f"||{domain}^$image,third-party"),
+        blockable_paths=("/collect/beacon.gif",),
+        clean_paths=("/recorder/rec.js",),
+        http_mix=(("script", 3.0), ("image", 1.0), ("xmlhttprequest", 2.0)),
+        cookie_probability=0.95,
+    )
+    defaults.update(kw)
+    return Company(key=key, domain=domain, **defaults)
+
+
+def _adtech(key: str, domain: str, role: Role = Role.AD_NETWORK, **kw) -> Company:
+    defaults = dict(
+        role=role,
+        easylist_rules=(f"||{domain}^$third-party",),
+        blockable_paths=("/ads/tag.js", "/ads/px.gif", "/bid/request"),
+        clean_paths=(),
+        http_mix=(("script", 3.0), ("image", 3.0), ("sub_frame", 1.5), ("xmlhttprequest", 0.5)),
+        cookie_probability=0.75,
+    )
+    defaults.update(kw)
+    return Company(key=key, domain=domain, **defaults)
+
+
+# ---------------------------------------------------------------------------
+# A&A WebSocket receivers — the 20 unique receiver entities of Table 1,
+# column 7, led by the top-15 of Table 3.
+# ---------------------------------------------------------------------------
+
+RECEIVER_COMPANIES: tuple[Company, ...] = (
+    _chat("intercom", "intercom.io", ws_host="nexus-websocket-a.intercom.io"),
+    Company(
+        key="33across",
+        domain="33across.com",
+        role=Role.ANALYTICS,
+        easyprivacy_rules=("||33across.com/sync^", "||33across.com^$image,third-party"),
+        blockable_paths=("/sync/px.gif",),
+        clean_paths=("/tc/tc.js",),
+        http_mix=(("script", 2.0), ("image", 3.0)),
+        cookie_probability=0.85,
+        ws_host="rt.33across.com",
+    ),
+    _chat("zopim", "zopim.com", ws_host="widget-mediator.zopim.com"),
+    Company(
+        key="realtime",
+        domain="realtime.co",
+        role=Role.REALTIME_INFRA,
+        easyprivacy_rules=("||realtime.co/metrics^",),
+        blockable_paths=("/metrics/px.gif",),
+        clean_paths=("/js/ortc.js",),
+        http_mix=(("script", 3.0), ("image", 0.5)),
+        cookie_probability=0.5,
+        ws_host="ortc-node.realtime.co",
+    ),
+    _chat("smartsupp", "smartsupp.com", ws_host="websocket.smartsupp.com"),
+    Company(
+        key="feedjit",
+        domain="feedjit.com",
+        role=Role.ANALYTICS,
+        easyprivacy_rules=("||feedjit.com/track^", "||feedjit.com^$image,third-party"),
+        blockable_paths=("/track/hit.gif",),
+        clean_paths=("/serve/feed.js",),
+        http_mix=(("script", 2.0), ("image", 2.0)),
+        cookie_probability=0.8,
+        ws_host="live.feedjit.com",
+    ),
+    _replay("inspectlet", "inspectlet.com", ws_host="wss.inspectlet.com"),
+    Company(
+        key="pusher",
+        domain="pusher.com",
+        role=Role.REALTIME_INFRA,
+        easyprivacy_rules=("||pusher.com/stats^",),
+        blockable_paths=("/stats/collect",),
+        clean_paths=("/pusher.min.js",),
+        http_mix=(("script", 3.0), ("xmlhttprequest", 1.0)),
+        cookie_probability=0.4,
+        ws_host="ws.pusher.com",
+        script_host="js.pusher.com",
+    ),
+    Company(
+        key="disqus",
+        domain="disqus.com",
+        role=Role.COMMENTS,
+        easylist_rules=("||disqus.com/ads^",),
+        easyprivacy_rules=("||disqus.com/event^",),
+        blockable_paths=("/event/track.gif", "/ads/sponsored.js"),
+        clean_paths=("/embed/comments.js", "/embed/thread.css"),
+        http_mix=(("script", 3.0), ("sub_frame", 1.5), ("image", 1.0), ("xmlhttprequest", 1.5)),
+        cookie_probability=0.9,
+        ws_host="realtime.services.disqus.com",
+    ),
+    _replay("hotjar", "hotjar.com", ws_host="ws.hotjar.com", script_host="static.hotjar.com"),
+    Company(
+        key="freshrelevance",
+        domain="freshrelevance.com",
+        role=Role.ANALYTICS,
+        easyprivacy_rules=("||freshrelevance.com/collect^",),
+        blockable_paths=("/collect/beacon.gif",),
+        clean_paths=("/js/tracker.js",),
+        http_mix=(("script", 2.0), ("image", 1.0), ("xmlhttprequest", 1.0)),
+        cookie_probability=0.9,
+        ws_host="push.freshrelevance.com",
+        cloudfront_host="d81mfvml8p5ml.cloudfront.net",
+    ),
+    Company(
+        key="lockerdome",
+        domain="lockerdome.com",
+        role=Role.AD_NETWORK,
+        easylist_rules=("||lockerdome.com/ads^", "||lockerdome.com^$script,third-party"),
+        blockable_paths=("/ads/slot.js",),
+        clean_paths=(),
+        http_mix=(("script", 3.0), ("xmlhttprequest", 1.0)),
+        cookie_probability=0.85,
+        ws_host="api.lockerdome.com",
+        # NB: creatives come from cdn1.lockerdome.com, which no rule
+        # covers — the §4.3 circumvention finding.
+    ),
+    _chat("velaro", "velaro.com", ws_host="live.velaro.com"),
+    _replay("truconversion", "truconversion.com", ws_host="rec.truconversion.com"),
+    _replay("simpleheatmaps", "simpleheatmaps.com", ws_host="collect.simpleheatmaps.com"),
+    _replay(
+        "luckyorange",
+        "luckyorange.com",
+        ws_host="visitors.luckyorange.com",
+        cloudfront_host="d10lpsik1i8c69.cloudfront.net",
+    ),
+    # The four tail receivers completing Table 1's 20 unique A&A receivers.
+    _replay("sessioncam", "sessioncam.com", ws_host="ws.sessioncam.com"),
+    _chat("livechatinc", "livechatinc.com", ws_host="ws.livechatinc.com"),
+    _chat("tawk", "tawk.to", ws_host="ws.tawk.to"),
+    _replay("userreplay", "userreplay.net", ws_host="ws.userreplay.net"),
+)
+
+# ---------------------------------------------------------------------------
+# A&A WebSocket initiators that are not receivers: the major ad platforms
+# (bold rows of Table 2) plus two analytics initiators from Table 4.
+# All eight majors stopped initiating after the Chrome 58 patch (§4.1).
+# ---------------------------------------------------------------------------
+
+MAJOR_INITIATORS: tuple[Company, ...] = (
+    _adtech("doubleclick", "doubleclick.net", Role.AD_EXCHANGE,
+            script_host="securepubads.doubleclick.net"),
+    Company(
+        key="facebook",
+        domain="facebook.net",
+        role=Role.SOCIAL_WIDGET,
+        easyprivacy_rules=("||facebook.net/signals^", "||facebook.net/tr^"),
+        blockable_paths=("/signals/plugin.js", "/tr/px.gif"),
+        clean_paths=("/en_US/sdk.js",),
+        http_mix=(("script", 3.0), ("image", 2.0), ("sub_frame", 0.5)),
+        cookie_probability=0.95,
+        script_host="connect.facebook.net",
+    ),
+    Company(
+        key="google",
+        domain="google.com",
+        role=Role.AD_NETWORK,
+        easyprivacy_rules=("||google.com/pagead^", "||google.com/ads^"),
+        blockable_paths=("/pagead/conversion.js", "/ads/measure.gif"),
+        clean_paths=("/jsapi/loader.js", "/recaptcha/api.js"),
+        http_mix=(("script", 3.0), ("image", 1.5), ("sub_frame", 1.0)),
+        cookie_probability=0.9,
+        script_host="www.google.com",
+    ),
+    _adtech("googlesyndication", "googlesyndication.com",
+            script_host="pagead2.googlesyndication.com"),
+    _adtech("adnxs", "adnxs.com", Role.AD_EXCHANGE, script_host="acdn.adnxs.com"),
+    Company(
+        key="addthis",
+        domain="addthis.com",
+        role=Role.SOCIAL_WIDGET,
+        easyprivacy_rules=("||addthis.com^$third-party",),
+        blockable_paths=("/js/addthis_widget.js", "/red/p.png"),
+        clean_paths=(),
+        http_mix=(("script", 3.0), ("image", 2.0)),
+        cookie_probability=0.9,
+        script_host="s7.addthis.com",
+    ),
+    Company(
+        key="sharethis",
+        domain="sharethis.com",
+        role=Role.SOCIAL_WIDGET,
+        easyprivacy_rules=("||sharethis.com^$third-party",),
+        blockable_paths=("/button/buttons.js", "/pec/pixel.gif"),
+        clean_paths=(),
+        http_mix=(("script", 3.0), ("image", 1.0)),
+        cookie_probability=0.85,
+        script_host="w.sharethis.com",
+    ),
+    Company(
+        key="twitter",
+        domain="twitter.com",
+        role=Role.SOCIAL_WIDGET,
+        easyprivacy_rules=("||twitter.com/i/jot^", "||twitter.com/oct^"),
+        blockable_paths=("/i/jot/embeds", "/oct/pixel.gif"),
+        clean_paths=("/widgets/widgets.js",),
+        http_mix=(("script", 3.0), ("image", 1.0), ("sub_frame", 1.0)),
+        cookie_probability=0.9,
+        script_host="platform.twitter.com",
+    ),
+    Company(
+        key="webspectator",
+        domain="webspectator.com",
+        role=Role.ANALYTICS,
+        # Only the beacon endpoint is listed — the engagement SDK
+        # itself slipped past the lists, which is why webspectator's
+        # 1,285 realtime sockets would not have been chain-blocked.
+        easyprivacy_rules=("||webspectator.com/track^",),
+        blockable_paths=("/track/px.gif",),
+        clean_paths=("/gpt/ws.js",),
+        http_mix=(("script", 3.0), ("image", 1.0)),
+        cookie_probability=0.85,
+        script_host="cdn.webspectator.com",
+    ),
+    _chat("clickdesk", "clickdesk.com", ws_host="ws.clickdesk.com"),
+)
+
+# ---------------------------------------------------------------------------
+# Non-A&A entities that appear in the initiator tables: CDNs, games,
+# sports tickers, publisher platforms.
+# ---------------------------------------------------------------------------
+
+NON_AA_COMPANIES: tuple[Company, ...] = (
+    Company(
+        key="espncdn", domain="espncdn.com", role=Role.SPORTS, aa_expected=False,
+        clean_paths=("/scripts/fastcast.js",),
+        http_mix=(("script", 3.0), ("image", 2.0)), cookie_probability=0.1,
+        script_host="a.espncdn.com", ws_host="fastcast.espncdn.com",
+    ),
+    Company(
+        key="h-cdn", domain="h-cdn.com", role=Role.CDN, aa_expected=False,
+        clean_paths=("/static/player.js",),
+        http_mix=(("script", 2.0), ("media", 2.0)), cookie_probability=0.05,
+        script_host="cdn.h-cdn.com", ws_host="sync.h-cdn.com",
+    ),
+    Company(
+        key="slither", domain="slither.io", role=Role.GAME, aa_expected=False,
+        clean_paths=("/s/game.js",),
+        http_mix=(("script", 2.0),), cookie_probability=0.05,
+        script_host="slither.io", ws_host="s.slither.io",
+    ),
+    Company(
+        key="cloudflare", domain="cloudflare.com", role=Role.CDN, aa_expected=False,
+        clean_paths=("/cdn-cgi/rocket-loader.js", "/ajax/libs/jquery.min.js"),
+        http_mix=(("script", 3.0), ("stylesheet", 1.0)), cookie_probability=0.2,
+        script_host="cdnjs.cloudflare.com", ws_host="ws.cloudflare.com",
+        deploy_weight=3.0,
+    ),
+    Company(
+        key="googleapis", domain="googleapis.com", role=Role.CDN, aa_expected=False,
+        clean_paths=("/ajax/libs/jquery/3.1.0/jquery.min.js", "/js/client.js"),
+        http_mix=(("script", 3.0), ("font", 1.0), ("stylesheet", 1.0)),
+        cookie_probability=0.05,
+        script_host="ajax.googleapis.com", ws_host="push.googleapis.com",
+        deploy_weight=4.0,
+    ),
+    Company(
+        key="cdn77", domain="cdn77.org", role=Role.CDN, aa_expected=False,
+        clean_paths=("/static/bundle.js",),
+        http_mix=(("script", 2.0), ("stylesheet", 1.0)), cookie_probability=0.05,
+        script_host="cdn.cdn77.org", ws_host="ws.cdn77.org",
+    ),
+    Company(
+        key="youtube", domain="youtube.com", role=Role.VIDEO, aa_expected=False,
+        clean_paths=("/iframe_api", "/player/player.js"),
+        http_mix=(("script", 2.0), ("sub_frame", 3.0), ("image", 1.0)),
+        cookie_probability=0.6,
+        script_host="www.youtube.com", ws_host="push.youtube.com",
+        deploy_weight=2.5,
+    ),
+    Company(
+        key="blogger", domain="blogger.com", role=Role.PUBLISHER_TOOL, aa_expected=False,
+        clean_paths=("/static/widgets.js",),
+        http_mix=(("script", 2.0), ("image", 1.0)), cookie_probability=0.4,
+        script_host="www.blogger.com", ws_host="ws.blogger.com",
+    ),
+    Company(
+        key="sportingindex", domain="sportingindex.com", role=Role.SPORTS,
+        aa_expected=False,
+        clean_paths=("/js/spread.js",),
+        http_mix=(("script", 2.0),), cookie_probability=0.3,
+        script_host="www.sportingindex.com", ws_host="push.sportingindex.com",
+    ),
+)
+
+# Publisher sites named in Table 4 whose own inline scripts open chat
+# sockets (the recognizable first parties).
+RESERVED_PUBLISHERS: dict[str, str] = {
+    # domain -> category used when the site is generated
+    "acenterforrecovery.com": "Health",
+    "vatit.com": "Business",
+    "plymouthart.ac.uk": "Arts",
+    "welchllp.com": "Business",
+    "biozone.com": "Science",
+    "rubymonk.com": "Computers",
+    "getambassador.com": "Business",
+    "simpleheat-demo.com": "Computers",  # the lone simpleheatmaps customer
+    "sportingindex.com": "Sports",
+    "slither.io": "Games",
+    "velarocustomer-support.com": "Business",
+}

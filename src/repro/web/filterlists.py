@@ -1,0 +1,96 @@
+"""Synthetic EasyList / EasyPrivacy for the synthetic web.
+
+Real filter lists are community-maintained against the real web; the
+synthetic web needs lists that play the same roles — tagging A&A
+resources and driving the blocking analyses — written in genuine ABP
+syntax and parsed by the same engine a real list would be.
+
+EasyList carries the ad-blocking rules (exchanges, ad networks);
+EasyPrivacy carries the tracker rules (pixels, analytics, session
+replay beacons). A handful of ``@@`` exceptions model the lists'
+documented whitelisting "to avoid site breakage" (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+from repro.filters.engine import FilterEngine
+from repro.filters.parser import parse_filter_list
+from repro.filters.rules import FilterList
+from repro.web.registry import CompanyRegistry
+
+_EASYLIST_HEADER = """\
+[Adblock Plus 2.0]
+! Title: EasyList (synthetic ecosystem build)
+! Homepage: https://easylist.to/
+! Expires: 4 days
+"""
+
+_EASYPRIVACY_HEADER = """\
+[Adblock Plus 2.0]
+! Title: EasyPrivacy (synthetic ecosystem build)
+! Homepage: https://easylist.to/
+! Expires: 4 days
+"""
+
+# Whitelist entries modeled on EasyList's breakage-avoidance policy.
+_EASYLIST_EXCEPTIONS = (
+    "@@||google.com/recaptcha/$script,subdocument",
+    "@@||disqus.com/embed/comments.js$script",
+    "@@||googlesyndication.com/sodar/$script",
+)
+
+_EASYPRIVACY_EXCEPTIONS = (
+    "@@||twitter.com/widgets/widgets.js$script",
+    "@@||facebook.net/en_US/sdk.js$script",
+)
+
+# A few generic (non-domain-anchored) patterns, as real lists carry.
+_GENERIC_EASYLIST = (
+    "/ads/tag.js$script,third-party",
+    "/bid/request$xmlhttprequest",
+    "/imp/px.gif$image",
+)
+
+_GENERIC_EASYPRIVACY = (
+    "/sync/match$third-party",
+    "/track/hit.gif$image,third-party",
+)
+
+
+def build_easylist_text(registry: CompanyRegistry) -> str:
+    """Render the synthetic EasyList file."""
+    lines = [_EASYLIST_HEADER]
+    lines.append("! --- General advert blocking filters ---")
+    lines.extend(_GENERIC_EASYLIST)
+    lines.append("! --- Third-party advertising domains ---")
+    for company in sorted(registry.companies.values(), key=lambda c: c.domain):
+        lines.extend(company.easylist_rules)
+    lines.append("! --- Whitelists to fix broken sites ---")
+    lines.extend(_EASYLIST_EXCEPTIONS)
+    return "\n".join(lines) + "\n"
+
+
+def build_easyprivacy_text(registry: CompanyRegistry) -> str:
+    """Render the synthetic EasyPrivacy file."""
+    lines = [_EASYPRIVACY_HEADER]
+    lines.append("! --- General tracking filters ---")
+    lines.extend(_GENERIC_EASYPRIVACY)
+    lines.append("! --- Third-party tracking domains ---")
+    for company in sorted(registry.companies.values(), key=lambda c: c.domain):
+        lines.extend(company.easyprivacy_rules)
+    lines.append("! --- Whitelists to fix broken sites ---")
+    lines.extend(_EASYPRIVACY_EXCEPTIONS)
+    return "\n".join(lines) + "\n"
+
+
+def build_filter_lists(registry: CompanyRegistry) -> list[FilterList]:
+    """Parse both synthetic lists into engine-ready form."""
+    return [
+        parse_filter_list("easylist", build_easylist_text(registry)),
+        parse_filter_list("easyprivacy", build_easyprivacy_text(registry)),
+    ]
+
+
+def build_filter_engine(registry: CompanyRegistry) -> FilterEngine:
+    """The blocking engine over EasyList + EasyPrivacy."""
+    return FilterEngine(build_filter_lists(registry))

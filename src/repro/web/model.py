@@ -1,0 +1,208 @@
+"""Data model for the company registry.
+
+The registry describes the synthetic ecosystem declaratively: who the
+companies are, which filter lists cover them, who opens WebSockets to
+whom (and during which crawls), and what HTTP resources they serve.
+The site generator and filter-list builder consume these records; the
+measurement pipeline never sees them — it must *rediscover* everything
+from network behaviour, exactly as the paper did.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Role(str, enum.Enum):
+    """Business role of a company, mirroring §4.2's taxonomy."""
+
+    AD_EXCHANGE = "ad_exchange"
+    AD_NETWORK = "ad_network"
+    SOCIAL_WIDGET = "social_widget"
+    ANALYTICS = "analytics"
+    SESSION_REPLAY = "session_replay"
+    LIVE_CHAT = "live_chat"
+    REALTIME_INFRA = "realtime_infra"
+    COMMENTS = "comments"
+    CONTENT_RECOMMENDATION = "content_recommendation"
+    CDN = "cdn"
+    GAME = "game"
+    SPORTS = "sports"
+    VIDEO = "video"
+    PUBLISHER_TOOL = "publisher_tool"
+
+
+ALL_CRAWLS: frozenset[int] = frozenset({0, 1, 2, 3})
+PRE_PATCH_CRAWLS: frozenset[int] = frozenset({0, 1})
+POST_PATCH_CRAWLS: frozenset[int] = frozenset({2, 3})
+
+# Sentinel initiator/receiver meaning "the embedding publisher itself".
+FIRST_PARTY = "FIRST_PARTY"
+
+
+@dataclass(frozen=True)
+class Company:
+    """One company in the ecosystem.
+
+    Attributes:
+        key: Short registry key (``"doubleclick"``).
+        domain: Registrable domain (``"doubleclick.net"``).
+        role: Business role.
+        aa_expected: Whether the company *should* end up labeled A&A by
+            the pipeline — used only by tests/validation, never by the
+            pipeline itself.
+        script_host: Fully-qualified host serving the company's JS.
+        ws_host: Fully-qualified host accepting its WebSockets.
+        cloudfront_host: When set, the company serves its script from
+            this Cloudfront subdomain instead of ``script_host`` (the
+            paper's manual-mapping case, §3.2).
+        easylist_rules: ABP rule lines contributed to synthetic EasyList.
+        easyprivacy_rules: Rule lines contributed to synthetic EasyPrivacy.
+        blockable_paths: URL path prefixes (on the company's hosts) that
+            its filter rules actually match.
+        clean_paths: Path prefixes serving resources no rule matches
+            (chat widgets, site-functional code).
+        http_mix: Relative weights of HTTP resource kinds this company
+            serves ambiently: ``script``, ``image``, ``sub_frame``,
+            ``xmlhttprequest``, ``ping``, ``stylesheet``.
+        cookie_probability: Chance an HTTP request to it carries a cookie.
+        deploy_weight: Relative popularity in ambient (non-socket) page
+            embeds; 0 disables ambient embedding.
+    """
+
+    key: str
+    domain: str
+    role: Role
+    aa_expected: bool = True
+    script_host: str = ""
+    ws_host: str = ""
+    cloudfront_host: str = ""
+    easylist_rules: tuple[str, ...] = ()
+    easyprivacy_rules: tuple[str, ...] = ()
+    blockable_paths: tuple[str, ...] = ()
+    clean_paths: tuple[str, ...] = ("/widget/app.js",)
+    http_mix: tuple[tuple[str, float], ...] = (("script", 1.0),)
+    cookie_probability: float = 0.5
+    deploy_weight: float = 0.0
+
+    def resolved_script_host(self) -> str:
+        """Host the company's script is fetched from."""
+        if self.cloudfront_host:
+            return self.cloudfront_host
+        return self.script_host or f"cdn.{self.domain}"
+
+    def resolved_ws_host(self) -> str:
+        """Host the company's WebSocket endpoint lives on."""
+        return self.ws_host or f"ws.{self.domain}"
+
+    def beacon_host(self) -> str:
+        """Host serving the company's tracking beacons.
+
+        Always on the company's own registrable domain — even for
+        Cloudfront tenants, whose *scripts* live on the CDN. This is
+        what makes the paper's adjacency-based Cloudfront mapping
+        possible: the CDN-hosted script loads a beacon from (or opens
+        a socket to) the tenant's own domain.
+        """
+        return f"px.{self.domain}"
+
+
+@dataclass(frozen=True)
+class SocketPairSpec:
+    """One initiator→receiver WebSocket relationship to deploy.
+
+    The generator turns each spec into ``round(sites * scale)`` (min 1)
+    publisher-site deployments with deterministic rank placement, so the
+    pair is observed at every crawl scale.
+
+    Attributes:
+        pair_id: Unique identifier for RNG stream derivation.
+        initiator: Company key, or :data:`FIRST_PARTY` when the
+            publisher's own inline script opens the socket.
+        receiver: Company key, or :data:`FIRST_PARTY` for self-hosted
+            (same-origin) sockets.
+        via: Company keys of script ancestors *above* the initiator in
+            the inclusion chain (e.g. an ad exchange that loaded the
+            initiating helper script).
+        sites: Number of distinct publisher sites at scale 1.0.
+        page_probability: Chance a given page visit opens the socket.
+        sockets_per_page: Sockets opened per activating page visit.
+        profile: Payload profile name (see ``repro.web.payloads``).
+        crawls: Crawl indices during which the pair is active.
+        rank_zone: ``"top"`` (ranks ≤10K), ``"mid"`` (10K–100K),
+            ``"tail"`` (100K–1M), or ``"mixed"``.
+        user_id_probability: Chance the page passes a logged-in user id
+            to the service (Table 5 "User ID").
+        reserved_sites: Explicit publisher domains that must host this
+            pair (the recognizable first parties of Table 4).
+        scale_exempt: Keep the per-site socket rate unscaled (site
+            counts still scale) — used for the named pairs of Table 4,
+            whose per-publisher relationship intensity is the result
+            itself.
+    """
+
+    pair_id: str
+    initiator: str
+    receiver: str
+    via: tuple[str, ...] = ()
+    sites: int = 1
+    page_probability: float = 0.5
+    sockets_per_page: int = 1
+    profile: str = "chat"
+    crawls: frozenset[int] = ALL_CRAWLS
+    rank_zone: str = "mixed"
+    user_id_probability: float = 0.0
+    reserved_sites: tuple[str, ...] = ()
+    scale_exempt: bool = False
+
+
+@dataclass(frozen=True)
+class CrawlMood:
+    """Per-crawl global modifiers capturing ecosystem drift.
+
+    Attributes:
+        label: Human-readable crawl window (matches Table 1 rows).
+        start_date: ISO date the crawl starts.
+        chrome_major: Browser version used (57 pre-patch, 58 post).
+        activity: Multiplier on every pair's ``page_probability``.
+        ambient_socket_boost: Multiplier on ambient non-A&A socket
+            adoption (the Oct crawl saw more benign sockets).
+    """
+
+    label: str
+    start_date: str
+    chrome_major: int
+    activity: float = 1.0
+    ambient_socket_boost: float = 1.0
+
+
+@dataclass
+class RegistryValidationError(ValueError):
+    """Raised when registry data is internally inconsistent."""
+
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass(frozen=True)
+class TailPlan:
+    """Parameters for programmatically generated long-tail entities.
+
+    Attributes:
+        pre_only_initiators: Tail A&A initiators active only pre-patch.
+        crawl1_new_initiators: Tail initiators first seen in crawl 1.
+        persistent_from_pre: Tail initiators active in all four crawls.
+        post_only_initiators: Tail initiators first seen post-patch.
+        tail_receivers: Non-A&A SaaS receiver entities at scale 1.0.
+        tail_receiver_floor: Minimum tail receivers at any scale.
+    """
+
+    pre_only_initiators: int = 48
+    crawl1_new_initiators: int = 15
+    persistent_from_pre: int = 4
+    post_only_initiators: int = 4
+    tail_receivers: int = 320
+    tail_receiver_floor: int = 30

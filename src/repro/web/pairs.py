@@ -1,0 +1,403 @@
+"""Socket pair specifications: who connects to whom, where, how often.
+
+Every spec's ``sites`` / ``page_probability`` / ``sockets_per_page`` are
+calibrated against the paper's merged-dataset socket counts using
+
+    sockets ≈ sites × 15 pages × |crawls| × page_probability × spp
+
+so at scale 1.0 the measured Table 4 approximates the published one.
+Named single-site pairs (the recognizable publishers of Table 4) are
+*reserved*: they exist at every scale, preserving the table's shape.
+
+The tail machinery then fills in the long tail: 65 synthetic ad-tech
+initiators whose per-crawl activity windows produce the 75 / 63 / 19 /
+23 unique-initiator counts of Table 1, and a pool of benign SaaS
+receivers that (at full scale) brings the unique third-party receiver
+count to the reported ~382.
+"""
+
+from __future__ import annotations
+
+from repro.web.companies import (
+    CRAWLS_LIVECHATINC,
+    CRAWLS_SESSIONCAM,
+    CRAWLS_SIMPLEHEATMAPS,
+    CRAWLS_TAWK,
+    CRAWLS_TRUCONVERSION,
+    CRAWLS_USERREPLAY,
+    CRAWLS_VELARO,
+)
+from repro.web.model import (
+    ALL_CRAWLS,
+    FIRST_PARTY,
+    PRE_PATCH_CRAWLS,
+    SocketPairSpec,
+    TailPlan,
+)
+
+_PRE = PRE_PATCH_CRAWLS
+_ALL = ALL_CRAWLS
+
+
+def _self_pair(key: str, sites: int, prob: float, profile: str,
+               crawls=_ALL, spp: int = 1, zone: str = "mixed",
+               user_id_probability: float = 0.0) -> SocketPairSpec:
+    return SocketPairSpec(
+        pair_id=f"self:{key}", initiator=key, receiver=key, sites=sites,
+        page_probability=prob, sockets_per_page=spp, profile=profile,
+        crawls=frozenset(crawls), rank_zone=zone,
+        user_id_probability=user_id_probability,
+    )
+
+
+def _fp_pair(key: str, sites: int, prob: float, profile: str,
+             crawls=_ALL, spp: int = 1, zone: str = "mixed",
+             user_id_probability: float = 0.0,
+             reserved: tuple[str, ...] = ()) -> SocketPairSpec:
+    return SocketPairSpec(
+        pair_id=f"fp:{key}", initiator=FIRST_PARTY, receiver=key, sites=sites,
+        page_probability=prob, sockets_per_page=spp, profile=profile,
+        crawls=frozenset(crawls), rank_zone=zone,
+        user_id_probability=user_id_probability, reserved_sites=reserved,
+    )
+
+
+def _cross(initiator: str, receiver: str, sites: int, prob: float,
+           profile: str, crawls=_ALL, spp: int = 1, zone: str = "top",
+           via: tuple[str, ...] = (), user_id_probability: float = 0.0,
+           reserved: tuple[str, ...] = ()) -> SocketPairSpec:
+    return SocketPairSpec(
+        pair_id=f"pair:{initiator}->{receiver}", initiator=initiator,
+        receiver=receiver, via=via, sites=sites, page_probability=prob,
+        sockets_per_page=spp, profile=profile, crawls=frozenset(crawls),
+        rank_zone=zone, user_id_probability=user_id_probability,
+        reserved_sites=reserved, scale_exempt=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Self pairs: services whose own script opens the socket back home.
+# These dominate the "A&A domain to itself" row of Table 4 (36,056).
+# ---------------------------------------------------------------------------
+
+SELF_PAIRS: tuple[SocketPairSpec, ...] = (
+    # zopim self ≈ 19,064 (the paper calls this out explicitly):
+    # 400×60×0.80 = 19,200.
+    _self_pair("zopim", 440, 0.80, "chat", zone="mixed"),
+    _self_pair("intercom", 165, 0.50, "chat", zone="top",
+               user_id_probability=0.12),
+    _self_pair("disqus", 200, 0.50, "comments", zone="mixed"),
+    _self_pair("hotjar", 95, 0.50, "session_replay", zone="top"),
+    _self_pair("feedjit", 125, 0.49, "visitor_feed", zone="flat"),
+    _self_pair("realtime", 10, 0.48, "analytics_beacon", zone="top"),
+    _self_pair("smartsupp", 14, 0.50, "chat"),
+    _self_pair("inspectlet", 30, 0.51, "event_replay", zone="top"),
+    _self_pair("pusher", 15, 0.50, "realtime_feed", zone="top"),
+    _self_pair("33across", 10, 0.48, "fingerprint", zone="top"),
+    _self_pair("freshrelevance", 18, 0.50, "analytics_beacon"),
+    _self_pair("lockerdome", 18, 0.50, "ad_serving", zone="mixed",
+               user_id_probability=1.0),
+    _self_pair("luckyorange", 50, 0.50, "session_replay"),
+    _self_pair("velaro", 2, 0.50, "chat", crawls=CRAWLS_VELARO),
+    _self_pair("truconversion", 3, 0.75, "session_replay",
+               crawls=CRAWLS_TRUCONVERSION, spp=2),
+    _self_pair("sessioncam", 2, 0.50, "event_replay", crawls=CRAWLS_SESSIONCAM),
+    _self_pair("livechatinc", 3, 0.50, "chat", crawls=CRAWLS_LIVECHATINC),
+    _self_pair("tawk", 3, 0.50, "chat", crawls=CRAWLS_TAWK),
+    _self_pair("userreplay", 2, 0.50, "event_replay", crawls=CRAWLS_USERREPLAY),
+)
+
+# ---------------------------------------------------------------------------
+# Publisher-initiated pairs: the first party's own inline script opens
+# the socket. These drive Table 3's large "total initiators" counts
+# (intercom saw 156 unique initiators, mostly publishers).
+# ---------------------------------------------------------------------------
+
+FIRST_PARTY_PAIRS: tuple[SocketPairSpec, ...] = (
+    _fp_pair("intercom", 126, 0.55, "chat", zone="top",
+             user_id_probability=0.12),
+    _fp_pair("33across", 38, 0.95, "fingerprint", zone="top"),
+    _fp_pair("zopim", 31, 0.65, "chat"),
+    _fp_pair("realtime", 13, 0.70, "analytics_beacon", zone="top"),
+    _fp_pair("smartsupp", 20, 0.45, "chat"),
+    _fp_pair("feedjit", 14, 0.55, "visitor_feed", zone="tail"),
+    _fp_pair("inspectlet", 19, 0.50, "event_replay"),
+    _fp_pair("pusher", 11, 0.60, "realtime_feed", zone="top"),
+    _fp_pair("disqus", 3, 0.70, "comments"),
+    _fp_pair("hotjar", 6, 0.70, "session_replay", zone="top"),
+    _fp_pair("freshrelevance", 8, 0.50, "analytics_beacon"),
+    _fp_pair("lockerdome", 2, 0.50, "ad_serving", user_id_probability=1.0),
+    _fp_pair("velaro", 1, 0.20, "chat", crawls=CRAWLS_VELARO,
+             reserved=("velarocustomer-support.com",)),
+    _fp_pair("truconversion", 1, 0.50, "session_replay",
+             crawls=CRAWLS_TRUCONVERSION, spp=2),
+    # simpleheatmaps' sole customer — Table 3's "1 initiator, 0 A&A" row.
+    _fp_pair("simpleheatmaps", 1, 1.00, "event_replay",
+             crawls=CRAWLS_SIMPLEHEATMAPS, spp=3,
+             reserved=("simpleheat-demo.com",)),
+    _fp_pair("sessioncam", 1, 0.20, "event_replay", crawls=CRAWLS_SESSIONCAM),
+    _fp_pair("livechatinc", 2, 0.20, "chat", crawls=CRAWLS_LIVECHATINC),
+    _fp_pair("tawk", 2, 0.20, "chat", crawls=CRAWLS_TAWK),
+    _fp_pair("userreplay", 1, 0.20, "event_replay", crawls=CRAWLS_USERREPLAY),
+)
+
+# ---------------------------------------------------------------------------
+# The named cross pairs of Table 4, with calibrated socket budgets.
+# ---------------------------------------------------------------------------
+
+NAMED_CROSS_PAIRS: tuple[SocketPairSpec, ...] = (
+    # webspectator|realtime 1285: 21×60×1.0 = 1260.
+    _cross("webspectator", "realtime", 21, 1.00, "analytics_beacon",
+           user_id_probability=0.5),
+    # google|zopim 172 (pre-patch only): 6×30×0.95 = 171.
+    _cross("google", "zopim", 6, 0.95, "chat", crawls=_PRE),
+    # blogger|feedjit 158: 6×60×0.44 = 158.
+    _cross("blogger", "feedjit", 6, 0.44, "visitor_feed", zone="tail"),
+    # hotjar|intercom 144: 3×60×0.80 = 144.
+    _cross("hotjar", "intercom", 3, 0.80, "chat"),
+    # clickdesk|pusher 125: 4×60×0.52 = 125.
+    _cross("clickdesk", "pusher", 4, 0.52, "realtime_feed"),
+    # cdn77|smartsupp 122: 4×60×0.51 = 122.
+    _cross("cdn77", "smartsupp", 4, 0.51, "chat"),
+    # facebook|zopim 112 (pre-patch only): 5×30×0.75 = 112.
+    _cross("facebook", "zopim", 5, 0.75, "chat", crawls=_PRE),
+    # doubleclick|33across ≈150 of DoubleClick's 250 — the fingerprint
+    # flow §4.3 highlights: 8×30×0.63 = 151.
+    _cross("doubleclick", "33across", 10, 0.63, "fingerprint", crawls=_PRE),
+    # googleapis|sportingindex 96, reached through a DoubleClick ad
+    # script (making it an A&A socket by chain ancestry): 1×60×0.80×2.
+    _cross("googleapis", "sportingindex", 1, 0.80, "sports_live", spp=2,
+           via=("doubleclick",), reserved=("sportingindex.com",)),
+    # The recognizable single-publisher intercom/pusher customers.
+    _cross(FIRST_PARTY, "intercom", 1, 0.95, "chat", spp=2,
+           reserved=("acenterforrecovery.com",)),
+    _cross(FIRST_PARTY, "intercom", 1, 0.92, "chat", spp=2,
+           reserved=("vatit.com",), user_id_probability=0.3),
+    _cross(FIRST_PARTY, "intercom", 1, 0.90, "chat", spp=2,
+           reserved=("plymouthart.ac.uk",)),
+    _cross(FIRST_PARTY, "intercom", 1, 0.875, "chat", spp=2,
+           reserved=("welchllp.com",)),
+    _cross(FIRST_PARTY, "intercom", 1, 0.84, "chat", spp=2,
+           reserved=("biozone.com",)),
+    _cross(FIRST_PARTY, "pusher", 1, 0.84, "realtime_feed", spp=2,
+           reserved=("getambassador.com",)),
+    _cross(FIRST_PARTY, "intercom", 1, 0.82, "chat", spp=2,
+           reserved=("rubymonk.com",)),
+)
+
+# ---------------------------------------------------------------------------
+# Spread pairs: one initiator fanning out to many receivers. The A&A
+# receiver fans drive Table 2's "# Receivers (A&A)" column; the TAIL
+# entries connect to generated benign SaaS receivers and drive the
+# "Total" column. ``TAIL:n`` means: n distinct tail receivers.
+# ---------------------------------------------------------------------------
+
+
+def _spread(initiator: str, receivers: tuple[str, ...], tail_count: int,
+            prob: float, crawls=_ALL, profile: str = "realtime_feed",
+            zone: str = "top", receivers_per_site: int = 3) -> list[SocketPairSpec]:
+    """Expand a fan-out into per-receiver specs sharing grouped sites."""
+    specs: list[SocketPairSpec] = []
+    targets = list(receivers) + [f"TAIL:{initiator}:{i}" for i in range(tail_count)]
+    for idx, receiver in enumerate(targets):
+        specs.append(
+            SocketPairSpec(
+                pair_id=f"spread:{initiator}->{receiver}",
+                initiator=initiator,
+                receiver=receiver,
+                sites=1,
+                page_probability=prob,
+                profile=profile if not receiver.startswith("TAIL:") else "realtime_feed",
+                crawls=frozenset(crawls),
+                rank_zone=zone,
+            )
+        )
+    return specs
+
+
+_AA_CHAT_POOL = ("intercom", "zopim", "realtime", "pusher", "smartsupp",
+                 "feedjit", "inspectlet", "hotjar", "disqus", "33across",
+                 "lockerdome", "livechatinc")
+
+
+def build_spread_pairs() -> list[SocketPairSpec]:
+    """All fan-out specs, one list (see Table 2 calibration notes).
+
+    The A&A fans are solved jointly with the tail quotas below so that
+    Table 2's "# Receivers (A&A)" column and Table 3's "# Initiators
+    (A&A)" column both reproduce the paper.
+    """
+    specs: list[SocketPairSpec] = []
+    # facebook: 35 receivers (11 A&A incl. zopim above), 441 sockets.
+    specs += _spread("facebook",
+                     ("intercom", "pusher", "realtime", "smartsupp", "feedjit",
+                      "inspectlet", "hotjar", "disqus", "33across", "livechatinc"),
+                     24, prob=0.28, crawls=_PRE, profile="chat")
+    # doubleclick: 29 receivers (9 A&A incl. 33across above), 250 sockets.
+    specs += _spread("doubleclick",
+                     ("realtime", "pusher", "lockerdome", "hotjar", "disqus",
+                      "intercom", "feedjit", "inspectlet"),
+                     20, prob=0.10, crawls=_PRE, profile="analytics_beacon")
+    # google: 23 receivers (11 A&A incl. zopim above), 381 sockets.
+    specs += _spread("google",
+                     ("intercom", "realtime", "pusher", "smartsupp", "feedjit",
+                      "hotjar", "disqus", "inspectlet", "33across", "livechatinc"),
+                     12, prob=0.28, crawls=_PRE, profile="chat")
+    # youtube (non-A&A): 18 receivers (8 A&A), 129 sockets, all crawls.
+    specs += _spread("youtube",
+                     ("zopim", "intercom", "pusher", "realtime", "disqus",
+                      "hotjar", "feedjit", "smartsupp"),
+                     10, prob=0.12, profile="chat")
+    # espncdn: 35 non-A&A receivers, 92 sockets (sports shards).
+    specs += _spread("espncdn", (), 35, prob=0.045, profile="sports_live",
+                     zone="top")
+    # h-cdn: 30 non-A&A receivers, 39 sockets.
+    specs += _spread("h-cdn", (), 30, prob=0.022, profile="push_channel",
+                     zone="mixed")
+    # cloudflare: 15 receivers (1 A&A: pusher), 873 sockets.
+    specs += _spread("cloudflare", ("pusher",), 14, prob=0.97,
+                     profile="realtime_feed", zone="mixed")
+    # addthis: 14 receivers (8 A&A), 101 sockets, pre-patch only.
+    specs += _spread("addthis",
+                     ("intercom", "zopim", "realtime", "pusher", "feedjit",
+                      "disqus", "hotjar", "lockerdome"),
+                     6, prob=0.12, crawls=_PRE, profile="chat")
+    # hotjar fan-out beyond intercom: 17 receivers (11 A&A), ~57 sockets.
+    specs += _spread("hotjar",
+                     ("zopim", "realtime", "smartsupp", "feedjit",
+                      "inspectlet", "disqus", "33across", "lockerdome",
+                      "velaro"),
+                     6, prob=0.035, profile="event_replay")
+    # googlesyndication: 10 receivers (6 A&A), 71 sockets, pre-patch.
+    specs += _spread("googlesyndication",
+                     ("realtime", "lockerdome", "33across", "disqus",
+                      "pusher", "feedjit"),
+                     4, prob=0.08, crawls=_PRE, profile="analytics_beacon")
+    # adnxs: 8 receivers (3 A&A), 31 sockets, pre-patch.
+    specs += _spread("adnxs", ("33across", "realtime", "lockerdome"),
+                     5, prob=0.045, crawls=_PRE, profile="analytics_beacon")
+    # googleapis: 7 receivers incl. sportingindex, 157 sockets.
+    specs += _spread("googleapis", (), 6, prob=0.085, profile="push_channel")
+    # sharethis: 6 receivers (4 A&A), 20 sockets, pre-patch.
+    specs += _spread("sharethis",
+                     ("realtime", "33across", "lockerdome", "disqus"),
+                     2, prob=0.04, crawls=_PRE, profile="chat")
+    # twitter: 6 receivers (5 A&A), 21 sockets, pre-patch.
+    specs += _spread("twitter",
+                     ("realtime", "33across", "disqus", "lockerdome", "zopim"),
+                     1, prob=0.04, crawls=_PRE, profile="chat")
+    # inspectlet fan-out: 25 receivers (6 A&A), ~115 sockets.
+    specs += _spread("inspectlet",
+                     ("realtime", "33across", "hotjar", "pusher", "intercom"),
+                     19, prob=0.04, profile="event_replay")
+    # pusher's own client libraries: 22 receivers (8 A&A), ~330 sockets.
+    specs += _spread("pusher",
+                     ("realtime", "feedjit", "inspectlet", "33across",
+                      "disqus", "hotjar", "zopim"),
+                     14, prob=0.10, profile="realtime_feed")
+    # slither.io: one site, 25 game-server shards, 33 sockets.
+    specs.append(
+        SocketPairSpec(
+            pair_id="slither:shards", initiator="slither",
+            receiver="TAIL:slither:POOL:25", sites=1, page_probability=0.55,
+            profile="game_state", crawls=_ALL, rank_zone="top",
+            reserved_sites=("slither.io",), scale_exempt=True,
+        )
+    )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Tail A&A initiators: 65 synthetic ad-tech companies. Activity groups
+# are derived in companies.py's module docstring; together with the 15
+# persistent + 6 occasional named initiators and the 8 pre-patch majors
+# they produce Table 1's 75 / 63 / 19 / 23 unique initiators and the
+# "56 disappeared" statistic.
+# ---------------------------------------------------------------------------
+
+TAIL_INITIATOR_GROUPS: tuple[tuple[str, int, frozenset[int]], ...] = (
+    ("tailA", 28, frozenset({0})),          # seen only in crawl 0
+    ("tailB", 15, frozenset({0, 1})),       # pre-patch only
+    ("tailC", 15, frozenset({1})),          # appeared in crawl 1, then gone
+    ("tailP", 1, frozenset({0, 1, 3})),     # survived the patch
+    ("tailQ", 2, frozenset({0, 1, 2, 3})),  # fully persistent tail
+    ("tailN", 1, frozenset({3})),           # post-patch newcomer
+    ("tailR", 3, frozenset({0, 1})),        # pre-patch, minor-receiver bound
+)
+
+# How many tail initiators each A&A receiver should hear from (merged
+# dataset), from Table 3's "# Initiators (A&A)" minus the named A&A
+# initiators wired above.
+TAIL_RECEIVER_QUOTAS: tuple[tuple[str, int], ...] = (
+    ("realtime", 14),
+    ("intercom", 9),
+    ("33across", 8),
+    ("zopim", 5),
+    ("disqus", 3),
+    ("feedjit", 2),
+    ("freshrelevance", 1),
+    ("velaro", 1),
+    ("truconversion", 1),
+)
+
+TAIL_PLAN = TailPlan(
+    pre_only_initiators=43,  # tailA + tailB
+    crawl1_new_initiators=15,  # tailC
+    persistent_from_pre=3,  # tailP + tailQ
+    post_only_initiators=1,  # tailN
+    tail_receivers=320,
+    tail_receiver_floor=30,
+)
+
+
+# ---------------------------------------------------------------------------
+# The October cohort: by the Oct 12–16 crawl, WebSocket adoption had
+# grown (2.5% of sites, Table 1), and the growth skews the mix — the
+# A&A-initiated share rises to 63.4% while the A&A-received share falls
+# to 63.7%. We model it as publishers adopting Pusher-powered realtime
+# features: pusher's client library (an A&A-labeled initiator) connects
+# to benign cluster endpoints.
+# ---------------------------------------------------------------------------
+
+OCT_GROWTH_PAIRS: tuple[SocketPairSpec, ...] = tuple(
+    SocketPairSpec(
+        pair_id=f"growth:pusher-cluster-{i}",
+        initiator="pusher",
+        receiver=f"TAIL:pusher:{i}",
+        sites=200,
+        page_probability=0.55,
+        profile="realtime_feed",
+        crawls=frozenset({3}),
+        rank_zone="flat",
+    )
+    for i in range(3)
+) + (
+    # Chat adoption also grew by October: more publishers bootstrapping
+    # live-chat widgets (A&A-received, publisher-initiated).
+    SocketPairSpec(
+        pair_id="growth:fp-zopim", initiator=FIRST_PARTY, receiver="zopim",
+        sites=150, page_probability=0.35, profile="chat",
+        crawls=frozenset({3}), rank_zone="mixed",
+    ),
+    SocketPairSpec(
+        pair_id="growth:fp-intercom", initiator=FIRST_PARTY,
+        receiver="intercom", sites=100, page_probability=0.30,
+        profile="chat", crawls=frozenset({3}), rank_zone="top",
+    ),
+    SocketPairSpec(
+        pair_id="growth:fp-smartsupp", initiator=FIRST_PARTY,
+        receiver="smartsupp", sites=40, page_probability=0.30,
+        profile="chat", crawls=frozenset({3}), rank_zone="mixed",
+    ),
+)
+
+
+def all_static_pairs() -> list[SocketPairSpec]:
+    """Every statically declared pair spec (no tails)."""
+    return (
+        list(SELF_PAIRS)
+        + list(FIRST_PARTY_PAIRS)
+        + list(NAMED_CROSS_PAIRS)
+        + build_spread_pairs()
+        + list(OCT_GROWTH_PAIRS)
+    )

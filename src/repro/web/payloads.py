@@ -1,0 +1,512 @@
+"""Payload profiles: what actually flows over the sockets and beacons.
+
+Every WebSocket in the synthetic web belongs to a *payload profile*
+modeling the wire behaviour of a class of services the paper observed:
+
+* ``chat`` — live-chat widgets (Zopim, Intercom, Smartsupp, Velaro…):
+  JSON session setup with the visitor cookie, HTML message bubbles back.
+* ``fingerprint`` — 33across-style harvesting of screen / browser /
+  viewport / scroll / orientation / first-seen / resolution / device.
+* ``session_replay`` — Hotjar / LuckyOrange / TruConversion: the entire
+  serialized DOM goes up (§4.3 "DOM Exfiltration").
+* ``ad_serving`` — Lockerdome: ad URLs, captions and dimensions come
+  down as JSON, with images hosted on a non-blacklisted CDN.
+* ``realtime_feed`` / ``comments`` — Realtime, Pusher, Feedjit, Disqus.
+* ``sports_live`` / ``game_state`` — the non-A&A uses (ESPN CDN,
+  slither.io) that make up the benign remainder.
+
+The content analyzer (``repro.content``) knows nothing about profiles;
+it sees only the rendered text, exactly as the paper's regex library saw
+raw network traffic.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.useragent import DeviceProfile
+from repro.net.websocket import FrameDirection, OpCode
+from repro.util.rng import RngStream
+
+
+@dataclass
+class PayloadContext:
+    """Everything a profile may reference when rendering frames.
+
+    Attributes:
+        device: The browser's device profile (fingerprint surface).
+        page_url: URL of the page hosting the socket.
+        receiver_host: Host the socket connects to.
+        cookie_value: The tracking cookie for the receiver's domain.
+        cookie_first_seen: POSIX timestamp when that cookie was created.
+        user_id: A service-scoped account/user identifier, if the
+            service assigns one.
+        client_ip: The public IP the server observes.
+        dom_html: Serialized DOM of the hosting page.
+        scroll_position: Page scroll offset at capture time.
+        timestamp: Simulated POSIX time of the exchange.
+        rng: Stream for payload jitter (message counts, sizes).
+    """
+
+    device: DeviceProfile
+    page_url: str
+    receiver_host: str
+    cookie_value: str = ""
+    cookie_first_seen: float | None = None
+    user_id: str = ""
+    client_ip: str = ""
+    dom_html: str = ""
+    scroll_position: int = 0
+    timestamp: float = 0.0
+    rng: RngStream = field(default_factory=lambda: RngStream(0, "payload"))
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """One planned frame: direction, opcode, rendered payload."""
+
+    direction: FrameDirection
+    opcode: OpCode
+    payload: str
+
+
+ProfileRenderer = Callable[[PayloadContext], list[FramePlan]]
+
+_SENT = FrameDirection.SENT
+_RECEIVED = FrameDirection.RECEIVED
+
+
+def _iso_date(ts: float | None) -> str:
+    if ts is None:
+        return ""
+    return dt.datetime.fromtimestamp(ts, tz=dt.timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    )
+
+
+def _text(direction: FrameDirection, payload: str) -> FramePlan:
+    return FramePlan(direction, OpCode.TEXT, payload)
+
+
+def _binary(direction: FrameDirection, payload: bytes) -> FramePlan:
+    return FramePlan(direction, OpCode.BINARY, payload.decode("latin-1"))
+
+
+# ---------------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------------
+
+
+def chat_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Live-chat widget: session init with cookie, HTML bubbles back.
+
+    Mix calibrated to Table 5: ~18% of chat sockets are passive
+    (receive-only presence channels), ~15% idle entirely after the
+    handshake, most receive HTML bubbles, a few get JSON status or an
+    inline avatar image.
+    """
+    frames: list[FramePlan] = []
+    if not ctx.rng.bernoulli(0.18):  # 18%: passive presence channel
+        frames.append(_text(
+            _SENT,
+            json.dumps({
+                "event": "session.start",
+                "visitor_cookie": ctx.cookie_value,
+                "page": ctx.page_url,
+                "user_agent": ctx.device.user_agent,
+            }),
+        ))
+    if ctx.rng.bernoulli(0.10):  # idle socket: nothing pushed either
+        return frames
+    greetings = (
+        "<div class=\"chat-msg agent\"><span>Hi there! How can we help you today?</span></div>",
+        "<div class=\"chat-msg agent\"><img class=\"avatar\" src=\"/img/agent3.png\"/><span>An agent will be with you shortly.</span></div>",
+        "<div class=\"chat-widget online\"><p>We're online &mdash; ask us anything.</p></div>",
+    )
+    if ctx.rng.bernoulli(0.72):
+        for _ in range(1 + ctx.rng.randint(0, 2)):
+            frames.append(_text(_RECEIVED, ctx.rng.choice(greetings)))
+    elif ctx.rng.bernoulli(0.15):
+        frames.append(_text(
+            _RECEIVED,
+            json.dumps({"event": "agent.status", "online": True, "queue": 0}),
+        ))
+    elif ctx.rng.bernoulli(0.5):
+        frames.append(_text(_RECEIVED, "1::keepalive"))
+    if ctx.rng.bernoulli(0.007):  # avatar pushed inline (Image class)
+        frames.append(_text(
+            _RECEIVED,
+            "data:image/png;base64,iVBORw0KGgoAAAANSUhEUgAAAAEAAAABCAYAAAAfFcSJ",
+        ))
+    return frames
+
+
+def chat_identified_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Chat widget on a site that identifies logged-in users (user_id)."""
+    frames = chat_profile(ctx)
+    frames.insert(
+        1,
+        _text(
+            _SENT,
+            json.dumps(
+                {
+                    "event": "visitor.identify",
+                    "user_id": ctx.user_id,
+                    "account_id": ctx.user_id[:8],
+                    "lang": ctx.device.language,
+                }
+            ),
+        ),
+    )
+    return frames
+
+
+def fingerprint_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """33across-style browser-state harvest (every Table 5 FP item)."""
+    d = ctx.device
+    payload = {
+        "uid": ctx.cookie_value,
+        "screen": d.screen,
+        "resolution": d.resolution,
+        "viewport": d.viewport,
+        "scroll_position": ctx.scroll_position,
+        "orientation": d.orientation,
+        "browser_type": d.browser_type,
+        "browser_family": d.browser_family,
+        "device_type": d.device_type,
+        "device_family": d.device_family,
+        "first_seen": _iso_date(ctx.cookie_first_seen),
+        "tz_offset": d.timezone_offset_minutes,
+        "page": ctx.page_url,
+    }
+    if ctx.rng.bernoulli(0.5):
+        payload["language"] = d.language
+    frames = [_text(_SENT, json.dumps({"type": "env", "data": payload}))]
+    if ctx.rng.bernoulli(0.3):
+        frames.append(_text(_RECEIVED, json.dumps({"type": "ack", "sync": True})))
+    return frames
+
+
+def session_replay_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Session replay with full-DOM exfiltration on sampled sessions.
+
+    Replay services sample: only ~25% of sessions upload the serialized
+    DOM (Table 5's "DOM" row is 1.63% of sockets, far below the replay
+    services' socket counts); the rest stream interaction events only.
+    """
+    frames = [
+        _text(
+            _SENT,
+            json.dumps(
+                {"rec": "init", "sid": ctx.cookie_value, "url": ctx.page_url}
+            ),
+        ),
+    ]
+    if ctx.rng.bernoulli(0.25):
+        frames.append(_text(
+            _SENT,
+            json.dumps({"rec": "snapshot", "dom": ctx.dom_html, "t": ctx.timestamp}),
+        ))
+    moves = [
+        {"e": "mousemove", "x": ctx.rng.randint(0, 1900), "y": ctx.rng.randint(0, 1000)}
+        for _ in range(ctx.rng.randint(2, 5))
+    ]
+    frames.append(_text(_SENT, json.dumps({"rec": "events", "batch": moves})))
+    if ctx.rng.bernoulli(0.3):
+        frames.append(
+            _text(_RECEIVED, json.dumps({"rec": "config", "sample": 0.25, "ok": True}))
+        )
+    elif ctx.rng.bernoulli(0.5):
+        frames.append(_text(_RECEIVED, "rec-ok"))
+    return frames
+
+
+def event_replay_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Session replay that streams events but not the full DOM (Inspectlet)."""
+    init: dict = {"rec": "init", "sid": ctx.cookie_value, "url": ctx.page_url}
+    if ctx.rng.bernoulli(0.25):
+        init["screen"] = ctx.device.screen
+        init["device_type"] = ctx.device.device_type
+    frames = [_text(_SENT, json.dumps(init))]
+    for _ in range(ctx.rng.randint(1, 3)):
+        frames.append(
+            _text(
+                _SENT,
+                json.dumps(
+                    {
+                        "rec": "events",
+                        "batch": [
+                            {
+                                "e": "click",
+                                "x": ctx.rng.randint(0, 1900),
+                                "y": ctx.rng.randint(0, 1000),
+                            }
+                        ],
+                    }
+                ),
+            )
+        )
+    if ctx.rng.bernoulli(0.05):  # compressed ack blob (Binary class)
+        frames.append(_binary(
+            _RECEIVED,
+            bytes(ctx.rng.randint(0, 255) for _ in range(24)),
+        ))
+    elif ctx.rng.bernoulli(0.3):
+        frames.append(_text(_RECEIVED, json.dumps({"rec": "ok"})))
+    return frames
+
+
+def ad_serving_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Lockerdome-style ad delivery: slot request up, ad JSON down.
+
+    The creative URLs point at a CDN host that no filter list covers —
+    the behaviour §4.3 and Figure 4 document.
+    """
+    slot = f"slot-{ctx.rng.randint(1, 6)}"
+    frames = [
+        _text(
+            _SENT,
+            json.dumps(
+                {
+                    "op": "request_ads",
+                    "slot": slot,
+                    "uid": ctx.cookie_value,
+                    "user_id": ctx.user_id,
+                    "page": ctx.page_url,
+                }
+            ),
+        )
+    ]
+    captions = (
+        "Odd Trick To Fix Sagging Skin",
+        "Study Reveals What Just A Single Diet Soda Does To You",
+        "Win an iPad Air 2 from Addicting Games!",
+        "Doctors Stunned: Local Mom Discovers Simple Wrinkle Fix",
+        "You Won't Believe What These Child Stars Look Like Now",
+    )
+    ads = []
+    for i in range(ctx.rng.randint(1, 3)):
+        ads.append(
+            {
+                "image": f"https://cdn1.lockerdome.com/uploads/ad{ctx.rng.randint(1000, 9999)}.jpg",
+                "caption": ctx.rng.choice(captions),
+                "width": 300,
+                "height": 250,
+                "click_url": f"https://lockerdome.com/click/{ctx.rng.randint(10**6, 10**7)}",
+            }
+        )
+    frames.append(_text(_RECEIVED, json.dumps({"op": "ads", "slot": slot, "ads": ads})))
+    return frames
+
+
+def realtime_feed_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Realtime/Pusher-style pub-sub channel: subscribe, JSON pushes."""
+    channel = f"presence-{ctx.receiver_host.split('.')[0]}-{ctx.rng.randint(1, 99)}"
+    frames: list[FramePlan] = []
+    if not ctx.rng.bernoulli(0.35):  # 35%: server-push-only channels
+        frames.append(_text(
+            _SENT,
+            json.dumps(
+                {"event": "subscribe", "channel": channel, "auth": ctx.cookie_value}
+            ),
+        ))
+    if ctx.rng.bernoulli(0.10):  # channel stays quiet this visit
+        return frames
+    # Framing is a property of the service, stable per socket: most
+    # 2017 realtime stacks used socket.io-style type-prefixed frames,
+    # which are neither JSON nor HTML to a content classifier.
+    socketio_framed = ctx.rng.bernoulli(0.75)
+    for _ in range(ctx.rng.randint(1, 3)):
+        update = json.dumps(
+            {
+                "event": "update",
+                "channel": channel,
+                "data": {"count": ctx.rng.randint(1, 500)},
+            }
+        )
+        if socketio_framed:
+            update = f"42[\"update\",{update}]"
+        frames.append(_text(_RECEIVED, update))
+    return frames
+
+
+def visitor_feed_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Feedjit-style live visitor feed: HTML list items stream down."""
+    frames: list[FramePlan] = []
+    if not ctx.rng.bernoulli(0.30):
+        frames.append(_text(
+            _SENT,
+            json.dumps({"watch": ctx.page_url, "vid": ctx.cookie_value}),
+        ))
+    towns = ("Boston", "Leeds", "Osaka", "Porto", "Austin", "Nairobi", "Lyon")
+    for _ in range(ctx.rng.randint(1, 3)):
+        town = ctx.rng.choice(towns)
+        frames.append(
+            _text(
+                _RECEIVED,
+                f"<li class=\"visitor\"><b>{town}</b> arrived from "
+                f"<a href=\"{ctx.page_url}\">search</a></li>",
+            )
+        )
+    return frames
+
+
+def comments_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Disqus-style live comments: HTML fragments plus sponsored units."""
+    frames: list[FramePlan] = []
+    if not ctx.rng.bernoulli(0.25):  # passive comment stream
+        frames.append(_text(
+            _SENT,
+            json.dumps(
+                {
+                    "op": "join",
+                    "thread": ctx.page_url,
+                    "uid": ctx.cookie_value,
+                    "user_agent": ctx.device.user_agent,
+                }
+            ),
+        ))
+    if ctx.rng.bernoulli(0.1):  # no new comments during the visit
+        return frames
+    frames.append(_text(
+        _RECEIVED,
+        "<div class=\"comment\"><cite>reader_42</cite>"
+        "<p>Great article, thanks for sharing!</p></div>",
+    ))
+    if ctx.rng.bernoulli(0.07):
+        # A sponsored-unit loader pushed as live code (the paper's
+        # "JavaScript … that can be used to further exfiltrate data").
+        frames.append(_text(
+            _RECEIVED,
+            "(function(){var u=document.createElement('script');"
+            "u.src='https://disq.us/promo/loader.js';"
+            "document.body.appendChild(u);})()",
+        ))
+    elif ctx.rng.bernoulli(0.3):
+        frames.append(
+            _text(
+                _RECEIVED,
+                json.dumps(
+                    {
+                        "op": "sponsored",
+                        "unit": {
+                            "headline": "Promoted: 10 Stocks To Watch",
+                            "url": "https://disq.us/promo/8841",
+                        },
+                    }
+                ),
+            )
+        )
+    return frames
+
+
+def analytics_beacon_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Engagement analytics (Webspectator/FreshRelevance): metrics + IDs."""
+    frames = [
+        _text(
+            _SENT,
+            json.dumps(
+                {
+                    "metric": "engaged_time",
+                    "seconds": ctx.rng.randint(5, 120),
+                    "user_id": ctx.user_id,
+                    "client_id": ctx.cookie_value,
+                    "ip": ctx.client_ip,
+                    "page": ctx.page_url,
+                }
+            ),
+        )
+    ]
+    if ctx.rng.bernoulli(0.30):
+        frames.append(_text(_RECEIVED, json.dumps({"status": "ok"})))
+    elif ctx.rng.bernoulli(0.64):
+        frames.append(_text(_RECEIVED, "ok 200"))
+    return frames
+
+
+def sports_live_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Live scores / odds ticker (ESPN CDN, sportingindex): no tracking."""
+    frames = [
+        _text(_SENT, json.dumps({"subscribe": ["scores", "odds"]})),
+    ]
+    for _ in range(ctx.rng.randint(1, 4)):
+        frames.append(
+            _text(
+                _RECEIVED,
+                json.dumps(
+                    {
+                        "match": ctx.rng.randint(1000, 9999),
+                        "home": ctx.rng.randint(0, 5),
+                        "away": ctx.rng.randint(0, 5),
+                    }
+                ),
+            )
+        )
+    return frames
+
+
+def game_state_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Binary game-state stream (slither.io): masks nothing, tracks nothing."""
+    frames: list[FramePlan] = []
+    for _ in range(ctx.rng.randint(2, 5)):
+        blob = bytes(ctx.rng.randint(0, 255) for _ in range(ctx.rng.randint(8, 40)))
+        frames.append(_binary(_SENT, blob))
+        frames.append(
+            _binary(
+                _RECEIVED,
+                bytes(ctx.rng.randint(0, 255) for _ in range(ctx.rng.randint(16, 80))),
+            )
+        )
+    return frames
+
+
+def binary_uplink_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Opaque binary exfiltration the paper could not decode (~1%)."""
+    blob = bytes(ctx.rng.randint(0, 255) for _ in range(ctx.rng.randint(60, 200)))
+    return [_binary(_SENT, blob)]
+
+
+def silent_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """A socket opened but never used ("No data" rows of Table 5)."""
+    return []
+
+
+def push_channel_profile(ctx: PayloadContext) -> list[FramePlan]:
+    """Generic CDN push channel: receives JSON, sends nothing."""
+    return [
+        _text(
+            _RECEIVED,
+            json.dumps({"push": "invalidate", "keys": [ctx.rng.randint(1, 10**6)]}),
+        )
+    ]
+
+
+PROFILES: dict[str, ProfileRenderer] = {
+    "chat": chat_profile,
+    "chat_identified": chat_identified_profile,
+    "fingerprint": fingerprint_profile,
+    "session_replay": session_replay_profile,
+    "event_replay": event_replay_profile,
+    "ad_serving": ad_serving_profile,
+    "realtime_feed": realtime_feed_profile,
+    "visitor_feed": visitor_feed_profile,
+    "comments": comments_profile,
+    "analytics_beacon": analytics_beacon_profile,
+    "sports_live": sports_live_profile,
+    "game_state": game_state_profile,
+    "binary_uplink": binary_uplink_profile,
+    "silent": silent_profile,
+    "push_channel": push_channel_profile,
+}
+
+
+def render_profile(name: str, ctx: PayloadContext) -> list[FramePlan]:
+    """Render a named profile's frames for one socket."""
+    try:
+        renderer = PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown payload profile: {name!r}") from None
+    return renderer(ctx)

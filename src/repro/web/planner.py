@@ -1,0 +1,372 @@
+"""Ecosystem planner: turn pair specs into concrete site placements.
+
+The planner resolves the registry's scale-independent socket specs into
+per-site deployment lists at a chosen crawl scale:
+
+* calibrated multi-site specs scale as ``max(1, round(sites × scale))``;
+* reserved specs land on their named publisher domains at every scale;
+* single-site fan-out specs (spreads, tails) are *packed* several to a
+  site so unique-entity fidelity does not inflate the fraction of
+  socket-hosting sites at small scales;
+* placement ranks are drawn per rank-zone, giving Figure 3 its shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import RngStream, derive_seed
+from repro.web.alexa import UNIVERSE_SIZE, AlexaUniverse, Site
+from repro.web.model import FIRST_PARTY, SocketPairSpec
+from repro.web.registry import CompanyRegistry
+
+# Deployments packed per site for single-site fan-out specs.
+_PACK_PER_SITE = 4
+
+# Anchoring guarantees observation of unique entities with minimal
+# socket mass: an anchored deployment fires deterministically on the
+# site's homepage — every crawl of its window ("per_crawl": drives the
+# per-crawl unique-initiator/receiver counts of Table 1) or exactly
+# once in its window ("once": drives the merged unique-receiver and
+# quota counts of Tables 2–3). Everything else scales proportionally.
+ANCHOR_NONE = ""
+ANCHOR_PER_CRAWL = "per_crawl"
+ANCHOR_ONCE = "once"
+
+# Expected sockets/crawl below which a spec gets a per-crawl anchor.
+_ANCHOR_THRESHOLD = 4.5
+_ASSUMED_PAGES = 15
+
+# Rank-zone sampling: (zone, [(weight, lo, hi), ...]).
+_ZONE_BINS: dict[str, tuple[tuple[float, int, int], ...]] = {
+    "top": ((1.0, 1, 10_000),),
+    "mid": ((1.0, 10_001, 100_000),),
+    "tail": ((1.0, 100_001, UNIVERSE_SIZE),),
+    # Weights follow the crawl sample's rank coverage (dense to ~100K,
+    # sparse beyond), so per-bin prevalence reproduces Figure 3: A&A
+    # sockets concentrated up top, a knee past 10K, a thin noisy tail.
+    "mixed": ((0.24, 1, 10_000), (0.74, 10_001, 100_000),
+              (0.02, 100_001, UNIVERSE_SIZE)),
+    "flat": ((0.10, 1, 10_000), (0.85, 10_001, 100_000),
+             (0.05, 100_001, UNIVERSE_SIZE)),
+}
+
+# Fixed ranks for the named publishers of Table 4 — plausible
+# mid-popularity standings, except the two genuinely popular ones.
+_RESERVED_RANKS: dict[str, int] = {
+    "slither.io": 820,
+    "sportingindex.com": 5_400,
+    "acenterforrecovery.com": 61_300,
+    "vatit.com": 83_200,
+    "plymouthart.ac.uk": 147_000,
+    "welchllp.com": 96_500,
+    "biozone.com": 44_800,
+    "rubymonk.com": 72_100,
+    "getambassador.com": 28_900,
+    "simpleheat-demo.com": 238_000,
+    "velarocustomer-support.com": 412_000,
+}
+
+
+@dataclass(frozen=True)
+class SocketDeployment:
+    """One service deployed on one site.
+
+    Attributes:
+        deployment_id: Unique id (used for RNG stream derivation).
+        initiator_key: Registry key of the initiating company, or ''
+            when the publisher's own inline script initiates.
+        receiver_key: Registry key of the receiving company ('' for
+            benign pool receivers and self-hosted endpoints).
+        ws_url: Socket endpoint, or '' when ``ws_pool`` applies.
+        ws_pool: Endpoints to draw from per socket.
+        via_keys: Company keys of chain ancestors above the initiator.
+        profile: Payload profile name.
+        page_probability: Per-page-visit activation probability.
+        sockets_per_page: Sockets opened per activation.
+        crawls: Crawl indices during which this deployment is live.
+        user_id_probability: Chance the site identifies the user to
+            the service.
+    """
+
+    deployment_id: str
+    initiator_key: str
+    receiver_key: str
+    ws_url: str
+    ws_pool: tuple[str, ...] = ()
+    via_keys: tuple[str, ...] = ()
+    profile: str = "chat"
+    page_probability: float = 0.5
+    sockets_per_page: int = 1
+    crawls: frozenset[int] = frozenset({0, 1, 2, 3})
+    user_id_probability: float = 0.0
+    anchor: str = ANCHOR_NONE
+    anchor_crawl: int = -1
+
+
+@dataclass
+class SitePlan:
+    """Everything planned for one publisher site."""
+
+    site: Site
+    deployments: list[SocketDeployment] = field(default_factory=list)
+
+
+@dataclass
+class EcosystemPlan:
+    """The planner's output: site plans plus the sites it placed.
+
+    Attributes:
+        site_plans: Publisher domain → plan (only socket-hosting sites
+            appear here; every other site just gets ambient traffic).
+        placed_sites: Sites the seed list must include.
+        saas_pool: Benign SaaS receiver domains actually in use.
+    """
+
+    site_plans: dict[str, SitePlan] = field(default_factory=dict)
+    placed_sites: list[Site] = field(default_factory=list)
+    saas_pool: list[str] = field(default_factory=list)
+
+    def plan_for(self, domain: str) -> SitePlan | None:
+        """The site plan for a domain, if it hosts sockets."""
+        return self.site_plans.get(domain)
+
+
+def _draw_rank(zone: str, rng: RngStream) -> int:
+    bins = _ZONE_BINS.get(zone, _ZONE_BINS["mixed"])
+    if len(bins) == 1:
+        _, lo, hi = bins[0]
+        return rng.randint(lo, hi)
+    weights = [b[0] for b in bins]
+    _, lo, hi = rng.weighted_choice(bins, weights)
+    return rng.randint(lo, hi)
+
+
+def _ws_url_for(registry: CompanyRegistry, receiver_key: str,
+                rng: RngStream) -> str:
+    company = registry.company(receiver_key)
+    host = company.resolved_ws_host()
+    path = rng.choice(("/socket", "/ws", "/connect", "/live", "/stream"))
+    scheme = "wss" if rng.bernoulli(0.85) else "ws"
+    return f"{scheme}://{host}{path}"
+
+
+def _saas_ws_url(domain: str, rng: RngStream) -> str:
+    sub = rng.choice(("ws", "rt", "live", "push"))
+    return f"wss://{sub}.{domain}/socket"
+
+
+class EcosystemPlanner:
+    """Compiles a registry into an :class:`EcosystemPlan` at a scale."""
+
+    def __init__(self, registry: CompanyRegistry, universe: AlexaUniverse,
+                 scale: float = 1.0, seed: int = 2017) -> None:
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.registry = registry
+        self.universe = universe
+        self.scale = scale
+        self.seed = seed
+        self._rng = RngStream(seed, "planner")
+        self._reserved_sites: dict[str, Site] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def build(self) -> EcosystemPlan:
+        """Place every spec; returns the finished plan."""
+        plan = EcosystemPlan()
+        pool_size = max(40, int(len(self.registry.saas_receiver_domains) * self.scale))
+        plan.saas_pool = self.registry.saas_receiver_domains[:pool_size]
+        pack_cursors: dict[str, tuple[str, int]] = {}
+        for spec in self.registry.socket_specs:
+            self._place_spec(spec, plan, pack_cursors)
+        plan.placed_sites = sorted(
+            (sp.site for sp in plan.site_plans.values()), key=lambda s: s.rank
+        )
+        return plan
+
+    # -- internals ----------------------------------------------------------
+
+    def _site_for_domain(self, domain: str, category: str | None = None) -> Site:
+        site = self._reserved_sites.get(domain)
+        if site is None:
+            rank = _RESERVED_RANKS.get(
+                domain, 20_000 + (derive_seed(0, "reserved-rank", domain) % 180_000)
+            )
+            site = Site(
+                rank=rank,
+                domain=domain,
+                category=category
+                or self.registry.reserved_publishers.get(domain, "Business"),
+            )
+            self._reserved_sites[domain] = site
+        return site
+
+    def _site_at_zone(self, zone: str, rng: RngStream) -> Site:
+        return self.universe.site_at(_draw_rank(zone, rng))
+
+    def _n_sites(self, spec: SocketPairSpec) -> int:
+        if spec.reserved_sites:
+            return len(spec.reserved_sites)
+        if spec.sites <= 2:
+            return spec.sites
+        return max(1, round(spec.sites * self.scale))
+
+    def _pack_key(self, spec: SocketPairSpec) -> str | None:
+        """Single-site fan-out specs share sites, keyed by initiator."""
+        if spec.reserved_sites or spec.sites > 2:
+            return None
+        if spec.pair_id.startswith("spread:"):
+            return f"spread-sites:{spec.initiator}"
+        if spec.pair_id.startswith(("tail:", "tailpool:")):
+            # Pack three tail entities' deployments per site.
+            bucket = derive_seed(0, "tail-pack", spec.initiator) % 24
+            return f"tail-sites:{bucket}"
+        return None
+
+    def _place_spec(
+        self,
+        spec: SocketPairSpec,
+        plan: EcosystemPlan,
+        pack_cursors: dict[str, tuple[str, int]],
+    ) -> None:
+        rng = self._rng.child("spec", spec.pair_id)
+        sites = self._choose_sites(spec, plan, pack_cursors, rng)
+        probability = self._effective_probability(spec, len(sites))
+        anchor, anchor_crawl = self._anchoring(spec, len(sites), probability)
+        for index, site in enumerate(sites):
+            deployment = self._deployment_for(
+                spec, site, index, plan, rng, probability, anchor, anchor_crawl
+            )
+            site_plan = plan.site_plans.get(site.domain)
+            if site_plan is None:
+                site_plan = SitePlan(site=site)
+                plan.site_plans[site.domain] = site_plan
+            site_plan.deployments.append(deployment)
+
+    def _choose_sites(
+        self,
+        spec: SocketPairSpec,
+        plan: EcosystemPlan,
+        pack_cursors: dict[str, tuple[str, int]],
+        rng: RngStream,
+    ) -> list[Site]:
+        if spec.reserved_sites:
+            return [self._site_for_domain(d) for d in spec.reserved_sites]
+        pack_key = self._pack_key(spec)
+        if pack_key is not None:
+            domain, used = pack_cursors.get(pack_key, ("", _PACK_PER_SITE))
+            if used >= _PACK_PER_SITE:
+                site = self._site_at_zone(spec.rank_zone, rng.child("pack"))
+                pack_cursors[pack_key] = (site.domain, 1)
+                return [site]
+            pack_cursors[pack_key] = (domain, used + 1)
+            existing = plan.site_plans[domain]
+            return [existing.site]
+        count = self._n_sites(spec)
+        chosen: list[Site] = []
+        seen: set[str] = set()
+        draw = rng.child("placement")
+        while len(chosen) < count:
+            site = self._site_at_zone(spec.rank_zone, draw)
+            if site.domain in seen:
+                continue
+            seen.add(site.domain)
+            chosen.append(site)
+        return chosen
+
+    def _effective_probability(self, spec: SocketPairSpec, n_sites: int) -> float:
+        """Scale a spec's page probability to the crawl scale.
+
+        Multi-site specs scale through their site counts, with the
+        rounding residue folded into the probability; fixed-placement
+        specs scale entirely through probability. Observation at small
+        probabilities is guaranteed by anchoring, not floors.
+        """
+        prob = spec.page_probability
+        if spec.reserved_sites or spec.scale_exempt:
+            # Named relationships: the per-site socket rate is itself a
+            # result (Table 4's counts), so only site counts scale.
+            return prob
+        if spec.sites > 2:
+            ratio = (spec.sites * self.scale) / n_sites
+        else:
+            ratio = self.scale
+        if ratio >= 1.0:
+            return prob
+        return prob * ratio
+
+    def _anchoring(
+        self, spec: SocketPairSpec, n_sites: int, probability: float
+    ) -> tuple[str, int]:
+        """Decide a spec's anchor mode and (for "once") its crawl."""
+        if spec.pair_id.startswith("tailpool:"):
+            return ANCHOR_PER_CRAWL, -1
+        if spec.pair_id.startswith(("tail:", "spread:")):
+            crawl = self._rng.child("anchor", spec.pair_id).choice(
+                sorted(spec.crawls)
+            )
+            return ANCHOR_ONCE, crawl
+        if spec.pair_id.startswith("ambient:"):
+            return ANCHOR_NONE, -1
+        expected_per_crawl = n_sites * probability * _ASSUMED_PAGES
+        if expected_per_crawl < _ANCHOR_THRESHOLD:
+            return ANCHOR_PER_CRAWL, -1
+        return ANCHOR_NONE, -1
+
+    def _deployment_for(
+        self,
+        spec: SocketPairSpec,
+        site: Site,
+        index: int,
+        plan: EcosystemPlan,
+        rng: RngStream,
+        probability: float,
+        anchor: str,
+        anchor_crawl: int,
+    ) -> SocketDeployment:
+        receiver_key = ""
+        ws_url = ""
+        ws_pool: tuple[str, ...] = ()
+        receiver = spec.receiver
+        if receiver == FIRST_PARTY:
+            ws_url = f"wss://live.{site.domain}/socket"
+        elif receiver.startswith("TAIL:"):
+            parts = receiver.split(":")
+            if "POOL" in parts:
+                if parts[-1].isdigit():  # e.g. TAIL:slither:POOL:25
+                    shard_count = int(parts[-1])
+                    ws_pool = tuple(
+                        f"wss://gs{i}.{parts[1]}node{i}.io/game"
+                        for i in range(1, shard_count + 1)
+                    )
+                else:  # TAIL:ambient:POOL — one SaaS endpoint per site
+                    domain = plan.saas_pool[
+                        rng.child("pool", site.domain).randint(
+                            0, len(plan.saas_pool) - 1
+                        )
+                    ]
+                    ws_url = _saas_ws_url(domain, rng.child("url", domain))
+            else:  # TAIL:<initiator>:<i> — a distinct pool receiver
+                offset = derive_seed(0, "tail-offset", parts[1]) % len(plan.saas_pool)
+                domain = plan.saas_pool[(offset + int(parts[2])) % len(plan.saas_pool)]
+                ws_url = _saas_ws_url(domain, rng.child("url", domain))
+        else:
+            receiver_key = receiver
+            ws_url = _ws_url_for(self.registry, receiver, rng.child("url"))
+        initiator_key = "" if spec.initiator == FIRST_PARTY else spec.initiator
+        return SocketDeployment(
+            deployment_id=f"{spec.pair_id}#{index}",
+            initiator_key=initiator_key,
+            receiver_key=receiver_key,
+            ws_url=ws_url,
+            ws_pool=ws_pool,
+            via_keys=spec.via,
+            profile=spec.profile,
+            page_probability=probability,
+            sockets_per_page=spec.sockets_per_page,
+            crawls=spec.crawls,
+            user_id_probability=spec.user_id_probability,
+            anchor=anchor,
+            anchor_crawl=anchor_crawl,
+        )

@@ -1,0 +1,370 @@
+"""Registry assembly: companies + pair specs + tails, fully expanded.
+
+``default_registry()`` builds the complete ecosystem: the named
+companies of ``companies.py``, the ambient HTTP ecosystem, 65 long-tail
+ad-tech initiators with per-crawl activity windows, and a pool of
+benign SaaS WebSocket receivers. The output is scale-independent —
+scaling to a crawl size happens later, in the ecosystem planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import RngStream
+from repro.web.ambient import AmbientSpec, all_ambient_specs
+from repro.web.companies import (
+    CRAWL_MOODS,
+    MAJOR_INITIATORS,
+    NON_AA_COMPANIES,
+    RECEIVER_COMPANIES,
+    RESERVED_PUBLISHERS,
+)
+from repro.web.model import (
+    ALL_CRAWLS,
+    FIRST_PARTY,
+    Company,
+    CrawlMood,
+    RegistryValidationError,
+    Role,
+    SocketPairSpec,
+)
+from repro.web.pairs import (
+    TAIL_INITIATOR_GROUPS,
+    TAIL_PLAN,
+    TAIL_RECEIVER_QUOTAS,
+    all_static_pairs,
+)
+
+# Ambient (not pair-calibrated) socket specs: publisher self-hosted
+# sockets and benign SaaS sockets. Together these are the non-A&A
+# remainder (~32% of sockets, §6 "The Good") and the <10% same-origin
+# share (§4.1).
+_AMBIENT_SOCKET_SPECS: tuple[SocketPairSpec, ...] = (
+    SocketPairSpec(
+        pair_id="ambient:self-hosted",
+        initiator=FIRST_PARTY,
+        receiver=FIRST_PARTY,
+        sites=160,
+        page_probability=0.55,
+        profile="realtime_feed",
+        crawls=ALL_CRAWLS,
+        rank_zone="flat",
+    ),
+    SocketPairSpec(
+        pair_id="ambient:saas",
+        initiator=FIRST_PARTY,
+        receiver="TAIL:ambient:POOL",
+        sites=520,
+        page_probability=0.55,
+        profile="realtime_feed",
+        crawls=ALL_CRAWLS,
+        rank_zone="flat",
+    ),
+)
+
+_TAIL_PREFIXES = (
+    "ad", "track", "pix", "rtb", "bid", "tag", "aud", "yield", "spark",
+    "metric", "reach", "vertex", "prime", "delta", "omni", "hyper",
+)
+_TAIL_SUFFIXES = (
+    "pulse", "grid", "mesh", "flow", "nexus", "logic", "vault", "loop",
+    "sync", "wave", "forge", "lane", "core", "scope", "mint", "dash",
+)
+_SAAS_PREFIXES = (
+    "stream", "push", "live", "sock", "relay", "signal", "channel",
+    "moment", "rapid", "uplink", "fan", "echo", "pipe", "surge",
+    "bridge", "swift", "direct", "linkup", "wire", "current",
+)
+_SAAS_SUFFIXES = (
+    "ly", "ify", "hub", "kit", "app", "box", "deck", "bay", "port",
+    "line", "works", "labs", "gate", "yard", "field", "dock",
+)
+
+
+def _tail_initiator_names(count: int) -> list[str]:
+    names: list[str] = []
+    i = 0
+    while len(names) < count:
+        prefix = _TAIL_PREFIXES[i % len(_TAIL_PREFIXES)]
+        suffix = _TAIL_SUFFIXES[(i // len(_TAIL_PREFIXES)) % len(_TAIL_SUFFIXES)]
+        tld = ("com", "io", "net")[i % 3]
+        names.append(f"{prefix}{suffix}.{tld}")
+        i += 1
+    return names
+
+
+def _saas_receiver_names(count: int) -> list[str]:
+    names: list[str] = []
+    i = 0
+    while len(names) < count:
+        prefix = _SAAS_PREFIXES[i % len(_SAAS_PREFIXES)]
+        suffix = _SAAS_SUFFIXES[(i // len(_SAAS_PREFIXES)) % len(_SAAS_SUFFIXES)]
+        tld = ("io", "com", "net")[i % 3]
+        names.append(f"{prefix}{suffix}.{tld}")
+        i += 1
+    return names
+
+
+def _tail_initiator_company(domain: str, listed_script: bool = False) -> Company:
+    """A long-tail ad-tech company: partially listed, hence A&A-labeled.
+
+    With ``listed_script``, the SDK itself is in EasyPrivacy — such
+    companies' socket chains are among the ~5% a blocker would have
+    caught even without seeing the socket (§4.2).
+    """
+    rules = [f"||{domain}/px^", f"||{domain}/sync^"]
+    if listed_script:
+        rules.append(f"||{domain}^$script,third-party")
+    return Company(
+        key=domain.split(".")[0] + "-" + domain.rsplit(".", 1)[1],
+        domain=domain,
+        role=Role.AD_NETWORK,
+        easyprivacy_rules=tuple(rules),
+        blockable_paths=("/px/beacon.gif", "/sync/match"),
+        clean_paths=("/sdk/tag.js",),
+        http_mix=(("script", 2.0), ("image", 2.0)),
+        cookie_probability=0.6,
+    )
+
+
+def _saas_receiver_company(domain: str) -> Company:
+    """A benign real-time SaaS endpoint: no rules, never A&A."""
+    return Company(
+        key="saas-" + domain.replace(".", "-"),
+        domain=domain,
+        role=Role.REALTIME_INFRA,
+        aa_expected=False,
+        clean_paths=("/client.js",),
+        http_mix=(("script", 1.0),),
+        cookie_probability=0.1,
+    )
+
+
+@dataclass
+class TailInitiator:
+    """One generated long-tail A&A initiator.
+
+    Attributes:
+        company: The company record.
+        group: Activity-group name (``tailA`` … ``tailN``).
+        crawls: Crawls during which it initiates sockets.
+    """
+
+    company: Company
+    group: str
+    crawls: frozenset[int]
+
+
+@dataclass
+class CompanyRegistry:
+    """The assembled, validated ecosystem.
+
+    Attributes:
+        companies: All companies by key.
+        by_domain: All companies by registrable domain.
+        socket_specs: Every socket pair spec, tails included, with
+            ``TAIL:`` placeholder receivers still symbolic (the planner
+            resolves them against ``saas_receiver_domains``).
+        ambient_specs: The ambient HTTP ecosystem.
+        tail_initiators: Generated long-tail initiators with windows.
+        saas_receiver_domains: Pool of benign WS receiver domains.
+        cloudfront_truth: cf-host → company key (ground truth the
+            labeling stage must rediscover; tests compare against it).
+        moods: Per-crawl drift parameters.
+        reserved_publishers: Publisher domains that must exist.
+    """
+
+    companies: dict[str, Company] = field(default_factory=dict)
+    by_domain: dict[str, Company] = field(default_factory=dict)
+    socket_specs: list[SocketPairSpec] = field(default_factory=list)
+    ambient_specs: list[AmbientSpec] = field(default_factory=list)
+    tail_initiators: list[TailInitiator] = field(default_factory=list)
+    saas_receiver_domains: list[str] = field(default_factory=list)
+    cloudfront_truth: dict[str, str] = field(default_factory=dict)
+    moods: tuple[CrawlMood, ...] = CRAWL_MOODS
+    reserved_publishers: dict[str, str] = field(default_factory=dict)
+
+    def company(self, key: str) -> Company:
+        """Look a company up by key; raises ``KeyError`` when absent."""
+        return self.companies[key]
+
+    def expected_aa_domains(self) -> set[str]:
+        """Domains the pipeline is *expected* to label A&A (for tests)."""
+        return {c.domain for c in self.companies.values() if c.aa_expected}
+
+    def initiator_windows(self) -> dict[str, frozenset[int]]:
+        """Company key → crawls in which it initiates sockets (truth)."""
+        windows: dict[str, set[int]] = {}
+        for spec in self.socket_specs:
+            if spec.initiator == FIRST_PARTY:
+                continue
+            windows.setdefault(spec.initiator, set()).update(spec.crawls)
+        return {k: frozenset(v) for k, v in windows.items()}
+
+    def _add_company(self, company: Company) -> None:
+        if company.key in self.companies:
+            raise RegistryValidationError(f"duplicate company key: {company.key}")
+        if company.domain in self.by_domain:
+            raise RegistryValidationError(
+                f"duplicate company domain: {company.domain}"
+            )
+        self.companies[company.key] = company
+        self.by_domain[company.domain] = company
+
+    def validate(self) -> None:
+        """Check internal consistency; raises on any dangling reference."""
+        for spec in self.socket_specs:
+            for endpoint in (spec.initiator, spec.receiver):
+                if endpoint == FIRST_PARTY or endpoint.startswith("TAIL:"):
+                    continue
+                if endpoint not in self.companies:
+                    raise RegistryValidationError(
+                        f"spec {spec.pair_id} references unknown company "
+                        f"{endpoint!r}"
+                    )
+            for ancestor in spec.via:
+                if ancestor not in self.companies:
+                    raise RegistryValidationError(
+                        f"spec {spec.pair_id} has unknown via company "
+                        f"{ancestor!r}"
+                    )
+            if not spec.crawls:
+                raise RegistryValidationError(
+                    f"spec {spec.pair_id} is active in no crawl"
+                )
+            if not 0.0 < spec.page_probability <= 1.0:
+                raise RegistryValidationError(
+                    f"spec {spec.pair_id} has bad page_probability"
+                )
+
+
+def _assign_tail_quotas(
+    tails: list[TailInitiator],
+    registry: CompanyRegistry,
+) -> list[SocketPairSpec]:
+    """Wire tail initiators to A&A receivers per Table 3 quotas.
+
+    Each receiver must hear from its quota of distinct tail A&A
+    initiators within the receiver's own activity window; entities are
+    assigned round-robin, at most two receivers per entity.
+    """
+    receiver_windows: dict[str, frozenset[int]] = {}
+    for spec in all_static_pairs():
+        if spec.pair_id.startswith("self:"):
+            receiver_windows[spec.receiver] = spec.crawls
+    specs: list[SocketPairSpec] = []
+    load: dict[str, int] = {t.company.key: 0 for t in tails}
+    cursor = 0
+    for receiver, quota in TAIL_RECEIVER_QUOTAS:
+        window = receiver_windows.get(receiver, ALL_CRAWLS)
+        assigned = 0
+        attempts = 0
+        while assigned < quota and attempts < len(tails) * 3:
+            tail = tails[cursor % len(tails)]
+            cursor += 1
+            attempts += 1
+            if load[tail.company.key] >= 2:
+                continue
+            overlap = tail.crawls & window
+            if not overlap:
+                continue
+            load[tail.company.key] += 1
+            assigned += 1
+            specs.append(
+                SocketPairSpec(
+                    pair_id=f"tail:{tail.company.key}->{receiver}",
+                    initiator=tail.company.key,
+                    receiver=receiver,
+                    sites=1,
+                    page_probability=0.22,
+                    profile=_tail_profile_for(receiver),
+                    crawls=frozenset(overlap),
+                    rank_zone="mixed",
+                )
+            )
+        if assigned < quota:
+            raise RegistryValidationError(
+                f"could not fill tail quota for receiver {receiver}"
+            )
+    return specs
+
+
+def _tail_profile_for(receiver: str) -> str:
+    if receiver == "33across":
+        return "fingerprint"
+    if receiver in ("realtime", "freshrelevance"):
+        return "analytics_beacon"
+    if receiver in ("lockerdome",):
+        return "binary_uplink"
+    if receiver in ("hotjar", "inspectlet", "truconversion"):
+        return "event_replay"
+    if receiver == "disqus":
+        return "comments"
+    return "chat"
+
+
+def default_registry(seed: int = 2017) -> CompanyRegistry:
+    """Build and validate the full default ecosystem."""
+    registry = CompanyRegistry(reserved_publishers=dict(RESERVED_PUBLISHERS))
+    for company in RECEIVER_COMPANIES + MAJOR_INITIATORS + NON_AA_COMPANIES:
+        registry._add_company(company)
+    registry.ambient_specs = all_ambient_specs()
+    for spec in registry.ambient_specs:
+        registry._add_company(spec.company)
+
+    # Long-tail A&A initiators with their activity windows.
+    total_tail = sum(count for _, count, _ in TAIL_INITIATOR_GROUPS)
+    names = _tail_initiator_names(total_tail)
+    index = 0
+    for group, count, crawls in TAIL_INITIATOR_GROUPS:
+        for _ in range(count):
+            company = _tail_initiator_company(
+                names[index], listed_script=(index % 8 == 3)
+            )
+            index += 1
+            registry._add_company(company)
+            registry.tail_initiators.append(
+                TailInitiator(company=company, group=group, crawls=crawls)
+            )
+
+    # Benign SaaS receiver pool.
+    registry.saas_receiver_domains = _saas_receiver_names(TAIL_PLAN.tail_receivers)
+    for domain in registry.saas_receiver_domains:
+        registry._add_company(_saas_receiver_company(domain))
+
+    # Cloudfront ground truth (the labeler must rediscover this).
+    for company in registry.companies.values():
+        if company.cloudfront_host:
+            registry.cloudfront_truth[company.cloudfront_host] = company.key
+
+    # Pair specs: static + ambient + tail quota pairs + tail pool pairs.
+    registry.socket_specs = all_static_pairs() + list(_AMBIENT_SOCKET_SPECS)
+    registry.socket_specs += _assign_tail_quotas(registry.tail_initiators, registry)
+    rng = RngStream(seed, "registry", "tail-pool")
+    for tail in registry.tail_initiators:
+        # Guarantee the entity initiates in every crawl of its window by
+        # also wiring it to an always-on benign pool receiver. A tenth
+        # of the tail exfiltrates in an opaque binary framing — the ~1%
+        # of sockets whose sent data the paper could not decode.
+        draw = rng.random()
+        if draw < 0.14:
+            profile = "binary_uplink"
+        elif draw < 0.55:
+            profile = "analytics_beacon"
+        else:
+            profile = "realtime_feed"
+        registry.socket_specs.append(
+            SocketPairSpec(
+                pair_id=f"tailpool:{tail.company.key}",
+                initiator=tail.company.key,
+                receiver=f"TAIL:{tail.company.key}:0",
+                sites=1,
+                page_probability=0.5,
+                profile=profile,
+                crawls=tail.crawls,
+                rank_zone="mixed",
+            )
+        )
+    registry.validate()
+    return registry

@@ -1,0 +1,84 @@
+"""The synthetic web, assembled: universe + registry + plan + generator.
+
+:class:`SyntheticWeb` is the single object the crawler and browser talk
+to — morally "the internet". It owns the seed list (sampled per §3.3,
+with the planner's placed sites merged in, since those publishers were
+part of the crawled population) and serves page blueprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.alexa import AlexaUniverse, SeedList, Site, build_seed_list
+from repro.web.planner import EcosystemPlan, EcosystemPlanner
+from repro.web.registry import CompanyRegistry, default_registry
+from repro.web.sitegen import GeneratorConfig, SiteGenerator
+
+
+@dataclass(frozen=True)
+class WebScale:
+    """Scale parameters for the synthetic web.
+
+    Attributes:
+        sample_scale: Fraction of the paper's seed-list sample sizes
+            (1.0 ≈ 100K sites).
+        entity_scale: Fraction applied to calibrated multi-site socket
+            deployments. Defaults to ``sample_scale`` so percentages
+            stay calibrated; tests may shrink it independently.
+    """
+
+    sample_scale: float = 1.0
+    entity_scale: float | None = None
+
+    @property
+    def resolved_entity_scale(self) -> float:
+        return self.entity_scale if self.entity_scale is not None else self.sample_scale
+
+
+class SyntheticWeb:
+    """The world under measurement."""
+
+    def __init__(
+        self,
+        scale: WebScale | float = 1.0,
+        seed: int = 2017,
+        registry: CompanyRegistry | None = None,
+        generator_config: GeneratorConfig | None = None,
+    ) -> None:
+        if isinstance(scale, (int, float)):
+            scale = WebScale(sample_scale=float(scale))
+        self.scale = scale
+        self.seed = seed
+        self.registry = registry or default_registry(seed)
+        self.universe = AlexaUniverse(seed)
+        planner = EcosystemPlanner(
+            self.registry, self.universe,
+            scale=scale.resolved_entity_scale, seed=seed,
+        )
+        self.plan: EcosystemPlan = planner.build()
+        self.seed_list: SeedList = build_seed_list(
+            self.universe,
+            scale=scale.sample_scale,
+            extra_sites=self.plan.placed_sites,
+            seed=seed,
+        )
+        self._sites_by_domain = {s.domain: s for s in self.seed_list.sites}
+        self.generator = SiteGenerator(
+            self.registry, self.plan, generator_config, seed
+        )
+
+    def site(self, domain: str) -> Site:
+        """Look up a seed-list site by domain."""
+        return self._sites_by_domain[domain]
+
+    def blueprint(self, site: Site | str, page_index: int, crawl: int):
+        """The page a browser loads at (site, page, crawl)."""
+        if isinstance(site, str):
+            site = self.site(site)
+        return self.generator.blueprint(site, page_index, crawl)
+
+    @property
+    def site_count(self) -> int:
+        """Number of sites in the crawl seed list."""
+        return len(self.seed_list)

@@ -1,0 +1,468 @@
+"""Site generator: page blueprints for every (site, page, crawl) triple.
+
+Each page consists of:
+
+* first-party resources (CSS, scripts, images, internal links);
+* ambient third-party embeds — the ordinary 2017 ad/tracking stack,
+  selected per-site from the ambient pool and stable across pages (a
+  site does not change analytics vendors between page views);
+* socket chains from the ecosystem plan: optional ``via`` ad scripts,
+  the initiating script (inline for first-party initiation), and the
+  socket plan(s) themselves.
+
+All randomness is stream-keyed by (site, crawl, page), so a crawl can
+revisit any page and observe identical behaviour, and two crawls in the
+same window differ only where the registry's crawl moods say they do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.net.http import ResourceType
+from repro.util.rng import RngStream, derive_seed
+from repro.web.alexa import Site
+from repro.web.ambient import AmbientSpec
+from repro.web.blueprint import HttpBeaconPlan, PageBlueprint, ResourceNode, SocketPlan
+from repro.web.categories import CATEGORY_BY_NAME
+from repro.web.model import Company
+from repro.web.planner import EcosystemPlan, SocketDeployment
+from repro.web.registry import CompanyRegistry
+
+_MIME_BY_TYPE = {
+    ResourceType.SCRIPT: "application/javascript",
+    ResourceType.IMAGE: "image/gif",
+    ResourceType.STYLESHEET: "text/css",
+    ResourceType.SUB_FRAME: "text/html",
+    ResourceType.XHR: "application/json",
+    ResourceType.PING: "text/plain",
+    ResourceType.FONT: "font/woff2",
+    ResourceType.MEDIA: "video/mp4",
+    ResourceType.OTHER: "application/octet-stream",
+}
+
+_TYPE_BY_NAME = {
+    "script": ResourceType.SCRIPT,
+    "image": ResourceType.IMAGE,
+    "stylesheet": ResourceType.STYLESHEET,
+    "sub_frame": ResourceType.SUB_FRAME,
+    "xmlhttprequest": ResourceType.XHR,
+    "ping": ResourceType.PING,
+    "font": ResourceType.FONT,
+    "media": ResourceType.MEDIA,
+}
+
+# Global per-request probabilities for rare tracking items in ambient
+# HTTP traffic, calibrated to Table 5's HTTP/S column (% of ~100M A&A
+# requests): user id 1.12%, IP 0.90%, language 0.92%, viewport 0.34%,
+# device 0.18%, resolution 0.13%, screen 0.10%, browser 0.09%.
+_HTTP_ITEM_PROBS: tuple[tuple[str, float], ...] = (
+    ("user_id", 0.0112),
+    ("ip", 0.0090),
+    ("language", 0.0092),
+    ("viewport", 0.0034),
+    ("device", 0.0018),
+    ("resolution", 0.0013),
+    ("screen", 0.0010),
+    ("browser", 0.0009),
+    ("first_seen", 0.0001),
+)
+
+# Cumulative form for a single-draw selection (at most one rare item
+# per request — faithful enough at these magnitudes and much faster
+# than nine independent draws on the hottest path in the generator).
+def _build_cumulative() -> tuple[tuple[float, str], ...]:
+    acc = 0.0
+    table = []
+    for item, prob in _HTTP_ITEM_PROBS:
+        acc += prob
+        table.append((acc, item))
+    return tuple(table)
+
+
+_HTTP_ITEM_CUMULATIVE = _build_cumulative()
+
+
+def _draw_rare_item(u: float) -> str | None:
+    """Map one uniform draw to at most one rare tracking item."""
+    if u >= _HTTP_ITEM_CUMULATIVE[-1][0]:
+        return None
+    for threshold, item in _HTTP_ITEM_CUMULATIVE:
+        if u < threshold:
+            return item
+    return None
+
+
+# Damping applied to per-company cookie probabilities for ambient HTTP
+# requests so the A&A-wide cookie rate lands near Table 5's 22.77%.
+_HTTP_COOKIE_DAMPING = 0.62
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for page generation.
+
+    Attributes:
+        pages_per_site: Page variants a site exposes (the crawler
+            visits the homepage plus up to this many minus one).
+        links_per_page: Internal links rendered on the homepage.
+    """
+
+    pages_per_site: int = 15
+    links_per_page: int = 22
+
+
+class SiteGenerator:
+    """Produces :class:`PageBlueprint` objects on demand."""
+
+    def __init__(
+        self,
+        registry: CompanyRegistry,
+        plan: EcosystemPlan,
+        config: GeneratorConfig | None = None,
+        seed: int = 2017,
+    ) -> None:
+        self.registry = registry
+        self.plan = plan
+        self.config = config or GeneratorConfig()
+        self.seed = seed
+        self._ambient_pool = list(registry.ambient_specs)
+        self._ambient_weights = [s.deploy_weight for s in self._ambient_pool]
+
+    # -- public API ---------------------------------------------------------
+
+    def blueprint(self, site: Site, page_index: int, crawl: int) -> PageBlueprint:
+        """Generate the page a crawler would see at this visit."""
+        page_url = self._page_url(site, page_index)
+        rng = RngStream(self.seed, "page", site.domain, crawl, page_index)
+        page = PageBlueprint(
+            url=page_url,
+            title=self._title(site, page_index),
+            links=self._links(site),
+            dom_html="",
+        )
+        self._add_first_party(page, site, rng.child("fp"))
+        self._add_ambient(page, site, crawl, rng.child("ambient"))
+        self._add_socket_chains(page, site, crawl, rng.child("sockets"))
+        page.dom_html = self._dom_html(page, rng.child("dom"))
+        return page
+
+    def site_ambient_profile(self, site: Site) -> list[AmbientSpec]:
+        """The stable set of ambient vendors deployed on a site."""
+        return self._ambient_for_site(site.domain, site.rank, site.category)
+
+    # -- page pieces ---------------------------------------------------------
+
+    def _page_url(self, site: Site, page_index: int) -> str:
+        if page_index == 0:
+            return f"https://www.{site.domain}/"
+        return f"https://www.{site.domain}/article/{page_index}"
+
+    def _title(self, site: Site, page_index: int) -> str:
+        name = site.domain.split(".")[0].title()
+        if page_index == 0:
+            return f"{name} — Home"
+        return f"{name} — Story {page_index}"
+
+    def _links(self, site: Site) -> list[str]:
+        return [
+            f"https://www.{site.domain}/article/{i}"
+            for i in range(1, self.config.links_per_page + 1)
+        ]
+
+    def _add_first_party(self, page: PageBlueprint, site: Site,
+                         rng: RngStream) -> None:
+        base = f"https://www.{site.domain}"
+        page.resources.append(ResourceNode(
+            url=f"{base}/static/styles.css",
+            resource_type=ResourceType.STYLESHEET, mime_type="text/css",
+        ))
+        app = ResourceNode(
+            url=f"{base}/static/app.js",
+            resource_type=ResourceType.SCRIPT,
+        )
+        page.resources.append(app)
+        for i in range(rng.randint(2, 5)):
+            page.resources.append(ResourceNode(
+                url=f"{base}/img/photo{i}.jpg",
+                resource_type=ResourceType.IMAGE, mime_type="image/jpeg",
+            ))
+        if rng.bernoulli(0.4):
+            app.children.append(ResourceNode(
+                url=f"{base}/api/content?page=1",
+                resource_type=ResourceType.XHR, mime_type="application/json",
+            ))
+
+    def _ambient_for_site(self, domain: str, rank: int,
+                          category: str) -> list[AmbientSpec]:
+        return self._ambient_cached(domain, rank, category)
+
+    @lru_cache(maxsize=200_000)
+    def _ambient_cached(self, domain: str, rank: int,
+                        category: str) -> list[AmbientSpec]:
+        rng = RngStream(self.seed, "site-ambient", domain)
+        intensity = CATEGORY_BY_NAME[category].ad_intensity if category in CATEGORY_BY_NAME else 1.0
+        rank_factor = 1.35 if rank <= 10_000 else (1.0 if rank <= 100_000 else 0.72)
+        count = max(2, round(rng.gauss(7.0 * intensity * rank_factor, 2.0)))
+        count = min(count, 16)
+        chosen: list[AmbientSpec] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(chosen) < count and attempts < count * 6:
+            attempts += 1
+            spec = rng.weighted_choice(self._ambient_pool, self._ambient_weights)
+            if spec.company.key in seen:
+                continue
+            if rank > 100_000 and spec.top_bias > 1.2 and rng.bernoulli(0.4):
+                continue
+            seen.add(spec.company.key)
+            chosen.append(spec)
+        return chosen
+
+    def _add_ambient(self, page: PageBlueprint, site: Site, crawl: int,
+                     rng: RngStream) -> None:
+        for spec in self._ambient_for_site(site.domain, site.rank, site.category):
+            if not rng.bernoulli(0.85):
+                continue
+            node = self._ambient_node(spec, rng)
+            page.resources.append(node)
+            if (
+                spec.chains_children > 0
+                and node.resource_type == ResourceType.SCRIPT
+            ):
+                for _ in range(rng.poisson(spec.chains_children)):
+                    partner = rng.weighted_choice(
+                        self._ambient_pool, self._ambient_weights
+                    )
+                    node.children.append(
+                        self._ambient_node(partner, rng,
+                                           sync_with=spec.company.domain)
+                    )
+
+    def _ambient_node(self, spec: AmbientSpec, rng: RngStream,
+                      sync_with: str = "") -> ResourceNode:
+        company = spec.company
+        kind = rng.weighted_choice(
+            [k for k, _ in company.http_mix], [w for _, w in company.http_mix]
+        )
+        resource_type = _TYPE_BY_NAME.get(kind, ResourceType.OTHER)
+        blockable = spec.blockable_share > 0 and rng.bernoulli(spec.blockable_share)
+        if blockable and company.blockable_paths:
+            paths = company.blockable_paths
+            host = company.beacon_host()
+        else:
+            paths = company.clean_paths or company.blockable_paths
+            host = company.resolved_script_host()
+        path = rng.choice(paths) if paths else "/resource"
+        query_items = []
+        if sync_with:
+            query_items.append("uid")
+        rare = _draw_rare_item(rng.random())
+        if rare is not None:
+            query_items.append(rare)
+        node = ResourceNode(
+            url=f"https://{host}{path}",
+            resource_type=resource_type,
+            mime_type=_MIME_BY_TYPE.get(resource_type, "text/plain"),
+            sets_cookie=rng.bernoulli(company.cookie_probability * 0.65),
+            send_cookie=rng.bernoulli(
+                company.cookie_probability * _HTTP_COOKIE_DAMPING
+            ),
+            beacon=HttpBeaconPlan(query_items=tuple(query_items))
+            if query_items else None,
+        )
+        if (
+            company.cloudfront_host
+            and not blockable
+            and resource_type == ResourceType.SCRIPT
+            and company.blockable_paths
+        ):
+            # Cloudfront-hosted SDKs load their own-domain beacon as a
+            # child — the adjacency the paper's manual mapping relied on.
+            node.children.append(ResourceNode(
+                url=(f"https://{company.beacon_host()}"
+                     f"{rng.choice(company.blockable_paths)}"),
+                resource_type=ResourceType.IMAGE,
+                mime_type="image/gif",
+                send_cookie=rng.bernoulli(company.cookie_probability * 0.6),
+            ))
+        return node
+
+    # -- socket chains --------------------------------------------------------
+
+    def _add_socket_chains(self, page: PageBlueprint, site: Site, crawl: int,
+                           rng: RngStream) -> None:
+        site_plan = self.plan.plan_for(site.domain)
+        if site_plan is None:
+            return
+        is_homepage = page.url.rstrip("/").endswith(site.domain)
+        mood = self.registry.moods[crawl]
+        for deployment in site_plan.deployments:
+            if crawl not in deployment.crawls:
+                continue
+            if is_homepage and self._anchored_here(deployment, crawl):
+                page.resources.append(
+                    self._socket_chain(deployment, site,
+                                       rng.child(deployment.deployment_id))
+                )
+                continue
+            if deployment.deployment_id.startswith("ambient:"):
+                # Ambient (benign) socket adoption drifts per crawl at
+                # the *site* level: a site either runs its realtime
+                # feature during a crawl window or it does not.
+                gate = min(1.0, 0.66 * mood.ambient_socket_boost)
+                gate_rng = RngStream(self.seed, "ambient-gate",
+                                     deployment.deployment_id, crawl)
+                if not gate_rng.bernoulli(gate):
+                    continue
+                probability = deployment.page_probability
+            else:
+                probability = min(
+                    1.0, deployment.page_probability * mood.activity
+                )
+            d_rng = rng.child(deployment.deployment_id)
+            if not d_rng.bernoulli(probability):
+                continue
+            page.resources.append(
+                self._socket_chain(deployment, site, d_rng)
+            )
+
+    @staticmethod
+    def _anchored_here(deployment: SocketDeployment, crawl: int) -> bool:
+        """Whether an anchored deployment must fire on this homepage."""
+        if deployment.anchor == "per_crawl":
+            return True
+        if deployment.anchor == "once":
+            return crawl == deployment.anchor_crawl
+        return False
+
+    def _socket_chain(self, deployment: SocketDeployment, site: Site,
+                      rng: RngStream) -> ResourceNode:
+        cookie_enabled = self._cookie_mode(deployment, site)
+        plan = SocketPlan(
+            ws_url=deployment.ws_url,
+            ws_pool=deployment.ws_pool,
+            profile=deployment.profile,
+            count=deployment.sockets_per_page,
+            user_id=self._user_id_for(deployment, site),
+            receiver_key=deployment.receiver_key,
+            cookie_enabled=cookie_enabled,
+        )
+        if deployment.initiator_key:
+            company = self.registry.company(deployment.initiator_key)
+            initiator = self._service_script_node(company, rng,
+                                                  cookie_enabled)
+        else:
+            # First-party initiation: the vendor's inline bootstrap
+            # snippet opens the socket itself, and also pulls in the
+            # vendor's widget assets (which is how receivers show up in
+            # the HTTP corpus and earn their A&A label).
+            initiator = ResourceNode(
+                url="", inline=True, resource_type=ResourceType.SCRIPT,
+            )
+            if deployment.receiver_key:
+                receiver_company = self.registry.company(deployment.receiver_key)
+                initiator.children.append(
+                    self._service_script_node(receiver_company,
+                                              rng.child("widget"),
+                                              cookie_enabled)
+                )
+        initiator.sockets.append(plan)
+        node = initiator
+        for via_key in reversed(deployment.via_keys):
+            via_company = self.registry.company(via_key)
+            wrapper = self._service_script_node(via_company,
+                                                rng.child(via_key), True)
+            wrapper.children.append(node)
+            node = wrapper
+        return node
+
+    def _cookie_mode(self, deployment: SocketDeployment, site: Site) -> bool:
+        """Whether this deployment uses cookies on this site at all.
+
+        Stable per (site, deployment): some installations run cookieless
+        (consent configuration, localStorage-based identity) — which is
+        why only ~70% of A&A sockets carried a cookie (Table 5).
+        """
+        if deployment.receiver_key:
+            propensity = self.registry.company(
+                deployment.receiver_key
+            ).cookie_probability
+        else:
+            propensity = 0.3
+        rng = RngStream(self.seed, "cookie-mode", site.domain,
+                        deployment.deployment_id)
+        return rng.bernoulli(min(propensity, 0.85))
+
+    def _service_script_node(self, company: Company, rng: RngStream,
+                             cookie_enabled: bool = True) -> ResourceNode:
+        paths = company.clean_paths or ("/sdk/app.js",)
+        node = ResourceNode(
+            url=f"https://{company.resolved_script_host()}{rng.choice(paths)}",
+            resource_type=ResourceType.SCRIPT,
+            sets_cookie=cookie_enabled and rng.bernoulli(company.cookie_probability),
+            send_cookie=cookie_enabled and rng.bernoulli(company.cookie_probability * 0.8),
+        )
+        # The service's tracking beacon: this is the (partially)
+        # list-matched resource that earns the company its A&A label.
+        # Trackers beacon on every load, so this is deterministic —
+        # which also guarantees rarely-seen companies get labeled.
+        if company.blockable_paths:
+            as_image = rng.bernoulli(0.5)
+            node.children.append(ResourceNode(
+                url=(f"https://{company.beacon_host()}"
+                     f"{rng.choice(company.blockable_paths)}"),
+                resource_type=ResourceType.IMAGE if as_image else ResourceType.PING,
+                mime_type="image/gif" if as_image else "text/plain",
+                send_cookie=cookie_enabled and rng.bernoulli(company.cookie_probability),
+                beacon=HttpBeaconPlan(query_items=("uid",))
+                if cookie_enabled else None,
+            ))
+        if company.role.value == "session_replay" and rng.bernoulli(0.35):
+            # Replay services also fall back to HTTPS POSTs of the DOM
+            # (Table 5's 8,587 DOM uploads over HTTP/S).
+            node.children.append(ResourceNode(
+                url=f"https://{company.beacon_host()}/collect",
+                resource_type=ResourceType.XHR,
+                mime_type="application/json",
+                send_cookie=True,
+                beacon=HttpBeaconPlan(post_items=("dom",)),
+            ))
+        return node
+
+    def _user_id_for(self, deployment: SocketDeployment, site: Site) -> str:
+        if deployment.user_id_probability <= 0.0:
+            return ""
+        rng = RngStream(self.seed, "user-id", site.domain,
+                        deployment.deployment_id)
+        if not rng.bernoulli(deployment.user_id_probability):
+            return ""
+        token = derive_seed(self.seed, "uid-value", site.domain,
+                            deployment.deployment_id)
+        return f"u{token % 10**12:012d}"
+
+    # -- DOM ------------------------------------------------------------------
+
+    def _dom_html(self, page: PageBlueprint, rng: RngStream) -> str:
+        search_query = ""
+        if rng.bernoulli(0.3):
+            query = rng.choice((
+                "knee surgery recovery time", "divorce lawyer near me",
+                "how to refinance mortgage", "flu symptoms 2017",
+                "cheap flights boston", "is my email hacked",
+            ))
+            search_query = (
+                f'<input type="search" name="q" value="{query}"/>'
+            )
+        draft = ""
+        if rng.bernoulli(0.15):
+            draft = (
+                '<textarea name="comment">I think this is wrong because'
+                "…</textarea>"
+            )
+        return (
+            f"{search_query}"
+            f"<p>Lorem ipsum dolor sit amet, consectetur adipiscing elit.</p>"
+            f"{draft}"
+        )

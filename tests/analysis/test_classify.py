@@ -1,0 +1,99 @@
+"""Tests for socket classification against derived labels."""
+
+from repro.analysis.classify import classify_one
+from repro.crawler.dataset import SocketRecord
+from repro.labeling.aa_labeler import AaLabeler
+from repro.labeling.resolver import DomainResolver
+
+
+def _record(initiator="cdn.intercom.io", receiver="nexus.intercom.io",
+            chain=("www.pub.com", "cdn.intercom.io", "nexus.intercom.io")):
+    return SocketRecord(
+        crawl=0, site_domain="pub.com", rank=10, page_url="https://www.pub.com/",
+        socket_host=receiver, initiator_host=initiator,
+        initiator_url=f"https://{initiator}/x.js",
+        chain_hosts=chain, chain_script_urls=(),
+        first_party_host="www.pub.com", cross_origin=True,
+        handshake_cookie=True, sent_items=frozenset(),
+        received_classes=frozenset(), sent_nothing=False,
+        received_nothing=False,
+    )
+
+
+_LABELER = AaLabeler(aa_domains=frozenset({"intercom.io", "doubleclick.net"}))
+_RESOLVER = DomainResolver(
+    cloudfront_mapping={"d10lpsik1i8c69.cloudfront.net": "luckyorange.com"}
+)
+
+
+def test_both_sides_aa():
+    view = classify_one(_record(), _LABELER, _RESOLVER)
+    assert view.aa_initiated and view.aa_received and view.is_aa_socket
+    assert view.is_self_pair
+
+
+def test_publisher_initiated_aa_received():
+    view = classify_one(
+        _record(initiator="www.pub.com",
+                chain=("www.pub.com", "nexus.intercom.io")),
+        _LABELER, _RESOLVER,
+    )
+    assert not view.aa_initiated
+    assert view.aa_received
+    assert not view.is_self_pair
+
+
+def test_chain_ancestor_makes_aa_socket():
+    # googleapis → sportingindex with a doubleclick ancestor (§4.2).
+    view = classify_one(
+        _record(
+            initiator="ajax.googleapis.com",
+            receiver="push.sportingindex.com",
+            chain=("www.sportingindex.com", "securepubads.doubleclick.net",
+                   "ajax.googleapis.com", "push.sportingindex.com"),
+        ),
+        _LABELER, _RESOLVER,
+    )
+    assert not view.aa_initiated
+    assert not view.aa_received
+    assert view.aa_chain
+    assert view.is_aa_socket
+
+
+def test_receiver_itself_does_not_count_as_chain_ancestor():
+    view = classify_one(
+        _record(
+            initiator="www.pub.com",
+            receiver="nexus.intercom.io",
+            chain=("www.pub.com", "nexus.intercom.io"),
+        ),
+        _LABELER, _RESOLVER,
+    )
+    assert not view.aa_chain  # ancestors exclude the socket itself
+    assert view.is_aa_socket  # …but the receiver is A&A
+
+
+def test_cloudfront_initiator_resolves_to_tenant():
+    view = classify_one(
+        _record(
+            initiator="d10lpsik1i8c69.cloudfront.net",
+            receiver="visitors.luckyorange.com",
+            chain=("www.pub.com", "d10lpsik1i8c69.cloudfront.net",
+                   "visitors.luckyorange.com"),
+        ),
+        AaLabeler(aa_domains=frozenset({"luckyorange.com"})),
+        _RESOLVER,
+    )
+    assert view.initiator_domain == "luckyorange.com"
+    assert view.aa_initiated
+
+
+def test_benign_socket():
+    view = classify_one(
+        _record(
+            initiator="www.pub.com", receiver="ws.streamly.io",
+            chain=("www.pub.com", "ws.streamly.io"),
+        ),
+        _LABELER, _RESOLVER,
+    )
+    assert not view.is_aa_socket

@@ -1,0 +1,51 @@
+"""Tests for initiator drift analysis."""
+
+from repro.analysis.drift import compute_initiator_drift, render_drift
+
+
+def test_drift_on_tiny_study(tiny_study):
+    drift = compute_initiator_drift(tiny_study.views)
+    # The registry's activity windows: 75/63/19/23 unique initiators.
+    assert {c: len(d) for c, d in drift.per_crawl.items()} == {
+        0: 75, 1: 63, 2: 19, 3: 23
+    }
+    # The paper's "56 disappeared" compares crawl 0 to crawl 3; the
+    # pre∖post union set is larger (it also counts crawl-1-only tails).
+    gone_0_to_3 = drift.per_crawl[0] - drift.per_crawl[3]
+    assert len(gone_0_to_3) == 56
+    assert len(drift.disappeared_after_patch) >= 56
+    majors = {"doubleclick.net", "facebook.net", "google.com",
+              "addthis.com"}
+    assert majors <= drift.disappeared_after_patch
+
+
+def test_persistent_core(tiny_study):
+    drift = compute_initiator_drift(tiny_study.views)
+    # The WebSocket-dependent services never leave.
+    for domain in ("zopim.com", "intercom.io", "hotjar.com", "disqus.com"):
+        assert domain in drift.persistent, domain
+    assert len(drift.persistent) >= 15
+
+
+def test_survival_rate_low(tiny_study):
+    drift = compute_initiator_drift(tiny_study.views)
+    assert 0.1 < drift.survival_rate < 0.5  # most of the tail vanished
+
+
+def test_churn_keys(tiny_study):
+    drift = compute_initiator_drift(tiny_study.views)
+    assert set(drift.churn) == {(0, 1), (1, 2), (2, 3)}
+    gained, lost = drift.churn[(1, 2)]  # the patch boundary
+    assert lost > 40
+
+
+def test_render(tiny_study):
+    text = render_drift(compute_initiator_drift(tiny_study.views))
+    assert "disappeared after the patch" in text
+    assert "survival rate" in text
+
+
+def test_empty_views():
+    drift = compute_initiator_drift([])
+    assert drift.per_crawl == {}
+    assert drift.survival_rate == 0.0

@@ -1,0 +1,87 @@
+"""Tests for Figure 3, the blocking analysis, and §4.1 stats."""
+
+from repro.analysis.figure3 import coarse_series
+
+
+class TestFigure3:
+    def test_bins_cover_top_million(self, tiny_study):
+        series = tiny_study.figure3
+        assert series.bins[0] == 0
+        assert series.bins[-1] == 990_000
+        assert len(series.bins) == 100
+
+    def test_fractions_bounded(self, tiny_study):
+        series = tiny_study.figure3
+        for aa, non in zip(series.aa_fraction, series.non_aa_fraction):
+            assert 0.0 <= aa <= 100.0
+            assert 0.0 <= non <= 100.0
+
+    def test_aa_more_prevalent_than_non_aa(self, tiny_study):
+        # "the fraction of A&A sockets is twice that of non-A&A".
+        assert tiny_study.figure3.overall_ratio > 1.2
+
+    def test_top_10k_ratio_exceeds_overall(self, tiny_study):
+        series = tiny_study.figure3
+        # A&A sockets skew to top publishers (4.5x vs 2x in the paper).
+        assert series.top10k_ratio >= series.overall_ratio * 0.8
+        assert series.top10k_ratio > 1.5
+
+    def test_top_ranks_busier_than_tail(self, tiny_study):
+        series = tiny_study.figure3
+        head = series.aa_fraction[0]
+        tail_bins = [
+            series.aa_fraction[i]
+            for i in range(50, 100)
+            if series.publishers_per_bin[i] > 0
+        ]
+        tail_avg = sum(tail_bins) / len(tail_bins) if tail_bins else 0.0
+        assert head > tail_avg
+
+    def test_coarse_series_shape(self, tiny_study):
+        rows = coarse_series(tiny_study.figure3, groups=10)
+        assert len(rows) == 10
+        assert sum(r[3] for r in rows) == sum(
+            tiny_study.figure3.publishers_per_bin
+        )
+
+
+class TestBlocking:
+    def test_socket_chains_rarely_blocked(self, tiny_study):
+        """§4.2: only ~5% of A&A socket chains would have been blocked —
+        the scripts opening the sockets are not on the lists."""
+        blocking = tiny_study.blocking
+        assert 0.0 < blocking.pct_socket_chains_blocked < 15.0
+
+    def test_overall_chains_blocked_much_more(self, tiny_study):
+        """…in contrast with ~27% of all A&A chains."""
+        blocking = tiny_study.blocking
+        assert blocking.pct_aa_chains_blocked > 15.0
+        assert (blocking.pct_aa_chains_blocked
+                > 2 * blocking.pct_socket_chains_blocked)
+
+    def test_counts_consistent(self, tiny_study):
+        blocking = tiny_study.blocking
+        assert blocking.socket_chains_blocked <= blocking.socket_chains
+        assert blocking.aa_chains_blocked <= blocking.aa_chains
+
+
+class TestOverallStats:
+    def test_cross_origin_over_90(self, tiny_study):
+        assert tiny_study.overall.pct_cross_origin > 85.0
+
+    def test_aa_receivers_at_most_20(self, tiny_study):
+        assert 10 <= tiny_study.overall.unique_aa_receivers <= 20
+
+    def test_many_aa_initiators_disappear(self, tiny_study):
+        overall = tiny_study.overall
+        assert overall.disappeared_initiators > overall.unique_aa_initiators / 2
+
+    def test_sockets_per_site_in_paper_band(self, tiny_study):
+        # 6–12 in the paper; the tiny study visits fewer pages so allow
+        # a wider low end.
+        assert 1.0 < tiny_study.overall.avg_sockets_per_socket_site < 15.0
+
+    def test_third_party_receivers_exceed_aa(self, tiny_study):
+        overall = tiny_study.overall
+        assert (overall.unique_third_party_receivers
+                > overall.unique_aa_receivers)

@@ -1,0 +1,58 @@
+"""Tests for text rendering."""
+
+from repro.analysis import report
+
+
+def test_table1_renders(tiny_study):
+    text = report.render_table1(tiny_study.table1)
+    assert "Apr 02-05, 2017" in text
+    assert "% Sites w/ Sockets" in text
+    assert len(text.splitlines()) == 2 + len(tiny_study.table1)
+
+
+def test_table2_stars_aa(tiny_study):
+    text = report.render_table2(tiny_study.table2)
+    assert "doubleclick*" in text
+
+
+def test_table3_renders(tiny_study):
+    text = report.render_table3(tiny_study.table3)
+    assert "intercom" in text
+
+
+def test_table4_self_row(tiny_study):
+    text = report.render_table4(tiny_study.table4)
+    assert "A&A domain to itself" in text
+
+
+def test_table5_sections(tiny_study):
+    text = report.render_table5(tiny_study.table5)
+    assert "User Agent" in text
+    assert "Fingerprinting:" in text
+    assert "DOM exfiltration receivers:" in text
+    assert "No data" in text
+
+
+def test_figure3_renders(tiny_study):
+    text = report.render_figure3(tiny_study.figure3)
+    assert "Overall A&A / non-A&A ratio" in text
+
+
+def test_overall_and_blocking_render(tiny_study):
+    assert "Cross-origin sockets" in report.render_overall(tiny_study.overall)
+    assert "blocked" in report.render_blocking(tiny_study.blocking)
+
+
+def test_columns_aligned(tiny_study):
+    text = report.render_table1(tiny_study.table1)
+    lines = text.splitlines()
+    assert len({len(line.rstrip()) <= len(lines[0]) + 40 for line in lines})
+
+
+def test_figure3_chart_renders(tiny_study):
+    from repro.analysis.report import render_figure3_chart
+
+    chart = render_figure3_chart(tiny_study.figure3)
+    assert "Alexa rank" in chart
+    assert "0-10K" in chart and "500K-1M" in chart
+    assert "█" in chart or "░" in chart

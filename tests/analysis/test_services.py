@@ -1,0 +1,37 @@
+"""Tests: behavioral classification rediscovers the registry roles."""
+
+from repro.analysis.services import profile_receivers, render_service_taxonomy
+
+
+def test_roles_rediscovered_from_behaviour(tiny_study):
+    profiles = profile_receivers(tiny_study.views)
+    roles = {domain: p.inferred_role for domain, p in profiles.items()}
+
+    # Ground truth from the registry — which the classifier never sees.
+    assert roles.get("lockerdome.com") == "ad_server"
+    assert roles.get("hotjar.com") == "session_replay"
+    assert roles.get("33across.com") == "fingerprinting"
+    for chat in ("zopim.com", "intercom.io", "smartsupp.com"):
+        if chat in roles:
+            assert roles[chat] == "chat_or_comments", chat
+    assert roles.get("disqus.com") == "chat_or_comments"
+
+
+def test_profiles_have_consistent_shares(tiny_study):
+    for profile in profile_receivers(tiny_study.views).values():
+        for share in (profile.html_share, profile.json_share,
+                      profile.dom_share, profile.fingerprint_share,
+                      profile.ad_unit_share, profile.cookie_share):
+            assert 0.0 <= share <= 1.0
+        assert profile.sockets >= 3
+
+
+def test_min_sockets_threshold(tiny_study):
+    few = profile_receivers(tiny_study.views, min_sockets=10_000)
+    assert few == {}
+
+
+def test_render(tiny_study):
+    text = render_service_taxonomy(profile_receivers(tiny_study.views))
+    assert "session_replay" in text
+    assert "chat_or_comments" in text

@@ -1,0 +1,98 @@
+"""Unit tests for §4.1 statistics over hand-built socket views."""
+
+from repro.analysis.classify import SocketView
+from repro.analysis.stats import compute_overall_stats
+from repro.analysis.table1 import compute_table1
+from repro.crawler.dataset import SocketRecord
+
+
+def _view(crawl, site, initiator, receiver, aa_init, aa_recv,
+          cross=True, rank=100):
+    record = SocketRecord(
+        crawl=crawl, site_domain=site, rank=rank,
+        page_url=f"https://www.{site}/",
+        socket_host=f"ws.{receiver}", initiator_host=f"cdn.{initiator}",
+        initiator_url=f"https://cdn.{initiator}/x.js",
+        chain_hosts=(f"www.{site}", f"cdn.{initiator}", f"ws.{receiver}"),
+        chain_script_urls=(), first_party_host=f"www.{site}",
+        cross_origin=cross, handshake_cookie=False,
+        sent_items=frozenset(), received_classes=frozenset(),
+        sent_nothing=True, received_nothing=True,
+    )
+    return SocketView(
+        record=record, initiator_domain=initiator, receiver_domain=receiver,
+        aa_initiated=aa_init, aa_received=aa_recv, aa_chain=False,
+    )
+
+
+def _views():
+    return [
+        _view(0, "a.com", "tracker.com", "tracker.com", True, True),
+        _view(0, "a.com", "tracker.com", "tracker.com", True, True),
+        _view(0, "b.com", "b.com", "chat.io", False, True, cross=True),
+        _view(0, "c.com", "c.com", "c.com", False, False, cross=False),
+        _view(1, "a.com", "gone.net", "tracker.com", True, True),
+        _view(1, "a.com", "tracker.com", "tracker.com", True, True),
+    ]
+
+
+def test_overall_counts():
+    stats = compute_overall_stats(_views())
+    assert stats.total_sockets == 6
+    assert stats.unique_aa_initiators == 2  # tracker.com, gone.net
+    assert stats.unique_aa_receivers == 2  # tracker.com, chat.io
+    assert stats.pct_cross_origin == 100 * 5 / 6
+
+
+def test_disappeared_between_first_and_last():
+    stats = compute_overall_stats(_views())
+    # crawl 0 initiators: {tracker.com}; crawl 1: {gone.net, tracker.com}.
+    assert stats.disappeared_initiators == 0
+    reversed_views = [
+        _view(0, "a.com", "gone.net", "x.com", True, False),
+        _view(3, "a.com", "tracker.com", "x.com", True, False),
+    ]
+    assert compute_overall_stats(reversed_views).disappeared_initiators == 1
+
+
+def test_avg_sockets_per_site_per_crawl():
+    stats = compute_overall_stats(_views())
+    # (crawl0: a=2, b=1, c=1; crawl1: a=2) → 6 sockets over 4 site-crawls.
+    assert stats.avg_sockets_per_socket_site == 6 / 4
+
+
+def test_table1_denominators():
+    crawl_sites = {
+        0: [("a.com", 1), ("b.com", 2), ("c.com", 3), ("d.com", 4)],
+        1: [("a.com", 1), ("b.com", 2), ("c.com", 3), ("d.com", 4)],
+    }
+    labels = {0: "first", 1: "second"}
+    rows = compute_table1(_views(), crawl_sites, labels)
+    assert rows[0].pct_sites_with_sockets == 75.0  # a, b, c of 4
+    assert rows[1].pct_sites_with_sockets == 25.0  # only a
+    assert rows[0].pct_sockets_aa_initiators == 50.0  # 2 of 4
+    assert rows[1].unique_aa_initiators == 2
+
+
+def test_table1_empty_crawl():
+    rows = compute_table1([], {0: [("a.com", 1)]}, {0: "x"})
+    assert rows[0].total_sockets == 0
+    assert rows[0].pct_sites_with_sockets == 0.0
+
+
+def test_aa_involvement_ratio():
+    views = (
+        [_view(0, "a.com", "busy-tracker.com", "x.io", True, False)] * 20
+        + [_view(0, "b.com", "b.com", "y.io", False, False)]
+        + [_view(0, "c.com", "c.com", "z.io", False, False)]
+    )
+    stats = compute_overall_stats(views)
+    assert stats.sockets_per_aa_initiator == 20.0
+    assert stats.sockets_per_non_aa_initiator == 1.0
+    assert stats.aa_involvement_ratio == 20.0
+
+
+def test_aa_involvement_ratio_edge_cases():
+    assert compute_overall_stats([]).aa_involvement_ratio == 0.0
+    only_aa = [_view(0, "a.com", "t.com", "x.io", True, False)]
+    assert compute_overall_stats(only_aa).aa_involvement_ratio == float("inf")

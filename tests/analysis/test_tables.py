@@ -1,0 +1,145 @@
+"""Tests for the table computations over the tiny study."""
+
+from repro.analysis.table3 import aa_initiator_share
+from repro.net.domains import registrable_domain
+
+
+class TestTable1:
+    def test_four_rows_in_order(self, tiny_study):
+        rows = tiny_study.table1
+        assert [r.crawl for r in rows] == [0, 1, 2, 3]
+        assert rows[0].label == "Apr 02-05, 2017"
+
+    def test_percentages_in_range(self, tiny_study):
+        for row in tiny_study.table1:
+            assert 0 < row.pct_sites_with_sockets < 100
+            assert 0 < row.pct_sockets_aa_initiators < 100
+            assert 0 < row.pct_sockets_aa_receivers < 100
+
+    def test_initiator_drop_after_patch(self, tiny_study):
+        rows = {r.crawl: r for r in tiny_study.table1}
+        # The paper's headline: initiators collapse after Chrome 58.
+        assert rows[2].unique_aa_initiators < rows[0].unique_aa_initiators / 2
+        assert rows[3].unique_aa_initiators < rows[0].unique_aa_initiators / 2
+
+    def test_receiver_counts_stable(self, tiny_study):
+        counts = [r.unique_aa_receivers for r in tiny_study.table1]
+        assert max(counts) - min(counts) <= 4
+
+    def test_share_of_aa_sockets_stable(self, tiny_study):
+        shares = [r.pct_sockets_aa_initiators for r in tiny_study.table1]
+        assert max(shares) - min(shares) < 20
+
+
+class TestTable2:
+    def test_sorted_by_receiver_count(self, tiny_study):
+        totals = [r.receivers_total for r in tiny_study.table2]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_aa_receivers_bounded_by_total(self, tiny_study):
+        for row in tiny_study.table2:
+            assert 0 <= row.receivers_aa <= row.receivers_total
+
+    def test_major_platforms_present(self, tiny_study):
+        names = {r.initiator for r in tiny_study.table2}
+        assert "facebook" in names
+        assert "doubleclick" in names
+
+    def test_aa_flag_matches_labeler(self, tiny_study):
+        for row in tiny_study.table2:
+            assert row.is_aa == tiny_study.labeler.is_aa(row.initiator_domain)
+
+
+class TestTable3:
+    def test_all_rows_are_aa_receivers(self, tiny_study):
+        for row in tiny_study.table3:
+            assert tiny_study.labeler.is_aa(row.receiver_domain)
+
+    def test_sorted_by_initiator_count(self, tiny_study):
+        totals = [r.initiators_total for r in tiny_study.table3]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_intercom_has_most_initiators(self, tiny_study):
+        assert tiny_study.table3[0].receiver == "intercom"
+
+    def test_aa_initiator_share_bounded(self, tiny_study):
+        # The paper reports ~2.5% at full scale; at tiny scale the
+        # pinned A&A entities dominate the scaled-down publisher pool,
+        # so we only assert the share is a proper minority-to-majority
+        # bound, not the full-scale value.
+        share = aa_initiator_share(tiny_study.views)
+        assert 0 < share < 80
+
+
+class TestTable4:
+    def test_self_pairs_aggregated(self, tiny_study):
+        table = tiny_study.table4
+        assert table.self_pair_sockets > 0
+        for row in table.rows:
+            assert row.initiator != row.receiver
+
+    def test_sorted_by_socket_count(self, tiny_study):
+        counts = [r.socket_count for r in tiny_study.table4.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_self_row_dominates(self, tiny_study):
+        # "A&A domain to itself" dwarfs every cross pair (36,056 row).
+        table = tiny_study.table4
+        assert table.self_pair_sockets > table.rows[0].socket_count
+
+    def test_at_least_one_party_aa_or_chain(self, tiny_study):
+        # Every listed pair came from an A&A socket.
+        views_by_pair = {}
+        for view in tiny_study.views:
+            if view.is_aa_socket and not view.is_self_pair:
+                key = (registrable_domain(view.initiator_domain),
+                       registrable_domain(view.receiver_domain))
+                views_by_pair.setdefault(key, view)
+        assert views_by_pair
+
+
+class TestTable5:
+    def test_user_agent_is_100_percent(self, tiny_study):
+        from repro.content.items import SentItem
+
+        cell = tiny_study.table5.sent_ws[SentItem.USER_AGENT]
+        assert cell.percent == 100.0
+
+    def test_cookie_majority_but_not_all(self, tiny_study):
+        from repro.content.items import SentItem
+
+        cell = tiny_study.table5.sent_ws[SentItem.COOKIE]
+        assert 40.0 < cell.percent < 95.0
+
+    def test_ws_exfiltrates_more_than_http(self, tiny_study):
+        """The paper's key Table 5 claim: a greater share of private
+        information flows over WebSockets than over HTTP/S."""
+        from repro.content.items import SentItem
+
+        table = tiny_study.table5
+        for item in (SentItem.COOKIE, SentItem.SCREEN, SentItem.VIEWPORT,
+                     SentItem.ORIENTATION, SentItem.DOM):
+            assert table.sent_ws[item].percent > table.sent_http[item].percent, item
+
+    def test_http_receives_more_js_and_images(self, tiny_study):
+        from repro.content.items import ReceivedClass
+
+        table = tiny_study.table5
+        assert (table.received_http[ReceivedClass.JAVASCRIPT].percent
+                > table.received_ws[ReceivedClass.JAVASCRIPT].percent)
+        assert (table.received_http[ReceivedClass.IMAGE].percent
+                > table.received_ws[ReceivedClass.IMAGE].percent)
+        assert (table.received_ws[ReceivedClass.HTML].percent
+                > table.received_http[ReceivedClass.HTML].percent)
+
+    def test_fingerprinting_goes_to_33across(self, tiny_study):
+        table = tiny_study.table5
+        assert table.fingerprinting_sockets > 0
+        assert table.fingerprinting_top_receiver == "33across.com"
+        assert table.fingerprinting_top_receiver_share > 80.0
+
+    def test_dom_receivers_are_the_three_replay_services(self, tiny_study):
+        assert set(tiny_study.table5.dom_receivers) <= {
+            "hotjar.com", "luckyorange.com", "truconversion.com"
+        }
+        assert "hotjar.com" in tiny_study.table5.dom_receivers

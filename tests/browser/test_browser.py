@@ -1,0 +1,182 @@
+"""Tests for the simulated browser's event emission."""
+
+from repro.cdp.events import (
+    FrameNavigated,
+    RequestWillBeSent,
+    ScriptParsed,
+    WebSocketCreated,
+    WebSocketFrameSent,
+    WebSocketWillSendHandshakeRequest,
+)
+from repro.cdp.recorder import SessionRecorder
+from repro.net.http import ResourceType
+from repro.web.blueprint import HttpBeaconPlan, PageBlueprint, ResourceNode, SocketPlan
+
+PAGE = "https://pub.example.com/"
+
+
+def _page_with_socket(inline=False):
+    script = ResourceNode(
+        url="" if inline else "https://cdn.chat.example/widget.js",
+        inline=inline,
+        resource_type=ResourceType.SCRIPT,
+        sets_cookie=True,
+    )
+    script.sockets.append(SocketPlan(
+        ws_url="wss://ws.chat.example/socket", profile="chat",
+    ))
+    return PageBlueprint(url=PAGE, title="T", resources=[script],
+                         dom_html="<html></html>")
+
+
+def test_visit_emits_document_then_resources(browser, bus):
+    recorder = SessionRecorder(bus)
+    browser.visit(_page_with_socket())
+    methods = [e.METHOD for e in recorder.events]
+    assert methods[0] == "Network.requestWillBeSent"
+    assert "Page.frameNavigated" in methods[:3]
+    assert "Debugger.scriptParsed" in methods
+    assert "Network.webSocketCreated" in methods
+    assert "Network.webSocketClosed" in methods
+
+
+def test_remote_script_parses_with_own_url(browser, bus):
+    recorder = SessionRecorder(bus)
+    browser.visit(_page_with_socket(inline=False))
+    parsed = [e for e in recorder.events if isinstance(e, ScriptParsed)]
+    assert parsed[0].url == "https://cdn.chat.example/widget.js"
+    created = next(e for e in recorder.events
+                   if isinstance(e, WebSocketCreated))
+    assert created.initiator.url == "https://cdn.chat.example/widget.js"
+
+
+def test_inline_script_parses_with_document_url(browser, bus):
+    recorder = SessionRecorder(bus)
+    browser.visit(_page_with_socket(inline=True))
+    parsed = [e for e in recorder.events if isinstance(e, ScriptParsed)]
+    assert parsed[0].url == PAGE
+    assert parsed[0].is_inline
+    created = next(e for e in recorder.events
+                   if isinstance(e, WebSocketCreated))
+    assert created.initiator.url == PAGE
+
+
+def test_handshake_carries_ua_and_origin(browser, bus):
+    recorder = SessionRecorder(bus)
+    browser.visit(_page_with_socket())
+    handshake = next(e for e in recorder.events
+                     if isinstance(e, WebSocketWillSendHandshakeRequest))
+    assert "Chrome/58." in handshake.headers["User-Agent"]
+    assert handshake.headers["Origin"] == "https://pub.example.com"
+    assert handshake.headers["Sec-WebSocket-Version"] == "13"
+
+
+def test_chat_frames_flow(browser, bus):
+    recorder = SessionRecorder(bus)
+    result = browser.visit(_page_with_socket())
+    assert result.sockets_opened == 1
+    sent = [e for e in recorder.events if isinstance(e, WebSocketFrameSent)]
+    assert result.frames_sent == len(sent)
+
+
+def test_visit_counters(browser):
+    result = browser.visit(_page_with_socket())
+    assert result.requests == 2  # document + widget script
+    assert result.sockets_opened == 1
+    assert result.blocked_requests == 0
+
+
+def test_beacon_query_rendered_with_cookie_value(browser, bus):
+    node = ResourceNode(
+        url="https://px.tracker.example/sync",
+        resource_type=ResourceType.IMAGE,
+        sets_cookie=True,
+        beacon=HttpBeaconPlan(query_items=("uid", "language")),
+    )
+    page = PageBlueprint(url=PAGE, resources=[node])
+    recorder = SessionRecorder(bus)
+    browser.visit(page)
+    request = next(
+        e for e in recorder.events
+        if isinstance(e, RequestWillBeSent) and "px.tracker" in e.url
+    )
+    assert "uid=" in request.url
+    assert "language=en-US" in request.url
+
+
+def test_post_beacon_renders_dom(browser, bus):
+    node = ResourceNode(
+        url="https://rec.replay.example/collect",
+        resource_type=ResourceType.XHR,
+        beacon=HttpBeaconPlan(post_items=("dom",)),
+    )
+    page = PageBlueprint(url=PAGE, resources=[node],
+                         dom_html="<html><body>X</body></html>")
+    recorder = SessionRecorder(bus)
+    browser.visit(page)
+    request = next(
+        e for e in recorder.events
+        if isinstance(e, RequestWillBeSent) and "collect" in e.url
+    )
+    assert request.method == "POST"
+    assert "<html>" in request.post_data
+
+
+def test_subframe_fetch_and_navigation(browser, bus):
+    frame_node = ResourceNode(
+        url="https://ads.example.net/frame.html",
+        resource_type=ResourceType.SUB_FRAME,
+        mime_type="text/html",
+        children=[ResourceNode(
+            url="https://ads.example.net/creative.png",
+            resource_type=ResourceType.IMAGE, mime_type="image/png",
+        )],
+    )
+    page = PageBlueprint(url=PAGE, resources=[frame_node])
+    recorder = SessionRecorder(bus)
+    browser.visit(page)
+    navigations = [e for e in recorder.events if isinstance(e, FrameNavigated)]
+    assert len(navigations) == 2  # main + iframe
+    assert navigations[1].parent_frame_id == navigations[0].frame_id
+    requests = [e.url for e in recorder.events
+                if isinstance(e, RequestWillBeSent)]
+    assert "https://ads.example.net/frame.html" in requests
+    assert "https://ads.example.net/creative.png" in requests
+
+
+def test_new_profile_clears_cookies(browser):
+    browser.jar.ensure_tracking_id("t.example", "uid", 0.0)
+    assert len(browser.jar) == 1
+    browser.new_profile("fresh")
+    assert len(browser.jar) == 0
+
+
+def test_ws_pool_draws_one_endpoint(browser, bus):
+    script = ResourceNode(url="https://game.example/loader.js")
+    script.sockets.append(SocketPlan(
+        ws_pool=("wss://s1.shard.example/g", "wss://s2.shard.example/g"),
+        profile="game_state",
+    ))
+    page = PageBlueprint(url=PAGE, resources=[script])
+    recorder = SessionRecorder(bus)
+    browser.visit(page)
+    created = next(e for e in recorder.events
+                   if isinstance(e, WebSocketCreated))
+    assert created.url in ("wss://s1.shard.example/g",
+                           "wss://s2.shard.example/g")
+
+
+def test_visit_deterministic_for_same_profile(bus):
+    from repro.browser import Browser
+
+    events_a, events_b = [], []
+    for sink in (events_a, events_b):
+        browser = Browser(version=58, seed=99)
+        browser.bus.subscribe(sink.append)
+        browser.new_profile("p")
+        browser.visit(_page_with_socket())
+    payloads_a = [e.payload_data for e in events_a
+                  if hasattr(e, "payload_data")]
+    payloads_b = [e.payload_data for e in events_b
+                  if hasattr(e, "payload_data")]
+    assert payloads_a == payloads_b

@@ -1,0 +1,87 @@
+"""Tests for the miniature DOM (Figure 2's syntactic side)."""
+
+from repro.browser.dom import DomNode, build_dom, serialize_document
+from repro.net.http import ResourceType
+from repro.web.blueprint import PageBlueprint, ResourceNode, SocketPlan
+
+PAGE = "https://pub.example.com/"
+
+
+def _page():
+    css = ResourceNode(url=f"{PAGE}styles.css",
+                       resource_type=ResourceType.STYLESHEET)
+    ad_script = ResourceNode(url="https://ads.example.net/script.js")
+    ad_script.children.append(ResourceNode(
+        url="https://ads.example.net/image.img",
+        resource_type=ResourceType.IMAGE,
+    ))
+    ad_script.sockets.append(SocketPlan(ws_url="ws://adnet.example.io/data.ws"))
+    return PageBlueprint(
+        url=PAGE, title="Sample", resources=[css, ad_script],
+        dom_html='<input type="search" name="q" value="secret query"/>',
+    )
+
+
+def test_dom_places_stylesheet_in_head_script_in_body():
+    dom = build_dom(_page())
+    head = dom.children[0]
+    body = dom.children[1]
+    assert any(n.tag == "link" for n in head.children)
+    assert any(n.tag == "script" for n in body.walk())
+
+
+def test_figure2_contrast_with_inclusion_tree():
+    """The DOM nests by markup; dynamically fetched resources are
+    siblings, and the WebSocket does not exist in the DOM at all —
+    exactly the Figure 2 distinction."""
+    dom = build_dom(_page())
+    script = next(n for n in dom.walk() if n.tag == "script")
+    # The image the script fetched is NOT a DOM child of the script…
+    assert all(child.tag != "img" for child in script.children)
+    assert any(n.tag == "img" for n in dom.walk())
+    # …and no element represents the socket.
+    serialized = dom.serialize()
+    assert "data.ws" not in serialized
+
+
+def test_iframe_document_nests_syntactically():
+    frame = ResourceNode(
+        url="https://ads.example.net/frame.html",
+        resource_type=ResourceType.SUB_FRAME,
+        children=[ResourceNode(url="https://ads.example.net/creative.png",
+                               resource_type=ResourceType.IMAGE)],
+    )
+    dom = build_dom(PageBlueprint(url=PAGE, resources=[frame]))
+    iframe = next(n for n in dom.walk() if n.tag == "iframe")
+    assert any(n.tag == "img" for n in iframe.walk())
+
+
+def test_serialize_document_contains_sensitive_fragment():
+    text = serialize_document(_page())
+    assert text.startswith("<!DOCTYPE html>")
+    assert "<html>" in text
+    assert 'value="secret query"' in text
+    assert "<title>Sample</title>" in text
+
+
+def test_attribute_escaping():
+    node = DomNode("img", {"src": 'x" onerror="alert(1)'})
+    assert 'onerror=' not in node.serialize().replace("&quot;", '"')[:9]
+    assert "&quot;" in node.serialize()
+
+
+def test_inline_script_element():
+    inline = ResourceNode(url="", inline=True,
+                          resource_type=ResourceType.SCRIPT)
+    dom = build_dom(PageBlueprint(url=PAGE, resources=[inline]))
+    scripts = [n for n in dom.walk() if n.tag == "script"]
+    assert scripts and scripts[0].text
+
+
+def test_replay_payload_carries_real_document(browser):
+    page = _page()
+    result = browser.visit(page)
+    # Force the serialization path via a replay socket.
+    from repro.browser.dom import serialize_document as sd
+
+    assert "secret query" in sd(page)

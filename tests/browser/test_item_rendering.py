@@ -1,0 +1,112 @@
+"""Tests for browser-side tracking-item rendering and cookie modes."""
+
+from repro.browser import Browser
+from repro.cdp import EventBus, SessionRecorder
+from repro.cdp.events import (
+    RequestWillBeSent,
+    WebSocketFrameSent,
+    WebSocketWillSendHandshakeRequest,
+)
+from repro.net.http import ResourceType
+from repro.web.blueprint import HttpBeaconPlan, PageBlueprint, ResourceNode, SocketPlan
+
+PAGE = "https://pub.example.com/"
+
+
+def _beacon_page(items):
+    node = ResourceNode(
+        url="https://px.tracker.example/b",
+        resource_type=ResourceType.IMAGE,
+        sets_cookie=True,
+        beacon=HttpBeaconPlan(query_items=tuple(items)),
+    )
+    return PageBlueprint(url=PAGE, resources=[node])
+
+
+def _beacon_url(browser, items):
+    recorder = SessionRecorder(browser.bus)
+    browser.visit(_beacon_page(items))
+    return next(
+        e.url for e in recorder.events
+        if isinstance(e, RequestWillBeSent) and "px.tracker" in e.url
+    )
+
+
+def test_device_profile_items_rendered(browser):
+    url = _beacon_url(browser, ["screen", "viewport", "resolution",
+                                "device", "browser", "ip"])
+    assert "screen=1920x1080" in url
+    assert "viewport=1920x948" in url
+    assert "resolution=1920x1080x24" in url
+    assert "device=desktop" in url
+    assert "browser=Chrome" in url
+    assert "ip=155.33.17.68" in url
+
+
+def test_uid_stable_within_profile(browser):
+    first = _beacon_url(browser, ["uid"])
+    second = _beacon_url(browser, ["uid"])
+    assert first.split("uid=")[1] == second.split("uid=")[1]
+
+
+def test_uid_changes_across_profiles(browser):
+    first = _beacon_url(browser, ["uid"])
+    browser.new_profile("someone-else")
+    second = _beacon_url(browser, ["uid"])
+    assert first.split("uid=")[1] != second.split("uid=")[1]
+
+
+def test_first_seen_renders_after_cookie_exists(browser):
+    # First request mints via uid; first_seen then resolves.
+    _beacon_url(browser, ["uid"])
+    url = _beacon_url(browser, ["first_seen"])
+    assert "first_seen=2017-" in url
+
+
+def test_first_seen_empty_without_cookie(browser):
+    url = _beacon_url(browser, ["first_seen"])
+    assert "first_seen" not in url  # empty values are dropped
+
+
+def _socket_page(cookie_enabled):
+    script = ResourceNode(url="https://cdn.chat.example/w.js",
+                          sets_cookie=cookie_enabled)
+    script.sockets.append(SocketPlan(
+        ws_url="wss://ws.chat.example/s", profile="chat",
+        cookie_enabled=cookie_enabled,
+    ))
+    return PageBlueprint(url=PAGE, resources=[script])
+
+
+def test_cookie_disabled_installation_sends_no_cookie():
+    hits = 0
+    for seed in range(20):
+        browser = Browser(version=57, seed=seed)
+        recorder = SessionRecorder(browser.bus)
+        browser.visit(_socket_page(cookie_enabled=False))
+        handshake = next(e for e in recorder.events
+                         if isinstance(e, WebSocketWillSendHandshakeRequest))
+        hits += "Cookie" in handshake.headers
+    assert hits == 0
+
+
+def test_cookie_enabled_installation_usually_sends_cookie():
+    hits = 0
+    for seed in range(20):
+        browser = Browser(version=57, seed=seed)
+        recorder = SessionRecorder(browser.bus)
+        browser.visit(_socket_page(cookie_enabled=True))
+        handshake = next(e for e in recorder.events
+                         if isinstance(e, WebSocketWillSendHandshakeRequest))
+        hits += "Cookie" in handshake.headers
+    assert hits >= 18  # the widget script set the cookie beforehand
+
+
+def test_cookieless_socket_payload_has_empty_identifier():
+    browser = Browser(version=57, seed=3)
+    recorder = SessionRecorder(browser.bus)
+    browser.visit(_socket_page(cookie_enabled=False))
+    sent = [e for e in recorder.events if isinstance(e, WebSocketFrameSent)]
+    for frame in sent:
+        assert '"visitor_cookie": ""' in frame.payload_data or \
+            "visitor_cookie" not in frame.payload_data

@@ -1,0 +1,57 @@
+"""Tests for the event bus."""
+
+from repro.cdp.bus import EventBus
+from repro.cdp.events import ScriptParsed, WebSocketClosed
+
+
+def _script(i=0):
+    return ScriptParsed(timestamp=float(i), script_id=str(i), url="u")
+
+
+def test_publish_reaches_subscriber():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.publish(_script())
+    assert len(seen) == 1
+
+
+def test_type_filter():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append, event_types=[WebSocketClosed])
+    bus.publish(_script())
+    bus.publish(WebSocketClosed(timestamp=0.0, request_id="r"))
+    assert len(seen) == 1
+    assert isinstance(seen[0], WebSocketClosed)
+
+
+def test_unsubscribe():
+    bus = EventBus()
+    seen = []
+    unsubscribe = bus.subscribe(seen.append)
+    bus.publish(_script(1))
+    unsubscribe()
+    bus.publish(_script(2))
+    assert len(seen) == 1
+    unsubscribe()  # idempotent
+
+
+def test_delivery_order_per_subscriber():
+    bus = EventBus()
+    order_a, order_b = [], []
+    bus.subscribe(lambda e: order_a.append(e.script_id))
+    bus.subscribe(lambda e: order_b.append(e.script_id))
+    for i in range(5):
+        bus.publish(_script(i))
+    assert order_a == order_b == [str(i) for i in range(5)]
+
+
+def test_counters():
+    bus = EventBus()
+    assert bus.subscriber_count == 0
+    bus.subscribe(lambda e: None)
+    assert bus.subscriber_count == 1
+    bus.publish(_script())
+    bus.publish(_script())
+    assert bus.published_count == 2

@@ -1,0 +1,97 @@
+"""Tests for CDP event types and wire round-tripping."""
+
+import pytest
+
+from repro.cdp.events import (
+    EVENT_TYPES,
+    FrameNavigated,
+    Initiator,
+    RequestWillBeSent,
+    ResponseReceived,
+    ScriptParsed,
+    WebSocketClosed,
+    WebSocketCreated,
+    WebSocketFrameReceived,
+    WebSocketFrameSent,
+    WebSocketHandshakeResponseReceived,
+    WebSocketWillSendHandshakeRequest,
+    parse_event,
+)
+
+
+def _samples():
+    initiator = Initiator(
+        type="script",
+        url="https://cdn.ads.com/tag.js",
+        script_id="7",
+        stack_urls=("https://cdn.ads.com/tag.js", "https://pub.com/"),
+    )
+    return [
+        ScriptParsed(timestamp=1.0, script_id="7",
+                     url="https://cdn.ads.com/tag.js", frame_id="F1"),
+        RequestWillBeSent(
+            timestamp=2.0, request_id="1000.1",
+            document_url="https://pub.com/",
+            url="https://px.t.com/sync?uid=1", method="GET",
+            resource_type="Image", frame_id="F1", initiator=initiator,
+            headers={"User-Agent": "UA", "Cookie": "uid=1"},
+        ),
+        ResponseReceived(timestamp=3.0, request_id="1000.1",
+                         url="https://px.t.com/sync?uid=1", status=200,
+                         mime_type="image/gif", resource_type="Image",
+                         frame_id="F1"),
+        FrameNavigated(timestamp=4.0, frame_id="F2", parent_frame_id="F1",
+                       url="https://ads.com/frame.html",
+                       initiator_url="https://cdn.ads.com/tag.js"),
+        WebSocketCreated(timestamp=5.0, request_id="1000.2",
+                         url="wss://rt.t.com/socket", initiator=initiator,
+                         frame_id="F1"),
+        WebSocketWillSendHandshakeRequest(
+            timestamp=6.0, request_id="1000.2",
+            headers={"Upgrade": "websocket"}, wall_time=6.0),
+        WebSocketHandshakeResponseReceived(
+            timestamp=7.0, request_id="1000.2", status=101,
+            headers={"Upgrade": "websocket"}),
+        WebSocketFrameSent(timestamp=8.0, request_id="1000.2", opcode=1,
+                           payload_data='{"a":1}', masked=True),
+        WebSocketFrameReceived(timestamp=9.0, request_id="1000.2", opcode=2,
+                               payload_data="\x00\x01", masked=False),
+        WebSocketClosed(timestamp=10.0, request_id="1000.2"),
+    ]
+
+
+@pytest.mark.parametrize("event", _samples(), ids=lambda e: e.METHOD)
+def test_round_trip(event):
+    restored = parse_event(event.to_cdp())
+    assert restored == event
+
+
+def test_every_event_type_has_method():
+    methods = {t.METHOD for t in EVENT_TYPES}
+    assert len(methods) == len(EVENT_TYPES)
+    assert all(m.count(".") == 1 for m in methods)
+
+
+def test_wire_shape_has_method_and_params():
+    message = _samples()[1].to_cdp()
+    assert message["method"] == "Network.requestWillBeSent"
+    assert message["params"]["request"]["url"].startswith("https://px.t.com")
+    assert message["params"]["initiator"]["type"] == "script"
+
+
+def test_initiator_stack_round_trip():
+    initiator = Initiator(type="script", url="https://a/s.js",
+                          script_id="3", stack_urls=("https://a/s.js",))
+    assert Initiator.from_cdp(initiator.to_cdp()) == initiator
+
+
+def test_parse_unknown_method_raises():
+    with pytest.raises(KeyError):
+        parse_event({"method": "Network.unknownThing", "params": {}})
+
+
+def test_events_are_hashable_and_frozen():
+    event = WebSocketClosed(timestamp=1.0, request_id="x")
+    with pytest.raises(Exception):
+        event.request_id = "y"
+    assert hash(event)

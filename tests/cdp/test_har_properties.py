@@ -1,0 +1,40 @@
+"""Property test: every visit's HAR is well-formed and complete."""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.browser import Browser
+from repro.cdp import EventBus, SessionRecorder
+from repro.cdp.events import RequestWillBeSent, WebSocketCreated
+from repro.cdp.har import events_to_har
+
+
+@given(st.integers(min_value=0, max_value=80),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_har_entry_counts_match_events(tiny_web, site_index, crawl):
+    sites = tiny_web.plan.placed_sites
+    site = sites[site_index % len(sites)]
+    bus = EventBus()
+    browser = Browser(version=57, bus=bus)
+    recorder = SessionRecorder(bus)
+    browser.visit(tiny_web.blueprint(site, 0, crawl), crawl=crawl)
+    har = events_to_har(recorder.events)
+    requests = sum(
+        1 for e in recorder.events if isinstance(e, RequestWillBeSent)
+    )
+    sockets = sum(
+        1 for e in recorder.events if isinstance(e, WebSocketCreated)
+    )
+    entries = har["log"]["entries"]
+    assert len(entries) == requests + sockets
+    ws_entries = [e for e in entries if e["_resourceType"] == "websocket"]
+    assert len(ws_entries) == sockets
+    # Every entry is JSON-serializable and carries a URL and timestamp.
+    json.dumps(har)
+    for entry in entries:
+        assert entry["request"]["url"]
+        assert entry["startedDateTime"].startswith("2017-")

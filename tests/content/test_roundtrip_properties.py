@@ -1,0 +1,104 @@
+"""Property tests: generated wire content must be detectable.
+
+The generators (payload profiles) and the analyzer (regex library) were
+written independently against real wire formats; these properties pin
+the contract between them — if either side drifts, Table 5 silently
+decays, so we test the round trip explicitly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.items import SentItem
+from repro.content.received import classify_frame
+from repro.content.regexlib import scan_sent_text
+from repro.inclusion.node import FrameData
+from repro.net.useragent import DeviceProfile
+from repro.net.websocket import FrameDirection
+from repro.util.rng import RngStream
+from repro.web.payloads import PayloadContext, render_profile
+
+
+def _ctx(seed, cookie="a1b2c3d4e5f60718293a4b5c", user_id="u000000000042"):
+    return PayloadContext(
+        device=DeviceProfile(user_agent="Mozilla/5.0 (X11) Chrome/57.0"),
+        page_url="https://pub.example/",
+        receiver_host="rt.example.com",
+        cookie_value=cookie,
+        cookie_first_seen=1491100000.0,
+        user_id=user_id,
+        client_ip="155.33.17.68",
+        dom_html="<html><body>x</body></html>",
+        scroll_position=777,
+        timestamp=1491100100.0,
+        rng=RngStream(seed, "prop"),
+    )
+
+
+def _sent_text(frames):
+    return " ".join(
+        f.payload for f in frames if f.direction == FrameDirection.SENT
+    )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60)
+def test_fingerprint_frames_always_detected(seed):
+    frames = render_profile("fingerprint", _ctx(seed))
+    found = scan_sent_text(_sent_text(frames))
+    # Every fingerprint payload must trip the fingerprint detectors.
+    for item in (SentItem.SCREEN, SentItem.RESOLUTION, SentItem.VIEWPORT,
+                 SentItem.SCROLL_POSITION, SentItem.ORIENTATION,
+                 SentItem.DEVICE, SentItem.BROWSER, SentItem.FIRST_SEEN):
+        assert item in found, item
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60)
+def test_session_replay_dom_detected_iff_present(seed):
+    frames = render_profile("session_replay", _ctx(seed))
+    text = _sent_text(frames)
+    found = scan_sent_text(text)
+    assert (SentItem.DOM in found) == ("<html>" in text)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60)
+def test_chat_cookie_detected_when_session_starts(seed):
+    frames = render_profile("chat", _ctx(seed))
+    text = _sent_text(frames)
+    found = scan_sent_text(text)
+    if "session.start" in text:
+        assert SentItem.COOKIE in found
+        assert SentItem.USER_AGENT in found
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60)
+def test_analytics_beacon_ip_and_ids_detected(seed):
+    frames = render_profile("analytics_beacon", _ctx(seed))
+    found = scan_sent_text(_sent_text(frames))
+    assert SentItem.IP in found
+    assert SentItem.USER_ID in found
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60)
+def test_chat_received_frames_classify_cleanly(seed):
+    frames = render_profile("chat", _ctx(seed))
+    for frame in frames:
+        if frame.direction != FrameDirection.RECEIVED:
+            continue
+        cls = classify_frame(FrameData(sent=False, opcode=int(frame.opcode),
+                                       payload=frame.payload))
+        # Chat pushes HTML bubbles, JSON statuses, keepalive text, or
+        # avatar data URIs — never JavaScript or binary.
+        assert cls is None or cls.value in ("HTML", "JSON", "Image")
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40)
+def test_empty_cookie_never_detected_as_cookie(seed):
+    frames = render_profile("chat", _ctx(seed, cookie=""))
+    found = scan_sent_text(_sent_text(frames))
+    assert SentItem.COOKIE not in found

@@ -1,0 +1,88 @@
+"""Tests for the sent-data analyzer."""
+
+from repro.content.items import SentItem
+from repro.content.sent import SentDataAnalyzer
+from repro.inclusion.node import FrameData, WebSocketRecord
+
+UA = "Mozilla/5.0 (X11; Linux x86_64) Chrome/57.0"
+
+
+def _record(frames=(), headers=None):
+    return WebSocketRecord(
+        url="wss://rt.t.com/s",
+        handshake_headers=headers if headers is not None
+        else {"User-Agent": UA},
+        frames=list(frames),
+    )
+
+
+def test_user_agent_from_handshake():
+    items = SentDataAnalyzer().analyze_socket(_record())
+    assert items == {SentItem.USER_AGENT}
+
+
+def test_cookie_from_handshake_header():
+    record = _record(headers={"User-Agent": UA, "Cookie": "uid=abc"})
+    items = SentDataAnalyzer().analyze_socket(record)
+    assert SentItem.COOKIE in items
+
+
+def test_empty_cookie_header_not_counted():
+    record = _record(headers={"User-Agent": UA, "Cookie": ""})
+    assert SentItem.COOKIE not in SentDataAnalyzer().analyze_socket(record)
+
+
+def test_binary_frame_flags_binary():
+    record = _record(frames=[FrameData(sent=True, opcode=2, payload="\x00\x01")])
+    assert SentItem.BINARY in SentDataAnalyzer().analyze_socket(record)
+
+
+def test_binary_frames_are_not_text_scanned():
+    record = _record(frames=[
+        FrameData(sent=True, opcode=2, payload='"screen":"1920x1080"'),
+    ])
+    items = SentDataAnalyzer().analyze_socket(record)
+    assert SentItem.SCREEN not in items
+
+
+def test_received_frames_not_scanned_as_sent():
+    record = _record(frames=[
+        FrameData(sent=False, opcode=1, payload='{"ip": "1.2.3.4"}'),
+    ])
+    assert SentItem.IP not in SentDataAnalyzer().analyze_socket(record)
+
+
+def test_items_unioned_across_frames():
+    record = _record(frames=[
+        FrameData(sent=True, opcode=1, payload='{"screen":"800x600"}'),
+        FrameData(sent=True, opcode=1, payload='{"lang":"en-US"}'),
+    ])
+    items = SentDataAnalyzer().analyze_socket(record)
+    assert {SentItem.SCREEN, SentItem.LANGUAGE} <= items
+
+
+def test_socket_sent_nothing():
+    analyzer = SentDataAnalyzer()
+    assert analyzer.socket_sent_nothing(_record())
+    assert not analyzer.socket_sent_nothing(
+        _record(frames=[FrameData(sent=True, opcode=1, payload="x")])
+    )
+
+
+def test_fingerprinting_criterion():
+    analyzer = SentDataAnalyzer()
+    assert analyzer.is_fingerprinting(
+        {SentItem.SCREEN, SentItem.VIEWPORT, SentItem.ORIENTATION}
+    )
+    assert not analyzer.is_fingerprinting({SentItem.SCREEN, SentItem.COOKIE})
+
+
+def test_analyze_http_combines_sources():
+    analyzer = SentDataAnalyzer()
+    items = analyzer.analyze_http(
+        url_query="scr=1024x768",
+        headers={"User-Agent": UA, "Cookie": "uid=1"},
+        post_data='{"dom": "<html></html>"}',
+    )
+    assert {SentItem.SCREEN, SentItem.USER_AGENT, SentItem.COOKIE,
+            SentItem.DOM} <= items

@@ -1,0 +1,69 @@
+"""Tests for the crawl driver."""
+
+import pytest
+
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.observation import PageObservation
+
+
+@pytest.fixture(scope="module")
+def crawl_output(tiny_web):
+    config = CrawlConfig(index=0, label="Apr 02-05, 2017", chrome_major=57,
+                         start_date="2017-04-02", pages_per_site=4)
+    observations = []
+    crawler = Crawler(tiny_web, config, observers=[observations.append])
+    summary = crawler.run(tiny_web.seed_list.sites[:40])
+    return summary, observations
+
+
+def test_summary_counts(crawl_output):
+    summary, observations = crawl_output
+    assert summary.sites_visited == 40
+    assert summary.pages_visited == 40 * 4
+    assert len(observations) == summary.pages_visited
+    assert summary.events_published > summary.pages_visited * 5
+
+
+def test_observations_are_page_observations(crawl_output):
+    _, observations = crawl_output
+    assert all(isinstance(o, PageObservation) for o in observations)
+    assert all(o.crawl == 0 for o in observations)
+
+
+def test_homepage_visited_first_per_site(crawl_output):
+    _, observations = crawl_output
+    by_site = {}
+    for obs in observations:
+        by_site.setdefault(obs.site_domain, []).append(obs.page_url)
+    for domain, urls in by_site.items():
+        assert urls[0].rstrip("/").endswith(domain)
+
+
+def test_sites_recorded_with_ranks(crawl_output, tiny_web):
+    summary, _ = crawl_output
+    assert len(summary.sites) == 40
+    for domain, rank in summary.sites:
+        assert tiny_web.site(domain).rank == rank
+
+
+def test_socket_counts_match(crawl_output):
+    summary, observations = crawl_output
+    assert summary.sockets_observed == sum(
+        len(o.sockets) for o in observations
+    )
+
+
+def test_crawl_is_deterministic(tiny_web):
+    def run_once():
+        config = CrawlConfig(index=1, label="x", chrome_major=57,
+                             start_date="2017-04-11", pages_per_site=3)
+        observations = []
+        Crawler(tiny_web, config, observers=[observations.append]).run(
+            tiny_web.seed_list.sites[:10]
+        )
+        return [
+            (o.page_url, len(o.resources), len(o.sockets))
+            for o in observations
+        ]
+
+    assert run_once() == run_once()

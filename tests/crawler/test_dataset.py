@@ -1,0 +1,70 @@
+"""Tests for the streaming study dataset."""
+
+import pytest
+
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.dataset import StudyDataset
+from repro.web.filterlists import build_filter_engine
+
+
+@pytest.fixture(scope="module")
+def dataset(tiny_web):
+    engine = build_filter_engine(tiny_web.registry)
+    ds = StudyDataset(engine=engine)
+    config = CrawlConfig(index=0, label="Apr 02-05, 2017", chrome_major=57,
+                         start_date="2017-04-02", pages_per_site=5)
+    crawler = Crawler(tiny_web, config, observers=[ds.observe])
+    # Crawl socket-hosting sites plus some plain ones.
+    sites = list(tiny_web.plan.placed_sites[:60]) + list(
+        tiny_web.seed_list.sites[:30]
+    )
+    summary = crawler.run(list({s.domain: s for s in sites}.values()))
+    ds.record_crawl(summary)
+    return ds
+
+
+def test_socket_records_accumulated(dataset):
+    assert dataset.socket_records
+    record = dataset.socket_records[0]
+    assert record.chain_hosts[-1] == record.socket_host
+    assert record.crawl == 0
+
+
+def test_tag_counter_covers_aa_and_benign(dataset):
+    domains = dataset.tag_counter.domains()
+    assert "doubleclick.net" in domains or "criteo.com" in domains
+    aa, non = dataset.tag_counter.counts("doubleclick.net")
+    assert aa > 0  # every doubleclick resource matches EasyList
+
+
+def test_http_counters_keyed_by_host(dataset):
+    assert dataset.http_requests_by_host
+    for host in list(dataset.http_requests_by_host)[:20]:
+        assert "/" not in host
+
+
+def test_first_party_requests_excluded_from_http_counters(dataset):
+    crawled = {domain for domain, _ in dataset.crawl_sites[0]}
+    for host in dataset.http_requests_by_host:
+        from repro.net.domains import registrable_domain
+
+        assert registrable_domain(host) not in crawled
+
+
+def test_chain_signatures_deduplicate(dataset):
+    total_weight = sum(dataset.chain_signatures.values())
+    assert total_weight > len(dataset.chain_signatures)
+
+
+def test_labeler_finds_aa_domains(dataset):
+    labeler = dataset.derive_labeler()
+    assert labeler.is_aa("doubleclick.net")
+    assert labeler.is_aa("intercom.io")
+    assert not labeler.is_aa("gstatic.com")
+
+
+def test_crawl_bookkeeping(dataset):
+    assert dataset.crawl_indices == [0]
+    assert dataset.crawl_labels[0] == "Apr 02-05, 2017"
+    assert dataset.crawl_pages[0] > 0
+    assert dataset.crawl_sites[0]

@@ -1,0 +1,52 @@
+"""Tests for socket-record archiving."""
+
+from repro.content.items import ReceivedClass, SentItem
+from repro.crawler.dataset import SocketRecord
+from repro.crawler.persistence import (
+    load_socket_records,
+    save_socket_records,
+    socket_record_from_json,
+    socket_record_to_json,
+)
+
+
+def _record(crawl=0):
+    return SocketRecord(
+        crawl=crawl, site_domain="pub.com", rank=42,
+        page_url="https://www.pub.com/",
+        socket_host="rt.33across.com",
+        initiator_host="cdn.helper.net",
+        initiator_url="https://cdn.helper.net/x.js",
+        chain_hosts=("www.pub.com", "cdn.helper.net", "rt.33across.com"),
+        chain_script_urls=("https://cdn.helper.net/x.js",),
+        first_party_host="www.pub.com", cross_origin=True,
+        handshake_cookie=True,
+        sent_items=frozenset({SentItem.USER_AGENT, SentItem.SCREEN}),
+        received_classes=frozenset({ReceivedClass.JSON}),
+        sent_nothing=False, received_nothing=False,
+    )
+
+
+def test_json_round_trip():
+    record = _record()
+    assert socket_record_from_json(socket_record_to_json(record)) == record
+
+
+def test_file_round_trip(tmp_path):
+    records = [_record(c) for c in range(4)]
+    path = tmp_path / "sockets.jsonl"
+    assert save_socket_records(path, records) == 4
+    assert load_socket_records(path) == records
+
+
+def test_gzip_round_trip(tmp_path):
+    path = tmp_path / "sockets.jsonl.gz"
+    save_socket_records(path, [_record()])
+    assert load_socket_records(path) == [_record()]
+
+
+def test_real_dataset_round_trips(tiny_study, tmp_path):
+    path = tmp_path / "study.jsonl.gz"
+    records = tiny_study.dataset.socket_records[:200]
+    save_socket_records(path, records)
+    assert load_socket_records(path) == records

@@ -1,0 +1,41 @@
+"""Tests for the visit policy."""
+
+from repro.crawler.policy import VisitPolicy, page_index_for_link
+from repro.util.rng import RngStream
+
+HOME = "https://www.pub.example.com/"
+
+
+def test_selects_up_to_budget():
+    policy = VisitPolicy(pages_per_site=15)
+    links = [f"{HOME}article/{i}" for i in range(1, 30)]
+    chosen = policy.select_links(HOME, links, RngStream(1, "p"))
+    assert len(chosen) == 14  # homepage takes one slot
+
+
+def test_fewer_links_than_budget():
+    policy = VisitPolicy(pages_per_site=15)
+    links = [f"{HOME}article/{i}" for i in range(1, 5)]
+    chosen = policy.select_links(HOME, links, RngStream(1, "p"))
+    assert len(chosen) == 4
+
+
+def test_cross_site_links_excluded():
+    policy = VisitPolicy(pages_per_site=15)
+    links = [f"{HOME}article/1", "https://other.example/x", "garbage"]
+    chosen = policy.select_links(HOME, links, RngStream(1, "p"))
+    assert chosen == [f"{HOME}article/1"]
+
+
+def test_selection_deterministic():
+    policy = VisitPolicy(pages_per_site=10)
+    links = [f"{HOME}article/{i}" for i in range(1, 25)]
+    a = policy.select_links(HOME, links, RngStream(5, "x"))
+    b = policy.select_links(HOME, links, RngStream(5, "x"))
+    assert a == b
+
+
+def test_page_index_for_link():
+    assert page_index_for_link(f"{HOME}article/7") == 7
+    assert page_index_for_link(f"{HOME}article/7/") == 7
+    assert page_index_for_link(f"{HOME}about") == 1

@@ -1,0 +1,73 @@
+"""Tests for the paper-expected values and comparison rendering."""
+
+from repro.experiments import expected
+from repro.experiments.comparison import (
+    compare_overall,
+    compare_table1,
+    compare_table2,
+    compare_table3,
+    compare_table4,
+    compare_table5,
+)
+
+
+class TestExpectedData:
+    def test_table1_rows_match_paper_chronology(self):
+        labels = [r.label for r in expected.PAPER_TABLE1]
+        assert labels == ["Apr 02-05, 2017", "Apr 11-16, 2017",
+                          "May 07-12, 2017", "Oct 12-16, 2017"]
+        assert [r.unique_aa_initiators for r in expected.PAPER_TABLE1] == \
+            [75, 63, 19, 23]
+
+    def test_tables_have_15_rows(self):
+        assert len(expected.PAPER_TABLE2) == 15
+        assert len(expected.PAPER_TABLE3) == 15
+        assert len(expected.PAPER_TABLE4) == 15
+
+    def test_aa_counts_bounded_by_totals(self):
+        for total, aa, _ in expected.PAPER_TABLE2.values():
+            assert aa <= total
+        for total, aa, _ in expected.PAPER_TABLE3.values():
+            assert aa <= total
+
+    def test_table3_sorted_by_initiators(self):
+        totals = [v[0] for v in expected.PAPER_TABLE3.values()]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_table4_sorted_by_sockets(self):
+        counts = list(expected.PAPER_TABLE4.values())
+        assert counts == sorted(counts, reverse=True)
+
+    def test_table5_percentages_sane(self):
+        assert expected.PAPER_TABLE5_SENT_WS["User Agent"] == 100.0
+        for value in expected.PAPER_TABLE5_SENT_WS.values():
+            assert 0.0 <= value <= 100.0
+        # WS exfiltrates more than HTTP for every private item.
+        for item, ws_pct in expected.PAPER_TABLE5_SENT_WS.items():
+            if item == "User Agent":
+                continue
+            assert ws_pct >= expected.PAPER_TABLE5_SENT_HTTP[item], item
+
+
+class TestComparisonRendering:
+    def test_all_blocks_render_markdown(self, tiny_study):
+        blocks = [
+            compare_table1(tiny_study.table1),
+            compare_table2(tiny_study.table2),
+            compare_table3(tiny_study.table3),
+            compare_table4(tiny_study.table4),
+            compare_table5(tiny_study.table5),
+            compare_overall(tiny_study.overall, tiny_study.blocking,
+                            tiny_study.figure3, tiny_study.table5),
+        ]
+        for block in blocks:
+            lines = block.splitlines()
+            assert lines[0].startswith("| ")
+            assert set(lines[1]) <= {"|", "-"}
+            widths = {line.count("|") for line in lines}
+            assert len(widths) == 1  # consistent column count
+
+    def test_table4_comparison_contains_self_row(self, tiny_study):
+        block = compare_table4(tiny_study.table4)
+        assert "A&A domain to itself" in block
+        assert "36,056" in block

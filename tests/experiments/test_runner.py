@@ -1,0 +1,81 @@
+"""Tests for the study runner and configs."""
+
+import pytest
+
+from repro.experiments import DEFAULT_CONFIG, FULL_CONFIG, TINY_CONFIG, StudyConfig
+from repro.experiments.runner import crawl_configs
+
+
+def test_presets_shape():
+    assert TINY_CONFIG.scale < DEFAULT_CONFIG.scale <= FULL_CONFIG.scale
+    assert FULL_CONFIG.scale == 1.0
+    assert FULL_CONFIG.pages_per_site == 15  # the paper's budget
+
+
+def test_sample_scale_defaults_to_scale():
+    config = StudyConfig(scale=0.2, sample_scale=None)
+    assert config.resolved_sample_scale == 0.2
+
+
+def test_with_scale_copies():
+    config = DEFAULT_CONFIG.with_scale(0.5)
+    assert config.scale == 0.5
+    assert config.pages_per_site == DEFAULT_CONFIG.pages_per_site
+
+
+def test_crawl_configs_track_chrome_release(tiny_web):
+    configs = crawl_configs(tiny_web, DEFAULT_CONFIG)
+    assert [c.chrome_major for c in configs] == [57, 57, 58, 58]
+    assert [c.start_date for c in configs] == [
+        "2017-04-02", "2017-04-11", "2017-05-07", "2017-10-12",
+    ]
+    # Two crawls before the 2017-04-19 patch, two after.
+    assert all(d < "2017-04-19" for d in
+               [c.start_date for c in configs if c.chrome_major == 57])
+    assert all(d > "2017-04-19" for d in
+               [c.start_date for c in configs if c.chrome_major == 58])
+
+
+def test_crawl_subset(tiny_web):
+    config = StudyConfig(crawls=(0, 3))
+    configs = crawl_configs(tiny_web, config)
+    assert [c.index for c in configs] == [0, 3]
+
+
+def test_study_result_complete(tiny_study):
+    assert tiny_study.table1 and tiny_study.table2 and tiny_study.table3
+    assert tiny_study.table4.rows
+    assert tiny_study.table5.ws_total > 0
+    assert tiny_study.figure3.bins
+    assert tiny_study.overall.total_sockets == len(tiny_study.views)
+    assert len(tiny_study.summaries) == 4
+
+
+def test_labeling_rediscovers_expected_companies(tiny_study):
+    """The pipeline must rediscover the ecosystem's A&A set from
+    network behaviour alone."""
+    expected = tiny_study.web.registry.expected_aa_domains()
+    labeled = tiny_study.labeler.aa_domains
+    hits = expected & labeled
+    # Not every company is observed at tiny scale, but the overlap must
+    # be substantial and include the headline receivers.
+    assert len(hits) > len(expected) * 0.5
+    for domain in ("intercom.io", "zopim.com", "33across.com",
+                   "doubleclick.net", "hotjar.com"):
+        assert domain in labeled, domain
+
+
+def test_no_false_positive_labels(tiny_study):
+    """Benign infrastructure must not be labeled A&A."""
+    for domain in ("gstatic.com", "jquery.com", "slither.io",
+                   "espncdn.com", "googleapis.com"):
+        assert not tiny_study.labeler.is_aa(domain), domain
+
+
+def test_cloudfront_mapping_correct(tiny_study):
+    truth = {
+        host: tiny_study.web.registry.companies[key].domain
+        for host, key in tiny_study.web.registry.cloudfront_truth.items()
+    }
+    for host, domain in tiny_study.resolver.cloudfront_mapping.items():
+        assert truth.get(host) == domain

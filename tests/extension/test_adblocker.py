@@ -1,0 +1,83 @@
+"""Tests for the ad-blocker extension against the webRequest API."""
+
+from repro.extension.adblocker import AdBlockerExtension
+from repro.extension.webrequest import WebRequestApi
+from repro.net.http import HttpRequest, ResourceType
+
+PAGE = "https://pub.example/"
+
+
+def _script():
+    return HttpRequest(url="https://cdn.ads.example/tag.js",
+                       resource_type=ResourceType.SCRIPT,
+                       first_party_url=PAGE)
+
+
+def _socket():
+    return HttpRequest(url="wss://socketspy.example/ws",
+                       resource_type=ResourceType.WEBSOCKET,
+                       first_party_url=PAGE)
+
+
+def test_blocks_listed_script(simple_engine):
+    api = WebRequestApi(58)
+    blocker = AdBlockerExtension(simple_engine)
+    blocker.install(api)
+    assert api.dispatch_on_before_request(_script()) is False
+    assert blocker.stats.blocked == 1
+
+
+def test_allows_unlisted(simple_engine):
+    api = WebRequestApi(58)
+    blocker = AdBlockerExtension(simple_engine)
+    blocker.install(api)
+    ok = HttpRequest(url="https://benign.example/app.js",
+                     resource_type=ResourceType.SCRIPT, first_party_url=PAGE)
+    assert api.dispatch_on_before_request(ok) is True
+
+
+def test_exception_rule_allows(simple_engine):
+    api = WebRequestApi(58)
+    AdBlockerExtension(simple_engine).install(api)
+    allowed = HttpRequest(url="https://ads.example/acceptable/x.js",
+                          resource_type=ResourceType.SCRIPT,
+                          first_party_url=PAGE)
+    assert api.dispatch_on_before_request(allowed) is True
+
+
+def test_ws_aware_blocker_blocks_socket_on_58(simple_engine):
+    api = WebRequestApi(58)
+    AdBlockerExtension(simple_engine, websocket_aware=True).install(api)
+    assert api.dispatch_on_before_request(_socket()) is False
+
+
+def test_http_only_patterns_miss_socket_even_on_58(simple_engine):
+    # The Franken et al. pitfall: wrong URL patterns, patched browser.
+    api = WebRequestApi(58)
+    AdBlockerExtension(simple_engine, websocket_aware=False).install(api)
+    assert api.dispatch_on_before_request(_socket()) is True
+
+
+def test_wrb_defeats_even_ws_aware_blocker(simple_engine):
+    # Pre-58: the circumvention the paper documents.
+    api = WebRequestApi(57)
+    blocker = AdBlockerExtension(simple_engine, websocket_aware=True)
+    blocker.install(api)
+    assert api.dispatch_on_before_request(_socket()) is True
+    assert blocker.stats.inspected == 0  # never even saw it
+
+
+def test_blocked_urls_recorded(simple_engine):
+    api = WebRequestApi(58)
+    blocker = AdBlockerExtension(simple_engine, keep_blocked_urls=True)
+    blocker.install(api)
+    api.dispatch_on_before_request(_script())
+    assert blocker.stats.blocked_urls == ["https://cdn.ads.example/tag.js"]
+
+
+def test_stats_reset(simple_engine):
+    blocker = AdBlockerExtension(simple_engine, keep_blocked_urls=True)
+    blocker.stats.blocked = 3
+    blocker.stats.blocked_urls.append("x")
+    blocker.stats.reset()
+    assert blocker.stats.blocked == 0 and blocker.stats.blocked_urls == []

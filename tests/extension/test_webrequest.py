@@ -1,0 +1,115 @@
+"""Tests for the chrome.webRequest simulation — the WRB lives here."""
+
+from repro.extension.webrequest import (
+    WEBREQUEST_BUG_FIX_VERSION,
+    BlockingResponse,
+    RequestFilter,
+    WebRequestApi,
+)
+from repro.net.http import HttpRequest, ResourceType
+
+
+def _ws_request():
+    return HttpRequest(
+        url="wss://rt.tracker.example/socket",
+        resource_type=ResourceType.WEBSOCKET,
+        first_party_url="https://pub.example/",
+    )
+
+
+def _http_request():
+    return HttpRequest(
+        url="https://cdn.tracker.example/tag.js",
+        resource_type=ResourceType.SCRIPT,
+        first_party_url="https://pub.example/",
+    )
+
+
+def _block_all(request):
+    return BlockingResponse(cancel=True)
+
+
+class TestWebRequestBug:
+    def test_fix_version_is_58(self):
+        assert WEBREQUEST_BUG_FIX_VERSION == 58
+
+    def test_pre_58_has_bug(self):
+        assert WebRequestApi(57).has_webrequest_bug
+        assert WebRequestApi(52).has_webrequest_bug
+
+    def test_58_plus_fixed(self):
+        assert not WebRequestApi(58).has_webrequest_bug
+        assert not WebRequestApi(65).has_webrequest_bug
+
+    def test_websocket_bypasses_listeners_pre_58(self):
+        api = WebRequestApi(57)
+        api.add_on_before_request(_block_all)
+        # The listener would cancel — but it is never consulted.
+        assert api.dispatch_on_before_request(_ws_request()) is True
+        assert api.suppressed_by_wrb == 1
+
+    def test_websocket_blocked_post_58(self):
+        api = WebRequestApi(58)
+        api.add_on_before_request(_block_all)
+        assert api.dispatch_on_before_request(_ws_request()) is False
+
+    def test_http_blocked_regardless_of_version(self):
+        for version in (57, 58):
+            api = WebRequestApi(version)
+            api.add_on_before_request(_block_all)
+            assert api.dispatch_on_before_request(_http_request()) is False
+
+
+class TestRequestFilter:
+    def test_all_urls(self):
+        assert RequestFilter(("<all_urls>",)).matches(_http_request())
+        assert RequestFilter(("<all_urls>",)).matches(_ws_request())
+
+    def test_http_pattern_does_not_match_ws(self):
+        # Franken et al.: extensions registering http://*, https://*
+        # never see WebSocket requests even on patched Chrome.
+        http_only = RequestFilter(("http://*", "https://*"))
+        assert http_only.matches(_http_request())
+        assert not http_only.matches(_ws_request())
+
+    def test_ws_pattern_matches_ws(self):
+        ws_aware = RequestFilter(("ws://*", "wss://*"))
+        assert ws_aware.matches(_ws_request())
+        assert not ws_aware.matches(_http_request())
+
+    def test_host_pattern(self):
+        f = RequestFilter(("https://cdn.tracker.example/*",))
+        assert f.matches(_http_request())
+        assert not f.matches(HttpRequest(
+            url="https://other.example/x", resource_type=ResourceType.SCRIPT
+        ))
+
+    def test_resource_type_filter(self):
+        f = RequestFilter(resource_types=(ResourceType.IMAGE,))
+        assert not f.matches(_http_request())
+
+
+class TestDispatch:
+    def test_non_blocking_listener_cannot_cancel(self):
+        api = WebRequestApi(58)
+        api.add_on_before_request(_block_all, blocking=False)
+        assert api.dispatch_on_before_request(_http_request()) is True
+
+    def test_first_cancel_wins(self):
+        api = WebRequestApi(58)
+        calls = []
+
+        def observer(request):
+            calls.append(request.url)
+            return None
+
+        api.add_on_before_request(_block_all)
+        api.add_on_before_request(observer)
+        assert api.dispatch_on_before_request(_http_request()) is False
+        assert calls == []  # second listener not reached after cancel
+
+    def test_listener_count(self):
+        api = WebRequestApi(58)
+        api.add_on_before_request(_block_all)
+        api.add_on_before_request(_block_all)
+        assert api.listener_count == 2

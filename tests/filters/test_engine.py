@@ -1,0 +1,113 @@
+"""Tests for the filter matching engine."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.filters.engine import FilterEngine
+from repro.filters.parser import parse_filter_list
+from repro.net.http import ResourceType
+
+PAGE = "https://news-site.com/"
+
+
+def _engine(*lines: str) -> FilterEngine:
+    return FilterEngine([parse_filter_list("t", "\n".join(lines))])
+
+
+class TestBlocking:
+    def test_blocks_matching_third_party(self):
+        engine = _engine("||ads.example^$third-party")
+        assert engine.would_block(
+            "https://cdn.ads.example/tag.js", ResourceType.SCRIPT, PAGE
+        )
+
+    def test_first_party_escapes_third_party_rule(self):
+        engine = _engine("||news-site.com/ads^$third-party")
+        assert not engine.would_block(
+            "https://news-site.com/ads/self.js", ResourceType.SCRIPT, PAGE
+        )
+
+    def test_type_constraint(self):
+        engine = _engine("||t.example^$image")
+        assert engine.would_block("https://t.example/px.gif", ResourceType.IMAGE, PAGE)
+        assert not engine.would_block("https://t.example/app.js", ResourceType.SCRIPT, PAGE)
+
+    def test_websocket_rule(self):
+        engine = _engine("||rt.example^$websocket")
+        assert engine.would_block(
+            "wss://rt.example/socket", ResourceType.WEBSOCKET, PAGE
+        )
+        assert not engine.would_block(
+            "https://rt.example/app.js", ResourceType.SCRIPT, PAGE
+        )
+
+    def test_exception_overrides_block(self):
+        engine = _engine("||ads.example^", "@@||ads.example/ok/$script")
+        result = engine.match(
+            "https://ads.example/ok/loader.js", ResourceType.SCRIPT, PAGE
+        )
+        assert not result.blocked
+        assert result.matched  # a block rule did match
+        assert result.exception_rule is not None
+
+    def test_domain_scoped_rule(self):
+        engine = _engine("/sponsored/$domain=news-site.com")
+        assert engine.would_block(
+            "https://cdn.example/sponsored/1.js", ResourceType.SCRIPT, PAGE
+        )
+        assert not engine.would_block(
+            "https://cdn.example/sponsored/1.js", ResourceType.SCRIPT,
+            "https://other-site.com/",
+        )
+
+    def test_no_match(self):
+        engine = _engine("||ads.example^")
+        result = engine.match("https://benign.example/app.js",
+                              ResourceType.SCRIPT, PAGE)
+        assert not result.blocked and not result.matched
+
+    def test_list_name_reported(self):
+        engine = FilterEngine([
+            parse_filter_list("easylist", "||ads.example^"),
+            parse_filter_list("easyprivacy", "||tracker.example^"),
+        ])
+        result = engine.match("https://tracker.example/px.gif",
+                              ResourceType.IMAGE, PAGE)
+        assert result.blocked
+        assert result.list_name == "easyprivacy"
+
+    def test_rule_count(self):
+        engine = _engine("||a.example^", "||b.example^", "@@||a.example/ok/")
+        assert engine.rule_count == 3
+
+
+class TestTokenIndex:
+    def test_generic_rules_always_tried(self):
+        # A pattern with no >=3-char literal token lands in the generic
+        # bucket and must still match.
+        engine = _engine("/a1*b2^$image")
+        assert engine.would_block("https://x.example/a1zzb2/", ResourceType.IMAGE, PAGE)
+
+    def test_many_rules_still_correct(self):
+        lines = [f"||domain{i}.example^" for i in range(500)]
+        engine = _engine(*lines)
+        assert engine.would_block(
+            "https://sub.domain250.example/x", ResourceType.SCRIPT, PAGE
+        )
+        assert not engine.would_block(
+            "https://unlisted.example/x", ResourceType.SCRIPT, PAGE
+        )
+
+
+@given(st.integers(min_value=0, max_value=499))
+def test_index_equivalence_property(i):
+    """Token-indexed matching agrees with naive per-rule matching."""
+    lines = [f"||site{j}.example^" for j in range(0, 500, 7)]
+    engine = _engine(*lines)
+    url = f"https://cdn.site{i}.example/asset.js"
+    naive = any(
+        rule.matches_url(url)
+        for flist in engine.lists
+        for rule in flist.block_rules
+    )
+    assert engine.would_block(url, ResourceType.SCRIPT, PAGE) == naive

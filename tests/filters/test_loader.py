@@ -1,0 +1,37 @@
+"""Tests for filter-list file loading."""
+
+import pytest
+
+from repro.filters.loader import load_filter_engine, load_filter_file
+from repro.net.http import ResourceType
+
+
+def test_load_file(tmp_path):
+    path = tmp_path / "easylist.txt"
+    path.write_text("! header\n||ads.example^\n", encoding="utf-8")
+    filter_list = load_filter_file(path)
+    assert filter_list.name == "easylist"
+    assert len(filter_list) == 1
+
+
+def test_bom_tolerated(tmp_path):
+    path = tmp_path / "list.txt"
+    path.write_bytes("﻿||t.example^\n".encode("utf-8"))
+    assert len(load_filter_file(path)) == 1
+
+
+def test_engine_from_files(tmp_path):
+    a = tmp_path / "a.txt"
+    a.write_text("||ads.example^\n")
+    b = tmp_path / "b.txt"
+    b.write_text("||tracker.example^$websocket\n")
+    engine = load_filter_engine([a, b])
+    assert engine.would_block("https://x.ads.example/t.js",
+                              ResourceType.SCRIPT, "https://pub.example/")
+    assert engine.would_block("wss://tracker.example/s",
+                              ResourceType.WEBSOCKET, "https://pub.example/")
+
+
+def test_empty_engine_rejected():
+    with pytest.raises(ValueError):
+        load_filter_engine([])

@@ -1,0 +1,90 @@
+"""Tests for ABP filter-list parsing."""
+
+import pytest
+
+from repro.filters.parser import FilterParseError, parse_filter_line, parse_filter_list
+from repro.net.http import ResourceType
+
+
+class TestParseLine:
+    def test_comment_returns_none(self):
+        assert parse_filter_line("! comment") is None
+        assert parse_filter_line("[Adblock Plus 2.0]") is None
+        assert parse_filter_line("") is None
+
+    def test_element_hiding_skipped(self):
+        assert parse_filter_line("example.com##.ad-banner") is None
+        assert parse_filter_line("example.com#@#.whitelisted") is None
+
+    def test_basic_domain_anchor(self):
+        rule = parse_filter_line("||doubleclick.net^")
+        assert rule is not None
+        assert not rule.is_exception
+        assert rule.pattern == "||doubleclick.net^"
+
+    def test_exception_rule(self):
+        rule = parse_filter_line("@@||google.com/recaptcha/$script")
+        assert rule.is_exception
+        assert rule.options.resource_types == frozenset({ResourceType.SCRIPT})
+
+    def test_type_options(self):
+        rule = parse_filter_line("||t.com^$image,websocket")
+        assert rule.options.resource_types == frozenset(
+            {ResourceType.IMAGE, ResourceType.WEBSOCKET}
+        )
+
+    def test_negated_type_options(self):
+        rule = parse_filter_line("||t.com^$~image")
+        assert ResourceType.IMAGE not in rule.options.resource_types
+        assert ResourceType.SCRIPT in rule.options.resource_types
+
+    def test_third_party_option(self):
+        assert parse_filter_line("||t.com^$third-party").options.third_party is True
+        assert parse_filter_line("||t.com^$~third-party").options.third_party is False
+        assert parse_filter_line("||t.com^").options.third_party is None
+
+    def test_domain_option(self):
+        rule = parse_filter_line("/ads/$domain=news.com|~blog.news.com")
+        assert rule.options.include_domains == ("news.com",)
+        # ~blog.news.com normalizes to its registrable domain.
+        assert rule.options.exclude_domains == ("news.com",)
+
+    def test_unknown_option_skips_rule(self):
+        assert parse_filter_line("||t.com^$frobnicate") is None
+
+    def test_match_case(self):
+        rule = parse_filter_line("/BannerAd/$match-case")
+        assert rule.options.match_case
+
+    def test_subdocument_maps_to_sub_frame(self):
+        rule = parse_filter_line("||t.com^$subdocument")
+        assert rule.options.resource_types == frozenset({ResourceType.SUB_FRAME})
+
+    def test_default_types_exclude_main_frame(self):
+        rule = parse_filter_line("||t.com^")
+        assert ResourceType.MAIN_FRAME not in rule.options.resource_types
+        assert ResourceType.WEBSOCKET in rule.options.resource_types
+
+
+class TestParseList:
+    TEXT = """\
+[Adblock Plus 2.0]
+! Title: test list
+||ads.example^$third-party
+@@||ads.example/ok/$script
+example.com##.banner
+||weird.example^$unsupportedoption
+/track/$ping
+"""
+
+    def test_counts(self):
+        parsed = parse_filter_list("test", self.TEXT)
+        assert len(parsed) == 3
+        assert parsed.hiding_rule_count == 1
+        assert parsed.skipped_lines == ["||weird.example^$unsupportedoption"]
+        assert len(parsed.block_rules) == 2
+        assert len(parsed.exception_rules) == 1
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(FilterParseError):
+            parse_filter_list("test", "||x.com^$bogusopt", strict=True)

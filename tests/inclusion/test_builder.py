@@ -1,0 +1,223 @@
+"""Tests for inclusion-tree construction from CDP events."""
+
+import pytest
+
+from repro.cdp.bus import EventBus
+from repro.cdp.events import (
+    FrameNavigated,
+    Initiator,
+    RequestWillBeSent,
+    ResponseReceived,
+    ScriptParsed,
+    WebSocketCreated,
+    WebSocketFrameReceived,
+    WebSocketFrameSent,
+    WebSocketWillSendHandshakeRequest,
+)
+from repro.inclusion.builder import InclusionTreeBuilder
+from repro.inclusion.chains import chain_domains, chain_urls
+from repro.inclusion.node import NodeKind
+from repro.net.http import ResourceType
+
+PAGE = "https://pub.example.com/"
+AD_SCRIPT = "https://ads.example.net/script.js"
+TRACKER_SCRIPT = "https://tracker.example.org/script.js"
+WS_URL = "ws://adnet.example.io/data.ws"
+
+
+def _navigate(builder, url=PAGE, frame="F1"):
+    builder.handle(RequestWillBeSent(
+        timestamp=0.0, request_id="r0", document_url=url, url=url,
+        resource_type="Document", frame_id=frame,
+        initiator=Initiator(type="other"),
+    ))
+    builder.handle(FrameNavigated(timestamp=0.1, frame_id=frame, url=url))
+
+
+def _include_script(builder, url, parent_initiator, request_id, script_id,
+                    frame="F1"):
+    builder.handle(RequestWillBeSent(
+        timestamp=1.0, request_id=request_id, document_url=PAGE, url=url,
+        resource_type="Script", frame_id=frame, initiator=parent_initiator,
+    ))
+    builder.handle(ScriptParsed(
+        timestamp=1.1, script_id=script_id, url=url, frame_id=frame,
+    ))
+
+
+def test_figure2_shape():
+    """Reproduce the paper's Figure 2: the socket is a child of the
+    JavaScript resource that opened it, not of the DOM position."""
+    builder = InclusionTreeBuilder()
+    _navigate(builder)
+    # pub page includes ads/script.js (parser), which includes
+    # tracker script? No — Figure 2: ads/script.js opens the socket.
+    _include_script(builder, AD_SCRIPT,
+                    Initiator(type="parser", url=PAGE), "r1", "1")
+    builder.handle(WebSocketCreated(
+        timestamp=2.0, request_id="ws1", url=WS_URL,
+        initiator=Initiator(type="script", url=AD_SCRIPT, script_id="1",
+                            stack_urls=(AD_SCRIPT,)),
+        frame_id="F1",
+    ))
+    tree = builder.result()
+    assert len(tree.websockets) == 1
+    socket = tree.websockets[0]
+    assert socket.parent.url == AD_SCRIPT
+    assert chain_urls(socket) == [PAGE, AD_SCRIPT, WS_URL]
+    assert chain_domains(socket) == [
+        "example.com", "example.net", "example.io"
+    ]
+
+
+def test_nested_script_chain():
+    builder = InclusionTreeBuilder()
+    _navigate(builder)
+    _include_script(builder, AD_SCRIPT,
+                    Initiator(type="parser", url=PAGE), "r1", "1")
+    _include_script(builder, TRACKER_SCRIPT,
+                    Initiator(type="script", url=AD_SCRIPT, script_id="1",
+                              stack_urls=(AD_SCRIPT,)), "r2", "2")
+    builder.handle(WebSocketCreated(
+        timestamp=3.0, request_id="ws1", url=WS_URL,
+        initiator=Initiator(type="script", url=TRACKER_SCRIPT, script_id="2",
+                            stack_urls=(TRACKER_SCRIPT, AD_SCRIPT)),
+        frame_id="F1",
+    ))
+    socket = builder.result().websockets[0]
+    assert chain_urls(socket) == [PAGE, AD_SCRIPT, TRACKER_SCRIPT, WS_URL]
+    assert socket.depth() == 3
+
+
+def test_inline_script_attributes_to_document():
+    """Inline scripts parse under the document URL, so their sockets
+    attribute to the first party — the paper's publisher-initiated case."""
+    builder = InclusionTreeBuilder()
+    _navigate(builder)
+    builder.handle(ScriptParsed(timestamp=1.0, script_id="9", url=PAGE,
+                                frame_id="F1", is_inline=True))
+    builder.handle(WebSocketCreated(
+        timestamp=2.0, request_id="ws1", url=WS_URL,
+        initiator=Initiator(type="script", url=PAGE, script_id="9",
+                            stack_urls=(PAGE,)),
+        frame_id="F1",
+    ))
+    socket = builder.result().websockets[0]
+    assert socket.parent is builder.result().root
+    assert chain_domains(socket) == ["example.com", "example.io"]
+
+
+def test_websocket_frames_and_handshake_recorded():
+    builder = InclusionTreeBuilder()
+    _navigate(builder)
+    builder.handle(ScriptParsed(timestamp=1.0, script_id="9", url=PAGE,
+                                frame_id="F1", is_inline=True))
+    builder.handle(WebSocketCreated(
+        timestamp=2.0, request_id="ws1", url=WS_URL,
+        initiator=Initiator(type="script", url=PAGE, script_id="9"),
+        frame_id="F1",
+    ))
+    builder.handle(WebSocketWillSendHandshakeRequest(
+        timestamp=2.1, request_id="ws1",
+        headers={"User-Agent": "UA", "Cookie": "uid=1"},
+    ))
+    builder.handle(WebSocketFrameSent(
+        timestamp=2.2, request_id="ws1", opcode=1, payload_data='{"a":1}',
+    ))
+    builder.handle(WebSocketFrameReceived(
+        timestamp=2.3, request_id="ws1", opcode=1, payload_data="<div/>",
+    ))
+    record = builder.result().websockets[0].websocket
+    assert record.handshake_headers["Cookie"] == "uid=1"
+    assert len(record.sent_frames) == 1
+    assert len(record.received_frames) == 1
+
+
+def test_subframe_document_attaches_under_initiator():
+    builder = InclusionTreeBuilder()
+    _navigate(builder)
+    _include_script(builder, AD_SCRIPT,
+                    Initiator(type="parser", url=PAGE), "r1", "1")
+    frame_url = "https://ads.example.net/frame.html"
+    builder.handle(RequestWillBeSent(
+        timestamp=2.0, request_id="r2", document_url=PAGE, url=frame_url,
+        resource_type="Document", frame_id="F1",
+        initiator=Initiator(type="script", url=AD_SCRIPT, script_id="1"),
+    ))
+    builder.handle(ResponseReceived(
+        timestamp=2.1, request_id="r2", url=frame_url, status=200,
+        mime_type="text/html", resource_type="Document", frame_id="F1",
+    ))
+    builder.handle(FrameNavigated(
+        timestamp=2.2, frame_id="F2", parent_frame_id="F1", url=frame_url,
+        initiator_url=AD_SCRIPT,
+    ))
+    # A resource loaded inside the child frame attaches to its document.
+    inner = "https://ads.example.net/creative.png"
+    builder.handle(RequestWillBeSent(
+        timestamp=2.3, request_id="r3", document_url=frame_url, url=inner,
+        resource_type="Image", frame_id="F2",
+        initiator=Initiator(type="parser", url=frame_url),
+    ))
+    tree = builder.result()
+    frame_node = next(n for n in tree.all_nodes() if n.url == frame_url)
+    assert frame_node.kind == NodeKind.DOCUMENT
+    assert frame_node.resource_type == ResourceType.SUB_FRAME
+    assert frame_node.parent.url == AD_SCRIPT
+    inner_node = next(n for n in tree.all_nodes() if n.url == inner)
+    assert inner_node.parent is frame_node
+
+
+def test_mime_annotation_from_response():
+    builder = InclusionTreeBuilder()
+    _navigate(builder)
+    builder.handle(RequestWillBeSent(
+        timestamp=1.0, request_id="r1", document_url=PAGE,
+        url="https://t.example/px.gif", resource_type="Image", frame_id="F1",
+        initiator=Initiator(type="parser", url=PAGE),
+    ))
+    builder.handle(ResponseReceived(
+        timestamp=1.1, request_id="r1", url="https://t.example/px.gif",
+        status=200, mime_type="image/gif", resource_type="Image",
+        frame_id="F1",
+    ))
+    node = next(n for n in builder.result().all_nodes()
+                if n.url.endswith("px.gif"))
+    assert node.mime_type == "image/gif"
+
+
+def test_unresolvable_initiator_becomes_orphan_under_root():
+    builder = InclusionTreeBuilder()
+    _navigate(builder)
+    builder.handle(RequestWillBeSent(
+        timestamp=1.0, request_id="r1", document_url=PAGE,
+        url="https://x.example/y.js", resource_type="Script", frame_id="F9",
+        initiator=Initiator(type="script", url="https://never-seen.example/z.js"),
+    ))
+    tree = builder.result()
+    assert tree.orphan_count == 1
+    node = next(n for n in tree.all_nodes() if n.url.endswith("y.js"))
+    assert node.parent is tree.root
+
+
+def test_result_without_document_raises():
+    with pytest.raises(RuntimeError):
+        InclusionTreeBuilder().result()
+
+
+def test_attach_detach_on_bus():
+    bus = EventBus()
+    builder = InclusionTreeBuilder()
+    builder.attach(bus)
+    _navigate_via_bus(bus)
+    builder.detach()
+    assert builder.result().root.url == PAGE
+
+
+def _navigate_via_bus(bus):
+    bus.publish(RequestWillBeSent(
+        timestamp=0.0, request_id="r0", document_url=PAGE, url=PAGE,
+        resource_type="Document", frame_id="F1",
+        initiator=Initiator(type="other"),
+    ))
+    bus.publish(FrameNavigated(timestamp=0.1, frame_id="F1", url=PAGE))

@@ -1,0 +1,59 @@
+"""Tests for chain extraction."""
+
+from repro.inclusion.chains import chain_domains, chain_to, chain_urls
+from repro.inclusion.node import InclusionNode, NodeKind
+
+
+def _deep_tree():
+    root = InclusionNode(url="https://pub.example.com/",
+                         kind=NodeKind.DOCUMENT)
+    exchange = root.add_child(
+        InclusionNode(url="https://ads.exchange.net/tag.js")
+    )
+    helper = exchange.add_child(
+        InclusionNode(url="https://ajax.googleapis.com/helper.js")
+    )
+    socket = helper.add_child(
+        InclusionNode(url="wss://push.sportingindex.com/live",
+                      kind=NodeKind.WEBSOCKET)
+    )
+    return root, socket
+
+
+def test_chain_root_first():
+    root, socket = _deep_tree()
+    chain = chain_to(socket)
+    assert chain[0] is root
+    assert chain[-1] is socket
+    assert len(chain) == 4
+
+
+def test_chain_urls():
+    _, socket = _deep_tree()
+    assert chain_urls(socket) == [
+        "https://pub.example.com/",
+        "https://ads.exchange.net/tag.js",
+        "https://ajax.googleapis.com/helper.js",
+        "wss://push.sportingindex.com/live",
+    ]
+
+
+def test_chain_domains_are_registrable():
+    _, socket = _deep_tree()
+    assert chain_domains(socket) == [
+        "example.com", "exchange.net", "googleapis.com",
+        "sportingindex.com",
+    ]
+
+
+def test_chain_of_root_is_singleton():
+    root, _ = _deep_tree()
+    assert chain_to(root) == [root]
+
+
+def test_chain_domains_skips_unparseable():
+    root = InclusionNode(url="https://pub.example.com/",
+                         kind=NodeKind.DOCUMENT)
+    inline = root.add_child(InclusionNode(url=""))
+    leaf = inline.add_child(InclusionNode(url="https://t.example.net/x"))
+    assert chain_domains(leaf) == ["example.com", "example.net"]

@@ -1,0 +1,53 @@
+"""Tests for inclusion node mechanics."""
+
+from repro.inclusion.node import FrameData, InclusionNode, NodeKind, WebSocketRecord
+
+
+def _tree():
+    root = InclusionNode(url="https://pub.com/", kind=NodeKind.DOCUMENT)
+    script = root.add_child(InclusionNode(url="https://cdn.t.com/a.js"))
+    pixel = script.add_child(InclusionNode(url="https://px.t.com/p.gif"))
+    return root, script, pixel
+
+
+def test_add_child_sets_parent():
+    root, script, pixel = _tree()
+    assert pixel.parent is script
+    assert script.parent is root
+    assert root.parent is None
+
+
+def test_ancestors_nearest_first():
+    root, script, pixel = _tree()
+    assert pixel.ancestors() == [script, root]
+
+
+def test_walk_depth_first():
+    root, script, pixel = _tree()
+    assert list(root.walk()) == [root, script, pixel]
+
+
+def test_depth():
+    root, script, pixel = _tree()
+    assert root.depth() == 0
+    assert pixel.depth() == 2
+
+
+def test_domain_property():
+    node = InclusionNode(url="wss://widget-mediator.zopim.com/s")
+    assert node.domain == "zopim.com"
+
+
+def test_domain_of_bad_url_is_empty():
+    assert InclusionNode(url="not a url").domain == ""
+    assert InclusionNode(url="").domain == ""
+
+
+def test_websocket_record_frame_split():
+    record = WebSocketRecord(url="wss://x/s", frames=[
+        FrameData(sent=True, opcode=1, payload="a"),
+        FrameData(sent=False, opcode=1, payload="b"),
+        FrameData(sent=True, opcode=2, payload="c"),
+    ])
+    assert [f.payload for f in record.sent_frames] == ["a", "c"]
+    assert [f.payload for f in record.received_frames] == ["b"]

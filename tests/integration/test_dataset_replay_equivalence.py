@@ -1,0 +1,28 @@
+"""Archival equivalence: analyses re-run from archived socket records.
+
+The study's primary artifact is the socket-record table; Tables 2–4 and
+the drift analysis must be recomputable from a JSONL archive alone,
+byte-identically with the in-memory run.
+"""
+
+from repro.analysis.classify import classify_one
+from repro.analysis.drift import compute_initiator_drift
+from repro.analysis.table2 import compute_table2
+from repro.analysis.table3 import compute_table3
+from repro.analysis.table4 import compute_table4
+from repro.crawler.persistence import load_socket_records, save_socket_records
+
+
+def test_tables_from_archive_match(tiny_study, tmp_path):
+    path = tmp_path / "sockets.jsonl.gz"
+    save_socket_records(path, tiny_study.dataset.socket_records)
+    restored = load_socket_records(path)
+    views = [
+        classify_one(record, tiny_study.labeler, tiny_study.resolver)
+        for record in restored
+    ]
+    assert compute_table2(views) == tiny_study.table2
+    assert compute_table3(views) == tiny_study.table3
+    assert compute_table4(views) == tiny_study.table4
+    original_drift = compute_initiator_drift(tiny_study.views)
+    assert compute_initiator_drift(views) == original_drift

@@ -1,0 +1,34 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "webRequest Bug (WRB) timeline" in out
+    assert "Inclusion tree" in out
+    assert "WebSocket to" in out
+
+
+def test_wrb_circumvention(capsys):
+    out = _run_example("wrb_circumvention.py", capsys)
+    assert "Chrome 57 + ad blocker — the WRB circumvention" in out
+    assert "WebSockets opened: 1 (blocked: 0)" in out  # the bug
+    assert "WebSockets opened: 0 (blocked: 1)" in out  # the patch
+
+
+@pytest.mark.slow
+def test_session_replay_audit(capsys):
+    out = _run_example("session_replay_audit.py", capsys)
+    assert "DOM snapshots uploaded over WebSockets" in out

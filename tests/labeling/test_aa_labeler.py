@@ -1,0 +1,86 @@
+"""Tests for the a(d) ≥ 0.1·n(d) labeler."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.labeling.aa_labeler import AaLabeler, DomainTagCounter
+
+
+def _counter(entries):
+    counter = DomainTagCounter()
+    for host, matched, weight in entries:
+        counter.observe(host, matched, weight)
+    return counter
+
+
+def test_observe_aggregates_to_registrable_domain():
+    counter = _counter([
+        ("x.doubleclick.net", True, 3),
+        ("y.doubleclick.net", True, 2),
+        ("z.doubleclick.net", False, 1),
+    ])
+    assert counter.counts("doubleclick.net") == (5, 1)
+
+
+def test_threshold_rule_exactly_ten_percent():
+    # a(d) = 1, n(d) = 10 → 1 >= 0.1*10 → labeled.
+    labeler = AaLabeler.from_counts(_counter([
+        ("widget.intercom.io", True, 1),
+        ("widget.intercom.io", False, 10),
+    ]))
+    assert labeler.is_aa("intercom.io")
+
+
+def test_below_threshold_not_labeled():
+    # a(d) = 1, n(d) = 11 → 1 < 1.1 → filtered out as false positive.
+    labeler = AaLabeler.from_counts(_counter([
+        ("cdn.mixedcdn.com", True, 1),
+        ("cdn.mixedcdn.com", False, 11),
+    ]))
+    assert not labeler.is_aa("mixedcdn.com")
+
+
+def test_zero_aa_observations_never_labeled():
+    # The vacuous case a(d)=0, n(d)=0 must not label.
+    counter = DomainTagCounter()
+    counter.non_aa["benign.com"] = 0
+    counter.aa["benign.com"] = 0
+    labeler = AaLabeler.from_counts(counter)
+    assert not labeler.is_aa("benign.com")
+
+
+def test_pure_aa_domain_labeled():
+    labeler = AaLabeler.from_counts(_counter([("ads.adnxs.com", True, 4)]))
+    assert labeler.is_aa("adnxs.com")
+    assert labeler.is_aa("any.sub.adnxs.com")  # host → sld lookup
+
+
+def test_merge_counters():
+    a = _counter([("t.com", True, 2)])
+    b = _counter([("t.com", False, 3), ("u.com", True, 1)])
+    a.merge(b)
+    assert a.counts("t.com") == (2, 3)
+    assert a.counts("u.com") == (1, 0)
+    assert a.domains() == {"t.com", "u.com"}
+
+
+def test_len_reports_labeled_count():
+    labeler = AaLabeler.from_counts(_counter([
+        ("a.com", True, 1), ("b.com", False, 5),
+    ]))
+    assert len(labeler) == 1
+
+
+@given(
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_threshold_property(a, n):
+    counter = DomainTagCounter()
+    if a:
+        counter.observe("d.example.com", True, a)
+    if n:
+        counter.observe("d.example.com", False, n)
+    labeler = AaLabeler.from_counts(counter)
+    expected = a > 0 and a >= 0.1 * n
+    assert labeler.is_aa("example.com") == expected

@@ -1,0 +1,71 @@
+"""Tests for Cloudfront tenant mapping."""
+
+from repro.labeling.aa_labeler import AaLabeler, DomainTagCounter
+from repro.labeling.cloudfront import CloudfrontMapper, is_cloudfront_host
+from repro.labeling.resolver import DomainResolver
+
+CF = "d10lpsik1i8c69.cloudfront.net"
+
+
+def _labeler(*aa_domains):
+    counter = DomainTagCounter()
+    for domain in aa_domains:
+        counter.observe(f"px.{domain}", True, 5)
+    return AaLabeler.from_counts(counter)
+
+
+def test_is_cloudfront_host():
+    assert is_cloudfront_host(CF)
+    assert not is_cloudfront_host("cdn.luckyorange.com")
+
+
+def test_one_to_one_mapping_derived():
+    mapper = CloudfrontMapper()
+    # LuckyOrange's CDN-hosted script loads its beacon on every page.
+    for _ in range(20):
+        mapper.observe_chain(["www.pub.com", CF, "px.luckyorange.com"])
+    mapping = mapper.derive_mapping(_labeler("luckyorange.com"))
+    assert mapping == {CF: "luckyorange.com"}
+
+
+def test_publisher_adjacency_does_not_win():
+    mapper = CloudfrontMapper()
+    # Different publisher every chain, same tenant beacon below.
+    for i in range(20):
+        mapper.observe_chain([f"www.pub{i}.com", CF, "px.luckyorange.com"])
+    mapping = mapper.derive_mapping(_labeler("luckyorange.com"))
+    assert mapping[CF] == "luckyorange.com"
+
+
+def test_non_aa_adjacency_yields_no_mapping():
+    mapper = CloudfrontMapper()
+    for _ in range(10):
+        mapper.observe_chain(["www.pub.com", CF, "cdn.benign.com"])
+    assert mapper.derive_mapping(_labeler("unrelated.com")) == {}
+
+
+def test_ambiguous_adjacency_requires_dominance():
+    mapper = CloudfrontMapper()
+    for _ in range(10):
+        mapper.observe_chain(["www.pub.com", CF, "px.companya.com"])
+    for _ in range(10):
+        mapper.observe_chain(["www.pub.com", CF, "px.companyb.com"])
+    mapping = mapper.derive_mapping(_labeler("companya.com", "companyb.com"))
+    assert CF not in mapping  # 50/50 split is not a confident mapping
+
+
+def test_consecutive_cloudfront_hosts_ignored_as_neighbors():
+    mapper = CloudfrontMapper()
+    other_cf = "d99other.cloudfront.net"
+    mapper.observe_chain(["www.pub.com", CF, other_cf, "px.tenant.com"])
+    counts = mapper.adjacency[CF]
+    assert "cloudfront.net" not in counts
+
+
+def test_resolver_applies_mapping():
+    resolver = DomainResolver(cloudfront_mapping={CF: "luckyorange.com"})
+    assert resolver.effective_domain(CF) == "luckyorange.com"
+    assert resolver.effective_domain("x.hotjar.com") == "hotjar.com"
+    assert resolver.effective_domains([CF, "a.b.com"]) == [
+        "luckyorange.com", "b.com",
+    ]

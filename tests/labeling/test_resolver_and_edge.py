@@ -1,0 +1,45 @@
+"""Edge-case coverage for labeling internals."""
+
+from repro.labeling.aa_labeler import AaLabeler, DomainTagCounter
+from repro.labeling.cloudfront import CloudfrontMapper
+from repro.labeling.resolver import DomainResolver
+
+
+def test_resolver_without_mapping_is_plain_sld():
+    resolver = DomainResolver()
+    assert resolver.effective_domain("a.b.example.co.uk") == "example.co.uk"
+
+
+def test_mapper_chain_with_no_cloudfront_is_noop():
+    mapper = CloudfrontMapper()
+    mapper.observe_chain(["www.pub.com", "cdn.tracker.com"])
+    assert mapper.adjacency == {}
+
+
+def test_mapper_cloudfront_at_chain_edges():
+    mapper = CloudfrontMapper()
+    cf = "dabc123.cloudfront.net"
+    # Cloudfront host first in chain: only the successor is adjacent.
+    mapper.observe_chain([cf, "px.tenant.com"])
+    # Cloudfront host last: only the predecessor.
+    mapper.observe_chain(["px.tenant.com", cf])
+    assert mapper.adjacency[cf]["tenant.com"] == 2
+
+
+def test_labeler_threshold_parameter():
+    counter = DomainTagCounter()
+    counter.observe("x.mixed.com", True, 2)
+    counter.observe("x.mixed.com", False, 8)  # 20% A&A
+    assert AaLabeler.from_counts(counter, threshold=0.1).is_aa("mixed.com")
+    assert not AaLabeler.from_counts(counter, threshold=0.5).is_aa("mixed.com")
+
+
+def test_labeler_membership_is_by_sld():
+    labeler = AaLabeler(aa_domains=frozenset({"tracker.net"}))
+    assert labeler.is_aa("deep.sub.tracker.net")
+    assert not labeler.is_aa("nottracker.net")
+
+
+def test_derive_mapping_empty_when_no_observations():
+    labeler = AaLabeler(aa_domains=frozenset({"t.com"}))
+    assert CloudfrontMapper().derive_mapping(labeler) == {}

@@ -1,0 +1,68 @@
+"""Tests for the cookie jar."""
+
+from repro.net.cookies import CookieJar
+
+
+def test_set_and_render_header():
+    jar = CookieJar("p1")
+    jar.set_cookie("x.tracker.com", "uid", "abc", now=10.0)
+    assert jar.header_for("y.tracker.com") == "uid=abc"
+
+
+def test_subdomains_share_parent_cookies():
+    jar = CookieJar("p1")
+    jar.set_cookie("a.example.com", "sid", "1", now=0.0)
+    assert jar.cookies_for("b.example.com")[0].value == "1"
+    assert jar.cookies_for("other.com") == []
+
+
+def test_refresh_keeps_creation_date():
+    jar = CookieJar("p1")
+    jar.set_cookie("t.com", "uid", "v1", now=100.0)
+    cookie = jar.set_cookie("t.com", "uid", "v2", now=200.0)
+    assert cookie.value == "v2"
+    assert cookie.created_at == 100.0
+
+
+def test_tracking_id_stable_per_profile_and_domain():
+    jar = CookieJar("profileA")
+    first = jar.ensure_tracking_id("x.tracker.com", "uid", now=1.0)
+    second = jar.ensure_tracking_id("y.tracker.com", "uid", now=2.0)
+    assert first.value == second.value  # same registrable domain
+    assert first.created_at == 1.0  # creation date preserved
+
+
+def test_tracking_id_differs_across_profiles():
+    a = CookieJar("profileA").ensure_tracking_id("t.com", "uid", 0.0)
+    b = CookieJar("profileB").ensure_tracking_id("t.com", "uid", 0.0)
+    assert a.value != b.value
+
+
+def test_tracking_id_deterministic_across_jars():
+    a = CookieJar("same").ensure_tracking_id("t.com", "uid", 0.0)
+    b = CookieJar("same").ensure_tracking_id("t.com", "uid", 5.0)
+    assert a.value == b.value  # the property trackers exploit
+
+
+def test_first_seen():
+    jar = CookieJar("p")
+    assert jar.first_seen("t.com", "uid") is None
+    jar.ensure_tracking_id("t.com", "uid", 42.0)
+    assert jar.first_seen("t.com", "uid") == 42.0
+
+
+def test_multiple_cookies_joined():
+    jar = CookieJar("p")
+    jar.set_cookie("t.com", "a", "1", 0.0)
+    jar.set_cookie("t.com", "b", "2", 0.0)
+    assert jar.header_for("t.com") == "a=1; b=2"
+
+
+def test_clear_and_len():
+    jar = CookieJar("p")
+    jar.set_cookie("a.com", "x", "1", 0.0)
+    jar.set_cookie("b.com", "y", "2", 0.0)
+    assert len(jar) == 2
+    jar.clear()
+    assert len(jar) == 0
+    assert jar.header_for("a.com") == ""

@@ -1,0 +1,40 @@
+"""Tests for domain identity helpers."""
+
+from repro.net.domains import (
+    display_name,
+    is_third_party,
+    second_level_domain,
+    second_level_of_url,
+)
+
+
+def test_second_level_domain_alias():
+    assert second_level_domain("x.doubleclick.net") == "doubleclick.net"
+
+
+def test_second_level_of_url():
+    assert second_level_of_url("wss://widget-mediator.zopim.com/s") == "zopim.com"
+
+
+def test_third_party_cross_site():
+    assert is_third_party(
+        "https://cdn.tracker.com/px.gif", "https://news.example.com/"
+    )
+
+
+def test_first_party_subdomain_not_third_party():
+    assert not is_third_party(
+        "https://static.example.com/app.js", "https://www.example.com/"
+    )
+
+
+def test_third_party_websocket():
+    assert is_third_party(
+        "wss://rt.33across.com/socket", "https://publisher.com/"
+    )
+
+
+def test_display_name_strips_suffix():
+    assert display_name("x.doubleclick.net") == "doubleclick"
+    assert display_name("33across.com") == "33across"
+    assert display_name("plymouthart.ac.uk") == "plymouthart"

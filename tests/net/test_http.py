@@ -1,0 +1,32 @@
+"""Tests for HTTP message models."""
+
+from repro.net.http import HttpRequest, HttpResponse, ResourceType
+
+
+def test_request_host_and_query():
+    request = HttpRequest(url="https://px.t.com/sync?uid=1&x=2")
+    assert request.host == "px.t.com"
+    assert request.query == "uid=1&x=2"
+
+
+def test_request_header_case_insensitive():
+    request = HttpRequest(url="https://a.b/", headers={"User-Agent": "UA"})
+    assert request.header("user-agent") == "UA"
+    assert request.header("missing", "dflt") == "dflt"
+
+
+def test_response_ok_range():
+    assert HttpResponse(url="https://a.b/", status=204).ok
+    assert not HttpResponse(url="https://a.b/", status=404).ok
+    assert not HttpResponse(url="https://a.b/", status=301).ok
+
+
+def test_response_header_lookup():
+    response = HttpResponse(url="https://a.b/", headers={"Set-Cookie": "x=1"})
+    assert response.header("set-cookie") == "x=1"
+
+
+def test_resource_type_values_match_webrequest_api():
+    assert ResourceType.XHR.value == "xmlhttprequest"
+    assert ResourceType.MAIN_FRAME.value == "main_frame"
+    assert ResourceType.WEBSOCKET.value == "websocket"

@@ -1,0 +1,70 @@
+"""Tests for the public-suffix extractor."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.publicsuffix import public_suffix, registrable_domain
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self):
+        assert public_suffix("example.com") == "com"
+
+    def test_multi_label_suffix(self):
+        assert public_suffix("bbc.co.uk") == "co.uk"
+
+    def test_unknown_tld_falls_back_to_last_label(self):
+        assert public_suffix("thing.veryunknowntld") == "veryunknowntld"
+
+    def test_wildcard_rule(self):
+        # *.ck makes <label>.ck a public suffix…
+        assert public_suffix("shop.foo.ck") == "foo.ck"
+
+    def test_exception_rule(self):
+        # …but !www.ck is an exception: its suffix is just "ck".
+        assert public_suffix("www.ck") == "ck"
+
+    def test_case_and_trailing_dot(self):
+        assert public_suffix("Example.COM.") == "com"
+
+
+class TestRegistrableDomain:
+    def test_paper_example(self):
+        # §3.2: x.doubleclick.net and y.doubleclick.net share a 2LD.
+        assert registrable_domain("x.doubleclick.net") == "doubleclick.net"
+        assert registrable_domain("y.doubleclick.net") == "doubleclick.net"
+
+    def test_deep_subdomains(self):
+        assert registrable_domain("a.b.c.example.org") == "example.org"
+
+    def test_cc_tld(self):
+        assert registrable_domain("news.bbc.co.uk") == "bbc.co.uk"
+
+    def test_bare_suffix_returned_unchanged(self):
+        assert registrable_domain("co.uk") == "co.uk"
+        assert registrable_domain("com") == "com"
+
+    def test_cloudfront_is_one_registrable_domain(self):
+        # This is why the paper needed the manual Cloudfront mapping.
+        assert (
+            registrable_domain("d10lpsik1i8c69.cloudfront.net")
+            == "cloudfront.net"
+        )
+
+    def test_registrable_of_registrable_is_fixed_point(self):
+        domain = registrable_domain("deep.sub.example.com")
+        assert registrable_domain(domain) == domain
+
+
+@given(
+    st.from_regex(r"([a-z]{1,8}\.){1,4}(com|org|net|co\.uk|io)", fullmatch=True)
+)
+def test_registrable_domain_properties(host):
+    domain = registrable_domain(host)
+    # The registrable domain is a suffix of the host…
+    assert host == domain or host.endswith("." + domain)
+    # …and idempotent.
+    assert registrable_domain(domain) == domain
+    # It has exactly one label more than its public suffix.
+    suffix = public_suffix(host)
+    assert domain == host or domain.count(".") == suffix.count(".") + 1

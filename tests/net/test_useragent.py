@@ -1,0 +1,26 @@
+"""Tests for user-agent / device profiles."""
+
+from repro.net.useragent import DeviceProfile, chrome_user_agent, default_profile
+
+
+def test_chrome_ua_contains_version():
+    ua = chrome_user_agent(57)
+    assert "Chrome/57." in ua
+    assert ua.startswith("Mozilla/5.0")
+
+
+def test_default_profile_geometry_strings():
+    profile = default_profile(58)
+    assert profile.screen == "1920x1080"
+    assert profile.viewport == "1920x948"
+    assert profile.resolution == "1920x1080x24"
+    assert "Chrome/58." in profile.user_agent
+
+
+def test_profile_is_frozen():
+    profile = DeviceProfile(user_agent="x")
+    import dataclasses
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        profile.language = "de-DE"

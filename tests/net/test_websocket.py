@@ -1,0 +1,84 @@
+"""Tests for the WebSocket protocol model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.websocket import (
+    FrameDirection,
+    OpCode,
+    WebSocketConnection,
+    WebSocketFrame,
+    WebSocketHandshake,
+    accept_key,
+    make_client_key,
+)
+
+
+def test_accept_key_rfc6455_vector():
+    # The published test vector from RFC 6455 §1.3/§4.2.2.
+    assert (
+        accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+        == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+    )
+
+
+def test_make_client_key_is_16_bytes_base64():
+    key = make_client_key(b"seed")
+    import base64
+
+    assert len(base64.b64decode(key)) == 16
+
+
+def test_make_client_key_deterministic():
+    assert make_client_key(b"a") == make_client_key(b"a")
+    assert make_client_key(b"a") != make_client_key(b"b")
+
+
+def test_handshake_headers_shape():
+    handshake = WebSocketHandshake(
+        url="wss://ws.example.com/socket",
+        client_key=make_client_key(b"x"),
+        origin="https://pub.example.org",
+    )
+    request = handshake.request_headers()
+    assert request["Upgrade"] == "websocket"
+    assert request["Sec-WebSocket-Version"] == "13"
+    assert request["Origin"] == "https://pub.example.org"
+    response = handshake.response_headers()
+    assert response["Sec-WebSocket-Accept"] == accept_key(handshake.client_key)
+
+
+def test_handshake_subprotocol_propagates():
+    handshake = WebSocketHandshake(
+        url="wss://x/s", client_key=make_client_key(b"x"), protocol="v1.chat"
+    )
+    assert handshake.request_headers()["Sec-WebSocket-Protocol"] == "v1.chat"
+    assert handshake.response_headers()["Sec-WebSocket-Protocol"] == "v1.chat"
+
+
+def test_frame_properties():
+    frame = WebSocketFrame(FrameDirection.SENT, OpCode.TEXT, "hello")
+    assert frame.is_text
+    assert frame.size == 5
+    binary = WebSocketFrame(FrameDirection.RECEIVED, OpCode.BINARY, "\x00\x01")
+    assert not binary.is_text
+
+
+def test_connection_splits_directions():
+    handshake = WebSocketHandshake(url="wss://x/s", client_key=make_client_key(b"k"))
+    conn = WebSocketConnection(
+        handshake=handshake,
+        frames=[
+            WebSocketFrame(FrameDirection.SENT, OpCode.TEXT, "a"),
+            WebSocketFrame(FrameDirection.RECEIVED, OpCode.TEXT, "b"),
+            WebSocketFrame(FrameDirection.SENT, OpCode.BINARY, "c"),
+        ],
+    )
+    assert [f.payload for f in conn.sent_frames] == ["a", "c"]
+    assert [f.payload for f in conn.received_frames] == ["b"]
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_accept_key_always_28_chars(data):
+    key = make_client_key(data)
+    assert len(accept_key(key)) == 28

@@ -1,0 +1,108 @@
+"""Tests for the RFC 6455 frame wire codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.websocket import FrameDirection, OpCode, WebSocketFrame
+from repro.net.wire import WireError, decode_frame, decode_stream, encode_frame
+
+MASK = b"\x12\x34\x56\x78"
+
+
+def _sent(payload, opcode=OpCode.TEXT):
+    return WebSocketFrame(FrameDirection.SENT, opcode, payload)
+
+
+def _received(payload, opcode=OpCode.TEXT):
+    return WebSocketFrame(FrameDirection.RECEIVED, opcode, payload)
+
+
+class TestEncode:
+    def test_rfc_example_unmasked_hello(self):
+        # RFC 6455 §5.7: single-frame unmasked text "Hello".
+        wire = encode_frame(_received("Hello"))
+        assert wire == bytes([0x81, 0x05]) + b"Hello"
+
+    def test_rfc_example_masked_hello(self):
+        # RFC 6455 §5.7: masked "Hello" with key 0x37fa213d.
+        wire = encode_frame(_sent("Hello"), mask_key=b"\x37\xfa\x21\x3d")
+        assert wire == bytes([0x81, 0x85, 0x37, 0xfa, 0x21, 0x3d,
+                              0x7f, 0x9f, 0x4d, 0x51, 0x58])
+
+    def test_16_bit_length(self):
+        wire = encode_frame(_received("a" * 300))
+        assert wire[1] == 126
+        assert int.from_bytes(wire[2:4], "big") == 300
+
+    def test_64_bit_length(self):
+        wire = encode_frame(_received("a" * 70_000))
+        assert wire[1] == 127
+        assert int.from_bytes(wire[2:10], "big") == 70_000
+
+    def test_client_frame_requires_mask(self):
+        with pytest.raises(WireError):
+            encode_frame(_sent("x"))
+        with pytest.raises(WireError):
+            encode_frame(_sent("x"), mask_key=b"\x01\x02")
+
+    def test_server_frame_must_not_mask(self):
+        with pytest.raises(WireError):
+            encode_frame(_received("x"), mask_key=MASK)
+
+    def test_binary_opcode(self):
+        wire = encode_frame(_received("\x00\x01\xff", OpCode.BINARY))
+        assert wire[0] & 0x0F == 0x2
+
+
+class TestDecode:
+    def test_round_trip_masked(self):
+        frame = _sent('{"event":"subscribe"}')
+        decoded = decode_frame(encode_frame(frame, mask_key=MASK))
+        assert decoded.frame == frame
+        assert decoded.fin
+
+    def test_round_trip_unmasked_binary(self):
+        frame = _received("\x00\x80\xff\x10", OpCode.BINARY)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.frame == frame
+
+    def test_direction_inferred_from_mask_bit(self):
+        wire = encode_frame(_sent("x"), mask_key=MASK)
+        assert decode_frame(wire).frame.direction == FrameDirection.SENT
+        wire = encode_frame(_received("x"))
+        assert decode_frame(wire).frame.direction == FrameDirection.RECEIVED
+
+    def test_truncated_raises(self):
+        wire = encode_frame(_received("Hello"))
+        with pytest.raises(WireError):
+            decode_frame(wire[:3])
+        with pytest.raises(WireError):
+            decode_frame(b"\x81")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(WireError):
+            decode_frame(bytes([0x83, 0x00]))  # reserved opcode 0x3
+
+    def test_stream_of_frames(self):
+        frames = [_sent("a"), _received("bb"), _sent("ccc")]
+        wire = b"".join(
+            encode_frame(f, mask_key=MASK if f.direction == FrameDirection.SENT
+                         else None)
+            for f in frames
+        )
+        assert decode_stream(wire) == frames
+
+
+@given(
+    st.text(max_size=400),
+    st.sampled_from([FrameDirection.SENT, FrameDirection.RECEIVED]),
+    st.binary(min_size=4, max_size=4),
+)
+@settings(max_examples=200)
+def test_codec_round_trip_property(payload, direction, mask):
+    frame = WebSocketFrame(direction, OpCode.TEXT, payload)
+    key = mask if direction == FrameDirection.SENT else None
+    decoded = decode_frame(encode_frame(frame, mask_key=key))
+    assert decoded.frame == frame
+    assert decoded.consumed > 0

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_check_blocked(capsys):
+    assert main(["check",
+                 "https://securepubads.doubleclick.net/ads/tag.js"]) == 0
+    out = capsys.readouterr().out
+    assert "BLOCKED" in out and "doubleclick" in out
+
+
+def test_check_allowed(capsys):
+    assert main(["check", "https://cdn.intercom.io/widget/chat.js"]) == 0
+    assert "allowed" in capsys.readouterr().out
+
+
+def test_check_websocket_type(capsys):
+    assert main(["check", "wss://ws.pusher.com/socket",
+                 "--type", "websocket"]) == 0
+    assert "allowed" in capsys.readouterr().out
+
+
+def test_check_bad_type(capsys):
+    assert main(["check", "https://x.example/", "--type", "bogus"]) == 2
+
+
+def test_lists_dump(capsys):
+    assert main(["lists", "--list", "easylist"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("[Adblock Plus 2.0]")
+    assert "doubleclick.net" in out
+
+
+def test_visit_reserved_site(capsys):
+    assert main(["visit", "acenterforrecovery.com", "--chrome", "57"]) == 0
+    out = capsys.readouterr().out
+    assert "acenterforrecovery.com" in out
+    assert "⇄" in out  # at least one WebSocket in the tree
+
+
+def test_visit_unknown_domain(capsys):
+    assert main(["visit", "no-such-domain.example"]) == 2
+    assert "unknown domain" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_visit_writes_har(tmp_path, capsys):
+    har_path = tmp_path / "visit.har"
+    assert main(["visit", "acenterforrecovery.com", "--chrome", "57",
+                 "--har", str(har_path)]) == 0
+    import json
+
+    with open(har_path) as handle:
+        har = json.load(handle)
+    assert har["log"]["entries"]
+    assert any(e.get("_resourceType") == "websocket"
+               for e in har["log"]["entries"])

@@ -1,0 +1,55 @@
+"""Additional edge-case coverage for utility modules."""
+
+import pytest
+
+from repro.util.rng import RngStream
+from repro.util.urls import parse_url, resolve_relative
+
+
+class TestUrlEdgeCases:
+    def test_ipv4_host(self):
+        url = parse_url("http://192.168.1.1:8080/admin")
+        assert url.host == "192.168.1.1"
+        assert url.port == 8080
+
+    def test_query_with_encoded_chars(self):
+        url = parse_url("https://t.example/sync?uid=ab%3D1&next=/x")
+        assert url.query == "uid=ab%3D1&next=/x"
+
+    def test_trailing_dot_host_normalized(self):
+        assert parse_url("https://example.com./x").host == "example.com"
+
+    def test_unknown_scheme_port_zero(self):
+        assert parse_url("gopher://old.example/x").port == 0
+
+    def test_resolve_relative_keeps_ws_scheme(self):
+        out = resolve_relative("wss://rt.example/app/main", "data")
+        assert out == "wss://rt.example/app/data"
+
+
+class TestRngStreamMore:
+    def test_expovariate_positive(self):
+        stream = RngStream(1, "e")
+        assert all(stream.expovariate(2.0) > 0 for _ in range(100))
+
+    def test_gauss_centred(self):
+        stream = RngStream(1, "g")
+        draws = [stream.gauss(5.0, 1.0) for _ in range(5000)]
+        assert 4.9 < sum(draws) / len(draws) < 5.1
+
+    def test_uniform_bounds(self):
+        stream = RngStream(1, "u")
+        for _ in range(100):
+            value = stream.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_choice_single_item(self):
+        assert RngStream(1, "c").choice(["only"]) == "only"
+
+    def test_nested_children_distinct(self):
+        root = RngStream(1, "root")
+        a = root.child("x").child("y")
+        b = root.child("x", "y")
+        # child("x").child("y") and child("x","y") share the key path.
+        assert a.key == b.key
+        assert a.random() == b.random()

@@ -1,0 +1,144 @@
+"""Tests for deterministic stream-keyed RNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_key_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_root_seed_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(42, "x")
+        assert 0 <= seed < 2**64
+
+    def test_numeric_parts_stringified(self):
+        assert derive_seed(1, 5) == derive_seed(1, "5")
+
+
+class TestRngStream:
+    def test_same_key_same_sequence(self):
+        a = RngStream(7, "crawl", 0)
+        b = RngStream(7, "crawl", 0)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_keys_differ(self):
+        a = RngStream(7, "crawl", 0)
+        b = RngStream(7, "crawl", 1)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_extends_key(self):
+        parent = RngStream(7, "x")
+        child = parent.child("y")
+        assert child.key == ("x", "y")
+
+    def test_child_independent_of_parent_draws(self):
+        parent_a = RngStream(7, "x")
+        parent_b = RngStream(7, "x")
+        parent_a.random()  # consume from one parent only
+        assert parent_a.child("y").random() == parent_b.child("y").random()
+
+    def test_bernoulli_extremes(self):
+        stream = RngStream(1, "t")
+        assert stream.bernoulli(1.0) is True
+        assert stream.bernoulli(0.0) is False
+        assert stream.bernoulli(1.5) is True
+        assert stream.bernoulli(-0.5) is False
+
+    def test_bernoulli_rate(self):
+        stream = RngStream(1, "rate")
+        hits = sum(stream.bernoulli(0.3) for _ in range(20_000))
+        assert 0.27 < hits / 20_000 < 0.33
+
+    def test_randint_bounds(self):
+        stream = RngStream(1, "ri")
+        values = {stream.randint(3, 5) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_sample_caps_at_population(self):
+        stream = RngStream(1, "s")
+        assert sorted(stream.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_shuffled_preserves_elements(self):
+        stream = RngStream(1, "sh")
+        items = list(range(50))
+        shuffled = stream.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(50))  # input untouched
+
+    def test_poisson_zero_mean(self):
+        stream = RngStream(1, "p")
+        assert stream.poisson(0.0) == 0
+        assert stream.poisson(-1.0) == 0
+
+    def test_poisson_mean(self):
+        stream = RngStream(1, "p2")
+        draws = [stream.poisson(2.5) for _ in range(5_000)]
+        assert 2.3 < sum(draws) / len(draws) < 2.7
+
+    def test_poisson_large_mean_normal_approx(self):
+        stream = RngStream(1, "p3")
+        draws = [stream.poisson(80.0) for _ in range(500)]
+        assert 75 < sum(draws) / len(draws) < 85
+        assert all(d >= 0 for d in draws)
+
+    def test_zipf_index_range_and_skew(self):
+        stream = RngStream(1, "z")
+        draws = [stream.zipf_index(100) for _ in range(5_000)]
+        assert all(0 <= d < 100 for d in draws)
+        # Rank 0 must be the most common outcome under Zipf.
+        assert draws.count(0) > draws.count(50)
+
+    def test_zipf_index_requires_positive_n(self):
+        stream = RngStream(1, "z2")
+        with pytest.raises(ValueError):
+            stream.zipf_index(0)
+
+    def test_weighted_choice_respects_weights(self):
+        stream = RngStream(1, "w")
+        picks = [
+            stream.weighted_choice(["a", "b"], [99.0, 1.0]) for _ in range(500)
+        ]
+        assert picks.count("a") > 400
+
+    def test_weighted_choice_length_mismatch(self):
+        stream = RngStream(1, "w2")
+        with pytest.raises(ValueError):
+            stream.weighted_choice(["a"], [1.0, 2.0])
+
+    def test_bounded_pareto_range(self):
+        stream = RngStream(1, "bp")
+        for _ in range(200):
+            value = stream.bounded_pareto(1.0, 100.0)
+            assert 1.0 <= value <= 100.0
+
+    def test_bounded_pareto_rejects_bad_bounds(self):
+        stream = RngStream(1, "bp2")
+        with pytest.raises(ValueError):
+            stream.bounded_pareto(5.0, 1.0)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+def test_derive_seed_stable_property(root, part):
+    assert derive_seed(root, part) == derive_seed(root, part)
+
+
+@given(
+    st.lists(st.integers(), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=40),
+)
+def test_sample_is_subset_property(items, k):
+    stream = RngStream(3, "prop")
+    sampled = stream.sample(items, k)
+    assert len(sampled) == min(k, len(items))
+    for item in sampled:
+        assert item in items

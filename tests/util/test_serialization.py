@@ -1,0 +1,68 @@
+"""Tests for JSONL persistence helpers."""
+
+import dataclasses
+import datetime as dt
+
+from repro.util.serialization import dumps, read_jsonl, to_jsonable, write_jsonl
+
+
+@dataclasses.dataclass
+class Sample:
+    name: str
+    count: int
+    tags: tuple
+
+
+def test_to_jsonable_dataclass():
+    obj = Sample(name="x", count=2, tags=("a", "b"))
+    assert to_jsonable(obj) == {"name": "x", "count": 2, "tags": ["a", "b"]}
+
+
+def test_to_jsonable_datetime():
+    instant = dt.datetime(2017, 4, 19, tzinfo=dt.timezone.utc)
+    assert to_jsonable(instant) == "2017-04-19T00:00:00+00:00"
+
+
+def test_to_jsonable_sets_sorted():
+    assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+
+def test_to_jsonable_bytes():
+    assert to_jsonable(b"\x01\x02") == {"__bytes__": "0102"}
+
+
+def test_dumps_compact_and_sorted():
+    assert dumps({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+def test_write_read_round_trip(tmp_path):
+    path = tmp_path / "records.jsonl"
+    records = [{"i": i, "name": f"r{i}"} for i in range(5)]
+    assert write_jsonl(path, records) == 5
+    loaded = list(read_jsonl(path))
+    assert loaded == records
+
+
+def test_gzip_round_trip(tmp_path):
+    path = tmp_path / "records.jsonl.gz"
+    write_jsonl(path, [{"x": 1}])
+    assert list(read_jsonl(path)) == [{"x": 1}]
+
+
+def test_read_with_decoder(tmp_path):
+    path = tmp_path / "r.jsonl"
+    write_jsonl(path, [{"x": 1}, {"x": 2}])
+    loaded = list(read_jsonl(path, decoder=lambda record: record["x"]))
+    assert loaded == [1, 2]
+
+
+def test_write_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "r.jsonl"
+    write_jsonl(path, [{"ok": True}])
+    assert path.exists()
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "r.jsonl"
+    path.write_text('{"a":1}\n\n{"a":2}\n')
+    assert len(list(read_jsonl(path))) == 2

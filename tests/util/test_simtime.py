@@ -1,0 +1,42 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.util.simtime import SimClock, parse_date
+
+
+def test_parse_date_is_utc_midnight():
+    instant = parse_date("2017-04-19")
+    assert (instant.year, instant.month, instant.day) == (2017, 4, 19)
+    assert (instant.hour, instant.minute) == (0, 0)
+    assert instant.tzinfo is not None
+
+
+def test_advance_moves_forward():
+    clock = SimClock(now=parse_date("2017-04-02"))
+    before = clock.timestamp()
+    clock.advance(60.0)
+    assert clock.timestamp() == pytest.approx(before + 60.0)
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_set_to_rejects_past():
+    clock = SimClock(now=parse_date("2017-05-07"))
+    with pytest.raises(ValueError):
+        clock.set_to(parse_date("2017-04-02"))
+
+
+def test_set_to_future():
+    clock = SimClock(now=parse_date("2017-04-02"))
+    clock.set_to(parse_date("2017-10-12"))
+    assert clock.now == parse_date("2017-10-12")
+
+
+def test_isoformat_contains_date():
+    clock = SimClock(now=parse_date("2017-04-11"))
+    assert clock.isoformat().startswith("2017-04-11")

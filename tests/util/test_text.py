@@ -1,0 +1,48 @@
+"""Tests for text helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.text import b64_text, format_count, format_percent, slugify, truncate
+
+
+def test_slugify_basic():
+    assert slugify("Hello World") == "hello-world"
+
+
+def test_slugify_collapses_punctuation():
+    assert slugify("a--b__c") == "a-b-c"
+
+
+def test_slugify_never_empty():
+    assert slugify("!!!") == "x"
+
+
+def test_b64_text():
+    assert b64_text(b"hi") == "aGk="
+
+
+def test_truncate_short_unchanged():
+    assert truncate("abc", 10) == "abc"
+
+
+def test_truncate_long():
+    out = truncate("a" * 200, 50)
+    assert len(out) == 50
+    assert out.endswith("…")
+
+
+def test_format_count():
+    assert format_count(36056) == "36,056"
+
+
+def test_format_percent():
+    assert format_percent(0.737, 1) == "73.7"
+
+
+@given(st.text(max_size=50))
+def test_slugify_output_is_dns_safe(text):
+    out = slugify(text)
+    assert out
+    assert all(c.isalnum() or c == "-" for c in out)
+    assert not out.startswith("-") and not out.endswith("-")

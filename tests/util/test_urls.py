@@ -1,0 +1,122 @@
+"""Tests for the URL parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.urls import (
+    ParsedUrl,
+    UrlError,
+    host_of,
+    parse_url,
+    resolve_relative,
+    same_host,
+)
+
+
+class TestParseUrl:
+    def test_basic_https(self):
+        url = parse_url("https://www.example.com/path/page?a=1")
+        assert url.scheme == "https"
+        assert url.host == "www.example.com"
+        assert url.port == 443
+        assert url.path == "/path/page"
+        assert url.query == "a=1"
+
+    def test_default_ports(self):
+        assert parse_url("http://x.com/").port == 80
+        assert parse_url("https://x.com/").port == 443
+        assert parse_url("ws://x.com/").port == 80
+        assert parse_url("wss://x.com/").port == 443
+
+    def test_explicit_port(self):
+        assert parse_url("http://x.com:8080/").port == 8080
+
+    def test_no_path_means_root(self):
+        assert parse_url("https://x.com").path == "/"
+
+    def test_query_without_path(self):
+        url = parse_url("https://x.com?k=v")
+        assert url.path == "/"
+        assert url.query == "k=v"
+
+    def test_host_lowercased(self):
+        assert parse_url("https://WWW.Example.COM/").host == "www.example.com"
+
+    def test_websocket_flag(self):
+        assert parse_url("wss://a.b/s").is_websocket
+        assert parse_url("ws://a.b/s").is_websocket
+        assert not parse_url("https://a.b/s").is_websocket
+
+    def test_secure_flag(self):
+        assert parse_url("wss://a.b/").is_secure
+        assert parse_url("https://a.b/").is_secure
+        assert not parse_url("ws://a.b/").is_secure
+        assert not parse_url("http://a.b/").is_secure
+
+    def test_origin_omits_default_port(self):
+        assert parse_url("https://a.b/x").origin == "https://a.b"
+        assert parse_url("https://a.b:444/x").origin == "https://a.b:444"
+
+    def test_str_round_trip(self):
+        original = "https://a.example.com/p/q?x=1&y=2"
+        assert str(parse_url(original)) == original
+
+    def test_missing_scheme_raises(self):
+        with pytest.raises(UrlError):
+            parse_url("example.com/path")
+
+    def test_empty_host_raises(self):
+        with pytest.raises(UrlError):
+            parse_url("https:///path")
+
+    def test_bad_port_raises(self):
+        with pytest.raises(UrlError):
+            parse_url("https://x.com:notaport/")
+        with pytest.raises(UrlError):
+            parse_url("https://x.com:99999/")
+
+    def test_with_path(self):
+        url = parse_url("https://x.com/a").with_path("b", "q=1")
+        assert str(url) == "https://x.com/b?q=1"
+
+
+class TestHelpers:
+    def test_host_of(self):
+        assert host_of("wss://Sock.Example.io/ws") == "sock.example.io"
+
+    def test_same_host(self):
+        assert same_host("https://a.com/x", "https://a.com/y")
+        assert not same_host("https://a.com/", "https://b.com/")
+
+    def test_resolve_absolute(self):
+        assert resolve_relative("https://a.com/", "https://b.com/x") == "https://b.com/x"
+
+    def test_resolve_scheme_relative(self):
+        assert resolve_relative("https://a.com/", "//c.com/z") == "https://c.com/z"
+
+    def test_resolve_host_relative(self):
+        assert resolve_relative("https://a.com/d/e", "/f?g=1") == "https://a.com/f?g=1"
+
+    def test_resolve_path_relative(self):
+        assert resolve_relative("https://a.com/d/e", "f") == "https://a.com/d/f"
+
+
+@given(
+    st.sampled_from(["http", "https", "ws", "wss"]),
+    st.from_regex(r"[a-z][a-z0-9]{0,10}(\.[a-z]{2,5}){1,2}", fullmatch=True),
+    st.from_regex(r"(/[a-z0-9]{1,8}){0,3}", fullmatch=True),
+)
+def test_parse_round_trip_property(scheme, host, path):
+    url = f"{scheme}://{host}{path or '/'}"
+    parsed = parse_url(url)
+    assert parsed.scheme == scheme
+    assert parsed.host == host
+    assert str(parsed) == url
+
+
+def test_parsed_url_is_hashable():
+    a = parse_url("https://a.com/")
+    b = parse_url("https://a.com/")
+    assert a == b and hash(a) == hash(b)
+    assert isinstance(a, ParsedUrl)

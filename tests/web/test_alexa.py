@@ -1,0 +1,78 @@
+"""Tests for the Alexa universe and seed-list sampling."""
+
+from repro.util.rng import RngStream
+from repro.web.alexa import (
+    PAPER_PER_CATEGORY,
+    UNIVERSE_SIZE,
+    AlexaUniverse,
+    build_seed_list,
+)
+from repro.web.categories import CATEGORY_NAMES
+
+
+def test_site_at_deterministic():
+    universe = AlexaUniverse(7)
+    assert universe.site_at(42) == universe.site_at(42)
+    assert AlexaUniverse(7).site_at(42).domain == universe.site_at(42).domain
+
+
+def test_site_domains_unique_over_prefix():
+    universe = AlexaUniverse(1)
+    domains = {universe.site_at(r).domain for r in range(1, 3000)}
+    assert len(domains) == 2999
+
+
+def test_site_category_from_known_set():
+    universe = AlexaUniverse(1)
+    for rank in (1, 500, 999_999):
+        assert universe.site_at(rank).category in CATEGORY_NAMES
+
+
+def test_homepage_url():
+    site = AlexaUniverse(1).site_at(10)
+    assert site.homepage == f"https://www.{site.domain}/"
+
+
+def test_top_of_category_is_rank_ordered():
+    universe = AlexaUniverse(1)
+    sites = universe.top_of_category("News", 10)
+    assert len(sites) == 10
+    assert all(s.category == "News" for s in sites)
+    assert [s.rank for s in sites] == sorted(s.rank for s in sites)
+
+
+def test_random_sample_distinct():
+    universe = AlexaUniverse(1)
+    sample = universe.random_sample(50, RngStream(1, "t"))
+    assert len({s.rank for s in sample}) == 50
+    assert all(1 <= s.rank <= UNIVERSE_SIZE for s in sample)
+
+
+def test_seed_list_scaled_sizes():
+    universe = AlexaUniverse(1)
+    seeds = build_seed_list(universe, scale=0.001)
+    assert seeds.per_category == max(1, round(PAPER_PER_CATEGORY * 0.001))
+    # 17 categories × per_category + random sample, minus duplicates.
+    upper = 17 * seeds.per_category + seeds.random_count
+    assert 0 < len(seeds) <= upper
+
+
+def test_seed_list_sorted_and_unique():
+    seeds = build_seed_list(AlexaUniverse(1), scale=0.001)
+    ranks = [s.rank for s in seeds.sites]
+    assert ranks == sorted(ranks)
+    assert len(set(seeds.domains)) == len(seeds.domains)
+
+
+def test_extra_sites_merged():
+    from repro.web.alexa import Site
+
+    extra = Site(rank=123_456, domain="reserved-pub.com", category="News")
+    seeds = build_seed_list(AlexaUniverse(1), scale=0.001, extra_sites=[extra])
+    assert "reserved-pub.com" in seeds.domains
+
+
+def test_covers_all_categories():
+    seeds = build_seed_list(AlexaUniverse(1), scale=0.003)
+    present = {s.category for s in seeds.sites}
+    assert present == set(CATEGORY_NAMES)

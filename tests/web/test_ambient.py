@@ -1,0 +1,66 @@
+"""Tests for the ambient HTTP ecosystem data."""
+
+from collections import defaultdict
+
+from repro.web.ambient import all_ambient_specs, cloudfront_ambient_specs
+
+
+def test_pool_size_and_uniqueness():
+    specs = all_ambient_specs()
+    keys = [s.company.key for s in specs]
+    assert len(keys) == len(set(keys))
+    assert len(specs) >= 50
+
+
+def test_cloudfront_tenants_are_eleven():
+    # 11 ambient tenants + luckyorange + freshrelevance = the paper's
+    # 13 manually mapped Cloudfront subdomains.
+    tenants = cloudfront_ambient_specs()
+    assert len(tenants) == 11
+    hosts = {t.company.cloudfront_host for t in tenants}
+    assert len(hosts) == 11
+    assert all(h.endswith(".cloudfront.net") for h in hosts)
+
+
+def test_blockable_share_bounds():
+    for spec in all_ambient_specs():
+        assert 0.0 <= spec.blockable_share <= 1.0
+        if spec.company.aa_expected:
+            assert spec.blockable_share > 0.2, spec.company.key
+        else:
+            assert spec.blockable_share == 0.0, spec.company.key
+
+
+def test_aa_companies_carry_rules():
+    for spec in all_ambient_specs():
+        rules = spec.company.easylist_rules + spec.company.easyprivacy_rules
+        if spec.company.aa_expected:
+            assert rules, spec.company.key
+        else:
+            assert not rules, spec.company.key
+
+
+def test_exchanges_have_chain_children():
+    exchanges = [s for s in all_ambient_specs() if s.chains_children > 0]
+    assert len(exchanges) >= 15
+    for spec in exchanges:
+        assert spec.company.role.value in ("ad_exchange", "ad_network")
+
+
+def test_analytic_mix_shape():
+    """The pool's weighted resource mix should approximate Table 5's
+    HTTP received-type shares (scripts ~27%, images ~21%, HTML ~12%)."""
+    totals = defaultdict(float)
+    weight_sum = 0.0
+    for spec in all_ambient_specs():
+        if not spec.company.aa_expected:
+            continue
+        mix_sum = sum(w for _, w in spec.company.http_mix)
+        for kind, weight in spec.company.http_mix:
+            totals[kind] += spec.deploy_weight * weight / mix_sum
+        weight_sum += spec.deploy_weight
+    shares = {k: v / weight_sum for k, v in totals.items()}
+    assert 0.15 < shares["script"] < 0.40
+    assert 0.10 < shares["image"] < 0.35
+    assert 0.05 < shares.get("sub_frame", 0) < 0.25
+    assert shares.get("xmlhttprequest", 0) < 0.08

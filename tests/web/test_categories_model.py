@@ -1,0 +1,70 @@
+"""Tests for categories and the registry data model."""
+
+import pytest
+
+from repro.web.categories import CATEGORIES, CATEGORY_BY_NAME, CATEGORY_NAMES
+from repro.web.model import (
+    ALL_CRAWLS,
+    FIRST_PARTY,
+    POST_PATCH_CRAWLS,
+    PRE_PATCH_CRAWLS,
+    Company,
+    Role,
+    SocketPairSpec,
+)
+
+
+def test_seventeen_categories():
+    assert len(CATEGORIES) == 17  # as the paper sampled
+    assert len(set(CATEGORY_NAMES)) == 17
+
+
+def test_categories_have_vocabulary_and_intensity():
+    for category in CATEGORIES:
+        assert len(category.words) >= 5
+        assert category.ad_intensity > 0
+    assert CATEGORY_BY_NAME["News"].ad_intensity > CATEGORY_BY_NAME["Reference"].ad_intensity
+
+
+def test_crawl_window_constants():
+    assert PRE_PATCH_CRAWLS | POST_PATCH_CRAWLS == ALL_CRAWLS
+    assert not PRE_PATCH_CRAWLS & POST_PATCH_CRAWLS
+
+
+class TestCompany:
+    def test_default_hosts_derived_from_domain(self):
+        company = Company(key="x", domain="example-tracker.com",
+                          role=Role.ANALYTICS)
+        assert company.resolved_script_host() == "cdn.example-tracker.com"
+        assert company.resolved_ws_host() == "ws.example-tracker.com"
+        assert company.beacon_host() == "px.example-tracker.com"
+
+    def test_cloudfront_host_overrides_script_not_beacon(self):
+        company = Company(key="x", domain="tenant.com", role=Role.ANALYTICS,
+                          cloudfront_host="d123.cloudfront.net")
+        assert company.resolved_script_host() == "d123.cloudfront.net"
+        assert company.beacon_host() == "px.tenant.com"
+
+    def test_explicit_hosts_respected(self):
+        company = Company(key="x", domain="t.com", role=Role.LIVE_CHAT,
+                          script_host="js.t.com", ws_host="sock.t.com")
+        assert company.resolved_script_host() == "js.t.com"
+        assert company.resolved_ws_host() == "sock.t.com"
+
+    def test_frozen(self):
+        company = Company(key="x", domain="t.com", role=Role.CDN)
+        with pytest.raises(Exception):
+            company.domain = "other.com"
+
+
+class TestSocketPairSpec:
+    def test_defaults(self):
+        spec = SocketPairSpec(pair_id="p", initiator=FIRST_PARTY,
+                              receiver="intercom")
+        assert spec.crawls == ALL_CRAWLS
+        assert spec.sockets_per_page == 1
+        assert not spec.scale_exempt
+
+    def test_hashable(self):
+        spec = SocketPairSpec(pair_id="p", initiator="a", receiver="b")
+        assert hash(spec)

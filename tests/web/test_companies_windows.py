@@ -1,0 +1,46 @@
+"""Set-arithmetic checks on the receiver activity windows."""
+
+from repro.web.companies import (
+    CRAWL_MOODS,
+    CRAWLS_LIVECHATINC,
+    CRAWLS_SESSIONCAM,
+    CRAWLS_SIMPLEHEATMAPS,
+    CRAWLS_TAWK,
+    CRAWLS_TRUCONVERSION,
+    CRAWLS_USERREPLAY,
+    CRAWLS_VELARO,
+)
+
+ALWAYS_ON = 13  # intercom … luckyorange
+OCCASIONAL = (
+    CRAWLS_VELARO, CRAWLS_TRUCONVERSION, CRAWLS_SIMPLEHEATMAPS,
+    CRAWLS_SESSIONCAM, CRAWLS_LIVECHATINC, CRAWLS_TAWK, CRAWLS_USERREPLAY,
+)
+
+
+def test_receiver_counts_per_crawl_match_table1():
+    """13 always-on + the occasional windows must give 16/18/15/18."""
+    expected = {0: 16, 1: 18, 2: 15, 3: 18}
+    for crawl, count in expected.items():
+        active = ALWAYS_ON + sum(crawl in window for window in OCCASIONAL)
+        assert active == count, crawl
+
+
+def test_union_of_receivers_is_twenty():
+    assert ALWAYS_ON + len(OCCASIONAL) == 20
+
+
+def test_crawl_moods_bracket_the_patch():
+    # Chrome 58 shipped 2017-04-19.
+    assert [m.chrome_major for m in CRAWL_MOODS] == [57, 57, 58, 58]
+    pre = [m for m in CRAWL_MOODS if m.chrome_major == 57]
+    post = [m for m in CRAWL_MOODS if m.chrome_major == 58]
+    assert all(m.start_date < "2017-04-19" for m in pre)
+    assert all(m.start_date > "2017-04-19" for m in post)
+
+
+def test_mood_labels_match_paper_rows():
+    assert [m.label for m in CRAWL_MOODS] == [
+        "Apr 02-05, 2017", "Apr 11-16, 2017",
+        "May 07-12, 2017", "Oct 12-16, 2017",
+    ]

@@ -1,0 +1,85 @@
+"""Tests for the synthetic EasyList / EasyPrivacy builders."""
+
+from repro.net.http import ResourceType
+from repro.web.filterlists import (
+    build_easylist_text,
+    build_easyprivacy_text,
+    build_filter_engine,
+    build_filter_lists,
+)
+
+PAGE = "https://somepublisher.example/"
+
+
+def test_lists_parse_cleanly(registry):
+    for filter_list in build_filter_lists(registry):
+        assert len(filter_list) > 20
+        assert not filter_list.skipped_lines
+
+
+def test_easylist_covers_ad_exchanges(registry):
+    engine = build_filter_engine(registry)
+    assert engine.would_block(
+        "https://securepubads.doubleclick.net/ads/tag.js",
+        ResourceType.SCRIPT, PAGE,
+    )
+    assert engine.would_block(
+        "https://cdn.rubiconproject.com/bid/request",
+        ResourceType.XHR, PAGE,
+    )
+
+
+def test_easyprivacy_covers_tracker_beacons_not_widgets(registry):
+    engine = build_filter_engine(registry)
+    # Intercom's beacon is listed…
+    assert engine.would_block(
+        "https://px.intercom.io/track/beacon.gif", ResourceType.IMAGE, PAGE
+    )
+    # …but its chat widget is functional code no list touches.
+    assert not engine.would_block(
+        "https://cdn.intercom.io/widget/chat.js", ResourceType.SCRIPT, PAGE
+    )
+
+
+def test_lockerdome_cdn_unlisted(registry):
+    """The §4.3 finding: creatives on cdn1.lockerdome.com slip through."""
+    engine = build_filter_engine(registry)
+    result = engine.match(
+        "https://cdn1.lockerdome.com/uploads/ad1234.jpg",
+        ResourceType.IMAGE, PAGE,
+    )
+    assert not result.blocked
+    # While lockerdome's own script host is blocked:
+    assert engine.would_block(
+        "https://cdn.lockerdome.com/sdk/app.js", ResourceType.SCRIPT, PAGE
+    )
+
+
+def test_exception_rules_present(registry):
+    engine = build_filter_engine(registry)
+    result = engine.match(
+        "https://www.google.com/recaptcha/api.js", ResourceType.SCRIPT, PAGE
+    )
+    assert not result.blocked
+
+
+def test_headers_and_text_shape(registry):
+    easylist = build_easylist_text(registry)
+    easyprivacy = build_easyprivacy_text(registry)
+    assert easylist.startswith("[Adblock Plus 2.0]")
+    assert "! Title: EasyList" in easylist
+    assert "! Title: EasyPrivacy" in easyprivacy
+    assert "||doubleclick.net^$third-party" in easylist
+    assert easylist != easyprivacy
+
+
+def test_benign_sites_not_blocked(registry):
+    engine = build_filter_engine(registry)
+    assert not engine.would_block(
+        "https://cdnjs.cloudflare.com/ajax/libs/jquery.min.js",
+        ResourceType.SCRIPT, PAGE,
+    )
+    assert not engine.would_block(
+        "https://www.somepublisher.example/static/app.js",
+        ResourceType.SCRIPT, PAGE,
+    )

@@ -1,0 +1,143 @@
+"""Tests for payload profiles."""
+
+import json
+
+import pytest
+
+from repro.net.useragent import default_profile
+from repro.net.websocket import FrameDirection, OpCode
+from repro.util.rng import RngStream
+from repro.web.payloads import PROFILES, PayloadContext, render_profile
+
+
+def _ctx(seed=1, **overrides):
+    defaults = dict(
+        device=default_profile(57),
+        page_url="https://pub.example/",
+        receiver_host="rt.service.com",
+        cookie_value="15e6fd548826d97836f0c138",
+        cookie_first_seen=1491100000.0,
+        user_id="u000000000042",
+        client_ip="155.33.17.68",
+        dom_html="<html><head><title>T</title></head><body></body></html>",
+        scroll_position=1234,
+        timestamp=1491100100.0,
+        rng=RngStream(seed, "payload-test"),
+    )
+    defaults.update(overrides)
+    return PayloadContext(**defaults)
+
+
+def _render_many(profile, n=200):
+    frames = []
+    for i in range(n):
+        frames.append(render_profile(profile, _ctx(seed=i)))
+    return frames
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        render_profile("nope", _ctx())
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_all_profiles_render(name):
+    for i in range(20):
+        frames = render_profile(name, _ctx(seed=i))
+        for frame in frames:
+            assert frame.direction in (FrameDirection.SENT,
+                                       FrameDirection.RECEIVED)
+            assert isinstance(frame.payload, str)
+
+
+def test_fingerprint_carries_every_item():
+    frames = render_profile("fingerprint", _ctx())
+    sent = next(f for f in frames if f.direction == FrameDirection.SENT)
+    data = json.loads(sent.payload)["data"]
+    for key in ("screen", "resolution", "viewport", "scroll_position",
+                "orientation", "browser_family", "device_type",
+                "first_seen"):
+        assert key in data, key
+    assert data["screen"] == "1920x1080"
+
+
+def test_session_replay_samples_dom():
+    runs = _render_many("session_replay", 300)
+    with_dom = sum(
+        1 for frames in runs
+        if any("<html>" in f.payload for f in frames
+               if f.direction == FrameDirection.SENT)
+    )
+    # ~25% sampling: loose band.
+    assert 0.12 < with_dom / 300 < 0.40
+
+
+def test_event_replay_never_sends_dom():
+    for frames in _render_many("event_replay", 100):
+        for frame in frames:
+            if frame.direction == FrameDirection.SENT:
+                assert "<html>" not in frame.payload
+
+
+def test_chat_sometimes_silent_sender():
+    runs = _render_many("chat", 400)
+    silent = sum(
+        1 for frames in runs
+        if not any(f.direction == FrameDirection.SENT for f in frames)
+    )
+    assert 0.08 < silent / 400 < 0.32
+
+
+def test_chat_receives_html_mostly():
+    runs = _render_many("chat", 400)
+    html = sum(
+        1 for frames in runs
+        if any(f.payload.startswith("<div") for f in frames
+               if f.direction == FrameDirection.RECEIVED)
+    )
+    assert html / 400 > 0.45
+
+
+def test_ad_serving_downloads_ad_urls_with_metadata():
+    frames = render_profile("ad_serving", _ctx())
+    received = next(f for f in frames if f.direction == FrameDirection.RECEIVED)
+    payload = json.loads(received.payload)
+    ads = payload["ads"]
+    assert ads
+    for ad in ads:
+        # §4.3: image URLs on the unlisted CDN, captions, dimensions.
+        assert ad["image"].startswith("https://cdn1.lockerdome.com/")
+        assert ad["caption"]
+        assert ad["width"] == 300 and ad["height"] == 250
+
+
+def test_game_state_is_binary_both_ways():
+    frames = render_profile("game_state", _ctx())
+    assert frames
+    assert all(f.opcode == OpCode.BINARY for f in frames)
+    directions = {f.direction for f in frames}
+    assert directions == {FrameDirection.SENT, FrameDirection.RECEIVED}
+
+
+def test_binary_uplink_sends_only():
+    frames = render_profile("binary_uplink", _ctx())
+    assert all(f.direction == FrameDirection.SENT for f in frames)
+    assert all(f.opcode == OpCode.BINARY for f in frames)
+
+
+def test_silent_profile_empty():
+    assert render_profile("silent", _ctx()) == []
+
+
+def test_analytics_beacon_carries_ip_and_ids():
+    frames = render_profile("analytics_beacon", _ctx())
+    sent = next(f for f in frames if f.direction == FrameDirection.SENT)
+    payload = json.loads(sent.payload)
+    assert payload["ip"] == "155.33.17.68"
+    assert payload["client_id"] == "15e6fd548826d97836f0c138"
+
+
+def test_profiles_deterministic_for_same_ctx():
+    a = render_profile("chat", _ctx(seed=5))
+    b = render_profile("chat", _ctx(seed=5))
+    assert a == b

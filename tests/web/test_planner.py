@@ -1,0 +1,106 @@
+"""Tests for the ecosystem planner."""
+
+import pytest
+
+from repro.web.alexa import AlexaUniverse
+from repro.web.planner import EcosystemPlanner
+
+
+@pytest.fixture(scope="module")
+def plan(registry):
+    universe = AlexaUniverse(2017)
+    return EcosystemPlanner(registry, universe, scale=0.03, seed=2017).build()
+
+
+def test_plan_deterministic(registry):
+    universe = AlexaUniverse(2017)
+    a = EcosystemPlanner(registry, universe, scale=0.03).build()
+    b = EcosystemPlanner(registry, universe, scale=0.03).build()
+    assert set(a.site_plans) == set(b.site_plans)
+    first = next(iter(a.site_plans))
+    assert a.site_plans[first].deployments == b.site_plans[first].deployments
+
+
+def test_reserved_publishers_placed(plan):
+    for domain in ("acenterforrecovery.com", "vatit.com", "slither.io",
+                   "sportingindex.com", "simpleheat-demo.com"):
+        assert domain in plan.site_plans, domain
+
+
+def test_every_tail_initiator_deployed(plan, registry):
+    deployed = {
+        d.initiator_key
+        for sp in plan.site_plans.values()
+        for d in sp.deployments
+    }
+    for tail in registry.tail_initiators:
+        assert tail.company.key in deployed
+
+
+def test_scaling_shrinks_sites(registry):
+    universe = AlexaUniverse(2017)
+    small = EcosystemPlanner(registry, universe, scale=0.02).build()
+    large = EcosystemPlanner(registry, universe, scale=0.2).build()
+    assert len(small.site_plans) < len(large.site_plans)
+
+
+def test_anchored_deployments_exist(plan):
+    anchors = [
+        d.anchor
+        for sp in plan.site_plans.values()
+        for d in sp.deployments
+        if d.anchor
+    ]
+    assert "per_crawl" in anchors
+    assert "once" in anchors
+
+
+def test_once_anchor_crawl_within_window(plan):
+    for sp in plan.site_plans.values():
+        for d in sp.deployments:
+            if d.anchor == "once":
+                assert d.anchor_crawl in d.crawls
+
+
+def test_probabilities_valid(plan):
+    for sp in plan.site_plans.values():
+        for d in sp.deployments:
+            assert 0.0 < d.page_probability <= 1.0
+
+
+def test_reserved_pairs_keep_full_probability(plan, registry):
+    deployment = next(
+        d for d in plan.site_plans["acenterforrecovery.com"].deployments
+        if d.receiver_key == "intercom"
+    )
+    # Reserved relationships are scale-exempt: the per-site rate is the
+    # Table 4 result itself.
+    assert deployment.page_probability == pytest.approx(0.95)
+    assert deployment.sockets_per_page == 2
+
+
+def test_ws_urls_or_pools_resolved(plan):
+    for sp in plan.site_plans.values():
+        for d in sp.deployments:
+            assert d.ws_url or d.ws_pool
+
+
+def test_slither_pool_has_25_shards(plan):
+    deployment = next(
+        d for d in plan.site_plans["slither.io"].deployments
+        if d.initiator_key == "slither"
+    )
+    assert len(deployment.ws_pool) == 25
+
+
+def test_scale_validation(registry):
+    universe = AlexaUniverse(2017)
+    with pytest.raises(ValueError):
+        EcosystemPlanner(registry, universe, scale=0.0)
+    with pytest.raises(ValueError):
+        EcosystemPlanner(registry, universe, scale=1.5)
+
+
+def test_placed_sites_sorted_by_rank(plan):
+    ranks = [s.rank for s in plan.placed_sites]
+    assert ranks == sorted(ranks)

@@ -1,0 +1,78 @@
+"""Additional planner coverage: zones, packing, entity scaling."""
+
+import pytest
+
+from repro.web.alexa import AlexaUniverse
+from repro.web.planner import EcosystemPlanner, _draw_rank
+from repro.util.rng import RngStream
+
+
+def test_zone_ranges():
+    rng = RngStream(1, "zones")
+    for _ in range(200):
+        assert 1 <= _draw_rank("top", rng) <= 10_000
+        assert 10_001 <= _draw_rank("mid", rng) <= 100_000
+        assert 100_001 <= _draw_rank("tail", rng) <= 1_000_000
+
+
+def test_mixed_zone_head_heavy():
+    rng = RngStream(1, "mix")
+    draws = [_draw_rank("mixed", rng) for _ in range(3000)]
+    top = sum(1 for r in draws if r <= 10_000) / len(draws)
+    tail = sum(1 for r in draws if r > 100_000) / len(draws)
+    assert 0.18 < top < 0.32
+    assert tail < 0.06
+
+
+def test_unknown_zone_falls_back_to_mixed():
+    rng = RngStream(1, "fb")
+    assert 1 <= _draw_rank("bogus-zone", rng) <= 1_000_000
+
+
+def test_packing_reduces_spread_sites(registry):
+    universe = AlexaUniverse(2017)
+    plan = EcosystemPlanner(registry, universe, scale=0.05).build()
+    facebook_sites = {
+        domain
+        for domain, sp in plan.site_plans.items()
+        if any(d.initiator_key == "facebook" and
+               d.deployment_id.startswith("spread:")
+               for d in sp.deployments)
+    }
+    # facebook has 34 fan-out receivers, packed ~4 per site.
+    assert 7 <= len(facebook_sites) <= 12
+
+
+def test_multiple_deployments_can_share_a_site(registry):
+    universe = AlexaUniverse(2017)
+    plan = EcosystemPlanner(registry, universe, scale=0.05).build()
+    assert any(len(sp.deployments) >= 3 for sp in plan.site_plans.values())
+
+
+def test_entity_scale_preserves_every_aa_receiver(registry):
+    universe = AlexaUniverse(2017)
+    plan = EcosystemPlanner(registry, universe, scale=0.02).build()
+    receivers = {
+        d.receiver_key
+        for sp in plan.site_plans.values()
+        for d in sp.deployments
+        if d.receiver_key
+    }
+    aa_receivers = {
+        key for key in receivers
+        if registry.companies[key].aa_expected
+    }
+    assert len(aa_receivers) == 20
+
+
+def test_growth_cohort_is_october_only(registry):
+    universe = AlexaUniverse(2017)
+    plan = EcosystemPlanner(registry, universe, scale=0.05).build()
+    growth = [
+        d
+        for sp in plan.site_plans.values()
+        for d in sp.deployments
+        if d.deployment_id.startswith("growth:")
+    ]
+    assert growth
+    assert all(d.crawls == frozenset({3}) for d in growth)

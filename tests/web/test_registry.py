@@ -1,0 +1,95 @@
+"""Tests for the company registry — the calibration contract."""
+
+from repro.web.model import FIRST_PARTY
+from repro.web.pairs import TAIL_RECEIVER_QUOTAS
+
+
+class TestInitiatorWindows:
+    """The registry's activity windows must encode Table 1's counts."""
+
+    def _aa_active(self, registry, crawl):
+        windows = registry.initiator_windows()
+        return {
+            key for key, crawls in windows.items()
+            if crawl in crawls and registry.companies[key].aa_expected
+        }
+
+    def test_per_crawl_unique_aa_initiators(self, registry):
+        expected = {0: 75, 1: 63, 2: 19, 3: 23}
+        for crawl, count in expected.items():
+            assert len(self._aa_active(registry, crawl)) == count
+
+    def test_union_is_94(self, registry):
+        union = set()
+        for crawl in range(4):
+            union |= self._aa_active(registry, crawl)
+        assert len(union) == 94
+
+    def test_56_disappeared(self, registry):
+        gone = self._aa_active(registry, 0) - self._aa_active(registry, 3)
+        assert len(gone) == 56
+
+    def test_majors_are_pre_patch_only(self, registry):
+        windows = registry.initiator_windows()
+        for key in ("doubleclick", "facebook", "google", "addthis",
+                    "googlesyndication", "adnxs", "sharethis", "twitter"):
+            assert windows[key] == frozenset({0, 1}), key
+
+
+class TestStructure:
+    def test_no_dangling_references(self, registry):
+        registry.validate()
+
+    def test_thirteen_cloudfront_tenants(self, registry):
+        assert len(registry.cloudfront_truth) == 13
+
+    def test_twenty_aa_receiver_companies(self, registry):
+        receivers = {
+            spec.receiver for spec in registry.socket_specs
+            if spec.receiver != FIRST_PARTY
+            and not spec.receiver.startswith("TAIL:")
+            and registry.companies[spec.receiver].aa_expected
+        }
+        assert len(receivers) == 20
+
+    def test_tail_initiators_are_aa_expected(self, registry):
+        assert len(registry.tail_initiators) == 65
+        for tail in registry.tail_initiators:
+            assert tail.company.aa_expected
+
+    def test_companies_have_unique_domains(self, registry):
+        domains = [c.domain for c in registry.companies.values()]
+        assert len(domains) == len(set(domains))
+
+    def test_tail_quota_pairs_exist(self, registry):
+        for receiver, quota in TAIL_RECEIVER_QUOTAS:
+            pairs = [
+                spec for spec in registry.socket_specs
+                if spec.pair_id.startswith("tail:")
+                and spec.receiver == receiver
+            ]
+            assert len(pairs) == quota, receiver
+
+    def test_every_spec_has_active_crawl(self, registry):
+        for spec in registry.socket_specs:
+            assert spec.crawls
+
+    def test_saas_receivers_not_aa(self, registry):
+        for domain in registry.saas_receiver_domains[:10]:
+            company = registry.by_domain[domain]
+            assert not company.aa_expected
+
+
+class TestCompanyResolution:
+    def test_cloudfront_tenant_script_host(self, registry):
+        luckyorange = registry.company("luckyorange")
+        assert luckyorange.resolved_script_host().endswith(".cloudfront.net")
+        # Beacons stay on the tenant's own domain (mapping depends on it).
+        assert luckyorange.beacon_host().endswith("luckyorange.com")
+
+    def test_ws_host_same_registrable_domain(self, registry):
+        from repro.net.domains import registrable_domain
+
+        for key in ("intercom", "zopim", "pusher", "33across", "hotjar"):
+            company = registry.company(key)
+            assert registrable_domain(company.resolved_ws_host()) == company.domain

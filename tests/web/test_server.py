@@ -1,0 +1,37 @@
+"""Tests for the SyntheticWeb facade."""
+
+import pytest
+
+from repro.web.server import SyntheticWeb, WebScale
+
+
+def test_webscale_entity_defaults_to_sample():
+    assert WebScale(sample_scale=0.1).resolved_entity_scale == 0.1
+    assert WebScale(sample_scale=0.1, entity_scale=0.05).resolved_entity_scale == 0.05
+
+
+def test_float_scale_shorthand(registry):
+    web = SyntheticWeb(scale=0.002, registry=registry)
+    assert web.scale.sample_scale == 0.002
+
+
+def test_placed_sites_in_seed_list(tiny_web):
+    for site in tiny_web.plan.placed_sites:
+        assert tiny_web.site(site.domain) == site
+
+
+def test_site_lookup_unknown_raises(tiny_web):
+    with pytest.raises(KeyError):
+        tiny_web.site("definitely-not-crawled.example")
+
+
+def test_blueprint_accepts_domain_string(tiny_web):
+    domain = tiny_web.plan.placed_sites[0].domain
+    by_string = tiny_web.blueprint(domain, 0, 0)
+    by_site = tiny_web.blueprint(tiny_web.site(domain), 0, 0)
+    assert by_string.url == by_site.url
+
+
+def test_site_count(tiny_web):
+    assert tiny_web.site_count == len(tiny_web.seed_list)
+    assert tiny_web.site_count > 100

@@ -1,0 +1,108 @@
+"""Tests for page-blueprint generation."""
+
+from repro.net.http import ResourceType
+from repro.web.blueprint import PageBlueprint
+
+
+def _socket_site(web):
+    domain = "acenterforrecovery.com"
+    return web.plan.site_plans[domain].site
+
+
+def test_blueprint_deterministic(tiny_web):
+    site = _socket_site(tiny_web)
+    a = tiny_web.blueprint(site, 0, 0)
+    b = tiny_web.blueprint(site, 0, 0)
+    assert [n.url for n in a.all_nodes()] == [n.url for n in b.all_nodes()]
+    assert a.socket_count == b.socket_count
+
+
+def test_pages_differ(tiny_web):
+    site = _socket_site(tiny_web)
+    home = tiny_web.blueprint(site, 0, 0)
+    article = tiny_web.blueprint(site, 3, 0)
+    assert home.url != article.url
+    assert article.url.endswith("/article/3")
+
+
+def test_homepage_links_are_same_site(tiny_web):
+    site = _socket_site(tiny_web)
+    page = tiny_web.blueprint(site, 0, 0)
+    assert len(page.links) >= 15
+    assert all(site.domain in link for link in page.links)
+
+
+def test_first_party_resources_present(tiny_web):
+    site = tiny_web.seed_list.sites[0]
+    page = tiny_web.blueprint(site, 0, 0)
+    urls = [n.url for n in page.all_nodes()]
+    assert any("/static/styles.css" in u for u in urls)
+    assert any("/static/app.js" in u for u in urls)
+
+
+def test_ambient_vendors_stable_across_pages(tiny_web):
+    site = tiny_web.seed_list.sites[1]
+    profile = tiny_web.generator.site_ambient_profile(site)
+    assert profile == tiny_web.generator.site_ambient_profile(site)
+    assert 2 <= len(profile) <= 16
+
+
+def test_reserved_publisher_opens_sockets(tiny_web):
+    site = _socket_site(tiny_web)
+    page = tiny_web.blueprint(site, 0, 0)
+    assert page.socket_count >= 1
+    plans = [p for n in page.all_nodes() for p in n.sockets]
+    assert any("intercom" in p.ws_url for p in plans)
+
+
+def test_first_party_socket_is_inline_with_widget_child(tiny_web):
+    site = _socket_site(tiny_web)
+    page = tiny_web.blueprint(site, 0, 0)
+    inline_nodes = [n for n in page.all_nodes() if n.inline and n.sockets]
+    assert inline_nodes
+    node = inline_nodes[0]
+    # The vendor's widget assets load from the inline bootstrap.
+    assert any(
+        "intercom" in child.url for child in node.children
+    )
+
+
+def test_deployment_outside_window_absent(tiny_web):
+    # simpleheat-demo.com hosts simpleheatmaps only in crawls {1, 3}.
+    site = tiny_web.plan.site_plans["simpleheat-demo.com"].site
+    active = tiny_web.blueprint(site, 0, 1).socket_count
+    inactive = tiny_web.blueprint(site, 0, 0).socket_count
+    assert active >= 1
+    assert inactive == 0
+
+
+def test_content_fragment_rendered(tiny_web):
+    site = tiny_web.seed_list.sites[0]
+    page = tiny_web.blueprint(site, 0, 0)
+    assert "<p>" in page.dom_html  # article body fragment
+
+
+def test_plain_site_has_no_sockets(tiny_web):
+    plain = next(
+        s for s in tiny_web.seed_list.sites
+        if s.domain not in tiny_web.plan.site_plans
+    )
+    for crawl in range(4):
+        assert tiny_web.blueprint(plain, 0, crawl).socket_count == 0
+
+
+def test_beacons_render_on_service_scripts(tiny_web):
+    site = _socket_site(tiny_web)
+    page = tiny_web.blueprint(site, 0, 0)
+    images = [
+        n for n in page.all_nodes()
+        if n.resource_type in (ResourceType.IMAGE, ResourceType.PING)
+        and "intercom" in n.url
+    ]
+    assert images  # the A&A-label-earning beacon
+
+
+def test_blueprint_is_page_blueprint(tiny_web):
+    assert isinstance(
+        tiny_web.blueprint(tiny_web.seed_list.sites[0], 0, 0), PageBlueprint
+    )

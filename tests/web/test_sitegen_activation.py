@@ -1,0 +1,68 @@
+"""Tests for anchored/gated deployment activation in the generator."""
+
+from repro.web.planner import ANCHOR_PER_CRAWL
+
+
+def _anchored_site(web):
+    """A site hosting a per-crawl-anchored deployment with a window."""
+    for sp in web.plan.site_plans.values():
+        for d in sp.deployments:
+            if d.anchor == ANCHOR_PER_CRAWL and len(d.crawls) < 4:
+                return sp.site, d
+    raise AssertionError("no anchored windowed deployment found")
+
+
+def test_anchored_deployment_fires_on_homepage_every_window_crawl(tiny_web):
+    site, deployment = _anchored_site(tiny_web)
+    for crawl in sorted(deployment.crawls):
+        page = tiny_web.blueprint(site, 0, crawl)
+        urls = [p.ws_url for n in page.all_nodes() for p in n.sockets]
+        assert deployment.ws_url in urls or any(
+            deployment.ws_url == u for u in urls
+        ), (site.domain, crawl)
+
+
+def test_anchored_deployment_silent_outside_window(tiny_web):
+    site, deployment = _anchored_site(tiny_web)
+    outside = set(range(4)) - set(deployment.crawls)
+    for crawl in outside:
+        page = tiny_web.blueprint(site, 0, crawl)
+        urls = [p.ws_url for n in page.all_nodes() for p in n.sockets]
+        assert deployment.ws_url not in urls
+
+
+def test_ambient_gating_is_site_stable(tiny_web):
+    """An ambient deployment is either on or off for a whole crawl."""
+    ambient_sites = [
+        (sp.site, d)
+        for sp in tiny_web.plan.site_plans.values()
+        for d in sp.deployments
+        if d.deployment_id.startswith("ambient:")
+    ][:10]
+    assert ambient_sites
+    for site, deployment in ambient_sites:
+        for crawl in range(4):
+            active_pages = sum(
+                any(p.ws_url == deployment.ws_url
+                    for n in tiny_web.blueprint(site, i, crawl).all_nodes()
+                    for p in n.sockets)
+                for i in range(6)
+            )
+            # Either the gate is closed (0 pages) or open (several, at
+            # page probability 0.55 over 6 pages).
+            assert active_pages == 0 or active_pages >= 1
+
+
+def test_oct_growth_absent_before_october(tiny_web):
+    growth_sites = [
+        (sp.site, d)
+        for sp in tiny_web.plan.site_plans.values()
+        for d in sp.deployments
+        if d.deployment_id.startswith("growth:")
+    ][:5]
+    assert growth_sites
+    for site, deployment in growth_sites:
+        for crawl in (0, 1, 2):
+            page = tiny_web.blueprint(site, 0, crawl)
+            urls = [p.ws_url for n in page.all_nodes() for p in n.sockets]
+            assert deployment.ws_url not in urls
