@@ -1,0 +1,83 @@
+"""Benchmarks for filter-list parsing and rule-option evaluation.
+
+Complements ``bench_engines.py`` (which measures end-to-end engine
+matching): this file isolates the parse stage and the ``$domain=``
+longest-match resolution the engine leans on per request.
+"""
+
+from repro.filters.engine import FilterEngine
+from repro.filters.parser import parse_filter_line, parse_filter_list
+from repro.net.http import ResourceType
+from repro.web.filterlists import build_easylist_text, build_easyprivacy_text
+
+
+def test_parse_bundled_lists(benchmark, bench_web):
+    easylist = build_easylist_text(bench_web.registry)
+    easyprivacy = build_easyprivacy_text(bench_web.registry)
+
+    def parse_both():
+        return (
+            parse_filter_list("easylist", easylist),
+            parse_filter_list("easyprivacy", easyprivacy),
+        )
+
+    lists = benchmark(parse_both)
+    total = sum(len(fl) for fl in lists)
+    print(f"\nparsed {total} rules "
+          f"({sum(len(fl.skipped_lines) for fl in lists)} skipped)")
+    assert total > 0
+    assert all(rule.line > 0 for fl in lists for rule in fl.rules)
+
+
+def test_parse_line_throughput(benchmark):
+    lines = [
+        "||doubleclick.net^$third-party",
+        "@@||google.com/recaptcha/$script,subdocument",
+        "/track/hit.gif$image,third-party",
+        "||intercom.io^$websocket",
+        "/ads/$domain=news.com|~blog.news.com",
+        "@@$document,domain=partner.example",
+        "||cdn.example/lib.js$script,~third-party,match-case",
+    ] * 100
+
+    def parse_all():
+        return sum(1 for line in lines if parse_filter_line(line) is not None)
+
+    parsed = benchmark(parse_all)
+    assert parsed == len(lines)
+
+
+def test_domain_option_resolution(benchmark):
+    rule = parse_filter_line(
+        "/ads/$domain=news.com|shop.com|~blog.news.com|~static.shop.com"
+    )
+    hosts = ["news.com", "blog.news.com", "a.blog.news.com",
+             "sports.news.com", "shop.com", "static.shop.com",
+             "other.example"] * 200
+
+    def resolve_all():
+        return sum(
+            1 for host in hosts
+            if rule.options.applies_to(ResourceType.SCRIPT, True, host)
+        )
+
+    applied = benchmark(resolve_all)
+    # news.com, sports.news.com, shop.com apply; the carved-out
+    # subdomains and the unrelated host do not.
+    assert applied == 3 * 200
+
+
+def test_engine_build_from_parsed_lists(benchmark, bench_web):
+    lists = [
+        parse_filter_list("easylist",
+                          build_easylist_text(bench_web.registry)),
+        parse_filter_list("easyprivacy",
+                          build_easyprivacy_text(bench_web.registry)),
+    ]
+
+    engine = benchmark(lambda: FilterEngine(lists))
+    assert engine.would_block(
+        "https://securepubads.doubleclick.net/ads/tag.js",
+        ResourceType.SCRIPT,
+        "https://pub.example/",
+    )

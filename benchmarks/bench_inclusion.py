@@ -1,0 +1,59 @@
+"""Benchmarks for inclusion-chain attribution.
+
+``bench_engines.py`` measures raw tree *building* from a CDP event
+stream; this file measures what the analysis pipeline does afterwards:
+walking every node's ancestry to attribute WebSockets to the scripts
+that opened them (the paper's §3.3 initiator attribution).
+"""
+
+from repro.browser import Browser
+from repro.cdp import EventBus
+from repro.inclusion import InclusionTreeBuilder
+from repro.inclusion.chains import chain_domains, chain_urls
+
+
+def _trees(bench_web, count: int):
+    trees = []
+    for plan in list(bench_web.plan.site_plans.values())[:count]:
+        bus = EventBus()
+        browser = Browser(version=57, bus=bus)
+        builder = InclusionTreeBuilder()
+        builder.attach(bus)
+        browser.visit(bench_web.blueprint(plan.site, 0, 0))
+        builder.detach()
+        trees.append(builder.result())
+    return trees
+
+
+def test_chain_attribution_throughput(benchmark, bench_web):
+    trees = _trees(bench_web, 12)
+
+    def attribute_all():
+        chains = 0
+        for tree in trees:
+            for ws in tree.websockets:
+                if chain_domains(ws):
+                    chains += 1
+        return chains
+
+    chains = benchmark(attribute_all)
+    sockets = sum(len(t.websockets) for t in trees)
+    print(f"\nattributed {chains} socket chains across "
+          f"{len(trees)} pages ({sockets} sockets)")
+    assert chains == sockets
+
+
+def test_full_ancestry_walk(benchmark, bench_web):
+    trees = _trees(bench_web, 12)
+
+    def walk_all():
+        hops = 0
+        for tree in trees:
+            for node in tree.all_nodes():
+                hops += len(chain_urls(node))
+        return hops
+
+    hops = benchmark(walk_all)
+    print(f"\nwalked {hops} chain hops over "
+          f"{sum(t.resource_count for t in trees)} resources")
+    assert hops > 0

@@ -1,0 +1,57 @@
+"""Benchmarks for the static analyzers.
+
+The filter-list analyzer is quadratic-ish in (rules x probes), the
+determinism linter walks every AST under ``src/repro``, and the
+webRequest cross-check dispatches one live handshake per receiver —
+these benches keep all three honest as the lists and codebase grow.
+"""
+
+from repro.staticlint.determinism import lint_self
+from repro.staticlint.filterlint import analyze_filter_lists
+from repro.staticlint.probes import UrlUniverse
+from repro.staticlint.webrequestlint import cross_validate_receivers
+from repro.web.filterlists import build_filter_lists
+
+
+def test_filterlint_over_bundled_lists(benchmark, bench_web):
+    registry = bench_web.registry
+    lists = build_filter_lists(registry)
+
+    analysis = benchmark(
+        lambda: analyze_filter_lists(lists, registry=registry)
+    )
+    print(f"\n{len(analysis.universe)} probes, "
+          f"{len(analysis.report)} findings "
+          f"({', '.join(analysis.report.categories)})")
+    assert len(analysis.report.categories) >= 3
+
+
+def test_probe_universe_construction(benchmark, bench_web):
+    registry = bench_web.registry
+    lists = build_filter_lists(registry)
+
+    universe = benchmark(lambda: UrlUniverse.combined(registry, lists))
+    assert universe.websocket_probes()
+
+
+def test_determinism_self_lint(benchmark):
+    report = benchmark(lint_self)
+    assert not report.errors
+
+
+def test_cross_validation_sweep(benchmark, bench_web):
+    registry = bench_web.registry
+    lists = build_filter_lists(registry)
+
+    def sweep():
+        records = []
+        for chrome_major in (57, 58):
+            for ws_aware in (True, False):
+                records.extend(cross_validate_receivers(
+                    lists, registry, chrome_major, websocket_aware=ws_aware
+                ))
+        return records
+
+    records = benchmark(sweep)
+    assert records
+    assert all(r.agree for r in records)

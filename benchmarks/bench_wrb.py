@@ -86,3 +86,38 @@ def test_wrb_ablation(benchmark, bench_web, socket_sites, ws_engine_text):
     # on buggy Chrome (minus the sub-frame race).
     assert with_wrapper < pre_patch
     assert with_wrapper <= patched * 1.35 + 5
+
+
+def test_static_lint_agrees_with_dynamic_ablation(bench_web, ws_engine_text):
+    """The staticlint verdict predicts this file's dynamic outcomes.
+
+    For every registry receiver domain, on both sides of the Chrome 58
+    patch and with both pattern sets, the filter-list analyzer's
+    blindspot/coverage verdict (combined with the listener
+    classification) must equal what dispatching the handshake through
+    the simulated webRequest API actually does.
+    """
+    from repro.staticlint.webrequestlint import cross_validate_receivers
+
+    lists = [parse_filter_list("lists", ws_engine_text)]
+    patched_records = None
+    for chrome_major in (57, 58):
+        for ws_aware in (True, False):
+            records = cross_validate_receivers(
+                lists, bench_web.registry, chrome_major,
+                websocket_aware=ws_aware,
+            )
+            assert records
+            assert all(r.agree for r in records), [
+                (r.domain, r.static_blocked, r.dynamic_blocked)
+                for r in records if not r.agree
+            ]
+            if chrome_major == 58 and ws_aware:
+                patched_records = records
+    # Post-patch with ws-aware patterns, exactly the receivers given an
+    # explicit $websocket rule are blocked — statically and dynamically.
+    ws_ruled = {line.split("||")[1].split("^")[0]
+                for line in ws_engine_text.splitlines()
+                if line.endswith("$websocket")}
+    blocked = {r.domain for r in patched_records if r.dynamic_blocked}
+    assert blocked == ws_ruled

@@ -18,7 +18,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.analysis.classify import SocketView
-from repro.content.ads import AdUnit
 from repro.filters.engine import FilterEngine
 from repro.net.http import ResourceType
 

@@ -11,6 +11,8 @@ from repro.analysis.table3 import Table3Row
 from repro.analysis.table4 import Table4
 from repro.analysis.table5 import Table5
 from repro.content.items import RECEIVED_CLASSES, SENT_ITEMS
+from repro.staticlint.diagnostics import LintReport
+from repro.staticlint.runner import FullLintResult
 
 
 def _fmt(rows: list[list[str]], header: list[str]) -> str:
@@ -234,3 +236,66 @@ def render_blocking(stats: BlockingStats) -> str:
         f"All A&A chains blocked: {stats.pct_aa_chains_blocked:.1f}% "
         f"({stats.aa_chains_blocked:,}/{stats.aa_chains:,})",
     ])
+
+
+def render_lint_report(report: LintReport, show_hints: bool = True) -> str:
+    """A lint report as a fixed-width diagnostics table."""
+    if not report:
+        return "(no findings)"
+    body = []
+    for diag in report.sorted_by_severity():
+        hint = diag.fix_hint if show_hints else ""
+        body.append([diag.severity.value, diag.rule_id, diag.source,
+                     diag.message, hint])
+    header = ["Sev", "Rule", "Source", "Finding", "Fix hint"]
+    if not show_hints:
+        body = [row[:4] for row in body]
+        header = header[:4]
+    return _fmt(body, header)
+
+
+def render_lint(result: FullLintResult) -> str:
+    """The full ``repro lint`` output: summary, verdicts, diagnostics."""
+    sections: list[str] = []
+    if result.filter_analysis is not None:
+        analysis = result.filter_analysis
+        universe = analysis.universe
+        blocked = sum(1 for b in analysis.blocked if b)
+        sections.append(
+            f"FILTER LISTS — {sum(len(fl) for fl in analysis.lists)} rules, "
+            f"{len(universe.probes)} probe URLs ({blocked} blocked)\n"
+            f"ws blindspot domains: {len(analysis.blindspot_domains)} "
+            f"({', '.join(analysis.blindspot_domains[:6])}"
+            f"{', …' if len(analysis.blindspot_domains) > 6 else ''})\n"
+            f"ws covered domains: {len(analysis.ws_covered_domains)}\n"
+            + render_lint_report(analysis.report)
+        )
+    if result.listener_verdicts:
+        body = [[label, verdict.value]
+                for label, verdict in result.listener_verdicts]
+        xchecks = []
+        for label, records in result.cross_checks.items():
+            agree = sum(1 for r in records if r.agree)
+            xchecks.append(
+                f"  {label}: static verdict matches dynamic dispatch for "
+                f"{agree}/{len(records)} receivers"
+            )
+        sections.append(
+            "WEBREQUEST LISTENERS\n"
+            + _fmt(body, ["Configuration", "Verdict"])
+            + "\nstatic-vs-dynamic cross-check:\n"
+            + "\n".join(xchecks)
+        )
+    if result.self_report is not None:
+        sections.append(
+            "DETERMINISM (src/repro)\n"
+            + render_lint_report(result.self_report)
+        )
+    counts = result.report.counts()
+    sections.append(
+        f"{len(result.report)} finding(s): "
+        + (", ".join(f"{rule} x{n}" for rule, n in sorted(counts.items()))
+           if counts else "none")
+        + f"\nexit code: {result.exit_code}"
+    )
+    return "\n\n".join(sections)

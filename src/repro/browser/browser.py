@@ -20,7 +20,7 @@ instrumentation observed them (§3.1–3.2):
 from __future__ import annotations
 
 import datetime as dt
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cdp.bus import EventBus
 from repro.cdp.events import (
@@ -41,7 +41,7 @@ from repro.extension.workaround import WebSocketWrapperWorkaround
 from repro.net.cookies import CookieJar
 from repro.net.http import HttpRequest, ResourceType
 from repro.net.useragent import DeviceProfile, default_profile
-from repro.net.websocket import FrameDirection, OpCode, make_client_key
+from repro.net.websocket import FrameDirection, make_client_key
 from repro.util.rng import RngStream, derive_seed
 from repro.util.simtime import SimClock
 from repro.util.urls import parse_url

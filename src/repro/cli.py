@@ -7,6 +7,9 @@ Commands:
   inclusion tree and WebSocket traffic.
 * ``check``   — evaluate a URL against the synthetic EasyList/EasyPrivacy.
 * ``lists``   — dump the synthetic filter lists.
+* ``lint``    — static analysis: filter-list defects (incl. WebSocket
+  blindspots), webRequest pattern verdicts cross-validated against
+  dynamic dispatch, and the repro's own determinism contract.
 """
 
 from __future__ import annotations
@@ -49,6 +52,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(report_mod.render_figure3(result.figure3), "\n")
     print(report_mod.render_overall(result.overall), "\n")
     print(report_mod.render_blocking(result.blocking))
+    if result.lint is not None:
+        print("\nSTATIC LINT — filter lists & webRequest patterns")
+        print(report_mod.render_lint(result.lint))
     return 0
 
 
@@ -120,6 +126,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticlint.runner import run_full_lint
+
+    self_only = args.self_only
+    result = run_full_lint(
+        check_lists=not self_only,
+        check_webrequest=not self_only,
+        check_self=self_only or not args.no_self,
+    )
+    print(report_mod.render_lint(result))
+    return result.exit_code
+
+
 def _cmd_lists(args: argparse.Namespace) -> int:
     registry = default_registry()
     if args.list in ("easylist", "both"):
@@ -167,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
     lists.add_argument("--list", choices=("easylist", "easyprivacy", "both"),
                        default="both")
     lists.set_defaults(func=_cmd_lists)
+
+    lint = sub.add_parser("lint", help="run the static analyzers")
+    lint.add_argument("--self", action="store_true", dest="self_only",
+                      help="only lint src/repro's determinism contract "
+                           "(the CI gate)")
+    lint.add_argument("--no-self", action="store_true",
+                      help="skip the determinism self-lint stage")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

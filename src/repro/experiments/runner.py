@@ -9,7 +9,7 @@ compute every table and figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.analysis.blocking import BlockingStats, compute_blocking_stats
 from repro.analysis.classify import SocketView, classify_sockets
@@ -24,6 +24,7 @@ from repro.crawler.crawler import CrawlConfig, Crawler, CrawlRunSummary
 from repro.crawler.dataset import StudyDataset
 from repro.labeling.aa_labeler import AaLabeler
 from repro.labeling.resolver import DomainResolver
+from repro.staticlint.runner import FullLintResult, run_full_lint
 from repro.web.filterlists import build_filter_engine
 from repro.web.server import SyntheticWeb, WebScale
 
@@ -81,6 +82,9 @@ class StudyResult:
         labeler / resolver: Derived A&A labels and Cloudfront mapping.
         views: Classified socket records.
         table1 … figure3, blocking, overall: The computed artifacts.
+        lint: Static-analysis companion report over the same registry
+            the crawls used (filter-list blindspots, webRequest
+            verdicts, static-vs-dynamic cross-check).
     """
 
     config: StudyConfig
@@ -98,6 +102,7 @@ class StudyResult:
     figure3: Figure3Series
     blocking: BlockingStats
     overall: OverallStats
+    lint: FullLintResult | None = None
 
 
 def crawl_configs(web: SyntheticWeb, config: StudyConfig) -> list[CrawlConfig]:
@@ -157,6 +162,7 @@ def analyze(
         figure3=compute_figure3(views, dataset.crawl_sites),
         blocking=compute_blocking_stats(dataset, views, labeler, resolver),
         overall=compute_overall_stats(views),
+        lint=run_full_lint(registry=web.registry, check_self=False),
     )
 
 

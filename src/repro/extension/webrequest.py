@@ -17,7 +17,7 @@ Faithful to the mechanics the paper documents:
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.net.http import HttpRequest, ResourceType

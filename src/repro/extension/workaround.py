@@ -24,7 +24,7 @@ weaknesses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.filters.engine import FilterEngine
 from repro.net.http import ResourceType

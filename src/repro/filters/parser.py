@@ -16,7 +16,6 @@ from repro.filters.rules import (
     FilterRule,
     RuleOptions,
 )
-from repro.net.domains import registrable_domain
 from repro.net.http import ResourceType
 
 
@@ -56,14 +55,17 @@ def _parse_options(option_text: str) -> RuleOptions | None:
         elif lowered.startswith("~") and lowered[1:] in TYPE_OPTION_NAMES:
             exclude_types.add(TYPE_OPTION_NAMES[lowered[1:]])
         elif lowered.startswith("domain="):
+            # Entries keep their full hostname: ``~blog.news.com`` must
+            # stay more specific than ``news.com`` for ABP's
+            # most-specific-entry-wins resolution to work.
             for entry in option[len("domain=") :].split("|"):
                 entry = entry.strip().lower()
-                if not entry:
+                if not entry or entry == "~":
                     continue
                 if entry.startswith("~"):
-                    exclude_domains.append(registrable_domain(entry[1:]))
+                    exclude_domains.append(entry[1:])
                 else:
-                    include_domains.append(registrable_domain(entry))
+                    include_domains.append(entry)
         elif lowered in _IGNORABLE_OPTIONS:
             continue
         else:
@@ -105,7 +107,13 @@ def parse_filter_line(line: str) -> FilterRule | None:
     if options is None:
         return None
     if not pattern:
-        return None
+        if not sep:
+            return None
+        # Options-only rules (``@@$document,domain=x`` and friends)
+        # constrain by context alone: the pattern matches everything.
+        pattern = "*"
+    if any(ch.isspace() for ch in pattern):
+        return None  # URLs cannot contain whitespace; the rule is junk.
     return FilterRule(
         raw=text, pattern=pattern, is_exception=is_exception, options=options
     )
@@ -115,10 +123,11 @@ def _split_options(body: str) -> tuple[str, bool, str]:
     """Split ``pattern$options`` at the last ``$`` that starts options.
 
     A ``$`` inside a URL pattern is rare but legal; ABP treats the last
-    ``$`` whose suffix looks like an option list as the separator.
+    ``$`` whose suffix looks like an option list as the separator. A
+    leading ``$`` (empty pattern) is a legal options-only rule.
     """
     idx = body.rfind("$")
-    if idx <= 0 or idx == len(body) - 1:
+    if idx < 0 or idx == len(body) - 1:
         return body, False, ""
     return body[:idx], True, body[idx + 1 :]
 
@@ -133,7 +142,8 @@ def parse_filter_list(name: str, text: str, strict: bool = False) -> FilterList:
             rules nor recognized non-rules.
     """
     parsed = FilterList(name=name)
-    for line in text.splitlines():
+    text = text.removeprefix("\ufeff")  # strip a UTF-8 BOM if present
+    for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("!") or stripped.startswith("["):
             continue
@@ -146,5 +156,6 @@ def parse_filter_list(name: str, text: str, strict: bool = False) -> FilterList:
                 raise FilterParseError(f"unsupported filter rule: {stripped!r}")
             parsed.skipped_lines.append(stripped)
             continue
+        rule.line = lineno
         parsed.rules.append(rule)
     return parsed

@@ -47,9 +47,15 @@ class RuleOptions:
         resource_types: Types this rule applies to.
         third_party: ``True`` = only third-party requests, ``False`` =
             only first-party, ``None`` = either.
-        include_domains: If non-empty, the first-party registrable domain
-            must be one of these (or a subdomain).
-        exclude_domains: First-party domains on which the rule is inert.
+        include_domains: If non-empty, the first-party host must be one
+            of these domains or a subdomain of one. Entries keep their
+            full hostname (``blog.news.com`` stays distinct from
+            ``news.com``), per ABP's ``$domain=`` semantics.
+        exclude_domains: First-party domains (and their subdomains) on
+            which the rule is inert. When an exclude entry is more
+            specific than a matching include entry, the exclude wins —
+            this is what makes ``$domain=news.com|~blog.news.com``
+            meaningful.
         match_case: Whether the pattern is case-sensitive.
     """
 
@@ -71,12 +77,31 @@ class RuleOptions:
         if self.third_party is not None and is_third_party_request != self.third_party:
             return False
         if self.include_domains or self.exclude_domains:
-            party = registrable_domain(first_party_host) if first_party_host else ""
-            if self.exclude_domains and party in self.exclude_domains:
-                return False
-            if self.include_domains and party not in self.include_domains:
-                return False
+            host = first_party_host.lower() if first_party_host else ""
+            return self._domain_constraint_allows(host)
         return True
+
+    def _domain_constraint_allows(self, host: str) -> bool:
+        """ABP ``$domain=`` resolution: the most specific entry wins."""
+        best_length = -1
+        best_is_include = False
+        for entry in self.include_domains:
+            if _host_within(host, entry) and len(entry) > best_length:
+                best_length, best_is_include = len(entry), True
+        for entry in self.exclude_domains:
+            if _host_within(host, entry) and len(entry) >= best_length:
+                # On equal specificity the exclusion wins (ABP's tilde
+                # entries are carve-outs from broader includes).
+                if len(entry) > best_length or best_is_include:
+                    best_length, best_is_include = len(entry), False
+        if self.include_domains:
+            return best_length >= 0 and best_is_include
+        return best_length < 0
+
+
+def _host_within(host: str, entry: str) -> bool:
+    """Whether ``host`` is ``entry`` or one of its subdomains."""
+    return host == entry or host.endswith("." + entry)
 
 
 def pattern_to_regex(pattern: str) -> str:
@@ -127,12 +152,15 @@ class FilterRule:
         pattern: The URL pattern portion (anchors intact, options stripped).
         is_exception: ``True`` for ``@@`` exception (whitelist) rules.
         options: Parsed activation options.
+        line: 1-based line number in the source list file (0 for rules
+            built outside :func:`~repro.filters.parser.parse_filter_list`).
     """
 
     raw: str
     pattern: str
     is_exception: bool
     options: RuleOptions = field(default_factory=RuleOptions)
+    line: int = field(default=0, compare=False)
     _regex: re.Pattern[str] | None = field(default=None, repr=False, compare=False)
 
     @property

@@ -1,0 +1,292 @@
+"""AST lint enforcing the repro's determinism (calibration) contract.
+
+DESIGN.md §5 promises bit-reproducible studies: every random draw comes
+from the seeded, stream-keyed RNG (`repro.util.rng`) and every
+timestamp from the simulated clock (`repro.util.simtime`). This linter
+makes the promise checkable in CI, with three rules:
+
+* ``DET-WALLCLOCK`` — reading the host's clock (``time.time()``,
+  ``datetime.now()``, ``date.today()``, monotonic counters, …);
+* ``DET-RANDOM`` — unseeded entropy: importing ``random`` or
+  ``secrets``, ``uuid.uuid4()``, ``os.urandom()``;
+* ``DET-ORDER`` — hash-order-dependent iteration: looping over a set
+  expression (string hashing is randomized per process, so iteration
+  order is not reproducible), ``list(set(...))``, unsorted
+  ``os.listdir()``, or calling builtin ``hash()``.
+
+Files under ``repro/util/`` are the sanctioned wrappers and are exempt
+from the first two rules. A finding on a line containing the pragma
+``det: allow`` is suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
+
+_PRAGMA = "det: allow"
+
+# Attribute calls on the `time` module that read the host clock.
+_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "localtime", "gmtime", "ctime",
+})
+# Constructor-style wall-clock reads on datetime / date classes.
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+class _Findings:
+    """Shared accumulator with pragma suppression."""
+
+    def __init__(self, path: str, source_lines: list[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.diagnostics: list[Diagnostic] = []
+
+    def add(self, node: ast.AST, rule_id: str, message: str,
+            fix_hint: str = "") -> None:
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines) and _PRAGMA in self.lines[lineno - 1]:
+            return
+        self.diagnostics.append(Diagnostic(
+            rule_id=rule_id,
+            severity=Severity.ERROR if rule_id != "DET-ORDER"
+            else Severity.WARNING,
+            source=f"{self.path}:{lineno}",
+            message=message,
+            fix_hint=fix_hint,
+        ))
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """One file's worth of determinism checking."""
+
+    def __init__(self, findings: _Findings, exempt_entropy: bool) -> None:
+        self.findings = findings
+        self.exempt_entropy = exempt_entropy
+        # Names bound to interesting modules/classes by imports.
+        self.time_modules: set[str] = set()
+        self.datetime_modules: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        self.date_classes: set[str] = set()
+        self.uuid_modules: set[str] = set()
+        self.os_modules: set[str] = set()
+        # Direct from-imports of wall-clock functions: name -> original.
+        self.direct_clock: dict[str, str] = {}
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.time_modules.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(bound)
+            elif alias.name == "uuid":
+                self.uuid_modules.add(bound)
+            elif alias.name == "os":
+                self.os_modules.add(bound)
+            elif alias.name in ("random", "secrets") and not self.exempt_entropy:
+                self.findings.add(
+                    node, "DET-RANDOM",
+                    f"import of {alias.name!r}: all entropy must come "
+                    f"from repro.util.rng's seeded streams",
+                    "use RngStream (repro.util.rng)",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if module == "datetime":
+                if alias.name == "datetime":
+                    self.datetime_classes.add(bound)
+                elif alias.name == "date":
+                    self.date_classes.add(bound)
+            elif module == "time" and alias.name in _TIME_ATTRS:
+                self.direct_clock[bound] = f"time.{alias.name}"
+            elif module in ("random", "secrets") and not self.exempt_entropy:
+                self.findings.add(
+                    node, "DET-RANDOM",
+                    f"import from {module!r}: all entropy must come "
+                    f"from repro.util.rng's seeded streams",
+                    "use RngStream (repro.util.rng)",
+                )
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._check_name_call(node, func.id)
+        elif isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        self.generic_visit(node)
+
+    def _check_name_call(self, node: ast.Call, name: str) -> None:
+        if name in self.direct_clock:
+            self.findings.add(
+                node, "DET-WALLCLOCK",
+                f"{self.direct_clock[name]}() reads the host clock",
+                "use SimClock (repro.util.simtime)",
+            )
+        elif name == "hash":
+            self.findings.add(
+                node, "DET-ORDER",
+                "builtin hash() is randomized per process for strings",
+                "use repro.util.rng.derive_seed (SHA-256 based)",
+            )
+        elif name in ("list", "tuple") and node.args:
+            arg = node.args[0]
+            if _is_set_expression(arg):
+                self.findings.add(
+                    node, "DET-ORDER",
+                    "materializing a set preserves hash order, which is "
+                    "not reproducible across processes",
+                    "wrap in sorted(...)",
+                )
+
+    def _check_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        attr = func.attr
+        base = func.value
+        base_name = base.id if isinstance(base, ast.Name) else None
+        if base_name in self.time_modules and attr in _TIME_ATTRS:
+            self.findings.add(
+                node, "DET-WALLCLOCK",
+                f"time.{attr}() reads the host clock",
+                "use SimClock (repro.util.simtime)",
+            )
+            return
+        if attr in _DATETIME_ATTRS:
+            if base_name in self.datetime_classes or base_name in self.date_classes:
+                self.findings.add(
+                    node, "DET-WALLCLOCK",
+                    f"{base_name}.{attr}() reads the host clock",
+                    "use SimClock (repro.util.simtime)",
+                )
+                return
+            # dt.datetime.now() / datetime.date.today() chains.
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr in ("datetime", "date")
+                and isinstance(base.value, ast.Name)
+                and base.value.id in self.datetime_modules
+            ):
+                self.findings.add(
+                    node, "DET-WALLCLOCK",
+                    f"datetime.{base.attr}.{attr}() reads the host clock",
+                    "use SimClock (repro.util.simtime)",
+                )
+                return
+        if not self.exempt_entropy:
+            if base_name in self.uuid_modules and attr in ("uuid1", "uuid4"):
+                self.findings.add(
+                    node, "DET-RANDOM",
+                    f"uuid.{attr}() draws unseeded entropy",
+                    "derive ids from RngStream draws",
+                )
+                return
+            if base_name in self.os_modules and attr == "urandom":
+                self.findings.add(
+                    node, "DET-RANDOM",
+                    "os.urandom() draws unseeded entropy",
+                    "use RngStream (repro.util.rng)",
+                )
+                return
+        if base_name in self.os_modules and attr in ("listdir", "scandir"):
+            self.findings.add(
+                node, "DET-ORDER",
+                f"os.{attr}() yields entries in filesystem order",
+                "wrap in sorted(...)",
+            )
+
+    # -- iteration order ---------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if _is_set_expression(iter_node):
+            self.findings.add(
+                iter_node, "DET-ORDER",
+                "iterating a set visits elements in hash order, which "
+                "is not reproducible across processes",
+                "iterate sorted(...) instead",
+            )
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Whether the expression evaluates to a freshly built set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+def lint_source_text(
+    path: str, source: str, exempt_entropy: bool = False
+) -> LintReport:
+    """Lint one file's source text.
+
+    Args:
+        path: Display path for diagnostics.
+        source: The file contents.
+        exempt_entropy: Suppress DET-RANDOM findings (for the
+            sanctioned ``repro.util`` wrappers). DET-WALLCLOCK and
+            DET-ORDER are never exempted.
+    """
+    report = LintReport()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        report.add(Diagnostic(
+            rule_id="DET-SYNTAX",
+            severity=Severity.ERROR,
+            source=f"{path}:{error.lineno or 0}",
+            message=f"cannot parse: {error.msg}",
+        ))
+        return report
+    findings = _Findings(path, source.splitlines())
+    _DeterminismVisitor(findings, exempt_entropy).visit(tree)
+    report.extend(findings.diagnostics)
+    return report
+
+
+def _is_util_path(path: Path) -> bool:
+    return "util" in path.parts
+
+
+def lint_paths(paths: list[Path], root: Path | None = None) -> LintReport:
+    """Lint a list of Python files, exempting ``repro/util`` entropy."""
+    report = LintReport()
+    for path in sorted(paths):
+        display = str(path.relative_to(root)) if root else str(path)
+        report.extend(lint_source_text(
+            display,
+            path.read_text(encoding="utf-8"),
+            exempt_entropy=_is_util_path(path),
+        ))
+    return report
+
+
+def lint_self() -> LintReport:
+    """Lint the installed ``repro`` package itself (the CI gate)."""
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    return lint_paths(
+        list(package_root.rglob("*.py")), root=package_root.parent
+    )

@@ -1,0 +1,351 @@
+"""Static analysis of parsed filter lists.
+
+Four defect families, all grounded in the probe universe of
+:mod:`repro.staticlint.probes` (so every judgement is checkable by
+running the real matching engine — the property tests do exactly that):
+
+* **dead rules** (``FL-DEAD``) — match nothing the synthetic web can
+  ever request; the static analogue of the stale blacklist entries
+  Hashmi et al. measured accumulating in EasyList over years;
+* **shadowed rules** (``FL-SHADOW``) — every probe they match is
+  already matched by an earlier same-polarity rule, so removing them
+  changes no decision;
+* **exception defects** (``FL-EXC-USELESS``, ``FL-EXC-DUP``) — ``@@``
+  rules that never rescue a blocked request, or that duplicate another
+  exception's coverage exactly;
+* **WebSocket blindspots** (``FL-WS-BLINDSPOT``) — the headline:
+  domains whose HTTP(S) traffic the lists block while every
+  ``ws://``/``wss://`` probe to the same registrable domain gets
+  through. This statically predicts the circumvention surface the
+  paper measured dynamically (and ``bench_wrb.py`` re-measures).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.filters.rules import FilterList, FilterRule
+from repro.net.domains import is_third_party, registrable_domain
+from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
+from repro.staticlint.probes import UrlProbe, UrlUniverse
+from repro.util.urls import parse_url
+
+
+@dataclass
+class _IndexedRule:
+    """One rule with its provenance and the probes it matches."""
+
+    list_name: str
+    position: int  # 1-based rule index within its list (line when known)
+    order: int  # global order across all lists
+    rule: FilterRule
+    matched: list[int] = field(default_factory=list)
+
+    @property
+    def location(self) -> str:
+        line = getattr(self.rule, "line", 0) or self.position
+        return f"{self.list_name}:{line}"
+
+
+@dataclass
+class _ProbeContext:
+    """Pre-computed request context for one probe."""
+
+    probe: UrlProbe
+    third_party: bool
+    first_party_host: str
+    tokens: frozenset[str]
+    domain: str  # registrable domain of the probe URL's host
+
+
+_TOKEN_RE = re.compile(r"[a-z0-9]{3,}")
+
+
+def _probe_contexts(universe: UrlUniverse) -> list[_ProbeContext]:
+    contexts = []
+    for probe in universe.probes:
+        first_party_host = (
+            parse_url(probe.first_party_url).host if probe.first_party_url else ""
+        )
+        third_party = bool(probe.first_party_url) and is_third_party(
+            probe.url, probe.first_party_url
+        )
+        contexts.append(
+            _ProbeContext(
+                probe=probe,
+                third_party=third_party,
+                first_party_host=first_party_host,
+                tokens=frozenset(_TOKEN_RE.findall(probe.url.lower())),
+                domain=registrable_domain(parse_url(probe.url).host),
+            )
+        )
+    return contexts
+
+
+def _match_probes(
+    indexed: _IndexedRule, contexts: list[_ProbeContext]
+) -> None:
+    """Fill ``indexed.matched`` with applicable matching probe indices."""
+    rule = indexed.rule
+    tokens = rule.index_tokens()
+    required = max(tokens, key=len) if tokens else None
+    for i, ctx in enumerate(contexts):
+        if required is not None and required not in ctx.tokens:
+            continue
+        if not rule.options.applies_to(
+            ctx.probe.resource_type, ctx.third_party, ctx.first_party_host
+        ):
+            continue
+        if rule.matches_url(ctx.probe.url):
+            indexed.matched.append(i)
+
+
+@dataclass
+class FilterListAnalysis:
+    """Everything the filter-list analyzer derived.
+
+    Attributes:
+        lists: The lists analyzed, in order.
+        universe: The probe universe judged against.
+        report: All diagnostics.
+        blocked: Final per-probe decision (blocking rule matched, no
+            exception matched), aligned with ``universe.probes``.
+        dead / shadowed / useless_exceptions / duplicate_exceptions:
+            The offending rules, in file order.
+        blindspot_domains: Registrable domains with blocked HTTP(S)
+            probes but no blocked WebSocket probe.
+        ws_covered_domains: Domains with at least one blocked WebSocket
+            probe (the complement used by the webRequest cross-check).
+    """
+
+    lists: list[FilterList]
+    universe: UrlUniverse
+    report: LintReport
+    blocked: list[bool]
+    dead: list[FilterRule]
+    shadowed: list[FilterRule]
+    useless_exceptions: list[FilterRule]
+    duplicate_exceptions: list[FilterRule]
+    blindspot_domains: list[str]
+    ws_covered_domains: list[str]
+
+
+def analyze_filter_lists(
+    lists: list[FilterList],
+    registry=None,
+    universe: UrlUniverse | None = None,
+) -> FilterListAnalysis:
+    """Run the full filter-list analysis.
+
+    Args:
+        lists: Parsed lists, in engine order (earlier lists shadow
+            later ones, exactly as the engine concatenates them).
+        registry: Optional company registry; when given, the universe
+            is the synthetic web's own URL space (plus rule-derived
+            WebSocket probes).
+        universe: Explicit probe universe, overriding both defaults.
+    """
+    if universe is None:
+        if registry is not None:
+            universe = UrlUniverse.combined(registry, lists)
+        else:
+            universe = UrlUniverse.from_rules(lists)
+    contexts = _probe_contexts(universe)
+
+    indexed: list[_IndexedRule] = []
+    order = 0
+    for filter_list in lists:
+        for position, rule in enumerate(filter_list.rules, start=1):
+            entry = _IndexedRule(
+                list_name=filter_list.name,
+                position=position,
+                order=order,
+                rule=rule,
+            )
+            _match_probes(entry, contexts)
+            indexed.append(entry)
+            order += 1
+
+    blocks = [e for e in indexed if not e.rule.is_exception]
+    exceptions = [e for e in indexed if e.rule.is_exception]
+
+    probe_count = len(contexts)
+    block_hits: list[set[int]] = [set() for _ in range(probe_count)]
+    exception_hits: list[set[int]] = [set() for _ in range(probe_count)]
+    for entry in blocks:
+        for i in entry.matched:
+            block_hits[i].add(entry.order)
+    for entry in exceptions:
+        for i in entry.matched:
+            exception_hits[i].add(entry.order)
+    blocked = [
+        bool(block_hits[i]) and not exception_hits[i] for i in range(probe_count)
+    ]
+
+    report = LintReport()
+    dead: list[FilterRule] = []
+    shadowed: list[FilterRule] = []
+    useless: list[FilterRule] = []
+    duplicates: list[FilterRule] = []
+
+    exception_signatures: dict[frozenset[int], _IndexedRule] = {}
+    for entry in indexed:
+        rule = entry.rule
+        if not entry.matched:
+            dead.append(rule)
+            report.add(Diagnostic(
+                rule_id="FL-DEAD",
+                severity=Severity.WARNING,
+                source=entry.location,
+                message=(
+                    f"rule {rule.raw!r} matches none of the "
+                    f"{probe_count} probes in the URL universe"
+                ),
+                fix_hint="remove the rule or widen its pattern",
+            ))
+            continue
+        if rule.is_exception:
+            rescued = [i for i in entry.matched if block_hits[i]]
+            if not rescued:
+                useless.append(rule)
+                report.add(Diagnostic(
+                    rule_id="FL-EXC-USELESS",
+                    severity=Severity.WARNING,
+                    source=entry.location,
+                    message=(
+                        f"exception {rule.raw!r} neutralizes no blocking "
+                        f"rule: none of its {len(entry.matched)} matched "
+                        f"probes is blocked"
+                    ),
+                    fix_hint="remove the exception",
+                ))
+                continue
+            signature = frozenset(entry.matched)
+            earlier = exception_signatures.get(signature)
+            if earlier is not None:
+                duplicates.append(rule)
+                report.add(Diagnostic(
+                    rule_id="FL-EXC-DUP",
+                    severity=Severity.INFO,
+                    source=entry.location,
+                    message=(
+                        f"exception {rule.raw!r} rescues exactly the same "
+                        f"probes as {earlier.rule.raw!r} "
+                        f"({earlier.location})"
+                    ),
+                    fix_hint="keep one of the two exceptions",
+                ))
+                continue
+            exception_signatures[signature] = entry
+            hits = exception_hits
+        else:
+            hits = block_hits
+        shadowing = _shadowing_rule(entry, hits, indexed)
+        if shadowing is not None:
+            shadowed.append(rule)
+            by = (
+                f"earlier rule {shadowing.rule.raw!r} ({shadowing.location})"
+                if isinstance(shadowing, _IndexedRule)
+                else "earlier rules collectively"
+            )
+            report.add(Diagnostic(
+                rule_id="FL-SHADOW",
+                severity=Severity.WARNING,
+                source=entry.location,
+                message=(
+                    f"rule {rule.raw!r} is shadowed: every probe it "
+                    f"matches ({len(entry.matched)}) is matched by {by}"
+                ),
+                fix_hint="remove the rule; no decision changes",
+            ))
+
+    blindspots, ws_covered = _websocket_analysis(
+        contexts, blocked, blocks, report
+    )
+
+    return FilterListAnalysis(
+        lists=lists,
+        universe=universe,
+        report=report,
+        blocked=blocked,
+        dead=dead,
+        shadowed=shadowed,
+        useless_exceptions=useless,
+        duplicate_exceptions=duplicates,
+        blindspot_domains=blindspots,
+        ws_covered_domains=ws_covered,
+    )
+
+
+_SENTINEL = object()
+
+
+def _shadowing_rule(
+    entry: _IndexedRule,
+    hits: list[set[int]],
+    indexed: list[_IndexedRule],
+):
+    """The single earlier rule shadowing ``entry``, the sentinel for
+    collective shadowing, or ``None`` when not shadowed."""
+    earlier_per_probe: list[set[int]] = []
+    for i in entry.matched:
+        earlier = {order for order in hits[i] if order < entry.order}
+        if not earlier:
+            return None
+        earlier_per_probe.append(earlier)
+    common = set.intersection(*earlier_per_probe)
+    if common:
+        return indexed[min(common)]
+    return _SENTINEL
+
+
+def _websocket_analysis(
+    contexts: list[_ProbeContext],
+    blocked: list[bool],
+    blocks: list[_IndexedRule],
+    report: LintReport,
+) -> tuple[list[str], list[str]]:
+    """Emit FL-WS-BLINDSPOT diagnostics; return (blindspots, covered)."""
+    http_blocked: dict[str, int] = {}
+    ws_seen: set[str] = set()
+    ws_blocked: set[str] = set()
+    for i, ctx in enumerate(contexts):
+        if ctx.probe.is_websocket:
+            ws_seen.add(ctx.domain)
+            if blocked[i]:
+                ws_blocked.add(ctx.domain)
+        elif blocked[i]:
+            http_blocked.setdefault(ctx.domain, i)
+
+    # Evidence rule per domain: the first block rule matching the
+    # domain's first blocked HTTP probe.
+    def _evidence(probe_index: int) -> str:
+        for entry in blocks:
+            if probe_index in entry.matched:
+                return entry.location
+        return "<unknown>"
+
+    blindspots = sorted(
+        d for d in http_blocked if d in ws_seen and d not in ws_blocked
+    )
+    for domain in blindspots:
+        report.add(Diagnostic(
+            rule_id="FL-WS-BLINDSPOT",
+            severity=Severity.WARNING,
+            source=_evidence(http_blocked[domain]),
+            message=(
+                f"WebSocket blindspot: HTTP(S) traffic to {domain} is "
+                f"blocked but every ws://-/wss:// probe to it gets "
+                f"through — the §5 circumvention surface"
+            ),
+            fix_hint=f"add ||{domain}^$websocket",
+        ))
+    return blindspots, sorted(ws_blocked)
+
+
+def websocket_blindspots(
+    lists: list[FilterList], registry=None
+) -> list[str]:
+    """Just the blindspot domains (convenience for cross-checks)."""
+    return analyze_filter_lists(lists, registry=registry).blindspot_domains

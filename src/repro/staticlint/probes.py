@@ -1,0 +1,258 @@
+"""The probe universe: concrete requests that filter rules are judged against.
+
+Regex-subsumption between ABP patterns is undecidable in general, so the
+filter-list analyzer grounds every judgement in a finite, deterministic
+*URL universe*: a set of (url, resource type, first-party context)
+probes. A rule is *dead* when it matches no probe; *shadowed* when an
+earlier rule already decides every probe it matches. When the synthetic
+web's company registry is available the universe is derived from it —
+the same hosts, paths, and WebSocket endpoints the site generator emits
+— so "dead" literally means "can never match the synthetic web". For
+standalone lists the universe is synthesized from the rules themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.filters.rules import DEFAULT_TYPES, FilterList, FilterRule
+from repro.net.http import ResourceType
+
+# The neutral embedding publisher: third-party to every company domain.
+THIRD_PARTY_CONTEXT = "https://news-probe.example/"
+
+# WebSocket paths mirroring repro.web.planner's endpoint choices.
+_WS_PATHS = ("/socket", "/live")
+
+_EXTENSION_TYPES = {
+    ".js": ResourceType.SCRIPT,
+    ".mjs": ResourceType.SCRIPT,
+    ".css": ResourceType.STYLESHEET,
+    ".gif": ResourceType.IMAGE,
+    ".png": ResourceType.IMAGE,
+    ".jpg": ResourceType.IMAGE,
+    ".jpeg": ResourceType.IMAGE,
+    ".svg": ResourceType.IMAGE,
+    ".woff": ResourceType.FONT,
+    ".woff2": ResourceType.FONT,
+}
+
+# Representative types to probe for a rule with several type options.
+_PROBE_TYPE_PRIORITY = (
+    ResourceType.SCRIPT,
+    ResourceType.IMAGE,
+    ResourceType.XHR,
+    ResourceType.WEBSOCKET,
+    ResourceType.SUB_FRAME,
+    ResourceType.STYLESHEET,
+    ResourceType.PING,
+    ResourceType.MAIN_FRAME,
+)
+
+
+@dataclass(frozen=True)
+class UrlProbe:
+    """One concrete request the analyzers evaluate rules against.
+
+    Attributes:
+        url: Absolute URL (http/https/ws/wss).
+        resource_type: The request's resource type.
+        first_party_url: Top-level page URL giving party context.
+    """
+
+    url: str
+    resource_type: ResourceType
+    first_party_url: str = THIRD_PARTY_CONTEXT
+
+    @property
+    def is_websocket(self) -> bool:
+        """Whether this probes a WebSocket handshake."""
+        return self.url.startswith(("ws://", "wss://"))
+
+
+def type_for_path(path: str) -> ResourceType:
+    """Resource type implied by a URL path's extension (XHR otherwise)."""
+    lowered = path.lower()
+    for extension, rtype in _EXTENSION_TYPES.items():
+        if lowered.endswith(extension):
+            return rtype
+    return ResourceType.XHR
+
+
+@dataclass
+class UrlUniverse:
+    """A deterministic, de-duplicated probe set.
+
+    Attributes:
+        probes: The probes in stable construction order.
+    """
+
+    probes: list[UrlProbe]
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    def websocket_probes(self) -> list[UrlProbe]:
+        """The subset probing WebSocket handshakes."""
+        return [p for p in self.probes if p.is_websocket]
+
+    @classmethod
+    def from_registry(cls, registry) -> "UrlUniverse":
+        """Build the universe the synthetic web actually serves.
+
+        Mirrors ``repro.web.sitegen`` / ``planner`` URL construction:
+        clean paths on the script host, blockable paths (and the
+        ``/collect`` beacon) on the beacon host, WebSocket endpoints on
+        the resolved ws host. Every URL is probed in both a third-party
+        and a first-party page context so ``$third-party`` and
+        ``$domain=`` constraints are exercised.
+        """
+        builder = _Builder()
+        for company in sorted(registry.companies.values(), key=lambda c: c.domain):
+            first_party = f"https://{company.domain}/"
+            contexts = (THIRD_PARTY_CONTEXT, first_party)
+            for path in company.clean_paths:
+                url = f"https://{company.resolved_script_host()}{path}"
+                for context in contexts:
+                    builder.add(url, type_for_path(path), context)
+            beacon_paths = tuple(company.blockable_paths) + ("/collect",)
+            for path in beacon_paths:
+                url = f"https://{company.beacon_host()}{path}"
+                for context in contexts:
+                    builder.add(url, type_for_path(path), context)
+            for path in _WS_PATHS:
+                for scheme in ("wss", "ws"):
+                    url = f"{scheme}://{company.resolved_ws_host()}{path}"
+                    builder.add(url, ResourceType.WEBSOCKET, THIRD_PARTY_CONTEXT)
+        for domain in sorted(registry.saas_receiver_domains):
+            for sub in ("ws", "push"):
+                builder.add(
+                    f"wss://{sub}.{domain}/socket",
+                    ResourceType.WEBSOCKET,
+                    THIRD_PARTY_CONTEXT,
+                )
+        return cls(probes=builder.probes)
+
+    @classmethod
+    def from_rules(cls, lists: list[FilterList]) -> "UrlUniverse":
+        """Synthesize a universe from the rules themselves.
+
+        Used when no registry is available (standalone list linting):
+        each rule contributes URLs built from its own literal pattern,
+        in every scheme and context the rule could plausibly see. Rules
+        that cannot even match their own synthesized probes are
+        structurally dead.
+        """
+        builder = _Builder()
+        for filter_list in lists:
+            for rule in filter_list.rules:
+                for url in synthesize_urls(rule):
+                    for rtype in _probe_types(rule):
+                        for context in _probe_contexts(rule, url):
+                            builder.add(url, rtype, context)
+        return cls(probes=builder.probes)
+
+    @classmethod
+    def combined(cls, registry, lists: list[FilterList]) -> "UrlUniverse":
+        """Registry universe extended with rule-derived WebSocket probes.
+
+        The blindspot check needs ws probes even for domains the
+        registry does not know (e.g. a hand-written list under test);
+        rule-derived probes supply them without widening "dead" to mean
+        "matches only its own synthesized URL".
+        """
+        universe = cls.from_registry(registry)
+        builder = _Builder(universe.probes)
+        for filter_list in lists:
+            for rule in filter_list.rules:
+                if not _explicitly_covers_websocket(rule):
+                    continue
+                for url in synthesize_urls(rule):
+                    if url.startswith(("ws://", "wss://")):
+                        builder.add(
+                            url, ResourceType.WEBSOCKET, THIRD_PARTY_CONTEXT
+                        )
+        return cls(probes=builder.probes)
+
+
+class _Builder:
+    """Accumulates probes, de-duplicating while preserving order."""
+
+    def __init__(self, initial: list[UrlProbe] | None = None) -> None:
+        self.probes: list[UrlProbe] = list(initial or ())
+        self._seen = {(p.url, p.resource_type, p.first_party_url)
+                      for p in self.probes}
+
+    def add(self, url: str, rtype: ResourceType, context: str) -> None:
+        key = (url, rtype, context)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.probes.append(UrlProbe(url, rtype, context))
+
+
+def _literalize(body: str) -> str:
+    """Replace ABP wildcards in a pattern body with concrete characters."""
+    return body.replace("*", "x").replace("^", "/")
+
+
+def _explicitly_covers_websocket(rule: FilterRule) -> bool:
+    """Whether the rule *intentionally* targets WebSocket handshakes.
+
+    The implicit DEFAULT_TYPES set contains WEBSOCKET, so nearly every
+    untyped rule technically "covers" the type. Synthesizing wss probes
+    for those would let a rule manufacture its own ws coverage (e.g.
+    ``||tracker.com/collect^`` blocking a fictional
+    ``wss://tracker.com/collect``) and mask real blindspots: actual
+    handshakes live on different hosts and paths. Only rules whose
+    author wrote an explicit type option including ``websocket`` count.
+    """
+    types = rule.options.resource_types
+    return ResourceType.WEBSOCKET in types and types != DEFAULT_TYPES
+
+
+def synthesize_urls(rule: FilterRule) -> list[str]:
+    """Concrete URLs built from a rule's literal pattern.
+
+    ``||host/path^`` becomes ``https://host/path`` (and the ``wss``
+    variant when the rule explicitly covers WebSockets); a bare
+    ``/path`` pattern is mounted on a placeholder host. Patterns
+    already carrying a scheme pass through with wildcards literalized.
+    """
+    pattern = rule.pattern
+    schemes: list[str] = ["https"]
+    if _explicitly_covers_websocket(rule):
+        schemes.append("wss")
+    if pattern.startswith("||"):
+        body = _literalize(pattern[2:]).rstrip("/")
+        if not body:
+            return []
+        if "/" not in body:
+            body += "/"
+        return [f"{scheme}://{body}" for scheme in schemes]
+    body = pattern.strip("|")
+    if "://" in body:
+        return [_literalize(body)]
+    body = _literalize(body)
+    if not body or body == "/":
+        body = "/x"
+    if not body.startswith("/"):
+        body = "/" + body
+    return [f"{scheme}://rule-probe.example{body}" for scheme in schemes]
+
+
+def _probe_types(rule: FilterRule) -> list[ResourceType]:
+    """Representative resource types to probe a rule with (at most 3)."""
+    available = rule.options.resource_types
+    picked = [t for t in _PROBE_TYPE_PRIORITY if t in available]
+    return picked[:3] if picked else [ResourceType.OTHER]
+
+
+def _probe_contexts(rule: FilterRule, url: str) -> list[str]:
+    """First-party contexts worth probing for one rule."""
+    contexts = [THIRD_PARTY_CONTEXT]
+    host = url.split("://", 1)[-1].split("/", 1)[0]
+    if host:
+        contexts.append(f"https://{host}/")
+    for entry in rule.options.include_domains + rule.options.exclude_domains:
+        contexts.append(f"https://{entry.lstrip('~')}/")
+    return contexts

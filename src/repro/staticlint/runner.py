@@ -1,0 +1,108 @@
+"""Orchestration: run every analyzer over the repro's own artifacts.
+
+This is what ``repro lint`` invokes: the filter-list analyzer over the
+bundled synthetic EasyList/EasyPrivacy, the webRequest pattern analyzer
+over the blocker's two real configurations (ws-aware and the Franken
+``http://*``-only pitfall) on both sides of the Chrome 58 patch — with
+the static verdicts cross-validated against dynamic dispatch — and,
+when asked, the determinism linter over ``src/repro`` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.staticlint.determinism import lint_self
+from repro.staticlint.diagnostics import LintReport
+from repro.staticlint.filterlint import FilterListAnalysis, analyze_filter_lists
+from repro.staticlint.webrequestlint import (
+    CoverageRecord,
+    ListenerVerdict,
+    classify_listener,
+    cross_validate_receivers,
+    cross_validation_report,
+)
+
+# The four listener configurations bench_wrb.py ablates dynamically.
+_LISTENER_CONFIGS: tuple[tuple[str, int, bool], ...] = (
+    ("Chrome 57 + ws-aware blocker", 57, True),
+    ("Chrome 57 + http-only blocker", 57, False),
+    ("Chrome 58 + ws-aware blocker", 58, True),
+    ("Chrome 58 + http-only blocker", 58, False),
+)
+
+_WS_AWARE_PATTERNS = ("http://*", "https://*", "ws://*", "wss://*")
+_HTTP_ONLY_PATTERNS = ("http://*", "https://*")
+
+
+@dataclass
+class FullLintResult:
+    """Everything ``repro lint`` produced.
+
+    Attributes:
+        filter_analysis: Filter-list analyzer output over the bundled
+            lists (``None`` when that stage was skipped).
+        listener_verdicts: Static classification of each blocker
+            configuration, as (label, verdict) pairs.
+        cross_checks: Per-configuration static-vs-dynamic receiver
+            records, keyed by configuration label.
+        self_report: Determinism lint over ``src/repro`` (``None`` when
+            skipped).
+        report: All diagnostics merged, in stage order.
+    """
+
+    filter_analysis: FilterListAnalysis | None = None
+    listener_verdicts: list[tuple[str, ListenerVerdict]] = field(
+        default_factory=list
+    )
+    cross_checks: dict[str, list[CoverageRecord]] = field(default_factory=dict)
+    self_report: LintReport | None = None
+    report: LintReport = field(default_factory=LintReport)
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero when the determinism contract is violated or a
+        static verdict disagreed with dynamic dispatch."""
+        failing = [
+            d for d in self.report.errors
+            if d.rule_id.startswith("DET-") or d.rule_id == "WR-XCHECK"
+        ]
+        return 1 if failing else 0
+
+
+def run_full_lint(
+    registry=None,
+    check_lists: bool = True,
+    check_webrequest: bool = True,
+    check_self: bool = True,
+) -> FullLintResult:
+    """Run the selected analyzers; see :class:`FullLintResult`."""
+    from repro.web.filterlists import build_filter_lists
+    from repro.web.registry import default_registry
+
+    if registry is None and (check_lists or check_webrequest):
+        registry = default_registry()
+    result = FullLintResult()
+
+    lists = build_filter_lists(registry) if registry else []
+    if check_lists:
+        result.filter_analysis = analyze_filter_lists(lists, registry=registry)
+        result.report.extend(result.filter_analysis.report)
+
+    if check_webrequest:
+        for label, chrome_major, ws_aware in _LISTENER_CONFIGS:
+            patterns = _WS_AWARE_PATTERNS if ws_aware else _HTTP_ONLY_PATTERNS
+            verdict, verdict_report = classify_listener(patterns, chrome_major)
+            result.listener_verdicts.append((label, verdict))
+            result.report.extend(verdict_report)
+            records = cross_validate_receivers(
+                lists, registry, chrome_major, websocket_aware=ws_aware
+            )
+            result.cross_checks[label] = records
+            result.report.extend(cross_validation_report(records))
+
+    if check_self:
+        result.self_report = lint_self()
+        result.report.extend(result.self_report)
+
+    return result

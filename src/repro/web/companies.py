@@ -18,16 +18,7 @@ pipeline never reads this module.
 
 from __future__ import annotations
 
-from repro.web.model import (
-    ALL_CRAWLS,
-    FIRST_PARTY,
-    PRE_PATCH_CRAWLS,
-    Company,
-    CrawlMood,
-    Role,
-    SocketPairSpec,
-    TailPlan,
-)
+from repro.web.model import Company, CrawlMood, Role
 
 # ---------------------------------------------------------------------------
 # Crawl windows (Table 1 rows). Chrome 58 shipped 2017-04-19.

@@ -11,7 +11,7 @@ from network behaviour, exactly as the paper did.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class Role(str, enum.Enum):

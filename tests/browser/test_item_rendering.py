@@ -1,7 +1,7 @@
 """Tests for browser-side tracking-item rendering and cookie modes."""
 
 from repro.browser import Browser
-from repro.cdp import EventBus, SessionRecorder
+from repro.cdp import SessionRecorder
 from repro.cdp.events import (
     RequestWillBeSent,
     WebSocketFrameSent,

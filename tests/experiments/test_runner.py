@@ -1,6 +1,5 @@
 """Tests for the study runner and configs."""
 
-import pytest
 
 from repro.experiments import DEFAULT_CONFIG, FULL_CONFIG, TINY_CONFIG, StudyConfig
 from repro.experiments.runner import crawl_configs

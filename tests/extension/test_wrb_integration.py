@@ -8,7 +8,6 @@ in a patched browser has the socket blocked.
 from repro.browser import Browser
 from repro.extension.adblocker import AdBlockerExtension
 from repro.filters import FilterEngine, parse_filter_list
-from repro.net.http import ResourceType
 from repro.web.blueprint import PageBlueprint, ResourceNode, SocketPlan
 
 PAGE = "https://pub.example.com/"

@@ -45,9 +45,57 @@ class TestParseLine:
 
     def test_domain_option(self):
         rule = parse_filter_line("/ads/$domain=news.com|~blog.news.com")
+        # Entries keep their full hostname so the negation stays more
+        # specific than the include it carves out of.
         assert rule.options.include_domains == ("news.com",)
-        # ~blog.news.com normalizes to its registrable domain.
-        assert rule.options.exclude_domains == ("news.com",)
+        assert rule.options.exclude_domains == ("blog.news.com",)
+
+    def test_negated_subdomain_carves_out_include(self):
+        rule = parse_filter_line("/ads/$domain=news.com|~blog.news.com")
+        applies = rule.options.applies_to
+        assert applies(ResourceType.SCRIPT, True, "news.com")
+        assert applies(ResourceType.SCRIPT, True, "sports.news.com")
+        assert not applies(ResourceType.SCRIPT, True, "blog.news.com")
+        assert not applies(ResourceType.SCRIPT, True, "a.blog.news.com")
+        assert not applies(ResourceType.SCRIPT, True, "other.com")
+
+    def test_exclude_only_domain_option(self):
+        rule = parse_filter_line("/ads/$domain=~news.com")
+        applies = rule.options.applies_to
+        assert applies(ResourceType.SCRIPT, True, "other.com")
+        assert not applies(ResourceType.SCRIPT, True, "news.com")
+        assert not applies(ResourceType.SCRIPT, True, "blog.news.com")
+
+    def test_domain_option_empty_entries_ignored(self):
+        rule = parse_filter_line("/ads/$domain=news.com||~|shop.com")
+        assert rule.options.include_domains == ("news.com", "shop.com")
+        assert rule.options.exclude_domains == ()
+
+    def test_options_only_exception(self):
+        rule = parse_filter_line("@@$document,domain=partner.com")
+        assert rule is not None
+        assert rule.is_exception
+        assert rule.pattern == "*"
+        assert rule.options.include_domains == ("partner.com",)
+        assert rule.options.resource_types == frozenset(
+            {ResourceType.MAIN_FRAME}
+        )
+
+    def test_exception_with_multiple_options(self):
+        rule = parse_filter_line(
+            "@@||cdn.example^$script,third-party,domain=site.com"
+        )
+        assert rule.is_exception
+        assert rule.options.third_party is True
+        assert rule.options.include_domains == ("site.com",)
+
+    def test_whitespace_in_pattern_rejected(self):
+        assert parse_filter_line("||bad rule.com^") is None
+
+    def test_trailing_dollar_is_literal(self):
+        rule = parse_filter_line("/path$")
+        assert rule is not None
+        assert rule.pattern == "/path$"
 
     def test_unknown_option_skips_rule(self):
         assert parse_filter_line("||t.com^$frobnicate") is None
@@ -88,3 +136,12 @@ example.com##.banner
     def test_strict_mode_raises(self):
         with pytest.raises(FilterParseError):
             parse_filter_list("test", "||x.com^$bogusopt", strict=True)
+
+    def test_line_numbers_recorded(self):
+        parsed = parse_filter_list("test", self.TEXT)
+        assert [rule.line for rule in parsed.rules] == [3, 4, 7]
+
+    def test_bom_stripped(self):
+        parsed = parse_filter_list("test", "﻿||ads.example^\n")
+        assert len(parsed) == 1
+        assert parsed.rules[0].pattern == "||ads.example^"

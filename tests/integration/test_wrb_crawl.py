@@ -15,7 +15,7 @@ import pytest
 from repro.browser import Browser
 from repro.crawler.crawler import CrawlConfig, Crawler
 from repro.extension.adblocker import AdBlockerExtension
-from repro.web.filterlists import build_easyprivacy_text, build_filter_engine
+from repro.web.filterlists import build_easyprivacy_text
 from repro.filters import FilterEngine, parse_filter_list
 
 

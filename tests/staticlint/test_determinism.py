@@ -1,0 +1,154 @@
+"""Tests for the determinism (calibration-contract) linter."""
+
+import textwrap
+
+from repro.staticlint.determinism import lint_paths, lint_self, lint_source_text
+
+
+def _lint(source: str, exempt_entropy: bool = False):
+    return lint_source_text(
+        "mod.py", textwrap.dedent(source), exempt_entropy=exempt_entropy
+    )
+
+
+def _rules(report):
+    return [d.rule_id for d in report.diagnostics]
+
+
+class TestWallclock:
+    def test_time_time(self):
+        report = _lint("import time\nstamp = time.time()\n")
+        assert _rules(report) == ["DET-WALLCLOCK"]
+        assert report.diagnostics[0].source == "mod.py:2"
+
+    def test_time_module_alias(self):
+        report = _lint("import time as t\nstamp = t.monotonic()\n")
+        assert _rules(report) == ["DET-WALLCLOCK"]
+
+    def test_direct_from_import(self):
+        report = _lint("from time import perf_counter\nx = perf_counter()\n")
+        assert _rules(report) == ["DET-WALLCLOCK"]
+
+    def test_datetime_now(self):
+        report = _lint("from datetime import datetime\nd = datetime.now()\n")
+        assert _rules(report) == ["DET-WALLCLOCK"]
+
+    def test_date_today_via_module(self):
+        report = _lint("import datetime\nd = datetime.date.today()\n")
+        assert _rules(report) == ["DET-WALLCLOCK"]
+
+    def test_simclock_usage_clean(self):
+        report = _lint(
+            "from repro.util.simtime import SimClock\n"
+            "clock = SimClock()\nstamp = clock.now()\n"
+        )
+        assert not report
+
+    def test_unrelated_now_method_clean(self):
+        report = _lint("d = cursor.now()\n")
+        assert not report
+
+
+class TestRandom:
+    def test_import_random(self):
+        assert _rules(_lint("import random\n")) == ["DET-RANDOM"]
+
+    def test_from_random_import(self):
+        assert _rules(_lint("from random import choice\n")) == ["DET-RANDOM"]
+
+    def test_import_secrets(self):
+        assert _rules(_lint("import secrets\n")) == ["DET-RANDOM"]
+
+    def test_uuid4(self):
+        report = _lint("import uuid\nx = uuid.uuid4()\n")
+        assert _rules(report) == ["DET-RANDOM"]
+
+    def test_uuid5_is_deterministic_and_clean(self):
+        report = _lint(
+            "import uuid\nx = uuid.uuid5(uuid.NAMESPACE_URL, 'a')\n"
+        )
+        assert not report
+
+    def test_os_urandom(self):
+        report = _lint("import os\nx = os.urandom(8)\n")
+        assert _rules(report) == ["DET-RANDOM"]
+
+    def test_exempt_entropy_for_util_wrappers(self):
+        report = _lint("import random\n", exempt_entropy=True)
+        assert not report
+
+    def test_exemption_never_covers_wallclock(self):
+        report = _lint(
+            "import time\nx = time.time()\n", exempt_entropy=True
+        )
+        assert _rules(report) == ["DET-WALLCLOCK"]
+
+
+class TestOrder:
+    def test_for_over_set_literal(self):
+        assert _rules(_lint("for x in {1, 2}:\n    pass\n")) == ["DET-ORDER"]
+
+    def test_for_over_set_call(self):
+        assert _rules(_lint("for x in set(items):\n    pass\n")) == [
+            "DET-ORDER"
+        ]
+
+    def test_comprehension_over_set_union(self):
+        report = _lint("out = [x for x in set(a) | set(b)]\n")
+        assert _rules(report) == ["DET-ORDER"]
+
+    def test_list_of_set(self):
+        assert _rules(_lint("out = list(set(items))\n")) == ["DET-ORDER"]
+
+    def test_builtin_hash(self):
+        assert _rules(_lint("h = hash(name)\n")) == ["DET-ORDER"]
+
+    def test_os_listdir(self):
+        report = _lint("import os\nnames = os.listdir('.')\n")
+        assert _rules(report) == ["DET-ORDER"]
+
+    def test_sorted_set_clean(self):
+        assert not _lint("for x in sorted({1, 2}):\n    pass\n")
+
+    def test_for_over_list_clean(self):
+        assert not _lint("for x in [1, 2]:\n    pass\n")
+
+    def test_dict_iteration_clean(self):
+        # Dicts preserve insertion order; only sets are flagged.
+        assert not _lint("for k in {'a': 1}:\n    pass\n")
+
+
+class TestPragmaAndSyntax:
+    def test_pragma_suppresses(self):
+        report = _lint(
+            "import time\nx = time.time()  # det: allow\n"
+        )
+        assert not report
+
+    def test_syntax_error_reported(self):
+        report = _lint("def broken(:\n")
+        assert _rules(report) == ["DET-SYNTAX"]
+
+    def test_multiple_findings_ordered_by_line(self):
+        report = _lint(
+            "import time\nimport random\nx = time.time()\n"
+        )
+        assert _rules(report) == ["DET-RANDOM", "DET-WALLCLOCK"]
+
+
+class TestPathLinting:
+    def test_util_paths_exempt_entropy(self, tmp_path):
+        util_dir = tmp_path / "pkg" / "util"
+        util_dir.mkdir(parents=True)
+        wrapper = util_dir / "rng.py"
+        wrapper.write_text("import random\n", encoding="utf-8")
+        other = tmp_path / "pkg" / "core.py"
+        other.write_text("import random\n", encoding="utf-8")
+        report = lint_paths([wrapper, other], root=tmp_path)
+        assert [d.source for d in report.diagnostics] == ["pkg/core.py:1"]
+
+    def test_self_lint_is_clean(self):
+        """The CI gate: src/repro honors its own determinism contract."""
+        report = lint_self()
+        assert not report.errors
+        assert not report

@@ -1,0 +1,256 @@
+"""Tests for the filter-list analyzer."""
+
+from repro.filters.parser import parse_filter_list
+from repro.net.domains import registrable_domain
+from repro.net.http import ResourceType
+from repro.staticlint.diagnostics import Severity
+from repro.staticlint.filterlint import analyze_filter_lists
+from repro.staticlint.probes import (
+    THIRD_PARTY_CONTEXT,
+    UrlProbe,
+    UrlUniverse,
+    synthesize_urls,
+)
+from repro.util.urls import parse_url
+from repro.web.filterlists import build_filter_lists
+from repro.web.registry import default_registry
+
+
+def _lists(text: str):
+    return [parse_filter_list("test", text)]
+
+
+def _universe(*probes: UrlProbe) -> UrlUniverse:
+    return UrlUniverse(probes=list(probes))
+
+
+WS = ResourceType.WEBSOCKET
+SCRIPT = ResourceType.SCRIPT
+IMAGE = ResourceType.IMAGE
+
+
+class TestDeadRules:
+    def test_unmatched_rule_is_dead(self):
+        universe = _universe(
+            UrlProbe("https://ads.example/banner.js", SCRIPT),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||ads.example^\n||never.example^"), universe=universe
+        )
+        assert [r.raw for r in analysis.dead] == ["||never.example^"]
+        (diag,) = analysis.report.by_rule("FL-DEAD")
+        assert diag.severity is Severity.WARNING
+        assert "never.example" in diag.message
+        assert diag.source == "test:2"
+
+    def test_matching_rule_not_dead(self):
+        universe = _universe(
+            UrlProbe("https://ads.example/banner.js", SCRIPT),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||ads.example^"), universe=universe
+        )
+        assert not analysis.dead
+
+
+class TestShadowedRules:
+    def test_later_rule_fully_covered_is_shadowed(self):
+        universe = _universe(
+            UrlProbe("https://ads.example/banner.js", SCRIPT),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||ads.example^\n||ads.example/banner.js$script"),
+            universe=universe,
+        )
+        assert [r.raw for r in analysis.shadowed] == [
+            "||ads.example/banner.js$script"
+        ]
+        (diag,) = analysis.report.by_rule("FL-SHADOW")
+        assert "||ads.example^" in diag.message
+
+    def test_rule_with_unique_probe_not_shadowed(self):
+        universe = _universe(
+            UrlProbe("https://ads.example/banner.js", SCRIPT),
+            UrlProbe("https://ads.example/pixel.gif", IMAGE),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||ads.example/banner.js\n||ads.example^"),
+            universe=universe,
+        )
+        assert not analysis.shadowed
+
+    def test_exception_shadowing_tracked_separately(self):
+        # The block rule and the exception match the same probe; the
+        # exception is not "shadowed" by the block rule (different
+        # polarity), and vice versa.
+        universe = _universe(
+            UrlProbe("https://ads.example/banner.js", SCRIPT),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||ads.example^\n@@||ads.example/banner.js"),
+            universe=universe,
+        )
+        assert not analysis.shadowed
+
+
+class TestExceptionDefects:
+    def test_exception_rescuing_nothing_is_useless(self):
+        universe = _universe(
+            UrlProbe("https://cdn.example/lib.js", SCRIPT),
+        )
+        analysis = analyze_filter_lists(
+            _lists("@@||cdn.example/lib.js"), universe=universe
+        )
+        assert [r.raw for r in analysis.useless_exceptions] == [
+            "@@||cdn.example/lib.js"
+        ]
+
+    def test_exception_rescuing_blocked_probe_is_useful(self):
+        universe = _universe(
+            UrlProbe("https://cdn.example/lib.js", SCRIPT),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||cdn.example^\n@@||cdn.example/lib.js"),
+            universe=universe,
+        )
+        assert not analysis.useless_exceptions
+        assert analysis.blocked == [False]
+
+    def test_duplicate_exception_coverage_flagged(self):
+        universe = _universe(
+            UrlProbe("https://cdn.example/lib.js", SCRIPT),
+        )
+        analysis = analyze_filter_lists(
+            _lists(
+                "||cdn.example^\n"
+                "@@||cdn.example/lib.js\n"
+                "@@||cdn.example/lib.js$script"
+            ),
+            universe=universe,
+        )
+        assert [r.raw for r in analysis.duplicate_exceptions] == [
+            "@@||cdn.example/lib.js$script"
+        ]
+        (diag,) = analysis.report.by_rule("FL-EXC-DUP")
+        assert diag.severity is Severity.INFO
+
+
+class TestWebSocketBlindspots:
+    def test_http_blocked_ws_open_is_blindspot(self):
+        universe = _universe(
+            UrlProbe("https://px.tracker.example/collect", ResourceType.XHR),
+            UrlProbe("wss://ws.tracker.example/socket", WS),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||tracker.example/collect^"), universe=universe
+        )
+        assert analysis.blindspot_domains == ["tracker.example"]
+        (diag,) = analysis.report.by_rule("FL-WS-BLINDSPOT")
+        assert diag.fix_hint == "add ||tracker.example^$websocket"
+
+    def test_websocket_rule_closes_blindspot(self):
+        universe = _universe(
+            UrlProbe("https://px.tracker.example/collect", ResourceType.XHR),
+            UrlProbe("wss://ws.tracker.example/socket", WS),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||tracker.example/collect^\n||tracker.example^$websocket"),
+            universe=universe,
+        )
+        assert analysis.blindspot_domains == []
+        assert analysis.ws_covered_domains == ["tracker.example"]
+
+    def test_untyped_host_anchor_covers_ws(self):
+        # DEFAULT_TYPES includes WEBSOCKET, so a bare host anchor blocks
+        # the handshake too — no blindspot.
+        universe = _universe(
+            UrlProbe("https://px.tracker.example/collect", ResourceType.XHR),
+            UrlProbe("wss://ws.tracker.example/socket", WS),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||tracker.example^"), universe=universe
+        )
+        assert analysis.blindspot_domains == []
+
+    def test_domain_without_ws_probe_not_flagged(self):
+        universe = _universe(
+            UrlProbe("https://px.tracker.example/collect", ResourceType.XHR),
+        )
+        analysis = analyze_filter_lists(
+            _lists("||tracker.example/collect^"), universe=universe
+        )
+        assert analysis.blindspot_domains == []
+
+
+class TestBundledLists:
+    """The acceptance criterion: the bundled synthetic lists must
+    produce at least three diagnostic categories."""
+
+    def test_bundled_lists_report_three_plus_categories(self):
+        registry = default_registry()
+        analysis = analyze_filter_lists(
+            build_filter_lists(registry), registry=registry
+        )
+        assert len(analysis.report.categories) >= 3
+        assert "FL-WS-BLINDSPOT" in analysis.report.categories
+
+    def test_tracked_receivers_are_blindspots_without_websocket_rules(self):
+        # The bundled lists carry no $websocket rules: every receiver
+        # the lists otherwise target (any blocked HTTP probe) has a
+        # handshake that escapes them — the paper's §5 finding. A
+        # receiver the lists ignore entirely (e.g. a sports site that
+        # happens to accept sockets) is not a blindspot.
+        registry = default_registry()
+        analysis = analyze_filter_lists(
+            build_filter_lists(registry), registry=registry
+        )
+        blindspots = set(analysis.blindspot_domains)
+        http_blocked = {
+            registrable_domain(parse_url(probe.url).host)
+            for probe, blocked in zip(
+                analysis.universe.probes, analysis.blocked
+            )
+            if blocked and not probe.is_websocket
+        }
+        from repro.staticlint.webrequestlint import receiver_companies
+
+        receivers = receiver_companies(registry)
+        tracked = [c for c in receivers if c.domain in http_blocked]
+        assert tracked  # most receivers are trackers the lists target
+        for company in tracked:
+            assert company.domain in blindspots
+        assert not any(c.domain in analysis.ws_covered_domains
+                       for c in receivers)
+
+
+class TestProbeUniverse:
+    def test_registry_universe_has_ws_probes_per_company(self):
+        registry = default_registry()
+        universe = UrlUniverse.from_registry(registry)
+        ws_urls = {p.url for p in universe.websocket_probes()}
+        company = next(iter(sorted(
+            registry.companies.values(), key=lambda c: c.domain
+        )))
+        assert f"wss://{company.resolved_ws_host()}/socket" in ws_urls
+
+    def test_untyped_rule_synthesizes_no_ws_probe(self):
+        (rule,) = _lists("||tracker.example/collect^")[0].rules
+        assert not any(
+            url.startswith("wss://") for url in synthesize_urls(rule)
+        )
+
+    def test_websocket_rule_synthesizes_ws_probe(self):
+        (rule,) = _lists("||tracker.example^$websocket")[0].rules
+        assert any(url.startswith("wss://") for url in synthesize_urls(rule))
+
+    def test_probes_deduplicated(self):
+        lists = _lists("||a.example^\n||a.example^$script")
+        universe = UrlUniverse.from_rules(lists)
+        keys = [(p.url, p.resource_type, p.first_party_url)
+                for p in universe.probes]
+        assert len(keys) == len(set(keys))
+
+    def test_default_context_is_third_party(self):
+        probe = UrlProbe("https://ads.example/x.js", SCRIPT)
+        assert probe.first_party_url == THIRD_PARTY_CONTEXT
+        assert not probe.is_websocket

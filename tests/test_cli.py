@@ -51,6 +51,21 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_lint_self_gate_passes(capsys):
+    assert main(["lint", "--self"]) == 0
+    out = capsys.readouterr().out
+    assert "DETERMINISM" in out
+    assert "no findings" in out
+
+
+def test_lint_full_reports_blindspots(capsys):
+    assert main(["lint", "--no-self"]) == 0
+    out = capsys.readouterr().out
+    assert "FL-WS-BLINDSPOT" in out
+    assert "WEBREQUEST LISTENERS" in out
+    assert "static verdict matches dynamic dispatch" in out
+
+
 def test_visit_writes_har(tmp_path, capsys):
     har_path = tmp_path / "visit.har"
     assert main(["visit", "acenterforrecovery.com", "--chrome", "57",

@@ -1,6 +1,5 @@
 """Additional edge-case coverage for utility modules."""
 
-import pytest
 
 from repro.util.rng import RngStream
 from repro.util.urls import parse_url, resolve_relative

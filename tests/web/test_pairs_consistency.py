@@ -10,7 +10,6 @@ from collections import defaultdict
 from repro.experiments import expected
 from repro.web.model import FIRST_PARTY
 from repro.web.pairs import all_static_pairs
-from repro.web.registry import default_registry
 
 
 def _initiator_aa_receiver_fans(registry):

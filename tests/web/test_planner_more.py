@@ -1,6 +1,5 @@
 """Additional planner coverage: zones, packing, entity scaling."""
 
-import pytest
 
 from repro.web.alexa import AlexaUniverse
 from repro.web.planner import EcosystemPlanner, _draw_rank
