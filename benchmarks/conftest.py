@@ -2,21 +2,29 @@
 
 The four-crawl dataset is built once per session (the expensive part);
 each table/figure bench then measures its analysis stage and prints the
-regenerated artifact next to the paper's values.
+regenerated artifact next to the paper's values. The shared study runs
+with a full obs context, and its per-stage breakdown is exported to
+``results/bench/BENCH_OBS.json`` at the end of the session.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import StudyConfig
 from repro.experiments.runner import SyntheticWeb, WebScale, analyze, run_crawls
+from repro.obs import Obs
 
 # Bench preset: enough scale for every entity to appear, small enough
 # that the one-time crawl stays in tens of seconds.
 BENCH_CONFIG = StudyConfig(
     scale=0.05, sample_scale=0.01, pages_per_site=10, name="bench"
 )
+
+BENCH_OBS_PATH = Path(__file__).resolve().parent.parent / "results" / "bench" / "BENCH_OBS.json"
 
 
 @pytest.fixture(scope="session")
@@ -29,12 +37,40 @@ def bench_web():
 
 
 @pytest.fixture(scope="session")
-def bench_dataset(bench_web):
-    dataset, summaries = run_crawls(bench_web, BENCH_CONFIG)
+def bench_obs():
+    """The shared study's observability context."""
+    return Obs()
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_web, bench_obs):
+    dataset, summaries = run_crawls(bench_web, BENCH_CONFIG, obs=bench_obs)
     return dataset, summaries
 
 
 @pytest.fixture(scope="session")
-def bench_study(bench_web, bench_dataset):
+def bench_study(bench_web, bench_dataset, bench_obs):
     dataset, summaries = bench_dataset
-    return analyze(BENCH_CONFIG, bench_web, dataset, summaries)
+    result = analyze(BENCH_CONFIG, bench_web, dataset, summaries,
+                     obs=bench_obs)
+    _write_bench_obs(result.obs)
+    return result
+
+
+def _write_bench_obs(summary) -> None:
+    """Per-stage breakdown next to the pytest-benchmark BENCH_*.json."""
+    BENCH_OBS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "preset": BENCH_CONFIG.name,
+        "ticks": summary.ticks,
+        "stages": [
+            {"stage": a.name, "spans": a.count, "ticks": a.total_ticks}
+            for a in summary.aggregates
+        ],
+        "counters": summary.counters,
+        "histograms": summary.histograms,
+    }
+    BENCH_OBS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

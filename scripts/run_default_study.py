@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.analysis import report as report_mod
 from repro.experiments import DEFAULT_CONFIG, FULL_CONFIG, TINY_CONFIG, run_study
+from repro.obs import write_metrics, write_trace
 
 PRESETS = {"default": DEFAULT_CONFIG, "tiny": TINY_CONFIG, "full": FULL_CONFIG}
 
@@ -57,7 +58,10 @@ def main() -> None:
         ),
         "overall": report_mod.render_overall(result.overall),
         "blocking": report_mod.render_blocking(result.blocking),
+        "obs": report_mod.render_obs(result.obs),
     }
+    write_trace(out_dir / "study.trace.jsonl", result.obs)
+    write_metrics(out_dir / "study.metrics.json", result.obs)
     for name, text in sections.items():
         (out_dir / f"{name}.txt").write_text(text + "\n")
     pages = sum(s.pages_visited for s in result.summaries)

@@ -11,6 +11,8 @@ from repro.analysis.table3 import Table3Row
 from repro.analysis.table4 import Table4
 from repro.analysis.table5 import Table5
 from repro.content.items import RECEIVED_CLASSES, SENT_ITEMS
+from repro.obs.recorder import ObsSummary
+from repro.obs.report import render_obs_summary
 from repro.staticlint.diagnostics import LintReport
 from repro.staticlint.runner import FullLintResult
 
@@ -236,6 +238,12 @@ def render_blocking(stats: BlockingStats) -> str:
         f"All A&A chains blocked: {stats.pct_aa_chains_blocked:.1f}% "
         f"({stats.aa_chains_blocked:,}/{stats.aa_chains:,})",
     ])
+
+
+def render_obs(summary: ObsSummary) -> str:
+    """The study's observability section: per-stage timings, per-crawl
+    attribution, and the harvested metrics snapshot."""
+    return render_obs_summary(summary)
 
 
 def render_lint_report(report: LintReport, show_hints: bool = True) -> str:

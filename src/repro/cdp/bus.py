@@ -4,6 +4,18 @@ The browser publishes :class:`~repro.cdp.events.CdpEvent` instances; the
 inclusion-tree builder, session recorder, and any test hooks subscribe.
 Delivery is synchronous and in publication order — the same total order a
 single DevTools WebSocket connection would provide.
+
+``publish`` is the hottest call in the whole pipeline (every request,
+script, frame, and socket of every page of every crawl flows through
+it), so the subscriber list is iterated via a cached immutable snapshot
+that is invalidated on subscribe/unsubscribe instead of being copied on
+every publish. Mutations from inside a handler are safe: the in-flight
+delivery keeps using the snapshot it started with, exactly like the old
+copy-per-publish behaviour.
+
+The bus also keeps lightweight telemetry — per-method publish counts
+and total deliveries — cheap enough to stay always-on; the obs layer
+(:mod:`repro.obs`) harvests them at stage boundaries.
 """
 
 from __future__ import annotations
@@ -20,7 +32,11 @@ class EventBus:
 
     def __init__(self) -> None:
         self._subscribers: list[tuple[Subscriber, tuple[type, ...] | None]] = []
+        self._snapshot: tuple[tuple[Subscriber, tuple[type, ...] | None], ...] = ()
+        self._snapshot_valid = True
         self._published = 0
+        self._delivered = 0
+        self._by_method: dict[str, int] = {}
 
     def subscribe(
         self,
@@ -35,26 +51,47 @@ class EventBus:
         filter_types = tuple(event_types) if event_types is not None else None
         entry = (handler, filter_types)
         self._subscribers.append(entry)
+        self._snapshot_valid = False
 
         def unsubscribe() -> None:
             try:
                 self._subscribers.remove(entry)
             except ValueError:
                 pass
+            else:
+                self._snapshot_valid = False
 
         return unsubscribe
 
     def publish(self, event: CdpEvent) -> None:
         """Deliver an event to every matching subscriber, in order."""
         self._published += 1
-        for handler, filter_types in list(self._subscribers):
+        method = event.METHOD
+        self._by_method[method] = self._by_method.get(method, 0) + 1
+        if not self._snapshot_valid:
+            self._snapshot = tuple(self._subscribers)
+            self._snapshot_valid = True
+        delivered = 0
+        for handler, filter_types in self._snapshot:
             if filter_types is None or isinstance(event, filter_types):
                 handler(event)
+                delivered += 1
+        self._delivered += delivered
 
     @property
     def published_count(self) -> int:
         """Total number of events published on this bus."""
         return self._published
+
+    @property
+    def delivered_count(self) -> int:
+        """Total handler invocations (subscriber fan-out)."""
+        return self._delivered
+
+    @property
+    def published_by_method(self) -> dict[str, int]:
+        """Publish counts keyed by CDP method name (a copy)."""
+        return dict(self._by_method)
 
     @property
     def subscriber_count(self) -> int:

@@ -2,7 +2,9 @@
 
 Commands:
 
-* ``study``   — run the four-crawl study and print every artifact.
+* ``study``   — run the four-crawl study and print every artifact
+  (``--trace``/``--metrics-out`` export the observability artifacts).
+* ``obs``     — summarize a trace JSONL written by ``study --trace``.
 * ``visit``   — load one site in the simulated browser and print its
   inclusion tree and WebSocket traffic.
 * ``check``   — evaluate a URL against the synthetic EasyList/EasyPrivacy.
@@ -10,6 +12,11 @@ Commands:
 * ``lint``    — static analysis: filter-list defects (incl. WebSocket
   blindspots), webRequest pattern verdicts cross-validated against
   dynamic dispatch, and the repro's own determinism contract.
+
+Global flags: ``--quiet`` suppresses progress lines on stderr;
+``--verbose`` adds stage-transition lines. Exit codes: 0 success, 1
+contract violation (``lint``), 2 bad invocation or unreadable input
+(see README.md).
 """
 
 from __future__ import annotations
@@ -21,10 +28,18 @@ from repro.analysis import report as report_mod
 from repro.browser import Browser
 from repro.cdp import EventBus, SessionRecorder
 from repro.cdp.har import save_har
-from repro.experiments import DEFAULT_CONFIG, FULL_CONFIG, TINY_CONFIG, run_study
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    FULL_CONFIG,
+    SMOKE_CONFIG,
+    TINY_CONFIG,
+    run_study,
+)
 from repro.extension.adblocker import AdBlockerExtension
 from repro.inclusion import InclusionTreeBuilder
 from repro.net.http import ResourceType
+from repro.obs import Obs, read_trace, render_obs_summary, write_metrics, write_trace
+from repro.obs.tracer import ObsEvent
 from repro.web.filterlists import (
     build_easylist_text,
     build_easyprivacy_text,
@@ -33,12 +48,34 @@ from repro.web.filterlists import (
 from repro.web.registry import default_registry
 from repro.web.server import SyntheticWeb, WebScale
 
-_PRESETS = {"tiny": TINY_CONFIG, "default": DEFAULT_CONFIG, "full": FULL_CONFIG}
+_PRESETS = {"smoke": SMOKE_CONFIG, "tiny": TINY_CONFIG,
+            "default": DEFAULT_CONFIG, "full": FULL_CONFIG}
+
+
+def _progress_sink(verbose: bool):
+    """An obs-event sink printing crawl progress to stderr."""
+
+    def sink(event: ObsEvent) -> None:
+        attrs = event.attrs
+        if event.name == "crawl.progress":
+            print(
+                f"[crawl {attrs['crawl']} · Chrome {attrs['chrome']}] "
+                f"{attrs['sites_done']}/{attrs['sites_total']} sites · "
+                f"{attrs['pages']} pages · {attrs['sockets']} sockets seen",
+                file=sys.stderr,
+            )
+        elif verbose and event.name == "stage":
+            print(f"[study] stage: {attrs['stage']}", file=sys.stderr)
+
+    return sink
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
     config = _PRESETS[args.preset]
-    result = run_study(config)
+    obs = Obs()
+    if not args.quiet:
+        obs.tracer.add_sink(_progress_sink(args.verbose))
+    result = run_study(config, obs=obs)
     print(report_mod.render_table1(result.table1), "\n")
     print("TABLE 2 — top initiators")
     print(report_mod.render_table2(result.table2), "\n")
@@ -55,6 +92,25 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if result.lint is not None:
         print("\nSTATIC LINT — filter lists & webRequest patterns")
         print(report_mod.render_lint(result.lint))
+    if result.obs is not None:
+        print("\nOBSERVABILITY — per-stage timing & attribution")
+        print(report_mod.render_obs(result.obs))
+        if args.trace:
+            lines = write_trace(args.trace, result.obs)
+            print(f"\ntrace written to {args.trace} ({lines} records)")
+        if args.metrics_out:
+            write_metrics(args.metrics_out, result.obs)
+            print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        summary = read_trace(args.trace)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read trace {args.trace!r}: {error}", file=sys.stderr)
+        return 2
+    print(render_obs_summary(summary))
     return 0
 
 
@@ -155,11 +211,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="WebSocket ad-blocker-circumvention study (IMC 2018) "
                     "reproduction",
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument("-q", "--quiet", action="store_true",
+                           help="suppress progress lines on stderr")
+    verbosity.add_argument("-v", "--verbose", action="store_true",
+                           help="also print stage-transition lines")
     sub = parser.add_subparsers(dest="command", required=True)
 
     study = sub.add_parser("study", help="run the four-crawl study")
     study.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+    study.add_argument("--trace", default="",
+                       help="write the study's observability trace "
+                            "(spans, events, metrics) as JSONL")
+    study.add_argument("--metrics-out", default="", dest="metrics_out",
+                       help="write the final metrics snapshot as JSON")
     study.set_defaults(func=_cmd_study)
+
+    obs = sub.add_parser("obs", help="summarize a study trace file")
+    obs.add_argument("trace", help="trace JSONL from `study --trace`")
+    obs.set_defaults(func=_cmd_obs)
 
     visit = sub.add_parser("visit", help="visit one site, print its tree")
     visit.add_argument("domain", nargs="?", default="")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -10,6 +11,7 @@ from repro.cdp.bus import EventBus
 from repro.crawler.observation import PageObservation, observe_page
 from repro.crawler.policy import VisitPolicy, page_index_for_link
 from repro.inclusion.builder import InclusionTreeBuilder
+from repro.obs import Obs
 from repro.util.rng import RngStream
 from repro.util.simtime import SimClock, parse_date
 from repro.web.alexa import Site
@@ -66,6 +68,13 @@ class Crawler:
     The browser profile is reset per site (a stateless measurement
     profile, as measurement crawlers use); the simulated clock advances
     ~60 s between page visits per the paper's politeness policy.
+
+    When an :class:`~repro.obs.Obs` context is supplied, the crawl runs
+    under a ``crawl`` span with nested ``site`` and ``page`` spans,
+    emits ``crawl.progress`` events every :attr:`progress_every` sites
+    (sites done / pages / sockets seen), and harvests the bus's
+    per-method publish counts plus the ``webRequest`` dispatch counters
+    into the metrics registry when the crawl finishes.
     """
 
     def __init__(
@@ -74,11 +83,15 @@ class Crawler:
         config: CrawlConfig,
         observers: Iterable[Observer] = (),
         extension_installer: Callable[[Browser], None] | None = None,
+        obs: Obs | None = None,
+        progress_every: int = 25,
     ) -> None:
         self.web = web
         self.config = config
         self.observers = list(observers)
         self.extension_installer = extension_installer
+        self.obs = obs
+        self.progress_every = max(1, progress_every)
         self.policy = VisitPolicy(pages_per_site=config.pages_per_site)
 
     def run(self, sites: Iterable[Site] | None = None) -> CrawlRunSummary:
@@ -95,9 +108,35 @@ class Crawler:
         if self.extension_installer is not None:
             self.extension_installer(browser)
         site_list = list(sites) if sites is not None else self.web.seed_list.sites
-        for site in site_list:
-            self._crawl_site(site, browser, bus, summary)
-        summary.events_published = bus.published_count
+        obs = self.obs
+        crawl_span = (
+            obs.span("crawl", index=self.config.index,
+                     chrome=self.config.chrome_major, label=self.config.label)
+            if obs is not None else nullcontext()
+        )
+        with crawl_span as span:
+            for site in site_list:
+                self._crawl_site(site, browser, bus, summary)
+                if obs is not None and (
+                    summary.sites_visited % self.progress_every == 0
+                    or summary.sites_visited == len(site_list)
+                ):
+                    obs.event(
+                        "crawl.progress",
+                        crawl=self.config.index,
+                        chrome=self.config.chrome_major,
+                        sites_done=summary.sites_visited,
+                        sites_total=len(site_list),
+                        pages=summary.pages_visited,
+                        sockets=summary.sockets_observed,
+                    )
+            summary.events_published = bus.published_count
+            if obs is not None:
+                span.set(sites=summary.sites_visited,
+                         pages=summary.pages_visited,
+                         sockets=summary.sockets_observed,
+                         events=summary.events_published)
+                self._harvest(obs, bus, browser, summary)
         return summary
 
     # -- internals ----------------------------------------------------------
@@ -115,23 +154,70 @@ class Crawler:
         homepage = self.web.blueprint(site, 0, self.config.index)
         links = self.policy.select_links(homepage.url, homepage.links, rng)
         page_indices = [0] + [page_index_for_link(link) for link in links]
-        for page_index in page_indices:
-            blueprint = (
-                homepage if page_index == 0
-                else self.web.blueprint(site, page_index, self.config.index)
-            )
-            builder = InclusionTreeBuilder()
-            builder.attach(bus)
-            browser.visit(blueprint, crawl=self.config.index)
-            builder.detach()
-            tree = builder.result()
-            observation = observe_page(
-                tree, site.domain, site.rank, site.category, self.config.index
-            )
-            summary.pages_visited += 1
-            summary.sockets_observed += len(observation.sockets)
-            for observer in self.observers:
-                observer(observation)
-            browser.clock.advance(self.policy.wait_seconds)
+        obs = self.obs
+        site_span = (
+            obs.span("site", domain=site.domain, rank=site.rank)
+            if obs is not None else nullcontext()
+        )
+        with site_span:
+            for page_index in page_indices:
+                blueprint = (
+                    homepage if page_index == 0
+                    else self.web.blueprint(site, page_index, self.config.index)
+                )
+                page_span = (
+                    obs.span("page", index=page_index)
+                    if obs is not None else nullcontext()
+                )
+                with page_span:
+                    observation = self._visit_page(
+                        blueprint, site, browser, bus
+                    )
+                    if obs is not None:
+                        self._count_page(obs, observation)
+                summary.pages_visited += 1
+                summary.sockets_observed += len(observation.sockets)
+                for observer in self.observers:
+                    observer(observation)
+                browser.clock.advance(self.policy.wait_seconds)
         summary.sites_visited += 1
         summary.sites.append((site.domain, site.rank))
+
+    def _visit_page(self, blueprint, site, browser, bus) -> PageObservation:
+        builder = InclusionTreeBuilder()
+        builder.attach(bus)
+        browser.visit(blueprint, crawl=self.config.index)
+        builder.detach()
+        tree = builder.result()
+        return observe_page(
+            tree, site.domain, site.rank, site.category, self.config.index
+        )
+
+    @staticmethod
+    def _count_page(obs: Obs, observation: PageObservation) -> None:
+        metrics = obs.metrics
+        metrics.counter("crawler.pages").inc()
+        sockets = observation.sockets
+        if sockets:
+            metrics.counter("crawler.sockets").add(len(sockets))
+            cross = sum(1 for s in sockets if s.cross_origin)
+            if cross:
+                metrics.counter("crawler.sockets_cross_origin").add(cross)
+            attributed = sum(
+                1 for s in sockets
+                if s.initiator_host != s.first_party_host
+            )
+            if attributed:
+                metrics.counter(
+                    "crawler.sockets_third_party_initiated"
+                ).add(attributed)
+        metrics.histogram("crawler.sockets_per_page").observe(len(sockets))
+
+    def _harvest(
+        self, obs: Obs, bus: EventBus, browser: Browser,
+        summary: CrawlRunSummary,
+    ) -> None:
+        obs.metrics.record_counts("cdp.publish", bus.published_by_method)
+        obs.metrics.counter("cdp.delivered").add(bus.delivered_count)
+        obs.metrics.record_counts("webrequest", browser.webrequest.as_counts())
+        obs.metrics.counter("crawler.sites").add(summary.sites_visited)

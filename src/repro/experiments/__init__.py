@@ -5,6 +5,7 @@ from repro.experiments.runner import (
     StudyResult,
     run_study,
     DEFAULT_CONFIG,
+    SMOKE_CONFIG,
     TINY_CONFIG,
     FULL_CONFIG,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "StudyResult",
     "run_study",
     "DEFAULT_CONFIG",
+    "SMOKE_CONFIG",
     "TINY_CONFIG",
     "FULL_CONFIG",
 ]

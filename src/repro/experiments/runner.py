@@ -9,6 +9,7 @@ compute every table and figure.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 from repro.analysis.blocking import BlockingStats, compute_blocking_stats
@@ -24,6 +25,7 @@ from repro.crawler.crawler import CrawlConfig, Crawler, CrawlRunSummary
 from repro.crawler.dataset import StudyDataset
 from repro.labeling.aa_labeler import AaLabeler
 from repro.labeling.resolver import DomainResolver
+from repro.obs import Obs, ObsSummary
 from repro.staticlint.runner import FullLintResult, run_full_lint
 from repro.web.filterlists import build_filter_engine
 from repro.web.server import SyntheticWeb, WebScale
@@ -63,6 +65,8 @@ class StudyConfig:
         return replace(self, scale=scale)
 
 
+SMOKE_CONFIG = StudyConfig(scale=0.004, sample_scale=0.002, pages_per_site=2,
+                           name="smoke")
 TINY_CONFIG = StudyConfig(scale=0.004, sample_scale=0.004, pages_per_site=4,
                           name="tiny")
 DEFAULT_CONFIG = StudyConfig(name="default")
@@ -85,6 +89,9 @@ class StudyResult:
         lint: Static-analysis companion report over the same registry
             the crawls used (filter-list blindspots, webRequest
             verdicts, static-vs-dynamic cross-check).
+        obs: Observability summary — per-stage span timings, the
+            structured event log, and the harvested metrics snapshot
+            (``None`` only when analysis ran without an obs context).
     """
 
     config: StudyConfig
@@ -103,6 +110,7 @@ class StudyResult:
     blocking: BlockingStats
     overall: OverallStats
     lint: FullLintResult | None = None
+    obs: ObsSummary | None = None
 
 
 def crawl_configs(web: SyntheticWeb, config: StudyConfig) -> list[CrawlConfig]:
@@ -122,17 +130,26 @@ def crawl_configs(web: SyntheticWeb, config: StudyConfig) -> list[CrawlConfig]:
 
 
 def run_crawls(
-    web: SyntheticWeb, config: StudyConfig
+    web: SyntheticWeb, config: StudyConfig, obs: Obs | None = None
 ) -> tuple[StudyDataset, list[CrawlRunSummary]]:
     """Run the configured crawls, returning the accumulated dataset."""
     engine = build_filter_engine(web.registry)
     dataset = StudyDataset(engine=engine)
     summaries: list[CrawlRunSummary] = []
     for crawl_config in crawl_configs(web, config):
-        crawler = Crawler(web, crawl_config, observers=[dataset.observe])
+        crawler = Crawler(web, crawl_config, observers=[dataset.observe],
+                          obs=obs)
         summary = crawler.run()
         dataset.record_crawl(summary)
         summaries.append(summary)
+    if obs is not None:
+        obs.metrics.record_counts("filters", engine.stats.as_counts())
+        obs.metrics.histogram(
+            "filters.candidates_per_match"
+        ).observe(
+            (engine.stats.token_candidates + engine.stats.generic_candidates)
+            / max(engine.stats.matches, 1)
+        )
     return dataset, summaries
 
 
@@ -141,11 +158,52 @@ def analyze(
     web: SyntheticWeb,
     dataset: StudyDataset,
     summaries: list[CrawlRunSummary],
+    obs: Obs | None = None,
 ) -> StudyResult:
     """Derive labels and compute every artifact from a dataset."""
-    labeler = dataset.derive_labeler()
-    resolver = dataset.derive_resolver(labeler)
-    views = classify_sockets(dataset, labeler, resolver)
+
+    def stage(name: str):
+        return (obs.span("analyze", stage=name) if obs is not None
+                else nullcontext())
+
+    with stage("labeling"):
+        labeler = dataset.derive_labeler()
+        resolver = dataset.derive_resolver(labeler)
+    with stage("classify"):
+        views = classify_sockets(dataset, labeler, resolver)
+    if obs is not None:
+        metrics = obs.metrics
+        metrics.counter("analysis.views").add(len(views))
+        metrics.counter("analysis.aa_sockets").add(
+            sum(1 for v in views if v.is_aa_socket)
+        )
+        metrics.counter("analysis.aa_initiated").add(
+            sum(1 for v in views if v.aa_initiated)
+        )
+        metrics.counter("analysis.aa_received").add(
+            sum(1 for v in views if v.aa_received)
+        )
+        metrics.counter("analysis.aa_domains_labeled").add(len(labeler))
+    with stage("table1"):
+        table1 = compute_table1(views, dataset.crawl_sites,
+                                dataset.crawl_labels)
+    with stage("table2"):
+        table2 = compute_table2(views)
+    with stage("table3"):
+        table3 = compute_table3(views)
+    with stage("table4"):
+        table4 = compute_table4(views)
+    with stage("table5"):
+        table5 = compute_table5(dataset, views, labeler, resolver)
+    with stage("figure3"):
+        figure3 = compute_figure3(views, dataset.crawl_sites)
+    with stage("blocking"):
+        blocking = compute_blocking_stats(dataset, views, labeler, resolver)
+    with stage("overall"):
+        overall = compute_overall_stats(views)
+    lint_span = (obs.span("lint") if obs is not None else nullcontext())
+    with lint_span:
+        lint = run_full_lint(registry=web.registry, check_self=False)
     return StudyResult(
         config=config,
         web=web,
@@ -154,24 +212,41 @@ def analyze(
         labeler=labeler,
         resolver=resolver,
         views=views,
-        table1=compute_table1(views, dataset.crawl_sites, dataset.crawl_labels),
-        table2=compute_table2(views),
-        table3=compute_table3(views),
-        table4=compute_table4(views),
-        table5=compute_table5(dataset, views, labeler, resolver),
-        figure3=compute_figure3(views, dataset.crawl_sites),
-        blocking=compute_blocking_stats(dataset, views, labeler, resolver),
-        overall=compute_overall_stats(views),
-        lint=run_full_lint(registry=web.registry, check_self=False),
+        table1=table1,
+        table2=table2,
+        table3=table3,
+        table4=table4,
+        table5=table5,
+        figure3=figure3,
+        blocking=blocking,
+        overall=overall,
+        lint=lint,
+        obs=obs.summary(preset=config.name, seed=config.seed)
+        if obs is not None else None,
     )
 
 
-def run_study(config: StudyConfig = DEFAULT_CONFIG) -> StudyResult:
-    """Build the web, run the crawls, compute everything."""
-    web = SyntheticWeb(
-        scale=WebScale(sample_scale=config.resolved_sample_scale,
-                       entity_scale=config.scale),
-        seed=config.seed,
-    )
-    dataset, summaries = run_crawls(web, config)
-    return analyze(config, web, dataset, summaries)
+def run_study(
+    config: StudyConfig = DEFAULT_CONFIG, obs: Obs | None = None
+) -> StudyResult:
+    """Build the web, run the crawls, compute everything.
+
+    An :class:`~repro.obs.Obs` context is created when none is passed,
+    so every study carries its audit trail in ``result.obs``.
+    """
+    obs = obs or Obs()
+    with obs.span("study", preset=config.name, seed=config.seed):
+        obs.event("stage", stage="build-web")
+        with obs.span("build-web"):
+            web = SyntheticWeb(
+                scale=WebScale(sample_scale=config.resolved_sample_scale,
+                               entity_scale=config.scale),
+                seed=config.seed,
+            )
+        obs.event("stage", stage="crawls")
+        dataset, summaries = run_crawls(web, config, obs=obs)
+        obs.event("stage", stage="analyze")
+        result = analyze(config, web, dataset, summaries, obs=obs)
+    # Re-freeze after the study span closed so its record is included.
+    result.obs = obs.summary(preset=config.name, seed=config.seed)
+    return result

@@ -98,6 +98,7 @@ class WebRequestApi:
         self._on_before_request: list[_Registration] = []
         self.dispatched = 0
         self.suppressed_by_wrb = 0
+        self.cancelled = 0
 
     @property
     def has_webrequest_bug(self) -> bool:
@@ -137,6 +138,7 @@ class WebRequestApi:
                 continue
             response = registration.listener(request)
             if registration.blocking and response and response.cancel:
+                self.cancelled += 1
                 return False
         return True
 
@@ -144,3 +146,11 @@ class WebRequestApi:
     def listener_count(self) -> int:
         """Number of registered ``onBeforeRequest`` listeners."""
         return len(self._on_before_request)
+
+    def as_counts(self) -> dict[str, int]:
+        """Dispatch telemetry as a name→count mapping (for obs harvest)."""
+        return {
+            "dispatched": self.dispatched,
+            "suppressed_wrb": self.suppressed_by_wrb,
+            "cancelled": self.cancelled,
+        }

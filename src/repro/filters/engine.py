@@ -22,6 +22,44 @@ from repro.util.urls import parse_url
 _URL_TOKEN_RE = re.compile(r"[a-z0-9]{3,}")
 
 
+@dataclass
+class EngineStats:
+    """Always-on match telemetry, harvested by the obs layer.
+
+    Candidate counts are *offered* candidates: when a token bucket (or
+    the generic bucket) is reached, its full length is charged, even if
+    the caller stops early on a hit — i.e. they measure index
+    selectivity, not rules actually regex-tested.
+
+    Attributes:
+        matches: ``match()`` calls.
+        blocked: Calls that ended blocked.
+        exception_overrides: Calls where an exception rule rescued a
+            request a blocking rule had matched.
+        token_buckets: Token-index buckets reached.
+        token_candidates: Rules offered from token buckets.
+        generic_candidates: Rules offered from generic buckets.
+    """
+
+    matches: int = 0
+    blocked: int = 0
+    exception_overrides: int = 0
+    token_buckets: int = 0
+    token_candidates: int = 0
+    generic_candidates: int = 0
+
+    def as_counts(self) -> dict[str, int]:
+        """The stats as a plain name→count mapping."""
+        return {
+            "matches": self.matches,
+            "blocked": self.blocked,
+            "exception_overrides": self.exception_overrides,
+            "token_buckets": self.token_buckets,
+            "token_candidates": self.token_candidates,
+            "generic_candidates": self.generic_candidates,
+        }
+
+
 @dataclass(frozen=True)
 class MatchResult:
     """Outcome of evaluating a request against the engine.
@@ -63,14 +101,19 @@ class _RuleIndex:
         self._by_token.setdefault(token, []).append((rule, list_name))
 
     def candidates(
-        self, url_tokens: Sequence[str]
+        self, url_tokens: Sequence[str], stats: EngineStats | None = None
     ) -> Iterable[tuple[FilterRule, str]]:
         seen_buckets: set[int] = set()
         for token in url_tokens:
             bucket = self._by_token.get(token)
             if bucket is not None and id(bucket) not in seen_buckets:
                 seen_buckets.add(id(bucket))
+                if stats is not None:
+                    stats.token_buckets += 1
+                    stats.token_candidates += len(bucket)
                 yield from bucket
+        if stats is not None:
+            stats.generic_candidates += len(self._generic)
         yield from self._generic
 
 
@@ -79,6 +122,7 @@ class FilterEngine:
 
     def __init__(self, lists: Iterable[FilterList]) -> None:
         self.lists = list(lists)
+        self.stats = EngineStats()
         self._blocks = _RuleIndex()
         self._exceptions = _RuleIndex()
         for filter_list in self.lists:
@@ -109,13 +153,15 @@ class FilterEngine:
             The match verdict. ``blocked`` is True only when a blocking
             rule matches and no exception rule does.
         """
+        stats = self.stats
+        stats.matches += 1
         lowered = url.lower()
         url_tokens = _URL_TOKEN_RE.findall(lowered)
         third_party = bool(first_party_url) and is_third_party(url, first_party_url)
         first_party_host = parse_url(first_party_url).host if first_party_url else ""
 
         block_hit: tuple[FilterRule, str] | None = None
-        for rule, list_name in self._blocks.candidates(url_tokens):
+        for rule, list_name in self._blocks.candidates(url_tokens, stats):
             if rule.options.applies_to(resource_type, third_party, first_party_host):
                 if rule.matches_url(url):
                     block_hit = (rule, list_name)
@@ -123,15 +169,17 @@ class FilterEngine:
         if block_hit is None:
             return MatchResult(blocked=False)
 
-        for rule, list_name in self._exceptions.candidates(url_tokens):
+        for rule, list_name in self._exceptions.candidates(url_tokens, stats):
             if rule.options.applies_to(resource_type, third_party, first_party_host):
                 if rule.matches_url(url):
+                    stats.exception_overrides += 1
                     return MatchResult(
                         blocked=False,
                         rule=block_hit[0],
                         exception_rule=rule,
                         list_name=list_name,
                     )
+        stats.blocked += 1
         return MatchResult(blocked=True, rule=block_hit[0], list_name=block_hit[1])
 
     def would_block(

@@ -1,0 +1,96 @@
+"""Observability for the study pipeline: spans, metrics, trace export.
+
+The paper's measurement campaign is only trustworthy if we know what
+the crawler actually observed — which CDP events fired, which sockets
+were attributed, which filter rules were exercised. This package gives
+every stage of ``repro study`` a verifiable audit trail:
+
+* :class:`~repro.obs.tracer.Tracer` — nested spans
+  (study → crawl → site → page) plus a structured event log;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters and
+  histograms harvested from the filter engine, CDP bus, crawler, and
+  ``chrome.webRequest`` simulation;
+* :class:`~repro.obs.recorder.TraceRecorder` — per-method CDP event
+  accounting and the JSONL trace file format;
+* :func:`~repro.obs.report.render_obs_summary` — the per-stage
+  timing/attribution report.
+
+Everything runs on the deterministic tick clock
+(:mod:`repro.util.obsclock`), so two same-seed studies produce
+byte-identical traces — the property the trace round-trip tests pin.
+
+The :class:`Obs` facade bundles one clock, tracer, and registry; pass
+it (or ``None`` to opt out) down the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    ObsSummary,
+    TraceRecorder,
+    read_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.report import render_obs_summary
+from repro.obs.tracer import ObsEvent, SpanAggregate, SpanRecord, Tracer
+from repro.util.obsclock import TickClock, WallClock
+
+
+class Obs:
+    """One study's observability context: clock + tracer + metrics."""
+
+    def __init__(
+        self, clock: TickClock | None = None, max_spans: int = 100_000
+    ) -> None:
+        self.clock = clock or TickClock()
+        self.tracer = Tracer(self.clock, max_spans=max_spans)
+        self.metrics = MetricsRegistry(self.clock)
+
+    def span(self, name: str, **attrs):
+        """Open a span on the tracer (context manager)."""
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> ObsEvent:
+        """Log one structured event."""
+        return self.tracer.event(name, **attrs)
+
+    def recorder_for(self, bus, keep_events: bool = False) -> TraceRecorder:
+        """A :class:`TraceRecorder` on ``bus`` sharing this clock."""
+        return TraceRecorder(bus, clock=self.clock, keep_events=keep_events)
+
+    def summary(self, **meta) -> ObsSummary:
+        """Freeze the current state into an :class:`ObsSummary`."""
+        return ObsSummary(
+            meta=dict(meta),
+            ticks=self.clock.now(),
+            spans=list(self.tracer.finished),
+            aggregates=sorted(
+                self.tracer.aggregates.values(), key=lambda a: a.name
+            ),
+            dropped_spans=self.tracer.dropped_spans,
+            events=list(self.tracer.events),
+            counters=self.metrics.counter_values(),
+            histograms=self.metrics.histogram_records(),
+        )
+
+
+__all__ = [
+    "Obs",
+    "ObsEvent",
+    "ObsSummary",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanAggregate",
+    "SpanRecord",
+    "TickClock",
+    "WallClock",
+    "TraceRecorder",
+    "Tracer",
+    "read_trace",
+    "render_obs_summary",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,122 @@
+"""Rendering the per-stage timing / attribution report.
+
+One renderer serves both surfaces: the ``OBSERVABILITY`` section of the
+live study report (from the in-memory :class:`ObsSummary` embedded in
+``StudyResult``) and ``repro obs <trace>`` (from a summary re-read off
+disk). Durations are deterministic ticks — instrumented work units —
+not wall seconds; their *shares* are what a perf PR compares.
+"""
+
+from __future__ import annotations
+
+from repro.obs.recorder import ObsSummary
+
+# Span names that form the report's stage rows, in pipeline order.
+_STAGE_NAMES = ("build-web", "crawl", "site", "page", "analyze", "lint")
+
+
+def _fmt(rows: list[list[str]], header: list[str]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render_stages(summary: ObsSummary) -> str:
+    total = max(summary.ticks, 1)
+    by_name = {a.name: a for a in summary.aggregates}
+    names = [n for n in _STAGE_NAMES if n in by_name]
+    names += sorted(set(by_name) - set(names) - {"study"})
+    body = []
+    for name in names:
+        aggregate = by_name[name]
+        body.append([
+            name,
+            str(aggregate.count),
+            f"{aggregate.total_ticks:,}",
+            f"{100.0 * aggregate.total_ticks / total:.1f}",
+        ])
+    return _fmt(body, ["Stage", "Spans", "Ticks", "% of run"])
+
+
+def _render_crawls(summary: ObsSummary) -> str:
+    body = []
+    for span in summary.spans_named("crawl"):
+        attrs = span.attrs
+        body.append([
+            str(attrs.get("index", "?")),
+            str(attrs.get("chrome", "?")),
+            str(attrs.get("sites", 0)),
+            str(attrs.get("pages", 0)),
+            str(attrs.get("sockets", 0)),
+            str(attrs.get("events", 0)),
+            f"{span.duration:,}",
+        ])
+    if not body:
+        return ""
+    return _fmt(body, ["Crawl", "Chrome", "Sites", "Pages", "Sockets",
+                       "CDP events", "Ticks"])
+
+
+def _render_counters(summary: ObsSummary) -> str:
+    groups = (
+        ("cdp", "CDP event bus"),
+        ("filters", "Filter engine"),
+        ("webrequest", "webRequest dispatch"),
+        ("crawler", "Crawler"),
+        ("analysis", "Analysis"),
+    )
+    sections = []
+    for prefix, title in groups:
+        counts = summary.counters_with_prefix(prefix)
+        if not counts:
+            continue
+        body = [[name, f"{value:,}"] for name, value in sorted(counts.items())]
+        sections.append(f"{title}:\n" + _fmt(body, ["Metric", "Count"]))
+    return "\n\n".join(sections)
+
+
+def _render_histograms(summary: ObsSummary) -> str:
+    if not summary.histograms:
+        return ""
+    body = []
+    for name, record in sorted(summary.histograms.items()):
+        count = record.get("count", 0)
+        total = record.get("sum", 0.0)
+        mean = total / count if count else 0.0
+        body.append([
+            name, f"{count:,}", f"{mean:.2f}",
+            str(record.get("min")), str(record.get("max")),
+        ])
+    return _fmt(body, ["Histogram", "Observations", "Mean", "Min", "Max"])
+
+
+def render_obs_summary(summary: ObsSummary) -> str:
+    """The full observability report as fixed-width text."""
+    meta = summary.meta
+    header_bits = [f"{k}={meta[k]}" for k in sorted(meta) if k != "version"]
+    dropped = (f"; {summary.dropped_spans:,} span(s) beyond retention budget"
+               if summary.dropped_spans else "")
+    sections = [
+        f"run: {' '.join(header_bits) or '(no metadata)'} — "
+        f"{summary.ticks:,} ticks, {len(summary.spans):,} spans retained, "
+        f"{len(summary.events):,} obs events{dropped}",
+        "PER-STAGE TIMING\n" + _render_stages(summary),
+    ]
+    crawls = _render_crawls(summary)
+    if crawls:
+        sections.append("PER-CRAWL ATTRIBUTION\n" + crawls)
+    counters = _render_counters(summary)
+    if counters:
+        sections.append("COUNTERS\n" + counters)
+    histograms = _render_histograms(summary)
+    if histograms:
+        sections.append("HISTOGRAMS\n" + histograms)
+    return "\n\n".join(sections)

@@ -1,0 +1,197 @@
+"""Nested spans and the structured event log.
+
+The tracer models the study's execution as a tree of spans —
+study → crawl → site → page — timed in deterministic ticks
+(:mod:`repro.util.obsclock`), plus a flat log of structured events
+(crawl progress, stage milestones) that sinks can stream to a terminal
+while the study runs.
+
+Span records are retained up to ``max_spans`` (page-level spans of a
+default-scale study number in the hundreds of thousands); beyond the
+budget only the per-name aggregates keep growing, and the drop count is
+reported. Aggregates are always complete, so the per-stage timing
+report never lies about totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.util.obsclock import TickClock
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        span_id: Depth-first creation index (1-based; 0 = no parent).
+        parent_id: Enclosing span's id, 0 for the root.
+        name: Span name (``study``, ``crawl``, ``site``, ``page``,
+            ``analyze``, …).
+        start / end: Tick timestamps (``end`` >= ``start``).
+        depth: Nesting depth (root = 0).
+        attrs: Structured attributes (crawl index, domain, stage, …).
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    start: int
+    end: int = 0
+    depth: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        """Span duration in ticks."""
+        return self.end - self.start
+
+
+@dataclass
+class ObsEvent:
+    """One structured log entry.
+
+    Attributes:
+        tick: When it happened.
+        name: Event name (``crawl.progress``, ``stage``, …).
+        span_id: The span open when the event fired (0 = none).
+        attrs: Structured payload.
+    """
+
+    tick: int
+    name: str
+    span_id: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SpanAggregate:
+    """Totals for all spans sharing a name (never truncated)."""
+
+    name: str
+    count: int = 0
+    total_ticks: int = 0
+
+
+EventSink = Callable[[ObsEvent], None]
+
+
+class _ActiveSpan:
+    """Context manager handle for an open span."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self.record = record
+
+    def set(self, **attrs: Any) -> "_ActiveSpan":
+        """Attach attributes to the open span."""
+        self.record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._finish(self.record)
+
+
+class Tracer:
+    """Produces nested :class:`SpanRecord` trees and obs events."""
+
+    def __init__(
+        self, clock: TickClock | None = None, max_spans: int = 100_000
+    ) -> None:
+        self.clock = clock or TickClock()
+        self.max_spans = max_spans
+        self.finished: list[SpanRecord] = []
+        self.events: list[ObsEvent] = []
+        self.aggregates: dict[str, SpanAggregate] = {}
+        self.dropped_spans = 0
+        self._stack: list[SpanRecord] = []
+        self._next_id = 1
+        self._sinks: list[EventSink] = []
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else 0,
+            name=name,
+            start=self.clock.tick(),
+            depth=len(self._stack),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        return _ActiveSpan(self, record)
+
+    def _finish(self, record: SpanRecord) -> None:
+        record.end = self.clock.tick()
+        # Close any children left open by an exception unwinding past them.
+        while self._stack and self._stack[-1] is not record:
+            dangling = self._stack.pop()
+            if dangling.end == 0:
+                dangling.end = record.end
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        aggregate = self.aggregates.get(record.name)
+        if aggregate is None:
+            aggregate = self.aggregates[record.name] = SpanAggregate(record.name)
+        aggregate.count += 1
+        aggregate.total_ticks += record.duration
+        if len(self.finished) < self.max_spans:
+            self.finished.append(record)
+        else:
+            self.dropped_spans += 1
+
+    @property
+    def current_span_id(self) -> int:
+        """Id of the innermost open span (0 when none)."""
+        return self._stack[-1].span_id if self._stack else 0
+
+    # -- events --------------------------------------------------------------
+
+    def add_sink(self, sink: EventSink) -> Callable[[], None]:
+        """Stream every subsequent event to ``sink``; returns a remover."""
+        self._sinks.append(sink)
+
+        def remove() -> None:
+            try:
+                self._sinks.remove(sink)
+            except ValueError:
+                pass
+
+        return remove
+
+    def event(self, name: str, **attrs: Any) -> ObsEvent:
+        """Append one structured event to the log."""
+        entry = ObsEvent(
+            tick=self.clock.tick(),
+            name=name,
+            span_id=self.current_span_id,
+            attrs=attrs,
+        )
+        self.events.append(entry)
+        for sink in self._sinks:
+            sink(entry)
+        return entry
+
+    # -- introspection -------------------------------------------------------
+
+    def spans_named(self, name: str) -> Iterator[SpanRecord]:
+        """Retained finished spans with the given name."""
+        return (span for span in self.finished if span.name == name)
+
+    def sorted_aggregates(self) -> list[SpanAggregate]:
+        """Aggregates sorted by total ticks, largest first."""
+        return sorted(
+            self.aggregates.values(),
+            key=lambda a: (-a.total_ticks, a.name),
+        )

@@ -1,12 +1,17 @@
 """AST lint enforcing the repro's determinism (calibration) contract.
 
 DESIGN.md §5 promises bit-reproducible studies: every random draw comes
-from the seeded, stream-keyed RNG (`repro.util.rng`) and every
-timestamp from the simulated clock (`repro.util.simtime`). This linter
-makes the promise checkable in CI, with three rules:
+from the seeded, stream-keyed RNG (`repro.util.rng`), every timestamp
+from the simulated clock (`repro.util.simtime`), and every telemetry
+tick from the obs clock (`repro.util.obsclock`). This linter makes the
+promise checkable in CI, with four rules:
 
-* ``DET-WALLCLOCK`` — reading the host's clock (``time.time()``,
-  ``datetime.now()``, ``date.today()``, monotonic counters, …);
+* ``DET-WALLCLOCK`` — reading the host's wall clock (``time.time()``,
+  ``datetime.now()``, ``date.today()``, ``time.localtime()``, …);
+* ``DET-OBS`` — reading the host's monotonic/performance counters
+  (``time.perf_counter``, ``time.monotonic`` and their ``_ns``
+  variants): span timings must come from the deterministic obs clock,
+  or trace files stop being byte-reproducible;
 * ``DET-RANDOM`` — unseeded entropy: importing ``random`` or
   ``secrets``, ``uuid.uuid4()``, ``os.urandom()``;
 * ``DET-ORDER`` — hash-order-dependent iteration: looping over a set
@@ -15,8 +20,10 @@ makes the promise checkable in CI, with three rules:
   ``os.listdir()``, or calling builtin ``hash()``.
 
 Files under ``repro/util/`` are the sanctioned wrappers and are exempt
-from the first two rules. A finding on a line containing the pragma
-``det: allow`` is suppressed.
+from DET-RANDOM; ``repro/util/obsclock.py`` — the one sanctioned home
+of the performance counter — is additionally exempt from DET-OBS.
+DET-WALLCLOCK and DET-ORDER are never exempted. A finding on a line
+containing the pragma ``det: allow`` is suppressed.
 """
 
 from __future__ import annotations
@@ -28,10 +35,13 @@ from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
 
 _PRAGMA = "det: allow"
 
-# Attribute calls on the `time` module that read the host clock.
+# Attribute calls on the `time` module that read the host wall clock.
 _TIME_ATTRS = frozenset({
-    "time", "time_ns", "monotonic", "monotonic_ns",
-    "perf_counter", "perf_counter_ns", "localtime", "gmtime", "ctime",
+    "time", "time_ns", "localtime", "gmtime", "ctime",
+})
+# Monotonic / performance counters: DET-OBS territory.
+_PERF_ATTRS = frozenset({
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
 })
 # Constructor-style wall-clock reads on datetime / date classes.
 _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
@@ -63,9 +73,15 @@ class _Findings:
 class _DeterminismVisitor(ast.NodeVisitor):
     """One file's worth of determinism checking."""
 
-    def __init__(self, findings: _Findings, exempt_entropy: bool) -> None:
+    def __init__(
+        self,
+        findings: _Findings,
+        exempt_entropy: bool,
+        exempt_perf: bool = False,
+    ) -> None:
         self.findings = findings
         self.exempt_entropy = exempt_entropy
+        self.exempt_perf = exempt_perf
         # Names bound to interesting modules/classes by imports.
         self.time_modules: set[str] = set()
         self.datetime_modules: set[str] = set()
@@ -73,8 +89,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.date_classes: set[str] = set()
         self.uuid_modules: set[str] = set()
         self.os_modules: set[str] = set()
-        # Direct from-imports of wall-clock functions: name -> original.
-        self.direct_clock: dict[str, str] = {}
+        # Direct from-imports of clock functions: name -> (original, rule).
+        self.direct_clock: dict[str, tuple[str, str]] = {}
 
     # -- imports -----------------------------------------------------------
 
@@ -108,7 +124,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 elif alias.name == "date":
                     self.date_classes.add(bound)
             elif module == "time" and alias.name in _TIME_ATTRS:
-                self.direct_clock[bound] = f"time.{alias.name}"
+                self.direct_clock[bound] = (f"time.{alias.name}",
+                                            "DET-WALLCLOCK")
+            elif module == "time" and alias.name in _PERF_ATTRS:
+                if not self.exempt_perf:
+                    self.direct_clock[bound] = (f"time.{alias.name}",
+                                                "DET-OBS")
             elif module in ("random", "secrets") and not self.exempt_entropy:
                 self.findings.add(
                     node, "DET-RANDOM",
@@ -130,10 +151,13 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     def _check_name_call(self, node: ast.Call, name: str) -> None:
         if name in self.direct_clock:
+            original, rule = self.direct_clock[name]
             self.findings.add(
-                node, "DET-WALLCLOCK",
-                f"{self.direct_clock[name]}() reads the host clock",
-                "use SimClock (repro.util.simtime)",
+                node, rule,
+                f"{original}() reads the host clock",
+                "use SimClock (repro.util.simtime)"
+                if rule == "DET-WALLCLOCK"
+                else "use the obs clock (repro.util.obsclock)",
             )
         elif name == "hash":
             self.findings.add(
@@ -161,6 +185,15 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 f"time.{attr}() reads the host clock",
                 "use SimClock (repro.util.simtime)",
             )
+            return
+        if base_name in self.time_modules and attr in _PERF_ATTRS:
+            if not self.exempt_perf:
+                self.findings.add(
+                    node, "DET-OBS",
+                    f"time.{attr}() reads the host's monotonic counter; "
+                    f"span timings must be deterministic",
+                    "use the obs clock (repro.util.obsclock)",
+                )
             return
         if attr in _DATETIME_ATTRS:
             if base_name in self.datetime_classes or base_name in self.date_classes:
@@ -237,7 +270,10 @@ def _is_set_expression(node: ast.expr) -> bool:
 
 
 def lint_source_text(
-    path: str, source: str, exempt_entropy: bool = False
+    path: str,
+    source: str,
+    exempt_entropy: bool = False,
+    exempt_perf: bool = False,
 ) -> LintReport:
     """Lint one file's source text.
 
@@ -245,7 +281,9 @@ def lint_source_text(
         path: Display path for diagnostics.
         source: The file contents.
         exempt_entropy: Suppress DET-RANDOM findings (for the
-            sanctioned ``repro.util`` wrappers). DET-WALLCLOCK and
+            sanctioned ``repro.util`` wrappers).
+        exempt_perf: Suppress DET-OBS findings (for the sanctioned
+            obs clock, ``repro.util.obsclock``). DET-WALLCLOCK and
             DET-ORDER are never exempted.
     """
     report = LintReport()
@@ -260,7 +298,7 @@ def lint_source_text(
         ))
         return report
     findings = _Findings(path, source.splitlines())
-    _DeterminismVisitor(findings, exempt_entropy).visit(tree)
+    _DeterminismVisitor(findings, exempt_entropy, exempt_perf).visit(tree)
     report.extend(findings.diagnostics)
     return report
 
@@ -269,8 +307,13 @@ def _is_util_path(path: Path) -> bool:
     return "util" in path.parts
 
 
+def _is_obs_clock(path: Path) -> bool:
+    return _is_util_path(path) and path.name == "obsclock.py"
+
+
 def lint_paths(paths: list[Path], root: Path | None = None) -> LintReport:
-    """Lint a list of Python files, exempting ``repro/util`` entropy."""
+    """Lint Python files, exempting the sanctioned ``repro/util``
+    wrappers (entropy) and the obs clock (performance counters)."""
     report = LintReport()
     for path in sorted(paths):
         display = str(path.relative_to(root)) if root else str(path)
@@ -278,6 +321,7 @@ def lint_paths(paths: list[Path], root: Path | None = None) -> LintReport:
             display,
             path.read_text(encoding="utf-8"),
             exempt_entropy=_is_util_path(path),
+            exempt_perf=_is_obs_clock(path),
         ))
     return report
 

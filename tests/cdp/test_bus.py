@@ -55,3 +55,59 @@ def test_counters():
     bus.publish(_script())
     bus.publish(_script())
     assert bus.published_count == 2
+
+
+def test_published_by_method():
+    bus = EventBus()
+    bus.publish(_script())
+    bus.publish(_script())
+    bus.publish(WebSocketClosed(timestamp=0.0, request_id="r"))
+    assert bus.published_by_method == {
+        "Debugger.scriptParsed": 2,
+        "Network.webSocketClosed": 1,
+    }
+    # The property hands out a copy, not the live dict.
+    bus.published_by_method["Debugger.scriptParsed"] = 99
+    assert bus.published_by_method["Debugger.scriptParsed"] == 2
+
+
+def test_delivered_count_respects_filters():
+    bus = EventBus()
+    bus.subscribe(lambda e: None)  # sees everything
+    bus.subscribe(lambda e: None, event_types=[WebSocketClosed])
+    bus.publish(_script())
+    bus.publish(WebSocketClosed(timestamp=0.0, request_id="r"))
+    assert bus.published_count == 2
+    assert bus.delivered_count == 3  # 1 + 2
+
+
+def test_subscribe_during_publish_takes_effect_next_publish():
+    bus = EventBus()
+    late = []
+
+    def handler(event):
+        if not late:
+            bus.subscribe(late.append)
+
+    bus.subscribe(handler)
+    bus.publish(_script(1))
+    # The snapshot in flight predates the subscription...
+    assert late == []
+    bus.publish(_script(2))
+    # ...but the next publish rebuilds it.
+    assert len(late) == 1
+
+
+def test_unsubscribe_during_publish_is_safe():
+    bus = EventBus()
+    seen = []
+    removers = []
+
+    def self_removing(event):
+        seen.append(event)
+        removers[0]()
+
+    removers.append(bus.subscribe(self_removing))
+    bus.publish(_script(1))
+    bus.publish(_script(2))
+    assert len(seen) == 1

@@ -113,3 +113,23 @@ class TestDispatch:
         api.add_on_before_request(_block_all)
         api.add_on_before_request(_block_all)
         assert api.listener_count == 2
+
+
+class TestTelemetry:
+    def test_cancelled_counter(self):
+        api = WebRequestApi(58)
+        api.add_on_before_request(_block_all)
+        api.dispatch_on_before_request(_http_request())
+        api.dispatch_on_before_request(_ws_request())
+        counts = api.as_counts()
+        assert counts["dispatched"] == 2
+        assert counts["cancelled"] == 2
+        assert counts["suppressed_wrb"] == 0
+
+    def test_wrb_suppression_counted(self):
+        api = WebRequestApi(57)  # pre-patch: sockets bypass webRequest
+        api.add_on_before_request(_block_all)
+        assert api.dispatch_on_before_request(_ws_request()) is True
+        counts = api.as_counts()
+        assert counts == {"dispatched": 0, "suppressed_wrb": 1,
+                          "cancelled": 0}

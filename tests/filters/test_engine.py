@@ -111,3 +111,43 @@ def test_index_equivalence_property(i):
         for rule in flist.block_rules
     )
     assert engine.would_block(url, ResourceType.SCRIPT, PAGE) == naive
+
+
+class TestEngineStats:
+    def test_match_accounting(self):
+        engine = _engine("||ads.example^", "@@||ads.example/ok/$script")
+        engine.would_block("https://ads.example/tag.js",
+                           ResourceType.SCRIPT, PAGE)
+        engine.would_block("https://ads.example/ok/tag.js",
+                           ResourceType.SCRIPT, PAGE)
+        engine.would_block("https://benign.example/app.js",
+                           ResourceType.SCRIPT, PAGE)
+        stats = engine.stats
+        assert stats.matches == 3
+        assert stats.blocked == 1
+        assert stats.exception_overrides == 1
+
+    def test_candidate_accounting_measures_index_selectivity(self):
+        lines = [f"||domain{i}.example^" for i in range(50)]
+        engine = _engine(*lines)
+        engine.would_block("https://domain7.example/x",
+                           ResourceType.SCRIPT, PAGE)
+        stats = engine.stats
+        # The token index should offer far fewer than all 50 rules.
+        assert 1 <= stats.token_candidates < 50
+        assert stats.token_buckets >= 1
+
+    def test_generic_bucket_charged_when_reached(self):
+        engine = _engine("/a1*b2^$image")
+        engine.would_block("https://x.example/a1zzb2/",
+                           ResourceType.IMAGE, PAGE)
+        assert engine.stats.generic_candidates >= 1
+
+    def test_as_counts_keys(self):
+        engine = _engine("||a.example^")
+        counts = engine.stats.as_counts()
+        assert set(counts) == {
+            "matches", "blocked", "exception_overrides", "token_buckets",
+            "token_candidates", "generic_candidates",
+        }
+        assert all(v == 0 for v in counts.values())

@@ -1,0 +1,12 @@
+"""Obs-test fixtures: one instrumented smoke study, shared."""
+
+import pytest
+
+from repro.experiments import SMOKE_CONFIG
+from repro.experiments.runner import run_study
+
+
+@pytest.fixture(scope="package")
+def smoke_result():
+    """A smoke-preset study run with the default obs context."""
+    return run_study(SMOKE_CONFIG)

@@ -1,0 +1,50 @@
+"""Tests for the deterministic observability clock."""
+
+import pytest
+
+from repro.util.obsclock import TickClock, WallClock
+
+
+class TestTickClock:
+    def test_starts_at_zero(self):
+        clock = TickClock()
+        assert clock.now() == 0
+        assert clock.deterministic
+
+    def test_tick_advances(self):
+        clock = TickClock()
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+        assert clock.now() == 6
+
+    def test_now_does_not_advance(self):
+        clock = TickClock()
+        clock.tick()
+        assert clock.now() == clock.now() == 1
+
+    def test_custom_start(self):
+        assert TickClock(start=10).now() == 10
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            TickClock(start=-1)
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            TickClock().tick(-1)
+
+
+class TestWallClock:
+    def test_monotone_nondecreasing(self):
+        clock = WallClock()
+        assert not clock.deterministic
+        a = clock.now()
+        b = clock.tick()
+        assert 0 <= a <= b
+
+    def test_tick_ignores_n(self):
+        clock = WallClock()
+        # tick(1000) must NOT jump forward a thousand units: real time
+        # advances itself.
+        clock.tick(10**15)
+        assert clock.now() < 10**15

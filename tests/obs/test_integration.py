@@ -1,0 +1,124 @@
+"""End-to-end obs coverage: a real study's audit trail.
+
+Runs one smoke-preset study (shared fixture) and checks that every
+instrumented subsystem actually reported — spans nested correctly,
+counters harvested, attribution attrs attached, report rendered.
+"""
+
+from repro.analysis.report import render_obs
+from repro.obs.report import render_obs_summary
+
+
+class TestStudySpans:
+    def test_study_span_is_root(self, smoke_result):
+        summary = smoke_result.obs
+        assert summary is not None
+        studies = summary.spans_named("study")
+        assert len(studies) == 1
+        study = studies[0]
+        assert study.parent_id == 0 and study.depth == 0
+        assert study.attrs == {"preset": "smoke", "seed": 2017}
+        assert study.duration > 0
+
+    def test_stage_spans_nest_under_study(self, smoke_result):
+        summary = smoke_result.obs
+        study_id = summary.spans_named("study")[0].span_id
+        assert [s.parent_id for s in summary.spans_named("build-web")] == \
+            [study_id]
+        crawls = summary.spans_named("crawl")
+        assert len(crawls) == 4
+        assert all(s.parent_id == study_id for s in crawls)
+        assert {s.attrs["chrome"] for s in crawls} == {57, 58}
+        analyze = summary.spans_named("analyze")
+        stages = {s.attrs["stage"] for s in analyze}
+        assert {"labeling", "classify", "table1", "overall"} <= stages
+
+    def test_crawl_attribution_attrs(self, smoke_result):
+        for span in smoke_result.obs.spans_named("crawl"):
+            assert span.attrs["sites"] > 0
+            assert span.attrs["pages"] > 0
+            assert span.attrs["sockets"] >= 0
+            assert span.attrs["events"] > 0
+
+    def test_site_and_page_spans_retained(self, smoke_result):
+        summary = smoke_result.obs
+        sites = summary.spans_named("site")
+        pages = summary.spans_named("page")
+        assert sites and pages
+        assert summary.dropped_spans == 0  # smoke fits the budget
+        site_ids = {s.span_id for s in sites}
+        assert all(p.parent_id in site_ids for p in pages)
+
+    def test_aggregates_cover_all_span_names(self, smoke_result):
+        summary = smoke_result.obs
+        names = {a.name for a in summary.aggregates}
+        assert {"study", "build-web", "crawl", "site", "page",
+                "analyze", "lint"} <= names
+        page_agg = next(a for a in summary.aggregates if a.name == "page")
+        assert page_agg.count == len(summary.spans_named("page"))
+
+
+class TestHarvestedMetrics:
+    def test_crawler_counters(self, smoke_result):
+        counters = smoke_result.obs.counters
+        assert counters["crawler.sites"] > 0
+        assert counters["crawler.pages"] > 0
+        assert counters["crawler.sockets"] > 0
+        assert counters["crawler.sockets"] >= \
+            counters["crawler.sockets_cross_origin"]
+
+    def test_cdp_counters(self, smoke_result):
+        summary = smoke_result.obs
+        publish = summary.counters_with_prefix("cdp.publish")
+        assert publish["Network.webSocketCreated"] == \
+            summary.counters["crawler.sockets"]
+        assert summary.counters["cdp.delivered"] > 0
+
+    def test_filter_and_webrequest_counters(self, smoke_result):
+        counters = smoke_result.obs.counters
+        assert counters["filters.matches"] > 0
+        assert counters["filters.token_candidates"] >= 0
+        assert counters["webrequest.dispatched"] > 0
+        # Chrome 57 crawls hit the WebSocket-blindspot: requests the
+        # blocker never saw.
+        assert counters["webrequest.suppressed_wrb"] > 0
+
+    def test_analysis_counters(self, smoke_result):
+        counters = smoke_result.obs.counters
+        assert counters["analysis.views"] == len(smoke_result.views)
+        assert counters["analysis.aa_sockets"] <= counters["analysis.views"]
+
+    def test_histograms(self, smoke_result):
+        histograms = smoke_result.obs.histograms
+        sockets = histograms["crawler.sockets_per_page"]
+        assert sockets["count"] == smoke_result.obs.counters["crawler.pages"]
+        assert "filters.candidates_per_match" in histograms
+
+
+class TestEventLog:
+    def test_stage_events(self, smoke_result):
+        stages = [e.attrs["stage"] for e in smoke_result.obs.events
+                  if e.name == "stage"]
+        assert stages == ["build-web", "crawls", "analyze"]
+
+    def test_progress_events_cover_each_crawl(self, smoke_result):
+        progress = [e for e in smoke_result.obs.events
+                    if e.name == "crawl.progress"]
+        assert {e.attrs["crawl"] for e in progress} == {0, 1, 2, 3}
+        finals = [e for e in progress
+                  if e.attrs["sites_done"] == e.attrs["sites_total"]]
+        assert len(finals) >= 4
+
+
+class TestRenderedReport:
+    def test_report_sections(self, smoke_result):
+        text = render_obs_summary(smoke_result.obs)
+        assert "PER-STAGE TIMING" in text
+        assert "PER-CRAWL ATTRIBUTION" in text
+        assert "COUNTERS" in text
+        assert "HISTOGRAMS" in text
+        assert "crawl" in text and "page" in text
+
+    def test_render_obs_delegates(self, smoke_result):
+        assert render_obs(smoke_result.obs) == \
+            render_obs_summary(smoke_result.obs)

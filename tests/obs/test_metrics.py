@@ -1,0 +1,86 @@
+"""Tests for counters, histograms, and the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.util.obsclock import TickClock
+
+
+class TestCounter:
+    def test_inc_and_add(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+    def test_ticks_clock(self):
+        clock = TickClock()
+        counter = Counter("c", clock)
+        counter.inc()
+        counter.add(100)  # one tick per call, not per unit
+        assert clock.now() == 2
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("h", bounds=(1, 10, 100))
+        for value in (0, 1, 5, 50, 500):
+            hist.observe(value)
+        # <=1: {0, 1}; <=10: {5}; <=100: {50}; overflow: {500}.
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.min == 0 and hist.max == 500
+
+    def test_mean(self):
+        hist = Histogram("h", bounds=(10,))
+        assert hist.mean == 0.0
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == 3.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 1))
+
+    def test_to_record_shape(self):
+        hist = Histogram("h", bounds=(1, 2))
+        hist.observe(1.5)
+        record = hist.to_record()
+        assert record == {
+            "bounds": [1, 2], "counts": [0, 1, 0], "count": 1,
+            "sum": 1.5, "min": 1.5, "max": 1.5,
+        }
+
+
+class TestRegistry:
+    def test_memoizes_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert len(registry) == 2
+
+    def test_record_counts_prefixes(self):
+        registry = MetricsRegistry()
+        registry.record_counts("cdp.publish", {"Network.webSocketCreated": 3})
+        registry.record_counts("cdp.publish", {"Network.webSocketCreated": 2})
+        values = registry.counter_values()
+        assert values == {"cdp.publish.Network.webSocketCreated": 5}
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        assert list(registry.counter_values()) == ["a.first", "z.last"]
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "histograms"}
+
+    def test_shared_clock_ticks(self):
+        clock = TickClock()
+        registry = MetricsRegistry(clock)
+        registry.counter("a").inc()
+        registry.histogram("h").observe(1)
+        assert clock.now() == 2

@@ -1,0 +1,100 @@
+"""Tests for nested spans and the structured event log."""
+
+import pytest
+
+from repro.obs.tracer import Tracer
+from repro.util.obsclock import TickClock
+
+
+class TestSpans:
+    def test_nesting_and_parentage(self):
+        tracer = Tracer()
+        with tracer.span("study") as study:
+            with tracer.span("crawl", index=0) as crawl:
+                with tracer.span("site", domain="a.example"):
+                    pass
+        site, inner, outer = tracer.finished
+        assert site.name == "site" and site.depth == 2
+        assert inner is crawl.record and outer is study.record
+        assert site.parent_id == crawl.record.span_id
+        assert crawl.record.parent_id == study.record.span_id
+        assert study.record.parent_id == 0
+
+    def test_durations_are_ticks(self):
+        clock = TickClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer"):
+            clock.tick(10)
+            with tracer.span("inner"):
+                clock.tick(3)
+        inner, outer = tracer.finished
+        assert inner.duration == 4  # 3 work ticks + its end boundary
+        assert outer.duration > inner.duration
+        assert outer.start < inner.start <= inner.end <= outer.end
+
+    def test_attrs_via_set(self):
+        tracer = Tracer()
+        with tracer.span("crawl", index=1) as span:
+            span.set(sites=10, sockets=3)
+        record = tracer.finished[0]
+        assert record.attrs == {"index": 1, "sites": 10, "sockets": 3}
+
+    def test_aggregates_accumulate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("page"):
+                pass
+        aggregate = tracer.aggregates["page"]
+        assert aggregate.count == 3
+        assert aggregate.total_ticks == sum(
+            s.duration for s in tracer.spans_named("page")
+        )
+
+    def test_exception_unwinds_cleanly(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current_span_id == 0
+        assert {s.name for s in tracer.finished} == {"outer", "inner"}
+        assert all(s.end >= s.start for s in tracer.finished)
+
+    def test_retention_budget_keeps_aggregates_complete(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("page"):
+                pass
+        assert len(tracer.finished) == 2
+        assert tracer.dropped_spans == 3
+        assert tracer.aggregates["page"].count == 5
+
+
+class TestEvents:
+    def test_event_carries_current_span(self):
+        tracer = Tracer()
+        with tracer.span("crawl") as span:
+            event = tracer.event("crawl.progress", sites_done=5)
+        assert event.span_id == span.record.span_id
+        assert event.attrs == {"sites_done": 5}
+        assert tracer.events == [event]
+
+    def test_sink_streams_and_remover_detaches(self):
+        tracer = Tracer()
+        seen = []
+        remove = tracer.add_sink(seen.append)
+        tracer.event("a")
+        remove()
+        tracer.event("b")
+        assert [e.name for e in seen] == ["a"]
+        remove()  # idempotent
+
+    def test_sorted_aggregates_largest_first(self):
+        clock = TickClock()
+        tracer = Tracer(clock)
+        with tracer.span("big"):
+            clock.tick(100)
+        with tracer.span("small"):
+            pass
+        names = [a.name for a in tracer.sorted_aggregates()]
+        assert names == ["big", "small"]

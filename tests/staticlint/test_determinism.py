@@ -5,9 +5,11 @@ import textwrap
 from repro.staticlint.determinism import lint_paths, lint_self, lint_source_text
 
 
-def _lint(source: str, exempt_entropy: bool = False):
+def _lint(source: str, exempt_entropy: bool = False,
+          exempt_perf: bool = False):
     return lint_source_text(
-        "mod.py", textwrap.dedent(source), exempt_entropy=exempt_entropy
+        "mod.py", textwrap.dedent(source), exempt_entropy=exempt_entropy,
+        exempt_perf=exempt_perf,
     )
 
 
@@ -22,11 +24,11 @@ class TestWallclock:
         assert report.diagnostics[0].source == "mod.py:2"
 
     def test_time_module_alias(self):
-        report = _lint("import time as t\nstamp = t.monotonic()\n")
+        report = _lint("import time as t\nstamp = t.localtime()\n")
         assert _rules(report) == ["DET-WALLCLOCK"]
 
     def test_direct_from_import(self):
-        report = _lint("from time import perf_counter\nx = perf_counter()\n")
+        report = _lint("from time import time_ns\nx = time_ns()\n")
         assert _rules(report) == ["DET-WALLCLOCK"]
 
     def test_datetime_now(self):
@@ -46,6 +48,42 @@ class TestWallclock:
 
     def test_unrelated_now_method_clean(self):
         report = _lint("d = cursor.now()\n")
+        assert not report
+
+
+class TestObsClock:
+    def test_perf_counter(self):
+        report = _lint("import time\nt0 = time.perf_counter()\n")
+        assert _rules(report) == ["DET-OBS"]
+        assert "obsclock" in report.diagnostics[0].fix_hint
+
+    def test_monotonic_via_alias(self):
+        report = _lint("import time as t\nstamp = t.monotonic()\n")
+        assert _rules(report) == ["DET-OBS"]
+
+    def test_direct_from_import(self):
+        report = _lint("from time import perf_counter\nx = perf_counter()\n")
+        assert _rules(report) == ["DET-OBS"]
+
+    def test_perf_counter_ns(self):
+        report = _lint("import time\nt0 = time.perf_counter_ns()\n")
+        assert _rules(report) == ["DET-OBS"]
+
+    def test_exempt_perf_for_obs_clock(self):
+        report = _lint(
+            "import time\nt0 = time.perf_counter_ns()\n", exempt_perf=True
+        )
+        assert not report
+
+    def test_exempt_perf_never_covers_wallclock(self):
+        report = _lint("import time\nx = time.time()\n", exempt_perf=True)
+        assert _rules(report) == ["DET-WALLCLOCK"]
+
+    def test_tick_clock_usage_clean(self):
+        report = _lint(
+            "from repro.util.obsclock import TickClock\n"
+            "clock = TickClock()\nt = clock.tick()\n"
+        )
         assert not report
 
 

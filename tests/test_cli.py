@@ -66,6 +66,53 @@ def test_lint_full_reports_blindspots(capsys):
     assert "static verdict matches dynamic dispatch" in out
 
 
+def test_study_smoke_writes_obs_artifacts(tmp_path, capsys):
+    trace = tmp_path / "study.trace.jsonl"
+    metrics = tmp_path / "study.metrics.json"
+    assert main(["--quiet", "study", "--preset", "smoke",
+                 "--trace", str(trace),
+                 "--metrics-out", str(metrics)]) == 0
+    captured = capsys.readouterr()
+    assert "OBSERVABILITY — per-stage timing & attribution" in captured.out
+    assert "PER-CRAWL ATTRIBUTION" in captured.out
+    assert f"trace written to {trace}" in captured.out
+    assert f"metrics written to {metrics}" in captured.out
+    # --quiet: no progress lines on stderr.
+    assert "sites ·" not in captured.err
+    assert trace.exists() and metrics.exists()
+
+    # The obs subcommand re-renders the exported trace.
+    assert main(["obs", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "PER-STAGE TIMING" in out
+    assert "preset=smoke" in out
+
+
+def test_study_progress_lines_on_stderr(capsys):
+    assert main(["-v", "study", "--preset", "smoke"]) == 0
+    err = capsys.readouterr().err
+    assert "[study] stage: build-web" in err
+    assert "[crawl 0 · Chrome 57]" in err
+    assert "sockets seen" in err
+
+
+def test_obs_missing_trace(tmp_path, capsys):
+    assert main(["obs", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_obs_rejects_non_trace_file(tmp_path, capsys):
+    path = tmp_path / "not-a-trace.jsonl"
+    path.write_text('{"kind": "counter", "name": "a", "value": 1}\n')
+    assert main(["obs", str(path)]) == 2
+    assert "no meta record" in capsys.readouterr().err
+
+
+def test_quiet_and_verbose_conflict():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["-q", "-v", "study"])
+
+
 def test_visit_writes_har(tmp_path, capsys):
     har_path = tmp_path / "visit.har"
     assert main(["visit", "acenterforrecovery.com", "--chrome", "57",
