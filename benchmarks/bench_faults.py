@@ -1,0 +1,99 @@
+"""Fault-injector benchmarks: the zero-fault path must stay free.
+
+The injector sits on the crawl's hottest paths (every page, socket,
+and frame asks it for a decision), so the ``none`` profile is designed
+to cost nothing: zero-probability decisions return before drawing, and
+no event gate is installed at all. The budget documented in DESIGN.md
+§9 is <2% crawl-throughput overhead versus a crawler with no injector;
+the assertion below uses a loose ceiling so noisy CI boxes don't
+flake, and the measured numbers land in
+``results/bench/BENCH_FAULTS.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.faults import FLAKY_PROFILE, NONE_PROFILE, FaultInjector
+from repro.faults.plan import FaultProfile
+
+BENCH_FAULTS_PATH = (Path(__file__).resolve().parent.parent
+                     / "results" / "bench" / "BENCH_FAULTS.json")
+_BUDGET_PCT = 2.0  # documented budget for the zero-fault path
+_CEILING = 0.15    # assertion ceiling, loose against host noise
+
+
+def _run_crawl(web, sites, injector):
+    config = CrawlConfig(index=0, label="bench", chrome_major=57,
+                         start_date="2017-04-02", pages_per_site=5,
+                         seed=2017)
+    crawler = Crawler(web, config, faults=injector)
+    return crawler.run(sites)
+
+
+def _injectors():
+    return {
+        "bare": lambda: None,
+        "none": lambda: FaultInjector(NONE_PROFILE, 2017, 0),
+        "flaky": lambda: FaultInjector(FLAKY_PROFILE, 2017, 0),
+    }
+
+
+def test_zero_fault_overhead(bench_web):
+    """none-profile injector vs no injector on the same crawl."""
+    sites = bench_web.seed_list.sites[:100]
+    factories = _injectors()
+    for factory in factories.values():  # touch every lazy path first
+        _run_crawl(bench_web, sites, factory())
+    # Interleave variants (best of 5 each) so host drift hits all
+    # equally.
+    timings = dict.fromkeys(factories, float("inf"))
+    for _ in range(5):
+        for label, factory in factories.items():
+            t0 = time.perf_counter()
+            _run_crawl(bench_web, sites, factory())
+            timings[label] = min(timings[label],
+                                 time.perf_counter() - t0)
+    overhead = timings["none"] / timings["bare"] - 1.0
+    flaky_overhead = timings["flaky"] / timings["bare"] - 1.0
+    print(f"\ncrawl bare: {timings['bare']:.3f}s, "
+          f"none profile: {timings['none']:.3f}s "
+          f"({overhead * 100.0:+.1f}%), "
+          f"flaky profile: {timings['flaky']:.3f}s "
+          f"({flaky_overhead * 100.0:+.1f}%)")
+    _write_bench_faults(timings, overhead, flaky_overhead)
+    assert overhead < _CEILING
+
+
+def test_event_gate_decision_throughput(benchmark):
+    """The per-event gate draw — the injector's hottest call."""
+    from repro.cdp.events import ScriptParsed
+
+    profile = FaultProfile(name="gate-bench", drop_event=0.002,
+                           reorder_event=0.005)
+    injector = FaultInjector(profile, 2017, 0)
+    event = ScriptParsed(timestamp=0.0, script_id="s", url="u")
+    benchmark(lambda: injector.event_action(event))
+
+
+def test_keyed_decision_throughput(benchmark):
+    """A keyed page-failure draw (SHA-256 child stream per call)."""
+    injector = FaultInjector(FLAKY_PROFILE, 2017, 0)
+    benchmark(lambda: injector.page_fails("https://site.com/", 0, 1))
+
+
+def _write_bench_faults(timings, overhead, flaky_overhead) -> None:
+    BENCH_FAULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "budget_pct": _BUDGET_PCT,
+        "bare_seconds": round(timings["bare"], 4),
+        "none_profile_seconds": round(timings["none"], 4),
+        "flaky_profile_seconds": round(timings["flaky"], 4),
+        "zero_fault_overhead_pct": round(overhead * 100.0, 2),
+        "flaky_overhead_pct": round(flaky_overhead * 100.0, 2),
+    }
+    BENCH_FAULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -38,6 +38,7 @@ from repro.cdp.events import (
 )
 from repro.extension.webrequest import WebRequestApi
 from repro.extension.workaround import WebSocketWrapperWorkaround
+from repro.faults.injector import FaultGate, FaultInjector, PageLoadTimeout
 from repro.net.cookies import CookieJar
 from repro.net.http import HttpRequest, ResourceType
 from repro.net.useragent import DeviceProfile, default_profile
@@ -75,6 +76,8 @@ class VisitResult:
         sockets_opened: WebSocket connections established.
         sockets_blocked: WebSocket handshakes cancelled by the
             extension (possible only without the WRB).
+        sockets_refused: WebSocket upgrades refused by the server
+            (injected fault: 403 instead of 101).
         frames_sent: Data frames sent across all sockets.
         frames_received: Data frames received across all sockets.
     """
@@ -84,6 +87,7 @@ class VisitResult:
     blocked_requests: int = 0
     sockets_opened: int = 0
     sockets_blocked: int = 0
+    sockets_refused: int = 0
     frames_sent: int = 0
     frames_received: int = 0
 
@@ -107,16 +111,23 @@ class Browser:
         jar: The cookie jar (reset per site by the crawler, like a
             stateless measurement profile).
         webrequest: The extension attachment point.
+        faults: Optional fault injector; when set, sockets may be
+            refused, closed mid-stream, or truncated, and page loads
+            may stall (tripping the caller's sim-clock deadline). The
+            ``bus`` may also be a
+            :class:`~repro.faults.injector.FaultGate` wrapping the real
+            bus — the browser only ever calls ``publish``.
     """
 
     def __init__(
         self,
         version: int = 58,
-        bus: EventBus | None = None,
+        bus: EventBus | FaultGate | None = None,
         clock: SimClock | None = None,
         device: DeviceProfile | None = None,
         profile_id: str = "crawler",
         seed: int = 2017,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.version = version
         self.bus = bus or EventBus()
@@ -125,6 +136,7 @@ class Browser:
         self.jar = CookieJar(profile_id=profile_id)
         self.webrequest = WebRequestApi(version)
         self.ws_workaround: WebSocketWrapperWorkaround | None = None
+        self.faults = faults
         self.seed = seed
         self._main_frame_id = ""
         self._serialized_dom = ""
@@ -138,8 +150,27 @@ class Browser:
         """Clear client state, as if launching a fresh browser profile."""
         self.jar = CookieJar(profile_id=profile_id)
 
-    def visit(self, page: PageBlueprint, crawl: int = 0) -> VisitResult:
-        """Load a page: emit the full event stream for the visit."""
+    def visit(
+        self,
+        page: PageBlueprint,
+        crawl: int = 0,
+        attempt: int = 0,
+        deadline: float | None = None,
+    ) -> VisitResult:
+        """Load a page: emit the full event stream for the visit.
+
+        Args:
+            page: The blueprint to load.
+            crawl: Crawl index (keys the visit's RNG stream).
+            attempt: Retry attempt index — keys injected stalls, so a
+                retried load can succeed where the first one hung.
+            deadline: Optional sim-clock POSIX timestamp; when the
+                clock passes it mid-load, the visit aborts with
+                :class:`~repro.faults.injector.PageLoadTimeout`,
+                leaving the prefix of events already emitted on the
+                bus (a partial observation, as a real timed-out page
+                leaves behind).
+        """
         result = VisitResult(page_url=page.url)
         rng = RngStream(self.seed, "visit", page.url, crawl, self.version)
         main_frame = _FrameContext(
@@ -149,7 +180,17 @@ class Browser:
         self._serialized_dom = ""
         self._emit_document(page.url, main_frame, parent_frame_id="")
         result.requests += 1
-        for node in page.resources:
+        faults = self.faults
+        for node_index, node in enumerate(page.resources):
+            if faults is not None:
+                stall = faults.stall_seconds(
+                    page.url, crawl, attempt, node_index
+                )
+                if stall > 0.0:
+                    faults.count("page_stall")
+                    self.clock.advance(stall)
+            if deadline is not None and self.clock.timestamp() >= deadline:
+                raise PageLoadTimeout(page.url, "page load deadline elapsed")
             self._process_node(
                 node,
                 page,
@@ -445,6 +486,23 @@ class Browser:
             headers=headers,
             wall_time=self.clock.timestamp(),
         ))
+        if self.faults is not None and self.faults.refuse_handshake(
+            ws_url, request_id
+        ):
+            # The server rejects the upgrade: the lifecycle completes
+            # (403 + close) but no data frames ever flow.
+            self.faults.count("handshake_refused")
+            self.bus.publish(WebSocketHandshakeResponseReceived(
+                timestamp=self.clock.timestamp(),
+                request_id=request_id,
+                status=403,
+                headers={},
+            ))
+            self.bus.publish(WebSocketClosed(
+                timestamp=self.clock.timestamp(), request_id=request_id
+            ))
+            result.sockets_refused += 1
+            return
         self.bus.publish(WebSocketHandshakeResponseReceived(
             timestamp=self.clock.timestamp(),
             request_id=request_id,
@@ -489,7 +547,19 @@ class Browser:
             timestamp=self.clock.timestamp(),
             rng=rng.child("payload"),
         )
-        for frame_plan in render_profile(plan.profile, ctx):
+        faults = self.faults
+        frame_limit = (
+            faults.frame_limit(ws_url, request_id)
+            if faults is not None else None
+        )
+        for frame_index, frame_plan in enumerate(
+            render_profile(plan.profile, ctx)
+        ):
+            if frame_limit is not None and frame_index >= frame_limit:
+                # Mid-stream close: the connection dies early; the
+                # remaining planned frames are never observed.
+                faults.count("midstream_close")
+                break
             event_type = (
                 WebSocketFrameSent
                 if frame_plan.direction == FrameDirection.SENT
@@ -499,11 +569,17 @@ class Browser:
                 result.frames_sent += 1
             else:
                 result.frames_received += 1
+            payload = frame_plan.payload
+            if faults is not None and faults.truncate_frame(
+                request_id, frame_index
+            ):
+                faults.count("frame_truncated")
+                payload = payload[: max(1, len(payload) // 3)]
             self.bus.publish(event_type(
                 timestamp=self.clock.timestamp(),
                 request_id=request_id,
                 opcode=int(frame_plan.opcode),
-                payload_data=frame_plan.payload,
+                payload_data=payload,
                 masked=frame_plan.direction == FrameDirection.SENT,
             ))
             self.clock.advance(0.05)

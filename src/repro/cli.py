@@ -3,7 +3,9 @@
 Commands:
 
 * ``study``   — run the four-crawl study and print every artifact
-  (``--trace``/``--metrics-out`` export the observability artifacts).
+  (``--trace``/``--metrics-out`` export the observability artifacts;
+  ``--faults`` injects a named fault profile; ``--checkpoint``
+  journals per-site completion for resume).
 * ``obs``     — summarize a trace JSONL written by ``study --trace``.
 * ``visit``   — load one site in the simulated browser and print its
   inclusion tree and WebSocket traffic.
@@ -15,8 +17,9 @@ Commands:
 
 Global flags: ``--quiet`` suppresses progress lines on stderr;
 ``--verbose`` adds stage-transition lines. Exit codes: 0 success, 1
-contract violation (``lint``), 2 bad invocation or unreadable input
-(see README.md).
+contract violation (``lint``), 2 bad invocation or unreadable input,
+3 catastrophic degradation — a crawl exhausted its retries on every
+page and produced no data (see README.md).
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro.experiments import (
     run_study,
 )
 from repro.extension.adblocker import AdBlockerExtension
+from repro.faults import PROFILES
 from repro.inclusion import InclusionTreeBuilder
 from repro.net.http import ResourceType
 from repro.obs import Obs, read_trace, render_obs_summary, write_metrics, write_trace
@@ -70,12 +74,42 @@ def _progress_sink(verbose: bool):
     return sink
 
 
+def _study_exit_code(summaries) -> int:
+    """0 normally; 3 when some crawl's retries exhausted on every page."""
+    for summary in summaries:
+        if summary.sites_visited and summary.pages_visited == 0:
+            return 3
+    return 0
+
+
+def _render_degradation(summaries) -> str:
+    """Per-crawl fault-tolerance counters (only degraded crawls)."""
+    lines = []
+    for summary in summaries:
+        taxonomy = ", ".join(
+            f"{kind}={count}" for kind, count in summary.errors.items()
+        )
+        lines.append(
+            f"crawl {summary.config.index}: "
+            f"{summary.pages_visited} pages ok, "
+            f"{summary.pages_failed} failed, "
+            f"{summary.page_retries} retries, "
+            f"{summary.sites_quarantined} sites quarantined, "
+            f"{summary.sockets_partial} partial sockets"
+            + (f"  [{taxonomy}]" if taxonomy else "")
+        )
+    return "\n".join(lines)
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     config = _PRESETS[args.preset]
+    if args.faults != config.faults:
+        config = config.with_faults(args.faults)
     obs = Obs()
     if not args.quiet:
         obs.tracer.add_sink(_progress_sink(args.verbose))
-    result = run_study(config, obs=obs)
+    result = run_study(config, obs=obs,
+                       checkpoint_path=args.checkpoint or None)
     print(report_mod.render_table1(result.table1), "\n")
     print("TABLE 2 — top initiators")
     print(report_mod.render_table2(result.table2), "\n")
@@ -92,6 +126,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if result.lint is not None:
         print("\nSTATIC LINT — filter lists & webRequest patterns")
         print(report_mod.render_lint(result.lint))
+    if any(s.errors or s.pages_failed or s.sites_quarantined
+           for s in result.summaries):
+        print("\nDEGRADATION — fault tolerance "
+              f"(profile: {config.faults})")
+        print(_render_degradation(result.summaries))
     if result.obs is not None:
         print("\nOBSERVABILITY — per-stage timing & attribution")
         print(report_mod.render_obs(result.obs))
@@ -101,7 +140,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if args.metrics_out:
             write_metrics(args.metrics_out, result.obs)
             print(f"metrics written to {args.metrics_out}")
-    return 0
+    return _study_exit_code(result.summaries)
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -225,6 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(spans, events, metrics) as JSONL")
     study.add_argument("--metrics-out", default="", dest="metrics_out",
                        help="write the final metrics snapshot as JSON")
+    study.add_argument("--faults", choices=sorted(PROFILES), default="none",
+                       help="inject a named fault profile into the crawls")
+    study.add_argument("--checkpoint", default="",
+                       help="JSONL journal of per-site completion; rerun "
+                            "with the same path to resume an interrupted "
+                            "study")
     study.set_defaults(func=_cmd_study)
 
     obs = sub.add_parser("obs", help="summarize a study trace file")

@@ -8,8 +8,14 @@ seconds between page visits. Every page visit yields a
 the :class:`~repro.crawler.dataset.StudyDataset`.
 """
 
-from repro.crawler.crawler import CrawlConfig, Crawler, CrawlRunSummary
+from repro.crawler.crawler import (
+    CrawlConfig,
+    Crawler,
+    CrawlRunSummary,
+    RetryPolicy,
+)
 from repro.crawler.dataset import SocketRecord, StudyDataset
+from repro.crawler.errors import CrawlErrorKind, ErrorTally
 from repro.crawler.observation import (
     PageObservation,
     ResourceObservation,
@@ -20,7 +26,10 @@ from repro.crawler.observation import (
 __all__ = [
     "Crawler",
     "CrawlConfig",
+    "CrawlErrorKind",
     "CrawlRunSummary",
+    "ErrorTally",
+    "RetryPolicy",
     "StudyDataset",
     "SocketRecord",
     "PageObservation",

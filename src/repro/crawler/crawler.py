@@ -1,21 +1,40 @@
-"""The crawl driver: one crawl = one browser version over the seed list."""
+"""The crawl driver: one crawl = one browser version over the seed list.
+
+Robustness model (PR 3): every page visit runs against a sim-clock
+deadline with bounded retry and exponential (simulated) backoff; a site
+whose pages fail consecutively is quarantined; everything that goes
+wrong lands in an error taxonomy on the run summary. With a
+:class:`~repro.faults.injector.FaultInjector` installed the crawler
+survives injected page failures, stalls, blackouts, and lossy event
+streams — without one, none of this machinery draws entropy or
+publishes events, so fault-free runs are unchanged.
+"""
 
 from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.browser.browser import Browser
 from repro.cdp.bus import EventBus
+from repro.crawler.errors import CrawlErrorKind, ErrorTally
 from repro.crawler.observation import PageObservation, observe_page
 from repro.crawler.policy import VisitPolicy, page_index_for_link
-from repro.inclusion.builder import InclusionTreeBuilder
+from repro.faults.injector import (
+    FaultInjector,
+    PageLoadFailure,
+    PageLoadTimeout,
+)
+from repro.inclusion.builder import InclusionTreeBuilder, NoDocumentError
 from repro.obs import Obs
 from repro.util.rng import RngStream
 from repro.util.simtime import SimClock, parse_date
 from repro.web.alexa import Site
 from repro.web.server import SyntheticWeb
+
+if TYPE_CHECKING:  # avoids the persistence → dataset → crawler cycle
+    from repro.crawler.persistence import CrawlCheckpoint
 
 Observer = Callable[[PageObservation], None]
 
@@ -41,17 +60,45 @@ class CrawlConfig:
     seed: int = 2017
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the crawler responds to failing page loads.
+
+    Attributes:
+        max_attempts: Load attempts per page before giving up.
+        backoff_seconds: Simulated wait before the first retry.
+        backoff_factor: Multiplier applied per further retry.
+        page_timeout_seconds: Sim-clock budget per load attempt; a
+            visit that exceeds it raises
+            :class:`~repro.faults.injector.PageLoadTimeout` mid-walk.
+        quarantine_after: Consecutive failed *pages* after which the
+            whole site is abandoned for this crawl.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 30.0
+    backoff_factor: float = 2.0
+    page_timeout_seconds: float = 90.0
+    quarantine_after: int = 2
+
+
 @dataclass
 class CrawlRunSummary:
     """What one crawl did.
 
     Attributes:
         config: The crawl's configuration.
-        sites_visited: Sites successfully crawled.
-        pages_visited: Total page visits.
+        sites_visited: Sites crawled (quarantined sites included — they
+            stay in the Table 1 denominators).
+        pages_visited: Page visits that produced an observation.
         sockets_observed: Total sockets seen.
         events_published: CDP events emitted during the crawl.
         sites: (domain, rank) of every crawled site.
+        pages_failed: Pages abandoned after exhausting retries.
+        page_retries: Extra load attempts beyond each page's first.
+        sites_quarantined: Sites abandoned mid-crawl.
+        sockets_partial: Observed sockets flagged ``partial``.
+        errors: Error-taxonomy counts (:class:`CrawlErrorKind` values).
     """
 
     config: CrawlConfig
@@ -60,6 +107,11 @@ class CrawlRunSummary:
     sockets_observed: int = 0
     events_published: int = 0
     sites: list[tuple[str, int]] = field(default_factory=list)
+    pages_failed: int = 0
+    page_retries: int = 0
+    sites_quarantined: int = 0
+    sockets_partial: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
 
 
 class Crawler:
@@ -72,9 +124,11 @@ class Crawler:
     When an :class:`~repro.obs.Obs` context is supplied, the crawl runs
     under a ``crawl`` span with nested ``site`` and ``page`` spans,
     emits ``crawl.progress`` events every :attr:`progress_every` sites
-    (sites done / pages / sockets seen), and harvests the bus's
-    per-method publish counts plus the ``webRequest`` dispatch counters
-    into the metrics registry when the crawl finishes.
+    (sites done / pages / sockets seen), ``crawl.quarantine`` events
+    when a site is abandoned, and harvests the bus's per-method publish
+    counts, the ``webRequest`` dispatch counters, the error taxonomy,
+    and any injected-fault counters into the metrics registry when the
+    crawl finishes.
     """
 
     def __init__(
@@ -85,6 +139,8 @@ class Crawler:
         extension_installer: Callable[[Browser], None] | None = None,
         obs: Obs | None = None,
         progress_every: int = 25,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.web = web
         self.config = config
@@ -93,17 +149,32 @@ class Crawler:
         self.obs = obs
         self.progress_every = max(1, progress_every)
         self.policy = VisitPolicy(pages_per_site=config.pages_per_site)
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
 
-    def run(self, sites: Iterable[Site] | None = None) -> CrawlRunSummary:
-        """Crawl the given sites (default: the full seed list)."""
+    def run(
+        self,
+        sites: Iterable[Site] | None = None,
+        checkpoint: "CrawlCheckpoint | None" = None,
+    ) -> CrawlRunSummary:
+        """Crawl the given sites (default: the full seed list).
+
+        With a ``checkpoint``, sites already journaled for this crawl
+        are restored from the journal instead of re-crawled, and each
+        finished site appends one journal entry — so an interrupted
+        study resumes where it stopped.
+        """
         summary = CrawlRunSummary(config=self.config)
+        tally = ErrorTally()
         clock = SimClock(now=parse_date(self.config.start_date))
         bus = EventBus()
+        gate = self.faults.gate(bus) if self.faults is not None else None
         browser = Browser(
             version=self.config.chrome_major,
-            bus=bus,
+            bus=gate if gate is not None else bus,
             clock=clock,
             seed=self.config.seed,
+            faults=self.faults,
         )
         if self.extension_installer is not None:
             self.extension_installer(browser)
@@ -116,7 +187,13 @@ class Crawler:
         )
         with crawl_span as span:
             for site in site_list:
-                self._crawl_site(site, browser, bus, summary)
+                if checkpoint is not None:
+                    entry = checkpoint.get(self.config.index, site.domain)
+                    if entry is not None:
+                        entry.restore_into(summary)
+                        continue
+                self._crawl_site(site, browser, bus, gate, summary, tally,
+                                 checkpoint)
                 if obs is not None and (
                     summary.sites_visited % self.progress_every == 0
                     or summary.sites_visited == len(site_list)
@@ -131,6 +208,7 @@ class Crawler:
                         sockets=summary.sockets_observed,
                     )
             summary.events_published = bus.published_count
+            summary.errors = tally.as_counts()
             if obs is not None:
                 span.set(sites=summary.sites_visited,
                          pages=summary.pages_visited,
@@ -146,15 +224,27 @@ class Crawler:
         site: Site,
         browser: Browser,
         bus: EventBus,
+        gate,
         summary: CrawlRunSummary,
+        tally: ErrorTally,
+        checkpoint: "CrawlCheckpoint | None" = None,
     ) -> None:
         browser.new_profile(f"{self.config.index}:{site.domain}")
         rng = RngStream(self.config.seed, "crawl", self.config.index,
                         "site", site.domain)
         homepage = self.web.blueprint(site, 0, self.config.index)
-        links = self.policy.select_links(homepage.url, homepage.links, rng)
+        links = self.policy.select_links(homepage.url, homepage.links, rng,
+                                         errors=tally)
         page_indices = [0] + [page_index_for_link(link) for link in links]
+        blackout = (
+            self.faults is not None
+            and self.faults.site_blacked_out(self.config.index, site.domain)
+        )
+        pages_before = summary.pages_visited
+        sockets_before = summary.sockets_observed
         obs = self.obs
+        consecutive_failures = 0
+        quarantined = False
         site_span = (
             obs.span("site", domain=site.domain, rank=site.rank)
             if obs is not None else nullcontext()
@@ -171,27 +261,122 @@ class Crawler:
                 )
                 with page_span:
                     observation = self._visit_page(
-                        blueprint, site, browser, bus
+                        blueprint, site, browser, bus, gate, summary, tally,
+                        blackout,
                     )
-                    if obs is not None:
+                    if obs is not None and observation is not None:
                         self._count_page(obs, observation)
-                summary.pages_visited += 1
-                summary.sockets_observed += len(observation.sockets)
-                for observer in self.observers:
-                    observer(observation)
+                if observation is None:
+                    summary.pages_failed += 1
+                    consecutive_failures += 1
+                    if (self.retry.quarantine_after > 0
+                            and consecutive_failures
+                            >= self.retry.quarantine_after):
+                        quarantined = True
+                else:
+                    consecutive_failures = 0
+                    summary.pages_visited += 1
+                    summary.sockets_observed += len(observation.sockets)
+                    partial = sum(
+                        1 for s in observation.sockets if s.partial
+                    )
+                    summary.sockets_partial += partial
+                    for observer in self.observers:
+                        observer(observation)
                 browser.clock.advance(self.policy.wait_seconds)
+                if quarantined:
+                    break
+        if quarantined:
+            summary.sites_quarantined += 1
+            tally.record(CrawlErrorKind.SITE_QUARANTINED)
+            if self.faults is not None:
+                self.faults.count("site_quarantined")
+            if obs is not None:
+                obs.event(
+                    "crawl.quarantine",
+                    crawl=self.config.index,
+                    domain=site.domain,
+                    rank=site.rank,
+                    consecutive_failures=consecutive_failures,
+                )
         summary.sites_visited += 1
         summary.sites.append((site.domain, site.rank))
+        if checkpoint is not None:
+            from repro.crawler.persistence import SiteCheckpoint
 
-    def _visit_page(self, blueprint, site, browser, bus) -> PageObservation:
-        builder = InclusionTreeBuilder()
-        builder.attach(bus)
-        browser.visit(blueprint, crawl=self.config.index)
-        builder.detach()
-        tree = builder.result()
-        return observe_page(
-            tree, site.domain, site.rank, site.category, self.config.index
-        )
+            checkpoint.record(SiteCheckpoint(
+                crawl=self.config.index,
+                domain=site.domain,
+                rank=site.rank,
+                status="quarantined" if quarantined else "ok",
+                pages=summary.pages_visited - pages_before,
+                sockets=summary.sockets_observed - sockets_before,
+            ))
+
+    def _visit_page(
+        self,
+        blueprint,
+        site: Site,
+        browser: Browser,
+        bus: EventBus,
+        gate,
+        summary: CrawlRunSummary,
+        tally: ErrorTally,
+        blackout: bool,
+    ) -> PageObservation | None:
+        """One page with bounded retry; ``None`` when retries exhaust."""
+        retry = self.retry
+        clock = browser.clock
+        faults = self.faults
+        for attempt in range(1, retry.max_attempts + 1):
+            if attempt > 1:
+                summary.page_retries += 1
+                clock.advance(
+                    retry.backoff_seconds
+                    * retry.backoff_factor ** (attempt - 2)
+                )
+            builder = InclusionTreeBuilder()
+            builder.attach(bus)
+            try:
+                if blackout or (
+                    faults is not None
+                    and faults.page_fails(blueprint.url, self.config.index,
+                                          attempt)
+                ):
+                    if faults is not None:
+                        faults.count("page_failed")
+                    # A refused connection costs ~a second, not a load.
+                    clock.advance(1.0)
+                    raise PageLoadFailure(blueprint.url,
+                                          "simulated load failure")
+                deadline = (
+                    clock.timestamp() + retry.page_timeout_seconds
+                    if retry.page_timeout_seconds > 0 else None
+                )
+                browser.visit(blueprint, crawl=self.config.index,
+                              attempt=attempt, deadline=deadline)
+                tree = builder.result()
+            except PageLoadTimeout:
+                tally.record(CrawlErrorKind.PAGE_TIMEOUT)
+                continue
+            except PageLoadFailure:
+                tally.record(CrawlErrorKind.PAGE_FAILURE)
+                continue
+            except NoDocumentError:
+                # Every event of the load was dropped — treat like a
+                # failed load and retry.
+                tally.record(CrawlErrorKind.NO_DOCUMENT)
+                continue
+            finally:
+                if gate is not None:
+                    gate.flush()
+                builder.detach()
+            return observe_page(
+                tree, site.domain, site.rank, site.category,
+                self.config.index, errors=tally,
+            )
+        tally.record(CrawlErrorKind.RETRY_EXHAUSTED)
+        return None
 
     @staticmethod
     def _count_page(obs: Obs, observation: PageObservation) -> None:
@@ -221,3 +406,23 @@ class Crawler:
         obs.metrics.counter("cdp.delivered").add(bus.delivered_count)
         obs.metrics.record_counts("webrequest", browser.webrequest.as_counts())
         obs.metrics.counter("crawler.sites").add(summary.sites_visited)
+        # Robustness counters only exist when something went wrong, so
+        # fault-free artifacts stay byte-identical to the pre-fault era.
+        if summary.page_retries:
+            obs.metrics.counter("crawler.page_retries").add(
+                summary.page_retries)
+        if summary.pages_failed:
+            obs.metrics.counter("crawler.pages_failed").add(
+                summary.pages_failed)
+        if summary.sites_quarantined:
+            obs.metrics.counter("crawler.sites_quarantined").add(
+                summary.sites_quarantined)
+        if summary.sockets_partial:
+            obs.metrics.counter("crawler.sockets_partial").add(
+                summary.sockets_partial)
+        if summary.errors:
+            obs.metrics.record_counts("crawl.errors", summary.errors)
+        if self.faults is not None and self.faults.counters:
+            obs.metrics.record_counts(
+                "faults", dict(sorted(self.faults.counters.items()))
+            )

@@ -35,7 +35,12 @@ from repro.net.http import ResourceType
 
 @dataclass(frozen=True)
 class SocketRecord:
-    """One socket, reduced to what the tables need."""
+    """One socket, reduced to what the tables need.
+
+    ``partial`` marks records whose lifecycle events were lost in a
+    lossy event stream — their frame/handshake data may be incomplete,
+    but they still count as observed sockets.
+    """
 
     crawl: int
     site_domain: str
@@ -54,6 +59,7 @@ class SocketRecord:
     sent_nothing: bool
     received_nothing: bool
     ad_units: tuple[AdUnit, ...] = ()
+    partial: bool = False
 
 
 @dataclass(frozen=True)
@@ -127,6 +133,7 @@ class StudyDataset:
                 sent_nothing=socket.sent_nothing,
                 received_nothing=socket.received_nothing,
                 ad_units=socket.ad_units,
+                partial=socket.partial,
             ))
 
     def record_crawl(self, summary: CrawlRunSummary) -> None:

@@ -1,0 +1,65 @@
+"""The crawl error taxonomy.
+
+Every way a crawl can lose data has one name here, and every consumer
+that used to swallow a failure now records it: the per-crawl tally
+lands on :class:`~repro.crawler.crawler.CrawlRunSummary` and in the
+``crawl.errors.*`` metrics, so a degraded run is diagnosable from its
+artifacts alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+
+
+class CrawlErrorKind(str, enum.Enum):
+    """One category of data loss during a crawl."""
+
+    #: A page-load attempt exceeded the per-page sim-clock deadline.
+    PAGE_TIMEOUT = "page_timeout"
+    #: A page-load attempt hard-failed before emitting any event.
+    PAGE_FAILURE = "page_failure"
+    #: A visit's event stream never produced a main document.
+    NO_DOCUMENT = "no_document"
+    #: A page was abandoned after the retry budget ran out.
+    RETRY_EXHAUSTED = "retry_exhausted"
+    #: A site was quarantined after consecutive page failures.
+    SITE_QUARANTINED = "site_quarantined"
+    #: A link or chain member URL could not be parsed.
+    URL_PARSE = "url_parse"
+    #: A socket record is missing lifecycle events (partial).
+    PARTIAL_SOCKET = "partial_socket"
+    #: CDP events arrived for a request the tree never saw.
+    UNATTRIBUTED_EVENT = "unattributed_event"
+
+
+class ErrorTally:
+    """A mutable count of crawl errors by kind."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def record(self, kind: CrawlErrorKind, n: int = 1) -> None:
+        """Count ``n`` occurrences of ``kind``."""
+        if n:
+            self._counts[kind.value] += n
+
+    def merge(self, counts: dict[str, int]) -> None:
+        """Fold previously recorded counts in (checkpoint resume)."""
+        for key, value in counts.items():
+            if value:
+                self._counts[key] += value
+
+    def count(self, kind: CrawlErrorKind) -> int:
+        """Occurrences of one kind."""
+        return self._counts[kind.value]
+
+    @property
+    def total(self) -> int:
+        """All recorded errors."""
+        return sum(self._counts.values())
+
+    def as_counts(self) -> dict[str, int]:
+        """A sorted plain-dict snapshot (stable for serialization)."""
+        return {key: self._counts[key] for key in sorted(self._counts)}

@@ -14,12 +14,13 @@ from repro.content.ads import AdUnit, extract_ad_units
 from repro.content.items import ReceivedClass, SentItem
 from repro.content.received import classify_socket_received
 from repro.content.sent import SentDataAnalyzer
+from repro.crawler.errors import CrawlErrorKind, ErrorTally
 from repro.inclusion.builder import PageTree
 from repro.inclusion.chains import chain_to
 from repro.inclusion.node import InclusionNode, NodeKind
 from repro.net.domains import registrable_domain
 from repro.net.http import ResourceType
-from repro.util.urls import parse_url
+from repro.util.urls import UrlError, parse_url
 
 _ANALYZER = SentDataAnalyzer()
 
@@ -68,6 +69,9 @@ class SocketObservation:
         frames_sent: Count of client data frames.
         frames_received: Count of server data frames.
         ad_units: Advertisements delivered over the socket (§4.3).
+        partial: Lifecycle events were lost for this socket (no
+            handshake response or no close was observed) — its frame
+            and handshake data may be incomplete.
     """
 
     url: str
@@ -86,6 +90,7 @@ class SocketObservation:
     frames_sent: int
     frames_received: int
     ad_units: tuple[AdUnit, ...] = ()
+    partial: bool = False
 
 
 @dataclass
@@ -100,9 +105,12 @@ class PageObservation:
     sockets: list[SocketObservation] = field(default_factory=list)
     resources: list[ResourceObservation] = field(default_factory=list)
     orphan_count: int = 0
+    unattributed_events: int = 0
 
 
-def _chain_parts(node: InclusionNode) -> tuple[tuple[str, ...], tuple[str, ...]]:
+def _chain_parts(
+    node: InclusionNode, errors: ErrorTally | None = None
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
     """(hosts, script URLs) along the chain to ``node``, root first."""
     hosts: list[str] = []
     scripts: list[str] = []
@@ -111,7 +119,9 @@ def _chain_parts(node: InclusionNode) -> tuple[tuple[str, ...], tuple[str, ...]]
             continue
         try:
             host = parse_url(member.url).host
-        except Exception:
+        except UrlError:
+            if errors is not None:
+                errors.record(CrawlErrorKind.URL_PARSE)
             continue
         hosts.append(host)
         if (
@@ -123,9 +133,19 @@ def _chain_parts(node: InclusionNode) -> tuple[tuple[str, ...], tuple[str, ...]]
 
 
 def observe_page(
-    tree: PageTree, site_domain: str, rank: int, category: str, crawl: int
+    tree: PageTree,
+    site_domain: str,
+    rank: int,
+    category: str,
+    crawl: int,
+    errors: ErrorTally | None = None,
 ) -> PageObservation:
-    """Reduce an inclusion tree to its measurement record."""
+    """Reduce an inclusion tree to its measurement record.
+
+    Partial trees (lossy event streams) reduce fine: sockets missing
+    lifecycle events are flagged ``partial``, and every dropped-data
+    symptom is recorded on ``errors`` when a tally is supplied.
+    """
     page_url = tree.root.url
     first_party_host = parse_url(page_url).host
     first_party_domain = registrable_domain(first_party_host)
@@ -136,23 +156,31 @@ def observe_page(
         crawl=crawl,
         page_url=page_url,
         orphan_count=tree.orphan_count,
+        unattributed_events=tree.unattributed_events,
     )
+    if errors is not None and tree.unattributed_events:
+        errors.record(CrawlErrorKind.UNATTRIBUTED_EVENT,
+                      tree.unattributed_events)
     for node in tree.all_nodes():
         if node.kind == NodeKind.WEBSOCKET:
             observation.sockets.append(
-                _observe_socket(node, first_party_host, first_party_domain)
+                _observe_socket(node, first_party_host, first_party_domain,
+                                errors)
             )
         elif node is tree.root or not node.url:
             continue
         else:
             # Plain resources and sub-frame documents alike are HTTP
             # fetches the paper's HTTP/S statistics count.
-            observation.resources.append(_observe_resource(node))
+            observation.resources.append(_observe_resource(node, errors))
     return observation
 
 
 def _observe_socket(
-    node: InclusionNode, first_party_host: str, first_party_domain: str
+    node: InclusionNode,
+    first_party_host: str,
+    first_party_domain: str,
+    errors: ErrorTally | None = None,
 ) -> SocketObservation:
     record = node.websocket
     host = parse_url(node.url).host
@@ -161,9 +189,11 @@ def _observe_socket(
     initiator_host = (
         parse_url(initiator_url).host if initiator_url else first_party_host
     )
-    hosts, scripts = _chain_parts(node)
+    hosts, scripts = _chain_parts(node, errors)
     sent_items = _ANALYZER.analyze_socket(record)
     received_classes = classify_socket_received(record.frames)
+    if errors is not None and record.partial:
+        errors.record(CrawlErrorKind.PARTIAL_SOCKET)
     return SocketObservation(
         url=node.url,
         host=host,
@@ -184,11 +214,14 @@ def _observe_socket(
         frames_sent=len(record.sent_frames),
         frames_received=len(record.received_frames),
         ad_units=tuple(extract_ad_units(record.frames)),
+        partial=record.partial,
     )
 
 
-def _observe_resource(node: InclusionNode) -> ResourceObservation:
-    hosts, scripts = _chain_parts(node)
+def _observe_resource(
+    node: InclusionNode, errors: ErrorTally | None = None
+) -> ResourceObservation:
+    hosts, scripts = _chain_parts(node, errors)
     query = parse_url(node.url).query
     return ResourceObservation(
         url=node.url,

@@ -5,17 +5,26 @@ here is the socket-record table (every Table 1–5 computation and
 Figure 3 can be re-derived from it plus the aggregate counters). These
 helpers write and read it as JSONL, so results can be shared, diffed,
 and re-analyzed without re-crawling.
+
+This module also holds the crawl *checkpoint journal*: an append-only
+JSONL file with one entry per finished site, which lets an interrupted
+study resume where it stopped (:class:`CrawlCheckpoint`).
 """
 
 from __future__ import annotations
 
+import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.content.ads import AdUnit
 from repro.content.items import ReceivedClass, SentItem
 from repro.crawler.dataset import SocketRecord
 from repro.util.serialization import read_jsonl, write_jsonl
+
+if TYPE_CHECKING:
+    from repro.crawler.crawler import CrawlRunSummary
 
 
 def socket_record_to_json(record: SocketRecord) -> dict:
@@ -39,6 +48,7 @@ def socket_record_to_json(record: SocketRecord) -> dict:
         ),
         "sent_nothing": record.sent_nothing,
         "received_nothing": record.received_nothing,
+        "partial": record.partial,
         "ad_units": [
             {"image_url": u.image_url, "caption": u.caption,
              "width": u.width, "height": u.height,
@@ -71,6 +81,9 @@ def socket_record_from_json(payload: dict) -> SocketRecord:
         ),
         sent_nothing=payload["sent_nothing"],
         received_nothing=payload["received_nothing"],
+        # Records written before the completeness flag existed are
+        # complete by construction.
+        partial=payload.get("partial", False),
         ad_units=tuple(
             AdUnit(**unit) for unit in payload.get("ad_units", ())
         ),
@@ -87,3 +100,77 @@ def save_socket_records(
 def load_socket_records(path: str | Path) -> list[SocketRecord]:
     """Read socket records back from JSONL."""
     return list(read_jsonl(path, decoder=socket_record_from_json))
+
+
+# -- checkpoint journal ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SiteCheckpoint:
+    """One finished site, as journaled by the crawler.
+
+    Attributes:
+        crawl: Crawl index the site was visited under.
+        domain: Site domain.
+        rank: Alexa rank.
+        status: ``"ok"`` or ``"quarantined"``.
+        pages: Page observations the site produced.
+        sockets: Sockets observed on those pages.
+    """
+
+    crawl: int
+    domain: str
+    rank: int
+    status: str
+    pages: int
+    sockets: int
+
+    def restore_into(self, summary: "CrawlRunSummary") -> None:
+        """Fold this journaled site back into a resumed run's summary."""
+        summary.sites_visited += 1
+        summary.sites.append((self.domain, self.rank))
+        summary.pages_visited += self.pages
+        summary.sockets_observed += self.sockets
+        if self.status == "quarantined":
+            summary.sites_quarantined += 1
+
+
+class CrawlCheckpoint:
+    """Append-only JSONL journal of per-site crawl completion.
+
+    Opening an existing journal loads its entries; the crawler skips
+    journaled sites (restoring their counts into the run summary) and
+    appends one entry per newly finished site, flushing after each so
+    a crash loses at most the site in flight.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[tuple[int, str], SiteCheckpoint] = {}
+        if self.path.exists():
+            for payload in read_jsonl(self.path):
+                entry = SiteCheckpoint(**payload)
+                self._entries[(entry.crawl, entry.domain)] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, crawl: int, domain: str) -> SiteCheckpoint | None:
+        """The journaled entry for a site, or ``None`` if unfinished."""
+        return self._entries.get((crawl, domain))
+
+    def record(self, entry: SiteCheckpoint) -> None:
+        """Append one finished site to the journal."""
+        self._entries[(entry.crawl, entry.domain)] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "crawl": entry.crawl,
+                "domain": entry.domain,
+                "rank": entry.rank,
+                "status": entry.status,
+                "pages": entry.pages,
+                "sockets": entry.sockets,
+            }, sort_keys=True))
+            handle.write("\n")
+            handle.flush()

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crawler.errors import CrawlErrorKind, ErrorTally
 from repro.util.rng import RngStream
-from repro.util.urls import parse_url, same_host
+from repro.util.urls import UrlError, parse_url, same_host
 
 
 @dataclass(frozen=True)
@@ -28,21 +29,33 @@ class VisitPolicy:
     wait_seconds: float = 60.0
 
     def select_links(
-        self, homepage_url: str, links: list[str], rng: RngStream
+        self,
+        homepage_url: str,
+        links: list[str],
+        rng: RngStream,
+        errors: ErrorTally | None = None,
     ) -> list[str]:
-        """Choose which same-site links to visit after the homepage."""
+        """Choose which same-site links to visit after the homepage.
+
+        Unparseable link URLs are skipped and recorded on ``errors``
+        (real pages carry ``javascript:`` hrefs and other junk).
+        """
         same_site = [
             link for link in links
-            if _is_same_site(link, homepage_url)
+            if _is_same_site(link, homepage_url, errors)
         ]
         budget = max(0, self.pages_per_site - 1)
         return rng.sample(same_site, budget)
 
 
-def _is_same_site(link: str, homepage_url: str) -> bool:
+def _is_same_site(
+    link: str, homepage_url: str, errors: ErrorTally | None = None
+) -> bool:
     try:
         return same_host(link, homepage_url)
-    except Exception:
+    except UrlError:
+        if errors is not None:
+            errors.record(CrawlErrorKind.URL_PARSE)
         return False
 
 

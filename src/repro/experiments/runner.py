@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.analysis.blocking import BlockingStats, compute_blocking_stats
 from repro.analysis.classify import SocketView, classify_sockets
@@ -23,6 +24,8 @@ from repro.analysis.table4 import Table4, compute_table4
 from repro.analysis.table5 import Table5, compute_table5
 from repro.crawler.crawler import CrawlConfig, Crawler, CrawlRunSummary
 from repro.crawler.dataset import StudyDataset
+from repro.crawler.persistence import CrawlCheckpoint
+from repro.faults import FaultInjector, profile_named
 from repro.labeling.aa_labeler import AaLabeler
 from repro.labeling.resolver import DomainResolver
 from repro.obs import Obs, ObsSummary
@@ -47,6 +50,9 @@ class StudyConfig:
         seed: Root RNG seed.
         crawls: Which of the four crawls to run.
         name: Preset name, for reports.
+        faults: Named fault profile (``none``/``flaky``/``hostile``);
+            ``none`` injects nothing and leaves every artifact
+            byte-identical to a run without an injector.
     """
 
     scale: float = 0.05
@@ -55,6 +61,7 @@ class StudyConfig:
     seed: int = 2017
     crawls: tuple[int, ...] = (0, 1, 2, 3)
     name: str = "default"
+    faults: str = "none"
 
     @property
     def resolved_sample_scale(self) -> float:
@@ -63,6 +70,10 @@ class StudyConfig:
     def with_scale(self, scale: float) -> "StudyConfig":
         """A copy at a different scale."""
         return replace(self, scale=scale)
+
+    def with_faults(self, faults: str) -> "StudyConfig":
+        """A copy under a different fault profile."""
+        return replace(self, faults=faults)
 
 
 SMOKE_CONFIG = StudyConfig(scale=0.004, sample_scale=0.002, pages_per_site=2,
@@ -130,16 +141,29 @@ def crawl_configs(web: SyntheticWeb, config: StudyConfig) -> list[CrawlConfig]:
 
 
 def run_crawls(
-    web: SyntheticWeb, config: StudyConfig, obs: Obs | None = None
+    web: SyntheticWeb,
+    config: StudyConfig,
+    obs: Obs | None = None,
+    checkpoint: CrawlCheckpoint | None = None,
 ) -> tuple[StudyDataset, list[CrawlRunSummary]]:
-    """Run the configured crawls, returning the accumulated dataset."""
+    """Run the configured crawls, returning the accumulated dataset.
+
+    The ``faults`` profile on ``config`` gives each crawl its own
+    seeded :class:`~repro.faults.injector.FaultInjector` lane; a
+    ``checkpoint`` journal lets an interrupted study resume.
+    """
     engine = build_filter_engine(web.registry)
     dataset = StudyDataset(engine=engine)
     summaries: list[CrawlRunSummary] = []
+    profile = profile_named(config.faults)
     for crawl_config in crawl_configs(web, config):
+        injector = (
+            FaultInjector(profile, config.seed, crawl_config.index)
+            if not profile.is_zero else None
+        )
         crawler = Crawler(web, crawl_config, observers=[dataset.observe],
-                          obs=obs)
-        summary = crawler.run()
+                          obs=obs, faults=injector)
+        summary = crawler.run(checkpoint=checkpoint)
         dataset.record_crawl(summary)
         summaries.append(summary)
     if obs is not None:
@@ -227,14 +251,21 @@ def analyze(
 
 
 def run_study(
-    config: StudyConfig = DEFAULT_CONFIG, obs: Obs | None = None
+    config: StudyConfig = DEFAULT_CONFIG,
+    obs: Obs | None = None,
+    checkpoint_path: str | Path | None = None,
 ) -> StudyResult:
     """Build the web, run the crawls, compute everything.
 
     An :class:`~repro.obs.Obs` context is created when none is passed,
-    so every study carries its audit trail in ``result.obs``.
+    so every study carries its audit trail in ``result.obs``. With a
+    ``checkpoint_path``, per-site completion is journaled there and a
+    rerun resumes from the journal.
     """
     obs = obs or Obs()
+    checkpoint = (
+        CrawlCheckpoint(checkpoint_path) if checkpoint_path else None
+    )
     with obs.span("study", preset=config.name, seed=config.seed):
         obs.event("stage", stage="build-web")
         with obs.span("build-web"):
@@ -244,7 +275,8 @@ def run_study(
                 seed=config.seed,
             )
         obs.event("stage", stage="crawls")
-        dataset, summaries = run_crawls(web, config, obs=obs)
+        dataset, summaries = run_crawls(web, config, obs=obs,
+                                        checkpoint=checkpoint)
         obs.event("stage", stage="analyze")
         result = analyze(config, web, dataset, summaries, obs=obs)
     # Re-freeze after the study span closed so its record is included.

@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the crawl pipeline.
+
+``repro.faults`` models the failure conditions a real measurement
+crawl runs under — slow and aborted page loads, lossy CDP event
+delivery, half-open WebSockets — as seeded draws on a dedicated RNG
+lane, so a faulted study is exactly as reproducible as a clean one.
+
+The package is pure decision logic: injection points live in the
+browser, crawler, and event bus, all behind explicit hooks that cost
+nothing when no fault can fire. The DET-FAULT lint rule keeps this
+package off Python's ``random``/wall-clock APIs so fault plans stay on
+the sanctioned :mod:`repro.util.rng` / :mod:`repro.util.simtime` lanes.
+"""
+
+from repro.faults.injector import (
+    CrawlFault,
+    FaultGate,
+    FaultInjector,
+    PageLoadFailure,
+    PageLoadTimeout,
+)
+from repro.faults.plan import (
+    FLAKY_PROFILE,
+    HOSTILE_PROFILE,
+    NONE_PROFILE,
+    PROFILES,
+    FaultProfile,
+    profile_named,
+)
+
+__all__ = [
+    "CrawlFault",
+    "FaultGate",
+    "FaultInjector",
+    "FaultProfile",
+    "FLAKY_PROFILE",
+    "HOSTILE_PROFILE",
+    "NONE_PROFILE",
+    "PROFILES",
+    "PageLoadFailure",
+    "PageLoadTimeout",
+    "profile_named",
+]

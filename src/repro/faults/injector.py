@@ -1,0 +1,196 @@
+"""Deterministic fault injection.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultProfile`
+into seeded decisions. All entropy comes from one dedicated
+:class:`~repro.util.rng.RngStream` lane (``seed / "faults" / <lane>``),
+so fault draws never perturb the crawl's own streams: a study run with
+the ``none`` profile is event-for-event identical to one with no
+injector installed, and two same-seed runs of any profile make the
+same decisions.
+
+Decisions that belong to a stable entity (a page attempt, a socket, a
+frame) are keyed child-stream draws, so they do not depend on how many
+other decisions happened first. Only the event gate uses a sequential
+stream — the event order itself is deterministic, and a keyed draw per
+event would put SHA-256 on the hottest path in the pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cdp.events import CdpEvent, ResponseReceived, WebSocketCreated
+from repro.faults.plan import FaultProfile
+from repro.util.rng import RngStream
+
+
+class CrawlFault(Exception):
+    """Base class for injected page-level failures."""
+
+    def __init__(self, url: str, reason: str = "") -> None:
+        super().__init__(f"{reason or self.__class__.__name__}: {url}")
+        self.url = url
+
+
+class PageLoadTimeout(CrawlFault):
+    """The page's sim-clock load deadline elapsed mid-visit."""
+
+
+class PageLoadFailure(CrawlFault):
+    """The page load hard-failed before emitting any event."""
+
+
+class FaultInjector:
+    """Seeded fault decisions for one crawl.
+
+    Attributes:
+        profile: The active fault profile.
+        counters: Injected-fault counts by kind (``faults.*`` keys),
+            harvested into the metrics registry at crawl end.
+    """
+
+    def __init__(
+        self, profile: FaultProfile, seed: int, *lane: object
+    ) -> None:
+        self.profile = profile
+        self._rng = RngStream(seed, "faults", profile.name, *lane)
+        self._event_rng = self._rng.child("events")
+        self.counters: Counter[str] = Counter()
+        self._blackouts: dict[tuple[int, str], bool] = {}
+
+    # -- generic keyed draws -------------------------------------------------
+
+    def _decide(self, kind: str, probability: float, *key: object) -> bool:
+        """One keyed Bernoulli draw; free when the probability is zero."""
+        if probability <= 0.0:
+            return False
+        return self._rng.child(kind, *key).bernoulli(probability)
+
+    def count(self, kind: str, n: int = 1) -> None:
+        """Record an injected fault (``faults.<kind>``)."""
+        self.counters[kind] += n
+
+    # -- page-level faults ---------------------------------------------------
+
+    def site_blacked_out(self, crawl: int, domain: str) -> bool:
+        """Whether the whole site is unreachable for this crawl."""
+        key = (crawl, domain)
+        cached = self._blackouts.get(key)
+        if cached is None:
+            cached = self._decide(
+                "blackout", self.profile.site_blackout, crawl, domain
+            )
+            self._blackouts[key] = cached
+        return cached
+
+    def page_fails(self, url: str, crawl: int, attempt: int) -> bool:
+        """Whether this page-load attempt hard-fails up front."""
+        return self._decide(
+            "page-failure", self.profile.page_failure, url, crawl, attempt
+        )
+
+    def stall_seconds(
+        self, url: str, crawl: int, attempt: int, node_index: int
+    ) -> float:
+        """Simulated stall before a top-level resource (0.0 = none)."""
+        profile = self.profile
+        if not self._decide(
+            "stall", profile.page_stall, url, crawl, attempt, node_index
+        ):
+            return 0.0
+        low, high = profile.stall_seconds
+        return self._rng.child(
+            "stall-len", url, crawl, attempt, node_index
+        ).uniform(low, high)
+
+    # -- WebSocket faults ----------------------------------------------------
+
+    def refuse_handshake(self, ws_url: str, request_id: str) -> bool:
+        """Whether the server refuses this socket's upgrade."""
+        return self._decide(
+            "handshake", self.profile.handshake_refusal, ws_url, request_id
+        )
+
+    def frame_limit(self, ws_url: str, request_id: str) -> int | None:
+        """Data-frame budget before a mid-stream close (None = no cap)."""
+        if not self._decide(
+            "midstream", self.profile.midstream_close, ws_url, request_id
+        ):
+            return None
+        return self._rng.child("midstream-len", ws_url, request_id).randint(1, 4)
+
+    def truncate_frame(self, request_id: str, frame_index: int) -> bool:
+        """Whether this data frame's payload is cut short."""
+        return self._decide(
+            "truncate", self.profile.truncate_frame, request_id, frame_index
+        )
+
+    # -- event-stream faults -------------------------------------------------
+
+    def event_action(self, event: CdpEvent) -> str:
+        """Fate of one published CDP event: ``pass``/``drop``/``delay``.
+
+        Sequential draws on the injector's event sub-stream — cheap,
+        and deterministic because the publish order is.
+        """
+        profile = self.profile
+        drop = profile.drop_event
+        if isinstance(event, ResponseReceived):
+            drop += profile.drop_response
+        elif isinstance(event, WebSocketCreated):
+            drop += profile.orphan_socket
+        u = self._event_rng.random()
+        if u < drop:
+            return "drop"
+        if u < drop + profile.reorder_event:
+            return "delay"
+        return "pass"
+
+    def gate(self, bus) -> "FaultGate | None":
+        """A :class:`FaultGate` over ``bus``, or ``None`` when no
+        event-stream fault can fire (zero-overhead fast path)."""
+        if not self.profile.events_active:
+            return None
+        return FaultGate(bus, self)
+
+
+class FaultGate:
+    """Sits between the browser and the event bus.
+
+    Drops or reorders events per the injector's decisions. Reordering
+    holds one event back and re-emits it after its successor — the
+    adjacent-swap disorder a congested DevTools connection produces.
+    Only :meth:`publish` is forwarded; observers keep subscribing to
+    (and harvesting telemetry from) the real bus underneath.
+    """
+
+    def __init__(self, bus, injector: FaultInjector) -> None:
+        self.bus = bus
+        self.injector = injector
+        self._held: CdpEvent | None = None
+
+    def publish(self, event: CdpEvent) -> None:
+        injector = self.injector
+        action = injector.event_action(event)
+        if action == "drop":
+            if isinstance(event, ResponseReceived):
+                injector.count("response_dropped")
+            elif isinstance(event, WebSocketCreated):
+                injector.count("socket_orphaned")
+            else:
+                injector.count("event_dropped")
+            return
+        if action == "delay" and self._held is None:
+            self._held = event
+            injector.count("event_reordered")
+            return
+        self.bus.publish(event)
+        if self._held is not None:
+            held, self._held = self._held, None
+            self.bus.publish(held)
+
+    def flush(self) -> None:
+        """Emit any held event (call at the end of each page visit)."""
+        if self._held is not None:
+            held, self._held = self._held, None
+            self.bus.publish(held)

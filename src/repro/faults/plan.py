@@ -1,0 +1,151 @@
+"""Fault profiles: what can go wrong, and how often.
+
+The paper's crawler visited ~100K sites four times under real-world
+failure conditions — slow pages, aborted loads, half-open WebSockets —
+and measurement crawlers at that scale routinely lose a few percent of
+page loads (OpenWPM and the inclusion-tree literature both report
+substantial page-failure rates). A :class:`FaultProfile` captures that
+failure surface as a set of per-decision probabilities; the
+:class:`~repro.faults.injector.FaultInjector` turns a profile into
+deterministic, seeded draws.
+
+Every probability defaults to zero, so the default profile (``none``)
+is behaviourally identical to running without an injector at all — the
+property the zero-fault benchmark pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Probabilities for every supported fault, zero by default.
+
+    Page-level faults (consumed by the crawler/browser):
+
+    Attributes:
+        name: Profile name, stamped into RNG lanes and reports.
+        page_failure: Per-attempt probability a page load hard-fails
+            before emitting any event (connection refused, DNS error).
+        page_stall: Per-top-level-resource probability the load stalls
+            long enough to matter (a hung third-party include).
+        stall_seconds: ``(low, high)`` simulated-seconds range of one
+            stall; long stalls trip the crawler's per-page sim-clock
+            deadline and surface as page timeouts.
+        site_blackout: Per-(crawl, site) probability the whole site is
+            unreachable for the crawl — every page attempt hard-fails,
+            which is what drives sites into quarantine.
+
+    CDP event-stream faults (consumed by the
+    :class:`~repro.faults.injector.FaultGate` between browser and bus):
+
+    Attributes:
+        drop_event: Per-event probability any CDP event is lost.
+        drop_response: Extra per-event probability that a
+            ``Network.responseReceived`` specifically is lost (the
+            record keeps no MIME type).
+        orphan_socket: Per-event probability a
+            ``Network.webSocketCreated`` is lost, orphaning the rest of
+            that socket's lifecycle events.
+        reorder_event: Per-event probability delivery is delayed by one
+            slot (the event swaps with its successor).
+
+    WebSocket faults (consumed by the browser's socket path):
+
+    Attributes:
+        handshake_refusal: Per-socket probability the server refuses
+            the upgrade (403 instead of 101, no data frames).
+        midstream_close: Per-socket probability the connection closes
+            after only a few data frames.
+        truncate_frame: Per-frame probability a data frame's payload is
+            cut short in transit.
+    """
+
+    name: str = "none"
+    page_failure: float = 0.0
+    page_stall: float = 0.0
+    stall_seconds: tuple[float, float] = (45.0, 120.0)
+    site_blackout: float = 0.0
+    drop_event: float = 0.0
+    drop_response: float = 0.0
+    orphan_socket: float = 0.0
+    reorder_event: float = 0.0
+    handshake_refusal: float = 0.0
+    midstream_close: float = 0.0
+    truncate_frame: float = 0.0
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no fault can ever fire (the fast path)."""
+        return all(
+            getattr(self, f.name) <= 0.0
+            for f in fields(self)
+            if f.name not in ("name", "stall_seconds")
+        )
+
+    @property
+    def events_active(self) -> bool:
+        """True when any event-stream fault can fire."""
+        return (
+            self.drop_event > 0.0
+            or self.drop_response > 0.0
+            or self.orphan_socket > 0.0
+            or self.reorder_event > 0.0
+        )
+
+
+NONE_PROFILE = FaultProfile(name="none")
+
+# A realistically unreliable crawl: a few percent of loads misbehave,
+# sockets occasionally refuse or die early, the event stream loses the
+# odd record. Aggregates must stay within the DESIGN §9 tolerance of a
+# fault-free run.
+FLAKY_PROFILE = FaultProfile(
+    name="flaky",
+    page_failure=0.02,
+    page_stall=0.004,
+    stall_seconds=(45.0, 120.0),
+    site_blackout=0.02,
+    drop_event=0.002,
+    drop_response=0.01,
+    orphan_socket=0.02,
+    reorder_event=0.005,
+    handshake_refusal=0.03,
+    midstream_close=0.05,
+    truncate_frame=0.02,
+)
+
+# A hostile network: the pipeline must still terminate and produce
+# well-formed (if heavily degraded) artifacts.
+HOSTILE_PROFILE = FaultProfile(
+    name="hostile",
+    page_failure=0.10,
+    page_stall=0.03,
+    stall_seconds=(45.0, 180.0),
+    site_blackout=0.12,
+    drop_event=0.01,
+    drop_response=0.05,
+    orphan_socket=0.10,
+    reorder_event=0.02,
+    handshake_refusal=0.12,
+    midstream_close=0.20,
+    truncate_frame=0.10,
+)
+
+PROFILES: dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (NONE_PROFILE, FLAKY_PROFILE, HOSTILE_PROFILE)
+}
+
+
+def profile_named(name: str) -> FaultProfile:
+    """Look up a named profile; raises ``KeyError`` with the choices."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault profile {name!r}; "
+            f"choose from {sorted(PROFILES)}"
+        ) from None

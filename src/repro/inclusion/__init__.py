@@ -9,7 +9,7 @@ WebSockets as children of the JavaScript resource that opened them
 """
 
 from repro.inclusion.node import InclusionNode, NodeKind, WebSocketRecord
-from repro.inclusion.builder import InclusionTreeBuilder, PageTree
+from repro.inclusion.builder import InclusionTreeBuilder, NoDocumentError, PageTree
 from repro.inclusion.chains import chain_domains, chain_to, chain_urls
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "NodeKind",
     "WebSocketRecord",
     "InclusionTreeBuilder",
+    "NoDocumentError",
     "PageTree",
     "chain_to",
     "chain_urls",

@@ -58,6 +58,16 @@ _TYPE_FROM_CDP = {
 }
 
 
+class NoDocumentError(RuntimeError):
+    """A visit's event stream never produced a main document.
+
+    Raised by :meth:`InclusionTreeBuilder.result` when the
+    ``Network.requestWillBeSent`` for the top-level document was lost
+    (a dropped event or an aborted load). Subclasses ``RuntimeError``
+    for backward compatibility.
+    """
+
+
 @dataclass
 class PageTree:
     """The finished inclusion tree for one page visit.
@@ -68,11 +78,16 @@ class PageTree:
         orphan_count: Events whose parent could not be resolved; they
             attach under the root, as the paper's tooling did for
             unattributable inclusions.
+        unattributed_events: Events that referenced a request the tree
+            never saw (their ``requestWillBeSent``/``webSocketCreated``
+            was lost) and had to be discarded — the signature of a
+            lossy event stream.
     """
 
     root: InclusionNode
     websockets: list[InclusionNode] = field(default_factory=list)
     orphan_count: int = 0
+    unattributed_events: int = 0
 
     def all_nodes(self):
         """Every node in the tree, depth-first."""
@@ -89,6 +104,7 @@ class InclusionTreeBuilder:
 
     def __init__(self) -> None:
         self.tree: PageTree | None = None
+        self.unattributed_events = 0
         self._by_url: dict[str, InclusionNode] = {}
         self._docs_by_frame: dict[str, InclusionNode] = {}
         self._by_request_id: dict[str, InclusionNode] = {}
@@ -120,26 +136,28 @@ class InclusionTreeBuilder:
         elif isinstance(event, WebSocketCreated):
             self._on_socket_created(event)
         elif isinstance(event, WebSocketWillSendHandshakeRequest):
-            node = self._by_request_id.get(event.request_id)
-            if node is not None and node.websocket is not None:
-                node.websocket.handshake_headers = dict(event.headers)
-                node.request_headers = dict(event.headers)
+            record = self._socket_record(event.request_id)
+            if record is not None:
+                record.handshake_headers = dict(event.headers)
+                self._by_request_id[event.request_id].request_headers = dict(
+                    event.headers
+                )
         elif isinstance(event, WebSocketHandshakeResponseReceived):
-            node = self._by_request_id.get(event.request_id)
-            if node is not None and node.websocket is not None:
-                node.websocket.response_status = event.status
+            record = self._socket_record(event.request_id)
+            if record is not None:
+                record.response_status = event.status
         elif isinstance(event, (WebSocketFrameSent, WebSocketFrameReceived)):
-            node = self._by_request_id.get(event.request_id)
-            if node is not None and node.websocket is not None:
-                node.websocket.frames.append(FrameData(
+            record = self._socket_record(event.request_id)
+            if record is not None:
+                record.frames.append(FrameData(
                     sent=isinstance(event, WebSocketFrameSent),
                     opcode=event.opcode,
                     payload=event.payload_data,
                 ))
         elif isinstance(event, WebSocketClosed):
-            node = self._by_request_id.get(event.request_id)
-            if node is not None and node.websocket is not None:
-                node.websocket.closed = True
+            record = self._socket_record(event.request_id)
+            if record is not None:
+                record.closed = True
 
     # -- event handlers ---------------------------------------------------------
 
@@ -175,7 +193,9 @@ class InclusionTreeBuilder:
         if parent is None:
             node_parent = self._root_or_none()
             if node_parent is None:
-                return  # Event before any document: drop, as real logs do.
+                # Event before any document: drop, as real logs do.
+                self.unattributed_events += 1
+                return
             self.tree.orphan_count += 1
             node_parent.add_child(node)
         else:
@@ -185,8 +205,11 @@ class InclusionTreeBuilder:
 
     def _on_response(self, event: ResponseReceived) -> None:
         node = self._by_request_id.get(event.request_id)
-        if node is not None:
-            node.mime_type = event.mime_type
+        if node is None:
+            # The matching requestWillBeSent was lost: a lossy stream.
+            self.unattributed_events += 1
+            return
+        node.mime_type = event.mime_type
 
     def _on_frame(self, event: FrameNavigated) -> None:
         if self.tree is None:
@@ -221,6 +244,7 @@ class InclusionTreeBuilder:
 
     def _on_socket_created(self, event: WebSocketCreated) -> None:
         if self.tree is None:
+            self.unattributed_events += 1
             return
         parent = self._resolve_parent(event.initiator, event.frame_id)
         if parent is None:
@@ -238,6 +262,19 @@ class InclusionTreeBuilder:
         self.tree.websockets.append(node)
 
     # -- helpers -----------------------------------------------------------------
+
+    def _socket_record(self, request_id: str):
+        """The socket record for a lifecycle event, counting strays.
+
+        Returns ``None`` (and counts the event as unattributed) when
+        the socket's ``webSocketCreated`` was never seen — the orphaned
+        lifecycle a lossy CDP stream produces.
+        """
+        node = self._by_request_id.get(request_id)
+        if node is None or node.websocket is None:
+            self.unattributed_events += 1
+            return None
+        return node.websocket
 
     def _root_or_none(self) -> InclusionNode | None:
         return self.tree.root if self.tree is not None else None
@@ -264,5 +301,6 @@ class InclusionTreeBuilder:
     def result(self) -> PageTree:
         """The finished tree; raises if no document was ever seen."""
         if self.tree is None:
-            raise RuntimeError("no main document observed")
+            raise NoDocumentError("no main document observed")
+        self.tree.unattributed_events = self.unattributed_events
         return self.tree

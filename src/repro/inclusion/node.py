@@ -45,6 +45,17 @@ class WebSocketRecord:
     closed: bool = False
 
     @property
+    def partial(self) -> bool:
+        """Whether lifecycle events were lost for this socket.
+
+        A complete observation sees a handshake response (any status)
+        and a close. A record without either came from a lossy event
+        stream — downstream consumers must not assume its frame list
+        or handshake data is complete.
+        """
+        return self.response_status == 0 or not self.closed
+
+    @property
     def sent_frames(self) -> list[FrameData]:
         return [f for f in self.frames if f.sent]
 

@@ -71,6 +71,8 @@ def _render_counters(summary: ObsSummary) -> str:
         ("filters", "Filter engine"),
         ("webrequest", "webRequest dispatch"),
         ("crawler", "Crawler"),
+        ("crawl.errors", "Crawl error taxonomy"),
+        ("faults", "Injected faults"),
         ("analysis", "Analysis"),
     )
     sections = []

@@ -4,7 +4,7 @@ DESIGN.md §5 promises bit-reproducible studies: every random draw comes
 from the seeded, stream-keyed RNG (`repro.util.rng`), every timestamp
 from the simulated clock (`repro.util.simtime`), and every telemetry
 tick from the obs clock (`repro.util.obsclock`). This linter makes the
-promise checkable in CI, with four rules:
+promise checkable in CI, with five rules:
 
 * ``DET-WALLCLOCK`` — reading the host's wall clock (``time.time()``,
   ``datetime.now()``, ``date.today()``, ``time.localtime()``, …);
@@ -17,7 +17,12 @@ promise checkable in CI, with four rules:
 * ``DET-ORDER`` — hash-order-dependent iteration: looping over a set
   expression (string hashing is randomized per process, so iteration
   order is not reproducible), ``list(set(...))``, unsorted
-  ``os.listdir()``, or calling builtin ``hash()``.
+  ``os.listdir()``, or calling builtin ``hash()``;
+* ``DET-FAULT`` — any import of ``random``, ``secrets``, ``time``, or
+  ``datetime`` inside ``repro/faults/``: fault injection must be pure
+  seeded decision logic (same seed + same profile ⇒ same faults), so
+  the whole module families are off-limits there, not just the
+  clock-reading calls the other rules catch.
 
 Files under ``repro/util/`` are the sanctioned wrappers and are exempt
 from DET-RANDOM; ``repro/util/obsclock.py`` — the one sanctioned home
@@ -78,10 +83,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
         findings: _Findings,
         exempt_entropy: bool,
         exempt_perf: bool = False,
+        fault_module: bool = False,
     ) -> None:
         self.findings = findings
         self.exempt_entropy = exempt_entropy
         self.exempt_perf = exempt_perf
+        self.fault_module = fault_module
         # Names bound to interesting modules/classes by imports.
         self.time_modules: set[str] = set()
         self.datetime_modules: set[str] = set()
@@ -94,9 +101,27 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     # -- imports -----------------------------------------------------------
 
+    _FAULT_FORBIDDEN = frozenset({"random", "secrets", "time", "datetime"})
+
+    def _check_fault_import(self, node: ast.AST, module: str) -> bool:
+        """DET-FAULT when a fault module imports a forbidden module."""
+        top = module.split(".")[0]
+        if not (self.fault_module and top in self._FAULT_FORBIDDEN):
+            return False
+        self.findings.add(
+            node, "DET-FAULT",
+            f"import of {top!r} inside repro.faults: fault injection "
+            f"must be pure seeded decision logic",
+            "draw from the injector's RngStream lane; take timestamps "
+            "from the caller's SimClock",
+        )
+        return True
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             bound = alias.asname or alias.name.split(".")[0]
+            if self._check_fault_import(node, alias.name):
+                continue
             if alias.name == "time":
                 self.time_modules.add(bound)
             elif alias.name == "datetime":
@@ -116,6 +141,9 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         module = node.module or ""
+        if self._check_fault_import(node, module):
+            self.generic_visit(node)
+            return
         for alias in node.names:
             bound = alias.asname or alias.name
             if module == "datetime":
@@ -274,6 +302,7 @@ def lint_source_text(
     source: str,
     exempt_entropy: bool = False,
     exempt_perf: bool = False,
+    fault_module: bool = False,
 ) -> LintReport:
     """Lint one file's source text.
 
@@ -285,6 +314,8 @@ def lint_source_text(
         exempt_perf: Suppress DET-OBS findings (for the sanctioned
             obs clock, ``repro.util.obsclock``). DET-WALLCLOCK and
             DET-ORDER are never exempted.
+        fault_module: Apply the stricter DET-FAULT rule (for files
+            under ``repro/faults/``).
     """
     report = LintReport()
     try:
@@ -298,7 +329,8 @@ def lint_source_text(
         ))
         return report
     findings = _Findings(path, source.splitlines())
-    _DeterminismVisitor(findings, exempt_entropy, exempt_perf).visit(tree)
+    _DeterminismVisitor(findings, exempt_entropy, exempt_perf,
+                        fault_module).visit(tree)
     report.extend(findings.diagnostics)
     return report
 
@@ -311,9 +343,14 @@ def _is_obs_clock(path: Path) -> bool:
     return _is_util_path(path) and path.name == "obsclock.py"
 
 
+def _is_fault_path(path: Path) -> bool:
+    return "faults" in path.parts
+
+
 def lint_paths(paths: list[Path], root: Path | None = None) -> LintReport:
     """Lint Python files, exempting the sanctioned ``repro/util``
-    wrappers (entropy) and the obs clock (performance counters)."""
+    wrappers (entropy) and the obs clock (performance counters), and
+    holding ``repro/faults/`` to the stricter DET-FAULT rule."""
     report = LintReport()
     for path in sorted(paths):
         display = str(path.relative_to(root)) if root else str(path)
@@ -322,6 +359,7 @@ def lint_paths(paths: list[Path], root: Path | None = None) -> LintReport:
             path.read_text(encoding="utf-8"),
             exempt_entropy=_is_util_path(path),
             exempt_perf=_is_obs_clock(path),
+            fault_module=_is_fault_path(path),
         ))
     return report
 

@@ -1,8 +1,11 @@
-"""Tests for socket-record archiving."""
+"""Tests for socket-record archiving and the checkpoint journal."""
 
 from repro.content.items import ReceivedClass, SentItem
+from repro.crawler.crawler import CrawlConfig, CrawlRunSummary
 from repro.crawler.dataset import SocketRecord
 from repro.crawler.persistence import (
+    CrawlCheckpoint,
+    SiteCheckpoint,
     load_socket_records,
     save_socket_records,
     socket_record_from_json,
@@ -10,7 +13,7 @@ from repro.crawler.persistence import (
 )
 
 
-def _record(crawl=0):
+def _record(crawl=0, partial=False):
     return SocketRecord(
         crawl=crawl, site_domain="pub.com", rank=42,
         page_url="https://www.pub.com/",
@@ -24,12 +27,36 @@ def _record(crawl=0):
         sent_items=frozenset({SentItem.USER_AGENT, SentItem.SCREEN}),
         received_classes=frozenset({ReceivedClass.JSON}),
         sent_nothing=False, received_nothing=False,
+        partial=partial,
     )
 
 
 def test_json_round_trip():
     record = _record()
     assert socket_record_from_json(socket_record_to_json(record)) == record
+
+
+def test_partial_flag_round_trips():
+    record = _record(partial=True)
+    payload = socket_record_to_json(record)
+    assert payload["partial"] is True
+    assert socket_record_from_json(payload) == record
+    assert socket_record_from_json(payload).partial is True
+
+
+def test_partial_defaults_false_for_legacy_payloads():
+    payload = socket_record_to_json(_record())
+    del payload["partial"]  # records written before the flag existed
+    assert socket_record_from_json(payload).partial is False
+
+
+def test_partial_file_round_trip(tmp_path):
+    records = [_record(c, partial=bool(c % 2)) for c in range(4)]
+    path = tmp_path / "partial.jsonl"
+    assert save_socket_records(path, records) == 4
+    loaded = load_socket_records(path)
+    assert loaded == records
+    assert [r.partial for r in loaded] == [False, True, False, True]
 
 
 def test_file_round_trip(tmp_path):
@@ -50,3 +77,47 @@ def test_real_dataset_round_trips(tiny_study, tmp_path):
     records = tiny_study.dataset.socket_records[:200]
     save_socket_records(path, records)
     assert load_socket_records(path) == records
+
+
+# -- checkpoint journal ---------------------------------------------------
+
+
+def test_checkpoint_journal_round_trips(tmp_path):
+    path = tmp_path / "ckpt.jsonl"
+    journal = CrawlCheckpoint(path)
+    assert len(journal) == 0
+    entry = SiteCheckpoint(crawl=1, domain="pub.com", rank=42,
+                           status="ok", pages=15, sockets=3)
+    journal.record(entry)
+    reopened = CrawlCheckpoint(path)
+    assert len(reopened) == 1
+    assert reopened.get(1, "pub.com") == entry
+    assert reopened.get(0, "pub.com") is None
+
+
+def test_checkpoint_appends_across_opens(tmp_path):
+    path = tmp_path / "ckpt.jsonl"
+    first = CrawlCheckpoint(path)
+    first.record(SiteCheckpoint(crawl=0, domain="a.com", rank=1,
+                                status="ok", pages=2, sockets=0))
+    second = CrawlCheckpoint(path)
+    second.record(SiteCheckpoint(crawl=0, domain="b.com", rank=2,
+                                 status="quarantined", pages=1, sockets=0))
+    third = CrawlCheckpoint(path)
+    assert len(third) == 2
+    assert third.get(0, "b.com").status == "quarantined"
+
+
+def test_checkpoint_restore_folds_into_summary(tmp_path):
+    summary = CrawlRunSummary(config=CrawlConfig(
+        index=0, label="x", chrome_major=57, start_date="2017-04-02"
+    ))
+    SiteCheckpoint(crawl=0, domain="a.com", rank=1, status="ok",
+                   pages=15, sockets=4).restore_into(summary)
+    SiteCheckpoint(crawl=0, domain="b.com", rank=2, status="quarantined",
+                   pages=3, sockets=0).restore_into(summary)
+    assert summary.sites_visited == 2
+    assert summary.pages_visited == 18
+    assert summary.sockets_observed == 4
+    assert summary.sites_quarantined == 1
+    assert summary.sites == [("a.com", 1), ("b.com", 2)]

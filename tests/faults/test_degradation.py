@@ -1,0 +1,101 @@
+"""Graceful degradation: a moderately faulted study stays analyzable.
+
+The contract documented in DESIGN.md §9: under the ``flaky`` profile
+the Table 1–5 pipeline completes without raising, denominators are
+unchanged (quarantined sites still count), page coverage stays ≥ 90%,
+and socket-level aggregates stay within 30% relative of the fault-free
+run. Fault artifacts (trace + metrics) are byte-identical across
+same-seed runs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.table1 import compute_table1
+from repro.analysis.classify import classify_sockets
+from repro.experiments.runner import analyze, run_crawls
+from repro.obs import Obs, write_metrics, write_trace
+from tests.conftest import TINY_STUDY_CONFIG
+
+FLAKY_CONFIG = dataclasses.replace(TINY_STUDY_CONFIG, faults="flaky",
+                                   name="test-flaky")
+
+
+@pytest.fixture(scope="module")
+def flaky_study(tiny_web):
+    """The tiny study rerun under the flaky fault profile."""
+    dataset, summaries = run_crawls(tiny_web, FLAKY_CONFIG)
+    return analyze(FLAKY_CONFIG, tiny_web, dataset, summaries)
+
+
+def test_flaky_study_completes_with_nonzero_fault_counters(flaky_study):
+    total_retries = sum(s.page_retries for s in flaky_study.summaries)
+    total_quarantined = sum(s.sites_quarantined
+                            for s in flaky_study.summaries)
+    assert total_retries > 0
+    assert total_quarantined > 0
+    assert all(s.errors for s in flaky_study.summaries)
+
+
+def test_denominators_survive_faults(tiny_study, flaky_study):
+    """Quarantined sites still count: Table 1 site columns match."""
+    clean = {row.label: row.sites_crawled for row in tiny_study.table1}
+    flaky = {row.label: row.sites_crawled for row in flaky_study.table1}
+    assert clean == flaky
+
+
+def test_page_coverage_stays_high(tiny_study, flaky_study):
+    for clean, faulted in zip(tiny_study.summaries, flaky_study.summaries):
+        assert faulted.pages_visited >= 0.9 * clean.pages_visited
+
+
+def test_socket_aggregates_within_tolerance(tiny_study, flaky_study):
+    clean = len(tiny_study.views)
+    faulted = len(flaky_study.views)
+    assert clean > 0
+    assert abs(faulted - clean) / clean <= 0.30
+    clean_aa = sum(1 for v in tiny_study.views if v.is_aa_socket)
+    faulted_aa = sum(1 for v in flaky_study.views if v.is_aa_socket)
+    if clean_aa:
+        assert abs(faulted_aa - clean_aa) / clean_aa <= 0.30
+
+
+def test_tables_compute_on_partial_data(flaky_study):
+    """Every downstream artifact exists — nothing raised mid-pipeline."""
+    assert flaky_study.table1
+    assert flaky_study.table4.self_pair_sockets >= 0
+    assert flaky_study.figure3 is not None
+    assert flaky_study.blocking is not None
+    labeler = flaky_study.labeler
+    views = classify_sockets(flaky_study.dataset, labeler,
+                             flaky_study.resolver)
+    table1 = compute_table1(views, flaky_study.dataset.crawl_sites,
+                            flaky_study.dataset.crawl_labels)
+    assert [r.sites_crawled for r in table1] == \
+        [r.sites_crawled for r in flaky_study.table1]
+
+
+def test_partial_sockets_flow_into_dataset(flaky_study):
+    partial_in_summaries = sum(s.sockets_partial
+                               for s in flaky_study.summaries)
+    partial_in_records = sum(1 for r in flaky_study.dataset.socket_records
+                             if r.partial)
+    assert partial_in_records == partial_in_summaries
+
+
+def test_faulted_artifacts_are_byte_identical(tiny_web, tmp_path):
+    """Same seed + same profile ⇒ identical trace and metrics files."""
+    paths = {}
+    for run in ("a", "b"):
+        obs = Obs()
+        dataset, summaries = run_crawls(tiny_web, FLAKY_CONFIG, obs=obs)
+        summary = obs.summary(preset=FLAKY_CONFIG.name,
+                              seed=FLAKY_CONFIG.seed)
+        trace = tmp_path / f"trace-{run}.jsonl"
+        metrics = tmp_path / f"metrics-{run}.json"
+        write_trace(trace, summary)
+        write_metrics(metrics, summary)
+        paths[run] = (trace.read_bytes(), metrics.read_bytes())
+        assert sum(s.page_retries for s in summaries) > 0
+    assert paths["a"] == paths["b"]

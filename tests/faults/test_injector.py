@@ -1,0 +1,171 @@
+"""Tests for the seeded fault injector and its event gate."""
+
+from repro.cdp.events import (
+    ResponseReceived,
+    ScriptParsed,
+    WebSocketClosed,
+    WebSocketCreated,
+)
+from repro.faults import (
+    FLAKY_PROFILE,
+    NONE_PROFILE,
+    FaultGate,
+    FaultInjector,
+    FaultProfile,
+)
+
+
+class _ListBus:
+    def __init__(self):
+        self.events = []
+
+    def publish(self, event):
+        self.events.append(event)
+
+
+def _decisions(injector):
+    """A reproducible transcript of every decision surface."""
+    return (
+        [injector.page_fails(f"https://s{i}.com/", 0, 1) for i in range(50)],
+        [injector.site_blacked_out(0, f"s{i}.com") for i in range(50)],
+        [injector.refuse_handshake(f"wss://rt{i}.com/", f"r{i}")
+         for i in range(50)],
+        [injector.frame_limit(f"wss://rt{i}.com/", f"r{i}")
+         for i in range(50)],
+        [injector.stall_seconds(f"https://s{i}.com/", 0, 1, 0)
+         for i in range(50)],
+    )
+
+
+def test_same_seed_same_decisions():
+    a = FaultInjector(FLAKY_PROFILE, 2017, 0)
+    b = FaultInjector(FLAKY_PROFILE, 2017, 0)
+    assert _decisions(a) == _decisions(b)
+
+
+def test_decisions_are_keyed_not_sequential():
+    """Entity-keyed draws don't depend on unrelated earlier draws."""
+    a = FaultInjector(FLAKY_PROFILE, 2017, 0)
+    b = FaultInjector(FLAKY_PROFILE, 2017, 0)
+    for i in range(100):  # perturb b with extra unrelated draws
+        b.refuse_handshake(f"wss://other{i}.com/", f"x{i}")
+    assert a.page_fails("https://site.com/", 0, 1) == \
+        b.page_fails("https://site.com/", 0, 1)
+    assert a.site_blacked_out(0, "site.com") == \
+        b.site_blacked_out(0, "site.com")
+
+
+def test_lanes_are_independent():
+    lane0 = _decisions(FaultInjector(FLAKY_PROFILE, 2017, 0))
+    lane1 = _decisions(FaultInjector(FLAKY_PROFILE, 2017, 1))
+    assert lane0 != lane1
+
+
+def test_none_profile_never_fires():
+    injector = FaultInjector(NONE_PROFILE, 2017, 0)
+    pages, blackouts, refusals, limits, stalls = _decisions(injector)
+    assert not any(pages)
+    assert not any(blackouts)
+    assert not any(refusals)
+    assert all(limit is None for limit in limits)
+    assert all(stall == 0.0 for stall in stalls)
+    assert not injector.counters
+    assert injector.gate(_ListBus()) is None
+
+
+def test_flaky_profile_fires_sometimes():
+    injector = FaultInjector(FLAKY_PROFILE, 2017, 0)
+    refusals = [injector.refuse_handshake(f"wss://rt{i}.com/", f"r{i}")
+                for i in range(500)]
+    assert any(refusals)
+    assert not all(refusals)
+
+
+def test_frame_limit_is_small_and_positive():
+    profile = FaultProfile(name="always-close", midstream_close=1.0)
+    injector = FaultInjector(profile, 2017, 0)
+    for i in range(50):
+        limit = injector.frame_limit(f"wss://rt{i}.com/", f"r{i}")
+        assert 1 <= limit <= 4
+
+
+def test_stall_seconds_within_profile_range():
+    profile = FaultProfile(name="always-stall", page_stall=1.0,
+                           stall_seconds=(45.0, 120.0))
+    injector = FaultInjector(profile, 2017, 0)
+    for i in range(50):
+        stall = injector.stall_seconds(f"https://s{i}.com/", 0, 1, i)
+        assert 45.0 <= stall <= 120.0
+
+
+# -- the event gate -------------------------------------------------------
+
+
+def _script(i):
+    return ScriptParsed(timestamp=float(i), script_id=str(i),
+                        url=f"https://s.com/{i}.js")
+
+
+def test_gate_drops_events_and_counts_by_kind():
+    profile = FaultProfile(name="drop-all", drop_event=1.0)
+    injector = FaultInjector(profile, 2017, 0)
+    bus = _ListBus()
+    gate = FaultGate(bus, injector)
+    gate.publish(_script(1))
+    gate.publish(ResponseReceived(timestamp=0.0, request_id="r1"))
+    gate.publish(WebSocketCreated(timestamp=0.0, request_id="ws1"))
+    assert bus.events == []
+    assert injector.counters["event_dropped"] == 1
+    assert injector.counters["response_dropped"] == 1
+    assert injector.counters["socket_orphaned"] == 1
+
+
+def test_gate_reorders_adjacent_events():
+    profile = FaultProfile(name="reorder-all", reorder_event=1.0)
+    injector = FaultInjector(profile, 2017, 0)
+    bus = _ListBus()
+    gate = FaultGate(bus, injector)
+    first, second = _script(1), _script(2)
+    gate.publish(first)
+    assert bus.events == []  # held back
+    gate.publish(second)
+    assert bus.events == [second, first]  # adjacent swap
+    assert injector.counters["event_reordered"] == 1
+
+
+def test_gate_flush_emits_held_event():
+    profile = FaultProfile(name="reorder-all", reorder_event=1.0)
+    injector = FaultInjector(profile, 2017, 0)
+    bus = _ListBus()
+    gate = FaultGate(bus, injector)
+    held = _script(1)
+    gate.publish(held)
+    assert bus.events == []
+    gate.flush()
+    assert bus.events == [held]
+    gate.flush()  # idempotent
+    assert bus.events == [held]
+
+
+def test_gate_passes_through_with_zero_stream_probs():
+    profile = FaultProfile(name="pages-only", page_failure=0.9)
+    injector = FaultInjector(profile, 2017, 0)
+    assert injector.gate(_ListBus()) is None  # no stream faults → no gate
+    bus = _ListBus()
+    gate = FaultGate(bus, injector)  # even built by hand, all passes
+    events = [_script(i) for i in range(10)]
+    for event in events:
+        gate.publish(event)
+    assert bus.events == events
+
+
+def test_gate_orphans_socket_lifecycles():
+    """Dropping webSocketCreated leaves later lifecycle events stray."""
+    profile = FaultProfile(name="orphan-all", orphan_socket=1.0)
+    injector = FaultInjector(profile, 2017, 0)
+    bus = _ListBus()
+    gate = FaultGate(bus, injector)
+    gate.publish(WebSocketCreated(timestamp=0.0, request_id="ws1"))
+    gate.publish(WebSocketClosed(timestamp=1.0, request_id="ws1"))
+    assert [type(e).__name__ for e in bus.events] == ["WebSocketClosed"]
+    assert injector.counters["socket_orphaned"] == 1

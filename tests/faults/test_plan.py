@@ -1,0 +1,60 @@
+"""Tests for fault profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import (
+    FLAKY_PROFILE,
+    HOSTILE_PROFILE,
+    NONE_PROFILE,
+    PROFILES,
+    FaultProfile,
+    profile_named,
+)
+
+
+def test_named_profiles_cover_the_cli_choices():
+    assert set(PROFILES) == {"none", "flaky", "hostile"}
+    assert profile_named("none") is NONE_PROFILE
+    assert profile_named("flaky") is FLAKY_PROFILE
+    assert profile_named("hostile") is HOSTILE_PROFILE
+
+
+def test_unknown_profile_names_the_choices():
+    with pytest.raises(KeyError, match="flaky"):
+        profile_named("chaotic")
+
+
+def test_none_profile_is_zero():
+    assert NONE_PROFILE.is_zero
+    assert not NONE_PROFILE.events_active
+    assert FaultProfile().is_zero
+
+
+def test_flaky_and_hostile_are_not_zero():
+    assert not FLAKY_PROFILE.is_zero
+    assert not HOSTILE_PROFILE.is_zero
+    assert FLAKY_PROFILE.events_active
+    assert HOSTILE_PROFILE.events_active
+
+
+def test_hostile_is_at_least_as_harsh_as_flaky():
+    for knob in ("page_failure", "page_stall", "site_blackout",
+                 "drop_event", "drop_response", "orphan_socket",
+                 "handshake_refusal", "midstream_close", "truncate_frame"):
+        assert getattr(HOSTILE_PROFILE, knob) >= getattr(FLAKY_PROFILE, knob)
+
+
+def test_events_active_tracks_only_stream_knobs():
+    page_only = FaultProfile(name="pages", page_failure=0.5,
+                             handshake_refusal=0.5)
+    assert not page_only.is_zero
+    assert not page_only.events_active
+    stream_only = FaultProfile(name="stream", drop_event=0.1)
+    assert stream_only.events_active
+
+
+def test_profiles_are_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        FLAKY_PROFILE.page_failure = 1.0

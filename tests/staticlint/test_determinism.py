@@ -174,7 +174,57 @@ class TestPragmaAndSyntax:
         assert _rules(report) == ["DET-RANDOM", "DET-WALLCLOCK"]
 
 
+class TestFaultRule:
+    def _lint_fault(self, source):
+        return lint_source_text("faults/mod.py", textwrap.dedent(source),
+                                fault_module=True)
+
+    def test_import_time_forbidden_in_fault_modules(self):
+        report = self._lint_fault("import time\n")
+        assert _rules(report) == ["DET-FAULT"]
+
+    def test_import_datetime_forbidden_in_fault_modules(self):
+        report = self._lint_fault("import datetime\n")
+        assert _rules(report) == ["DET-FAULT"]
+
+    def test_from_import_forbidden_in_fault_modules(self):
+        report = self._lint_fault("from datetime import timedelta\n")
+        assert _rules(report) == ["DET-FAULT"]
+
+    def test_random_reports_fault_not_double_counted(self):
+        report = self._lint_fault("import random\n")
+        assert _rules(report) == ["DET-FAULT"]  # not DET-RANDOM too
+
+    def test_submodule_import_forbidden(self):
+        report = self._lint_fault("from random import Random\n")
+        assert _rules(report) == ["DET-FAULT"]
+
+    def test_sanctioned_lanes_are_clean(self):
+        report = self._lint_fault(
+            "from repro.util.rng import RngStream\n"
+            "from repro.util.simtime import SimClock\n"
+        )
+        assert not report
+
+    def test_ordinary_modules_keep_the_narrow_rules(self):
+        """Outside repro/faults, `import time` alone is fine."""
+        report = _lint("import time\n")
+        assert not report
+
+
 class TestPathLinting:
+    def test_fault_paths_get_strict_rule(self, tmp_path):
+        fault_dir = tmp_path / "pkg" / "faults"
+        fault_dir.mkdir(parents=True)
+        inject = fault_dir / "injector.py"
+        inject.write_text("import datetime\n", encoding="utf-8")
+        other = tmp_path / "pkg" / "core.py"
+        other.write_text("import datetime\n", encoding="utf-8")
+        report = lint_paths([inject, other], root=tmp_path)
+        assert [(d.source, d.rule_id) for d in report.diagnostics] == [
+            ("pkg/faults/injector.py:1", "DET-FAULT"),
+        ]
+
     def test_util_paths_exempt_entropy(self, tmp_path):
         util_dir = tmp_path / "pkg" / "util"
         util_dir.mkdir(parents=True)
