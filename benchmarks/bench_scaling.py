@@ -5,6 +5,8 @@ unique-entity counts are pinned. This bench sweeps the crawl scale and
 verifies the headline marginals hold.
 """
 
+from conftest import write_bench_json
+
 from repro.experiments import StudyConfig
 from repro.experiments.runner import run_study
 
@@ -40,3 +42,4 @@ def test_scaling_sweep(benchmark):
     # Percentages stable within a band.
     assert abs(small["aa_init_pct"] - large["aa_init_pct"]) < 15
     assert abs(small["aa_recv_pct"] - large["aa_recv_pct"]) < 15
+    write_bench_json("scaling", {"small": small, "large": large})

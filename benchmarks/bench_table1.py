@@ -9,7 +9,9 @@ Paper values (IMC '18, Table 1):
     Oct 12-16, 2017    2.5      63.4        23        63.7        18
 """
 
-from conftest import BENCH_CONFIG
+import dataclasses
+
+from conftest import BENCH_CONFIG, write_bench_json
 
 from repro.analysis.report import render_overall, render_table1
 from repro.analysis.stats import compute_overall_stats
@@ -38,6 +40,11 @@ def test_table1(benchmark, bench_study):
         print(f"  crawl {c}: sites-with-sockets normalized to full "
               f"sample ≈ {normalized:.1f}%")
     assert by_crawl[2].pct_sites_with_sockets < by_crawl[0].pct_sites_with_sockets
+    write_bench_json("table1", {
+        "preset": BENCH_CONFIG.name,
+        "sample_normalization": normalization,
+        "rows": [dataclasses.asdict(r) for r in rows],
+    })
 
 
 def test_overall_stats(benchmark, bench_study):
@@ -48,3 +55,7 @@ def test_overall_stats(benchmark, bench_study):
     assert stats.disappeared_initiators == 56
     assert stats.pct_cross_origin > 90.0
     assert stats.unique_aa_receivers == 20
+    write_bench_json("overall", {
+        "preset": BENCH_CONFIG.name,
+        **dataclasses.asdict(stats),
+    })

@@ -9,6 +9,10 @@ Paper values (total receivers / A&A receivers / sockets):
     googlesyndication* 10/6/71  adnxs* 8/3/31  googleapis 7/0/157
 """
 
+import dataclasses
+
+from conftest import write_bench_json
+
 from repro.analysis.report import render_table2
 from repro.analysis.table2 import compute_table2
 
@@ -45,3 +49,7 @@ def test_table2(benchmark, bench_study):
     # The bold (A&A) flags: majors are A&A, CDNs are not.
     assert by_name["facebook"].is_aa and by_name["doubleclick"].is_aa
     assert not by_name["espncdn"].is_aa and not by_name["cloudflare"].is_aa
+    write_bench_json("table2", {
+        "paper_rows_matched": matched,
+        "rows": [dataclasses.asdict(r) for r in rows],
+    })

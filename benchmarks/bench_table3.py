@@ -13,6 +13,10 @@ publishers); the A&A-initiator counts are entity-level and reproduce
 exactly.
 """
 
+import dataclasses
+
+from conftest import write_bench_json
+
 from repro.analysis.report import render_table3
 from repro.analysis.table3 import aa_initiator_share, compute_table3
 
@@ -48,3 +52,8 @@ def test_table3(benchmark, bench_study):
         if name in by_name and abs(by_name[name].initiators_aa - aa) <= 1
     )
     assert matched >= 10, f"only {matched} A&A-initiator counts near paper"
+    write_bench_json("table3", {
+        "paper_rows_matched": matched,
+        "aa_initiator_share_pct": aa_initiator_share(bench_study.views),
+        "rows": [dataclasses.asdict(r) for r in rows],
+    })

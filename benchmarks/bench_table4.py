@@ -12,6 +12,10 @@ scale; multi-site pairs compress with crawl scale (site counts shrink,
 per-site intensity is preserved).
 """
 
+import dataclasses
+
+from conftest import write_bench_json
+
 from repro.analysis.report import render_table4
 from repro.analysis.table4 import compute_table4
 
@@ -50,3 +54,8 @@ def test_table4(benchmark, bench_study):
                  ("blogger", "feedjit"), ("google", "zopim"),
                  ("facebook", "zopim")):
         assert pair in all_pairs, pair
+    write_bench_json("table4", {
+        "reserved_pairs_matched": matched,
+        "self_pair_sockets": table.self_pair_sockets,
+        "rows": [dataclasses.asdict(r) for r in table.rows],
+    })

@@ -10,6 +10,8 @@ HTTP-side: Cookie 22.8, everything private under ~1.2%; received JS
 27.0, Image 21.3, HTML 11.6, JSON 1.6.
 """
 
+from conftest import write_bench_json
+
 from repro.analysis.report import render_table5
 from repro.analysis.table5 import compute_table5
 from repro.content.items import ReceivedClass, SentItem
@@ -58,6 +60,22 @@ def test_table5(benchmark, bench_study):
     # to exactly the three session-replay services the paper names.
     assert table.fingerprinting_top_receiver == "33across.com"
     assert table.fingerprinting_top_receiver_share > 90.0
+    write_bench_json("table5", {
+        "ws_total": table.ws_total,
+        "http_total": table.http_total,
+        "sent_ws_pct": {i.name: c.percent for i, c in table.sent_ws.items()},
+        "sent_http_pct": {i.name: c.percent
+                          for i, c in table.sent_http.items()},
+        "received_ws_pct": {c.name: cell.percent
+                            for c, cell in table.received_ws.items()},
+        "received_http_pct": {c.name: cell.percent
+                              for c, cell in table.received_http.items()},
+        "ws_sent_nothing_pct": table.ws_sent_nothing.percent,
+        "ws_received_nothing_pct": table.ws_received_nothing.percent,
+        "fingerprinting_top_receiver": table.fingerprinting_top_receiver,
+        "fingerprinting_top_receiver_share":
+            table.fingerprinting_top_receiver_share,
+    })
     assert set(table.dom_receivers) <= {
         "hotjar.com", "luckyorange.com", "truconversion.com"
     }

@@ -24,7 +24,24 @@ BENCH_CONFIG = StudyConfig(
     scale=0.05, sample_scale=0.01, pages_per_site=10, name="bench"
 )
 
-BENCH_OBS_PATH = Path(__file__).resolve().parent.parent / "results" / "bench" / "BENCH_OBS.json"
+BENCH_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
+BENCH_OBS_PATH = BENCH_DIR / "BENCH_OBS.json"
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one benchmark's results to ``results/bench/BENCH_<NAME>.json``.
+
+    Every bench module funnels its measured numbers through here so the
+    emission format stays uniform (sorted keys, two-space indent,
+    trailing newline — diff-friendly when committed).
+    """
+    path = BENCH_DIR / f"BENCH_{name.upper()}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -59,8 +76,7 @@ def bench_study(bench_web, bench_dataset, bench_obs):
 
 def _write_bench_obs(summary) -> None:
     """Per-stage breakdown next to the pytest-benchmark BENCH_*.json."""
-    BENCH_OBS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
+    write_bench_json("obs", {
         "preset": BENCH_CONFIG.name,
         "ticks": summary.ticks,
         "stages": [
@@ -69,8 +85,4 @@ def _write_bench_obs(summary) -> None:
         ],
         "counters": summary.counters,
         "histograms": summary.histograms,
-    }
-    BENCH_OBS_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    })

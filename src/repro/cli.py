@@ -19,7 +19,8 @@ Global flags: ``--quiet`` suppresses progress lines on stderr;
 ``--verbose`` adds stage-transition lines. Exit codes: 0 success, 1
 contract violation (``lint``), 2 bad invocation or unreadable input,
 3 catastrophic degradation — a crawl exhausted its retries on every
-page and produced no data (see README.md).
+page and produced no data, 4 parallel execution failure — a shard
+worker died before the study could merge (see README.md).
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from repro.analysis import report as report_mod
 from repro.browser import Browser
 from repro.cdp import EventBus, SessionRecorder
 from repro.cdp.har import save_har
+from repro.crawler.persistence import save_socket_records
 from repro.experiments import (
     DEFAULT_CONFIG,
     FULL_CONFIG,
@@ -44,6 +46,7 @@ from repro.inclusion import InclusionTreeBuilder
 from repro.net.http import ResourceType
 from repro.obs import Obs, read_trace, render_obs_summary, write_metrics, write_trace
 from repro.obs.tracer import ObsEvent
+from repro.parallel import ParallelExecutionError
 from repro.web.filterlists import (
     build_easylist_text,
     build_easyprivacy_text,
@@ -105,11 +108,20 @@ def _cmd_study(args: argparse.Namespace) -> int:
     config = _PRESETS[args.preset]
     if args.faults != config.faults:
         config = config.with_faults(args.faults)
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
     obs = Obs()
     if not args.quiet:
         obs.tracer.add_sink(_progress_sink(args.verbose))
-    result = run_study(config, obs=obs,
-                       checkpoint_path=args.checkpoint or None)
+    try:
+        result = run_study(config, obs=obs,
+                           checkpoint_path=args.checkpoint or None,
+                           workers=args.workers)
+    except ParallelExecutionError as error:
+        print(f"parallel execution failed: {error}", file=sys.stderr)
+        return 4
     print(report_mod.render_table1(result.table1), "\n")
     print("TABLE 2 — top initiators")
     print(report_mod.render_table2(result.table2), "\n")
@@ -140,6 +152,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if args.metrics_out:
             write_metrics(args.metrics_out, result.obs)
             print(f"metrics written to {args.metrics_out}")
+    if args.dataset_out:
+        count = save_socket_records(args.dataset_out,
+                                    result.dataset.socket_records)
+        print(f"dataset written to {args.dataset_out} ({count} records)")
     return _study_exit_code(result.summaries)
 
 
@@ -270,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL journal of per-site completion; rerun "
                             "with the same path to resume an interrupted "
                             "study")
+    study.add_argument("--workers", type=int, default=1,
+                       help="crawl shards on this many worker processes "
+                            "(artifacts are byte-identical across worker "
+                            "counts; default 1 runs inline)")
+    study.add_argument("--dataset-out", default="", dest="dataset_out",
+                       help="write the study's socket records as JSONL "
+                            "(.gz supported)")
     study.set_defaults(func=_cmd_study)
 
     obs = sub.add_parser("obs", help="summarize a study trace file")

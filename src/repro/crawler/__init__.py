@@ -9,8 +9,10 @@ the :class:`~repro.crawler.dataset.StudyDataset`.
 """
 
 from repro.crawler.crawler import (
+    CrawlAccountant,
     CrawlConfig,
     Crawler,
+    CrawlLane,
     CrawlRunSummary,
     RetryPolicy,
 )
@@ -22,14 +24,20 @@ from repro.crawler.observation import (
     SocketObservation,
     observe_page,
 )
+from repro.crawler.outcome import LaneStats, PageOutcome, SiteOutcome
 
 __all__ = [
     "Crawler",
+    "CrawlAccountant",
     "CrawlConfig",
     "CrawlErrorKind",
+    "CrawlLane",
     "CrawlRunSummary",
     "ErrorTally",
+    "LaneStats",
+    "PageOutcome",
     "RetryPolicy",
+    "SiteOutcome",
     "StudyDataset",
     "SocketRecord",
     "PageObservation",

@@ -8,6 +8,17 @@ wrong lands in an error taxonomy on the run summary. With a
 survives injected page failures, stalls, blackouts, and lossy event
 streams — without one, none of this machinery draws entropy or
 publishes events, so fault-free runs are unchanged.
+
+Parallel model (PR 4): crawling and bookkeeping are two phases. A
+:class:`CrawlLane` (browser + bus + fault gate + sim clock) produces
+:class:`~repro.crawler.outcome.SiteOutcome` records — pure data, no
+obs/observer/summary side effects — and a :class:`CrawlAccountant`
+folds outcomes into the run summary, obs spans/counters, dataset
+observers, and the checkpoint journal, always in canonical site order.
+Because producing an outcome never touches the obs tick clock, the
+accountant's replay is byte-identical whether the outcome was crawled
+inline one second ago or in a worker process (see
+:mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from repro.browser.browser import Browser
 from repro.cdp.bus import EventBus
 from repro.crawler.errors import CrawlErrorKind, ErrorTally
 from repro.crawler.observation import PageObservation, observe_page
+from repro.crawler.outcome import LaneStats, PageOutcome, SiteOutcome
 from repro.crawler.policy import VisitPolicy, page_index_for_link
 from repro.faults.injector import (
     FaultInjector,
@@ -34,7 +46,7 @@ from repro.web.alexa import Site
 from repro.web.server import SyntheticWeb
 
 if TYPE_CHECKING:  # avoids the persistence → dataset → crawler cycle
-    from repro.crawler.persistence import CrawlCheckpoint
+    from repro.crawler.persistence import CrawlCheckpoint, SiteCheckpoint
 
 Observer = Callable[[PageObservation], None]
 
@@ -114,6 +126,228 @@ class CrawlRunSummary:
     errors: dict[str, int] = field(default_factory=dict)
 
 
+@dataclass
+class CrawlLane:
+    """One crawl execution lane: browser, event bus, gate, sim clock.
+
+    Sequential runs use a single lane for the whole seed list; the
+    parallel executor gives every shard its own lane, so per-lane state
+    (CDP request counters, the event-gate RNG position, the sim clock)
+    is a function of the shard plan alone — never of the worker count.
+    """
+
+    clock: SimClock
+    bus: EventBus
+    gate: object | None
+    browser: Browser
+
+    def stats(self, faults: FaultInjector | None) -> LaneStats:
+        """Harvest the lane's telemetry (bus, webRequest, faults)."""
+        return LaneStats(
+            events_published=self.bus.published_count,
+            delivered_count=self.bus.delivered_count,
+            published_by_method=dict(self.bus.published_by_method),
+            webrequest_counts=self.browser.webrequest.as_counts(),
+            fault_counters=(
+                dict(sorted(faults.counters.items()))
+                if faults is not None and faults.counters else {}
+            ),
+        )
+
+
+class CrawlAccountant:
+    """Folds site outcomes into summary, obs, observers, and journal.
+
+    All crawl bookkeeping lives here so the sequential path and the
+    parallel merge are literally the same code: ``record_site`` opens
+    the site/page spans, feeds observers, updates the run summary,
+    emits ``crawl.progress``/``crawl.quarantine`` events, and journals
+    the site; ``restore_site`` folds a checkpointed site back in,
+    replaying its journaled observations into the observers so a
+    resumed study feeds its dataset exactly like an uninterrupted one;
+    ``finish`` emits the unconditional end-of-crawl progress event and
+    harvests lane telemetry into the metrics registry.
+
+    Use as a context manager — the crawl span opens on entry and
+    closes on exit, and ``finish`` must be called inside the block.
+    """
+
+    def __init__(
+        self,
+        config: CrawlConfig,
+        site_total: int,
+        observers: Iterable[Observer] = (),
+        obs: Obs | None = None,
+        checkpoint: "CrawlCheckpoint | None" = None,
+        progress_every: int = 25,
+    ) -> None:
+        self.config = config
+        self.site_total = site_total
+        self.observers = list(observers)
+        self.obs = obs
+        self.checkpoint = checkpoint
+        self.progress_every = max(1, progress_every)
+        self.summary = CrawlRunSummary(config=config)
+        self.tally = ErrorTally()
+        self._span_cm = None
+        self._span = None
+
+    def __enter__(self) -> "CrawlAccountant":
+        self._span_cm = (
+            self.obs.span("crawl", index=self.config.index,
+                          chrome=self.config.chrome_major,
+                          label=self.config.label)
+            if self.obs is not None else nullcontext()
+        )
+        self._span = self._span_cm.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return self._span_cm.__exit__(exc_type, exc, tb)
+
+    def record_site(self, outcome: SiteOutcome) -> None:
+        """Fold one freshly crawled site in (canonical-order replay)."""
+        summary = self.summary
+        obs = self.obs
+        site_span = (
+            obs.span("site", domain=outcome.domain, rank=outcome.rank)
+            if obs is not None else nullcontext()
+        )
+        with site_span:
+            for page in outcome.pages:
+                page_span = (
+                    obs.span("page", index=page.page_index)
+                    if obs is not None else nullcontext()
+                )
+                with page_span:
+                    if obs is not None and page.observation is not None:
+                        Crawler._count_page(obs, page.observation)
+                if page.observation is None:
+                    summary.pages_failed += 1
+                else:
+                    summary.pages_visited += 1
+                    summary.sockets_observed += len(page.observation.sockets)
+                    summary.sockets_partial += sum(
+                        1 for s in page.observation.sockets if s.partial
+                    )
+                    for observer in self.observers:
+                        observer(page.observation)
+        summary.page_retries += outcome.page_retries
+        if outcome.quarantined:
+            summary.sites_quarantined += 1
+            if obs is not None:
+                obs.event(
+                    "crawl.quarantine",
+                    crawl=self.config.index,
+                    domain=outcome.domain,
+                    rank=outcome.rank,
+                    consecutive_failures=outcome.consecutive_failures,
+                )
+        summary.sites_visited += 1
+        summary.sites.append((outcome.domain, outcome.rank))
+        self.tally.merge(outcome.errors)
+        if self.checkpoint is not None:
+            self.checkpoint.record(self._checkpoint_entry(outcome))
+        if obs is not None and (
+            summary.sites_visited % self.progress_every == 0
+            and summary.sites_visited != self.site_total
+        ):
+            self._progress_event()
+
+    def restore_site(self, entry: "SiteCheckpoint") -> None:
+        """Fold one journaled site back in, replaying its observations.
+
+        Restored sites feed the observers (so the dataset — and every
+        table derived from it — matches an uninterrupted run) but open
+        no spans and touch no counters: the metrics describe work this
+        process actually did, and the trace shows the resume for what
+        it is.
+        """
+        entry.restore_into(self.summary)
+        self.tally.merge(entry.errors)
+        for page in entry.page_outcomes:
+            if page.observation is not None:
+                for observer in self.observers:
+                    observer(page.observation)
+
+    def finish(self, lane: LaneStats) -> None:
+        """End-of-crawl bookkeeping; call once, inside the span."""
+        summary = self.summary
+        obs = self.obs
+        if obs is not None:
+            # Unconditional: fires even when checkpoint restoration or
+            # quarantine kept the in-loop modulo from landing on the
+            # final site.
+            self._progress_event()
+        # += so checkpoint-restored sites (folded in via restore_into)
+        # keep their journaled event counts.
+        summary.events_published += lane.events_published
+        summary.errors = self.tally.as_counts()
+        if obs is not None:
+            self._span.set(sites=summary.sites_visited,
+                           pages=summary.pages_visited,
+                           sockets=summary.sockets_observed,
+                           events=summary.events_published)
+            self._harvest(obs, lane)
+
+    # -- internals ----------------------------------------------------------
+
+    def _progress_event(self) -> None:
+        summary = self.summary
+        self.obs.event(
+            "crawl.progress",
+            crawl=self.config.index,
+            chrome=self.config.chrome_major,
+            sites_done=summary.sites_visited,
+            sites_total=self.site_total,
+            pages=summary.pages_visited,
+            sockets=summary.sockets_observed,
+        )
+
+    def _checkpoint_entry(self, outcome: SiteOutcome) -> "SiteCheckpoint":
+        from repro.crawler.persistence import SiteCheckpoint
+
+        return SiteCheckpoint(
+            crawl=self.config.index,
+            domain=outcome.domain,
+            rank=outcome.rank,
+            status="quarantined" if outcome.quarantined else "ok",
+            pages=outcome.pages_visited,
+            sockets=outcome.sockets_observed,
+            pages_failed=outcome.pages_failed,
+            page_retries=outcome.page_retries,
+            sockets_partial=outcome.sockets_partial,
+            events_published=outcome.events_published,
+            errors=dict(outcome.errors),
+            page_outcomes=tuple(outcome.pages),
+        )
+
+    def _harvest(self, obs: Obs, lane: LaneStats) -> None:
+        summary = self.summary
+        obs.metrics.record_counts("cdp.publish", lane.published_by_method)
+        obs.metrics.counter("cdp.delivered").add(lane.delivered_count)
+        obs.metrics.record_counts("webrequest", lane.webrequest_counts)
+        obs.metrics.counter("crawler.sites").add(summary.sites_visited)
+        # Robustness counters only exist when something went wrong, so
+        # fault-free artifacts stay byte-identical to the pre-fault era.
+        if summary.page_retries:
+            obs.metrics.counter("crawler.page_retries").add(
+                summary.page_retries)
+        if summary.pages_failed:
+            obs.metrics.counter("crawler.pages_failed").add(
+                summary.pages_failed)
+        if summary.sites_quarantined:
+            obs.metrics.counter("crawler.sites_quarantined").add(
+                summary.sites_quarantined)
+        if summary.sockets_partial:
+            obs.metrics.counter("crawler.sockets_partial").add(
+                summary.sockets_partial)
+        if summary.errors:
+            obs.metrics.record_counts("crawl.errors", summary.errors)
+        if lane.fault_counters:
+            obs.metrics.record_counts("faults", lane.fault_counters)
+
+
 class Crawler:
     """Crawls the synthetic web with a simulated browser.
 
@@ -152,20 +386,8 @@ class Crawler:
         self.faults = faults
         self.retry = retry or RetryPolicy()
 
-    def run(
-        self,
-        sites: Iterable[Site] | None = None,
-        checkpoint: "CrawlCheckpoint | None" = None,
-    ) -> CrawlRunSummary:
-        """Crawl the given sites (default: the full seed list).
-
-        With a ``checkpoint``, sites already journaled for this crawl
-        are restored from the journal instead of re-crawled, and each
-        finished site appends one journal entry — so an interrupted
-        study resumes where it stopped.
-        """
-        summary = CrawlRunSummary(config=self.config)
-        tally = ErrorTally()
+    def make_lane(self) -> CrawlLane:
+        """A fresh execution lane (browser, bus, fault gate, clock)."""
         clock = SimClock(now=parse_date(self.config.start_date))
         bus = EventBus()
         gate = self.faults.gate(bus) if self.faults is not None else None
@@ -178,58 +400,62 @@ class Crawler:
         )
         if self.extension_installer is not None:
             self.extension_installer(browser)
+        return CrawlLane(clock=clock, bus=bus, gate=gate, browser=browser)
+
+    def run(
+        self,
+        sites: Iterable[Site] | None = None,
+        checkpoint: "CrawlCheckpoint | None" = None,
+    ) -> CrawlRunSummary:
+        """Crawl the given sites (default: the full seed list).
+
+        With a ``checkpoint``, sites already journaled for this crawl
+        are restored from the journal instead of re-crawled — their
+        observations replay into the observers — and each finished
+        site appends one journal entry, so an interrupted study
+        resumes where it stopped.
+        """
+        lane = self.make_lane()
         site_list = list(sites) if sites is not None else self.web.seed_list.sites
-        obs = self.obs
-        crawl_span = (
-            obs.span("crawl", index=self.config.index,
-                     chrome=self.config.chrome_major, label=self.config.label)
-            if obs is not None else nullcontext()
+        accountant = CrawlAccountant(
+            self.config, len(site_list), observers=self.observers,
+            obs=self.obs, checkpoint=checkpoint,
+            progress_every=self.progress_every,
         )
-        with crawl_span as span:
+        with accountant:
             for site in site_list:
                 if checkpoint is not None:
                     entry = checkpoint.get(self.config.index, site.domain)
                     if entry is not None:
-                        entry.restore_into(summary)
+                        accountant.restore_site(entry)
                         continue
-                self._crawl_site(site, browser, bus, gate, summary, tally,
-                                 checkpoint)
-                if obs is not None and (
-                    summary.sites_visited % self.progress_every == 0
-                    or summary.sites_visited == len(site_list)
-                ):
-                    obs.event(
-                        "crawl.progress",
-                        crawl=self.config.index,
-                        chrome=self.config.chrome_major,
-                        sites_done=summary.sites_visited,
-                        sites_total=len(site_list),
-                        pages=summary.pages_visited,
-                        sockets=summary.sockets_observed,
-                    )
-            summary.events_published = bus.published_count
-            summary.errors = tally.as_counts()
-            if obs is not None:
-                span.set(sites=summary.sites_visited,
-                         pages=summary.pages_visited,
-                         sockets=summary.sockets_observed,
-                         events=summary.events_published)
-                self._harvest(obs, bus, browser, summary)
-        return summary
+                accountant.record_site(self.crawl_site(site, lane))
+            accountant.finish(lane.stats(self.faults))
+        return accountant.summary
 
-    # -- internals ----------------------------------------------------------
+    def collect_outcomes(
+        self, sites: Iterable[Site], lane: CrawlLane | None = None
+    ) -> tuple[list[SiteOutcome], LaneStats]:
+        """Crawl ``sites`` on one lane, with no bookkeeping at all.
 
-    def _crawl_site(
-        self,
-        site: Site,
-        browser: Browser,
-        bus: EventBus,
-        gate,
-        summary: CrawlRunSummary,
-        tally: ErrorTally,
-        checkpoint: "CrawlCheckpoint | None" = None,
-    ) -> None:
+        The parallel executor's worker entry point: outcomes and lane
+        telemetry cross the process boundary; the accountant replays
+        them parent-side.
+        """
+        lane = lane or self.make_lane()
+        outcomes = [self.crawl_site(site, lane) for site in sites]
+        return outcomes, lane.stats(self.faults)
+
+    def crawl_site(self, site: Site, lane: CrawlLane) -> SiteOutcome:
+        """Visit one site's page budget; pure outcome production.
+
+        Never touches the obs clock, the observers, or any summary —
+        that is the accountant's job — so the outcome is identical
+        wherever (and whenever) the site is crawled.
+        """
+        browser = lane.browser
         browser.new_profile(f"{self.config.index}:{site.domain}")
+        tally = ErrorTally()
         rng = RngStream(self.config.seed, "crawl", self.config.index,
                         "site", site.domain)
         homepage = self.web.blueprint(site, 0, self.config.index)
@@ -240,103 +466,68 @@ class Crawler:
             self.faults is not None
             and self.faults.site_blacked_out(self.config.index, site.domain)
         )
-        pages_before = summary.pages_visited
-        sockets_before = summary.sockets_observed
-        obs = self.obs
+        outcome = SiteOutcome(domain=site.domain, rank=site.rank)
+        events_before = lane.bus.published_count
         consecutive_failures = 0
-        quarantined = False
-        site_span = (
-            obs.span("site", domain=site.domain, rank=site.rank)
-            if obs is not None else nullcontext()
-        )
-        with site_span:
-            for page_index in page_indices:
-                blueprint = (
-                    homepage if page_index == 0
-                    else self.web.blueprint(site, page_index, self.config.index)
-                )
-                page_span = (
-                    obs.span("page", index=page_index)
-                    if obs is not None else nullcontext()
-                )
-                with page_span:
-                    observation = self._visit_page(
-                        blueprint, site, browser, bus, gate, summary, tally,
-                        blackout,
-                    )
-                    if obs is not None and observation is not None:
-                        self._count_page(obs, observation)
-                if observation is None:
-                    summary.pages_failed += 1
-                    consecutive_failures += 1
-                    if (self.retry.quarantine_after > 0
-                            and consecutive_failures
-                            >= self.retry.quarantine_after):
-                        quarantined = True
-                else:
-                    consecutive_failures = 0
-                    summary.pages_visited += 1
-                    summary.sockets_observed += len(observation.sockets)
-                    partial = sum(
-                        1 for s in observation.sockets if s.partial
-                    )
-                    summary.sockets_partial += partial
-                    for observer in self.observers:
-                        observer(observation)
-                browser.clock.advance(self.policy.wait_seconds)
-                if quarantined:
-                    break
-        if quarantined:
-            summary.sites_quarantined += 1
+        for page_index in page_indices:
+            blueprint = (
+                homepage if page_index == 0
+                else self.web.blueprint(site, page_index, self.config.index)
+            )
+            observation, retries = self._visit_page(
+                blueprint, site, lane, tally, blackout,
+            )
+            outcome.pages.append(PageOutcome(page_index, observation))
+            outcome.page_retries += retries
+            if observation is None:
+                consecutive_failures += 1
+                if (self.retry.quarantine_after > 0
+                        and consecutive_failures
+                        >= self.retry.quarantine_after):
+                    outcome.quarantined = True
+            else:
+                consecutive_failures = 0
+            browser.clock.advance(self.policy.wait_seconds)
+            if outcome.quarantined:
+                break
+        outcome.consecutive_failures = consecutive_failures
+        outcome.events_published = lane.bus.published_count - events_before
+        if outcome.quarantined:
             tally.record(CrawlErrorKind.SITE_QUARANTINED)
             if self.faults is not None:
                 self.faults.count("site_quarantined")
-            if obs is not None:
-                obs.event(
-                    "crawl.quarantine",
-                    crawl=self.config.index,
-                    domain=site.domain,
-                    rank=site.rank,
-                    consecutive_failures=consecutive_failures,
-                )
-        summary.sites_visited += 1
-        summary.sites.append((site.domain, site.rank))
-        if checkpoint is not None:
-            from repro.crawler.persistence import SiteCheckpoint
+        outcome.errors = tally.as_counts()
+        return outcome
 
-            checkpoint.record(SiteCheckpoint(
-                crawl=self.config.index,
-                domain=site.domain,
-                rank=site.rank,
-                status="quarantined" if quarantined else "ok",
-                pages=summary.pages_visited - pages_before,
-                sockets=summary.sockets_observed - sockets_before,
-            ))
+    # -- internals ----------------------------------------------------------
 
     def _visit_page(
         self,
         blueprint,
         site: Site,
-        browser: Browser,
-        bus: EventBus,
-        gate,
-        summary: CrawlRunSummary,
+        lane: CrawlLane,
         tally: ErrorTally,
         blackout: bool,
-    ) -> PageObservation | None:
-        """One page with bounded retry; ``None`` when retries exhaust."""
+    ) -> tuple[PageObservation | None, int]:
+        """One page with bounded retry.
+
+        Returns ``(observation, retries_used)``; the observation is
+        ``None`` when retries exhaust.
+        """
         retry = self.retry
+        browser = lane.browser
         clock = browser.clock
         faults = self.faults
+        retries = 0
         for attempt in range(1, retry.max_attempts + 1):
             if attempt > 1:
-                summary.page_retries += 1
+                retries += 1
                 clock.advance(
                     retry.backoff_seconds
                     * retry.backoff_factor ** (attempt - 2)
                 )
             builder = InclusionTreeBuilder()
-            builder.attach(bus)
+            builder.attach(lane.bus)
             try:
                 if blackout or (
                     faults is not None
@@ -368,15 +559,15 @@ class Crawler:
                 tally.record(CrawlErrorKind.NO_DOCUMENT)
                 continue
             finally:
-                if gate is not None:
-                    gate.flush()
+                if lane.gate is not None:
+                    lane.gate.flush()
                 builder.detach()
             return observe_page(
                 tree, site.domain, site.rank, site.category,
                 self.config.index, errors=tally,
-            )
+            ), retries
         tally.record(CrawlErrorKind.RETRY_EXHAUSTED)
-        return None
+        return None, retries
 
     @staticmethod
     def _count_page(obs: Obs, observation: PageObservation) -> None:
@@ -397,32 +588,3 @@ class Crawler:
                     "crawler.sockets_third_party_initiated"
                 ).add(attributed)
         metrics.histogram("crawler.sockets_per_page").observe(len(sockets))
-
-    def _harvest(
-        self, obs: Obs, bus: EventBus, browser: Browser,
-        summary: CrawlRunSummary,
-    ) -> None:
-        obs.metrics.record_counts("cdp.publish", bus.published_by_method)
-        obs.metrics.counter("cdp.delivered").add(bus.delivered_count)
-        obs.metrics.record_counts("webrequest", browser.webrequest.as_counts())
-        obs.metrics.counter("crawler.sites").add(summary.sites_visited)
-        # Robustness counters only exist when something went wrong, so
-        # fault-free artifacts stay byte-identical to the pre-fault era.
-        if summary.page_retries:
-            obs.metrics.counter("crawler.page_retries").add(
-                summary.page_retries)
-        if summary.pages_failed:
-            obs.metrics.counter("crawler.pages_failed").add(
-                summary.pages_failed)
-        if summary.sites_quarantined:
-            obs.metrics.counter("crawler.sites_quarantined").add(
-                summary.sites_quarantined)
-        if summary.sockets_partial:
-            obs.metrics.counter("crawler.sockets_partial").add(
-                summary.sockets_partial)
-        if summary.errors:
-            obs.metrics.record_counts("crawl.errors", summary.errors)
-        if self.faults is not None and self.faults.counters:
-            obs.metrics.record_counts(
-                "faults", dict(sorted(self.faults.counters.items()))
-            )

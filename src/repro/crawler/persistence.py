@@ -14,13 +14,20 @@ study resume where it stopped (:class:`CrawlCheckpoint`).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from repro.content.ads import AdUnit
 from repro.content.items import ReceivedClass, SentItem
 from repro.crawler.dataset import SocketRecord
+from repro.crawler.observation import (
+    PageObservation,
+    ResourceObservation,
+    SocketObservation,
+)
+from repro.crawler.outcome import PageOutcome
+from repro.net.http import ResourceType
 from repro.util.serialization import read_jsonl, write_jsonl
 
 if TYPE_CHECKING:
@@ -102,6 +109,130 @@ def load_socket_records(path: str | Path) -> list[SocketRecord]:
     return list(read_jsonl(path, decoder=socket_record_from_json))
 
 
+# -- page observation codecs ----------------------------------------------
+
+
+def _socket_observation_to_json(obs: SocketObservation) -> dict:
+    return {
+        "url": obs.url,
+        "host": obs.host,
+        "initiator_host": obs.initiator_host,
+        "initiator_url": obs.initiator_url,
+        "chain_hosts": list(obs.chain_hosts),
+        "chain_script_urls": list(obs.chain_script_urls),
+        "first_party_host": obs.first_party_host,
+        "cross_origin": obs.cross_origin,
+        "handshake_cookie": obs.handshake_cookie,
+        "sent_items": sorted(item.value for item in obs.sent_items),
+        "received_classes": sorted(
+            cls.value for cls in obs.received_classes
+        ),
+        "sent_nothing": obs.sent_nothing,
+        "received_nothing": obs.received_nothing,
+        "frames_sent": obs.frames_sent,
+        "frames_received": obs.frames_received,
+        "ad_units": [
+            {"image_url": u.image_url, "caption": u.caption,
+             "width": u.width, "height": u.height,
+             "click_url": u.click_url}
+            for u in obs.ad_units
+        ],
+        "partial": obs.partial,
+    }
+
+
+def _socket_observation_from_json(payload: dict) -> SocketObservation:
+    return SocketObservation(
+        url=payload["url"],
+        host=payload["host"],
+        initiator_host=payload["initiator_host"],
+        initiator_url=payload["initiator_url"],
+        chain_hosts=tuple(payload["chain_hosts"]),
+        chain_script_urls=tuple(payload["chain_script_urls"]),
+        first_party_host=payload["first_party_host"],
+        cross_origin=payload["cross_origin"],
+        handshake_cookie=payload["handshake_cookie"],
+        sent_items=frozenset(
+            SentItem(value) for value in payload["sent_items"]
+        ),
+        received_classes=frozenset(
+            ReceivedClass(value) for value in payload["received_classes"]
+        ),
+        sent_nothing=payload["sent_nothing"],
+        received_nothing=payload["received_nothing"],
+        frames_sent=payload["frames_sent"],
+        frames_received=payload["frames_received"],
+        ad_units=tuple(
+            AdUnit(**unit) for unit in payload["ad_units"]
+        ),
+        partial=payload["partial"],
+    )
+
+
+def _resource_observation_to_json(obs: ResourceObservation) -> dict:
+    return {
+        "url": obs.url,
+        "host": obs.host,
+        "resource_type": obs.resource_type.value,
+        "mime_type": obs.mime_type,
+        "has_cookie": obs.has_cookie,
+        "sent_items": sorted(item.value for item in obs.sent_items),
+        "chain_hosts": list(obs.chain_hosts),
+        "chain_script_urls": list(obs.chain_script_urls),
+    }
+
+
+def _resource_observation_from_json(payload: dict) -> ResourceObservation:
+    return ResourceObservation(
+        url=payload["url"],
+        host=payload["host"],
+        resource_type=ResourceType(payload["resource_type"]),
+        mime_type=payload["mime_type"],
+        has_cookie=payload["has_cookie"],
+        sent_items=frozenset(
+            SentItem(value) for value in payload["sent_items"]
+        ),
+        chain_hosts=tuple(payload["chain_hosts"]),
+        chain_script_urls=tuple(payload["chain_script_urls"]),
+    )
+
+
+def page_observation_to_json(obs: PageObservation) -> dict:
+    """Encode one page observation for the checkpoint journal."""
+    return {
+        "site": obs.site_domain,
+        "rank": obs.rank,
+        "category": obs.category,
+        "crawl": obs.crawl,
+        "page": obs.page_url,
+        "sockets": [_socket_observation_to_json(s) for s in obs.sockets],
+        "resources": [
+            _resource_observation_to_json(r) for r in obs.resources
+        ],
+        "orphan_count": obs.orphan_count,
+        "unattributed_events": obs.unattributed_events,
+    }
+
+
+def page_observation_from_json(payload: dict) -> PageObservation:
+    """Decode one journaled page observation."""
+    return PageObservation(
+        site_domain=payload["site"],
+        rank=payload["rank"],
+        category=payload["category"],
+        crawl=payload["crawl"],
+        page_url=payload["page"],
+        sockets=[
+            _socket_observation_from_json(s) for s in payload["sockets"]
+        ],
+        resources=[
+            _resource_observation_from_json(r) for r in payload["resources"]
+        ],
+        orphan_count=payload["orphan_count"],
+        unattributed_events=payload["unattributed_events"],
+    )
+
+
 # -- checkpoint journal ---------------------------------------------------
 
 
@@ -116,6 +247,14 @@ class SiteCheckpoint:
         status: ``"ok"`` or ``"quarantined"``.
         pages: Page observations the site produced.
         sockets: Sockets observed on those pages.
+        pages_failed: Pages abandoned after exhausting retries.
+        page_retries: Extra load attempts beyond each page's first.
+        sockets_partial: Observed sockets flagged ``partial``.
+        events_published: CDP events the site's visits published.
+        errors: The site's error-taxonomy counts.
+        page_outcomes: The journaled per-page outcomes, observations
+            included — what lets a resumed study replay restored sites
+            into its dataset observers instead of losing them.
     """
 
     crawl: int
@@ -124,6 +263,12 @@ class SiteCheckpoint:
     status: str
     pages: int
     sockets: int
+    pages_failed: int = 0
+    page_retries: int = 0
+    sockets_partial: int = 0
+    events_published: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+    page_outcomes: tuple[PageOutcome, ...] = ()
 
     def restore_into(self, summary: "CrawlRunSummary") -> None:
         """Fold this journaled site back into a resumed run's summary."""
@@ -131,15 +276,71 @@ class SiteCheckpoint:
         summary.sites.append((self.domain, self.rank))
         summary.pages_visited += self.pages
         summary.sockets_observed += self.sockets
+        summary.pages_failed += self.pages_failed
+        summary.page_retries += self.page_retries
+        summary.sockets_partial += self.sockets_partial
+        summary.events_published += self.events_published
         if self.status == "quarantined":
             summary.sites_quarantined += 1
+
+
+def _entry_to_json(entry: SiteCheckpoint) -> dict:
+    return {
+        "crawl": entry.crawl,
+        "domain": entry.domain,
+        "rank": entry.rank,
+        "status": entry.status,
+        "pages": entry.pages,
+        "sockets": entry.sockets,
+        "pages_failed": entry.pages_failed,
+        "page_retries": entry.page_retries,
+        "sockets_partial": entry.sockets_partial,
+        "events_published": entry.events_published,
+        "errors": entry.errors,
+        "pages_detail": [
+            [page.page_index,
+             page_observation_to_json(page.observation)
+             if page.observation is not None else None]
+            for page in entry.page_outcomes
+        ],
+    }
+
+
+def _entry_from_json(payload: dict) -> SiteCheckpoint:
+    return SiteCheckpoint(
+        crawl=payload["crawl"],
+        domain=payload["domain"],
+        rank=payload["rank"],
+        status=payload["status"],
+        pages=payload["pages"],
+        sockets=payload["sockets"],
+        # Journals written before PR 4 carried only the counts; their
+        # sites restore without observation replay (and without the
+        # failure attribution), exactly as they did then.
+        pages_failed=payload.get("pages_failed", 0),
+        page_retries=payload.get("page_retries", 0),
+        sockets_partial=payload.get("sockets_partial", 0),
+        events_published=payload.get("events_published", 0),
+        errors=payload.get("errors", {}),
+        page_outcomes=tuple(
+            PageOutcome(
+                page_index=index,
+                observation=(
+                    page_observation_from_json(observation)
+                    if observation is not None else None
+                ),
+            )
+            for index, observation in payload.get("pages_detail", ())
+        ),
+    )
 
 
 class CrawlCheckpoint:
     """Append-only JSONL journal of per-site crawl completion.
 
     Opening an existing journal loads its entries; the crawler skips
-    journaled sites (restoring their counts into the run summary) and
+    journaled sites (restoring their counts into the run summary and
+    replaying their journaled observations into the observers) and
     appends one entry per newly finished site, flushing after each so
     a crash loses at most the site in flight.
     """
@@ -149,7 +350,7 @@ class CrawlCheckpoint:
         self._entries: dict[tuple[int, str], SiteCheckpoint] = {}
         if self.path.exists():
             for payload in read_jsonl(self.path):
-                entry = SiteCheckpoint(**payload)
+                entry = _entry_from_json(payload)
                 self._entries[(entry.crawl, entry.domain)] = entry
 
     def __len__(self) -> int:
@@ -159,18 +360,23 @@ class CrawlCheckpoint:
         """The journaled entry for a site, or ``None`` if unfinished."""
         return self._entries.get((crawl, domain))
 
+    def covers(self, crawl: int, domains: Iterable[str]) -> bool:
+        """Whether every one of ``domains`` is journaled for ``crawl``.
+
+        The parallel executor's unit of resume is the shard: a shard
+        is only restored when all of its sites are journaled (its
+        lane state is otherwise unreconstructable), and a partially
+        journaled shard is re-crawled whole.
+        """
+        return all(
+            (crawl, domain) in self._entries for domain in domains
+        )
+
     def record(self, entry: SiteCheckpoint) -> None:
         """Append one finished site to the journal."""
         self._entries[(entry.crawl, entry.domain)] = entry
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps({
-                "crawl": entry.crawl,
-                "domain": entry.domain,
-                "rank": entry.rank,
-                "status": entry.status,
-                "pages": entry.pages,
-                "sockets": entry.sockets,
-            }, sort_keys=True))
+            handle.write(json.dumps(_entry_to_json(entry), sort_keys=True))
             handle.write("\n")
             handle.flush()

@@ -22,13 +22,18 @@ from repro.analysis.table2 import Table2Row, compute_table2
 from repro.analysis.table3 import Table3Row, compute_table3
 from repro.analysis.table4 import Table4, compute_table4
 from repro.analysis.table5 import Table5, compute_table5
-from repro.crawler.crawler import CrawlConfig, Crawler, CrawlRunSummary
+from repro.crawler.crawler import (
+    CrawlAccountant,
+    CrawlConfig,
+    CrawlRunSummary,
+)
 from repro.crawler.dataset import StudyDataset
+from repro.crawler.outcome import LaneStats
 from repro.crawler.persistence import CrawlCheckpoint
-from repro.faults import FaultInjector, profile_named
 from repro.labeling.aa_labeler import AaLabeler
 from repro.labeling.resolver import DomainResolver
 from repro.obs import Obs, ObsSummary
+from repro.parallel import ShardTask, WebSpec, execute_shards, plan_shards
 from repro.staticlint.runner import FullLintResult, run_full_lint
 from repro.web.filterlists import build_filter_engine
 from repro.web.server import SyntheticWeb, WebScale
@@ -145,29 +150,77 @@ def run_crawls(
     config: StudyConfig,
     obs: Obs | None = None,
     checkpoint: CrawlCheckpoint | None = None,
+    workers: int = 1,
 ) -> tuple[StudyDataset, list[CrawlRunSummary]]:
     """Run the configured crawls, returning the accumulated dataset.
 
-    The ``faults`` profile on ``config`` gives each crawl its own
-    seeded :class:`~repro.faults.injector.FaultInjector` lane; a
-    ``checkpoint`` journal lets an interrupted study resume.
+    Every run shards the seed list (:mod:`repro.parallel`) and merges
+    per-shard outcomes in canonical site-rank order; ``workers`` only
+    chooses where shards execute (inline for 1, a multiprocessing pool
+    otherwise), so artifacts are byte-identical across worker counts.
+    The ``faults`` profile on ``config`` gives each (crawl, shard) its
+    own seeded fault lane; a ``checkpoint`` journal lets an
+    interrupted study resume, restoring fully journaled shards —
+    observations included — and re-crawling partial ones whole.
     """
     engine = build_filter_engine(web.registry)
     dataset = StudyDataset(engine=engine)
     summaries: list[CrawlRunSummary] = []
-    profile = profile_named(config.faults)
-    for crawl_config in crawl_configs(web, config):
-        injector = (
-            FaultInjector(profile, config.seed, crawl_config.index)
-            if not profile.is_zero else None
+    spec = WebSpec(sample_scale=config.resolved_sample_scale,
+                   entity_scale=config.scale, seed=config.seed)
+    shards = plan_shards(web.seed_list.sites)
+    site_total = len(web.seed_list.sites)
+    configs = crawl_configs(web, config)
+    restored: set[tuple[int, int]] = set()
+    tasks: list[ShardTask] = []
+    for crawl_config in configs:
+        for shard in shards:
+            if checkpoint is not None and checkpoint.covers(
+                crawl_config.index, (site.domain for site in shard.sites)
+            ):
+                restored.add((crawl_config.index, shard.index))
+                continue
+            tasks.append(ShardTask(
+                crawl=crawl_config,
+                shard_index=shard.index,
+                sites=shard.sites,
+                faults=config.faults,
+                study_seed=config.seed,
+                web=spec,
+            ))
+    results = execute_shards(web, spec, tasks, workers=workers)
+    for crawl_config in configs:
+        stats_before = engine.stats.snapshot()
+        lane_total = LaneStats()
+        accountant = CrawlAccountant(
+            crawl_config, site_total, observers=[dataset.observe],
+            obs=obs, checkpoint=checkpoint,
         )
-        crawler = Crawler(web, crawl_config, observers=[dataset.observe],
-                          obs=obs, faults=injector)
-        summary = crawler.run(checkpoint=checkpoint)
-        dataset.record_crawl(summary)
-        summaries.append(summary)
+        with accountant:
+            for shard in shards:
+                key = (crawl_config.index, shard.index)
+                if key in restored:
+                    for site in shard.sites:
+                        accountant.restore_site(
+                            checkpoint.get(crawl_config.index, site.domain)
+                        )
+                    continue
+                result = results[key]
+                for outcome in result.outcomes:
+                    accountant.record_site(outcome)
+                lane_total.merge(result.lane)
+            accountant.finish(lane_total)
+        dataset.record_crawl(accountant.summary)
+        summaries.append(accountant.summary)
+        if obs is not None:
+            # Attribute this crawl's share of the match telemetry; the
+            # unprefixed filters.* counters stay additive across crawls.
+            delta = engine.stats.delta_since(stats_before)
+            obs.metrics.record_counts("filters", delta)
+            obs.metrics.record_counts(
+                f"filters.by_crawl.{crawl_config.index}", delta
+            )
     if obs is not None:
-        obs.metrics.record_counts("filters", engine.stats.as_counts())
         obs.metrics.histogram(
             "filters.candidates_per_match"
         ).observe(
@@ -254,13 +307,15 @@ def run_study(
     config: StudyConfig = DEFAULT_CONFIG,
     obs: Obs | None = None,
     checkpoint_path: str | Path | None = None,
+    workers: int = 1,
 ) -> StudyResult:
     """Build the web, run the crawls, compute everything.
 
     An :class:`~repro.obs.Obs` context is created when none is passed,
     so every study carries its audit trail in ``result.obs``. With a
     ``checkpoint_path``, per-site completion is journaled there and a
-    rerun resumes from the journal.
+    rerun resumes from the journal. ``workers`` fans the crawl shards
+    out over a process pool without changing a byte of any artifact.
     """
     obs = obs or Obs()
     checkpoint = (
@@ -276,7 +331,8 @@ def run_study(
             )
         obs.event("stage", stage="crawls")
         dataset, summaries = run_crawls(web, config, obs=obs,
-                                        checkpoint=checkpoint)
+                                        checkpoint=checkpoint,
+                                        workers=workers)
         obs.event("stage", stage="analyze")
         result = analyze(config, web, dataset, summaries, obs=obs)
     # Re-freeze after the study span closed so its record is included.

@@ -50,11 +50,20 @@ class FaultInjector:
     """
 
     def __init__(
-        self, profile: FaultProfile, seed: int, *lane: object
+        self, profile: FaultProfile, seed: int, *lane: object,
+        event_lane: object | None = None,
     ) -> None:
         self.profile = profile
         self._rng = RngStream(seed, "faults", profile.name, *lane)
-        self._event_rng = self._rng.child("events")
+        # Entity-keyed draws (pages, sockets, frames) hang off the
+        # crawl lane and survive any re-sharding; only the sequential
+        # event-gate stream is lane-local, so the parallel executor
+        # keys it by shard index (``event_lane``) — the shard plan,
+        # not the worker count, then determines every event's fate.
+        self._event_rng = (
+            self._rng.child("events") if event_lane is None
+            else self._rng.child("events", event_lane)
+        )
         self.counters: Counter[str] = Counter()
         self._blackouts: dict[tuple[int, str], bool] = {}
 

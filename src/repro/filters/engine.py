@@ -59,6 +59,32 @@ class EngineStats:
             "generic_candidates": self.generic_candidates,
         }
 
+    def snapshot(self) -> "EngineStats":
+        """A frozen copy, for before/after delta attribution."""
+        return EngineStats(**self.as_counts())
+
+    def delta_since(self, since: "EngineStats") -> dict[str, int]:
+        """Per-field growth since an earlier :meth:`snapshot`.
+
+        How the study runner attributes match telemetry to the crawl
+        that caused it (``filters.by_crawl.*``) while the cumulative
+        ``filters.*`` counters stay additive across crawls.
+        """
+        before = since.as_counts()
+        return {
+            key: value - before[key]
+            for key, value in self.as_counts().items()
+        }
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another engine's stats in (all fields additive)."""
+        self.matches += other.matches
+        self.blocked += other.blocked
+        self.exception_overrides += other.exception_overrides
+        self.token_buckets += other.token_buckets
+        self.token_candidates += other.token_candidates
+        self.generic_candidates += other.generic_candidates
+
 
 @dataclass(frozen=True)
 class MatchResult:

@@ -1,0 +1,33 @@
+"""Deterministic sharded crawl execution.
+
+The paper's campaign got its scale from parallel crawler instances;
+this package gives the reproduction the same shape without giving up
+its byte-reproducibility contract. The seed list is partitioned into
+fixed-size, rank-ordered shards (:func:`plan_shards`) whose boundaries
+depend only on the seed list — never on the worker count. Each
+(crawl, shard) pair is crawled on its own lane (browser + event bus +
+fault-injector event stream), inline or on a ``multiprocessing``
+worker pool (:func:`execute_shards`), and the results are folded back
+into the study in canonical site-rank order by the crawl accountant.
+
+Because outcome production never touches the obs tick clock, replaying
+outcomes parent-side reproduces the exact span/event/counter stream a
+sequential crawl would have written: ``--workers N`` artifacts are
+byte-identical to ``--workers 1`` for every fault profile.
+"""
+
+from repro.parallel.executor import ParallelExecutionError, execute_shards
+from repro.parallel.shards import DEFAULT_SHARD_SIZE, Shard, plan_shards
+from repro.parallel.worker import ShardResult, ShardTask, WebSpec, run_shard
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "ParallelExecutionError",
+    "Shard",
+    "ShardResult",
+    "ShardTask",
+    "WebSpec",
+    "execute_shards",
+    "plan_shards",
+    "run_shard",
+]

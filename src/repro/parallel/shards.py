@@ -1,0 +1,52 @@
+"""Shard planning: worker-count-independent seed-list partitioning.
+
+A shard is a contiguous, rank-ordered slice of the seed list. The
+partition is a pure function of the site list and the shard size —
+deliberately *not* of the worker count — so the same study sharded
+onto 1, 2, or 16 workers crawls identical (crawl, shard) units and
+merges them in the same canonical order. That invariance is what the
+byte-identity contract (DESIGN §10) rests on, and what the Hypothesis
+property tests in ``tests/parallel/test_shards.py`` pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.web.alexa import Site
+
+#: Sites per shard. Small enough that a four-crawl tiny study already
+#: exercises multi-shard merging, large enough that per-shard lane
+#: setup (browser + bus) stays negligible against crawling it.
+DEFAULT_SHARD_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a crawl's seed list.
+
+    Attributes:
+        index: Shard position (0-based, rank order).
+        sites: The shard's sites, in seed-list (rank) order.
+    """
+
+    index: int
+    sites: tuple[Site, ...]
+
+
+def plan_shards(
+    sites: Sequence[Site], shard_size: int = DEFAULT_SHARD_SIZE
+) -> list[Shard]:
+    """Partition ``sites`` into contiguous shards of ``shard_size``.
+
+    Every site lands in exactly one shard; concatenating the shards in
+    index order reproduces ``sites`` exactly. The last shard holds the
+    remainder.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    return [
+        Shard(index=index, sites=tuple(sites[start:start + shard_size]))
+        for index, start in enumerate(range(0, len(sites), shard_size))
+    ]

@@ -1,0 +1,124 @@
+"""The shard worker: crawl one (crawl, shard) unit, return pure data.
+
+Workers never see the obs context, the dataset, or the checkpoint
+journal — they produce :class:`~repro.crawler.outcome.SiteOutcome`
+records and lane telemetry, both plain picklable data, and the parent
+replays them in canonical order. The synthetic web is heavy to pickle,
+so it rides into workers by fork inheritance (:func:`prime_worker_web`
+sets a module global the child inherits copy-on-write); on start
+methods without inheritance each worker rebuilds it from the
+:class:`WebSpec`, which is deterministic by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.outcome import LaneStats, SiteOutcome
+from repro.faults import FaultInjector, profile_named
+from repro.web.alexa import Site
+from repro.web.server import SyntheticWeb, WebScale
+
+
+@dataclass(frozen=True)
+class WebSpec:
+    """Enough to rebuild the synthetic web deterministically."""
+
+    sample_scale: float
+    entity_scale: float
+    seed: int
+
+    def build(self) -> SyntheticWeb:
+        return SyntheticWeb(
+            scale=WebScale(sample_scale=self.sample_scale,
+                           entity_scale=self.entity_scale),
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of parallel work: crawl these sites under this config.
+
+    Attributes:
+        crawl: The crawl's configuration (picklable dataclass).
+        shard_index: Which shard of the seed list this is — also the
+            fault injector's event-stream lane, so event fates are a
+            function of the shard plan, not the worker count.
+        sites: The shard's sites, in rank order.
+        faults: Named fault profile for the study.
+        study_seed: The study's root seed (fault lane keying).
+        web: Spec to rebuild the web when fork inheritance is absent.
+    """
+
+    crawl: CrawlConfig
+    shard_index: int
+    sites: tuple[Site, ...]
+    faults: str
+    study_seed: int
+    web: WebSpec
+
+
+@dataclass
+class ShardResult:
+    """What one shard produced, ready to merge parent-side."""
+
+    crawl_index: int
+    shard_index: int
+    outcomes: list[SiteOutcome] = field(default_factory=list)
+    lane: LaneStats = field(default_factory=LaneStats)
+
+
+def shard_injector(task: ShardTask) -> FaultInjector | None:
+    """The shard's fault injector (``None`` for a zero profile).
+
+    Entity-keyed draws (page failures, blackouts, socket faults) hang
+    off the ``(seed, "faults", profile, crawl)`` lane and are keyed by
+    stable entities, so they survive re-sharding; the sequential
+    event-gate stream is additionally keyed by the shard index.
+    """
+    profile = profile_named(task.faults)
+    if profile.is_zero:
+        return None
+    return FaultInjector(profile, task.study_seed, task.crawl.index,
+                         event_lane=task.shard_index)
+
+
+def run_shard(web: SyntheticWeb, task: ShardTask) -> ShardResult:
+    """Crawl one shard on a fresh lane; no side effects beyond it."""
+    crawler = Crawler(web, task.crawl, faults=shard_injector(task))
+    outcomes, lane = crawler.collect_outcomes(task.sites)
+    return ShardResult(
+        crawl_index=task.crawl.index,
+        shard_index=task.shard_index,
+        outcomes=outcomes,
+        lane=lane,
+    )
+
+
+# -- worker-process plumbing ----------------------------------------------
+
+_worker_web: tuple[WebSpec, SyntheticWeb] | None = None
+
+
+def prime_worker_web(spec: WebSpec, web: SyntheticWeb) -> None:
+    """Install the already-built web for fork-inherited workers.
+
+    Called in the parent before the pool forks; children inherit the
+    global copy-on-write and skip the rebuild entirely.
+    """
+    global _worker_web
+    _worker_web = (spec, web)
+
+
+def _web_for(spec: WebSpec) -> SyntheticWeb:
+    global _worker_web
+    if _worker_web is None or _worker_web[0] != spec:
+        _worker_web = (spec, spec.build())
+    return _worker_web[1]
+
+
+def run_shard_task(task: ShardTask) -> ShardResult:
+    """Pool entry point: resolve the web, crawl the shard."""
+    return run_shard(_web_for(task.web), task)

@@ -1,0 +1,70 @@
+"""Shard-partitioning invariants (DESIGN §10), as Hypothesis properties.
+
+The byte-identity contract rests on the shard plan being a pure
+function of the seed list: every site in exactly one shard, shard
+order rank-stable, and — crucially — the same plan no matter how many
+workers will execute it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import DEFAULT_SHARD_SIZE, plan_shards
+from repro.web.alexa import Site
+
+
+def _site_list(n: int) -> list[Site]:
+    return [
+        Site(domain=f"site-{rank}.example", rank=rank, category="News")
+        for rank in range(1, n + 1)
+    ]
+
+
+sizes = st.integers(min_value=0, max_value=500)
+shard_sizes = st.integers(min_value=1, max_value=97)
+
+
+@given(n=sizes, shard_size=shard_sizes)
+@settings(max_examples=200, deadline=None)
+def test_every_site_in_exactly_one_shard(n, shard_size):
+    sites = _site_list(n)
+    shards = plan_shards(sites, shard_size)
+    flattened = [site for shard in shards for site in shard.sites]
+    assert flattened == sites  # coverage, uniqueness, and rank order
+    assert [shard.index for shard in shards] == list(range(len(shards)))
+
+
+@given(n=sizes, shard_size=shard_sizes)
+@settings(max_examples=200, deadline=None)
+def test_shard_sizes_are_contiguous_chunks(n, shard_size):
+    shards = plan_shards(_site_list(n), shard_size)
+    assert all(len(s.sites) == shard_size for s in shards[:-1])
+    if n:
+        assert 1 <= len(shards[-1].sites) <= shard_size
+    else:
+        assert shards == []
+
+
+@given(n=sizes, shard_size=shard_sizes,
+       workers=st.sampled_from([1, 2, 4]))
+@settings(max_examples=100, deadline=None)
+def test_assignment_is_worker_count_independent(n, shard_size, workers):
+    """The plan never consults the worker count: same seed list, same
+    shard → site assignment for workers=1/2/4 (it is the same call)."""
+    sites = _site_list(n)
+    reference = plan_shards(sites, shard_size)
+    del workers  # the API has no worker parameter — by design
+    assert plan_shards(sites, shard_size) == reference
+
+
+def test_default_shard_size_plans_real_seed_list(tiny_web):
+    sites = tiny_web.seed_list.sites
+    shards = plan_shards(sites)
+    assert len(shards) == -(-len(sites) // DEFAULT_SHARD_SIZE)
+    assert [s for shard in shards for s in shard.sites] == list(sites)
+
+
+def test_invalid_shard_size_rejected():
+    with pytest.raises(ValueError):
+        plan_shards(_site_list(3), 0)
