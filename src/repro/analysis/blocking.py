@@ -15,9 +15,17 @@ not list-matched, so blocking the socket itself was the only defence.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.analysis.classify import SocketView
+from repro.analysis.stage import (
+    AnalysisStage,
+    StageContext,
+    fold_views,
+    register_stage,
+)
 from repro.crawler.dataset import StudyDataset
 from repro.filters.engine import FilterEngine
 from repro.labeling.aa_labeler import AaLabeler
@@ -67,51 +75,99 @@ def _chain_has_blocked_script(
     return False
 
 
+@register_stage
+class BlockingStage(AnalysisStage):
+    """Chain-blocking populations, folded in one sweep.
+
+    The fold only deduplicates the script-URL chains of A&A sockets
+    (with occurrence counts); all filter-engine evaluation happens at
+    ``finalize``, where the engine and the derived labels are in
+    scope. The aggregate A&A-chain population comes from the dataset's
+    chain-signature table at ``finalize`` too.
+    """
+
+    name = "blocking"
+    version = "1"
+
+    def __init__(self) -> None:
+        self._socket_chains = 0
+        self._chain_urls: dict[tuple[str, ...], int] = {}
+
+    def fold(self, view: SocketView) -> None:
+        if not view.is_aa_socket:
+            return
+        self._socket_chains += 1
+        urls = view.record.chain_script_urls
+        self._chain_urls[urls] = self._chain_urls.get(urls, 0) + 1
+
+    def merge(self, other: "BlockingStage") -> None:
+        self._socket_chains += other._socket_chains
+        for urls, count in other._chain_urls.items():
+            self._chain_urls[urls] = self._chain_urls.get(urls, 0) + count
+
+    def finalize(self, ctx: StageContext) -> BlockingStats:
+        dataset = ctx.dataset
+        engine = ctx.engine or (dataset.engine if dataset else None)
+        labeler, resolver = ctx.labeler, ctx.resolver
+        cache: dict[str, bool] = {}
+
+        socket_blocked = 0
+        if engine is not None:
+            for urls in sorted(self._chain_urls):
+                if _chain_has_blocked_script(urls, engine, cache):
+                    socket_blocked += self._chain_urls[urls]
+
+        aa_chains = 0
+        aa_blocked = 0
+        if (
+            dataset is not None and engine is not None
+            and labeler is not None and resolver is not None
+        ):
+            for signature, count in dataset.chain_signatures.items():
+                is_aa = any(
+                    resolver.effective_domain(host) in labeler.aa_domains
+                    for host in signature.hosts
+                )
+                if not is_aa:
+                    continue
+                aa_chains += count
+                if _chain_has_blocked_script(
+                    signature.script_urls, engine, cache
+                ):
+                    aa_blocked += count
+
+        return BlockingStats(
+            socket_chains=self._socket_chains,
+            socket_chains_blocked=socket_blocked,
+            pct_socket_chains_blocked=(
+                100.0 * socket_blocked / self._socket_chains
+                if self._socket_chains else 0.0
+            ),
+            aa_chains=aa_chains,
+            aa_chains_blocked=aa_blocked,
+            pct_aa_chains_blocked=(
+                100.0 * aa_blocked / aa_chains if aa_chains else 0.0
+            ),
+        )
+
+    def encode_artifact(self, artifact: BlockingStats) -> dict:
+        return dataclasses.asdict(artifact)
+
+    def decode_artifact(self, payload: dict) -> BlockingStats:
+        return BlockingStats(**payload)
+
+
 def compute_blocking_stats(
     dataset: StudyDataset,
-    views: list[SocketView],
+    views: Iterable[SocketView],
     labeler: AaLabeler | None = None,
     resolver: DomainResolver | None = None,
 ) -> BlockingStats:
     """Evaluate both chain populations against the filter lists."""
     labeler = labeler or dataset.derive_labeler()
     resolver = resolver or dataset.derive_resolver(labeler)
-    engine = dataset.engine
-    cache: dict[str, bool] = {}
-
-    socket_chains = 0
-    socket_blocked = 0
-    for view in views:
-        if not view.is_aa_socket:
-            continue
-        socket_chains += 1
-        if _chain_has_blocked_script(
-            view.record.chain_script_urls, engine, cache
-        ):
-            socket_blocked += 1
-
-    aa_chains = 0
-    aa_blocked = 0
-    for signature, count in dataset.chain_signatures.items():
-        is_aa = any(
-            resolver.effective_domain(host) in labeler.aa_domains
-            for host in signature.hosts
-        )
-        if not is_aa:
-            continue
-        aa_chains += count
-        if _chain_has_blocked_script(signature.script_urls, engine, cache):
-            aa_blocked += count
-
-    return BlockingStats(
-        socket_chains=socket_chains,
-        socket_chains_blocked=socket_blocked,
-        pct_socket_chains_blocked=(
-            100.0 * socket_blocked / socket_chains if socket_chains else 0.0
-        ),
-        aa_chains=aa_chains,
-        aa_chains_blocked=aa_blocked,
-        pct_aa_chains_blocked=(
-            100.0 * aa_blocked / aa_chains if aa_chains else 0.0
-        ),
-    )
+    stage = fold_views(BlockingStage(), views)
+    return stage.finalize(StageContext(
+        labeler=labeler, resolver=resolver,
+        engine=dataset.engine, dataset=dataset,
+    ))

@@ -1,0 +1,96 @@
+"""Content-addressed cache for finalized stage artifacts.
+
+Every cache entry is addressed by a SHA-256 over
+
+* the dataset fingerprint (hash of the canonical dataset byte stream —
+  see :func:`repro.crawler.persistence.dataset_fingerprint`),
+* the stage name and its code ``version``, and
+* the stage's configuration token,
+
+so editing the dataset, bumping a stage's version, or changing its
+configuration each mint a fresh key and force a recompute, while an
+unchanged ``repro analyze`` run is a pure cache hit. Entries are one
+small JSON file each under the cache root (``results/cache/`` by
+default), named ``<stage>-<key prefix>.json`` so the directory stays
+human-scannable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.stage import AnalysisStage
+
+CACHE_FORMAT_VERSION = 1
+DEFAULT_CACHE_DIR = Path("results/cache")
+
+
+def stage_key(fingerprint: str, stage: AnalysisStage) -> str:
+    """The content address of one stage's artifact for one dataset."""
+    material = "\n".join((
+        f"cache-format={CACHE_FORMAT_VERSION}",
+        f"dataset={fingerprint}",
+        f"stage={stage.name}",
+        f"version={stage.version}",
+        f"config={stage.config_token()}",
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class StageCache:
+    """Load/store finalized stage artifacts by content address."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, stage_name: str, key: str) -> Path:
+        return self.root / f"{stage_name}-{key[:16]}.json"
+
+    def load(self, stage_name: str, key: str) -> Any | None:
+        """The encoded artifact under ``key``, or ``None`` on a miss.
+
+        A corrupt or key-mismatched file (e.g. a truncated write or a
+        16-hex-prefix collision) counts as a miss and is recomputed
+        over, never trusted.
+        """
+        path = self._path(stage_name, key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or payload.get("cache_format") != CACHE_FORMAT_VERSION
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["artifact"]
+
+    def store(
+        self, stage: AnalysisStage, key: str, encoded_artifact: Any
+    ) -> Path:
+        """Persist one stage's encoded artifact; returns its path."""
+        path = self._path(stage.name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "stage": stage.name,
+            "version": stage.version,
+            "config": stage.config_token(),
+            "artifact": encoded_artifact,
+        }
+        path.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            + "\n",
+            encoding="utf-8",
+        )
+        return path

@@ -9,8 +9,15 @@ Chrome 58 patch while WebSocket-dependent services carried on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.analysis.classify import SocketView
+from repro.analysis.stage import (
+    AnalysisStage,
+    StageContext,
+    fold_views,
+    register_stage,
+)
 
 
 @dataclass(frozen=True)
@@ -44,35 +51,83 @@ class InitiatorDrift:
         return len(pre & post) / len(pre)
 
 
+@register_stage
+class DriftStage(AnalysisStage):
+    """Per-crawl A&A initiator sets, folded in one sweep."""
+
+    name = "drift"
+    version = "1"
+
+    def __init__(
+        self,
+        pre_patch: tuple[int, ...] = (0, 1),
+        post_patch: tuple[int, ...] = (2, 3),
+    ) -> None:
+        self.pre_patch = pre_patch
+        self.post_patch = post_patch
+        self._per_crawl: dict[int, set[str]] = {}
+
+    def spawn(self) -> "DriftStage":
+        return DriftStage(self.pre_patch, self.post_patch)
+
+    def config_token(self) -> str:
+        pre = ",".join(str(c) for c in self.pre_patch)
+        post = ",".join(str(c) for c in self.post_patch)
+        return f"pre=({pre}),post=({post})"
+
+    def fold(self, view: SocketView) -> None:
+        if view.aa_initiated:
+            self._per_crawl.setdefault(view.crawl, set()).add(
+                view.initiator_domain
+            )
+
+    def merge(self, other: "DriftStage") -> None:
+        for crawl, domains in other._per_crawl.items():
+            self._per_crawl.setdefault(crawl, set()).update(domains)
+
+    def finalize(self, ctx: StageContext) -> InitiatorDrift:
+        per_crawl = self._per_crawl
+        crawls = sorted(per_crawl)
+        persistent = (
+            frozenset(set.intersection(*(per_crawl[c] for c in crawls)))
+            if crawls else frozenset()
+        )
+        pre = set().union(*(per_crawl.get(c, set()) for c in self.pre_patch))
+        post = set().union(*(per_crawl.get(c, set()) for c in self.post_patch))
+        churn: dict[tuple[int, int], tuple[int, int]] = {}
+        for a, b in zip(crawls, crawls[1:]):
+            gained = len(per_crawl[b] - per_crawl[a])
+            lost = len(per_crawl[a] - per_crawl[b])
+            churn[(a, b)] = (gained, lost)
+        return InitiatorDrift(
+            per_crawl={
+                c: frozenset(domains) for c, domains in per_crawl.items()
+            },
+            persistent=persistent,
+            disappeared_after_patch=frozenset(pre - post),
+            appeared_after_patch=frozenset(post - pre),
+            churn=churn,
+        )
+
+    def encode_artifact(self, artifact: InitiatorDrift) -> dict:
+        from repro.analysis._codecs import encode_drift
+
+        return encode_drift(artifact)
+
+    def decode_artifact(self, payload: dict) -> InitiatorDrift:
+        from repro.analysis._codecs import decode_drift
+
+        return decode_drift(payload)
+
+
 def compute_initiator_drift(
-    views: list[SocketView],
+    views: Iterable[SocketView],
     pre_patch: tuple[int, ...] = (0, 1),
     post_patch: tuple[int, ...] = (2, 3),
 ) -> InitiatorDrift:
     """Compute initiator dynamics from classified sockets."""
-    per_crawl: dict[int, set[str]] = {}
-    for view in views:
-        if view.aa_initiated:
-            per_crawl.setdefault(view.crawl, set()).add(view.initiator_domain)
-    crawls = sorted(per_crawl)
-    persistent = (
-        frozenset(set.intersection(*(per_crawl[c] for c in crawls)))
-        if crawls else frozenset()
-    )
-    pre = set().union(*(per_crawl.get(c, set()) for c in pre_patch))
-    post = set().union(*(per_crawl.get(c, set()) for c in post_patch))
-    churn: dict[tuple[int, int], tuple[int, int]] = {}
-    for a, b in zip(crawls, crawls[1:]):
-        gained = len(per_crawl[b] - per_crawl[a])
-        lost = len(per_crawl[a] - per_crawl[b])
-        churn[(a, b)] = (gained, lost)
-    return InitiatorDrift(
-        per_crawl={c: frozenset(domains) for c, domains in per_crawl.items()},
-        persistent=persistent,
-        disappeared_after_patch=frozenset(pre - post),
-        appeared_after_patch=frozenset(post - pre),
-        churn=churn,
-    )
+    stage = fold_views(DriftStage(pre_patch, post_patch), views)
+    return stage.finalize(StageContext())
 
 
 def render_drift(drift: InitiatorDrift, majors: frozenset[str] = frozenset({

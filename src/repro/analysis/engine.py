@@ -1,0 +1,283 @@
+"""The single-pass streaming analysis engine.
+
+One O(views) sweep: each socket record is classified once
+(:func:`~repro.analysis.classify.classify_one`) and the resulting view
+is folded into every pending stage accumulator, replacing the
+per-table full-list rescans of the materialized path. Memory stays
+bounded by the accumulators (domain sets and integer counters), not
+the record count — a dataset file is streamed from disk and never
+materialized.
+
+With a :class:`~repro.analysis.cache.StageCache`, stages whose content
+address (dataset fingerprint × stage version × config) already has an
+entry are decoded from the cache and skipped by the sweep; when every
+stage hits, the sweep is skipped entirely and re-analysis is O(cache).
+
+Shard-parallel folding uses the same stages: :func:`fold_shard` builds
+shard-local partials and :func:`merge_stage_lists` folds them together
+without a barrier, byte-identical to a sequential fold.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+from repro.analysis.cache import StageCache, stage_key
+from repro.analysis.classify import SocketView, classify_one
+from repro.analysis.stage import (
+    AnalysisStage,
+    StageContext,
+    default_stages,
+)
+from repro.crawler.dataset import DatasetMeta, SocketRecord, StudyDataset
+from repro.labeling.aa_labeler import AaLabeler
+from repro.labeling.resolver import DomainResolver
+
+if TYPE_CHECKING:
+    from repro.obs import Obs
+
+
+class DatasetSourceError(ValueError):
+    """A dataset source cannot be opened or fingerprinted."""
+
+
+@dataclass
+class DatasetSource:
+    """Where observations come from: a live dataset or a saved file.
+
+    Attributes:
+        dataset: The aggregate side (tag counts, HTTP counters, chain
+            signatures) — never the socket-record list on the file
+            path.
+        meta: Typed dataset metadata.
+    """
+
+    dataset: StudyDataset
+    meta: DatasetMeta
+    _records: Callable[[], Iterable[SocketRecord]]
+    _fingerprint: Callable[[], str]
+    _cached_fingerprint: str | None = field(default=None, init=False)
+
+    def records(self) -> Iterable[SocketRecord]:
+        """A fresh iterable over the socket records."""
+        return self._records()
+
+    def fingerprint(self) -> str:
+        """The dataset's content address (computed once, then cached)."""
+        if self._cached_fingerprint is None:
+            self._cached_fingerprint = self._fingerprint()
+        return self._cached_fingerprint
+
+    @classmethod
+    def from_dataset(cls, dataset: StudyDataset) -> "DatasetSource":
+        """Analyze a live in-memory dataset."""
+        from repro.crawler.persistence import dataset_fingerprint
+
+        return cls(
+            dataset=dataset,
+            meta=dataset.meta,
+            _records=lambda: iter(dataset.socket_records),
+            _fingerprint=lambda: dataset_fingerprint(dataset),
+        )
+
+    @classmethod
+    def from_file(
+        cls, path, engine=None
+    ) -> "DatasetSource":
+        """Stream a saved v2 dataset file (``repro study --dataset-out``)."""
+        from repro.crawler.persistence import open_dataset
+
+        reader = open_dataset(path, engine=engine)
+        return cls(
+            dataset=reader.dataset,
+            meta=reader.meta,
+            _records=reader.iter_records,
+            _fingerprint=reader.fingerprint,
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one engine run produced.
+
+    Attributes:
+        meta: The dataset metadata analyzed.
+        labeler / resolver: The derived A&A labels and Cloudfront
+            mapping.
+        artifacts: Stage name → finalized artifact.
+        computed: Stage names recomputed by this run's sweep.
+        cached: Stage names served from the cache.
+        views_folded: Socket views classified by the sweep (0 when
+            every stage hit the cache).
+    """
+
+    meta: DatasetMeta
+    labeler: AaLabeler
+    resolver: DomainResolver
+    artifacts: dict[str, Any]
+    computed: tuple[str, ...]
+    cached: tuple[str, ...]
+    views_folded: int = 0
+
+    def __getitem__(self, name: str) -> Any:
+        return self.artifacts[name]
+
+
+class AnalysisEngine:
+    """Runs stages over a dataset source in one streaming sweep."""
+
+    def __init__(
+        self,
+        stages: Sequence[AnalysisStage] | None = None,
+        cache: StageCache | None = None,
+        obs: "Obs | None" = None,
+    ) -> None:
+        self.stages = (
+            list(stages) if stages is not None else default_stages()
+        )
+        self.cache = cache
+        self.obs = obs
+
+    def _span(self, stage: str):
+        return (
+            self.obs.span("analyze", stage=stage)
+            if self.obs is not None else nullcontext()
+        )
+
+    def run(
+        self,
+        source: DatasetSource,
+        view_sink: Callable[[SocketView], None] | None = None,
+    ) -> AnalysisResult:
+        """Classify once, fold every pending stage, finalize, cache.
+
+        ``view_sink`` receives every classified view in record order
+        (the study runner uses it to keep ``StudyResult.views``);
+        passing ``None`` keeps the run memory-bounded.
+        """
+        with self._span("labeling"):
+            labeler = source.dataset.derive_labeler()
+            resolver = source.dataset.derive_resolver(labeler)
+        ctx = StageContext(
+            meta=source.meta,
+            labeler=labeler,
+            resolver=resolver,
+            engine=source.dataset.engine,
+            dataset=source.dataset,
+        )
+
+        artifacts: dict[str, Any] = {}
+        cached: list[str] = []
+        keys: dict[str, str] = {}
+        pending = list(self.stages)
+        if self.cache is not None:
+            fingerprint = source.fingerprint()
+            pending = []
+            for stage in self.stages:
+                key = stage_key(fingerprint, stage)
+                keys[stage.name] = key
+                payload = self.cache.load(stage.name, key)
+                if payload is not None:
+                    artifacts[stage.name] = stage.decode_artifact(payload)
+                    cached.append(stage.name)
+                else:
+                    pending.append(stage)
+
+        views_folded = 0
+        if pending or view_sink is not None:
+            counts = dict.fromkeys(
+                ("views", "aa_sockets", "aa_initiated", "aa_received"), 0
+            )
+            with self._span("classify"):
+                for record in source.records():
+                    view = classify_one(record, labeler, resolver)
+                    counts["views"] += 1
+                    if view.is_aa_socket:
+                        counts["aa_sockets"] += 1
+                    if view.aa_initiated:
+                        counts["aa_initiated"] += 1
+                    if view.aa_received:
+                        counts["aa_received"] += 1
+                    if view_sink is not None:
+                        view_sink(view)
+                    for stage in pending:
+                        stage.fold(view)
+            views_folded = counts["views"]
+            if self.obs is not None:
+                metrics = self.obs.metrics
+                for name in (
+                    "views", "aa_sockets", "aa_initiated", "aa_received"
+                ):
+                    metrics.counter(f"analysis.{name}").add(counts[name])
+        if self.obs is not None:
+            self.obs.metrics.counter("analysis.aa_domains_labeled").add(
+                len(labeler)
+            )
+
+        for stage in pending:
+            with self._span(stage.name):
+                artifact = stage.finalize(ctx)
+            artifacts[stage.name] = artifact
+            if self.cache is not None:
+                self.cache.store(
+                    stage, keys[stage.name], stage.encode_artifact(artifact)
+                )
+
+        if self.obs is not None and self.cache is not None:
+            self.obs.metrics.counter("analysis.cache.hits").add(len(cached))
+            self.obs.metrics.counter("analysis.cache.misses").add(
+                len(pending)
+            )
+
+        return AnalysisResult(
+            meta=source.meta,
+            labeler=labeler,
+            resolver=resolver,
+            artifacts=artifacts,
+            computed=tuple(stage.name for stage in pending),
+            cached=tuple(cached),
+            views_folded=views_folded,
+        )
+
+
+def fold_shard(
+    stages: Sequence[AnalysisStage], views: Iterable[SocketView]
+) -> list[AnalysisStage]:
+    """Fold one shard's views into fresh accumulators.
+
+    The returned partials inherit each stage's configuration via
+    ``spawn()`` and can be combined with :func:`merge_stage_lists` —
+    in any order and grouping — without changing a byte of any
+    finalized artifact.
+    """
+    partials = [stage.spawn() for stage in stages]
+    for view in views:
+        for stage in partials:
+            stage.fold(view)
+    return partials
+
+
+def merge_stage_lists(
+    parts: Sequence[Sequence[AnalysisStage]],
+) -> list[AnalysisStage]:
+    """Merge shard-local stage lists element-wise into one list."""
+    if not parts:
+        return []
+    merged = list(parts[0])
+    for part in parts[1:]:
+        if len(part) != len(merged):
+            raise ValueError(
+                "shard stage lists differ in length: "
+                f"{len(part)} vs {len(merged)}"
+            )
+        for accumulated, incoming in zip(merged, part):
+            if type(accumulated) is not type(incoming):
+                raise ValueError(
+                    "shard stage lists differ in stage order: "
+                    f"{type(accumulated).__name__} vs "
+                    f"{type(incoming).__name__}"
+                )
+            accumulated.merge(incoming)
+    return merged

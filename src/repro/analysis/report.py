@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from repro.analysis.ads import render_ad_delivery
 from repro.analysis.blocking import BlockingStats
+from repro.analysis.drift import render_drift
 from repro.analysis.figure3 import Figure3Series, coarse_series
 from repro.analysis.stats import OverallStats
 from repro.analysis.table1 import Table1Row
@@ -15,6 +19,9 @@ from repro.obs.recorder import ObsSummary
 from repro.obs.report import render_obs_summary
 from repro.staticlint.diagnostics import LintReport
 from repro.staticlint.runner import FullLintResult
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisResult
 
 
 def _fmt(rows: list[list[str]], header: list[str]) -> str:
@@ -299,6 +306,11 @@ def render_lint(result: FullLintResult) -> str:
             "DETERMINISM (src/repro)\n"
             + render_lint_report(result.self_report)
         )
+    if result.api_report is not None:
+        sections.append(
+            "API BOUNDARIES (src/repro)\n"
+            + render_lint_report(result.api_report)
+        )
     counts = result.report.counts()
     sections.append(
         f"{len(result.report)} finding(s): "
@@ -306,4 +318,41 @@ def render_lint(result: FullLintResult) -> str:
            if counts else "none")
         + f"\nexit code: {result.exit_code}"
     )
+    return "\n\n".join(sections)
+
+
+def render_analysis(result: "AnalysisResult") -> str:
+    """The full ``repro analyze`` report over a saved dataset.
+
+    Renders whichever stage artifacts the engine produced, in the
+    study's section order; the text for each shared stage is
+    byte-identical to the corresponding ``repro study`` section.
+    """
+    meta = result.meta
+    crawls = sorted(meta.crawls, key=lambda crawl: crawl.index)
+    header = (
+        f"DATASET — {len(crawls)} crawl(s): "
+        + "; ".join(
+            f"{crawl.index} · {crawl.label} ({len(crawl.sites)} sites)"
+            for crawl in crawls
+        )
+    )
+    renderers = (
+        ("table1", "TABLE 1 — socket prevalence per crawl", render_table1),
+        ("table2", "TABLE 2 — top initiators", render_table2),
+        ("table3", "TABLE 3 — top A&A receivers", render_table3),
+        ("table4", "TABLE 4 — initiator/receiver pairs", render_table4),
+        ("table5", "TABLE 5 — content analysis", render_table5),
+        ("figure3", "FIGURE 3 — usage by rank", render_figure3),
+        ("overall", "", render_overall),
+        ("blocking", "", render_blocking),
+        ("drift", "", render_drift),
+        ("ads", "", render_ad_delivery),
+    )
+    sections = [header]
+    for name, title, renderer in renderers:
+        if name not in result.artifacts:
+            continue
+        text = renderer(result.artifacts[name])
+        sections.append(f"{title}\n{text}" if title else text)
     return "\n\n".join(sections)

@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.analysis.classify import SocketView
+from repro.analysis.stage import (
+    AnalysisStage,
+    StageContext,
+    fold_views,
+    register_stage,
+)
 
 
 @dataclass(frozen=True)
@@ -51,73 +59,121 @@ class OverallStats:
         return self.sockets_per_aa_initiator / self.sockets_per_non_aa_initiator
 
 
-def compute_overall_stats(views: list[SocketView]) -> OverallStats:
-    """Compute the merged-dataset § 4.1 statistics."""
-    total = len(views)
-    cross = sum(1 for v in views if v.record.cross_origin)
-    third_party_receivers = {
-        v.receiver_domain for v in views if v.record.cross_origin
-    }
-    aa_receivers = {v.receiver_domain for v in views if v.aa_received}
-    aa_initiators = {v.initiator_domain for v in views if v.aa_initiated}
+@register_stage
+class OverallStage(AnalysisStage):
+    """The merged-dataset §4.1 statistics, folded in one sweep.
 
-    per_site: Counter = Counter()
-    for view in views:
-        per_site[(view.crawl, view.record.site_domain)] += 1
-    avg_per_site = (
-        sum(per_site.values()) / len(per_site) if per_site else 0.0
-    )
+    Every accumulator is an integer count, a domain set, or an integer
+    counter; all ratios and means are taken at ``finalize``, so folds
+    and merges commute exactly.
+    """
 
-    initiators_per_receiver: dict[str, set[str]] = {}
-    for view in views:
+    name = "overall"
+    version = "1"
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._cross = 0
+        self._third_party_receivers: set[str] = set()
+        self._aa_receivers: set[str] = set()
+        self._aa_initiators: set[str] = set()
+        self._per_site: Counter = Counter()
+        self._initiators_per_receiver: dict[str, set[str]] = {}
+        self._aa_counts: Counter = Counter()
+        self._non_aa_counts: Counter = Counter()
+        self._aa_initiators_by_crawl: dict[int, set[str]] = {}
+        self._crawls_seen: set[int] = set()
+
+    def fold(self, view: SocketView) -> None:
+        self._total += 1
+        self._crawls_seen.add(view.crawl)
+        if view.record.cross_origin:
+            self._cross += 1
+            self._third_party_receivers.add(view.receiver_domain)
         if view.aa_received:
-            initiators_per_receiver.setdefault(
+            self._aa_receivers.add(view.receiver_domain)
+            self._initiators_per_receiver.setdefault(
                 view.receiver_domain, set()
             ).add(view.initiator_domain)
-    ge10 = sum(
-        1 for initiators in initiators_per_receiver.values()
-        if len(initiators) >= 10
-    )
-    pct_ge10 = (
-        100.0 * ge10 / len(initiators_per_receiver)
-        if initiators_per_receiver else 0.0
-    )
+        self._per_site[(view.crawl, view.record.site_domain)] += 1
+        if view.aa_initiated:
+            self._aa_initiators.add(view.initiator_domain)
+            self._aa_counts[view.initiator_domain] += 1
+            self._aa_initiators_by_crawl.setdefault(view.crawl, set()).add(
+                view.initiator_domain
+            )
+        else:
+            self._non_aa_counts[view.initiator_domain] += 1
 
-    aa_counts: Counter = Counter()
-    non_aa_counts: Counter = Counter()
-    for view in views:
-        bucket = aa_counts if view.aa_initiated else non_aa_counts
-        bucket[view.initiator_domain] += 1
-    sockets_per_aa = (
-        sum(aa_counts.values()) / len(aa_counts) if aa_counts else 0.0
-    )
-    sockets_per_non_aa = (
-        sum(non_aa_counts.values()) / len(non_aa_counts)
-        if non_aa_counts else 0.0
-    )
+    def merge(self, other: "OverallStage") -> None:
+        self._total += other._total
+        self._cross += other._cross
+        self._third_party_receivers.update(other._third_party_receivers)
+        self._aa_receivers.update(other._aa_receivers)
+        self._aa_initiators.update(other._aa_initiators)
+        self._per_site.update(other._per_site)
+        for receiver, initiators in other._initiators_per_receiver.items():
+            self._initiators_per_receiver.setdefault(
+                receiver, set()
+            ).update(initiators)
+        self._aa_counts.update(other._aa_counts)
+        self._non_aa_counts.update(other._non_aa_counts)
+        for crawl, domains in other._aa_initiators_by_crawl.items():
+            self._aa_initiators_by_crawl.setdefault(crawl, set()).update(
+                domains
+            )
+        self._crawls_seen.update(other._crawls_seen)
 
-    crawls = sorted({v.crawl for v in views})
-    disappeared = 0
-    if len(crawls) >= 2:
-        first = {
-            v.initiator_domain for v in views
-            if v.crawl == crawls[0] and v.aa_initiated
-        }
-        last = {
-            v.initiator_domain for v in views
-            if v.crawl == crawls[-1] and v.aa_initiated
-        }
-        disappeared = len(first - last)
+    def finalize(self, ctx: StageContext) -> OverallStats:
+        avg_per_site = (
+            sum(self._per_site.values()) / len(self._per_site)
+            if self._per_site else 0.0
+        )
+        ge10 = sum(
+            1 for initiators in self._initiators_per_receiver.values()
+            if len(initiators) >= 10
+        )
+        pct_ge10 = (
+            100.0 * ge10 / len(self._initiators_per_receiver)
+            if self._initiators_per_receiver else 0.0
+        )
+        sockets_per_aa = (
+            sum(self._aa_counts.values()) / len(self._aa_counts)
+            if self._aa_counts else 0.0
+        )
+        sockets_per_non_aa = (
+            sum(self._non_aa_counts.values()) / len(self._non_aa_counts)
+            if self._non_aa_counts else 0.0
+        )
+        crawls = sorted(self._crawls_seen)
+        disappeared = 0
+        if len(crawls) >= 2:
+            first = self._aa_initiators_by_crawl.get(crawls[0], set())
+            last = self._aa_initiators_by_crawl.get(crawls[-1], set())
+            disappeared = len(first - last)
+        return OverallStats(
+            total_sockets=self._total,
+            pct_cross_origin=(
+                100.0 * self._cross / self._total if self._total else 0.0
+            ),
+            unique_third_party_receivers=len(self._third_party_receivers),
+            unique_aa_receivers=len(self._aa_receivers),
+            unique_aa_initiators=len(self._aa_initiators),
+            avg_sockets_per_socket_site=avg_per_site,
+            pct_aa_receivers_ge_10_initiators=pct_ge10,
+            disappeared_initiators=disappeared,
+            sockets_per_aa_initiator=sockets_per_aa,
+            sockets_per_non_aa_initiator=sockets_per_non_aa,
+        )
 
-    return OverallStats(
-        total_sockets=total,
-        pct_cross_origin=100.0 * cross / total if total else 0.0,
-        unique_third_party_receivers=len(third_party_receivers),
-        unique_aa_receivers=len(aa_receivers),
-        unique_aa_initiators=len(aa_initiators),
-        avg_sockets_per_socket_site=avg_per_site,
-        pct_aa_receivers_ge_10_initiators=pct_ge10,
-        disappeared_initiators=disappeared,
-        sockets_per_aa_initiator=sockets_per_aa,
-        sockets_per_non_aa_initiator=sockets_per_non_aa,
-    )
+    def encode_artifact(self, artifact: OverallStats) -> dict:
+        return dataclasses.asdict(artifact)
+
+    def decode_artifact(self, payload: dict) -> OverallStats:
+        return OverallStats(**payload)
+
+
+def compute_overall_stats(views: Iterable[SocketView]) -> OverallStats:
+    """Compute the merged-dataset § 4.1 statistics."""
+    stage = fold_views(OverallStage(), views)
+    return stage.finalize(StageContext())

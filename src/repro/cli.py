@@ -6,6 +6,9 @@ Commands:
   (``--trace``/``--metrics-out`` export the observability artifacts;
   ``--faults`` injects a named fault profile; ``--checkpoint``
   journals per-site completion for resume).
+* ``analyze`` — re-analyze a dataset saved by ``study --dataset-out``
+  in one streaming pass, serving unchanged stages from the
+  content-addressed artifact cache (``--no-cache`` bypasses it).
 * ``obs``     — summarize a trace JSONL written by ``study --trace``.
 * ``visit``   — load one site in the simulated browser and print its
   inclusion tree and WebSocket traffic.
@@ -32,7 +35,7 @@ from repro.analysis import report as report_mod
 from repro.browser import Browser
 from repro.cdp import EventBus, SessionRecorder
 from repro.cdp.har import save_har
-from repro.crawler.persistence import save_socket_records
+from repro.crawler.persistence import DatasetError, save_dataset
 from repro.experiments import (
     DEFAULT_CONFIG,
     FULL_CONFIG,
@@ -153,10 +156,55 @@ def _cmd_study(args: argparse.Namespace) -> int:
             write_metrics(args.metrics_out, result.obs)
             print(f"metrics written to {args.metrics_out}")
     if args.dataset_out:
-        count = save_socket_records(args.dataset_out,
-                                    result.dataset.socket_records)
-        print(f"dataset written to {args.dataset_out} ({count} records)")
+        count = save_dataset(args.dataset_out, result.dataset)
+        print(f"dataset written to {args.dataset_out} "
+              f"({count} socket records)")
     return _study_exit_code(result.summaries)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.cache import StageCache
+    from repro.analysis.engine import AnalysisEngine, DatasetSource
+    from repro.analysis.stage import default_stages
+    from repro.util.serialization import dumps
+
+    try:
+        source = DatasetSource.from_file(args.dataset)
+    except DatasetError as error:
+        print(f"cannot read dataset {args.dataset!r}: {error}",
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else StageCache(args.cache_dir)
+    engine = AnalysisEngine(stages=default_stages(), cache=cache)
+    result = engine.run(source)
+    if args.json:
+        payload = {
+            "dataset": source.fingerprint(),
+            "computed": list(result.computed),
+            "cached": list(result.cached),
+            "artifacts": {
+                stage.name: stage.encode_artifact(result[stage.name])
+                for stage in engine.stages
+            },
+        }
+        output = dumps(payload)
+    else:
+        output = report_mod.render_analysis(result)
+    if args.report_out:
+        from pathlib import Path
+
+        Path(args.report_out).write_text(output + "\n", encoding="utf-8")
+        if not args.quiet:
+            print(f"report written to {args.report_out}", file=sys.stderr)
+    else:
+        print(output)
+    if cache is not None and not args.quiet:
+        print(
+            f"analysis cache: {cache.hits} hit(s), "
+            f"{cache.misses} recomputed",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -291,9 +339,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(artifacts are byte-identical across worker "
                             "counts; default 1 runs inline)")
     study.add_argument("--dataset-out", default="", dest="dataset_out",
-                       help="write the study's socket records as JSONL "
-                            "(.gz supported)")
+                       help="write the full study dataset as JSONL "
+                            "(.gz supported) for later `repro analyze`")
     study.set_defaults(func=_cmd_study)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="re-analyze a saved dataset (cached, streaming)",
+    )
+    analyze.add_argument("dataset",
+                         help="dataset JSONL from `study --dataset-out`")
+    analyze.add_argument("--report-out", default="", dest="report_out",
+                         help="write the report to this file instead of "
+                              "stdout")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the stage artifacts as JSON instead "
+                              "of the text report")
+    analyze.add_argument("--no-cache", action="store_true", dest="no_cache",
+                         help="recompute every stage, bypassing the "
+                              "artifact cache")
+    analyze.add_argument("--cache-dir", default="results/cache",
+                         dest="cache_dir",
+                         help="stage artifact cache directory "
+                              "(default: results/cache)")
+    analyze.set_defaults(func=_cmd_analyze)
 
     obs = sub.add_parser("obs", help="summarize a study trace file")
     obs.add_argument("trace", help="trace JSONL from `study --trace`")

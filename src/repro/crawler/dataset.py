@@ -63,6 +63,74 @@ class SocketRecord:
 
 
 @dataclass(frozen=True)
+class CrawlMeta:
+    """One crawl's identity and denominators.
+
+    Attributes:
+        index: Crawl index (0–3 in the four-crawl study).
+        label: Crawl window label (``"Chrome 57 #1"``…).
+        sites: The crawl's ``(domain, rank)`` site list — Table 1's
+            denominator and Figure 3's rank bins.
+        pages: Pages observed during the crawl.
+    """
+
+    index: int
+    label: str
+    sites: tuple[tuple[str, int], ...] = ()
+    pages: int = 0
+
+
+@dataclass(frozen=True)
+class DatasetMeta:
+    """Typed dataset-level metadata the analyses need.
+
+    Replaces the parallel ``crawl_sites``/``crawl_labels`` mappings
+    that used to be threaded through every ``compute_table*``
+    signature; persisted in the dataset JSONL header so a saved
+    dataset is self-describing.
+    """
+
+    crawls: tuple[CrawlMeta, ...] = ()
+
+    @property
+    def crawl_sites(self) -> dict[int, list[tuple[str, int]]]:
+        """The legacy crawl → site-list mapping."""
+        return {c.index: list(c.sites) for c in self.crawls}
+
+    @property
+    def crawl_labels(self) -> dict[int, str]:
+        """The legacy crawl → label mapping."""
+        return {c.index: c.label for c in self.crawls}
+
+    @property
+    def crawl_indices(self) -> tuple[int, ...]:
+        """Crawl indices present, sorted."""
+        return tuple(sorted(c.index for c in self.crawls))
+
+    @classmethod
+    def from_mappings(
+        cls,
+        crawl_sites: dict[int, list[tuple[str, int]]],
+        crawl_labels: dict[int, str] | None = None,
+        crawl_pages: dict[int, int] | None = None,
+    ) -> "DatasetMeta":
+        """Build from the legacy mapping pair (labels default per crawl)."""
+        crawl_labels = crawl_labels or {}
+        crawl_pages = crawl_pages or {}
+        return cls(crawls=tuple(
+            CrawlMeta(
+                index=index,
+                label=crawl_labels.get(index, f"crawl {index}"),
+                sites=tuple(
+                    (domain, rank) for domain, rank in crawl_sites[index]
+                ),
+                pages=crawl_pages.get(index, 0),
+            )
+            for index in sorted(crawl_sites)
+        ))
+
+
+@dataclass(frozen=True)
 class ChainSignature:
     """A deduplicated third-party inclusion-chain shape.
 
@@ -158,6 +226,13 @@ class StudyDataset:
     def crawl_indices(self) -> list[int]:
         """Crawls present in the dataset, sorted."""
         return sorted(self.crawl_pages)
+
+    @property
+    def meta(self) -> DatasetMeta:
+        """Typed metadata snapshot (labels, site lists, page counts)."""
+        return DatasetMeta.from_mappings(
+            self.crawl_sites, self.crawl_labels, dict(self.crawl_pages)
+        )
 
     # -- internals ---------------------------------------------------------------
 

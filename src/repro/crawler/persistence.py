@@ -1,10 +1,13 @@
-"""Archiving socket records — the study's primary artifact.
+"""Archiving the study dataset — the study's primary artifact.
 
 The original study archived raw crawl output; the compact equivalent
-here is the socket-record table (every Table 1–5 computation and
-Figure 3 can be re-derived from it plus the aggregate counters). These
-helpers write and read it as JSONL, so results can be shared, diffed,
-and re-analyzed without re-crawling.
+here is the *dataset file*: a JSONL header (typed metadata), the
+dataset's aggregate counters, then every socket record — everything
+``repro analyze`` needs to recompute Tables 1–5, Figure 3, and the
+prose statistics without re-crawling (:func:`save_dataset` /
+:func:`open_dataset`). :func:`dataset_fingerprint` hashes the exact
+byte stream :func:`save_dataset` writes, so a live dataset and its
+saved file share one content address for the stage cache.
 
 This module also holds the crawl *checkpoint journal*: an append-only
 JSONL file with one entry per finished site, which lets an interrupted
@@ -13,14 +16,23 @@ study resume where it stopped (:class:`CrawlCheckpoint`).
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.content.ads import AdUnit
 from repro.content.items import ReceivedClass, SentItem
-from repro.crawler.dataset import SocketRecord
+from repro.crawler.dataset import (
+    ChainSignature,
+    CrawlMeta,
+    DatasetMeta,
+    SocketRecord,
+    StudyDataset,
+)
 from repro.crawler.observation import (
     PageObservation,
     ResourceObservation,
@@ -28,10 +40,23 @@ from repro.crawler.observation import (
 )
 from repro.crawler.outcome import PageOutcome
 from repro.net.http import ResourceType
-from repro.util.serialization import read_jsonl, write_jsonl
+from repro.util.serialization import (
+    dumps,
+    iter_lines,
+    read_jsonl,
+    write_jsonl,
+)
 
 if TYPE_CHECKING:
     from repro.crawler.crawler import CrawlRunSummary
+    from repro.filters.engine import FilterEngine
+
+DATASET_FORMAT = "repro.dataset"
+DATASET_VERSION = 2
+
+
+class DatasetError(ValueError):
+    """A dataset file is missing, malformed, or an unsupported version."""
 
 
 def socket_record_to_json(record: SocketRecord) -> dict:
@@ -105,8 +130,293 @@ def save_socket_records(
 
 
 def load_socket_records(path: str | Path) -> list[SocketRecord]:
-    """Read socket records back from JSONL."""
-    return list(read_jsonl(path, decoder=socket_record_from_json))
+    """Read socket records back from JSONL.
+
+    Works on both bare record files and v2 dataset files (header and
+    aggregate lines — the ones carrying a ``kind`` key — are skipped).
+    """
+    return [
+        socket_record_from_json(payload)
+        for payload in read_jsonl(path)
+        if "kind" not in payload
+    ]
+
+
+# -- the dataset file (v2) -------------------------------------------------
+
+
+def _meta_to_json(meta: DatasetMeta) -> dict:
+    return {
+        "crawls": [
+            {
+                "index": crawl.index,
+                "label": crawl.label,
+                "sites": [[domain, rank] for domain, rank in crawl.sites],
+                "pages": crawl.pages,
+            }
+            for crawl in meta.crawls
+        ],
+    }
+
+
+def _meta_from_json(payload: dict) -> DatasetMeta:
+    return DatasetMeta(crawls=tuple(
+        CrawlMeta(
+            index=crawl["index"],
+            label=crawl["label"],
+            sites=tuple((domain, rank) for domain, rank in crawl["sites"]),
+            pages=crawl["pages"],
+        )
+        for crawl in payload["crawls"]
+    ))
+
+
+def _item_counter_to_json(bucket: Counter) -> dict:
+    return {
+        item.value: count
+        for item, count in sorted(
+            bucket.items(), key=lambda kv: kv[0].value
+        )
+    }
+
+
+def _dataset_preamble(dataset: StudyDataset) -> list[dict]:
+    """The header and aggregate lines preceding the socket records.
+
+    Chain signatures get one ``kind: chain`` line each rather than one
+    aggregate line: the chain population grows with pages crawled, and
+    a single multi-megabyte JSON line would dominate the reader's
+    transient memory (the whole point of streaming re-analysis is that
+    nothing scales with crawl volume at parse time).
+    """
+    chains = [
+        {
+            "kind": "chain",
+            "hosts": list(signature.hosts),
+            "script_urls": list(signature.script_urls),
+            "leaf_host": signature.leaf_host,
+            "leaf_is_script": signature.leaf_is_script,
+            "count": count,
+        }
+        for signature, count in dataset.chain_signatures.items()
+    ]
+    chains.sort(key=lambda entry: (
+        entry["leaf_host"], entry["hosts"], entry["script_urls"],
+        entry["leaf_is_script"],
+    ))
+    return [
+        {
+            "kind": "header",
+            "format": DATASET_FORMAT,
+            "version": DATASET_VERSION,
+            "meta": _meta_to_json(dataset.meta),
+        },
+        {
+            "kind": "tags",
+            "aa": dict(dataset.tag_counter.aa),
+            "non_aa": dict(dataset.tag_counter.non_aa),
+        },
+        {
+            "kind": "cloudfront",
+            "adjacency": {
+                host: dict(counter)
+                for host, counter in dataset.cf_mapper.adjacency.items()
+            },
+        },
+        {
+            "kind": "http",
+            "requests": dict(dataset.http_requests_by_host),
+            "items": {
+                host: _item_counter_to_json(bucket)
+                for host, bucket in dataset.http_items_by_host.items()
+            },
+            "received": {
+                host: _item_counter_to_json(bucket)
+                for host, bucket in dataset.http_received_by_host.items()
+            },
+        },
+    ] + chains
+
+
+def _dataset_records(dataset: StudyDataset) -> Iterator[dict]:
+    """Every JSONL line of the dataset file, in order."""
+    return itertools.chain(
+        _dataset_preamble(dataset),
+        (socket_record_to_json(r) for r in dataset.socket_records),
+    )
+
+
+def save_dataset(path: str | Path, dataset: StudyDataset) -> int:
+    """Write the full dataset file; returns the socket-record count.
+
+    The byte stream is canonical (compact JSON, sorted keys), so the
+    file's fingerprint equals :func:`dataset_fingerprint` of the live
+    dataset and two saves of equal datasets are byte-identical.
+    """
+    lines = write_jsonl(path, _dataset_records(dataset))
+    return lines - 4 - len(dataset.chain_signatures)
+
+
+def dataset_fingerprint(dataset: StudyDataset) -> str:
+    """SHA-256 of the byte stream :func:`save_dataset` would write."""
+    hasher = hashlib.sha256()
+    for record in _dataset_records(dataset):
+        hasher.update(dumps(record).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def file_fingerprint(path: str | Path) -> str:
+    """SHA-256 of a dataset file's (decompressed) bytes.
+
+    Equals :func:`dataset_fingerprint` of the dataset the file was
+    saved from; hashing the decoded text keeps ``.gz`` files and their
+    plain twins interchangeable.
+    """
+    hasher = hashlib.sha256()
+    for line in iter_lines(path):
+        hasher.update(line.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class DatasetReader:
+    """Streaming reader over a saved v2 dataset file.
+
+    Loading the reader parses only the header and aggregate lines into
+    an otherwise-empty :class:`StudyDataset` (labeler derivation, the
+    Table 5 HTTP half, and the §4.2 chain population all come from
+    those aggregates); socket records are re-yielded from disk on each
+    :meth:`iter_records` call, so analysis memory stays bounded by the
+    aggregates, never the record count.
+    """
+
+    def __init__(
+        self, path: str | Path, engine: "FilterEngine | None" = None
+    ) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise DatasetError(f"no such dataset file: {self.path}")
+        self.meta, preamble = self._load_preamble()
+        self.dataset = self._restore_dataset(preamble, engine)
+
+    def _load_preamble(self) -> tuple[DatasetMeta, dict[str, dict]]:
+        header: dict | None = None
+        preamble: dict[str, dict] = {}
+        # Lines before the first socket record; iter_records skips
+        # them without re-parsing (the aggregate lines are large).
+        self._preamble_lines = 0
+        for line in iter_lines(self.path):
+            stripped = line.strip()
+            if not stripped:
+                self._preamble_lines += 1
+                continue
+            payload = json.loads(stripped)
+            kind = payload.get("kind") if isinstance(payload, dict) else None
+            if header is None:
+                if kind != "header" or payload.get("format") != DATASET_FORMAT:
+                    raise DatasetError(
+                        f"{self.path} is not a {DATASET_FORMAT} file "
+                        "(no header line); re-export it with "
+                        "`repro study --dataset-out`"
+                    )
+                if payload.get("version") != DATASET_VERSION:
+                    raise DatasetError(
+                        f"{self.path} is dataset version "
+                        f"{payload.get('version')}; this build reads "
+                        f"version {DATASET_VERSION}"
+                    )
+                header = payload
+                self._preamble_lines += 1
+                continue
+            if kind is None:
+                break  # the socket records start here
+            if kind == "chain":
+                # Converted as parsed: holding every chain line's raw
+                # dict alongside the converted Counter would double
+                # the reader's peak memory.
+                chains = preamble.setdefault("chains", Counter())
+                chains[ChainSignature(
+                    hosts=tuple(payload["hosts"]),
+                    script_urls=tuple(payload["script_urls"]),
+                    leaf_host=payload["leaf_host"],
+                    leaf_is_script=payload["leaf_is_script"],
+                )] = payload["count"]
+            else:
+                preamble[kind] = payload
+            self._preamble_lines += 1
+        if header is None:
+            raise DatasetError(f"{self.path} is empty")
+        return _meta_from_json(header["meta"]), preamble
+
+    def _restore_dataset(
+        self, preamble: dict[str, dict], engine: "FilterEngine | None"
+    ) -> StudyDataset:
+        if engine is None:
+            # The filter engine is scale-independent: it is built from
+            # the full registry regardless of crawl sample, so a saved
+            # dataset re-analyzes against the same rules it was
+            # crawled under.
+            from repro.web.filterlists import build_filter_engine
+            from repro.web.registry import default_registry
+
+            engine = build_filter_engine(default_registry())
+        dataset = StudyDataset(engine=engine)
+        tags = preamble.get("tags", {})
+        for domain, count in tags.get("aa", {}).items():
+            dataset.tag_counter.aa[domain] = count
+        for domain, count in tags.get("non_aa", {}).items():
+            dataset.tag_counter.non_aa[domain] = count
+        cloudfront = preamble.get("cloudfront", {})
+        for host, counts in cloudfront.get("adjacency", {}).items():
+            dataset.cf_mapper.adjacency[host] = Counter(counts)
+        http = preamble.get("http", {})
+        dataset.http_requests_by_host.update(http.get("requests", {}))
+        for host, counts in http.get("items", {}).items():
+            dataset.http_items_by_host[host] = Counter({
+                SentItem(value): count for value, count in counts.items()
+            })
+        for host, counts in http.get("received", {}).items():
+            dataset.http_received_by_host[host] = Counter({
+                ReceivedClass(value): count
+                for value, count in counts.items()
+            })
+        dataset.chain_signatures.update(preamble.get("chains", {}))
+        for crawl in self.meta.crawls:
+            dataset.crawl_sites[crawl.index] = list(crawl.sites)
+            dataset.crawl_labels[crawl.index] = crawl.label
+            if crawl.pages:
+                dataset.crawl_pages[crawl.index] = crawl.pages
+        return dataset
+
+    def iter_records(self) -> Iterator[SocketRecord]:
+        """Stream the socket records from disk, in file order.
+
+        The preamble prefix is skipped by line count, unparsed — the
+        aggregate lines are the file's largest and re-decoding them on
+        every pass would dominate the sweep's transient memory.
+        """
+        lines = iter_lines(self.path)
+        for _ in range(self._preamble_lines):
+            next(lines, None)
+        for line in lines:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            payload = json.loads(stripped)
+            if "kind" in payload:
+                continue
+            yield socket_record_from_json(payload)
+
+    def fingerprint(self) -> str:
+        """The file's content address (see :func:`file_fingerprint`)."""
+        return file_fingerprint(self.path)
+
+
+def open_dataset(
+    path: str | Path, engine: "FilterEngine | None" = None
+) -> DatasetReader:
+    """Open a saved dataset file for streaming re-analysis."""
+    return DatasetReader(path, engine=engine)
 
 
 # -- page observation codecs ----------------------------------------------

@@ -13,15 +13,17 @@ from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.analysis.blocking import BlockingStats, compute_blocking_stats
-from repro.analysis.classify import SocketView, classify_sockets
-from repro.analysis.figure3 import Figure3Series, compute_figure3
-from repro.analysis.stats import OverallStats, compute_overall_stats
-from repro.analysis.table1 import Table1Row, compute_table1
-from repro.analysis.table2 import Table2Row, compute_table2
-from repro.analysis.table3 import Table3Row, compute_table3
-from repro.analysis.table4 import Table4, compute_table4
-from repro.analysis.table5 import Table5, compute_table5
+from repro.analysis.blocking import BlockingStats
+from repro.analysis.classify import SocketView
+from repro.analysis.engine import AnalysisEngine, DatasetSource
+from repro.analysis.figure3 import Figure3Series
+from repro.analysis.stage import study_stages
+from repro.analysis.stats import OverallStats
+from repro.analysis.table1 import Table1Row
+from repro.analysis.table2 import Table2Row
+from repro.analysis.table3 import Table3Row
+from repro.analysis.table4 import Table4
+from repro.analysis.table5 import Table5
 from repro.crawler.crawler import (
     CrawlAccountant,
     CrawlConfig,
@@ -237,47 +239,20 @@ def analyze(
     summaries: list[CrawlRunSummary],
     obs: Obs | None = None,
 ) -> StudyResult:
-    """Derive labels and compute every artifact from a dataset."""
+    """Derive labels and compute every artifact from a dataset.
 
-    def stage(name: str):
-        return (obs.span("analyze", stage=name) if obs is not None
-                else nullcontext())
-
-    with stage("labeling"):
-        labeler = dataset.derive_labeler()
-        resolver = dataset.derive_resolver(labeler)
-    with stage("classify"):
-        views = classify_sockets(dataset, labeler, resolver)
-    if obs is not None:
-        metrics = obs.metrics
-        metrics.counter("analysis.views").add(len(views))
-        metrics.counter("analysis.aa_sockets").add(
-            sum(1 for v in views if v.is_aa_socket)
-        )
-        metrics.counter("analysis.aa_initiated").add(
-            sum(1 for v in views if v.aa_initiated)
-        )
-        metrics.counter("analysis.aa_received").add(
-            sum(1 for v in views if v.aa_received)
-        )
-        metrics.counter("analysis.aa_domains_labeled").add(len(labeler))
-    with stage("table1"):
-        table1 = compute_table1(views, dataset.crawl_sites,
-                                dataset.crawl_labels)
-    with stage("table2"):
-        table2 = compute_table2(views)
-    with stage("table3"):
-        table3 = compute_table3(views)
-    with stage("table4"):
-        table4 = compute_table4(views)
-    with stage("table5"):
-        table5 = compute_table5(dataset, views, labeler, resolver)
-    with stage("figure3"):
-        figure3 = compute_figure3(views, dataset.crawl_sites)
-    with stage("blocking"):
-        blocking = compute_blocking_stats(dataset, views, labeler, resolver)
-    with stage("overall"):
-        overall = compute_overall_stats(views)
+    A thin driver over :class:`repro.analysis.engine.AnalysisEngine`:
+    one classification sweep feeds every stage accumulator, and the
+    finalized artifacts land in the same ``StudyResult`` fields as
+    before. The view list is retained (via the engine's ``view_sink``)
+    because ``StudyResult.views`` is part of the study's API; the
+    memory-bounded path is ``repro analyze`` over a saved dataset.
+    """
+    engine = AnalysisEngine(stages=study_stages(), obs=obs)
+    views: list[SocketView] = []
+    outcome = engine.run(
+        DatasetSource.from_dataset(dataset), view_sink=views.append
+    )
     lint_span = (obs.span("lint") if obs is not None else nullcontext())
     with lint_span:
         lint = run_full_lint(registry=web.registry, check_self=False)
@@ -286,17 +261,17 @@ def analyze(
         web=web,
         dataset=dataset,
         summaries=summaries,
-        labeler=labeler,
-        resolver=resolver,
+        labeler=outcome.labeler,
+        resolver=outcome.resolver,
         views=views,
-        table1=table1,
-        table2=table2,
-        table3=table3,
-        table4=table4,
-        table5=table5,
-        figure3=figure3,
-        blocking=blocking,
-        overall=overall,
+        table1=outcome["table1"],
+        table2=outcome["table2"],
+        table3=outcome["table3"],
+        table4=outcome["table4"],
+        table5=outcome["table5"],
+        figure3=outcome["figure3"],
+        blocking=outcome["blocking"],
+        overall=outcome["overall"],
         lint=lint,
         obs=obs.summary(preset=config.name, seed=config.seed)
         if obs is not None else None,

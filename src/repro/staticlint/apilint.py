@@ -1,0 +1,184 @@
+"""AST lint enforcing package API boundaries inside ``src/repro``.
+
+``repro.analysis`` (and any other package) may keep internal helpers in
+underscore-prefixed modules (``repro.analysis._codecs``) or names
+(``_coerce_meta``). Those are package-private: importing them from
+outside the owning package couples external code to internals that can
+change without notice. One rule makes the boundary checkable in CI:
+
+* ``API-PRIVATE`` — an import that reaches a private module
+  (``import repro.x._y`` / ``from repro.x._y import ...`` /
+  ``from repro.x import _y``) or a private name
+  (``from repro.x.y import _name``) from a file whose own module path
+  is not inside the owning package.
+
+The owning package of ``repro.x._y`` (or of ``_name`` in
+``repro.x.y``) is ``repro.x``; any module at or below ``repro.x`` may
+import it freely. For ``from repro.x import _y`` the owner is
+``repro.x`` itself when ``repro.x`` is a known package (``_y`` is then
+a private submodule or a private name in its ``__init__``) — the
+``packages`` argument supplies that knowledge, and the path-walking
+entry points compute it from the ``__init__.py`` files they see.
+Dunder names (``__version__``) are not private. A finding on a line
+containing the pragma ``api: allow`` is suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
+
+_PRAGMA = "api: allow"
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not name.startswith("__")
+
+
+def _module_of(path: str) -> str:
+    """The dotted module path of a display path like ``repro/x/y.py``."""
+    parts = list(Path(path).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _within(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+def _owning_package(module_parts: list[str], private_index: int) -> str:
+    """The package allowed to import the private component."""
+    return ".".join(module_parts[:private_index])
+
+
+class _ApiVisitor(ast.NodeVisitor):
+    """One file's worth of boundary checking."""
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        lines: list[str],
+        packages: frozenset[str] = frozenset(),
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.lines = lines
+        self.packages = packages
+        self.diagnostics: list[Diagnostic] = []
+
+    def _add(self, node: ast.AST, target: str, owner: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines) and _PRAGMA in self.lines[lineno - 1]:
+            return
+        self.diagnostics.append(Diagnostic(
+            rule_id="API-PRIVATE",
+            severity=Severity.ERROR,
+            source=f"{self.path}:{lineno}",
+            message=f"import of package-private {target!r} from outside "
+                    f"{owner!r}",
+            fix_hint=f"use the public API re-exported by {owner}, or move "
+                     f"the importer into the package",
+        ))
+
+    def _check_module(self, node: ast.AST, module: str) -> None:
+        """Flag ``repro.x._y`` module paths imported from outside."""
+        parts = module.split(".")
+        if parts[0] != "repro":
+            return
+        for index, part in enumerate(parts):
+            if _is_private(part):
+                owner = _owning_package(parts, index)
+                if not _within(self.module, owner):
+                    self._add(node, module, owner)
+                return
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_module(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level or not module.startswith("repro"):
+            # Relative imports stay inside the package by construction.
+            self.generic_visit(node)
+            return
+        self._check_module(node, module)
+        parts = module.split(".")
+        if not any(_is_private(part) for part in parts):
+            # Private *names* out of a public module: the owner is the
+            # package containing that module — or the module itself
+            # when it is a package (the name is then a private
+            # submodule or private in its __init__).
+            if module in self.packages:
+                owner = module
+            else:
+                owner = _owning_package(parts, len(parts) - 1) or module
+            for alias in node.names:
+                if _is_private(alias.name) and not _within(self.module, owner):
+                    self._add(node, f"{module}.{alias.name}", owner)
+        self.generic_visit(node)
+
+
+def lint_api_source(
+    path: str,
+    source: str,
+    packages: frozenset[str] = frozenset(),
+) -> LintReport:
+    """Boundary-lint one file's source text.
+
+    ``packages`` names the dotted paths known to be packages (have an
+    ``__init__.py``); without it, ``from repro.x import _y`` assumes
+    ``repro.x`` is a plain module and attributes ``_y`` to its parent.
+    """
+    report = LintReport()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        report.add(Diagnostic(
+            rule_id="API-SYNTAX",
+            severity=Severity.ERROR,
+            source=f"{path}:{error.lineno or 0}",
+            message=f"cannot parse: {error.msg}",
+        ))
+        return report
+    visitor = _ApiVisitor(
+        path, _module_of(path), source.splitlines(), packages
+    )
+    visitor.visit(tree)
+    report.extend(visitor.diagnostics)
+    return report
+
+
+def lint_api_paths(paths: list[Path], root: Path | None = None) -> LintReport:
+    """Boundary-lint Python files (display paths relative to ``root``)."""
+    displays = {
+        path: str(path.relative_to(root)) if root else str(path)
+        for path in sorted(paths)
+    }
+    packages = frozenset(
+        _module_of(display)
+        for path, display in displays.items()
+        if path.name == "__init__.py"
+    )
+    report = LintReport()
+    for path in sorted(paths):
+        report.extend(lint_api_source(
+            displays[path], path.read_text(encoding="utf-8"),
+            packages=packages,
+        ))
+    return report
+
+
+def lint_api_self() -> LintReport:
+    """Boundary-lint the installed ``repro`` package (the CI gate)."""
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    return lint_api_paths(
+        list(package_root.rglob("*.py")), root=package_root.parent
+    )

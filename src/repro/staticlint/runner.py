@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.staticlint.apilint import lint_api_self
 from repro.staticlint.determinism import lint_self
 from repro.staticlint.diagnostics import LintReport
 from repro.staticlint.filterlint import FilterListAnalysis, analyze_filter_lists
@@ -48,6 +49,8 @@ class FullLintResult:
             records, keyed by configuration label.
         self_report: Determinism lint over ``src/repro`` (``None`` when
             skipped).
+        api_report: Package-boundary lint over ``src/repro`` (``None``
+            when skipped; runs alongside the determinism self-lint).
         report: All diagnostics merged, in stage order.
     """
 
@@ -57,15 +60,17 @@ class FullLintResult:
     )
     cross_checks: dict[str, list[CoverageRecord]] = field(default_factory=dict)
     self_report: LintReport | None = None
+    api_report: LintReport | None = None
     report: LintReport = field(default_factory=LintReport)
 
     @property
     def exit_code(self) -> int:
-        """Non-zero when the determinism contract is violated or a
-        static verdict disagreed with dynamic dispatch."""
+        """Non-zero when the determinism or API-boundary contract is
+        violated or a static verdict disagreed with dynamic dispatch."""
         failing = [
             d for d in self.report.errors
-            if d.rule_id.startswith("DET-") or d.rule_id == "WR-XCHECK"
+            if d.rule_id.startswith(("DET-", "API-"))
+            or d.rule_id == "WR-XCHECK"
         ]
         return 1 if failing else 0
 
@@ -104,5 +109,7 @@ def run_full_lint(
     if check_self:
         result.self_report = lint_self()
         result.report.extend(result.self_report)
+        result.api_report = lint_api_self()
+        result.report.extend(result.api_report)
 
     return result

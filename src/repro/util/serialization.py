@@ -67,6 +67,16 @@ def write_jsonl(path: str | Path, records: Iterable[Any]) -> int:
     return count
 
 
+def iter_lines(path: str | Path) -> Iterator[str]:
+    """Yield raw text lines (newlines included) from a (``.gz``) file.
+
+    The streaming counterpart of reading the file whole — used to
+    fingerprint datasets without materializing them.
+    """
+    with _open_for_read(Path(path)) as handle:
+        yield from handle
+
+
 def read_jsonl(
     path: str | Path, decoder: Callable[[dict], Any] | None = None
 ) -> Iterator[Any]:

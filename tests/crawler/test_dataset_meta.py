@@ -1,0 +1,64 @@
+"""Tests for the typed ``DatasetMeta`` and its deprecated mapping shims."""
+
+import pytest
+
+from repro.analysis.figure3 import compute_figure3
+from repro.analysis.table1 import compute_table1
+from repro.crawler.dataset import CrawlMeta, DatasetMeta
+from repro.util.serialization import dumps
+
+SITES = {0: [("a.example", 1), ("b.example", 2)], 1: [("a.example", 1)]}
+LABELS = {0: "first", 1: "second"}
+
+
+class TestDatasetMeta:
+    def test_from_mappings_round_trips(self):
+        meta = DatasetMeta.from_mappings(SITES, LABELS)
+        assert meta.crawl_sites == {
+            0: [("a.example", 1), ("b.example", 2)],
+            1: [("a.example", 1)],
+        }
+        assert meta.crawl_labels == LABELS
+        assert meta.crawl_indices == (0, 1)
+
+    def test_labels_default_to_crawl_index(self):
+        meta = DatasetMeta.from_mappings(SITES)
+        assert meta.crawl_labels == {0: "crawl 0", 1: "crawl 1"}
+
+    def test_is_frozen_and_hashable(self):
+        meta = DatasetMeta.from_mappings(SITES, LABELS)
+        with pytest.raises(AttributeError):
+            meta.crawls = ()
+        assert hash(meta) == hash(DatasetMeta.from_mappings(SITES, LABELS))
+
+    def test_crawls_carry_pages(self):
+        meta = DatasetMeta(crawls=(
+            CrawlMeta(index=0, label="x", sites=(("a.example", 1),),
+                      pages=12),
+        ))
+        assert meta.crawls[0].pages == 12
+
+    def test_live_dataset_meta_property(self, tiny_study):
+        meta = tiny_study.dataset.meta
+        assert meta.crawl_indices == (0, 1, 2, 3)
+        assert meta.crawl_sites == tiny_study.dataset.crawl_sites
+        assert meta.crawl_labels == tiny_study.dataset.crawl_labels
+
+
+class TestDeprecatedMappingShims:
+    def test_table1_mapping_args_warn_and_agree(self, tiny_study):
+        meta = tiny_study.dataset.meta
+        views = tiny_study.views
+        modern = compute_table1(views, meta)
+        with pytest.warns(DeprecationWarning):
+            legacy = compute_table1(views, meta.crawl_sites,
+                                    meta.crawl_labels)
+        assert dumps(legacy) == dumps(modern)
+
+    def test_figure3_mapping_args_warn_and_agree(self, tiny_study):
+        meta = tiny_study.dataset.meta
+        views = tiny_study.views
+        modern = compute_figure3(views, meta)
+        with pytest.warns(DeprecationWarning):
+            legacy = compute_figure3(views, meta.crawl_sites)
+        assert dumps(legacy) == dumps(modern)

@@ -124,3 +124,64 @@ def test_visit_writes_har(tmp_path, capsys):
     assert har["log"]["entries"]
     assert any(e.get("_resourceType") == "websocket"
                for e in har["log"]["entries"])
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture()
+    def dataset_path(self, tiny_study, tmp_path):
+        from repro.crawler.persistence import save_dataset
+
+        path = tmp_path / "dataset.jsonl"
+        save_dataset(path, tiny_study.dataset)
+        return path
+
+    def test_cold_then_warm_cache_hit(self, dataset_path, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["analyze", str(dataset_path), "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "analysis cache: 0 hit(s), 10 recomputed" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "analysis cache: 10 hit(s), 0 recomputed" in second.err
+        # The report itself is byte-identical across cold and warm runs.
+        assert first.out == second.out
+        assert "TABLE 1" in first.out and "FIGURE 3" in first.out
+
+    def test_report_out_writes_file(self, dataset_path, tmp_path, capsys):
+        report = tmp_path / "report.txt"
+        assert main(["analyze", str(dataset_path), "--no-cache",
+                     "--report-out", str(report)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "report written to" in captured.err
+        assert "TABLE 5" in report.read_text(encoding="utf-8")
+
+    def test_quiet_suppresses_cache_summary(self, dataset_path, tmp_path,
+                                            capsys):
+        assert main(["--quiet", "analyze", str(dataset_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "analysis cache" not in capsys.readouterr().err
+
+    def test_json_emits_artifacts(self, dataset_path, capsys):
+        import json
+
+        assert main(["analyze", str(dataset_path), "--no-cache",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["dataset"]) == 64
+        assert sorted(payload["computed"]) == sorted(payload["artifacts"])
+        assert payload["artifacts"]["overall"]["total_sockets"] > 0
+
+    def test_missing_dataset_is_exit_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read dataset" in capsys.readouterr().err
+
+    def test_legacy_v1_records_file_is_exit_2(self, tiny_study, tmp_path,
+                                              capsys):
+        from repro.crawler.persistence import save_socket_records
+
+        path = tmp_path / "legacy.jsonl"
+        save_socket_records(path, tiny_study.dataset.socket_records[:3])
+        assert main(["analyze", str(path)]) == 2
+        assert "cannot read dataset" in capsys.readouterr().err
