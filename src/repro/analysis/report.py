@@ -311,6 +311,25 @@ def render_lint(result: FullLintResult) -> str:
             "API BOUNDARIES (src/repro)\n"
             + render_lint_report(result.api_report)
         )
+    if result.flow_report is not None:
+        lines = ["WHOLE-PROGRAM FLOW (src/repro)"]
+        analysis = result.flow_analysis
+        if analysis is not None:
+            edges = sum(len(v) for v in analysis.graph.calls.values())
+            effectful = sum(1 for e in analysis.effects.values() if e)
+            lines.append(
+                f"{len(analysis.graph.nodes)} functions, {edges} call "
+                f"edges, {effectful} effectful after fixpoint; "
+                f"parsed {analysis.parsed_files} file(s), "
+                f"{analysis.cached_files} from cache"
+            )
+        if result.baselined:
+            lines.append(
+                f"{result.baselined} accepted finding(s) demoted to "
+                f"warnings by staticlint-baseline.json"
+            )
+        lines.append(render_lint_report(result.flow_report))
+        sections.append("\n".join(lines))
     counts = result.report.counts()
     sections.append(
         f"{len(result.report)} finding(s): "

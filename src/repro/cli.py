@@ -16,7 +16,11 @@ Commands:
 * ``lists``   — dump the synthetic filter lists.
 * ``lint``    — static analysis: filter-list defects (incl. WebSocket
   blindspots), webRequest pattern verdicts cross-validated against
-  dynamic dispatch, and the repro's own determinism contract.
+  dynamic dispatch, and the repro's own whole-program self-lint
+  (determinism, API boundaries, and the FLOW zone contracts, gated by
+  the committed ``staticlint-baseline.json``; ``--json`` emits one
+  JSON object per finding, ``--flow-cache-dir`` holds the
+  content-addressed parse cache).
 
 Global flags: ``--quiet`` suppresses progress lines on stderr;
 ``--verbose`` adds stage-transition lines. Exit codes: 0 success, 1
@@ -286,15 +290,46 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.staticlint.baseline import load_baseline, write_baseline
+    from repro.staticlint.cache import FactsCache
     from repro.staticlint.runner import run_full_lint
 
     self_only = args.self_only
+    check_self = self_only or not args.no_self
+    cache = None
+    if check_self and not args.no_flow_cache:
+        cache = FactsCache(Path(args.flow_cache_dir))
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     result = run_full_lint(
         check_lists=not self_only,
         check_webrequest=not self_only,
-        check_self=self_only or not args.no_self,
+        check_self=check_self,
+        baseline=baseline,
+        cache=cache,
     )
-    print(report_mod.render_lint(result))
+    if args.write_baseline:
+        if result.flow_analysis is None:
+            print("--write-baseline requires the self-lint stage",
+                  file=sys.stderr)
+            return 2
+        target = Path(args.baseline or "staticlint-baseline.json")
+        entries = write_baseline(target, result.flow_analysis.flow_report)
+        print(f"wrote {len(entries)} baseline entries to {target}")
+        return 0
+    if args.json:
+        for diag in result.report.diagnostics:
+            print(json.dumps(diag.to_json(), sort_keys=True))
+    else:
+        print(report_mod.render_lint(result))
     return result.exit_code
 
 
@@ -395,6 +430,21 @@ def build_parser() -> argparse.ArgumentParser:
     lists.set_defaults(func=_cmd_lists)
 
     lint = sub.add_parser("lint", help="run the static analyzers")
+    lint.add_argument("--json", action="store_true",
+                      help="emit one JSON object per diagnostic instead of "
+                           "the rendered report")
+    lint.add_argument("--baseline", default="",
+                      help="accepted-violation baseline file (default: the "
+                           "committed staticlint-baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record current FLOW findings as the accepted "
+                           "baseline and exit 0")
+    lint.add_argument("--flow-cache-dir", default="results/cache/staticlint",
+                      help="facts-cache directory for the whole-program "
+                           "self-lint (content-addressed by source hash)")
+    lint.add_argument("--no-flow-cache", action="store_true",
+                      help="re-parse every file instead of using the "
+                           "facts cache")
     lint.add_argument("--self", action="store_true", dest="self_only",
                       help="only lint src/repro's determinism contract "
                            "(the CI gate)")

@@ -18,15 +18,43 @@ artifacts, three analyzers sharing one diagnostic model:
 * :mod:`repro.staticlint.determinism` — an AST pass over ``src/repro``
   enforcing the calibration contract (no wall-clock reads, no unseeded
   randomness, no hash-order-dependent iteration) outside
-  ``repro.util``.
+  ``repro.util``;
+* :mod:`repro.staticlint.flow` — the whole-program pass: one parse of
+  the tree (:mod:`~repro.staticlint.modgraph`, content-address-cached
+  by :mod:`~repro.staticlint.cache`) feeds a conservative call graph,
+  an interprocedural effect fixpoint
+  (:mod:`~repro.staticlint.effects`), and three zone contracts —
+  determinism zones (FLOW-DET), async-readiness of the crawl hot path
+  (FLOW-ASYNC), and architecture layering (FLOW-LAYER/FLOW-CYCLE) —
+  ratcheted by :mod:`~repro.staticlint.baseline`.
 """
 
+from repro.staticlint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.staticlint.cache import FactsCache
 from repro.staticlint.determinism import lint_paths, lint_self, lint_source_text
 from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
+from repro.staticlint.effects import ALL_EFFECTS, propagate, seed_for_call
 from repro.staticlint.filterlint import (
     FilterListAnalysis,
     analyze_filter_lists,
     websocket_blindspots,
+)
+from repro.staticlint.flow import (
+    FlowAnalysis,
+    FlowConfig,
+    analyze_facts,
+    analyze_self,
+    analyze_tree,
+)
+from repro.staticlint.modgraph import (
+    FileFacts,
+    ProjectGraph,
+    build_graph,
+    extract_file_facts,
 )
 from repro.staticlint.probes import UrlProbe, UrlUniverse
 from repro.staticlint.runner import run_full_lint
@@ -54,4 +82,20 @@ __all__ = [
     "lint_paths",
     "lint_self",
     "run_full_lint",
+    "ALL_EFFECTS",
+    "propagate",
+    "seed_for_call",
+    "FileFacts",
+    "ProjectGraph",
+    "build_graph",
+    "extract_file_facts",
+    "FactsCache",
+    "FlowAnalysis",
+    "FlowConfig",
+    "analyze_facts",
+    "analyze_self",
+    "analyze_tree",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
 ]

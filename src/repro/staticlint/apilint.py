@@ -21,16 +21,59 @@ a private submodule or a private name in its ``__init__``) — the
 entry points compute it from the ``__init__.py`` files they see.
 Dunder names (``__version__``) are not private. A finding on a line
 containing the pragma ``api: allow`` is suppressed.
+
+The rule is expressed over :class:`ImportRecord` facts rather than raw
+AST so the single-parse core (:mod:`repro.staticlint.modgraph`) can
+extract records once per file, cache them content-addressed by source
+hash, and re-check boundaries on every run without re-parsing anything.
+:func:`lint_api_source` remains the standalone one-file entry point
+(parse, collect, check) used by tests and the legacy path-walking gate.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
 
 _PRAGMA = "api: allow"
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One imported binding, as extracted by the single-parse core.
+
+    A plain ``import x.y as z`` yields one record per alias with
+    ``name=""``; a ``from m import n as a`` yields one record per
+    imported name. ``bound`` is the local name the import binds (the
+    call-graph linker resolves calls through it); ``suppressed`` is
+    True when the source line carries the ``api: allow`` pragma.
+    """
+
+    module: str
+    name: str = ""
+    bound: str = ""
+    lineno: int = 0
+    level: int = 0
+    suppressed: bool = False
+
+    def to_json(self) -> dict:
+        """Cache-file form."""
+        return {
+            "module": self.module, "name": self.name, "bound": self.bound,
+            "lineno": self.lineno, "level": self.level,
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ImportRecord":
+        return cls(
+            module=payload["module"], name=payload["name"],
+            bound=payload["bound"], lineno=payload["lineno"],
+            level=payload["level"], suppressed=payload["suppressed"],
+        )
 
 
 def _is_private(name: str) -> bool:
@@ -54,74 +97,101 @@ def _owning_package(module_parts: list[str], private_index: int) -> str:
     return ".".join(module_parts[:private_index])
 
 
-class _ApiVisitor(ast.NodeVisitor):
-    """One file's worth of boundary checking."""
+def collect_import_records(tree: ast.AST, lines: list[str]) -> list[ImportRecord]:
+    """Every import binding in a parsed module, in source order."""
+    records: list[ImportRecord] = []
 
-    def __init__(
-        self,
-        path: str,
-        module: str,
-        lines: list[str],
-        packages: frozenset[str] = frozenset(),
-    ) -> None:
-        self.path = path
-        self.module = module
-        self.lines = lines
-        self.packages = packages
-        self.diagnostics: list[Diagnostic] = []
+    def suppressed(lineno: int) -> bool:
+        return 1 <= lineno <= len(lines) and _PRAGMA in lines[lineno - 1]
 
-    def _add(self, node: ast.AST, target: str, owner: str) -> None:
-        lineno = getattr(node, "lineno", 0)
-        if 1 <= lineno <= len(self.lines) and _PRAGMA in self.lines[lineno - 1]:
-            return
-        self.diagnostics.append(Diagnostic(
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                records.append(ImportRecord(
+                    module=alias.name,
+                    bound=alias.asname or alias.name.split(".")[0],
+                    lineno=node.lineno,
+                    suppressed=suppressed(node.lineno),
+                ))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                records.append(ImportRecord(
+                    module=node.module or "",
+                    name=alias.name,
+                    bound=alias.asname or alias.name,
+                    lineno=node.lineno,
+                    level=node.level,
+                    suppressed=suppressed(node.lineno),
+                ))
+    return records
+
+
+def _private_violation(
+    record: ImportRecord, module: str, packages: frozenset[str],
+) -> tuple[str, str] | None:
+    """The (target, owner) pair when the record crosses a boundary."""
+    if record.level or not record.module.startswith("repro"):
+        # Relative imports stay inside the package by construction;
+        # non-repro imports are out of scope.
+        return None
+    parts = record.module.split(".")
+    for index, part in enumerate(parts):
+        if _is_private(part):
+            owner = _owning_package(parts, index)
+            if not _within(module, owner):
+                return record.module, owner
+            return None
+    if record.name and _is_private(record.name):
+        # Private *name* out of a public module: the owner is the
+        # package containing that module — or the module itself when it
+        # is a package (the name is then a private submodule or private
+        # in its ``__init__``).
+        if record.module in packages:
+            owner = record.module
+        else:
+            owner = _owning_package(parts, len(parts) - 1) or record.module
+        if not _within(module, owner):
+            return f"{record.module}.{record.name}", owner
+    return None
+
+
+def check_import_records(
+    records: list[ImportRecord],
+    path: str,
+    module: str,
+    packages: frozenset[str] = frozenset(),
+) -> LintReport:
+    """API-PRIVATE findings for one module's extracted import records."""
+    report = LintReport()
+    for record in records:
+        if record.suppressed:
+            continue
+        violation = _private_violation(record, module, packages)
+        if violation is None:
+            continue
+        target, owner = violation
+        report.add(Diagnostic(
             rule_id="API-PRIVATE",
             severity=Severity.ERROR,
-            source=f"{self.path}:{lineno}",
+            source=f"{path}:{record.lineno}",
             message=f"import of package-private {target!r} from outside "
                     f"{owner!r}",
             fix_hint=f"use the public API re-exported by {owner}, or move "
                      f"the importer into the package",
         ))
+    return report
 
-    def _check_module(self, node: ast.AST, module: str) -> None:
-        """Flag ``repro.x._y`` module paths imported from outside."""
-        parts = module.split(".")
-        if parts[0] != "repro":
-            return
-        for index, part in enumerate(parts):
-            if _is_private(part):
-                owner = _owning_package(parts, index)
-                if not _within(self.module, owner):
-                    self._add(node, module, owner)
-                return
 
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self._check_module(node, alias.name)
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        if node.level or not module.startswith("repro"):
-            # Relative imports stay inside the package by construction.
-            self.generic_visit(node)
-            return
-        self._check_module(node, module)
-        parts = module.split(".")
-        if not any(_is_private(part) for part in parts):
-            # Private *names* out of a public module: the owner is the
-            # package containing that module — or the module itself
-            # when it is a package (the name is then a private
-            # submodule or private in its __init__).
-            if module in self.packages:
-                owner = module
-            else:
-                owner = _owning_package(parts, len(parts) - 1) or module
-            for alias in node.names:
-                if _is_private(alias.name) and not _within(self.module, owner):
-                    self._add(node, f"{module}.{alias.name}", owner)
-        self.generic_visit(node)
+def lint_api_parsed(
+    tree: ast.AST,
+    path: str,
+    lines: list[str],
+    packages: frozenset[str] = frozenset(),
+) -> LintReport:
+    """Boundary-lint an already-parsed module (no re-parse)."""
+    return check_import_records(
+        collect_import_records(tree, lines), path, _module_of(path), packages
+    )
 
 
 def lint_api_source(
@@ -146,11 +216,7 @@ def lint_api_source(
             message=f"cannot parse: {error.msg}",
         ))
         return report
-    visitor = _ApiVisitor(
-        path, _module_of(path), source.splitlines(), packages
-    )
-    visitor.visit(tree)
-    report.extend(visitor.diagnostics)
+    report.extend(lint_api_parsed(tree, path, source.splitlines(), packages))
     return report
 
 
@@ -176,9 +242,7 @@ def lint_api_paths(paths: list[Path], root: Path | None = None) -> LintReport:
 
 def lint_api_self() -> LintReport:
     """Boundary-lint the installed ``repro`` package (the CI gate)."""
-    import repro
-
-    package_root = Path(repro.__file__).parent
+    package_root = Path(__file__).resolve().parents[1]
     return lint_api_paths(
         list(package_root.rglob("*.py")), root=package_root.parent
     )

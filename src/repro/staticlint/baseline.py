@@ -1,0 +1,99 @@
+"""Accepted-violation baseline for the whole-program FLOW rules.
+
+The flow analyzer is retrofitted onto a codebase with a handful of
+known, accepted contract violations (e.g. the crawler's checkpoint
+writes are synchronous today — that is exactly the debt the
+async-readiness audit tracks). Failing CI on them forever would force
+either fixing everything at once or disabling the gate; the baseline
+does neither: ``staticlint-baseline.json`` records each accepted
+finding by its line-number-free ``baseline_key``
+(``RULE::module:qualname::effect``), the gate demotes matching
+findings to warnings, and only **new** violations fail the build. The
+file is committed, so shrinking it is a reviewable ratchet.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.staticlint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+
+BASELINE_FORMAT_VERSION = 1
+DEFAULT_BASELINE_PATH = Path("staticlint-baseline.json")
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline: ``staticlint-baseline.json`` in the
+    current directory when present, else at the checkout root (located
+    relative to this file, so the gate works from any cwd)."""
+    if DEFAULT_BASELINE_PATH.exists():
+        return DEFAULT_BASELINE_PATH
+    return Path(__file__).resolve().parents[3] / DEFAULT_BASELINE_PATH.name
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """The accepted baseline keys, or empty when no file exists.
+
+    A malformed file raises — a broken baseline silently accepting
+    everything would defeat the gate.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return frozenset()
+    if (
+        not isinstance(payload, dict)
+        or payload.get("baseline_format") != BASELINE_FORMAT_VERSION
+        or not isinstance(payload.get("entries"), list)
+        or not all(isinstance(entry, str) for entry in payload["entries"])
+    ):
+        raise ValueError(f"malformed staticlint baseline: {path}")
+    return frozenset(payload["entries"])
+
+
+def write_baseline(path: Path, report: LintReport) -> frozenset[str]:
+    """Record every baselineable finding in ``report`` as accepted."""
+    entries = sorted(
+        {d.baseline_key for d in report.diagnostics if d.baseline_key}
+    )
+    payload = {
+        "baseline_format": BASELINE_FORMAT_VERSION,
+        "entries": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return frozenset(entries)
+
+
+def apply_baseline(
+    report: LintReport, accepted: frozenset[str]
+) -> tuple[LintReport, int]:
+    """Demote accepted findings to warnings.
+
+    Returns the adjusted report plus the number of findings that were
+    baselined (the gate then counts only the remaining errors).
+    """
+    out = LintReport()
+    baselined = 0
+    for diag in report.diagnostics:
+        if diag.baseline_key and diag.baseline_key in accepted:
+            baselined += 1
+            out.add(Diagnostic(
+                rule_id=diag.rule_id,
+                severity=Severity.WARNING,
+                source=diag.source,
+                message=f"[baselined] {diag.message}",
+                fix_hint=diag.fix_hint,
+                trace=diag.trace,
+                baseline_key=diag.baseline_key,
+            ))
+        else:
+            out.add(diag)
+    return out, baselined

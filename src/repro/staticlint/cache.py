@@ -1,0 +1,103 @@
+"""Content-addressed cache for per-file analysis facts.
+
+Same scheme as the analysis stage cache (:mod:`repro.analysis.cache`):
+every entry is one small JSON file whose key is a SHA-256 over
+
+* the cache format and facts-extraction version,
+* the file's display path, and
+* the SHA-256 of its source text,
+
+so editing a file, moving it, or changing the extractor each mint a
+fresh key, while a warm ``repro lint --self`` run loads every file's
+:class:`~repro.staticlint.modgraph.FileFacts` from the cache and
+**re-parses nothing** — only the (cheap) cross-file link, fixpoint, and
+rule passes re-run. Entries land under ``results/cache/staticlint/`` by
+default, named ``<stem>-<key prefix>.json`` so the directory stays
+human-scannable; CI persists the directory via ``actions/cache`` keyed
+on the source hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.staticlint.modgraph import FACTS_VERSION, FileFacts
+
+CACHE_FORMAT_VERSION = 1
+DEFAULT_FLOW_CACHE_DIR = Path("results/cache/staticlint")
+
+
+def facts_key(path: str, source_sha: str) -> str:
+    """The content address of one file's extracted facts."""
+    material = "\n".join((
+        f"cache-format={CACHE_FORMAT_VERSION}",
+        f"facts-version={FACTS_VERSION}",
+        f"path={path}",
+        f"source={source_sha}",
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class FactsCache:
+    """Load/store per-file facts by content address."""
+
+    def __init__(self, root: str | Path = DEFAULT_FLOW_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, display: str, key: str) -> Path:
+        stem = Path(display).stem or "file"
+        return self.root / f"{stem}-{key[:16]}.json"
+
+    def load(self, display: str, source_sha: str) -> FileFacts | None:
+        """The cached facts for one file, or None on a miss.
+
+        A corrupt or key-mismatched entry (truncated write, 16-hex
+        prefix collision) counts as a miss and is re-extracted over,
+        never trusted.
+        """
+        key = facts_key(display, source_sha)
+        path = self._path(display, key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or payload.get("cache_format") != CACHE_FORMAT_VERSION
+            or not isinstance(payload.get("facts"), dict)
+        ):
+            self.misses += 1
+            return None
+        try:
+            facts = FileFacts.from_json(payload["facts"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        if facts.sha256 != source_sha or facts.path != display:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts
+
+    def store(self, facts: FileFacts) -> Path:
+        """Persist one file's extracted facts; returns the entry path."""
+        key = facts_key(facts.path, facts.sha256)
+        path = self._path(facts.path, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "facts": facts.to_json(),
+        }
+        path.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            + "\n",
+            encoding="utf-8",
+        )
+        return path

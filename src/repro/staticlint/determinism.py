@@ -297,6 +297,28 @@ def _is_set_expression(node: ast.expr) -> bool:
     return False
 
 
+def lint_parsed(
+    tree: ast.AST,
+    path: str,
+    lines: list[str],
+    exempt_entropy: bool = False,
+    exempt_perf: bool = False,
+    fault_module: bool = False,
+) -> LintReport:
+    """Lint an already-parsed module (no re-parse).
+
+    This is the entry point the single-parse core
+    (:mod:`repro.staticlint.modgraph`) uses: it parses each file once
+    and feeds the same tree to every linter.
+    """
+    report = LintReport()
+    findings = _Findings(path, lines)
+    _DeterminismVisitor(findings, exempt_entropy, exempt_perf,
+                        fault_module).visit(tree)
+    report.extend(findings.diagnostics)
+    return report
+
+
 def lint_source_text(
     path: str,
     source: str,
@@ -328,10 +350,8 @@ def lint_source_text(
             message=f"cannot parse: {error.msg}",
         ))
         return report
-    findings = _Findings(path, source.splitlines())
-    _DeterminismVisitor(findings, exempt_entropy, exempt_perf,
-                        fault_module).visit(tree)
-    report.extend(findings.diagnostics)
+    report.extend(lint_parsed(tree, path, source.splitlines(),
+                              exempt_entropy, exempt_perf, fault_module))
     return report
 
 
@@ -345,6 +365,14 @@ def _is_obs_clock(path: Path) -> bool:
 
 def _is_fault_path(path: Path) -> bool:
     return "faults" in path.parts
+
+
+def exemption_flags(path: Path) -> tuple[bool, bool, bool]:
+    """The per-file lint policy for a source path, as the
+    ``(exempt_entropy, exempt_perf, fault_module)`` flag triple that
+    :func:`lint_parsed` takes — shared with the single-parse core so
+    both walks apply identical sanctioning."""
+    return _is_util_path(path), _is_obs_clock(path), _is_fault_path(path)
 
 
 def lint_paths(paths: list[Path], root: Path | None = None) -> LintReport:
@@ -365,10 +393,13 @@ def lint_paths(paths: list[Path], root: Path | None = None) -> LintReport:
 
 
 def lint_self() -> LintReport:
-    """Lint the installed ``repro`` package itself (the CI gate)."""
-    import repro
+    """Lint the installed ``repro`` package itself (the CI gate).
 
-    package_root = Path(repro.__file__).parent
+    The package root is located from this file's own path rather than
+    ``import repro`` so staticlint keeps zero imports of the
+    composition root (FLOW-LAYER polices that from the other side).
+    """
+    package_root = Path(__file__).resolve().parents[1]
     return lint_paths(
         list(package_root.rglob("*.py")), root=package_root.parent
     )

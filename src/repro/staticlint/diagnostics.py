@@ -39,7 +39,8 @@ class Diagnostic:
     Attributes:
         rule_id: Stable identifier, e.g. ``FL-WS-BLINDSPOT``. The prefix
             names the analyzer (``FL`` filter lists, ``WR`` webRequest,
-            ``DET`` determinism).
+            ``DET`` determinism, ``API`` boundaries, ``FLOW`` the
+            whole-program effect analyzer).
         severity: See :class:`Severity`.
         source: Location string — ``listname:line`` for filter rules,
             ``path:line`` for source findings, a pattern string for
@@ -47,6 +48,12 @@ class Diagnostic:
         message: Human-readable description of the defect.
         fix_hint: A mechanical fix when one exists (e.g. the exact rule
             to add), else empty.
+        trace: For interprocedural findings, the call chain from the
+            violating entry point to the effect's origin, as display
+            names (``repro.crawler.crawler.Crawler.crawl_site``, …).
+        baseline_key: A line-number-free identity used to match the
+            finding against ``staticlint-baseline.json`` entries; empty
+            for findings that are never baselined.
     """
 
     rule_id: str
@@ -54,6 +61,41 @@ class Diagnostic:
     source: str
     message: str
     fix_hint: str = ""
+    trace: tuple[str, ...] = ()
+    baseline_key: str = ""
+
+    @property
+    def file(self) -> str:
+        """The path part of ``source`` (everything before a trailing
+        ``:line``), or the whole source when it carries no line."""
+        path, _, line = self.source.rpartition(":")
+        return path if path and line.isdigit() else self.source
+
+    @property
+    def line(self) -> int:
+        """The line part of ``source``, or 0 when it carries none."""
+        _, _, line = self.source.rpartition(":")
+        return int(line) if line.isdigit() else 0
+
+    def sort_key(self) -> tuple:
+        """Canonical ordering: (file, line, rule, message) — stable
+        regardless of the order analyzers emitted findings in."""
+        return (self.file, self.line, self.rule_id, self.message,
+                self.fix_hint)
+
+    def to_json(self) -> dict:
+        """The machine-readable form emitted by ``repro lint --json``."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "source": self.source,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "trace": list(self.trace),
+            "baseline_key": self.baseline_key,
+        }
 
     def format(self) -> str:
         """One-line rendering: ``severity rule-id source: message``."""
@@ -110,6 +152,25 @@ class LintReport:
     def sorted_by_severity(self) -> list[Diagnostic]:
         """Diagnostics with errors first, stable within a severity."""
         return sorted(self.diagnostics, key=lambda d: d.severity.rank)
+
+    def canonical(self) -> "LintReport":
+        """A byte-stable view: findings stable-sorted by (file, line,
+        rule, message) and exact duplicates (same rule, source, and
+        message — e.g. the same defect reached by two analyzers or two
+        traversal orders) collapsed to one.
+
+        ``repro lint`` renders and serializes only canonical reports,
+        so output bytes never depend on analyzer traversal order.
+        """
+        seen: set[tuple[str, str, str]] = set()
+        out = LintReport()
+        for diag in sorted(self.diagnostics, key=Diagnostic.sort_key):
+            identity = (diag.rule_id, diag.source, diag.message)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            out.add(diag)
+        return out
 
     def __len__(self) -> int:
         return len(self.diagnostics)

@@ -1,0 +1,240 @@
+"""The effect lattice and its interprocedural fixpoint.
+
+The flow analyzer (:mod:`repro.staticlint.flow`) reasons about six
+*effects* — observable behaviors that make a function unsuitable for
+some zone of the codebase:
+
+* ``wallclock``    — reads the host's wall clock or monotonic/perf
+  counters (``time.time``, ``datetime.now``, ``time.perf_counter`` …);
+* ``rng``          — draws unseeded entropy (``random``, ``secrets``,
+  ``uuid.uuid4``, ``os.urandom``);
+* ``blocking-io``  — performs synchronous I/O (``open``, ``Path.read_text``,
+  ``socket``, ``time.sleep``, ``input`` …);
+* ``fs-write``     — mutates the filesystem (``Path.write_text``,
+  ``mkdir``, ``os.remove`` …; always implies ``blocking-io``);
+* ``global-mutate``— rebinds module-level state (a ``global`` statement
+  executed inside a function);
+* ``subprocess``   — spawns processes (``subprocess``, ``os.system`` …;
+  always implies ``blocking-io``).
+
+A function's *direct* effects are seeded syntactically from a table of
+known stdlib/third-party calls — the same call tables the per-file
+DET/DET-OBS rules in :mod:`repro.staticlint.determinism` sanction — and
+then propagated transitively over the conservative call graph by
+:func:`propagate`: the effect set of a function is its own seeds joined
+with the (possibly masked) effects of everything it calls. The lattice
+is a finite powerset, the transfer function is monotone, so the
+fixpoint exists, is unique, and is independent of the order nodes are
+processed in (pinned by a hypothesis property test).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, Iterable, Mapping, Sequence
+
+WALLCLOCK = "wallclock"
+RNG = "rng"
+BLOCKING_IO = "blocking-io"
+FS_WRITE = "fs-write"
+GLOBAL_MUTATE = "global-mutate"
+SUBPROCESS = "subprocess"
+
+#: Every effect in the lattice, in canonical order.
+ALL_EFFECTS: tuple[str, ...] = (
+    WALLCLOCK, RNG, BLOCKING_IO, FS_WRITE, GLOBAL_MUTATE, SUBPROCESS,
+)
+
+# -- seed tables -----------------------------------------------------------
+#
+# Exact dotted-call seeds. Keys are the resolved callee ("time.time",
+# "datetime.datetime.now"); values are the effects one call implies.
+# These deliberately mirror the determinism linter's call tables
+# (_TIME_ATTRS / _PERF_ATTRS / _DATETIME_ATTRS) so the two analyzers
+# can never disagree about what counts as a clock or entropy read.
+
+_CLOCK = frozenset({WALLCLOCK})
+_ENTROPY = frozenset({RNG})
+_IO = frozenset({BLOCKING_IO})
+_WRITE = frozenset({BLOCKING_IO, FS_WRITE})
+_SPAWN = frozenset({BLOCKING_IO, SUBPROCESS})
+
+SEED_EXACT: Mapping[str, frozenset[str]] = {
+    # wallclock — host clock and monotonic/perf counters alike: both
+    # break byte-reproducibility when they reach a determinism zone.
+    "time.time": _CLOCK,
+    "time.time_ns": _CLOCK,
+    "time.localtime": _CLOCK,
+    "time.gmtime": _CLOCK,
+    "time.ctime": _CLOCK,
+    "time.strftime": _CLOCK,
+    "time.monotonic": _CLOCK,
+    "time.monotonic_ns": _CLOCK,
+    "time.perf_counter": _CLOCK,
+    "time.perf_counter_ns": _CLOCK,
+    "datetime.datetime.now": _CLOCK,
+    "datetime.datetime.utcnow": _CLOCK,
+    "datetime.datetime.today": _CLOCK,
+    "datetime.date.today": _CLOCK,
+    # rng
+    "uuid.uuid1": _ENTROPY,
+    "uuid.uuid4": _ENTROPY,
+    "os.urandom": _ENTROPY,
+    # blocking-io
+    "time.sleep": _IO,
+    "builtins.open": _IO,
+    "builtins.input": _IO,
+    "builtins.print": frozenset(),  # line-buffered; too noisy to flag
+    "io.open": _IO,
+    "os.read": _IO,
+    "os.write": _IO,
+    "os.listdir": _IO,
+    "os.scandir": _IO,
+    "os.stat": _IO,
+    "os.walk": _IO,
+    # fs-write
+    "os.mkdir": _WRITE,
+    "os.makedirs": _WRITE,
+    "os.remove": _WRITE,
+    "os.unlink": _WRITE,
+    "os.rmdir": _WRITE,
+    "os.rename": _WRITE,
+    "os.replace": _WRITE,
+    "os.truncate": _WRITE,
+    "os.chmod": _WRITE,
+    "tempfile.mkdtemp": _WRITE,
+    "tempfile.mkstemp": _WRITE,
+    "tempfile.NamedTemporaryFile": _WRITE,
+    "tempfile.TemporaryDirectory": _WRITE,
+    # subprocess
+    "os.system": _SPAWN,
+    "os.popen": _SPAWN,
+    "os.fork": _SPAWN,
+    "os.execv": _SPAWN,
+    "os.execve": _SPAWN,
+    "os.spawnl": _SPAWN,
+    "os.spawnv": _SPAWN,
+}
+
+#: Dotted-prefix seeds: any call into these module families carries the
+#: effects (e.g. every ``random.*`` draw is entropy).
+SEED_PREFIX: Mapping[str, frozenset[str]] = {
+    "random.": _ENTROPY,
+    "secrets.": _ENTROPY,
+    "socket.": _IO,
+    "select.": _IO,
+    "ssl.": _IO,
+    "urllib.": _IO,
+    "http.": _IO,
+    "requests.": _IO,
+    "shutil.": _WRITE,
+    "subprocess.": _SPAWN,
+    "multiprocessing.": _SPAWN,
+}
+
+#: Method names seeded regardless of receiver. Only names that are
+#: unmistakably filesystem verbs belong here (``pathlib.Path`` API):
+#: generic names like ``.open``/``.read``/``.write`` also appear on the
+#: *simulated* network stack (``repro.net.websocket``), so seeding them
+#: blindly would poison the whole simulator with phantom I/O. ``.open``
+#: is seeded only when called with a literal mode string (see
+#: :func:`open_mode_effects`).
+SEED_METHOD: Mapping[str, frozenset[str]] = {
+    "read_text": _IO,
+    "read_bytes": _IO,
+    "iterdir": _IO,
+    "write_text": _WRITE,
+    "write_bytes": _WRITE,
+    "mkdir": _WRITE,
+    "rmdir": _WRITE,
+    "unlink": _WRITE,
+    "touch": _WRITE,
+    "rename": _WRITE,
+    # NOT "replace": str.replace/datetime.replace are everywhere.
+}
+
+
+def seed_for_call(dotted: str) -> frozenset[str]:
+    """The effects a resolved dotted call (``time.time``) implies,
+    empty when the call is effect-free or unknown."""
+    exact = SEED_EXACT.get(dotted)
+    if exact is not None:
+        return exact
+    for prefix in sorted(SEED_PREFIX):
+        if dotted.startswith(prefix):
+            return SEED_PREFIX[prefix]
+    return frozenset()
+
+
+def open_mode_effects(mode: str) -> frozenset[str]:
+    """Effects of ``something.open(mode)`` with a literal mode string:
+    always blocking-io, plus fs-write for writing/appending modes."""
+    if any(flag in mode for flag in "wax+"):
+        return _WRITE
+    return _IO
+
+
+MaskFn = Callable[[str, frozenset[str]], frozenset[str]]
+
+
+def propagate(
+    seeds: Mapping[str, AbstractSet[str]],
+    calls: Mapping[str, Iterable[str]],
+    mask: MaskFn | None = None,
+    order: Sequence[str] | None = None,
+) -> dict[str, frozenset[str]]:
+    """The interprocedural effect fixpoint.
+
+    Args:
+        seeds: Per-node direct effects (node ids are opaque strings;
+            the flow analyzer uses ``module:qualname``).
+        calls: Per-node callee lists (edges of the call graph). Callees
+            absent from both mappings contribute nothing.
+        mask: Optional edge filter ``mask(callee, callee_effects) ->
+            propagated_effects``. The flow analyzer uses it to stop
+            ``wallclock``/``rng`` at the sanctioned RNG/obs-clock
+            boundary. Must be monotone (a subset in yields a subset
+            out) for the fixpoint guarantees to hold; removing a fixed
+            set of effects — the only use here — is.
+        order: Initial worklist order, for the order-independence
+            property test. Any permutation of the node set yields the
+            same result; callers never need to pass it.
+
+    Returns:
+        Node id -> the least fixpoint effect set, for every node named
+        by ``seeds`` or ``calls``, keyed in sorted order.
+    """
+    nodes = sorted(set(seeds) | set(calls))
+    effects: dict[str, frozenset[str]] = {
+        node: frozenset(seeds.get(node, ())) for node in nodes
+    }
+    edges: dict[str, tuple[str, ...]] = {
+        node: tuple(sorted(set(calls.get(node, ())))) for node in nodes
+    }
+    # Reverse edges: when a callee's set grows, its callers must be
+    # revisited.
+    callers: dict[str, list[str]] = {node: [] for node in nodes}
+    for node in nodes:
+        for callee in edges[node]:
+            if callee in callers:
+                callers[callee].append(node)
+
+    worklist: list[str] = list(order) if order is not None else list(nodes)
+    queued = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        queued.discard(node)
+        merged = effects[node]
+        for callee in edges[node]:
+            inherited = effects.get(callee)
+            if inherited is None:
+                continue
+            if mask is not None:
+                inherited = mask(callee, inherited)
+            merged = merged | inherited
+        if merged != effects[node]:
+            effects[node] = merged
+            for caller in sorted(callers[node]):
+                if caller not in queued:
+                    worklist.append(caller)
+                    queued.add(caller)
+    return {node: effects[node] for node in nodes}

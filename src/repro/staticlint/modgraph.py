@@ -1,0 +1,720 @@
+"""The single-parse whole-program core behind every source linter.
+
+``repro lint --self`` used to parse every file under ``src/repro`` once
+per linter (determinism, API boundaries). This module parses the tree
+exactly once and extracts, in one combined AST walk per file:
+
+* the per-file **determinism diagnostics** (the DET-* rules, via the
+  same visitor :mod:`repro.staticlint.determinism` uses standalone);
+* the **import records** that feed the API-boundary rule and the
+  architecture-layering rule (:class:`~repro.staticlint.apilint.ImportRecord`);
+* a **def/call skeleton** — every function and method, the calls it
+  makes (resolved file-locally through import aliases), and its direct
+  **effect seeds** from the known-call tables in
+  :mod:`repro.staticlint.effects`.
+
+The extracted :class:`FileFacts` are plain JSON and content-addressed
+by source SHA-256 (:mod:`repro.staticlint.cache`), so a warm run
+re-parses nothing. :func:`build_graph` then links the per-file facts
+into a :class:`ProjectGraph`: a conservative cross-module call-graph
+approximation (exact for imported names and module attributes,
+unique-name matching for otherwise-unresolved method calls) plus the
+module-level import graph, on which :mod:`repro.staticlint.flow` runs
+its effect fixpoint and zone contracts.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticlint.apilint import (
+    ImportRecord,
+    _module_of,
+    collect_import_records,
+)
+from repro.staticlint.determinism import (
+    _DeterminismVisitor,
+    _Findings,
+    exemption_flags,
+)
+from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
+from repro.staticlint.effects import (
+    BLOCKING_IO,
+    GLOBAL_MUTATE,
+    SEED_METHOD,
+    open_mode_effects,
+    seed_for_call,
+)
+
+#: Bumped whenever extraction semantics change, so cached FileFacts
+#: from older analyzers can never be trusted by newer ones.
+FACTS_VERSION = 1
+
+MODULE_BODY = "<module>"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call made by a function, as extracted file-locally.
+
+    ``kind`` is one of ``local`` (resolved to a qualpath in the same
+    module), ``localname`` (a bare top-level name in the same module),
+    ``dotted`` (an absolute dotted path resolved through this file's
+    import aliases — may name project or stdlib code), or ``method``
+    (an attribute call whose receiver could not be typed; linked by
+    unique method name, if any).
+    """
+
+    kind: str
+    target: str
+    lineno: int
+
+    def to_json(self) -> list:
+        return [self.kind, self.target, self.lineno]
+
+    @classmethod
+    def from_json(cls, payload: list) -> "CallSite":
+        return cls(kind=payload[0], target=payload[1], lineno=payload[2])
+
+
+@dataclass(frozen=True)
+class EffectSeed:
+    """One direct effect observed in a function body."""
+
+    effect: str
+    call: str
+    lineno: int
+
+    def to_json(self) -> list:
+        return [self.effect, self.call, self.lineno]
+
+    @classmethod
+    def from_json(cls, payload: list) -> "EffectSeed":
+        return cls(effect=payload[0], call=payload[1], lineno=payload[2])
+
+
+@dataclass
+class FunctionFacts:
+    """One function's (or the module body's) extracted skeleton."""
+
+    lineno: int = 0
+    calls: list[CallSite] = field(default_factory=list)
+    seeds: list[EffectSeed] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "lineno": self.lineno,
+            "calls": [c.to_json() for c in self.calls],
+            "seeds": [s.to_json() for s in self.seeds],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FunctionFacts":
+        return cls(
+            lineno=payload["lineno"],
+            calls=[CallSite.from_json(c) for c in payload["calls"]],
+            seeds=[EffectSeed.from_json(s) for s in payload["seeds"]],
+        )
+
+
+@dataclass
+class FileFacts:
+    """Everything the analyzers need from one source file.
+
+    JSON-serializable so it can be content-addressed by ``sha256`` and
+    reused across runs without re-parsing the file.
+    """
+
+    module: str
+    path: str
+    sha256: str
+    is_package: bool
+    imports: list[ImportRecord] = field(default_factory=list)
+    functions: dict[str, FunctionFacts] = field(default_factory=dict)
+    classes: dict[str, list[str]] = field(default_factory=dict)
+    det: list[Diagnostic] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "facts_version": FACTS_VERSION,
+            "module": self.module,
+            "path": self.path,
+            "sha256": self.sha256,
+            "is_package": self.is_package,
+            "imports": [r.to_json() for r in self.imports],
+            "functions": {
+                qual: fn.to_json()
+                for qual, fn in sorted(self.functions.items())
+            },
+            "classes": {
+                name: methods
+                for name, methods in sorted(self.classes.items())
+            },
+            "det": [
+                {
+                    "rule": d.rule_id, "severity": d.severity.value,
+                    "source": d.source, "message": d.message,
+                    "fix_hint": d.fix_hint,
+                }
+                for d in self.det
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FileFacts":
+        return cls(
+            module=payload["module"],
+            path=payload["path"],
+            sha256=payload["sha256"],
+            is_package=payload["is_package"],
+            imports=[ImportRecord.from_json(r) for r in payload["imports"]],
+            functions={
+                qual: FunctionFacts.from_json(fn)
+                for qual, fn in payload["functions"].items()
+            },
+            classes=dict(payload["classes"]),
+            det=[
+                Diagnostic(
+                    rule_id=d["rule"], severity=Severity(d["severity"]),
+                    source=d["source"], message=d["message"],
+                    fix_hint=d["fix_hint"],
+                )
+                for d in payload["det"]
+            ],
+        )
+
+
+def source_sha256(source: str) -> str:
+    """The content address of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+# -- extraction ------------------------------------------------------------
+
+
+def _collect_defs(tree: ast.Module) -> tuple[dict[str, int], dict[str, list[str]], set[str]]:
+    """Pre-pass: (qualpath -> def lineno, class qual -> methods,
+    top-level names) so calls can resolve to defs that appear later in
+    the file."""
+    functions: dict[str, int] = {}
+    classes: dict[str, list[str]] = {}
+    top_level: set[str] = set()
+
+    def walk(body: list[ast.stmt], prefix: str, class_qual: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = prefix + node.name
+                functions[qual] = node.lineno
+                if class_qual is not None:
+                    classes[class_qual].append(node.name)
+                if not prefix:
+                    top_level.add(node.name)
+                walk(node.body, qual + ".", None)
+            elif isinstance(node, ast.ClassDef):
+                qual = prefix + node.name
+                classes.setdefault(qual, [])
+                if not prefix:
+                    top_level.add(node.name)
+                walk(node.body, qual + ".", qual)
+
+    walk(tree.body, "", None)
+    return functions, classes, top_level
+
+
+def _dotted_parts(expr: ast.expr) -> list[str] | None:
+    """Flatten ``a.b.c`` attribute chains of plain names, else None."""
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class _ExtractVisitor(_DeterminismVisitor):
+    """The combined single-pass walk: determinism checks (inherited)
+    plus def/call/effect-seed extraction, in one traversal."""
+
+    def __init__(
+        self,
+        findings: _Findings,
+        exempt_entropy: bool,
+        exempt_perf: bool,
+        fault_module: bool,
+        facts: FileFacts,
+    ) -> None:
+        super().__init__(findings, exempt_entropy, exempt_perf, fault_module)
+        self.facts = facts
+        # (kind, name) scope stack; kind is "func" or "class".
+        self.scope: list[tuple[str, str]] = []
+        # Local import alias maps, populated in visit order (imports
+        # precede uses in well-formed code, matching the inherited
+        # determinism visitor's own binding semantics).
+        self.plain_aliases: dict[str, str] = {}
+        self.from_bindings: dict[str, tuple[str, str]] = {}
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def _qual(self) -> str:
+        return ".".join(name for _, name in self.scope)
+
+    def _current_function(self) -> FunctionFacts:
+        """The innermost enclosing function record (module body when
+        the scope holds no function)."""
+        for index in range(len(self.scope), 0, -1):
+            if self.scope[index - 1][0] == "func":
+                qual = ".".join(name for _, name in self.scope[:index])
+                return self.facts.functions[qual]
+        return self.facts.functions[MODULE_BODY]
+
+    def _enclosing_class(self) -> str | None:
+        for index in range(len(self.scope), 0, -1):
+            if self.scope[index - 1][0] == "class":
+                return ".".join(name for _, name in self.scope[:index])
+        return None
+
+    def _visit_def(self, node, kind: str) -> None:
+        # Decorators, defaults, and annotations evaluate in the
+        # enclosing scope; only the body belongs to the new one.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        if kind == "func":
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                self.visit(default)
+        else:
+            for base in list(node.bases) + list(node.keywords):
+                self.visit(base)
+        parent = self._current_function() if kind == "func" else None
+        self.scope.append((kind, node.name))
+        qual = self._qual()
+        if kind == "func":
+            record = self.facts.functions.setdefault(
+                qual, FunctionFacts(lineno=node.lineno)
+            )
+            record.lineno = node.lineno
+            if parent is not self.facts.functions[MODULE_BODY]:
+                # A nested def may escape as a callback: conservatively
+                # assume the enclosing function can invoke it.
+                parent.calls.append(CallSite("local", qual, node.lineno))
+        for child in node.body:
+            self.visit(child)
+        self.scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node, "func")
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node, "func")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_def(node, "class")
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.plain_aliases[bound] = target
+        super().visit_Import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and not node.level:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self.from_bindings[bound] = (node.module, alias.name)
+        super().visit_ImportFrom(node)
+
+    # -- effects -----------------------------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        record = self._current_function()
+        for name in node.names:
+            record.seeds.append(EffectSeed(
+                GLOBAL_MUTATE, f"global {name}", node.lineno
+            ))
+        self.generic_visit(node)
+
+    def _absolute_dotted(self, parts: list[str]) -> str | None:
+        """Resolve a dotted call chain through this file's import
+        aliases to an absolute path, or None when the base is not an
+        imported binding (a local variable, a parameter, ...)."""
+        base = parts[0]
+        if base in self.plain_aliases:
+            return ".".join([self.plain_aliases[base], *parts[1:]])
+        if base in self.from_bindings:
+            module, name = self.from_bindings[base]
+            return ".".join([module, name, *parts[1:]])
+        return None
+
+    def _seed(self, record: FunctionFacts, effects, call: str,
+              lineno: int) -> None:
+        for effect in sorted(effects):
+            record.seeds.append(EffectSeed(effect, call, lineno))
+
+    def _extract_call(self, node: ast.Call) -> None:
+        record = self._current_function()
+        lineno = node.lineno
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.from_bindings:
+                module, orig = self.from_bindings[name]
+                dotted = f"{module}.{orig}"
+                record.calls.append(CallSite("dotted", dotted, lineno))
+                self._seed(record, seed_for_call(dotted), dotted, lineno)
+            elif name in ("open", "input"):
+                self._seed(record, seed_for_call(f"builtins.{name}"),
+                           name, lineno)
+            else:
+                # Module-level defs and classes; the linker drops
+                # names that resolve to neither. (Bare calls of nested
+                # helpers are covered by the implicit parent edge added
+                # at definition time.)
+                record.calls.append(CallSite("localname", name, lineno))
+            return
+        parts = _dotted_parts(func) if isinstance(func, ast.Attribute) else None
+        if parts is not None and len(parts) >= 2:
+            if parts[0] in ("self", "cls") and len(parts) == 2:
+                enclosing = self._enclosing_class()
+                attr = parts[1]
+                if enclosing is not None and f"{enclosing}.{attr}" in (
+                    self.facts.functions
+                ):
+                    record.calls.append(CallSite(
+                        "local", f"{enclosing}.{attr}", lineno
+                    ))
+                else:
+                    record.calls.append(CallSite("method", attr, lineno))
+                self._seed_method(record, attr, node, lineno)
+                return
+            dotted = self._absolute_dotted(parts)
+            if dotted is not None:
+                record.calls.append(CallSite("dotted", dotted, lineno))
+                self._seed(record, seed_for_call(dotted), dotted, lineno)
+                return
+            if parts[0] in self.facts.classes and len(parts) == 2:
+                # Class.method(...) on a locally defined class.
+                qual = f"{parts[0]}.{parts[1]}"
+                if qual in self.facts.functions:
+                    record.calls.append(CallSite("local", qual, lineno))
+                    return
+        if isinstance(func, ast.Attribute):
+            record.calls.append(CallSite("method", func.attr, lineno))
+            self._seed_method(record, func.attr, node, lineno)
+
+    def _seed_method(self, record: FunctionFacts, attr: str,
+                     node: ast.Call, lineno: int) -> None:
+        """Receiver-independent method seeds: unmistakable filesystem
+        verbs, plus ``.open(mode)`` with a literal mode string."""
+        effects = SEED_METHOD.get(attr)
+        if effects is not None:
+            self._seed(record, effects, f".{attr}", lineno)
+            return
+        if attr == "open":
+            mode = "r"
+            if node.args and isinstance(node.args[0], ast.Constant) and (
+                isinstance(node.args[0].value, str)
+            ):
+                mode = node.args[0].value
+            for keyword in node.keywords:
+                if keyword.arg == "mode" and isinstance(
+                    keyword.value, ast.Constant
+                ) and isinstance(keyword.value.value, str):
+                    mode = keyword.value.value
+            self._seed(record, open_mode_effects(mode), ".open", lineno)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._extract_call(node)
+        super().visit_Call(node)
+
+
+def extract_file_facts(path: str, source: str) -> FileFacts:
+    """Parse one file (the only parse it will ever get) and extract
+    everything every linter needs from it."""
+    display = Path(path)
+    facts = FileFacts(
+        module=_module_of(path),
+        path=path,
+        sha256=source_sha256(source),
+        is_package=display.name == "__init__.py",
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        facts.det.append(Diagnostic(
+            rule_id="DET-SYNTAX",
+            severity=Severity.ERROR,
+            source=f"{path}:{error.lineno or 0}",
+            message=f"cannot parse: {error.msg}",
+        ))
+        return facts
+    lines = source.splitlines()
+    functions, classes, _ = _collect_defs(tree)
+    facts.functions[MODULE_BODY] = FunctionFacts(lineno=0)
+    for qual, lineno in sorted(functions.items()):
+        facts.functions[qual] = FunctionFacts(lineno=lineno)
+    facts.classes = {qual: methods for qual, methods in sorted(classes.items())}
+    facts.imports = collect_import_records(tree, lines)
+    exempt_entropy, exempt_perf, fault_module = exemption_flags(display)
+    findings = _Findings(path, lines)
+    _ExtractVisitor(
+        findings, exempt_entropy, exempt_perf, fault_module, facts
+    ).visit(tree)
+    facts.det = findings.diagnostics
+    return facts
+
+
+# -- linking ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One function (or module body) in the linked project graph."""
+
+    node_id: str
+    module: str
+    qual: str
+    path: str
+    lineno: int
+    seeds: tuple[EffectSeed, ...]
+
+    @property
+    def display(self) -> str:
+        if self.qual == MODULE_BODY:
+            return self.module
+        return f"{self.module}.{self.qual}"
+
+
+@dataclass
+class ProjectGraph:
+    """The linked whole-program view the flow analyzer runs on.
+
+    Attributes:
+        root_package: The top package name (``repro``).
+        facts: Per-module extracted facts, keyed by dotted module.
+        nodes: Every function node, keyed by ``module:qualpath``.
+        calls: Call-graph edges per node id (sorted, deduplicated).
+        module_imports: Per-module project-internal import targets as
+            (target module, line) pairs, for layering and cycles.
+    """
+
+    root_package: str
+    facts: dict[str, FileFacts]
+    nodes: dict[str, GraphNode]
+    calls: dict[str, tuple[str, ...]]
+    module_imports: dict[str, list[tuple[str, int]]]
+
+    def seed_index(self) -> dict[str, tuple[EffectSeed, ...]]:
+        """Node id -> direct effect seeds (the fixpoint's input)."""
+        return {
+            node_id: node.seeds
+            for node_id, node in sorted(self.nodes.items())
+        }
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: str) -> str | None:
+    """Absolute dotted path of a relative import, or None when the
+    level escapes the root package."""
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    if level > 1:
+        if level - 1 >= len(parts):
+            return None
+        parts = parts[: len(parts) - (level - 1)]
+    if not parts:
+        return None
+    return ".".join(parts + ([target] if target else []))
+
+
+class _Linker:
+    """Resolves per-file call sites into cross-module graph edges."""
+
+    def __init__(self, facts: dict[str, FileFacts], root_package: str) -> None:
+        self.facts = facts
+        self.root = root_package
+        # Method-name index: last qual component -> node ids, for the
+        # conservative unique-name fallback.
+        self.methods: dict[str, list[str]] = {}
+        for module in sorted(facts):
+            for qual in sorted(facts[module].functions):
+                if qual == MODULE_BODY:
+                    continue
+                name = qual.rsplit(".", 1)[-1]
+                self.methods.setdefault(name, []).append(f"{module}:{qual}")
+
+    def _in_project(self, dotted: str) -> bool:
+        return dotted == self.root or dotted.startswith(self.root + ".")
+
+    def resolve_export(
+        self, module: str, name: str, _visited: frozenset = frozenset()
+    ) -> tuple[str, str] | None:
+        """What ``from module import name`` ultimately names:
+        ``("func", node_id)``, ``("class", "module:Class")``, or
+        ``("module", dotted)`` — chasing re-export chains through
+        ``__init__`` files. None when unresolvable."""
+        if (module, name) in _visited:
+            return None
+        _visited = _visited | {(module, name)}
+        facts = self.facts.get(module)
+        if facts is None:
+            return None
+        if name in facts.functions:
+            return "func", f"{module}:{name}"
+        if name in facts.classes:
+            return "class", f"{module}:{name}"
+        if f"{module}.{name}" in self.facts:
+            return "module", f"{module}.{name}"
+        for record in facts.imports:
+            if record.bound != name:
+                continue
+            if record.name:
+                origin = record.module
+                if record.level:
+                    origin = _resolve_relative(
+                        module, facts.is_package, record.level, record.module
+                    ) or ""
+                if self._in_project(origin):
+                    return self.resolve_export(origin, record.name, _visited)
+                return None
+            if self._in_project(record.module):
+                return "module", record.module
+        return None
+
+    def _class_target(self, ref: str, method: str) -> str | None:
+        """``module:Class`` + method -> the method's node id, if any."""
+        module, _, class_qual = ref.partition(":")
+        qual = f"{class_qual}.{method}"
+        facts = self.facts.get(module)
+        if facts is not None and qual in facts.functions:
+            return f"{module}:{qual}"
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> str | None:
+        """An absolute dotted call (``repro.x.f``, ``repro.x.C``,
+        ``repro.x.C.m``) -> callee node id, or None for stdlib or
+        unresolvable paths."""
+        if not self._in_project(dotted):
+            return None
+        parts = dotted.split(".")
+        # Longest known module prefix, leaving at least one name part.
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            if module not in self.facts:
+                continue
+            rest = parts[split:]
+            resolved = self.resolve_export(module, rest[0])
+            if resolved is None:
+                return None
+            kind, ref = resolved
+            if kind == "func" and len(rest) == 1:
+                return ref
+            if kind == "class":
+                if len(rest) == 1:
+                    return self._class_target(ref, "__init__")
+                if len(rest) == 2:
+                    return self._class_target(ref, rest[1])
+            if kind == "module" and len(rest) >= 2:
+                return self._resolve_dotted(".".join([ref, *rest[1:]]))
+            return None
+        return None
+
+    def resolve_call(self, module: str, site: CallSite) -> str | None:
+        facts = self.facts[module]
+        if site.kind == "local":
+            if site.target in facts.functions:
+                return f"{module}:{site.target}"
+            if site.target in facts.classes:
+                return self._class_target(f"{module}:{site.target}",
+                                          "__init__")
+            return None
+        if site.kind == "localname":
+            name = site.target
+            if name in facts.functions:
+                return f"{module}:{name}"
+            if name in facts.classes:
+                return self._class_target(f"{module}:{name}", "__init__")
+            return None
+        if site.kind == "dotted":
+            dotted = site.target
+            resolved = self._resolve_dotted(dotted)
+            if resolved is not None:
+                return resolved
+            # ``from repro.x import f`` produces ``repro.x.f`` even
+            # when ``repro.x`` re-exports f from deeper down; the
+            # dotted resolver above already chased that. A class
+            # import called directly is instantiation:
+            return None
+        if site.kind == "method":
+            candidates = self.methods.get(site.target, ())
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        return None
+
+
+def build_graph(
+    facts_list: list[FileFacts], root_package: str = "repro"
+) -> ProjectGraph:
+    """Link per-file facts into the whole-program graph."""
+    facts = {f.module: f for f in sorted(facts_list, key=lambda f: f.module)}
+    linker = _Linker(facts, root_package)
+
+    nodes: dict[str, GraphNode] = {}
+    calls: dict[str, tuple[str, ...]] = {}
+    module_imports: dict[str, list[tuple[str, int]]] = {}
+
+    for module in sorted(facts):
+        file_facts = facts[module]
+        for qual in sorted(file_facts.functions):
+            fn = file_facts.functions[qual]
+            node_id = f"{module}:{qual}"
+            nodes[node_id] = GraphNode(
+                node_id=node_id,
+                module=module,
+                qual=qual,
+                path=file_facts.path,
+                lineno=fn.lineno,
+                seeds=tuple(fn.seeds),
+            )
+            resolved = set()
+            for site in fn.calls:
+                callee = linker.resolve_call(module, site)
+                if callee is not None and callee != node_id:
+                    resolved.add(callee)
+            calls[node_id] = tuple(sorted(resolved))
+
+        targets: list[tuple[str, int]] = []
+        for record in file_facts.imports:
+            target = record.module
+            if record.level:
+                target = _resolve_relative(
+                    module, file_facts.is_package, record.level, record.module
+                ) or ""
+            if not target or not linker._in_project(target):
+                continue
+            # ``from repro import analysis`` really depends on
+            # ``repro.analysis``; resolve name-as-submodule.
+            if record.name and f"{target}.{record.name}" in facts:
+                target = f"{target}.{record.name}"
+            if target in facts and target != module:
+                targets.append((target, record.lineno))
+        module_imports[module] = targets
+
+    return ProjectGraph(
+        root_package=root_package,
+        facts=facts,
+        nodes=nodes,
+        calls=calls,
+        module_imports=module_imports,
+    )

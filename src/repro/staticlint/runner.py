@@ -12,9 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.staticlint.apilint import lint_api_self
-from repro.staticlint.determinism import lint_self
+from repro.staticlint.baseline import (
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+)
+from repro.staticlint.cache import FactsCache
 from repro.staticlint.diagnostics import LintReport
+from repro.staticlint.flow import FlowAnalysis, analyze_self
 from repro.staticlint.filterlint import FilterListAnalysis, analyze_filter_lists
 from repro.staticlint.webrequestlint import (
     CoverageRecord,
@@ -51,7 +56,16 @@ class FullLintResult:
             skipped).
         api_report: Package-boundary lint over ``src/repro`` (``None``
             when skipped; runs alongside the determinism self-lint).
-        report: All diagnostics merged, in stage order.
+        flow_report: Whole-program zone-contract lint (FLOW-*) over
+            ``src/repro``, baseline already applied (``None`` when
+            skipped). All three self reports come from ONE parse of the
+            tree — see :mod:`repro.staticlint.flow`.
+        flow_analysis: The underlying whole-program analysis (graph,
+            effect fixpoint, cache hit counters).
+        baselined: FLOW findings demoted to warnings because they are
+            recorded in ``staticlint-baseline.json``.
+        report: All diagnostics merged across analyzers, canonical
+            (stable-sorted, deduped — byte-stable between runs).
     """
 
     filter_analysis: FilterListAnalysis | None = None
@@ -61,15 +75,20 @@ class FullLintResult:
     cross_checks: dict[str, list[CoverageRecord]] = field(default_factory=dict)
     self_report: LintReport | None = None
     api_report: LintReport | None = None
+    flow_report: LintReport | None = None
+    flow_analysis: FlowAnalysis | None = None
+    baselined: int = 0
     report: LintReport = field(default_factory=LintReport)
 
     @property
     def exit_code(self) -> int:
-        """Non-zero when the determinism or API-boundary contract is
-        violated or a static verdict disagreed with dynamic dispatch."""
+        """Non-zero when the determinism, API-boundary, or zone
+        contract is violated (modulo the baseline — baselined findings
+        are warnings) or a static verdict disagreed with dynamic
+        dispatch."""
         failing = [
             d for d in self.report.errors
-            if d.rule_id.startswith(("DET-", "API-"))
+            if d.rule_id.startswith(("DET-", "API-", "FLOW-"))
             or d.rule_id == "WR-XCHECK"
         ]
         return 1 if failing else 0
@@ -80,8 +99,22 @@ def run_full_lint(
     check_lists: bool = True,
     check_webrequest: bool = True,
     check_self: bool = True,
+    baseline: frozenset[str] | None = None,
+    cache: FactsCache | None = None,
 ) -> FullLintResult:
-    """Run the selected analyzers; see :class:`FullLintResult`."""
+    """Run the selected analyzers; see :class:`FullLintResult`.
+
+    Args:
+        registry: Web registry for the filter/webRequest stages.
+        check_lists: Run the filter-list analyzer.
+        check_webrequest: Run the listener classifier + cross-check.
+        check_self: Run the whole-program self-lint (DET/API/FLOW).
+        baseline: Accepted FLOW baseline keys; ``None`` loads the
+            committed ``staticlint-baseline.json`` (missing file =
+            empty baseline).
+        cache: Content-addressed facts cache; ``None`` parses every
+            file fresh.
+    """
     from repro.web.filterlists import build_filter_lists
     from repro.web.registry import default_registry
 
@@ -107,9 +140,20 @@ def run_full_lint(
             result.report.extend(cross_validation_report(records))
 
     if check_self:
-        result.self_report = lint_self()
+        accepted = (
+            baseline if baseline is not None
+            else load_baseline(default_baseline_path())
+        )
+        analysis = analyze_self(cache=cache)
+        result.flow_analysis = analysis
+        result.self_report = analysis.det_report
+        result.api_report = analysis.api_report
+        result.flow_report, result.baselined = apply_baseline(
+            analysis.flow_report, accepted
+        )
         result.report.extend(result.self_report)
-        result.api_report = lint_api_self()
         result.report.extend(result.api_report)
+        result.report.extend(result.flow_report)
 
+    result.report = result.report.canonical()
     return result

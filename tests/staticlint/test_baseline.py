@@ -1,0 +1,136 @@
+"""The accepted-violation baseline: ratchet semantics and the gate."""
+
+import json
+
+import pytest
+
+from repro.staticlint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
+
+
+def _finding(key, rule="FLOW-ASYNC"):
+    return Diagnostic(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        source="repro/x.py:10",
+        message=f"finding {key}",
+        baseline_key=key,
+    )
+
+
+class TestFileFormat:
+    def test_round_trip(self, tmp_path):
+        report = LintReport()
+        report.add(_finding("FLOW-ASYNC::m:f::blocking-io"))
+        report.add(_finding("FLOW-DET::m:g::wallclock", rule="FLOW-DET"))
+        path = tmp_path / "baseline.json"
+        written = write_baseline(path, report)
+        assert load_baseline(path) == written
+        assert written == {
+            "FLOW-ASYNC::m:f::blocking-io",
+            "FLOW-DET::m:g::wallclock",
+        }
+
+    def test_file_is_sorted_and_stable(self, tmp_path):
+        report = LintReport()
+        report.add(_finding("b::key"))
+        report.add(_finding("a::key"))
+        report.add(_finding("a::key"))  # duplicates collapse
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["entries"] == ["a::key", "b::key"]
+        first = path.read_bytes()
+        write_baseline(path, report)
+        assert path.read_bytes() == first
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == frozenset()
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"entries": "not-a-list"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="malformed"):
+            load_baseline(path)
+
+    def test_wrong_format_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            '{"baseline_format": 99, "entries": []}', encoding="utf-8"
+        )
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestRatchet:
+    def test_accepted_findings_demote_to_warnings(self):
+        report = LintReport()
+        report.add(_finding("known::one"))
+        report.add(_finding("new::two"))
+        adjusted, baselined = apply_baseline(report, frozenset({"known::one"}))
+        assert baselined == 1
+        by_key = {d.baseline_key: d for d in adjusted.diagnostics}
+        assert by_key["known::one"].severity is Severity.WARNING
+        assert by_key["known::one"].message.startswith("[baselined]")
+        assert by_key["new::two"].severity is Severity.ERROR
+        # Only the new violation can fail the gate.
+        assert [d.baseline_key for d in adjusted.errors] == ["new::two"]
+
+    def test_unbaselinable_findings_pass_through(self):
+        report = LintReport()
+        diag = Diagnostic(
+            rule_id="DET-WALLCLOCK",
+            severity=Severity.ERROR,
+            source="repro/x.py:1",
+            message="no key",
+        )
+        report.add(diag)
+        adjusted, baselined = apply_baseline(report, frozenset({""}))
+        assert baselined == 0
+        assert adjusted.diagnostics == [diag]
+
+    def test_stale_entries_are_harmless(self):
+        report = LintReport()
+        report.add(_finding("present::key"))
+        adjusted, baselined = apply_baseline(
+            report, frozenset({"present::key", "gone::key"})
+        )
+        assert baselined == 1
+        assert adjusted.errors == []
+
+
+class TestGateIntegration:
+    def test_full_lint_respects_baseline(self):
+        from repro.staticlint.runner import run_full_lint
+
+        result = run_full_lint(
+            check_lists=False, check_webrequest=False, check_self=True,
+            baseline=frozenset(),
+        )
+        flow_errors = [d for d in result.report.errors
+                       if d.rule_id.startswith("FLOW-")]
+        if not flow_errors:
+            pytest.skip("tree has no FLOW findings to baseline")
+        assert result.exit_code == 1
+
+        accepted = frozenset(d.baseline_key for d in flow_errors)
+        ratcheted = run_full_lint(
+            check_lists=False, check_webrequest=False, check_self=True,
+            baseline=accepted,
+        )
+        assert ratcheted.exit_code == 0
+        assert ratcheted.baselined == len(flow_errors)
+
+    def test_committed_baseline_gates_the_repo(self):
+        # The default load path must find the committed baseline and
+        # the gate must pass on it — this IS the CI invariant.
+        from repro.staticlint.runner import run_full_lint
+
+        result = run_full_lint(
+            check_lists=False, check_webrequest=False, check_self=True,
+        )
+        assert result.exit_code == 0

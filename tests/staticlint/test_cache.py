@@ -1,0 +1,116 @@
+"""The content-addressed facts cache: warm runs re-parse nothing."""
+
+import json
+
+from repro.staticlint.cache import FactsCache, facts_key
+from repro.staticlint.flow import analyze_tree, scan_tree
+from repro.staticlint.modgraph import extract_file_facts
+
+
+def _tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return tmp_path / "repro"
+
+
+_FILES = {
+    "repro/__init__.py": "",
+    "repro/util/__init__.py": "",
+    "repro/util/helpers.py": (
+        "import time\n"
+        "def now():\n"
+        "    return time.time()\n"
+    ),
+    "repro/crawler/__init__.py": "",
+    "repro/crawler/core.py": (
+        "from repro.util.helpers import now\n"
+        "def crawl():\n"
+        "    return now()\n"
+    ),
+}
+
+
+class TestScanCaching:
+    def test_cold_scan_parses_everything(self, tmp_path):
+        root = _tree(tmp_path, _FILES)
+        cache = FactsCache(tmp_path / "cache")
+        _, parsed, cached = scan_tree(root, tmp_path, cache)
+        assert parsed == len(_FILES)
+        assert cached == 0
+
+    def test_warm_scan_parses_nothing(self, tmp_path):
+        root = _tree(tmp_path, _FILES)
+        cache = FactsCache(tmp_path / "cache")
+        scan_tree(root, tmp_path, cache)
+        facts, parsed, cached = scan_tree(root, tmp_path, cache)
+        assert parsed == 0
+        assert cached == len(_FILES)
+        assert sorted(f.module for f in facts) == sorted(
+            f.module for f in scan_tree(root, tmp_path, None)[0]
+        )
+
+    def test_editing_one_file_reparses_only_it(self, tmp_path):
+        root = _tree(tmp_path, _FILES)
+        cache = FactsCache(tmp_path / "cache")
+        scan_tree(root, tmp_path, cache)
+        (root / "crawler/core.py").write_text(
+            "def crawl():\n    return 1\n", encoding="utf-8"
+        )
+        _, parsed, cached = scan_tree(root, tmp_path, cache)
+        assert parsed == 1
+        assert cached == len(_FILES) - 1
+
+    def test_warm_analysis_is_identical_to_cold(self, tmp_path):
+        root = _tree(tmp_path, _FILES)
+        cache = FactsCache(tmp_path / "cache")
+        cold = analyze_tree(root, root=tmp_path, cache=cache)
+        warm = analyze_tree(root, root=tmp_path, cache=cache)
+        assert warm.parsed_files == 0
+        assert warm.cached_files == len(_FILES)
+        assert [d.to_json() for d in warm.flow_report.diagnostics] == [
+            d.to_json() for d in cold.flow_report.diagnostics
+        ]
+        assert warm.effects == cold.effects
+
+
+class TestCacheIntegrity:
+    def test_round_trip(self, tmp_path):
+        cache = FactsCache(tmp_path)
+        facts = extract_file_facts(
+            "repro/x.py", "import time\ndef f():\n    return time.time()\n"
+        )
+        cache.store(facts)
+        loaded = cache.load(facts.path, facts.sha256)
+        assert loaded is not None
+        assert loaded.to_json() == facts.to_json()
+        assert cache.hits == 1
+
+    def test_key_depends_on_source_and_path(self):
+        base = facts_key("repro/x.py", "a" * 64)
+        assert facts_key("repro/x.py", "b" * 64) != base
+        assert facts_key("repro/y.py", "a" * 64) != base
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = FactsCache(tmp_path)
+        assert cache.load("repro/x.py", "0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = FactsCache(tmp_path)
+        facts = extract_file_facts("repro/x.py", "a = 1\n")
+        stored = cache.store(facts)
+        stored.write_text("{not json", encoding="utf-8")
+        assert cache.load(facts.path, facts.sha256) is None
+
+    def test_tampered_payload_is_a_miss(self, tmp_path):
+        # Right key on disk, wrong facts inside (e.g. a truncated or
+        # hand-edited entry): never trusted.
+        cache = FactsCache(tmp_path)
+        facts = extract_file_facts("repro/x.py", "a = 1\n")
+        stored = cache.store(facts)
+        payload = json.loads(stored.read_text(encoding="utf-8"))
+        payload["facts"]["sha256"] = "0" * 64
+        stored.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.load(facts.path, facts.sha256) is None

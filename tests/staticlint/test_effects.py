@@ -1,0 +1,152 @@
+"""The effect lattice: seed tables and the fixpoint's algebraic laws.
+
+The two hypothesis properties pin the claims the docstring of
+:func:`repro.staticlint.effects.propagate` makes: the fixpoint is the
+*least* fixpoint, so it is independent of worklist order, and the
+transfer function is monotone, so adding a call edge can only grow
+(never shrink) any node's effect set.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.staticlint.effects import (
+    ALL_EFFECTS,
+    BLOCKING_IO,
+    FS_WRITE,
+    RNG,
+    SUBPROCESS,
+    WALLCLOCK,
+    open_mode_effects,
+    propagate,
+    seed_for_call,
+)
+
+
+class TestSeedTables:
+    def test_exact_calls(self):
+        assert seed_for_call("time.time") == {WALLCLOCK}
+        assert seed_for_call("time.monotonic") == {WALLCLOCK}
+        assert seed_for_call("datetime.datetime.now") == {WALLCLOCK}
+        assert seed_for_call("uuid.uuid4") == {RNG}
+        assert seed_for_call("builtins.open") == {BLOCKING_IO}
+        assert seed_for_call("os.makedirs") == {BLOCKING_IO, FS_WRITE}
+        assert seed_for_call("os.system") == {BLOCKING_IO, SUBPROCESS}
+
+    def test_prefix_families(self):
+        assert seed_for_call("random.randint") == {RNG}
+        assert seed_for_call("secrets.token_hex") == {RNG}
+        assert seed_for_call("socket.create_connection") == {BLOCKING_IO}
+        assert seed_for_call("subprocess.run") == {BLOCKING_IO, SUBPROCESS}
+        assert seed_for_call("shutil.rmtree") == {BLOCKING_IO, FS_WRITE}
+
+    def test_unknown_calls_are_effect_free(self):
+        assert seed_for_call("json.dumps") == frozenset()
+        assert seed_for_call("repro.util.rng.RngStream") == frozenset()
+
+    def test_print_is_deliberately_unflagged(self):
+        assert seed_for_call("builtins.print") == frozenset()
+
+    def test_open_modes(self):
+        assert open_mode_effects("r") == {BLOCKING_IO}
+        assert open_mode_effects("rb") == {BLOCKING_IO}
+        for mode in ("w", "a", "x", "r+", "wb"):
+            assert open_mode_effects(mode) == {BLOCKING_IO, FS_WRITE}
+
+
+class TestPropagate:
+    def test_linear_chain(self):
+        seeds = {"c": {WALLCLOCK}}
+        calls = {"a": ["b"], "b": ["c"]}
+        effects = propagate(seeds, calls)
+        assert effects["a"] == {WALLCLOCK}
+        assert effects["b"] == {WALLCLOCK}
+        assert effects["c"] == {WALLCLOCK}
+
+    def test_cycle_converges(self):
+        seeds = {"a": {RNG}}
+        calls = {"a": ["b"], "b": ["a"]}
+        effects = propagate(seeds, calls)
+        assert effects == {"a": frozenset({RNG}), "b": frozenset({RNG})}
+
+    def test_mask_stops_effects_at_boundary(self):
+        seeds = {"sanctioned": {WALLCLOCK, BLOCKING_IO}}
+        calls = {"zone": ["sanctioned"]}
+
+        def mask(callee, effects):
+            if callee == "sanctioned":
+                return effects - {WALLCLOCK}
+            return effects
+
+        effects = propagate(seeds, calls, mask=mask)
+        # wallclock is absorbed at the boundary; blocking-io still flows.
+        assert effects["zone"] == {BLOCKING_IO}
+        assert effects["sanctioned"] == {WALLCLOCK, BLOCKING_IO}
+
+    def test_unknown_callees_contribute_nothing(self):
+        effects = propagate({"a": {RNG}}, {"a": ["missing.node"]})
+        assert effects["a"] == {RNG}
+        assert "missing.node" not in effects
+
+
+# -- property tests --------------------------------------------------------
+
+_NODE_NAMES = tuple(f"n{i}" for i in range(8))
+
+
+@st.composite
+def graphs(draw):
+    """A random seeded call graph over a small node universe."""
+    nodes = list(_NODE_NAMES[: draw(st.integers(min_value=2, max_value=8))])
+    seeds = {}
+    calls = {}
+    for node in nodes:
+        effect_set = draw(st.sets(st.sampled_from(ALL_EFFECTS), max_size=3))
+        if effect_set:
+            seeds[node] = frozenset(effect_set)
+        callees = draw(st.sets(st.sampled_from(nodes), max_size=3))
+        calls[node] = sorted(callees - {node})
+    return nodes, seeds, calls
+
+
+@given(graphs(), st.randoms(use_true_random=False))
+@settings(max_examples=80, deadline=None)
+def test_fixpoint_is_order_independent(graph, rng):
+    """Any worklist permutation yields the identical least fixpoint."""
+    nodes, seeds, calls = graph
+    baseline = propagate(seeds, calls)
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    assert propagate(seeds, calls, order=shuffled) == baseline
+    # Reversed order too, for good measure.
+    assert propagate(seeds, calls, order=list(reversed(nodes))) == baseline
+
+
+@given(graphs(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_fixpoint_is_monotone_in_edges(graph, data):
+    """Adding one call edge never removes an effect from any node."""
+    nodes, seeds, calls = graph
+    before = propagate(seeds, calls)
+    src = data.draw(st.sampled_from(nodes), label="edge source")
+    dst = data.draw(st.sampled_from(nodes), label="edge target")
+    grown = {n: sorted(set(cs) | ({dst} if n == src else set()))
+             for n, cs in calls.items()}
+    after = propagate(seeds, grown)
+    for node in nodes:
+        assert before[node] <= after[node], node
+
+
+@given(graphs())
+@settings(max_examples=80, deadline=None)
+def test_fixpoint_is_monotone_in_seeds(graph):
+    """Adding a seed effect never removes an effect elsewhere."""
+    nodes, seeds, calls = graph
+    before = propagate(seeds, calls)
+    grown_seeds = dict(seeds)
+    grown_seeds[nodes[0]] = frozenset(
+        grown_seeds.get(nodes[0], frozenset())
+    ) | {WALLCLOCK}
+    after = propagate(grown_seeds, calls)
+    for node in nodes:
+        assert before[node] <= after[node], node

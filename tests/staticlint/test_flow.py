@@ -1,0 +1,278 @@
+"""Zone contracts on fixture trees: one seeded violation per contract.
+
+Each fixture builds a miniature ``repro`` package in a tmp dir whose
+violation is *interprocedural* — the effect originates two or more
+calls away from the zone entry point, where the per-file DET rules are
+blind — and asserts the full call chain is rendered in the diagnostic.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticlint.flow import (
+    DEFAULT_LAYERS,
+    FlowConfig,
+    analyze_self,
+    analyze_tree,
+)
+
+
+def _tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return tmp_path / "repro"
+
+
+_INITS = {
+    "repro/__init__.py": "",
+    "repro/util/__init__.py": "",
+    "repro/crawler/__init__.py": "",
+}
+
+
+class TestDeterminismZone:
+    def test_interprocedural_wallclock_leak(self, tmp_path):
+        # crawl -> stamp -> now_ms -> time.time(): the wallclock read
+        # sits TWO calls outside the zone; no single-file rule sees it.
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/util/helpers.py": (
+                "import time\n"
+                "def now_ms():\n"
+                "    return int(time.time() * 1000)\n"
+                "def stamp(record):\n"
+                "    record['t'] = now_ms()\n"
+            ),
+            "repro/crawler/core.py": (
+                "from repro.util.helpers import stamp\n"
+                "def crawl(record):\n"
+                "    stamp(record)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("FLOW-DET")
+        assert len(findings) == 1
+        diag = findings[0]
+        assert diag.source == "repro/crawler/core.py:2"
+        assert diag.trace == (
+            "repro.crawler.core.crawl",
+            "repro.util.helpers.stamp",
+            "repro.util.helpers.now_ms",
+        )
+        # Chain and origin are rendered for humans too.
+        assert ("repro.crawler.core.crawl -> repro.util.helpers.stamp "
+                "-> repro.util.helpers.now_ms") in diag.message
+        assert "time.time at repro/util/helpers.py:3" in diag.message
+        assert diag.baseline_key == (
+            "FLOW-DET::repro.crawler.core:crawl::wallclock"
+        )
+
+    def test_only_the_crossing_point_is_flagged(self, tmp_path):
+        # outer -> crawl -> (out-of-zone) stamp: the effect enters the
+        # zone at crawl; outer merely inherits it from an in-zone
+        # callee and is not re-flagged.
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/util/helpers.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "repro/crawler/core.py": (
+                "from repro.util.helpers import stamp\n"
+                "def crawl():\n"
+                "    return stamp()\n"
+                "def outer():\n"
+                "    return crawl()\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        flagged = [d.trace[0] for d in
+                   analysis.flow_report.by_rule("FLOW-DET")]
+        assert flagged == ["repro.crawler.core.crawl"]
+
+    def test_sanctioned_rng_boundary_absorbs_entropy(self, tmp_path):
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/util/rng.py": (
+                "import random\n"
+                "def draw(seed):\n"
+                "    return random.Random(seed).random()\n"
+            ),
+            "repro/crawler/core.py": (
+                "from repro.util.rng import draw\n"
+                "def crawl(seed):\n"
+                "    return draw(seed)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("FLOW-DET") == []
+        # The sanctioned module itself still carries the effect —
+        # only propagation across its boundary is masked.
+        assert "rng" in analysis.effects["repro.util.rng:draw"]
+        assert "rng" not in analysis.effects["repro.crawler.core:crawl"]
+
+
+class TestAsyncReadiness:
+    def test_interprocedural_blocking_io_on_hot_path(self, tmp_path):
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/browser/__init__.py": "",
+            "repro/util/disk.py": (
+                "def read_blob(path):\n"
+                "    with open(path, 'rb') as f:\n"
+                "        return f.read()\n"
+                "def load_profile(path):\n"
+                "    return read_blob(path)\n"
+            ),
+            "repro/browser/page.py": (
+                "from repro.util.disk import load_profile\n"
+                "def navigate(path):\n"
+                "    return load_profile(path)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("FLOW-ASYNC")
+        assert len(findings) == 1
+        diag = findings[0]
+        assert diag.trace == (
+            "repro.browser.page.navigate",
+            "repro.util.disk.load_profile",
+            "repro.util.disk.read_blob",
+        )
+        assert "blocking-io" in diag.message
+        assert "2 call(s) deep" in diag.message
+
+    def test_off_hot_path_io_is_fine(self, tmp_path):
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/analysis/__init__.py": "",
+            "repro/analysis/export.py": (
+                "def dump(path, text):\n"
+                "    path.write_text(text)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("FLOW-ASYNC") == []
+
+
+class TestLayering:
+    def test_upward_import_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/crawler/core.py": "",
+            "repro/util/leaky.py": "from repro.crawler import core\n",
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("FLOW-LAYER")
+        assert len(findings) == 1
+        diag = findings[0]
+        assert diag.source == "repro/util/leaky.py:1"
+        assert "util (layer 0)" in diag.message
+        assert "crawler" in diag.message
+
+    def test_downward_import_is_fine(self, tmp_path):
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/util/helpers.py": "",
+            "repro/crawler/core.py": "from repro.util import helpers\n",
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("FLOW-LAYER") == []
+
+    def test_undeclared_package_warns(self, tmp_path):
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/mystery/__init__.py": "",
+            "repro/mystery/x.py": "from repro.util import helpers\n",
+            "repro/util/helpers.py": "",
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        warnings = [d for d in analysis.flow_report.by_rule("FLOW-LAYER")
+                    if "not in the declared layer DAG" in d.message]
+        assert len(warnings) == 1
+        assert "'mystery'" in warnings[0].message
+
+    def test_package_cycle_is_flagged(self, tmp_path):
+        # net and cdp share layer 1: neither import is "upward", but
+        # together they form a cycle only the SCC pass can see.
+        root = _tree(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/net/__init__.py": "",
+            "repro/cdp/__init__.py": "",
+            "repro/net/chan.py": "from repro.cdp import bus\n",
+            "repro/cdp/bus.py": "from repro.net import chan\n",
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("FLOW-CYCLE")
+        assert len(findings) == 1
+        assert "cdp <-> net" in findings[0].message
+        layer = analysis.flow_report.by_rule("FLOW-LAYER")
+        assert layer == []
+
+
+class TestCustomConfig:
+    def test_zones_and_layers_are_configurable(self, tmp_path):
+        root = _tree(tmp_path, {
+            **_INITS,
+            "repro/util/helpers.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "repro/crawler/core.py": (
+                "from repro.util.helpers import stamp\n"
+                "def crawl():\n"
+                "    return stamp()\n"
+            ),
+        })
+        relaxed = FlowConfig(
+            determinism_zones=frozenset(),
+            hot_path_prefixes=(),
+            layers=dict(DEFAULT_LAYERS),
+        )
+        analysis = analyze_tree(root, root=tmp_path, config=relaxed)
+        assert len(analysis.flow_report) == 0
+
+
+class TestSelfAnalysis:
+    @pytest.fixture(scope="class")
+    def self_analysis(self):
+        return analyze_self()
+
+    def test_repro_determinism_zones_are_clean(self, self_analysis):
+        assert self_analysis.flow_report.by_rule("FLOW-DET") == []
+
+    def test_repro_layering_holds(self, self_analysis):
+        assert self_analysis.flow_report.by_rule("FLOW-LAYER") == []
+        assert self_analysis.flow_report.by_rule("FLOW-CYCLE") == []
+
+    def test_known_hot_path_debt_is_exactly_the_baseline(self, self_analysis):
+        keys = sorted(
+            d.baseline_key
+            for d in self_analysis.flow_report.by_rule("FLOW-ASYNC")
+        )
+        assert keys == [
+            "FLOW-ASYNC::repro.cdp.har:save_har::blocking-io",
+            "FLOW-ASYNC::repro.cdp.recorder:SessionRecorder.load::blocking-io",
+            "FLOW-ASYNC::repro.cdp.recorder:SessionRecorder.save::blocking-io",
+        ]
+
+    def test_single_parse_matches_standalone_linters(self, self_analysis):
+        from repro.staticlint.apilint import lint_api_self
+        from repro.staticlint.determinism import lint_self
+
+        assert [d.format() for d in self_analysis.det_report.diagnostics] == [
+            d.format() for d in lint_self().canonical().diagnostics
+        ]
+        assert [d.format() for d in self_analysis.api_report.diagnostics] == [
+            d.format() for d in lint_api_self().canonical().diagnostics
+        ]
+
+    def test_reports_are_byte_stable(self, self_analysis):
+        again = analyze_self()
+        assert [d.to_json() for d in self_analysis.flow_report.diagnostics] \
+            == [d.to_json() for d in again.flow_report.diagnostics]

@@ -1,0 +1,282 @@
+"""The single-parse extraction core and the cross-module linker."""
+
+from repro.staticlint.determinism import lint_source_text
+from repro.staticlint.effects import (
+    BLOCKING_IO,
+    FS_WRITE,
+    GLOBAL_MUTATE,
+    RNG,
+    WALLCLOCK,
+)
+from repro.staticlint.modgraph import (
+    MODULE_BODY,
+    FileFacts,
+    build_graph,
+    extract_file_facts,
+    source_sha256,
+)
+
+
+def _seeded(facts, qual):
+    return {s.effect for s in facts.functions[qual].seeds}
+
+
+def _call_targets(facts, qual):
+    return [(c.kind, c.target) for c in facts.functions[qual].calls]
+
+
+class TestExtraction:
+    def test_defs_and_direct_seeds(self):
+        facts = extract_file_facts("repro/x.py", (
+            "import time\n"
+            "import random\n"
+            "def slow():\n"
+            "    return time.time()\n"
+            "def draw():\n"
+            "    return random.random()\n"
+        ))
+        assert facts.module == "repro.x"
+        assert _seeded(facts, "slow") == {WALLCLOCK}
+        assert _seeded(facts, "draw") == {RNG}
+        assert ("dotted", "time.time") in _call_targets(facts, "slow")
+
+    def test_from_import_binding_resolves(self):
+        facts = extract_file_facts("repro/x.py", (
+            "from time import monotonic\n"
+            "def tick():\n"
+            "    return monotonic()\n"
+        ))
+        assert _seeded(facts, "tick") == {WALLCLOCK}
+
+    def test_import_alias_resolves(self):
+        facts = extract_file_facts("repro/x.py", (
+            "import subprocess as sp\n"
+            "def run():\n"
+            "    sp.run(['ls'])\n"
+        ))
+        assert BLOCKING_IO in _seeded(facts, "run")
+
+    def test_open_modes_and_builtins(self):
+        facts = extract_file_facts("repro/x.py", (
+            "def reader(p):\n"
+            "    with open(p) as f:\n"
+            "        return f.read()\n"
+            "def writer(p):\n"
+            "    p.open('w').write('x')\n"
+        ))
+        assert _seeded(facts, "reader") == {BLOCKING_IO}
+        assert _seeded(facts, "writer") == {BLOCKING_IO, FS_WRITE}
+
+    def test_pathlib_verbs_seed_without_receiver_type(self):
+        facts = extract_file_facts("repro/x.py", (
+            "def dump(path, text):\n"
+            "    path.parent.mkdir(parents=True, exist_ok=True)\n"
+            "    path.write_text(text)\n"
+        ))
+        assert _seeded(facts, "dump") == {BLOCKING_IO, FS_WRITE}
+
+    def test_generic_method_names_do_not_seed(self):
+        # .send()/.read()/.recv() also live on the simulated network
+        # stack; seeding them would poison the whole simulator.
+        facts = extract_file_facts("repro/x.py", (
+            "def pump(sock, frame):\n"
+            "    sock.send(frame)\n"
+            "    return sock.recv()\n"
+        ))
+        assert _seeded(facts, "pump") == set()
+
+    def test_global_statement_seeds_mutation(self):
+        facts = extract_file_facts("repro/x.py", (
+            "_COUNT = 0\n"
+            "def bump():\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"
+        ))
+        assert _seeded(facts, "bump") == {GLOBAL_MUTATE}
+
+    def test_methods_and_self_calls(self):
+        facts = extract_file_facts("repro/x.py", (
+            "class Crawler:\n"
+            "    def crawl(self):\n"
+            "        self.step()\n"
+            "    def step(self):\n"
+            "        pass\n"
+        ))
+        assert ("local", "Crawler.step") in _call_targets(facts, "Crawler.crawl")
+        assert facts.classes == {"Crawler": ["crawl", "step"]}
+
+    def test_nested_def_gets_parent_edge(self):
+        facts = extract_file_facts("repro/x.py", (
+            "import time\n"
+            "def outer():\n"
+            "    def inner():\n"
+            "        return time.time()\n"
+            "    return inner\n"
+        ))
+        assert ("local", "outer.inner") in _call_targets(facts, "outer")
+        assert _seeded(facts, "outer.inner") == {WALLCLOCK}
+
+    def test_module_body_is_a_node(self):
+        facts = extract_file_facts("repro/x.py", "import time\ntime.time()\n")
+        assert _seeded(facts, MODULE_BODY) == {WALLCLOCK}
+
+    def test_syntax_error_yields_det_syntax(self):
+        facts = extract_file_facts("repro/x.py", "def broken(:\n")
+        assert [d.rule_id for d in facts.det] == ["DET-SYNTAX"]
+
+    def test_det_diagnostics_match_standalone_linter(self):
+        # The combined walk must produce byte-identical DET findings to
+        # the standalone determinism linter: same visitor, one parse.
+        source = (
+            "import time\n"
+            "def f(d):\n"
+            "    t = time.time()\n"
+            "    for k in d.keys():\n"
+            "        print(k)\n"
+            "    return t\n"
+        )
+        combined = extract_file_facts("repro/x.py", source).det
+        standalone = lint_source_text("repro/x.py", source).diagnostics
+        assert [d.format() for d in combined] == [
+            d.format() for d in standalone
+        ]
+        assert combined  # the fixture must actually trip a rule
+
+    def test_json_round_trip(self):
+        facts = extract_file_facts("repro/pkg/__init__.py", (
+            "from repro.pkg.impl import helper\n"
+            "import time\n"
+            "def entry():\n"
+            "    helper()\n"
+            "    return time.time()\n"
+        ))
+        clone = FileFacts.from_json(facts.to_json())
+        assert clone.to_json() == facts.to_json()
+        assert clone.is_package
+        assert clone.sha256 == facts.sha256
+
+    def test_sha_changes_with_source(self):
+        assert source_sha256("a = 1\n") != source_sha256("a = 2\n")
+
+
+def _graph(files):
+    return build_graph(
+        [extract_file_facts(path, source) for path, source in files.items()]
+    )
+
+
+class TestLinker:
+    def test_cross_module_from_import(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/a.py": (
+                "from repro.b import helper\n"
+                "def caller():\n"
+                "    helper()\n"
+            ),
+            "repro/b.py": "def helper():\n    pass\n",
+        })
+        assert "repro.b:helper" in graph.calls["repro.a:caller"]
+
+    def test_module_attribute_call(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/a.py": (
+                "from repro import b\n"
+                "def caller():\n"
+                "    b.helper()\n"
+            ),
+            "repro/b.py": "def helper():\n    pass\n",
+        })
+        assert "repro.b:helper" in graph.calls["repro.a:caller"]
+
+    def test_reexport_chain_through_init(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/pkg/__init__.py": "from repro.pkg.impl import helper\n",
+            "repro/pkg/impl.py": "def helper():\n    pass\n",
+            "repro/a.py": (
+                "from repro.pkg import helper\n"
+                "def caller():\n"
+                "    helper()\n"
+            ),
+        })
+        assert "repro.pkg.impl:helper" in graph.calls["repro.a:caller"]
+
+    def test_class_instantiation_links_init(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/a.py": (
+                "from repro.b import Widget\n"
+                "def make():\n"
+                "    return Widget()\n"
+            ),
+            "repro/b.py": (
+                "class Widget:\n"
+                "    def __init__(self):\n"
+                "        pass\n"
+            ),
+        })
+        assert "repro.b:Widget.__init__" in graph.calls["repro.a:make"]
+
+    def test_unique_method_name_fallback(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/a.py": (
+                "def caller(writer):\n"
+                "    writer.flush_frames()\n"
+            ),
+            "repro/b.py": (
+                "class W:\n"
+                "    def flush_frames(self):\n"
+                "        pass\n"
+            ),
+        })
+        assert "repro.b:W.flush_frames" in graph.calls["repro.a:caller"]
+
+    def test_ambiguous_method_name_is_dropped(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/a.py": "def caller(x):\n    x.step()\n",
+            "repro/b.py": "class B:\n    def step(self):\n        pass\n",
+            "repro/c.py": "class C:\n    def step(self):\n        pass\n",
+        })
+        assert graph.calls["repro.a:caller"] == ()
+
+    def test_stdlib_calls_make_no_edges(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/a.py": (
+                "import json\n"
+                "def caller(x):\n"
+                "    return json.dumps(x)\n"
+            ),
+        })
+        assert graph.calls["repro.a:caller"] == ()
+
+    def test_module_import_graph_and_relative_imports(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/pkg/__init__.py": "",
+            "repro/pkg/a.py": "from . import b\nfrom repro import util\n",
+            "repro/pkg/b.py": "",
+            "repro/util.py": "",
+        })
+        targets = [t for t, _ in graph.module_imports["repro.pkg.a"]]
+        assert "repro.pkg.b" in targets
+        assert "repro.util" in targets
+
+    def test_edges_are_sorted_and_deduped(self):
+        graph = _graph({
+            "repro/__init__.py": "",
+            "repro/a.py": (
+                "from repro.b import helper\n"
+                "def caller():\n"
+                "    helper()\n"
+                "    helper()\n"
+            ),
+            "repro/b.py": "def helper():\n    pass\n",
+        })
+        edges = graph.calls["repro.a:caller"]
+        assert edges == tuple(sorted(set(edges)))
+        assert edges.count("repro.b:helper") == 1

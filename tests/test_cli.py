@@ -58,6 +58,51 @@ def test_lint_self_gate_passes(capsys):
     assert "no findings" in out
 
 
+def test_lint_self_json_schema(capsys):
+    import json
+
+    assert main(["lint", "--self", "--json"]) == 0
+    lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+    assert lines  # the baselined FLOW findings are still reported
+    for line in lines:
+        payload = json.loads(line)
+        assert set(payload) == {
+            "rule", "severity", "source", "file", "line", "message",
+            "fix_hint", "trace", "baseline_key",
+        }
+    rules = {json.loads(line)["rule"] for line in lines}
+    assert "FLOW-ASYNC" in rules
+
+
+def test_lint_self_output_is_byte_stable(capsys):
+    assert main(["lint", "--self", "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["lint", "--self", "--json"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_lint_write_baseline_round_trips(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "baseline.json"
+    assert main(["lint", "--self", "--write-baseline",
+                 "--baseline", str(target)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    assert payload["baseline_format"] == 1
+    # Re-linting against the just-written baseline passes the gate.
+    assert main(["lint", "--self", "--baseline", str(target)]) == 0
+    capsys.readouterr()
+
+
+def test_lint_flow_section_renders(capsys):
+    assert main(["lint", "--self"]) == 0
+    out = capsys.readouterr().out
+    assert "WHOLE-PROGRAM FLOW (src/repro)" in out
+    assert "call edges" in out
+    assert "staticlint-baseline.json" in out
+
+
 def test_lint_full_reports_blindspots(capsys):
     assert main(["lint", "--no-self"]) == 0
     out = capsys.readouterr().out
