@@ -10,16 +10,14 @@ flake, and the measured numbers land in
 ``results/bench/BENCH_FAULTS.json``.
 """
 
-import json
 import time
-from pathlib import Path
+
+from conftest import write_bench_json
 
 from repro.crawler.crawler import CrawlConfig, Crawler
 from repro.faults import FLAKY_PROFILE, NONE_PROFILE, FaultInjector
 from repro.faults.plan import FaultProfile
 
-BENCH_FAULTS_PATH = (Path(__file__).resolve().parent.parent
-                     / "results" / "bench" / "BENCH_FAULTS.json")
 _BUDGET_PCT = 2.0  # documented budget for the zero-fault path
 _CEILING = 0.15    # assertion ceiling, loose against host noise
 
@@ -84,16 +82,11 @@ def test_keyed_decision_throughput(benchmark):
 
 
 def _write_bench_faults(timings, overhead, flaky_overhead) -> None:
-    BENCH_FAULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
+    write_bench_json("faults", {
         "budget_pct": _BUDGET_PCT,
         "bare_seconds": round(timings["bare"], 4),
         "none_profile_seconds": round(timings["none"], 4),
         "flaky_profile_seconds": round(timings["flaky"], 4),
         "zero_fault_overhead_pct": round(overhead * 100.0, 2),
         "flaky_overhead_pct": round(flaky_overhead * 100.0, 2),
-    }
-    BENCH_FAULTS_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    })

@@ -1,0 +1,61 @@
+"""Perf-observatory benchmarks: the analytics must stay cheap.
+
+``repro perf flame``/``diff`` run over traces with hundreds of
+thousands of spans at default study scale; the tree rebuild and path
+aggregation are O(spans) and must stay that way — an analysis tool
+that costs more than the thing it analyzes never gets run. The
+measured numbers land in ``results/bench/BENCH_PERF.json`` (and the
+history store, like every bench).
+"""
+
+import time
+
+from conftest import write_bench_json
+
+from repro.obs.critical_path import SpanTree
+from repro.obs.perf import build_flame, diff_traces
+
+# Analytics over the shared bench study's trace must cost well under
+# the study itself; loose ceiling so noisy CI boxes don't flake.
+_CEILING_SECONDS = 5.0
+
+
+def _summary(bench_study):
+    assert bench_study.obs is not None
+    return bench_study.obs
+
+
+def test_flame_throughput(bench_study):
+    """Tree rebuild + path aggregation + critical path, end to end."""
+    summary = _summary(bench_study)
+    build_flame(summary)  # touch lazy paths once
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        report = build_flame(summary)
+        best = min(best, time.perf_counter() - t0)
+    spans = len(summary.spans)
+    t0 = time.perf_counter()
+    diff = diff_traces(summary, summary)
+    diff_seconds = time.perf_counter() - t0
+    assert diff.is_empty
+    assert report.attribution >= 0.95
+    print(f"\nflame over {spans:,} spans: {best:.4f}s "
+          f"({spans / max(best, 1e-9):,.0f} spans/s), "
+          f"self-diff: {diff_seconds:.4f}s, "
+          f"attribution {100.0 * report.attribution:.2f}%")
+    write_bench_json("perf", {
+        "spans": spans,
+        "flame_seconds": round(best, 4),
+        "flame_throughput_spans_per_sec": round(spans / max(best, 1e-9)),
+        "self_diff_seconds": round(diff_seconds, 4),
+        "attribution_pct": round(100.0 * report.attribution, 2),
+        "hot_paths": len(report.rows),
+    })
+    assert best < _CEILING_SECONDS
+
+
+def test_span_tree_rebuild(benchmark, bench_study):
+    """The tree rebuild alone — the shared O(spans) substrate."""
+    summary = _summary(bench_study)
+    benchmark(lambda: SpanTree.from_summary(summary))

@@ -5,11 +5,22 @@ each table/figure bench then measures its analysis stage and prints the
 regenerated artifact next to the paper's values. The shared study runs
 with a full obs context, and its per-stage breakdown is exported to
 ``results/bench/BENCH_OBS.json`` at the end of the session.
+
+Every bench payload funnels through :func:`write_bench_json`, which
+stamps provenance (git sha + hardware fingerprint — a bench number
+without the machine it ran on is noise) and appends one canonical
+record per numeric metric to ``results/bench/history.jsonl``, the
+longitudinal store ``repro perf check`` regression-gates.
+
+``REPRO_BENCH_PRESET=smoke`` shrinks the shared study to CI scale;
+the preset name rides along as the history records' ``context`` so
+smoke-scale numbers never get compared against full bench-scale ones.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -17,15 +28,36 @@ import pytest
 from repro.experiments import StudyConfig
 from repro.experiments.runner import SyntheticWeb, WebScale, analyze, run_crawls
 from repro.obs import Obs
-
-# Bench preset: enough scale for every entity to appear, small enough
-# that the one-time crawl stays in tens of seconds.
-BENCH_CONFIG = StudyConfig(
-    scale=0.05, sample_scale=0.01, pages_per_site=10, name="bench"
+from repro.obs.history import (
+    append_history,
+    fingerprint_key,
+    git_sha,
+    hardware_fingerprint,
+    records_for_payload,
 )
 
-BENCH_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
+# Bench preset: enough scale for every entity to appear, small enough
+# that the one-time crawl stays in tens of seconds. CI's perf-gate job
+# runs the same suite at smoke scale via REPRO_BENCH_PRESET.
+_PRESETS = {
+    "bench": StudyConfig(scale=0.05, sample_scale=0.01, pages_per_site=10,
+                         name="bench"),
+    "smoke": StudyConfig(scale=0.004, sample_scale=0.002, pages_per_site=2,
+                         name="bench-smoke"),
+}
+BENCH_CONFIG = _PRESETS[os.environ.get("REPRO_BENCH_PRESET", "bench")]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "results" / "bench"
 BENCH_OBS_PATH = BENCH_DIR / "BENCH_OBS.json"
+HISTORY_PATH = Path(
+    os.environ.get("REPRO_BENCH_HISTORY", str(BENCH_DIR / "history.jsonl"))
+)
+
+# Provenance is constant for the session; resolve it once.
+_HARDWARE = hardware_fingerprint()
+_HARDWARE_KEY = fingerprint_key(_HARDWARE)
+_GIT_SHA = git_sha(REPO_ROOT)
 
 
 def write_bench_json(name: str, payload: dict) -> Path:
@@ -33,13 +65,27 @@ def write_bench_json(name: str, payload: dict) -> Path:
 
     Every bench module funnels its measured numbers through here so the
     emission format stays uniform (sorted keys, two-space indent,
-    trailing newline — diff-friendly when committed).
+    trailing newline — diff-friendly when committed) and every payload
+    carries provenance: the git sha and a canonical hardware
+    fingerprint. Each numeric leaf is also appended to the history
+    JSONL that ``repro perf check`` gates.
     """
+    stamped = {
+        **payload,
+        "git_sha": _GIT_SHA,
+        "hardware": {**_HARDWARE, "key": _HARDWARE_KEY},
+    }
     path = BENCH_DIR / f"BENCH_{name.upper()}.json"
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        json.dumps(stamped, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
+    )
+    append_history(
+        HISTORY_PATH,
+        records_for_payload(name, payload, sha=_GIT_SHA,
+                            hardware=_HARDWARE_KEY,
+                            context=BENCH_CONFIG.name),
     )
     return path
 

@@ -9,7 +9,15 @@ Commands:
 * ``analyze`` — re-analyze a dataset saved by ``study --dataset-out``
   in one streaming pass, serving unchanged stages from the
   content-addressed artifact cache (``--no-cache`` bypasses it).
-* ``obs``     — summarize a trace JSONL written by ``study --trace``.
+* ``obs``     — summarize a trace JSONL written by ``study --trace``
+  (``--json`` emits one machine-consumable object, ``--top N`` keeps
+  the N heaviest stage rows).
+* ``perf``    — the performance observatory over exported traces and
+  the benchmark history: ``perf flame <trace>`` (critical-path +
+  self-time attribution by span path), ``perf diff <a> <b>``
+  (per-path deltas between two traces; byte-identical traces diff
+  empty), ``perf check`` (rolling-baseline regression gate over
+  ``results/bench/history.jsonl``; exits 5 on a regression).
 * ``visit``   — load one site in the simulated browser and print its
   inclusion tree and WebSocket traffic.
 * ``check``   — evaluate a URL against the synthetic EasyList/EasyPrivacy.
@@ -27,7 +35,8 @@ Global flags: ``--quiet`` suppresses progress lines on stderr;
 contract violation (``lint``), 2 bad invocation or unreadable input,
 3 catastrophic degradation — a crawl exhausted its retries on every
 page and produced no data, 4 parallel execution failure — a shard
-worker died before the study could merge (see README.md).
+worker died before the study could merge, 5 performance regression —
+``perf check`` found a gated metric past tolerance (see README.md).
 """
 
 from __future__ import annotations
@@ -212,13 +221,94 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import obs_summary_json
+
     try:
         summary = read_trace(args.trace)
     except (OSError, ValueError, KeyError) as error:
         print(f"cannot read trace {args.trace!r}: {error}", file=sys.stderr)
         return 2
-    print(render_obs_summary(summary))
+    if args.json:
+        print(json.dumps(obs_summary_json(summary, top=args.top),
+                         sort_keys=True))
+    else:
+        print(render_obs_summary(summary, top=args.top))
     return 0
+
+
+def _read_trace_or_none(path: str):
+    from repro.obs import read_trace as _read
+
+    try:
+        return _read(path)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read trace {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_perf_flame(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.perf import build_flame, flame_json, render_flame
+
+    summary = _read_trace_or_none(args.trace)
+    if summary is None:
+        return 2
+    report = build_flame(summary)
+    if args.json:
+        print(json.dumps(flame_json(report, top=args.top or None),
+                         sort_keys=True))
+    else:
+        print(render_flame(report, top=args.top))
+    return 0
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.perf import diff_json, diff_traces, render_diff
+
+    summary_a = _read_trace_or_none(args.trace_a)
+    summary_b = _read_trace_or_none(args.trace_b)
+    if summary_a is None or summary_b is None:
+        return 2
+    diff = diff_traces(summary_a, summary_b,
+                       min_ticks=args.min_ticks, min_pct=args.min_pct,
+                       min_count=args.min_count)
+    if args.json:
+        print(json.dumps(diff_json(diff), sort_keys=True))
+    else:
+        print(render_diff(diff, top=args.top))
+    return 0
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.history import (
+        check_history,
+        check_json,
+        read_history,
+        render_check,
+    )
+
+    try:
+        records, skipped = read_history(args.history)
+    except OSError as error:
+        print(f"cannot read history {args.history!r}: {error}",
+              file=sys.stderr)
+        return 2
+    check = check_history(records, window=args.window,
+                          tolerance=args.tolerance,
+                          min_delta=args.min_delta)
+    check.skipped_lines = skipped
+    if args.json:
+        print(json.dumps(check_json(check), sort_keys=True))
+    else:
+        print(render_check(check))
+    return 0 if check.ok else 5
 
 
 def _cmd_visit(args: argparse.Namespace) -> int:
@@ -401,7 +491,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = sub.add_parser("obs", help="summarize a study trace file")
     obs.add_argument("trace", help="trace JSONL from `study --trace`")
+    obs.add_argument("--json", action="store_true",
+                     help="emit one JSON object (schema in README) "
+                          "instead of the text report")
+    obs.add_argument("--top", type=int, default=None, metavar="N",
+                     help="keep only the N heaviest stage rows")
     obs.set_defaults(func=_cmd_obs)
+
+    perf = sub.add_parser(
+        "perf",
+        help="trace analytics and the benchmark regression gate",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    flame = perf_sub.add_parser(
+        "flame",
+        help="critical-path + self-time attribution for one trace",
+    )
+    flame.add_argument("trace", help="trace JSONL from `study --trace`")
+    flame.add_argument("--top", type=int, default=30, metavar="N",
+                       help="hot paths to show (default 30)")
+    flame.add_argument("--json", action="store_true",
+                       help="emit one JSON object (schema in README)")
+    flame.set_defaults(func=_cmd_perf_flame)
+
+    pdiff = perf_sub.add_parser(
+        "diff",
+        help="align two traces by span path and report the deltas",
+    )
+    pdiff.add_argument("trace_a", help="baseline trace JSONL")
+    pdiff.add_argument("trace_b", help="candidate trace JSONL")
+    pdiff.add_argument("--min-ticks", type=int, default=0,
+                       dest="min_ticks", metavar="T",
+                       help="suppress path deltas smaller than T ticks")
+    pdiff.add_argument("--min-pct", type=float, default=0.0,
+                       dest="min_pct", metavar="P",
+                       help="suppress path deltas smaller than P%% of "
+                            "the baseline")
+    pdiff.add_argument("--min-count", type=int, default=0,
+                       dest="min_count", metavar="C",
+                       help="suppress counter deltas smaller than C")
+    pdiff.add_argument("--top", type=int, default=30, metavar="N",
+                       help="rows to show per section (default 30)")
+    pdiff.add_argument("--json", action="store_true",
+                       help="emit one JSON object (schema in README)")
+    pdiff.set_defaults(func=_cmd_perf_diff)
+
+    pcheck = perf_sub.add_parser(
+        "check",
+        help="regression-gate the benchmark history (exit 5 on "
+             "regression)",
+    )
+    pcheck.add_argument("--history", default="results/bench/history.jsonl",
+                        help="history JSONL appended by the bench suite "
+                             "(default: results/bench/history.jsonl)")
+    pcheck.add_argument("--window", type=int, default=5, metavar="N",
+                        help="rolling baseline size per metric "
+                             "(default 5)")
+    pcheck.add_argument("--tolerance", type=float, default=0.5,
+                        metavar="R",
+                        help="allowed relative movement before a gated "
+                             "metric regresses (default 0.5 = ±50%%)")
+    pcheck.add_argument("--min-delta", type=float, default=0.01,
+                        dest="min_delta", metavar="D",
+                        help="absolute movement floor — smaller changes "
+                             "are noise (default 0.01)")
+    pcheck.add_argument("--json", action="store_true",
+                        help="emit one JSON object (schema in README)")
+    pcheck.set_defaults(func=_cmd_perf_check)
 
     visit = sub.add_parser("visit", help="visit one site, print its tree")
     visit.add_argument("domain", nargs="?", default="")

@@ -13,7 +13,12 @@ every stage of ``repro study`` a verifiable audit trail:
 * :class:`~repro.obs.recorder.TraceRecorder` — per-method CDP event
   accounting and the JSONL trace file format;
 * :func:`~repro.obs.report.render_obs_summary` — the per-stage
-  timing/attribution report.
+  timing/attribution report;
+* :mod:`~repro.obs.critical_path` / :mod:`~repro.obs.perf` — the
+  analytics layer over exported traces (self-time attribution, flame
+  aggregation, critical path, trace diffing) behind ``repro perf``;
+* :mod:`~repro.obs.history` — the durable benchmark history store and
+  its rolling-baseline regression gate (``repro perf check``).
 
 Everything runs on the deterministic tick clock
 (:mod:`repro.util.obsclock`), so two same-seed studies produce
@@ -25,7 +30,26 @@ it (or ``None`` to opt out) down the pipeline.
 
 from __future__ import annotations
 
+from repro.obs.critical_path import PathStats, SpanNode, SpanTree
+from repro.obs.history import (
+    BenchRecord,
+    HistoryCheck,
+    append_history,
+    check_history,
+    fingerprint_key,
+    git_sha,
+    hardware_fingerprint,
+    read_history,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.perf import (
+    FlameReport,
+    TraceDiff,
+    build_flame,
+    diff_traces,
+    render_diff,
+    render_flame,
+)
 from repro.obs.recorder import (
     ObsSummary,
     TraceRecorder,
@@ -33,7 +57,7 @@ from repro.obs.recorder import (
     write_metrics,
     write_trace,
 )
-from repro.obs.report import render_obs_summary
+from repro.obs.report import obs_summary_json, render_obs_summary
 from repro.obs.tracer import ObsEvent, SpanAggregate, SpanRecord, Tracer
 from repro.util.obsclock import TickClock, WallClock
 
@@ -80,16 +104,34 @@ __all__ = [
     "Obs",
     "ObsEvent",
     "ObsSummary",
+    "BenchRecord",
     "Counter",
+    "FlameReport",
     "Histogram",
+    "HistoryCheck",
     "MetricsRegistry",
+    "PathStats",
     "SpanAggregate",
+    "SpanNode",
     "SpanRecord",
+    "SpanTree",
     "TickClock",
+    "TraceDiff",
     "WallClock",
     "TraceRecorder",
     "Tracer",
+    "append_history",
+    "build_flame",
+    "check_history",
+    "diff_traces",
+    "fingerprint_key",
+    "git_sha",
+    "hardware_fingerprint",
+    "obs_summary_json",
+    "read_history",
     "read_trace",
+    "render_diff",
+    "render_flame",
     "render_obs_summary",
     "write_metrics",
     "write_trace",

@@ -1,0 +1,189 @@
+"""Span-tree reconstruction: self-time, hot paths, critical path.
+
+A trace file stores finished spans flat (``repro.obs.recorder``); this
+module rebuilds the tree and answers the attribution questions the
+ROADMAP's perf work needs answered mechanically:
+
+* **self time** — a span's duration minus its children's durations:
+  the ticks this span spent doing its *own* work. Self times partition
+  the run exactly: for a well-nested trace they sum to the root's
+  cumulative duration, so "accounting replay is 17% of crawl" is a
+  query, not folklore (the hypothesis round-trip test pins the
+  invariant for arbitrary nesting).
+* **flame aggregation** — spans grouped by their *name path* from the
+  root (``study→crawl→site→page``), with per-path count, cumulative,
+  and self totals. This is the data behind ``repro perf flame``.
+* **critical path** — the chain of heaviest children from the root:
+  where one unit of speedup moves the whole run.
+
+Everything here is read-only over traces — the OBS-PERF staticlint
+zone contract forbids any filesystem write reachable from this module
+(persistence belongs to :mod:`repro.obs.history`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.recorder import ObsSummary
+from repro.obs.tracer import SpanRecord
+
+
+@dataclass
+class SpanNode:
+    """One span in the reconstructed tree.
+
+    Attributes:
+        record: The underlying finished span.
+        children: Child nodes, in span-creation order.
+        path: Span names from the root down to this node.
+        self_ticks: Duration minus the children's durations, floored
+            at zero (a corrupt trace cannot make totals lie upward).
+    """
+
+    record: SpanRecord
+    children: list["SpanNode"] = field(default_factory=list)
+    path: tuple[str, ...] = ()
+    self_ticks: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def duration(self) -> int:
+        return self.record.duration
+
+
+@dataclass
+class PathStats:
+    """Aggregate over every span sharing one name path.
+
+    Attributes:
+        path: Span names from the root (``("study", "crawl", "site")``).
+        count: Spans on this path.
+        total_ticks: Summed cumulative durations.
+        self_ticks: Summed self times (the flame's real estate).
+        max_ticks: Largest single span on the path.
+    """
+
+    path: tuple[str, ...]
+    count: int = 0
+    total_ticks: int = 0
+    self_ticks: int = 0
+    max_ticks: int = 0
+
+
+class SpanTree:
+    """The reconstructed span forest of one trace.
+
+    Attributes:
+        roots: Top-level nodes (``parent_id == 0``), creation order.
+        orphans: Spans whose parent fell past the tracer's retention
+            budget; they are grafted in as extra roots so their ticks
+            stay accounted, and the count is surfaced so reports can
+            qualify attribution claims.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[SpanNode] = []
+        self.orphans: int = 0
+        self._by_id: dict[int, SpanNode] = {}
+
+    @classmethod
+    def from_summary(cls, summary: ObsSummary) -> "SpanTree":
+        """Rebuild the tree from a summary's retained spans."""
+        tree = cls()
+        for span in sorted(summary.spans, key=lambda s: s.span_id):
+            tree._by_id[span.span_id] = SpanNode(record=span)
+        for span_id in sorted(tree._by_id):
+            node = tree._by_id[span_id]
+            parent = tree._by_id.get(node.record.parent_id)
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                if node.record.parent_id != 0:
+                    tree.orphans += 1
+                tree.roots.append(node)
+        for root in tree.roots:
+            tree._finalize(root, ())
+        return tree
+
+    def _finalize(self, node: SpanNode, prefix: tuple[str, ...]) -> None:
+        """Compute paths and self times, iteratively (deep traces —
+        hypothesis builds thousand-deep chains — must not hit the
+        recursion limit)."""
+        stack = [(node, prefix)]
+        while stack:
+            current, parent_path = stack.pop()
+            current.path = parent_path + (current.name,)
+            child_ticks = sum(c.duration for c in current.children)
+            current.self_ticks = max(0, current.duration - child_ticks)
+            for child in current.children:
+                stack.append((child, current.path))
+
+    # -- queries -------------------------------------------------------------
+
+    def node(self, span_id: int) -> SpanNode | None:
+        """The node for a span id, if retained."""
+        return self._by_id.get(span_id)
+
+    def all_nodes(self) -> list[SpanNode]:
+        """Every node, in span-creation order."""
+        return [self._by_id[span_id] for span_id in sorted(self._by_id)]
+
+    @property
+    def total_ticks(self) -> int:
+        """Cumulative ticks across the roots (the run's attributable
+        wall time in work units)."""
+        return sum(root.duration for root in self.roots)
+
+    @property
+    def attributed_self_ticks(self) -> int:
+        """Summed self times across every node."""
+        return sum(node.self_ticks for node in self._by_id.values())
+
+    def attribution(self) -> float:
+        """Fraction of root cumulative time attributed to self times.
+
+        Exactly 1.0 for a complete well-nested trace; lower when spans
+        fell past the retention budget (their ticks survive only in
+        the parents' self time — still attributed, but one level up).
+        """
+        total = self.total_ticks
+        if total == 0:
+            return 1.0
+        return self.attributed_self_ticks / total
+
+    def aggregate_paths(self) -> list[PathStats]:
+        """Per-name-path aggregates, sorted by path (stable output)."""
+        stats: dict[tuple[str, ...], PathStats] = {}
+        for node in self._by_id.values():
+            entry = stats.get(node.path)
+            if entry is None:
+                entry = stats[node.path] = PathStats(path=node.path)
+            entry.count += 1
+            entry.total_ticks += node.duration
+            entry.self_ticks += node.self_ticks
+            entry.max_ticks = max(entry.max_ticks, node.duration)
+        return [stats[path] for path in sorted(stats)]
+
+    def critical_path(self) -> list[SpanNode]:
+        """The heaviest chain from the heaviest root to a leaf.
+
+        Ties break toward the earliest span id, so the output is
+        deterministic for byte-identical traces.
+        """
+        if not self.roots:
+            return []
+        cursor = max(
+            self.roots, key=lambda n: (n.duration, -n.record.span_id)
+        )
+        chain = [cursor]
+        while cursor.children:
+            cursor = max(
+                cursor.children,
+                key=lambda n: (n.duration, -n.record.span_id),
+            )
+            chain.append(cursor)
+        return chain

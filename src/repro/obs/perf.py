@@ -1,0 +1,400 @@
+"""Trace analytics: the flame report and trace diffing.
+
+The consumer side of the TRACE_VERSION-1 JSONL files that
+``repro study --trace`` exports. Two tools:
+
+* :func:`build_flame` / :func:`render_flame` — per-span-path
+  attribution (cumulative vs. self ticks, top-K hot paths by self
+  time, the critical path) for ``repro perf flame``;
+* :func:`diff_traces` / :func:`render_diff` — align two traces by
+  span-name path and report per-path tick/count deltas plus metric
+  counter deltas, with significance thresholds, for
+  ``repro perf diff``. Byte-identical traces diff to *empty* — the
+  property CI leans on when it compares 1-worker vs 4-worker runs.
+
+This module is **read-only over traces** (OBS-PERF zone contract): it
+renders strings and returns data; writing belongs to the caller and
+durable history to :mod:`repro.obs.history`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.critical_path import PathStats, SpanTree
+from repro.obs.recorder import ObsSummary
+
+#: Rendered name for a span path, e.g. ``study→crawl→site→page``.
+PATH_SEP = "→"
+
+
+def format_path(path: tuple[str, ...]) -> str:
+    """One span path as a human-readable arrow chain."""
+    return PATH_SEP.join(path) if path else "(root)"
+
+
+# -- flame ------------------------------------------------------------------
+
+
+@dataclass
+class FlameRow:
+    """One span path's share of the run.
+
+    Attributes:
+        path: Span names from the root.
+        count: Spans on the path.
+        total_ticks: Cumulative ticks (includes descendants).
+        self_ticks: Ticks attributed to the path itself.
+        pct_total / pct_self: The two shares of root wall time.
+    """
+
+    path: tuple[str, ...]
+    count: int
+    total_ticks: int
+    self_ticks: int
+    pct_total: float
+    pct_self: float
+
+
+@dataclass
+class FlameReport:
+    """Everything ``repro perf flame`` shows.
+
+    Attributes:
+        meta: The trace's identity (preset, seed, …).
+        total_ticks: Root cumulative ticks (the 100% mark).
+        rows: Every path, sorted hottest-self first.
+        critical_path: (path, cumulative ticks) pairs from the root
+            down the heaviest children.
+        attribution: Fraction of root time reaching self times —
+            1.0 for a complete trace (the acceptance bar is ≥0.95).
+        orphans / dropped_spans: Retention-budget casualties, so the
+            report can qualify its own completeness.
+    """
+
+    meta: dict = field(default_factory=dict)
+    total_ticks: int = 0
+    rows: list[FlameRow] = field(default_factory=list)
+    critical_path: list[tuple[tuple[str, ...], int]] = field(
+        default_factory=list
+    )
+    attribution: float = 1.0
+    orphans: int = 0
+    dropped_spans: int = 0
+
+
+def build_flame(summary: ObsSummary) -> FlameReport:
+    """Aggregate a trace summary into a flame report."""
+    tree = SpanTree.from_summary(summary)
+    total = max(tree.total_ticks, 1)
+    rows = [
+        FlameRow(
+            path=stats.path,
+            count=stats.count,
+            total_ticks=stats.total_ticks,
+            self_ticks=stats.self_ticks,
+            pct_total=100.0 * stats.total_ticks / total,
+            pct_self=100.0 * stats.self_ticks / total,
+        )
+        for stats in tree.aggregate_paths()
+    ]
+    rows.sort(key=lambda r: (-r.self_ticks, r.path))
+    return FlameReport(
+        meta=dict(summary.meta),
+        total_ticks=tree.total_ticks,
+        rows=rows,
+        critical_path=[
+            (node.path, node.duration) for node in tree.critical_path()
+        ],
+        attribution=tree.attribution(),
+        orphans=tree.orphans,
+        dropped_spans=summary.dropped_spans,
+    )
+
+
+def _table(rows: list[list[str]], header: list[str]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_flame(report: FlameReport, top: int = 30) -> str:
+    """The flame report as fixed-width text (hottest ``top`` paths)."""
+    meta_bits = " ".join(
+        f"{k}={report.meta[k]}" for k in sorted(report.meta)
+        if k != "version"
+    )
+    qualifier = ""
+    if report.orphans or report.dropped_spans:
+        qualifier = (f" ({report.orphans} orphan(s), "
+                     f"{report.dropped_spans:,} dropped span(s))")
+    sections = [
+        f"trace: {meta_bits or '(no metadata)'} — "
+        f"{report.total_ticks:,} root ticks, "
+        f"{100.0 * report.attribution:.1f}% attributed to self times"
+        + qualifier,
+    ]
+    body = [
+        [
+            format_path(row.path),
+            str(row.count),
+            f"{row.total_ticks:,}",
+            f"{row.pct_total:.1f}",
+            f"{row.self_ticks:,}",
+            f"{row.pct_self:.1f}",
+        ]
+        for row in report.rows[:top]
+    ]
+    shown = min(top, len(report.rows))
+    sections.append(
+        f"HOT PATHS (top {shown} of {len(report.rows)}, by self time)\n"
+        + _table(body, ["Path", "Spans", "Ticks", "% run",
+                        "Self", "% self"])
+    )
+    if report.critical_path:
+        crit = [
+            [format_path(path), f"{ticks:,}"]
+            for path, ticks in report.critical_path
+        ]
+        sections.append("CRITICAL PATH (heaviest child chain)\n"
+                        + _table(crit, ["Path", "Ticks"]))
+    return "\n\n".join(sections)
+
+
+def flame_json(report: FlameReport, top: int | None = None) -> dict:
+    """The flame report as one JSON-encodable object (schema in
+    README: ``repro perf flame --json``)."""
+    rows = report.rows if top is None else report.rows[:top]
+    return {
+        "meta": report.meta,
+        "total_ticks": report.total_ticks,
+        "attribution": round(report.attribution, 6),
+        "orphans": report.orphans,
+        "dropped_spans": report.dropped_spans,
+        "paths": [
+            {
+                "path": list(row.path),
+                "count": row.count,
+                "total_ticks": row.total_ticks,
+                "self_ticks": row.self_ticks,
+                "pct_total": round(row.pct_total, 3),
+                "pct_self": round(row.pct_self, 3),
+            }
+            for row in rows
+        ],
+        "critical_path": [
+            {"path": list(path), "ticks": ticks}
+            for path, ticks in report.critical_path
+        ],
+    }
+
+
+# -- diff -------------------------------------------------------------------
+
+
+@dataclass
+class PathDelta:
+    """One span path whose timing or span count moved between traces."""
+
+    path: tuple[str, ...]
+    count_a: int
+    count_b: int
+    ticks_a: int
+    ticks_b: int
+    self_a: int
+    self_b: int
+
+    @property
+    def delta_ticks(self) -> int:
+        return self.ticks_b - self.ticks_a
+
+    @property
+    def delta_pct(self) -> float:
+        return 100.0 * self.delta_ticks / max(self.ticks_a, 1)
+
+
+@dataclass
+class CounterDelta:
+    """One metrics counter whose value moved between traces."""
+
+    name: str
+    value_a: int
+    value_b: int
+
+    @property
+    def delta(self) -> int:
+        return self.value_b - self.value_a
+
+
+@dataclass
+class TraceDiff:
+    """The aligned comparison of two traces.
+
+    Attributes:
+        meta_a / meta_b: The two traces' identities.
+        ticks_a / ticks_b: Root cumulative ticks on each side.
+        paths: Significant per-path deltas, sorted by |delta| desc.
+        counters: Significant counter deltas, sorted by |delta| desc.
+        suppressed: Deltas filtered out by the significance
+            thresholds (so "empty" never silently hides movement).
+    """
+
+    meta_a: dict = field(default_factory=dict)
+    meta_b: dict = field(default_factory=dict)
+    ticks_a: int = 0
+    ticks_b: int = 0
+    paths: list[PathDelta] = field(default_factory=list)
+    counters: list[CounterDelta] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """No reported deltas at all (same-seed traces must hit this)."""
+        return not self.paths and not self.counters
+
+
+def diff_traces(
+    a: ObsSummary,
+    b: ObsSummary,
+    min_ticks: int = 0,
+    min_pct: float = 0.0,
+    min_count: int = 0,
+) -> TraceDiff:
+    """Align two summaries by span path and compute the deltas.
+
+    Args:
+        a / b: The baseline and candidate summaries.
+        min_ticks: Report a path only when |Δ cumulative ticks| is at
+            least this (0 = any nonzero delta or count change).
+        min_pct: …and |Δ| is at least this percent of the baseline.
+        min_count: Report a counter only when |Δ| is at least this.
+    """
+    tree_a = SpanTree.from_summary(a)
+    tree_b = SpanTree.from_summary(b)
+    paths_a = {stats.path: stats for stats in tree_a.aggregate_paths()}
+    paths_b = {stats.path: stats for stats in tree_b.aggregate_paths()}
+
+    deltas: list[PathDelta] = []
+    suppressed = 0
+    for path in sorted(set(paths_a) | set(paths_b)):
+        stat_a = paths_a.get(path, PathStats(path=path))
+        stat_b = paths_b.get(path, PathStats(path=path))
+        if (stat_a.count == stat_b.count
+                and stat_a.total_ticks == stat_b.total_ticks
+                and stat_a.self_ticks == stat_b.self_ticks):
+            continue
+        delta = PathDelta(
+            path=path,
+            count_a=stat_a.count, count_b=stat_b.count,
+            ticks_a=stat_a.total_ticks, ticks_b=stat_b.total_ticks,
+            self_a=stat_a.self_ticks, self_b=stat_b.self_ticks,
+        )
+        significant = (
+            abs(delta.delta_ticks) >= min_ticks
+            and abs(delta.delta_pct) >= min_pct
+        ) or delta.count_a != delta.count_b
+        if significant:
+            deltas.append(delta)
+        else:
+            suppressed += 1
+    deltas.sort(key=lambda d: (-abs(d.delta_ticks), d.path))
+
+    counter_deltas: list[CounterDelta] = []
+    for name in sorted(set(a.counters) | set(b.counters)):
+        value_a = a.counters.get(name, 0)
+        value_b = b.counters.get(name, 0)
+        if value_a == value_b:
+            continue
+        if abs(value_b - value_a) >= min_count:
+            counter_deltas.append(CounterDelta(name, value_a, value_b))
+        else:
+            suppressed += 1
+    counter_deltas.sort(key=lambda d: (-abs(d.delta), d.name))
+
+    return TraceDiff(
+        meta_a=dict(a.meta), meta_b=dict(b.meta),
+        ticks_a=tree_a.total_ticks, ticks_b=tree_b.total_ticks,
+        paths=deltas, counters=counter_deltas, suppressed=suppressed,
+    )
+
+
+def render_diff(diff: TraceDiff, top: int = 30) -> str:
+    """The trace diff as fixed-width text."""
+
+    def identity(meta: dict) -> str:
+        return " ".join(f"{k}={meta[k]}" for k in sorted(meta)
+                        if k != "version") or "(no metadata)"
+
+    head = (f"a: {identity(diff.meta_a)} — {diff.ticks_a:,} ticks\n"
+            f"b: {identity(diff.meta_b)} — {diff.ticks_b:,} ticks")
+    if diff.is_empty:
+        note = (f" ({diff.suppressed} sub-threshold delta(s) suppressed)"
+                if diff.suppressed else "")
+        return f"{head}\n\nno differences{note}"
+    sections = [head]
+    if diff.paths:
+        body = [
+            [
+                format_path(d.path),
+                f"{d.ticks_a:,}", f"{d.ticks_b:,}",
+                f"{d.delta_ticks:+,}", f"{d.delta_pct:+.1f}",
+                f"{d.count_b - d.count_a:+d}",
+                f"{d.self_b - d.self_a:+,}",
+            ]
+            for d in diff.paths[:top]
+        ]
+        sections.append(
+            f"SPAN PATHS ({len(diff.paths)} changed)\n"
+            + _table(body, ["Path", "Ticks a", "Ticks b", "Δ ticks",
+                            "Δ %", "Δ spans", "Δ self"])
+        )
+    if diff.counters:
+        body = [
+            [d.name, f"{d.value_a:,}", f"{d.value_b:,}", f"{d.delta:+,}"]
+            for d in diff.counters[:top]
+        ]
+        sections.append(
+            f"COUNTERS ({len(diff.counters)} changed)\n"
+            + _table(body, ["Counter", "a", "b", "Δ"])
+        )
+    if diff.suppressed:
+        sections.append(f"{diff.suppressed} sub-threshold delta(s) "
+                        f"suppressed")
+    return "\n\n".join(sections)
+
+
+def diff_json(diff: TraceDiff) -> dict:
+    """The trace diff as one JSON-encodable object (schema in README:
+    ``repro perf diff --json``)."""
+    return {
+        "meta_a": diff.meta_a,
+        "meta_b": diff.meta_b,
+        "ticks_a": diff.ticks_a,
+        "ticks_b": diff.ticks_b,
+        "empty": diff.is_empty,
+        "suppressed": diff.suppressed,
+        "paths": [
+            {
+                "path": list(d.path),
+                "count_a": d.count_a, "count_b": d.count_b,
+                "ticks_a": d.ticks_a, "ticks_b": d.ticks_b,
+                "self_a": d.self_a, "self_b": d.self_b,
+                "delta_ticks": d.delta_ticks,
+                "delta_pct": round(d.delta_pct, 3),
+            }
+            for d in diff.paths
+        ],
+        "counters": [
+            {"name": d.name, "a": d.value_a, "b": d.value_b,
+             "delta": d.delta}
+            for d in diff.counters
+        ],
+    }

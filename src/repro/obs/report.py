@@ -29,20 +29,34 @@ def _fmt(rows: list[list[str]], header: list[str]) -> str:
     return "\n".join(lines)
 
 
-def _render_stages(summary: ObsSummary) -> str:
+def stage_rows(summary: ObsSummary, top: int | None = None) -> list[dict]:
+    """The per-stage rows as plain data: name, span count, ticks, and
+    percent of the run. Pipeline order by default; with ``top`` the
+    rows are the N heaviest stages, largest first."""
     total = max(summary.ticks, 1)
     by_name = {a.name: a for a in summary.aggregates}
     names = [n for n in _STAGE_NAMES if n in by_name]
     names += sorted(set(by_name) - set(names) - {"study"})
-    body = []
-    for name in names:
-        aggregate = by_name[name]
-        body.append([
-            name,
-            str(aggregate.count),
-            f"{aggregate.total_ticks:,}",
-            f"{100.0 * aggregate.total_ticks / total:.1f}",
-        ])
+    rows = [
+        {
+            "stage": name,
+            "spans": by_name[name].count,
+            "ticks": by_name[name].total_ticks,
+            "pct": round(100.0 * by_name[name].total_ticks / total, 3),
+        }
+        for name in names
+    ]
+    if top is not None:
+        rows = sorted(rows, key=lambda r: (-r["ticks"], r["stage"]))[:top]
+    return rows
+
+
+def _render_stages(summary: ObsSummary, top: int | None = None) -> str:
+    body = [
+        [row["stage"], str(row["spans"]), f"{row['ticks']:,}",
+         f"{row['pct']:.1f}"]
+        for row in stage_rows(summary, top)
+    ]
     return _fmt(body, ["Stage", "Spans", "Ticks", "% of run"])
 
 
@@ -100,7 +114,28 @@ def _render_histograms(summary: ObsSummary) -> str:
     return _fmt(body, ["Histogram", "Observations", "Mean", "Min", "Max"])
 
 
-def render_obs_summary(summary: ObsSummary) -> str:
+def obs_summary_json(summary: ObsSummary, top: int | None = None) -> dict:
+    """The whole summary as one JSON-encodable object — the
+    ``repro obs --json`` schema documented in the README. ``top``
+    limits the stage rows to the N heaviest (the full counter and
+    histogram snapshots are always complete)."""
+    return {
+        "meta": summary.meta,
+        "ticks": summary.ticks,
+        "spans_retained": len(summary.spans),
+        "dropped_spans": summary.dropped_spans,
+        "events": len(summary.events),
+        "stages": stage_rows(summary, top),
+        "crawls": [
+            {"attrs": span.attrs, "ticks": span.duration}
+            for span in summary.spans_named("crawl")
+        ],
+        "counters": summary.counters,
+        "histograms": summary.histograms,
+    }
+
+
+def render_obs_summary(summary: ObsSummary, top: int | None = None) -> str:
     """The full observability report as fixed-width text."""
     meta = summary.meta
     header_bits = [f"{k}={meta[k]}" for k in sorted(meta) if k != "version"]
@@ -110,7 +145,7 @@ def render_obs_summary(summary: ObsSummary) -> str:
         f"run: {' '.join(header_bits) or '(no metadata)'} — "
         f"{summary.ticks:,} ticks, {len(summary.spans):,} spans retained, "
         f"{len(summary.events):,} obs events{dropped}",
-        "PER-STAGE TIMING\n" + _render_stages(summary),
+        "PER-STAGE TIMING\n" + _render_stages(summary, top),
     ]
     crawls = _render_crawls(summary)
     if crawls:

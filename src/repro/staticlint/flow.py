@@ -19,6 +19,13 @@ enforces three *zone contracts* that per-file syntactic linting cannot:
   declared layer DAG over the top-level packages (util at the bottom,
   experiments/cli at the top); imports that reach *upward* and
   package-level import cycles are flagged.
+* ``OBS-PERF`` — **perf-observatory read-only zone**: nothing in
+  ``repro.obs.perf`` / ``repro.obs.critical_path`` may transitively
+  reach ``fs-write`` — trace analytics must never mutate what they
+  analyze. The one sanctioned persistence path,
+  ``repro.obs.history`` (the benchmark history append), masks the
+  effect at its boundary exactly like the RNG/clock wrappers do for
+  the determinism zones.
 
 Every interprocedural finding carries the full call chain from the
 zone entry point to the effect's origin, both rendered in the message
@@ -40,6 +47,7 @@ from repro.staticlint.cache import FactsCache
 from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
 from repro.staticlint.effects import (
     BLOCKING_IO,
+    FS_WRITE,
     RNG,
     WALLCLOCK,
     propagate,
@@ -84,6 +92,11 @@ class FlowConfig:
             the crawl hot path (async-readiness zone).
         sanctioned_modules: Modules allowed to absorb ``wallclock`` and
             ``rng`` — effects do not propagate out of calls into them.
+        perf_readonly_prefixes: Dotted module prefixes forming the
+            perf observatory's read-only zone (no ``fs-write``).
+        perf_sink_modules: The sanctioned persistence boundary for
+            that zone — ``fs-write`` does not propagate out of calls
+            into these modules (the history append path).
     """
 
     root_package: str = "repro"
@@ -98,6 +111,12 @@ class FlowConfig:
     )
     sanctioned_modules: frozenset[str] = frozenset(
         {"repro.util.rng", "repro.util.obsclock"}
+    )
+    perf_readonly_prefixes: tuple[str, ...] = (
+        "repro.obs.perf", "repro.obs.critical_path",
+    )
+    perf_sink_modules: frozenset[str] = frozenset(
+        {"repro.obs.history"}
     )
 
     def package_of(self, module: str, packages: frozenset[str]) -> str:
@@ -115,6 +134,12 @@ class FlowConfig:
         return any(
             module == prefix or module.startswith(prefix + ".")
             for prefix in self.hot_path_prefixes
+        )
+
+    def in_perf_zone(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.perf_readonly_prefixes
         )
 
     def mask(self, node_module: str, effects: frozenset[str]) -> frozenset[str]:
@@ -459,6 +484,20 @@ def analyze_facts(
         "FLOW-ASYNC", "crawl hot path",
         "move the I/O off the hot path (spool/accountant) before the "
         "asyncio refactor",
+    ))
+
+    def perf_mask(module: str, node_effects: frozenset[str]) -> frozenset[str]:
+        node_effects = config.mask(module, node_effects)
+        if module in config.perf_sink_modules:
+            return node_effects - {FS_WRITE}
+        return node_effects
+
+    flow_report.extend(_zone_findings(
+        graph, effects, config.in_perf_zone,
+        frozenset({FS_WRITE}), perf_mask,
+        "OBS-PERF", "perf analytics (read-only over traces)",
+        "analytics must not write; route persistence through "
+        "repro.obs.history, the sanctioned history append path",
     ))
     flow_report.extend(_layer_findings(graph, config))
 

@@ -88,7 +88,7 @@ class FullLintResult:
         dispatch."""
         failing = [
             d for d in self.report.errors
-            if d.rule_id.startswith(("DET-", "API-", "FLOW-"))
+            if d.rule_id.startswith(("DET-", "API-", "FLOW-", "OBS-"))
             or d.rule_id == "WR-XCHECK"
         ]
         return 1 if failing else 0

@@ -1,0 +1,184 @@
+"""Span-tree reconstruction and self-time attribution.
+
+The load-bearing invariant (ISSUE satellite): for ANY well-nested span
+forest — arbitrary nesting, arbitrary record order — the leaf/interior
+self-times partition the root cumulative time exactly. Hypothesis
+generates the forests; a tiny recursive builder guarantees
+well-nestedness by construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.critical_path import SpanTree
+from repro.obs.recorder import ObsSummary
+from repro.obs.tracer import SpanRecord
+
+
+def _span(span_id, parent_id, name, start, end, depth=0):
+    return SpanRecord(span_id=span_id, parent_id=parent_id, name=name,
+                      start=start, end=end, depth=depth, attrs={})
+
+
+def _summary(spans, ticks=None):
+    if ticks is None:
+        ticks = max((s.end for s in spans), default=0)
+    return ObsSummary(meta={"preset": "test"}, ticks=ticks,
+                      spans=list(spans))
+
+
+# --- deterministic shapes -------------------------------------------------
+
+
+def test_single_span_is_its_own_critical_path():
+    tree = SpanTree.from_summary(_summary([_span(1, 0, "study", 0, 10)]))
+    assert tree.total_ticks == 10
+    assert tree.attributed_self_ticks == 10
+    assert tree.attribution() == 1.0
+    assert [n.record.name for n in tree.critical_path()] == ["study"]
+
+
+def test_self_time_is_duration_minus_children():
+    # study[0,100] > crawl[10,70] > site[20,40]
+    spans = [
+        _span(1, 0, "study", 0, 100),
+        _span(2, 1, "crawl", 10, 70, depth=1),
+        _span(3, 2, "site", 20, 40, depth=2),
+    ]
+    tree = SpanTree.from_summary(_summary(spans))
+    by_name = {n.record.name: n for root in tree.roots
+               for n in _walk(root)}
+    assert by_name["study"].self_ticks == 100 - 60
+    assert by_name["crawl"].self_ticks == 60 - 20
+    assert by_name["site"].self_ticks == 20
+    assert tree.total_ticks == 100
+    assert tree.attributed_self_ticks == 100
+
+
+def test_critical_path_follows_heaviest_child():
+    spans = [
+        _span(1, 0, "study", 0, 100),
+        _span(2, 1, "crawl", 0, 30, depth=1),
+        _span(3, 1, "crawl", 40, 95, depth=1),   # heavier
+        _span(4, 3, "site", 45, 60, depth=2),
+        _span(5, 3, "site", 60, 90, depth=2),    # heavier
+    ]
+    tree = SpanTree.from_summary(_summary(spans))
+    path = tree.critical_path()
+    assert [n.record.span_id for n in path] == [1, 3, 5]
+
+
+def test_critical_path_tie_breaks_on_earliest_span_id():
+    spans = [
+        _span(1, 0, "study", 0, 50),
+        _span(2, 1, "a", 0, 20, depth=1),
+        _span(3, 1, "b", 25, 45, depth=1),  # same duration as span 2
+    ]
+    tree = SpanTree.from_summary(_summary(spans))
+    assert [n.record.span_id for n in tree.critical_path()] == [1, 2]
+
+
+def test_orphan_spans_become_roots_and_are_counted():
+    # Parent id 7 was dropped by the retention budget: the child must
+    # still be accounted for, promoted to a root.
+    spans = [
+        _span(1, 0, "study", 0, 50),
+        _span(9, 7, "page", 10, 20, depth=3),
+    ]
+    tree = SpanTree.from_summary(_summary(spans))
+    assert tree.orphans == 1
+    assert len(tree.roots) == 2
+    assert tree.total_ticks == 50 + 10
+
+
+def test_zero_duration_root_attributes_fully():
+    tree = SpanTree.from_summary(_summary([_span(1, 0, "noop", 5, 5)]))
+    assert tree.total_ticks == 0
+    assert tree.attribution() == 1.0
+
+
+def test_paths_aggregate_by_name_chain():
+    spans = [
+        _span(1, 0, "study", 0, 100),
+        _span(2, 1, "crawl", 0, 40, depth=1),
+        _span(3, 1, "crawl", 50, 80, depth=1),
+    ]
+    tree = SpanTree.from_summary(_summary(spans))
+    stats = {s.path: s for s in tree.aggregate_paths()}
+    crawl = stats[("study", "crawl")]
+    assert crawl.count == 2
+    assert crawl.total_ticks == 70
+    assert crawl.max_ticks == 40
+    assert stats[("study",)].self_ticks == 30
+
+
+# --- the hypothesis property ----------------------------------------------
+
+# Recipe for a well-nested forest: at each node, split [start, end]
+# into child windows chosen from drawn fractions. The builder assigns
+# span ids in creation order and shuffles the record list afterwards,
+# so the tree code sees arbitrary ordering.
+
+_shape = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, min_size=1, max_size=3),
+    max_leaves=25,
+)
+
+
+def _build(shape, start, end, parent_id, depth, out, rnd):
+    span_id = len(out) + 1
+    out.append(_span(span_id, parent_id,
+                     f"n{depth}", start, end, depth=depth))
+    if not shape or end - start < 2 * len(shape):
+        return
+    width = (end - start) // len(shape)
+    cursor = start
+    for child in shape:
+        # Leave a 1-tick gap so children never abut ambiguously.
+        child_end = min(cursor + max(1, width - 1), end)
+        _build(child, cursor, child_end, span_id, depth + 1, out, rnd)
+        cursor = child_end + 1
+        if cursor >= end:
+            break
+
+
+@given(shapes=st.lists(_shape, min_size=1, max_size=3),
+       total=st.integers(min_value=10, max_value=10_000),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=150, deadline=None)
+def test_self_times_partition_root_cumulative(shapes, total, seed):
+    """Arbitrary nesting & ordering: Σ self == Σ root durations."""
+    import random
+
+    spans = []
+    cursor = 0
+    for shape in shapes:
+        _build(shape, cursor, cursor + total, 0, 0, spans, None)
+        cursor += total + 3
+    random.Random(seed).shuffle(spans)
+
+    tree = SpanTree.from_summary(_summary(spans))
+    assert tree.orphans == 0
+    assert tree.attributed_self_ticks == tree.total_ticks
+    assert tree.attribution() == 1.0
+    # Every span is reachable exactly once.
+    assert sum(1 for root in tree.roots for _ in _walk(root)) == len(spans)
+
+
+@given(depth=st.integers(min_value=500, max_value=2000))
+@settings(max_examples=5, deadline=None)
+def test_deep_chains_do_not_hit_recursion_limit(depth):
+    spans = [_span(i + 1, i, "deep", i, 2 * depth - i, depth=i)
+             for i in range(depth)]
+    tree = SpanTree.from_summary(_summary(spans))
+    assert tree.attributed_self_ticks == tree.total_ticks
+    assert len(tree.critical_path()) == depth
+
+
+def _walk(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(current.children)

@@ -1,0 +1,192 @@
+"""Flame reports and trace diffing over synthetic summaries.
+
+The diff properties here (identical traces ⇒ empty diff; thresholds
+suppress-but-count) are what CI leans on when it compares worker-count
+smoke traces; the acceptance-criteria integration against a *real*
+study trace lives in ``test_integration.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.perf import (
+    build_flame,
+    diff_json,
+    diff_traces,
+    flame_json,
+    format_path,
+    render_diff,
+    render_flame,
+)
+from repro.obs.recorder import ObsSummary
+from repro.obs.tracer import SpanRecord
+
+
+def _span(span_id, parent_id, name, start, end, depth=0):
+    return SpanRecord(span_id=span_id, parent_id=parent_id, name=name,
+                      start=start, end=end, depth=depth, attrs={})
+
+
+def _summary(spans, counters=None, meta=None, dropped=0):
+    return ObsSummary(meta=meta or {"preset": "test", "seed": 2017},
+                      ticks=max((s.end for s in spans), default=0),
+                      spans=list(spans), counters=dict(counters or {}),
+                      dropped_spans=dropped)
+
+
+def _study(scale=1):
+    """study > 2×crawl > site > page — the pipeline in miniature."""
+    s = scale
+    return _summary([
+        _span(1, 0, "study", 0, 100 * s),
+        _span(2, 1, "crawl", 0, 40 * s, depth=1),
+        _span(3, 2, "site", 5 * s, 35 * s, depth=2),
+        _span(4, 1, "crawl", 45 * s, 95 * s, depth=1),
+        _span(5, 4, "site", 50 * s, 90 * s, depth=2),
+        _span(6, 5, "page", 55 * s, 80 * s, depth=3),
+    ], counters={"pages": 4 * s, "sockets": 2})
+
+
+# -- flame ------------------------------------------------------------------
+
+
+def test_flame_rows_sorted_by_self_time():
+    report = build_flame(_study())
+    assert report.total_ticks == 100
+    assert report.attribution == 1.0
+    selfs = [row.self_ticks for row in report.rows]
+    assert selfs == sorted(selfs, reverse=True)
+    by_path = {row.path: row for row in report.rows}
+    site = by_path[("study", "crawl", "site")]
+    assert site.count == 2
+    assert site.total_ticks == 30 + 40
+    assert site.self_ticks == 30 + (40 - 25)
+    assert site.pct_total == 70.0
+
+
+def test_flame_critical_path_descends_heaviest_children():
+    report = build_flame(_study())
+    assert [list(path)[-1] for path, _ in report.critical_path] == \
+        ["study", "crawl", "site", "page"]
+    assert report.critical_path[0][1] == 100
+    assert report.critical_path[-1][1] == 25
+
+
+def test_flame_render_and_json_agree():
+    report = build_flame(_study())
+    text = render_flame(report, top=3)
+    assert "100 root ticks" in text
+    assert "100.0% attributed" in text
+    assert "HOT PATHS (top 3 of 4" in text
+    assert "CRITICAL PATH" in text
+    assert format_path(("study", "crawl", "site")) in text
+    payload = flame_json(report, top=3)
+    assert payload["total_ticks"] == 100
+    assert payload["attribution"] == 1.0
+    assert len(payload["paths"]) == 3
+    assert payload["paths"][0]["path"] == \
+        list(report.rows[0].path)
+    assert [c["path"][-1] for c in payload["critical_path"]] == \
+        ["study", "crawl", "site", "page"]
+
+
+def test_flame_qualifies_dropped_spans():
+    summary = _study()
+    summary.dropped_spans = 17
+    text = render_flame(build_flame(summary))
+    assert "17 dropped span(s)" in text
+
+
+def test_flame_of_empty_trace():
+    report = build_flame(_summary([]))
+    assert report.total_ticks == 0
+    assert report.attribution == 1.0
+    assert "0 root ticks" in render_flame(report)
+
+
+# -- diff -------------------------------------------------------------------
+
+
+def test_diff_of_identical_summaries_is_empty():
+    diff = diff_traces(_study(), _study())
+    assert diff.is_empty
+    assert diff.suppressed == 0
+    assert "no differences" in render_diff(diff)
+    assert diff_json(diff)["empty"] is True
+
+
+def test_diff_reports_tick_and_counter_movement():
+    a, b = _study(scale=1), _study(scale=2)
+    diff = diff_traces(a, b)
+    assert not diff.is_empty
+    assert diff.ticks_a == 100 and diff.ticks_b == 200
+    root = next(d for d in diff.paths if d.path == ("study",))
+    assert root.delta_ticks == 100
+    assert root.delta_pct == 100.0
+    pages = next(c for c in diff.counters if c.name == "pages")
+    assert pages.delta == 4
+    text = render_diff(diff)
+    assert "SPAN PATHS" in text and "COUNTERS" in text
+
+
+def test_diff_paths_only_on_one_side():
+    a = _study()
+    b = _study()
+    b.spans.append(_span(7, 1, "lint", 96, 99, depth=1))
+    diff = diff_traces(a, b)
+    lint = next(d for d in diff.paths if d.path == ("study", "lint"))
+    assert (lint.count_a, lint.count_b) == (0, 1)
+    assert lint.ticks_b == 3
+    # study's self time shrank; its cumulative did not change.
+    study = next(d for d in diff.paths if d.path == ("study",))
+    assert study.delta_ticks == 0 and study.self_b < study.self_a
+
+
+def test_diff_thresholds_suppress_but_count():
+    a, b = _study(), _study()
+    b.spans[5] = _span(6, 5, "page", 55, 81, depth=3)  # +1 tick
+    diff = diff_traces(a, b, min_ticks=10)
+    # page moved 1 tick; site/crawl self shifted — all sub-threshold.
+    assert diff.paths == []
+    assert diff.suppressed > 0
+    assert "suppressed" in render_diff(diff)
+    loose = diff_traces(a, b)
+    assert any(d.path == ("study", "crawl", "site", "page")
+               for d in loose.paths)
+
+
+def test_diff_count_changes_bypass_tick_thresholds():
+    a, b = _study(), _study()
+    b.spans.append(_span(7, 5, "page", 80, 80, depth=3))  # zero-width
+    diff = diff_traces(a, b, min_ticks=1_000_000, min_pct=99.0)
+    assert len(diff.paths) == 1
+    assert diff.paths[0].count_b - diff.paths[0].count_a == 1
+
+
+def test_diff_min_count_gates_counters():
+    a, b = _study(), _study()
+    b.counters["sockets"] = 3
+    assert diff_traces(a, b, min_count=5).is_empty
+    assert not diff_traces(a, b).is_empty
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_diff_self_identity_for_arbitrary_traces(seed):
+    """Any summary diffed against itself is empty (the CI property)."""
+    import random
+
+    rnd = random.Random(seed)
+    spans = [_span(1, 0, "study", 0, 1000)]
+    for i in range(2, rnd.randint(2, 30)):
+        parent = rnd.choice(spans)
+        lo = rnd.randint(parent.start, parent.end)
+        hi = rnd.randint(lo, parent.end)
+        spans.append(_span(i, parent.span_id,
+                           rnd.choice("abcd"), lo, hi,
+                           depth=parent.depth + 1))
+    counters = {f"c{i}": rnd.randint(0, 99) for i in range(3)}
+    summary = _summary(spans, counters=counters)
+    diff = diff_traces(summary, summary)
+    assert diff.is_empty
+    assert diff.suppressed == 0

@@ -238,6 +238,110 @@ class TestCustomConfig:
         assert len(analysis.flow_report) == 0
 
 
+class TestPerfReadonlyZone:
+    """OBS-PERF: the perf observatory must not write the filesystem."""
+
+    _OBS_INITS = {
+        "repro/__init__.py": "",
+        "repro/obs/__init__.py": "",
+    }
+
+    def test_interprocedural_write_leak_is_flagged(self, tmp_path):
+        # flame -> export -> dump -> write_text: the write sits TWO
+        # calls outside the read-only zone.
+        root = _tree(tmp_path, {
+            **self._OBS_INITS,
+            "repro/obs/export.py": (
+                "def dump(path, text):\n"
+                "    path.write_text(text)\n"
+                "def export(path, report):\n"
+                "    dump(path, str(report))\n"
+            ),
+            "repro/obs/perf.py": (
+                "from repro.obs.export import export\n"
+                "def flame(path, report):\n"
+                "    export(path, report)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("OBS-PERF")
+        assert len(findings) == 1
+        diag = findings[0]
+        assert diag.source == "repro/obs/perf.py:2"
+        assert diag.trace == (
+            "repro.obs.perf.flame",
+            "repro.obs.export.export",
+            "repro.obs.export.dump",
+        )
+        assert "fs-write" in diag.message
+        assert "repro.obs.history" in diag.fix_hint
+        assert diag.baseline_key == (
+            "OBS-PERF::repro.obs.perf:flame::fs-write"
+        )
+
+    def test_critical_path_module_is_in_the_zone(self, tmp_path):
+        root = _tree(tmp_path, {
+            **self._OBS_INITS,
+            "repro/obs/critical_path.py": (
+                "def cache_tree(path, tree):\n"
+                "    path.write_text(str(tree))\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("OBS-PERF")
+        assert [d.baseline_key for d in findings] == [
+            "OBS-PERF::repro.obs.critical_path:cache_tree::fs-write"
+        ]
+
+    def test_history_sink_absorbs_the_write(self, tmp_path):
+        # Persistence routed through the sanctioned history module is
+        # the designed shape — no finding.
+        root = _tree(tmp_path, {
+            **self._OBS_INITS,
+            "repro/obs/history.py": (
+                "def append(path, line):\n"
+                "    with path.open('a') as handle:\n"
+                "        handle.write(line)\n"
+            ),
+            "repro/obs/perf.py": (
+                "from repro.obs.history import append\n"
+                "def flame_and_persist(path, report):\n"
+                "    append(path, str(report))\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("OBS-PERF") == []
+        # The mask silences the zone finding only; the effect summary
+        # never lies — both functions still show the write.
+        assert "fs-write" in analysis.effects["repro.obs.history:append"]
+        assert "fs-write" in \
+            analysis.effects["repro.obs.perf:flame_and_persist"]
+
+    def test_reading_traces_is_fine(self, tmp_path):
+        root = _tree(tmp_path, {
+            **self._OBS_INITS,
+            "repro/obs/perf.py": (
+                "import json\n"
+                "def load(path):\n"
+                "    with open(path) as handle:\n"
+                "        return [json.loads(l) for l in handle]\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("OBS-PERF") == []
+
+    def test_writes_outside_the_zone_are_not_obs_perf(self, tmp_path):
+        root = _tree(tmp_path, {
+            **self._OBS_INITS,
+            "repro/obs/recorder.py": (
+                "def write_trace(path, text):\n"
+                "    path.write_text(text)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("OBS-PERF") == []
+
+
 class TestSelfAnalysis:
     @pytest.fixture(scope="class")
     def self_analysis(self):
@@ -245,6 +349,9 @@ class TestSelfAnalysis:
 
     def test_repro_determinism_zones_are_clean(self, self_analysis):
         assert self_analysis.flow_report.by_rule("FLOW-DET") == []
+
+    def test_repro_perf_zone_is_clean(self, self_analysis):
+        assert self_analysis.flow_report.by_rule("OBS-PERF") == []
 
     def test_repro_layering_holds(self, self_analysis):
         assert self_analysis.flow_report.by_rule("FLOW-LAYER") == []

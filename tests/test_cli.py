@@ -230,3 +230,112 @@ class TestAnalyzeCommand:
         save_socket_records(path, tiny_study.dataset.socket_records[:3])
         assert main(["analyze", str(path)]) == 2
         assert "cannot read dataset" in capsys.readouterr().err
+
+
+class TestPerfCommands:
+    """`repro perf flame|diff|check` and the obs --json/--top flags."""
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("perf") / "smoke.trace.jsonl"
+        assert main(["--quiet", "study", "--preset", "smoke",
+                     "--trace", str(path)]) == 0
+        return path
+
+    def test_obs_json_schema(self, trace_path, capsys):
+        import json
+
+        assert main(["obs", str(trace_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["preset"] == "smoke"
+        assert {"ticks", "stages", "crawls", "counters",
+                "histograms"} <= set(payload)
+
+    def test_obs_top_limits_stage_rows(self, trace_path, capsys):
+        import json
+
+        assert main(["obs", str(trace_path), "--json", "--top", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["stages"]) == 2
+        capsys.readouterr()
+        assert main(["obs", str(trace_path), "--top", "2"]) == 0
+        assert "PER-STAGE TIMING" in capsys.readouterr().out
+
+    def test_flame_text_and_json(self, trace_path, capsys):
+        import json
+
+        assert main(["perf", "flame", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "HOT PATHS" in out and "CRITICAL PATH" in out
+        assert "% attributed to self times" in out
+        assert main(["perf", "flame", str(trace_path), "--json",
+                     "--top", "5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attribution"] >= 0.95
+        assert len(payload["paths"]) <= 5
+        assert payload["critical_path"][0]["path"] == ["study"]
+
+    def test_flame_missing_trace_is_exit_2(self, tmp_path, capsys):
+        assert main(["perf", "flame", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_diff_of_identical_traces_is_empty(self, trace_path, capsys):
+        import json
+
+        assert main(["perf", "diff", str(trace_path),
+                     str(trace_path)]) == 0
+        assert "no differences" in capsys.readouterr().out
+        assert main(["perf", "diff", str(trace_path), str(trace_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["empty"] is True
+        assert payload["paths"] == [] and payload["counters"] == []
+
+    def test_diff_missing_side_is_exit_2(self, trace_path, tmp_path,
+                                         capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["perf", "diff", str(trace_path),
+                     str(missing)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_check_missing_history_is_exit_2(self, tmp_path, capsys):
+        assert main(["perf", "check", "--history",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read history" in capsys.readouterr().err
+
+    def test_check_passes_then_gates_on_2x_slowdown(self, tmp_path,
+                                                    capsys):
+        import json
+
+        from repro.obs.history import append_history, records_for_payload
+
+        history = tmp_path / "history.jsonl"
+        for _ in range(5):
+            append_history(history, records_for_payload(
+                "parallel", {"workers_4_seconds": 1.0}, hardware="hw"))
+        assert main(["perf", "check", "--history", str(history)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        append_history(history, records_for_payload(
+            "parallel", {"workers_4_seconds": 2.0}, hardware="hw"))
+        assert main(["perf", "check", "--history", str(history)]) == 5
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(["perf", "check", "--history", str(history),
+                     "--json"]) == 5
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["regressions"][0]["ratio"] == 2.0
+        # A wide-open tolerance un-gates the same history.
+        assert main(["perf", "check", "--history", str(history),
+                     "--tolerance", "2.0"]) == 0
+        capsys.readouterr()
+
+    def test_check_counts_corrupt_lines(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        history.write_text('{"bench": "b"}\nnot json\n')
+        assert main(["perf", "check", "--history", str(history)]) == 0
+        assert "2 corrupt line(s) skipped" in capsys.readouterr().out
+
+    def test_perf_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
