@@ -28,6 +28,7 @@ import pytest
 from repro.experiments import StudyConfig
 from repro.experiments.runner import SyntheticWeb, WebScale, analyze, run_crawls
 from repro.obs import Obs
+from repro.util.atomicio import atomic_write
 from repro.obs.history import (
     append_history,
     fingerprint_key,
@@ -76,10 +77,9 @@ def write_bench_json(name: str, payload: dict) -> Path:
         "hardware": {**_HARDWARE, "key": _HARDWARE_KEY},
     }
     path = BENCH_DIR / f"BENCH_{name.upper()}.json"
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
+    atomic_write(
+        path,
         json.dumps(stamped, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
     append_history(
         HISTORY_PATH,

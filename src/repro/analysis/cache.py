@@ -20,9 +20,14 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.analysis.stage import AnalysisStage
+from repro.util.atomicio import atomic_write
+
+if TYPE_CHECKING:
+    from repro.labeling.aa_labeler import AaLabeler
+    from repro.labeling.resolver import DomainResolver
 
 CACHE_FORMAT_VERSION = 1
 DEFAULT_CACHE_DIR = Path("results/cache")
@@ -88,9 +93,103 @@ class StageCache:
             "config": stage.config_token(),
             "artifact": encoded_artifact,
         }
-        path.write_text(
+        atomic_write(
+            path,
             json.dumps(payload, sort_keys=True, separators=(",", ":"))
             + "\n",
-            encoding="utf-8",
+        )
+        return path
+
+
+# -- the per-slice state cache (incremental analysis) ----------------------
+
+
+def labeler_fingerprint(
+    labeler: "AaLabeler", resolver: "DomainResolver"
+) -> str:
+    """Content address of the derived labeling environment.
+
+    Folding classifies views through the labeler and the Cloudfront
+    resolver, so cached *state* is only reusable while both are
+    unchanged; new imports shift the tag counts, the derived A&A set
+    drifts, and every state key mints fresh — the safety property that
+    makes incremental analysis exact rather than approximate.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"threshold={labeler.threshold}\n".encode("utf-8"))
+    for domain in sorted(labeler.aa_domains):
+        hasher.update(f"aa={domain}\n".encode("utf-8"))
+    for host, target in sorted(resolver.cloudfront_mapping.items()):
+        hasher.update(f"cf={host}->{target}\n".encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def state_key(
+    lines_sha: str, labeler_fp: str, stage: AnalysisStage
+) -> str:
+    """The content address of one stage's folded state for one slice."""
+    material = "\n".join((
+        f"state-format={CACHE_FORMAT_VERSION}",
+        f"slice={lines_sha}",
+        f"labeler={labeler_fp}",
+        f"stage={stage.name}",
+        f"version={stage.version}",
+        f"config={stage.config_token()}",
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class StateCache:
+    """Load/store per-slice folded stage state by content address.
+
+    Same shape as :class:`StageCache` (one small JSON file per entry,
+    corrupt entries are misses), but holds encoded *accumulator* state
+    (:meth:`AnalysisStage.encode_state`) rather than finalized
+    artifacts — the unit the incremental engine merges.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, stage_name: str, key: str) -> Path:
+        return self.root / f"state-{stage_name}-{key[:16]}.json"
+
+    def load(self, stage_name: str, key: str) -> Any | None:
+        """The encoded state under ``key``, or ``None`` on a miss."""
+        path = self._path(stage_name, key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or payload.get("cache_format") != CACHE_FORMAT_VERSION
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["state"]
+
+    def store(
+        self, stage: AnalysisStage, key: str, encoded_state: Any
+    ) -> Path:
+        """Persist one slice's folded state; returns its path."""
+        path = self._path(stage.name, key)
+        payload = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "stage": stage.name,
+            "version": stage.version,
+            "config": stage.config_token(),
+            "state": encoded_state,
+        }
+        atomic_write(
+            path,
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            + "\n",
         )
         return path

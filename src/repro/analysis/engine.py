@@ -16,15 +16,31 @@ stage hits, the sweep is skipped entirely and re-analysis is O(cache).
 Shard-parallel folding uses the same stages: :func:`fold_shard` builds
 shard-local partials and :func:`merge_stage_lists` folds them together
 without a barrier, byte-identical to a sequential fold.
+
+:meth:`AnalysisEngine.run_incremental` applies the same merge algebra
+along the *time* axis instead of the shard axis: a dataset grown by
+``repro spool import`` is described as an ordered list of
+:class:`SegmentSlice`\\ s (record ranges content-addressed by the hash
+of their canonical lines), each slice's per-stage folded state is
+cached in a :class:`~repro.analysis.cache.StateCache`, and re-analysis
+after new imports folds only the new slices — the old ones restore
+from cache without their records ever being re-read.
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
-from repro.analysis.cache import StageCache, stage_key
+from repro.analysis.cache import (
+    StageCache,
+    StateCache,
+    labeler_fingerprint,
+    stage_key,
+    state_key,
+)
 from repro.analysis.classify import SocketView, classify_one
 from repro.analysis.stage import (
     AnalysisStage,
@@ -43,6 +59,25 @@ class DatasetSourceError(ValueError):
     """A dataset source cannot be opened or fingerprinted."""
 
 
+@dataclass(frozen=True)
+class SegmentSlice:
+    """One contiguous record range of a dataset, content-addressed.
+
+    The spool importer appends each imported segment's records as a
+    contiguous run of dataset lines and journals the run as a slice:
+    the record-index range ``[start, stop)`` plus the SHA-256 over the
+    canonical record lines in that range. The hash — not the segment
+    file, which may since have been quota-evicted — is what addresses
+    the slice's cached per-stage state, so incremental analysis keeps
+    working after the spool itself is gone.
+    """
+
+    segment_id: str
+    start: int
+    stop: int
+    lines_sha: str
+
+
 @dataclass
 class DatasetSource:
     """Where observations come from: a live dataset or a saved file.
@@ -58,11 +93,26 @@ class DatasetSource:
     meta: DatasetMeta
     _records: Callable[[], Iterable[SocketRecord]]
     _fingerprint: Callable[[], str]
+    _ranged: (
+        Callable[[int, int | None], Iterable[SocketRecord]] | None
+    ) = None
     _cached_fingerprint: str | None = field(default=None, init=False)
 
     def records(self) -> Iterable[SocketRecord]:
         """A fresh iterable over the socket records."""
         return self._records()
+
+    def records_range(
+        self, start: int, stop: int | None = None
+    ) -> Iterable[SocketRecord]:
+        """A fresh iterable over records ``[start, stop)``.
+
+        File sources decode only the requested line range; in-memory
+        sources slice the record list.
+        """
+        if self._ranged is not None:
+            return self._ranged(start, stop)
+        return islice(self._records(), start, stop)
 
     def fingerprint(self) -> str:
         """The dataset's content address (computed once, then cached)."""
@@ -95,6 +145,7 @@ class DatasetSource:
             meta=reader.meta,
             _records=reader.iter_records,
             _fingerprint=reader.fingerprint,
+            _ranged=reader.iter_records,
         )
 
 
@@ -111,6 +162,10 @@ class AnalysisResult:
         cached: Stage names served from the cache.
         views_folded: Socket views classified by the sweep (0 when
             every stage hit the cache).
+        segments_folded: Dataset slices whose records were re-read and
+            folded by an incremental run (0 on the full path).
+        segments_cached: Dataset slices fully restored from the state
+            cache by an incremental run.
     """
 
     meta: DatasetMeta
@@ -120,6 +175,8 @@ class AnalysisResult:
     computed: tuple[str, ...]
     cached: tuple[str, ...]
     views_folded: int = 0
+    segments_folded: int = 0
+    segments_cached: int = 0
 
     def __getitem__(self, name: str) -> Any:
         return self.artifacts[name]
@@ -239,6 +296,157 @@ class AnalysisEngine:
             computed=tuple(stage.name for stage in pending),
             cached=tuple(cached),
             views_folded=views_folded,
+        )
+
+    def run_incremental(
+        self,
+        source: DatasetSource,
+        slices: Sequence[SegmentSlice],
+        state_cache: StateCache,
+    ) -> AnalysisResult:
+        """Fold only the slices whose per-stage state is not cached.
+
+        ``slices`` must cover the source's record region, in record
+        order, without gaps or overlaps — the spool import journal
+        provides exactly that (the CLI gap-fills synthetic base slices
+        for records predating the journal). For every (slice, stage)
+        pair whose state key misses, the slice's records are decoded
+        once and folded into all missing stages together; cached pairs
+        restore without touching the records. Slice-local partials are
+        then merged in slice order and finalized — the same associative
+        algebra :func:`fold_shard`/:func:`merge_stage_lists` use for
+        shard parallelism, so the artifacts are identical to a full
+        :meth:`run`.
+        """
+        with self._span("labeling"):
+            labeler = source.dataset.derive_labeler()
+            resolver = source.dataset.derive_resolver(labeler)
+        ctx = StageContext(
+            meta=source.meta,
+            labeler=labeler,
+            resolver=resolver,
+            engine=source.dataset.engine,
+            dataset=source.dataset,
+        )
+
+        artifacts: dict[str, Any] = {}
+        cached: list[str] = []
+        keys: dict[str, str] = {}
+        pending = list(self.stages)
+        if self.cache is not None:
+            fingerprint = source.fingerprint()
+            pending = []
+            for stage in self.stages:
+                key = stage_key(fingerprint, stage)
+                keys[stage.name] = key
+                payload = self.cache.load(stage.name, key)
+                if payload is not None:
+                    artifacts[stage.name] = stage.decode_artifact(payload)
+                    cached.append(stage.name)
+                else:
+                    pending.append(stage)
+
+        views_folded = 0
+        segments_folded = 0
+        segments_cached = 0
+        merged: list[AnalysisStage] = [stage.spawn() for stage in pending]
+        if pending:
+            labeler_fp = labeler_fingerprint(labeler, resolver)
+            # Probe first: per slice, spawn partials, restore the
+            # cached (slice, stage) states, and note the missing ones.
+            plan: list[tuple[
+                SegmentSlice,
+                list[AnalysisStage],
+                list[tuple[AnalysisStage, AnalysisStage, str]],
+            ]] = []
+            for entry in slices:
+                partials = [stage.spawn() for stage in pending]
+                missing: list[tuple[AnalysisStage, AnalysisStage, str]] = []
+                for stage, partial in zip(pending, partials):
+                    key = state_key(entry.lines_sha, labeler_fp, stage)
+                    payload = state_cache.load(stage.name, key)
+                    if payload is not None:
+                        partial.restore_state(payload)
+                    else:
+                        missing.append((stage, partial, key))
+                if missing:
+                    segments_folded += 1
+                else:
+                    segments_cached += 1
+                plan.append((entry, partials, missing))
+
+            # Fold each contiguous run of missing slices in a single
+            # streaming pass — one ranged read per run, not per slice,
+            # so a cold start costs one sweep and a warm one only the
+            # new tail.
+            i = 0
+            while i < len(plan):
+                if not plan[i][2]:
+                    i += 1
+                    continue
+                j = i
+                while (
+                    j + 1 < len(plan)
+                    and plan[j + 1][2]
+                    and plan[j + 1][0].start == plan[j][0].stop
+                ):
+                    j += 1
+                run = plan[i:j + 1]
+                cursor = 0
+                index = run[0][0].start
+                with self._span("classify"):
+                    for record in source.records_range(
+                        run[0][0].start, run[-1][0].stop
+                    ):
+                        while index >= run[cursor][0].stop:
+                            cursor += 1
+                        view = classify_one(record, labeler, resolver)
+                        views_folded += 1
+                        for _, partial, _ in run[cursor][2]:
+                            partial.fold(view)
+                        index += 1
+                for _, _, missing in run:
+                    for stage, partial, key in missing:
+                        state_cache.store(
+                            stage, key, partial.encode_state()
+                        )
+                i = j + 1
+
+            for _, partials, _ in plan:
+                merge_stage_lists([merged, partials])
+
+        for stage in merged:
+            with self._span(stage.name):
+                artifact = stage.finalize(ctx)
+            artifacts[stage.name] = artifact
+            if self.cache is not None:
+                self.cache.store(
+                    stage, keys[stage.name], stage.encode_artifact(artifact)
+                )
+
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.counter("analysis.incremental.slices_folded").add(
+                segments_folded
+            )
+            metrics.counter("analysis.incremental.slices_cached").add(
+                segments_cached
+            )
+            metrics.counter("analysis.views").add(views_folded)
+            if self.cache is not None:
+                metrics.counter("analysis.cache.hits").add(len(cached))
+                metrics.counter("analysis.cache.misses").add(len(pending))
+
+        return AnalysisResult(
+            meta=source.meta,
+            labeler=labeler,
+            resolver=resolver,
+            artifacts=artifacts,
+            computed=tuple(stage.name for stage in pending),
+            cached=tuple(cached),
+            views_folded=views_folded,
+            segments_folded=segments_folded,
+            segments_cached=segments_cached,
         )
 
 

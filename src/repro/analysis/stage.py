@@ -122,6 +122,31 @@ class AnalysisStage:
         """Reconstruct an artifact from :meth:`encode_artifact` output."""
         raise NotImplementedError
 
+    def encode_state(self) -> Any:
+        """Encode the *accumulator* state as canonical JSON-able data.
+
+        Used by the incremental engine to cache per-slice partial
+        folds. The default covers every built-in stage: accumulator
+        state lives in underscore-prefixed instance attributes
+        (configuration in public ones), encoded with the type-tagged
+        codec in :mod:`repro.analysis.state`. Stages holding state the
+        codec cannot express override the pair.
+        """
+        from repro.analysis.state import encode_value
+
+        return {
+            key: encode_value(value)
+            for key, value in sorted(vars(self).items())
+            if key.startswith("_")
+        }
+
+    def restore_state(self, payload: Any) -> None:
+        """Invert :meth:`encode_state` onto a fresh accumulator."""
+        from repro.analysis.state import decode_value
+
+        for key, value in payload.items():
+            setattr(self, key, decode_value(value))
+
 
 def fold_views(
     stage: AnalysisStage, views: Iterable["SocketView"]

@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from repro.util.atomicio import atomic_write
 from repro.cdp.events import (
     CdpEvent,
     RequestWillBeSent,
@@ -147,9 +148,6 @@ def _empty_response() -> dict:
 
 def save_har(path: str | Path, events: Iterable[CdpEvent]) -> Path:
     """Write a session's HAR document to disk; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(events_to_har(events), handle, indent=2,
-                  ensure_ascii=False)
-    return path
+    document = json.dumps(events_to_har(events), indent=2,
+                          ensure_ascii=False)
+    return atomic_write(Path(path), document + "\n")

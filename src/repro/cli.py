@@ -5,10 +5,19 @@ Commands:
 * ``study``   — run the four-crawl study and print every artifact
   (``--trace``/``--metrics-out`` export the observability artifacts;
   ``--faults`` injects a named fault profile; ``--checkpoint``
-  journals per-site completion for resume).
+  journals per-site completion for resume; ``--spool-dir`` journals
+  into a durable write-ahead spool instead — crash-safe,
+  quota-bounded via ``--spool-quota``).
 * ``analyze`` — re-analyze a dataset saved by ``study --dataset-out``
   in one streaming pass, serving unchanged stages from the
-  content-addressed artifact cache (``--no-cache`` bypasses it).
+  content-addressed artifact cache (``--no-cache`` bypasses it);
+  ``--incremental <spool-dir>`` folds only dataset slices whose
+  per-stage state is not already cached, using the spool's import
+  journal.
+* ``spool``   — the write-ahead spool: ``spool status <dir>`` prints
+  segments, bytes, and import state; ``spool import <dir> <dataset>``
+  drains sealed segments into the dataset (idempotent — re-running
+  is a no-op).
 * ``obs``     — summarize a trace JSONL written by ``study --trace``
   (``--json`` emits one machine-consumable object, ``--top N`` keeps
   the N heaviest stage rows).
@@ -36,7 +45,9 @@ contract violation (``lint``), 2 bad invocation or unreadable input,
 3 catastrophic degradation — a crawl exhausted its retries on every
 page and produced no data, 4 parallel execution failure — a shard
 worker died before the study could merge, 5 performance regression —
-``perf check`` found a gated metric past tolerance (see README.md).
+``perf check`` found a gated metric past tolerance, 6 spool quota
+hard breach — the spool is over budget with nothing evictable left
+(import or raise ``--spool-quota``) (see README.md).
 """
 
 from __future__ import annotations
@@ -121,6 +132,9 @@ def _render_degradation(summaries) -> str:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.spool import SpoolCorruptionError, SpoolQuotaExceeded
+    from repro.spool.segment import SpoolDiskFull
+
     config = _PRESETS[args.preset]
     if args.faults != config.faults:
         config = config.with_faults(args.faults)
@@ -128,16 +142,28 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(f"--workers must be >= 1, got {args.workers}",
               file=sys.stderr)
         return 2
+    if args.checkpoint and args.spool_dir:
+        print("--checkpoint and --spool-dir are exclusive journals; "
+              "pick one", file=sys.stderr)
+        return 2
     obs = Obs()
     if not args.quiet:
         obs.tracer.add_sink(_progress_sink(args.verbose))
     try:
         result = run_study(config, obs=obs,
                            checkpoint_path=args.checkpoint or None,
-                           workers=args.workers)
+                           workers=args.workers,
+                           spool_dir=args.spool_dir or None,
+                           spool_quota=args.spool_quota)
     except ParallelExecutionError as error:
         print(f"parallel execution failed: {error}", file=sys.stderr)
         return 4
+    except (SpoolQuotaExceeded, SpoolDiskFull) as error:
+        print(str(error), file=sys.stderr)
+        return 6
+    except SpoolCorruptionError as error:
+        print(f"spool is corrupt: {error}", file=sys.stderr)
+        return 2
     print(report_mod.render_table1(result.table1), "\n")
     print("TABLE 2 — top initiators")
     print(report_mod.render_table2(result.table2), "\n")
@@ -175,8 +201,51 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return _study_exit_code(result.summaries)
 
 
+def _spool_slices(spool_dir: str, dataset: str):
+    """Slices covering the dataset, from the spool's import journal.
+
+    Journal slices cover the spool-imported record ranges; any gaps
+    (records predating the journal, e.g. a ``--dataset-out`` file the
+    spool later extended) are filled with synthetic ``base:`` slices
+    content-addressed the same way, so incremental analysis always
+    sees a complete, contiguous tiling of the record region.
+    """
+    from pathlib import Path
+
+    from repro.analysis.engine import SegmentSlice
+    from repro.crawler.persistence import open_dataset
+    from repro.spool.importer import ImportState
+
+    state = ImportState.load(Path(spool_dir), Path(dataset))
+    reader = open_dataset(dataset)
+    slices = []
+    cursor = 0
+    for entry in state.slices:
+        if entry.stop <= entry.start:
+            continue
+        if entry.start < cursor:
+            raise ValueError(
+                f"import journal slices overlap at record {entry.start}"
+            )
+        if entry.start > cursor:
+            _, sha = reader.record_range_sha(cursor, entry.start)
+            slices.append(SegmentSlice(
+                f"base:{cursor}-{entry.start}", cursor, entry.start, sha
+            ))
+        slices.append(SegmentSlice(
+            entry.segment_id, entry.start, entry.stop, entry.lines_sha
+        ))
+        cursor = entry.stop
+    tail, sha = reader.record_range_sha(cursor, None)
+    if tail:
+        slices.append(SegmentSlice(
+            f"base:{cursor}-{cursor + tail}", cursor, cursor + tail, sha
+        ))
+    return slices
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis.cache import StageCache
+    from repro.analysis.cache import StageCache, StateCache
     from repro.analysis.engine import AnalysisEngine, DatasetSource
     from repro.analysis.stage import default_stages
     from repro.util.serialization import dumps
@@ -189,7 +258,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 2
     cache = None if args.no_cache else StageCache(args.cache_dir)
     engine = AnalysisEngine(stages=default_stages(), cache=cache)
-    result = engine.run(source)
+    if args.incremental:
+        try:
+            slices = _spool_slices(args.incremental, args.dataset)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot build slices from spool "
+                  f"{args.incremental!r}: {error}", file=sys.stderr)
+            return 2
+        result = engine.run_incremental(
+            source, slices, StateCache(args.cache_dir)
+        )
+        if not args.quiet:
+            print(
+                f"segment folds: {result.segments_cached} cached, "
+                f"{result.segments_folded} folded",
+                file=sys.stderr,
+            )
+    else:
+        result = engine.run(source)
     if args.json:
         payload = {
             "dataset": source.fingerprint(),
@@ -206,7 +292,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.report_out:
         from pathlib import Path
 
-        Path(args.report_out).write_text(output + "\n", encoding="utf-8")
+        from repro.util.atomicio import atomic_write
+
+        atomic_write(Path(args.report_out), output + "\n")
         if not args.quiet:
             print(f"report written to {args.report_out}", file=sys.stderr)
     else:
@@ -217,6 +305,75 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"{cache.misses} recomputed",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_spool_status(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.spool import SpoolCorruptionError, recover_spool
+    from repro.spool.importer import ImportState
+    from repro.spool.segment import list_segments
+
+    root = Path(args.spool_dir)
+    if not root.is_dir():
+        print(f"no spool directory at {root}", file=sys.stderr)
+        return 2
+    try:
+        report = recover_spool(root)
+    except SpoolCorruptionError as error:
+        print(f"spool is corrupt: {error}", file=sys.stderr)
+        return 2
+    try:
+        state = ImportState.load(root)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read import journal: {error}", file=sys.stderr)
+        return 2
+    imported = state.imported_ids
+    segments = list_segments(root)
+    total = 0
+    fresh = 0
+    for info in segments:
+        status = "open" if not info.sealed else (
+            "imported" if info.segment_id in imported else "sealed"
+        )
+        if info.sealed and info.segment_id not in imported:
+            fresh += 1
+        total += info.size
+        print(f"{info.segment_id:<24} {status:<9} {info.size:>12} bytes")
+    print(f"{len(segments)} segment(s), {total} bytes "
+          f"({fresh} sealed awaiting import)")
+    if report.torn_records or report.truncated_segments:
+        print(f"recovery: truncated {report.truncated_segments} torn "
+              f"segment(s) ({report.torn_records} torn record(s))")
+    if state.dataset_path is not None:
+        print(f"imports into {state.dataset_path} "
+              f"({len(imported)} segment(s) imported)")
+    return 0
+
+
+def _cmd_spool_import(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.spool import SpoolCorruptionError, import_spool
+
+    try:
+        result = import_spool(Path(args.spool_dir), Path(args.dataset))
+    except SpoolCorruptionError as error:
+        print(f"spool is corrupt: {error}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, KeyError) as error:
+        print(f"import failed: {error}", file=sys.stderr)
+        return 2
+    if result.no_op:
+        print("nothing to import (all sealed segments already imported)")
+        return 0
+    print(f"imported {len(result.imported_segments)} segment(s): "
+          f"{result.new_records} new socket records, "
+          f"{result.new_sites} sites ({result.deduped_sites} duplicate "
+          f"site(s) skipped)")
+    print(f"dataset {result.dataset_path}: {result.total_records} records "
+          f"(fingerprint {result.fingerprint[:16]})")
     return 0
 
 
@@ -466,6 +623,17 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--dataset-out", default="", dest="dataset_out",
                        help="write the full study dataset as JSONL "
                             "(.gz supported) for later `repro analyze`")
+    study.add_argument("--spool-dir", default="", dest="spool_dir",
+                       help="journal crawl progress into a durable "
+                            "write-ahead spool at this directory "
+                            "(crash-safe; drain with `repro spool "
+                            "import`)")
+    study.add_argument("--spool-quota", type=int, default=0,
+                       dest="spool_quota", metavar="BYTES",
+                       help="spool size budget; oldest imported segments "
+                            "are evicted to stay under it, and the study "
+                            "exits 6 if nothing evictable remains "
+                            "(0 = unlimited)")
     study.set_defaults(func=_cmd_study)
 
     analyze = sub.add_parser(
@@ -487,7 +655,32 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="cache_dir",
                          help="stage artifact cache directory "
                               "(default: results/cache)")
+    analyze.add_argument("--incremental", default="", metavar="SPOOL_DIR",
+                         help="fold incrementally using SPOOL_DIR's "
+                              "import journal: slices already analyzed "
+                              "restore from the state cache, only new "
+                              "ones re-read records")
     analyze.set_defaults(func=_cmd_analyze)
+
+    spool = sub.add_parser(
+        "spool",
+        help="inspect or drain a write-ahead crawl spool",
+    )
+    spool_sub = spool.add_subparsers(dest="spool_command", required=True)
+    sstatus = spool_sub.add_parser(
+        "status", help="recover and list a spool's segments"
+    )
+    sstatus.add_argument("spool_dir", help="spool directory")
+    sstatus.set_defaults(func=_cmd_spool_status)
+    simport = spool_sub.add_parser(
+        "import",
+        help="drain sealed segments into a dataset (idempotent)",
+    )
+    simport.add_argument("spool_dir", help="spool directory")
+    simport.add_argument("dataset",
+                         help="dataset JSONL (.gz supported) to create "
+                              "or extend")
+    simport.set_defaults(func=_cmd_spool_import)
 
     obs = sub.add_parser("obs", help="summarize a study trace file")
     obs.add_argument("trace", help="trace JSONL from `study --trace`")

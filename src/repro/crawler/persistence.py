@@ -180,7 +180,7 @@ def _item_counter_to_json(bucket: Counter) -> dict:
     }
 
 
-def _dataset_preamble(dataset: StudyDataset) -> list[dict]:
+def dataset_preamble(dataset: StudyDataset) -> list[dict]:
     """The header and aggregate lines preceding the socket records.
 
     Chain signatures get one ``kind: chain`` line each rather than one
@@ -241,7 +241,7 @@ def _dataset_preamble(dataset: StudyDataset) -> list[dict]:
 def _dataset_records(dataset: StudyDataset) -> Iterator[dict]:
     """Every JSONL line of the dataset file, in order."""
     return itertools.chain(
-        _dataset_preamble(dataset),
+        dataset_preamble(dataset),
         (socket_record_to_json(r) for r in dataset.socket_records),
     )
 
@@ -298,6 +298,9 @@ class DatasetReader:
             raise DatasetError(f"no such dataset file: {self.path}")
         self.meta, preamble = self._load_preamble()
         self.dataset = self._restore_dataset(preamble, engine)
+        #: Torn trailing records skipped by the last ``iter_records``
+        #: pass — 0 or 1 by construction.
+        self.torn_tail_skipped = 0
 
     def _load_preamble(self) -> tuple[DatasetMeta, dict[str, dict]]:
         header: dict | None = None
@@ -388,24 +391,123 @@ class DatasetReader:
                 dataset.crawl_pages[crawl.index] = crawl.pages
         return dataset
 
-    def iter_records(self) -> Iterator[SocketRecord]:
-        """Stream the socket records from disk, in file order.
+    @property
+    def preamble_lines(self) -> int:
+        """Lines before the first socket record (header + aggregates)."""
+        return self._preamble_lines
+
+    def iter_records(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[SocketRecord]:
+        """Stream socket records ``start`` ≤ index < ``stop``, in file order.
 
         The preamble prefix is skipped by line count, unparsed — the
         aggregate lines are the file's largest and re-decoding them on
         every pass would dominate the sweep's transient memory.
+
+        A torn *final* line (no trailing newline, undecodable — the
+        signature of a write cut off mid-record) is skipped and counted
+        in :attr:`torn_tail_skipped` instead of crashing the sweep;
+        any earlier undecodable line raises :class:`DatasetError`
+        naming its 1-based line number, since damage *inside* the file
+        cannot be explained by truncation.
+
+        Lines before ``start`` are counted without being decoded (the
+        record region holds one record per non-blank line — a writer
+        invariant of both :func:`save_dataset` and the spool importer),
+        so a ranged read of the file's tail costs O(range) decode work,
+        not O(file). Validation consequently covers only the decoded
+        range.
+        """
+        self.torn_tail_skipped = 0
+        lines = iter_lines(self.path)
+        line_number = 0
+        for _ in range(self._preamble_lines):
+            next(lines, None)
+            line_number += 1
+        index = 0
+        pending: tuple[int, str, Exception] | None = None
+        for line in lines:
+            line_number += 1
+            if pending is not None:
+                number, _, error = pending
+                raise DatasetError(
+                    f"{self.path}:{number}: undecodable socket record "
+                    f"({error})"
+                )
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if index < start:
+                index += 1
+                continue
+            try:
+                payload = json.loads(stripped)
+                if not isinstance(payload, dict):
+                    raise ValueError(
+                        f"record is {type(payload).__name__}, not an object"
+                    )
+                if "kind" in payload:
+                    continue
+                record = socket_record_from_json(payload)
+            except (ValueError, KeyError, TypeError) as error:
+                # Defer: only raise if another line follows. A bad
+                # FINAL line is a torn tail from an interrupted write
+                # and is skipped (exactly one); a bad interior line is
+                # corruption and must stop the sweep.
+                pending = (line_number, stripped, error)
+                continue
+            if index >= start and (stop is None or index < stop):
+                yield record
+            index += 1
+            if stop is not None and index >= stop:
+                return
+        if pending is not None:
+            self.torn_tail_skipped = 1
+
+    def record_range_sha(
+        self, start: int = 0, stop: int | None = None
+    ) -> tuple[int, str]:
+        """(count, SHA-256) of the record lines ``start`` ≤ i < ``stop``.
+
+        Hashes each record's canonical line (newline included) — the
+        same content address the spool import journal stores per
+        imported slice — so ``repro analyze --incremental`` can mint
+        matching state keys for dataset regions that predate the
+        journal (gap-fill base slices). A torn final line is excluded,
+        mirroring :meth:`iter_records`.
         """
         lines = iter_lines(self.path)
         for _ in range(self._preamble_lines):
             next(lines, None)
+        hasher = hashlib.sha256()
+        index = 0
+        held: str | None = None
         for line in lines:
             stripped = line.strip()
             if not stripped:
                 continue
-            payload = json.loads(stripped)
-            if "kind" in payload:
-                continue
-            yield socket_record_from_json(payload)
+            if held is not None:
+                # The held line has a successor, so it was a real
+                # interior record; commit it.
+                if index >= start and (stop is None or index < stop):
+                    hasher.update((held + "\n").encode("utf-8"))
+                index += 1
+                if stop is not None and index >= stop:
+                    return index - start, hasher.hexdigest()
+            held = stripped
+        if held is not None:
+            try:
+                payload = json.loads(held)
+                decodable = isinstance(payload, dict)
+            except ValueError:
+                decodable = False
+            if decodable:
+                if index >= start and (stop is None or index < stop):
+                    hasher.update((held + "\n").encode("utf-8"))
+                index += 1
+        limit = index if stop is None else min(index, stop)
+        return max(0, limit - start), hasher.hexdigest()
 
     def fingerprint(self) -> str:
         """The file's content address (see :func:`file_fingerprint`)."""
@@ -594,7 +696,7 @@ class SiteCheckpoint:
             summary.sites_quarantined += 1
 
 
-def _entry_to_json(entry: SiteCheckpoint) -> dict:
+def entry_to_json(entry: SiteCheckpoint) -> dict:
     return {
         "crawl": entry.crawl,
         "domain": entry.domain,
@@ -616,7 +718,7 @@ def _entry_to_json(entry: SiteCheckpoint) -> dict:
     }
 
 
-def _entry_from_json(payload: dict) -> SiteCheckpoint:
+def entry_from_json(payload: dict) -> SiteCheckpoint:
     return SiteCheckpoint(
         crawl=payload["crawl"],
         domain=payload["domain"],
@@ -660,7 +762,7 @@ class CrawlCheckpoint:
         self._entries: dict[tuple[int, str], SiteCheckpoint] = {}
         if self.path.exists():
             for payload in read_jsonl(self.path):
-                entry = _entry_from_json(payload)
+                entry = entry_from_json(payload)
                 self._entries[(entry.crawl, entry.domain)] = entry
 
     def __len__(self) -> int:
@@ -687,6 +789,6 @@ class CrawlCheckpoint:
         self._entries[(entry.crawl, entry.domain)] = entry
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(_entry_to_json(entry), sort_keys=True))
+            handle.write(json.dumps(entry_to_json(entry), sort_keys=True))
             handle.write("\n")
             handle.flush()

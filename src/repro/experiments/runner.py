@@ -283,19 +283,31 @@ def run_study(
     obs: Obs | None = None,
     checkpoint_path: str | Path | None = None,
     workers: int = 1,
+    spool_dir: str | Path | None = None,
+    spool_quota: int = 0,
 ) -> StudyResult:
     """Build the web, run the crawls, compute everything.
 
     An :class:`~repro.obs.Obs` context is created when none is passed,
     so every study carries its audit trail in ``result.obs``. With a
     ``checkpoint_path``, per-site completion is journaled there and a
-    rerun resumes from the journal. ``workers`` fans the crawl shards
-    out over a process pool without changing a byte of any artifact.
+    rerun resumes from the journal; with ``spool_dir`` the journal
+    instead goes through the durable write-ahead spool
+    (:mod:`repro.spool`) — crash-recovered on open, quota-bounded by
+    ``spool_quota`` bytes (0 = unlimited), and importable into a
+    dataset file with ``repro spool import``. The two are mutually
+    exclusive. ``workers`` fans the crawl shards out over a process
+    pool without changing a byte of any artifact.
     """
+    if checkpoint_path and spool_dir:
+        raise ValueError(
+            "pass either checkpoint_path or spool_dir, not both"
+        )
     obs = obs or Obs()
     checkpoint = (
         CrawlCheckpoint(checkpoint_path) if checkpoint_path else None
     )
+    spool_store = None
     with obs.span("study", preset=config.name, seed=config.seed):
         obs.event("stage", stage="build-web")
         with obs.span("build-web"):
@@ -304,10 +316,31 @@ def run_study(
                                entity_scale=config.scale),
                 seed=config.seed,
             )
+        if spool_dir is not None:
+            from repro.faults.injector import FaultInjector
+            from repro.faults.plan import profile_named
+            from repro.spool import SpoolJournal, SpoolStore
+
+            with obs.span("spool-open"):
+                spool_store = SpoolStore.open(
+                    spool_dir,
+                    quota_bytes=spool_quota,
+                    obs=obs,
+                    injector=FaultInjector(
+                        profile_named(config.faults), config.seed, "spool"
+                    ),
+                )
+                checkpoint = SpoolJournal(
+                    spool_store,
+                    {c.index: c.label
+                     for c in crawl_configs(web, config)},
+                )
         obs.event("stage", stage="crawls")
         dataset, summaries = run_crawls(web, config, obs=obs,
                                         checkpoint=checkpoint,
                                         workers=workers)
+        if spool_store is not None:
+            spool_store.seal_active()
         obs.event("stage", stage="analyze")
         result = analyze(config, web, dataset, summaries, obs=obs)
     # Re-freeze after the study span closed so its record is included.

@@ -134,6 +134,46 @@ class FaultInjector:
             "truncate", self.profile.truncate_frame, request_id, frame_index
         )
 
+    # -- spool faults --------------------------------------------------------
+
+    def spool_disk_full(self, segment_id: str, record_index: int) -> bool:
+        """Whether this spool append hits a simulated full disk."""
+        if self._decide(
+            "spool-full", self.profile.spool_disk_full,
+            segment_id, record_index,
+        ):
+            self.count("spool_disk_full")
+            return True
+        return False
+
+    def spool_torn_write(self, segment_id: str, record_index: int) -> bool:
+        """Whether the process dies mid-append, tearing this frame."""
+        if self._decide(
+            "spool-torn", self.profile.spool_torn_write,
+            segment_id, record_index,
+        ):
+            self.count("spool_torn_write")
+            return True
+        return False
+
+    def spool_torn_cut(
+        self, segment_id: str, record_index: int, frame_len: int
+    ) -> int:
+        """How many bytes of a torn frame reach disk (1 … len-1)."""
+        return self._rng.child(
+            "spool-torn-cut", segment_id, record_index
+        ).randint(1, max(1, frame_len - 1))
+
+    def spool_crash(self, segment_id: str, record_index: int) -> bool:
+        """Whether the process dies right after a complete append."""
+        if self._decide(
+            "spool-crash", self.profile.spool_crash,
+            segment_id, record_index,
+        ):
+            self.count("spool_crash")
+            return True
+        return False
+
     # -- event-stream faults -------------------------------------------------
 
     def event_action(self, event: CdpEvent) -> str:

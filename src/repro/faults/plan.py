@@ -61,6 +61,20 @@ class FaultProfile:
             after only a few data frames.
         truncate_frame: Per-frame probability a data frame's payload is
             cut short in transit.
+
+    Spool faults (consumed by the spool's
+    :class:`~repro.spool.segment.SegmentWriter` append path; all zero
+    in every named profile — the chaos CI job kills the real process,
+    and the crash-recovery property tests build custom profiles):
+
+    Attributes:
+        spool_disk_full: Per-append probability the spool reports
+            ENOSPC before writing — surfaces as a quota hard breach.
+        spool_torn_write: Per-append probability the process "dies"
+            mid-write, leaving a torn frame prefix on disk.
+        spool_crash: Per-append probability the process "dies" right
+            after a complete append (the record survives; everything
+            after it is lost).
     """
 
     name: str = "none"
@@ -75,6 +89,9 @@ class FaultProfile:
     handshake_refusal: float = 0.0
     midstream_close: float = 0.0
     truncate_frame: float = 0.0
+    spool_disk_full: float = 0.0
+    spool_torn_write: float = 0.0
+    spool_crash: float = 0.0
 
     @property
     def is_zero(self) -> bool:

@@ -28,6 +28,7 @@ from typing import Any
 from repro.cdp.bus import EventBus
 from repro.cdp.events import CdpEvent
 from repro.obs.tracer import ObsEvent, SpanAggregate, SpanRecord
+from repro.util.atomicio import atomic_write
 from repro.util.serialization import read_jsonl, write_jsonl
 
 TRACE_VERSION = 1
@@ -141,13 +142,11 @@ def write_trace(path: str | Path, summary: ObsSummary) -> int:
 
 def write_metrics(path: str | Path, summary: ObsSummary) -> None:
     """Write the metrics snapshot as one sorted, stable JSON document."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {"counters": summary.counters,
                "histograms": summary.histograms, **summary.meta}
-    path.write_text(
+    atomic_write(
+        Path(path),
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
 
 

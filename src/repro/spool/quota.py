@@ -1,0 +1,90 @@
+"""Quota-bounded degradation: keep the spool under a byte budget.
+
+The spool is a staging area, not an archive — once a sealed segment
+has been imported into the dataset its bytes are redundant, so the
+quota reclaims space in a strict preference order:
+
+1. Evict the oldest *imported* sealed segment (its records live on in
+   the dataset; the import journal's slices still describe them by
+   dataset line range, so incremental analysis is unaffected).
+2. Repeat until under budget.
+3. If the spool is still over budget with nothing evictable — every
+   remaining byte is unimported data that eviction would destroy —
+   raise :class:`SpoolQuotaExceeded`. The CLI maps that to its own
+   exit code (6): the operator must import or raise the quota; the
+   spool never silently drops records.
+
+A ``max_bytes`` of 0 disables the quota entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Collection
+
+from repro.spool.segment import SegmentInfo, delete_segment, list_segments
+
+
+class SpoolQuotaExceeded(RuntimeError):
+    """The quota is breached and no imported segment remains to evict.
+
+    Attributes:
+        needed: Bytes the spool would hold after the refused append.
+        max_bytes: The configured budget.
+    """
+
+    def __init__(self, needed: int, max_bytes: int) -> None:
+        super().__init__(
+            f"spool quota hard breach: {needed} bytes needed but the "
+            f"budget is {max_bytes} and every remaining segment holds "
+            "unimported records (run `repro spool import` or raise "
+            "--spool-quota)"
+        )
+        self.needed = needed
+        self.max_bytes = max_bytes
+
+
+@dataclass
+class EvictionReport:
+    """Segments reclaimed by one quota enforcement pass."""
+
+    evicted_segments: list[str] = field(default_factory=list)
+    evicted_bytes: int = 0
+
+
+def enforce_quota(
+    root: str | Path,
+    max_bytes: int,
+    incoming_bytes: int,
+    imported_ids: Collection[str],
+) -> EvictionReport:
+    """Make room for ``incoming_bytes`` more spool data.
+
+    Evicts oldest-first among imported sealed segments until the spool
+    (plus the incoming write) fits in ``max_bytes``; raises
+    :class:`SpoolQuotaExceeded` when it cannot. With ``max_bytes`` 0
+    this is a no-op.
+    """
+    report = EvictionReport()
+    if max_bytes <= 0:
+        return report
+    segments = list_segments(root)
+    total = sum(info.size for info in segments) + incoming_bytes
+    if total <= max_bytes:
+        return report
+    evictable = sorted(
+        (info for info in segments
+         if info.sealed and info.segment_id in imported_ids),
+        key=lambda info: (info.seq, info.shard),
+    )
+    for info in evictable:
+        if total <= max_bytes:
+            break
+        delete_segment(info.path)
+        total -= info.size
+        report.evicted_segments.append(info.segment_id)
+        report.evicted_bytes += info.size
+    if total > max_bytes:
+        raise SpoolQuotaExceeded(total, max_bytes)
+    return report

@@ -1,0 +1,121 @@
+"""Crash recovery: restore the spool invariant on open.
+
+The invariant every other spool component assumes: **every segment on
+disk is a sequence of whole, checksummed frames starting with a valid
+header**. A crash mid-append can break it in exactly one shape — an
+incomplete frame at the tail of the segment being written (the length
+prefix or payload cut off by the death of the process). Recovery
+detects that shape and repairs it by truncating the file back to the
+last whole frame, counting what it removed.
+
+Anything else — a checksum mismatch on a *complete* frame, an absurd
+length field with the bytes present, undecodable payload, a missing
+or foreign header — cannot be produced by truncation. That is bit
+corruption or an alien file, and silently "recovering" it would
+fabricate data loss the operator never saw; it raises
+:class:`SpoolCorruptionError` instead.
+
+Recovery is deliberately read-then-truncate-only: it decides *where*
+to cut and delegates the single filesystem write to
+:func:`repro.spool.segment.truncate_segment` — the contract the
+``SPOOL-RO`` flow-zone rule enforces statically.
+
+A torn tail whose header frame itself is cut (a segment created but
+killed before the header flush completed) recovers to an empty file,
+which the store then discards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.spool.format import FrameError, check_header
+from repro.spool.segment import (
+    SegmentInfo,
+    list_segments,
+    scan_segment,
+    truncate_segment,
+)
+
+
+class SpoolCorruptionError(RuntimeError):
+    """A segment is damaged in a way truncation cannot explain.
+
+    Attributes:
+        path: The offending segment file.
+        offset: Byte offset of the undecodable frame.
+    """
+
+    def __init__(self, path: Path, offset: int, reason: str) -> None:
+        super().__init__(
+            f"{path}: {reason} — not a torn tail; refusing to repair "
+            "(move the segment aside or delete it to proceed)"
+        )
+        self.path = path
+        self.offset = offset
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and repaired.
+
+    Attributes:
+        segments_scanned: Segment files examined.
+        records_kept: Whole records surviving across all segments.
+        torn_records: Incomplete tail records truncated away —
+            at most one per segment, by construction.
+        truncated_segments: Segment ids that lost a torn tail.
+        empty_segments: Segment ids recovered to header-or-less
+            (killed before any record survived).
+    """
+
+    segments_scanned: int = 0
+    records_kept: int = 0
+    torn_records: int = 0
+    truncated_segments: list[str] = field(default_factory=list)
+    empty_segments: list[str] = field(default_factory=list)
+
+
+def recover_segment(info: SegmentInfo, report: RecoveryReport) -> None:
+    """Scan one segment; truncate its torn tail if it has one."""
+    report.segments_scanned += 1
+    frames = []
+    torn_at: int | None = None
+    try:
+        for frame in scan_segment(info.path):
+            frames.append(frame)
+    except FrameError as error:
+        if error.kind != "torn":
+            raise SpoolCorruptionError(
+                info.path, error.offset, str(error)
+            ) from None
+        torn_at = error.offset
+    if frames:
+        try:
+            check_header(frames[0].payload, str(info.path))
+        except ValueError as error:
+            raise SpoolCorruptionError(info.path, 0, str(error)) from None
+    if torn_at is not None:
+        truncate_segment(info.path, torn_at)
+        report.torn_records += 1
+        report.truncated_segments.append(info.segment_id)
+    report.records_kept += max(0, len(frames) - 1)
+    if len(frames) <= 1:
+        report.empty_segments.append(info.segment_id)
+
+
+def recover_spool(root: str | Path) -> RecoveryReport:
+    """Scan every segment under ``root``; repair torn tails.
+
+    Returns the report; raises :class:`SpoolCorruptionError` on the
+    first segment whose damage is not a clean truncation. Sealed and
+    open segments are held to the same invariant — a sealed segment
+    was fsync'd before its rename, so a torn tail there is unexpected
+    but repaired identically (rename-before-fsync reorderings on
+    power loss produce exactly that shape).
+    """
+    report = RecoveryReport()
+    for info in list_segments(root):
+        recover_segment(info, report)
+    return report

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.util.atomicio import atomic_write
 from repro.staticlint.diagnostics import (
     Diagnostic,
     LintReport,
@@ -65,9 +66,9 @@ def write_baseline(path: Path, report: LintReport) -> frozenset[str]:
         "baseline_format": BASELINE_FORMAT_VERSION,
         "entries": entries,
     }
-    path.write_text(
+    atomic_write(
+        path,
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
     return frozenset(entries)
 

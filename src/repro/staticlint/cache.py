@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 
 from repro.staticlint.modgraph import FACTS_VERSION, FileFacts
+from repro.util.atomicio import atomic_write
 
 CACHE_FORMAT_VERSION = 1
 DEFAULT_FLOW_CACHE_DIR = Path("results/cache/staticlint")
@@ -89,15 +90,14 @@ class FactsCache:
         """Persist one file's extracted facts; returns the entry path."""
         key = facts_key(facts.path, facts.sha256)
         path = self._path(facts.path, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "cache_format": CACHE_FORMAT_VERSION,
             "key": key,
             "facts": facts.to_json(),
         }
-        path.write_text(
+        atomic_write(
+            path,
             json.dumps(payload, sort_keys=True, separators=(",", ":"))
             + "\n",
-            encoding="utf-8",
         )
         return path

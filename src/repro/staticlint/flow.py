@@ -26,6 +26,12 @@ enforces three *zone contracts* that per-file syntactic linting cannot:
   ``repro.obs.history`` (the benchmark history append), masks the
   effect at its boundary exactly like the RNG/clock wrappers do for
   the determinism zones.
+* ``SPOOL-RO`` — **spool-recovery read-only zone**: crash recovery
+  (``repro.spool.recovery``) scans damaged segments and must not
+  write through any path except the one sanctioned repair primitive,
+  ``truncate_segment`` in ``repro.spool.segment`` — a recovery pass
+  that could write anywhere else might destroy the very evidence
+  (a torn tail, a corrupt frame) it exists to adjudicate.
 
 Every interprocedural finding carries the full call chain from the
 zone entry point to the effect's origin, both rendered in the message
@@ -74,7 +80,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "web": 3, "extension": 3, "content": 3,
     "browser": 4, "staticlint": 4,
     "crawler": 5,
-    "parallel": 6, "analysis": 6,
+    "parallel": 6, "analysis": 6, "spool": 6,
     "experiments": 7,
     "": 8,
 }
@@ -97,6 +103,11 @@ class FlowConfig:
         perf_sink_modules: The sanctioned persistence boundary for
             that zone — ``fs-write`` does not propagate out of calls
             into these modules (the history append path).
+        spool_readonly_prefixes: Dotted module prefixes forming the
+            spool-recovery read-only zone (no ``fs-write``).
+        spool_sink_modules: The sanctioned repair boundary for that
+            zone — segment primitives (``truncate_segment``) are the
+            only place recovery-driven writes may happen.
     """
 
     root_package: str = "repro"
@@ -104,7 +115,7 @@ class FlowConfig:
         default_factory=lambda: dict(DEFAULT_LAYERS)
     )
     determinism_zones: frozenset[str] = frozenset(
-        {"crawler", "analysis", "faults", "parallel"}
+        {"crawler", "analysis", "faults", "parallel", "spool"}
     )
     hot_path_prefixes: tuple[str, ...] = (
         "repro.browser", "repro.cdp", "repro.crawler.crawler",
@@ -117,6 +128,12 @@ class FlowConfig:
     )
     perf_sink_modules: frozenset[str] = frozenset(
         {"repro.obs.history"}
+    )
+    spool_readonly_prefixes: tuple[str, ...] = (
+        "repro.spool.recovery",
+    )
+    spool_sink_modules: frozenset[str] = frozenset(
+        {"repro.spool.segment"}
     )
 
     def package_of(self, module: str, packages: frozenset[str]) -> str:
@@ -140,6 +157,12 @@ class FlowConfig:
         return any(
             module == prefix or module.startswith(prefix + ".")
             for prefix in self.perf_readonly_prefixes
+        )
+
+    def in_spool_zone(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.spool_readonly_prefixes
         )
 
     def mask(self, node_module: str, effects: frozenset[str]) -> frozenset[str]:
@@ -498,6 +521,20 @@ def analyze_facts(
         "OBS-PERF", "perf analytics (read-only over traces)",
         "analytics must not write; route persistence through "
         "repro.obs.history, the sanctioned history append path",
+    ))
+
+    def spool_mask(module: str, node_effects: frozenset[str]) -> frozenset[str]:
+        node_effects = config.mask(module, node_effects)
+        if module in config.spool_sink_modules:
+            return node_effects - {FS_WRITE}
+        return node_effects
+
+    flow_report.extend(_zone_findings(
+        graph, effects, config.in_spool_zone,
+        frozenset({FS_WRITE}), spool_mask,
+        "SPOOL-RO", "spool recovery (read-only over segments)",
+        "recovery must not write; the one sanctioned repair is "
+        "truncate_segment in repro.spool.segment",
     ))
     flow_report.extend(_layer_findings(graph, config))
 

@@ -88,7 +88,8 @@ class FullLintResult:
         dispatch."""
         failing = [
             d for d in self.report.errors
-            if d.rule_id.startswith(("DET-", "API-", "FLOW-", "OBS-"))
+            if d.rule_id.startswith(("DET-", "API-", "FLOW-", "OBS-",
+                                     "SPOOL-"))
             or d.rule_id == "WR-XCHECK"
         ]
         return 1 if failing else 0

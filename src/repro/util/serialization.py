@@ -14,6 +14,8 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.util.atomicio import atomic_open
+
 
 def to_jsonable(value: Any) -> Any:
     """Convert dataclasses/datetimes/sets into JSON-encodable structures."""
@@ -42,12 +44,6 @@ def dumps(value: Any) -> str:
     return json.dumps(to_jsonable(value), separators=(",", ":"), sort_keys=True)
 
 
-def _open_for_write(path: Path):
-    if path.suffix == ".gz":
-        return gzip.open(path, "wt", encoding="utf-8")
-    return open(path, "w", encoding="utf-8")
-
-
 def _open_for_read(path: Path):
     if path.suffix == ".gz":
         return gzip.open(path, "rt", encoding="utf-8")
@@ -55,11 +51,14 @@ def _open_for_read(path: Path):
 
 
 def write_jsonl(path: str | Path, records: Iterable[Any]) -> int:
-    """Write records to a JSONL (optionally .gz) file; returns the count."""
+    """Write records to a JSONL (optionally .gz) file; returns the count.
+
+    The write is atomic (temp file + rename): a crash mid-write leaves
+    the previous file intact rather than a torn one.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
-    with _open_for_write(path) as handle:
+    with atomic_open(path) as handle:
         for record in records:
             handle.write(dumps(record))
             handle.write("\n")

@@ -1,0 +1,51 @@
+"""Spool test fixtures.
+
+One small spooled study runs per session and feeds the importer,
+incremental-analysis, and crash-resume tests; everything that mutates
+spool state works on a copy, never the session spool itself.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import StudyConfig
+from repro.experiments.runner import run_study
+from repro.spool import SpoolStore
+from repro.spool.segment import list_segments, read_segment
+
+SPOOL_STUDY_CONFIG = StudyConfig(
+    scale=0.004, sample_scale=0.002, pages_per_site=2, name="spool-test"
+)
+
+
+@pytest.fixture(scope="session")
+def spooled(tmp_path_factory):
+    """(spool root, StudyResult) of one spooled smoke-scale study."""
+    root = tmp_path_factory.mktemp("spooled-study") / "spool"
+    result = run_study(SPOOL_STUDY_CONFIG, spool_dir=root)
+    return root, result
+
+
+@pytest.fixture()
+def spool_copy(spooled, tmp_path):
+    """A private, mutable copy of the session spool."""
+    src, _result = spooled
+    dst = tmp_path / "spool"
+    shutil.copytree(src, dst)
+    return dst
+
+
+def respool(src: Path, dst: Path, segment_bytes: int) -> SpoolStore:
+    """Re-append every payload of ``src`` into ``dst`` with smaller
+    segments — the pattern tests use to get many segments per shard
+    out of one small study."""
+    store = SpoolStore.open(dst, segment_bytes=segment_bytes)
+    for info in list_segments(src):
+        for payload in read_segment(info.path):
+            store.append(info.shard, payload)
+    store.seal_active()
+    return store

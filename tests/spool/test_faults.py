@@ -1,0 +1,95 @@
+"""Injected spool faults: torn writes, crashes, and full disks.
+
+These drive the same append path the study uses, with probabilities
+pinned to 1 so each fault kind fires deterministically; recovery must
+restore the invariant every time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import NONE_PROFILE, FaultProfile
+from repro.spool.segment import (
+    SegmentWriter,
+    SpoolCrash,
+    SpoolDiskFull,
+    SpoolTornWrite,
+    read_segment,
+)
+from repro.spool.store import SpoolStore
+
+
+def injector(**probabilities) -> FaultInjector:
+    profile = FaultProfile(name="spool-test", **probabilities)
+    return FaultInjector(profile, 2017, "spool")
+
+
+class TestInjectedFaults:
+    def test_torn_write_leaves_a_recoverable_prefix(self, tmp_path):
+        writer = SegmentWriter(
+            tmp_path, "crawl00", 1, injector=injector(spool_torn_write=1.0)
+        )
+        with pytest.raises(SpoolTornWrite):
+            writer.append({"t": "site", "n": 0})
+        writer.close()
+        # A partial frame is on disk; recovery truncates it and the
+        # header-only remnant is discarded on open.
+        store = SpoolStore.open(tmp_path)
+        assert store.recovery.torn_records == 1
+        assert store.segments() == []
+
+    def test_crash_after_append_keeps_the_record(self, tmp_path):
+        writer = SegmentWriter(
+            tmp_path, "crawl00", 1, injector=injector(spool_crash=1.0)
+        )
+        with pytest.raises(SpoolCrash):
+            writer.append({"t": "site", "n": 7})
+        writer.close()
+        store = SpoolStore.open(tmp_path)
+        assert store.recovery.torn_records == 0
+        [info] = store.segments()
+        assert read_segment(info.path) == [{"t": "site", "n": 7}]
+
+    def test_disk_full_raises_before_writing(self, tmp_path):
+        writer = SegmentWriter(
+            tmp_path, "crawl00", 1, injector=injector(spool_disk_full=1.0)
+        )
+        with pytest.raises(SpoolDiskFull):
+            writer.append({"t": "site", "n": 0})
+        writer.close()
+        store = SpoolStore.open(tmp_path)
+        # Nothing but the header ever hit the disk.
+        assert store.recovery.torn_records == 0
+        assert store.segments() == []
+
+    def test_none_profile_is_byte_identical_to_no_injector(self, tmp_path):
+        items = [{"t": "site", "n": index} for index in range(6)]
+        plain_root = tmp_path / "plain"
+        none_root = tmp_path / "none"
+        for root, inj in (
+            (plain_root, None),
+            (none_root, FaultInjector(NONE_PROFILE, 2017, "spool")),
+        ):
+            writer = SegmentWriter(root, "crawl00", 1, injector=inj)
+            for payload in items:
+                writer.append(payload)
+            writer.seal()
+        plain = (plain_root / "crawl00-000001.seg").read_bytes()
+        none = (none_root / "crawl00-000001.seg").read_bytes()
+        assert plain == none
+
+    def test_torn_cut_is_a_strict_prefix(self, tmp_path):
+        writer = SegmentWriter(
+            tmp_path, "crawl00", 1, injector=injector(spool_torn_write=1.0)
+        )
+        with pytest.raises(SpoolTornWrite):
+            writer.append({"t": "site", "payload": "x" * 64})
+        size_with_partial = writer.active_path.stat().st_size
+        writer.close()
+        from repro.spool.format import encode_frame, header_payload
+
+        header_len = len(encode_frame(header_payload("crawl00", 1)))
+        frame_len = len(encode_frame({"t": "site", "payload": "x" * 64}))
+        assert header_len < size_with_partial < header_len + frame_len

@@ -1,0 +1,129 @@
+"""Frame-format unit and property tests.
+
+The format's load-bearing claim: cutting a valid frame stream at any
+byte offset produces a decodable prefix of whole frames plus exactly
+one detectable torn tail — and nothing else.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spool.format import (
+    MAX_FRAME_BYTES,
+    PREFIX_BYTES,
+    Frame,
+    FrameError,
+    check_header,
+    encode_frame,
+    header_payload,
+    scan_frames,
+)
+
+payloads = st.lists(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(st.integers(), st.text(max_size=16), st.booleans()),
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def encode_stream(items: list[dict]) -> bytes:
+    return b"".join(encode_frame(payload) for payload in items)
+
+
+class TestRoundTrip:
+    def test_scan_inverts_encode(self):
+        items = [header_payload("crawl00", 1), {"t": "site", "n": 1}]
+        frames = list(scan_frames(encode_stream(items)))
+        assert [frame.payload for frame in frames] == items
+        assert frames[0].offset == 0
+        assert frames[1].offset == frames[0].end
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(scan_frames(b"")) == []
+
+    def test_header_checks(self):
+        check_header(header_payload("crawl00", 3), "seg")
+        with pytest.raises(ValueError, match="not a repro.spool"):
+            check_header({"format": "other"}, "seg")
+        with pytest.raises(ValueError, match="version"):
+            check_header({"format": "repro.spool", "version": 99}, "seg")
+
+
+class TestDamageKinds:
+    def test_cut_length_prefix_is_torn(self):
+        data = encode_stream([{"a": 1}])
+        with pytest.raises(FrameError) as excinfo:
+            list(scan_frames(data + b"\x00\x00"))
+        assert excinfo.value.kind == "torn"
+        assert excinfo.value.offset == len(data)
+
+    def test_cut_payload_is_torn(self):
+        data = encode_stream([{"a": 1}, {"b": 2}])
+        with pytest.raises(FrameError) as excinfo:
+            list(scan_frames(data[:-3]))
+        assert excinfo.value.kind == "torn"
+
+    def test_checksum_mismatch_is_corrupt(self):
+        data = bytearray(encode_stream([{"a": 1}]))
+        data[-1] ^= 0x40  # flip a payload bit; the frame stays complete
+        with pytest.raises(FrameError) as excinfo:
+            list(scan_frames(bytes(data)))
+        assert excinfo.value.kind == "corrupt"
+
+    def test_absurd_length_is_corrupt_even_with_bytes_present(self):
+        bogus = struct.pack(">II", MAX_FRAME_BYTES + 1, 0)
+        data = bogus + b"\x00" * 64
+        with pytest.raises(FrameError) as excinfo:
+            list(scan_frames(data))
+        assert excinfo.value.kind == "corrupt"
+
+    def test_non_object_payload_is_corrupt(self):
+        body = b"[1,2]"
+        import zlib
+
+        frame = struct.pack(">II", len(body), zlib.crc32(body)) + body
+        with pytest.raises(FrameError) as excinfo:
+            list(scan_frames(frame))
+        assert excinfo.value.kind == "corrupt"
+
+
+class TestTruncationProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(items=payloads, data=st.data())
+    def test_any_cut_leaves_whole_prefix_plus_torn_tail(self, items, data):
+        stream = encode_stream(items)
+        cut = data.draw(st.integers(min_value=0, max_value=len(stream)))
+        frames: list[Frame] = []
+        torn = False
+        try:
+            for frame in scan_frames(stream[:cut]):
+                frames.append(frame)
+        except FrameError as error:
+            assert error.kind == "torn"
+            torn = True
+        # The decoded prefix is exactly the frames that fit whole.
+        assert [f.payload for f in frames] == items[: len(frames)]
+        if frames:
+            assert frames[-1].end <= cut
+        # A cut on a frame boundary is clean; anywhere else is torn.
+        boundaries = {0}
+        offset = 0
+        for payload in items:
+            offset += len(encode_frame(payload))
+            boundaries.add(offset)
+        assert torn == (cut not in boundaries)
+        if torn:
+            # The torn tail starts exactly at the last whole frame's end.
+            tail_start = frames[-1].end if frames else 0
+            assert cut - tail_start < PREFIX_BYTES + len(
+                encode_frame(items[len(frames)])
+            )

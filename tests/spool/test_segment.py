@@ -1,0 +1,100 @@
+"""Segment writer, rotation, and naming unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spool.format import encode_frame, header_payload
+from repro.spool.segment import (
+    OPEN_SUFFIX,
+    SEALED_SUFFIX,
+    SegmentWriter,
+    list_segments,
+    parse_segment_id,
+    read_segment,
+    seal_segment,
+    segment_name,
+    truncate_segment,
+)
+
+
+class TestNaming:
+    def test_segment_name_round_trips(self):
+        name = segment_name("crawl02", 7)
+        assert name == "crawl02-000007"
+        assert parse_segment_id(name) == ("crawl02", 7)
+
+    def test_parse_rejects_foreign_names(self):
+        with pytest.raises(ValueError):
+            parse_segment_id("not-a-segment-name-xx")
+
+
+class TestWriter:
+    def test_append_then_read_round_trips(self, tmp_path):
+        writer = SegmentWriter(tmp_path, "crawl00", 1)
+        items = [{"t": "site", "n": index} for index in range(5)]
+        for payload in items:
+            writer.append(payload)
+        sealed = writer.seal()
+        assert sealed is not None
+        assert sealed.suffix == SEALED_SUFFIX
+        assert read_segment(sealed) == items
+
+    def test_rotation_seals_and_advances_seq(self, tmp_path):
+        frame = encode_frame({"t": "site", "n": 0})
+        writer = SegmentWriter(
+            tmp_path, "crawl00", 1, segment_bytes=3 * len(frame)
+        )
+        for index in range(10):
+            writer.append({"t": "site", "n": index})
+        writer.seal()
+        infos = list_segments(tmp_path)
+        assert len(infos) > 1
+        assert [info.seq for info in infos] == list(
+            range(1, len(infos) + 1)
+        )
+        assert all(info.sealed for info in infos)
+        replayed = [
+            payload
+            for info in infos
+            for payload in read_segment(info.path)
+        ]
+        assert replayed == [{"t": "site", "n": i} for i in range(10)]
+
+    def test_empty_segment_is_discarded_not_sealed(self, tmp_path):
+        writer = SegmentWriter(tmp_path, "crawl00", 1)
+        writer.append({"t": "site", "n": 0})
+        writer.seal()
+        # Sealing again with nothing appended must not leave a
+        # header-only segment behind.
+        assert writer.seal() is None
+        assert len(list_segments(tmp_path)) == 1
+
+    def test_read_segment_validates_header(self, tmp_path):
+        path = tmp_path / ("crawl00-000001" + OPEN_SUFFIX)
+        path.write_bytes(encode_frame({"format": "other"}))
+        with pytest.raises(ValueError, match="not a repro.spool"):
+            read_segment(path)
+
+
+class TestFileOps:
+    def test_truncate_segment_cuts_exactly(self, tmp_path):
+        path = tmp_path / ("crawl00-000001" + OPEN_SUFFIX)
+        header = encode_frame(header_payload("crawl00", 1))
+        path.write_bytes(header + b"junk-tail")
+        truncate_segment(path, len(header))
+        assert path.read_bytes() == header
+
+    def test_seal_renames_open_to_seg(self, tmp_path):
+        path = tmp_path / ("crawl01-000003" + OPEN_SUFFIX)
+        path.write_bytes(encode_frame(header_payload("crawl01", 3)))
+        sealed = seal_segment(path)
+        assert sealed.name == "crawl01-000003" + SEALED_SUFFIX
+        assert not path.exists()
+
+    def test_list_segments_orders_by_shard_then_seq(self, tmp_path):
+        for shard, seq in [("crawl01", 2), ("crawl00", 1), ("crawl01", 1)]:
+            path = tmp_path / (segment_name(shard, seq) + SEALED_SUFFIX)
+            path.write_bytes(encode_frame(header_payload(shard, seq)))
+        ids = [info.segment_id for info in list_segments(tmp_path)]
+        assert ids == ["crawl00-000001", "crawl01-000001", "crawl01-000002"]

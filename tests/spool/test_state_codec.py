@@ -1,0 +1,95 @@
+"""Stage-state codec round-trip properties, over every registered stage.
+
+``encode_state`` must survive a JSON round trip and ``restore_state``
+must rebuild an accumulator that is behaviorally indistinguishable:
+same re-encoded state, same artifacts after further folds and merges.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stage import StageContext, registered_stages
+from repro.util.serialization import dumps
+
+MAX_VIEWS = 40
+
+
+@pytest.fixture(scope="module")
+def view_pool(tiny_study):
+    views = tiny_study.views
+    pool = [view for index, view in enumerate(views) if index % 5 == 0]
+    assert len(pool) >= MAX_VIEWS
+    return pool[:MAX_VIEWS]
+
+
+@pytest.fixture(scope="module")
+def ctx(tiny_study):
+    return StageContext(
+        meta=tiny_study.dataset.meta,
+        labeler=tiny_study.labeler,
+        resolver=tiny_study.resolver,
+        engine=tiny_study.dataset.engine,
+        dataset=tiny_study.dataset,
+    )
+
+
+@pytest.mark.parametrize("stage_name", sorted(registered_stages()))
+@given(
+    indices=st.lists(
+        st.integers(min_value=0, max_value=MAX_VIEWS - 1),
+        max_size=MAX_VIEWS,
+    ),
+    extra=st.lists(
+        st.integers(min_value=0, max_value=MAX_VIEWS - 1), max_size=8
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_state_round_trips_through_json(
+    stage_name, indices, extra, view_pool, ctx
+):
+    stage_cls = registered_stages()[stage_name]
+    folded = stage_cls()
+    for index in indices:
+        folded.fold(view_pool[index])
+
+    # The wire trip the state cache performs: encode → JSON → restore.
+    payload = json.loads(json.dumps(folded.encode_state()))
+    restored = stage_cls()
+    restored.restore_state(payload)
+    assert dumps(restored.encode_state()) == dumps(folded.encode_state())
+
+    # Behavioral equivalence: further folds and the finalized artifact
+    # cannot tell the restored accumulator from the original.
+    for index in extra:
+        folded.fold(view_pool[index])
+        restored.fold(view_pool[index])
+    assert dumps(restored.finalize(ctx)) == dumps(folded.finalize(ctx))
+
+
+@pytest.mark.parametrize("stage_name", sorted(registered_stages()))
+def test_restored_state_merges_like_the_original(
+    stage_name, view_pool, ctx
+):
+    stage_cls = registered_stages()[stage_name]
+    left, right = stage_cls(), stage_cls()
+    for view in view_pool[: MAX_VIEWS // 2]:
+        left.fold(view)
+    for view in view_pool[MAX_VIEWS // 2:]:
+        right.fold(view)
+
+    direct = stage_cls()
+    direct.merge(left)
+    direct.merge(right)
+
+    via_cache = stage_cls()
+    thawed = stage_cls()
+    thawed.restore_state(json.loads(json.dumps(left.encode_state())))
+    via_cache.merge(thawed)
+    via_cache.merge(right)
+
+    assert dumps(via_cache.finalize(ctx)) == dumps(direct.finalize(ctx))

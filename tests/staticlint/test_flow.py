@@ -342,6 +342,113 @@ class TestPerfReadonlyZone:
         assert analysis.flow_report.by_rule("OBS-PERF") == []
 
 
+class TestSpoolReadonlyZone:
+    """SPOOL-RO: crash recovery must not write the filesystem."""
+
+    _SPOOL_INITS = {
+        "repro/__init__.py": "",
+        "repro/spool/__init__.py": "",
+    }
+
+    def test_interprocedural_repair_leak_is_flagged(self, tmp_path):
+        # recover -> patch -> rewrite: the write sits TWO calls
+        # outside the read-only zone.
+        root = _tree(tmp_path, {
+            **self._SPOOL_INITS,
+            "repro/spool/repair.py": (
+                "def rewrite(path, data):\n"
+                "    path.write_bytes(data)\n"
+                "def patch(path, data):\n"
+                "    rewrite(path, data)\n"
+            ),
+            "repro/spool/recovery.py": (
+                "from repro.spool.repair import patch\n"
+                "def recover(path, data):\n"
+                "    patch(path, data)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("SPOOL-RO")
+        assert len(findings) == 1
+        diag = findings[0]
+        assert diag.source == "repro/spool/recovery.py:2"
+        assert diag.trace == (
+            "repro.spool.recovery.recover",
+            "repro.spool.repair.patch",
+            "repro.spool.repair.rewrite",
+        )
+        assert "fs-write" in diag.message
+        assert "truncate_segment" in diag.fix_hint
+        assert diag.baseline_key == (
+            "SPOOL-RO::repro.spool.recovery:recover::fs-write"
+        )
+
+    def test_truncate_sink_absorbs_the_write(self, tmp_path):
+        # The one sanctioned repair — truncation routed through
+        # repro.spool.segment — is the designed shape; no finding.
+        root = _tree(tmp_path, {
+            **self._SPOOL_INITS,
+            "repro/spool/segment.py": (
+                "def truncate_segment(path, size):\n"
+                "    with path.open('r+b') as handle:\n"
+                "        handle.truncate(size)\n"
+            ),
+            "repro/spool/recovery.py": (
+                "from repro.spool.segment import truncate_segment\n"
+                "def recover(path, size):\n"
+                "    truncate_segment(path, size)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("SPOOL-RO") == []
+        # The mask silences the zone finding only; the effect summary
+        # never lies — both functions still show the write.
+        assert "fs-write" in \
+            analysis.effects["repro.spool.segment:truncate_segment"]
+        assert "fs-write" in \
+            analysis.effects["repro.spool.recovery:recover"]
+
+    def test_scanning_segments_is_fine(self, tmp_path):
+        root = _tree(tmp_path, {
+            **self._SPOOL_INITS,
+            "repro/spool/recovery.py": (
+                "def scan(path):\n"
+                "    with open(path, 'rb') as handle:\n"
+                "        return handle.read()\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("SPOOL-RO") == []
+
+    def test_writes_outside_the_zone_are_not_spool_ro(self, tmp_path):
+        root = _tree(tmp_path, {
+            **self._SPOOL_INITS,
+            "repro/spool/store.py": (
+                "def append(path, data):\n"
+                "    path.write_bytes(data)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("SPOOL-RO") == []
+
+    def test_spool_finding_gates_the_exit_code(self, tmp_path):
+        from repro.staticlint.runner import FullLintResult
+
+        root = _tree(tmp_path, {
+            **self._SPOOL_INITS,
+            "repro/spool/recovery.py": (
+                "def recover(path, data):\n"
+                "    path.write_bytes(data)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        result = FullLintResult(flow_report=analysis.flow_report)
+        for diag in analysis.flow_report.diagnostics:
+            result.report.add(diag)
+        assert [d.rule_id for d in result.report.errors] == ["SPOOL-RO"]
+        assert result.exit_code == 1
+
+
 class TestSelfAnalysis:
     @pytest.fixture(scope="class")
     def self_analysis(self):
@@ -352,6 +459,9 @@ class TestSelfAnalysis:
 
     def test_repro_perf_zone_is_clean(self, self_analysis):
         assert self_analysis.flow_report.by_rule("OBS-PERF") == []
+
+    def test_repro_spool_recovery_is_read_only(self, self_analysis):
+        assert self_analysis.flow_report.by_rule("SPOOL-RO") == []
 
     def test_repro_layering_holds(self, self_analysis):
         assert self_analysis.flow_report.by_rule("FLOW-LAYER") == []

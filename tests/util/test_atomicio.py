@@ -1,0 +1,68 @@
+"""Atomic artifact writes: replace-or-keep, never a partial file."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.util.atomicio import atomic_open, atomic_write
+
+
+class TestAtomicWrite:
+    def test_creates_parents_and_writes_text(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "artifact.json"
+        returned = atomic_write(target, "{}\n")
+        assert returned == target
+        assert target.read_text(encoding="utf-8") == "{}\n"
+
+    def test_accepts_bytes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_replaces_without_leaving_temps(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write(target, "old\n")
+        atomic_write(target, "new\n")
+        assert target.read_text(encoding="utf-8") == "new\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_failed_write_keeps_previous_content(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write(target, "kept\n")
+
+        with pytest.raises(TypeError):
+            atomic_write(target, object())  # unwritable payload
+        assert target.read_text(encoding="utf-8") == "kept\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+
+class TestAtomicOpen:
+    def test_clean_exit_commits(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_open(target) as handle:
+            handle.write("line\n")
+        assert target.read_text(encoding="utf-8") == "line\n"
+
+    def test_exception_rolls_back(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write(target, "before\n")
+        with pytest.raises(ValueError):
+            with atomic_open(target) as handle:
+                handle.write("half-writ")
+                raise ValueError("die mid-write")
+        assert target.read_text(encoding="utf-8") == "before\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_gz_output_is_deterministic(self, tmp_path):
+        twins = []
+        for name in ("a.jsonl.gz", "b.jsonl.gz"):
+            target = tmp_path / name
+            with atomic_open(target) as handle:
+                handle.write("same content\n")
+            twins.append(target.read_bytes())
+        # mtime is pinned, so equal text gzips to equal bytes.
+        assert twins[0] == twins[1]
+        with gzip.open(tmp_path / "a.jsonl.gz", "rt") as handle:
+            assert handle.read() == "same content\n"
