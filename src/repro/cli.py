@@ -75,9 +75,11 @@ from repro.obs import Obs, read_trace, render_obs_summary, write_metrics, write_
 from repro.obs.tracer import ObsEvent
 from repro.parallel import ParallelExecutionError
 from repro.web.filterlists import (
+    LIST_SCALES,
     build_easylist_text,
     build_easyprivacy_text,
     build_filter_engine,
+    generate_filter_list_text,
 )
 from repro.web.registry import default_registry
 from repro.web.server import SyntheticWeb, WebScale
@@ -519,7 +521,9 @@ def _cmd_visit(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    engine = build_filter_engine(default_registry())
+    engine = build_filter_engine(
+        default_registry(), compiled=args.engine == "compiled"
+    )
     try:
         rtype = ResourceType(args.type)
     except ValueError:
@@ -581,6 +585,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_lists(args: argparse.Namespace) -> int:
+    if args.scale:
+        print(generate_filter_list_text(
+            LIST_SCALES[args.scale], seed=args.seed,
+            name=f"easylist-{args.scale}",
+        ), end="")
+        return 0
     registry = default_registry()
     if args.list in ("easylist", "both"):
         print(build_easylist_text(registry))
@@ -772,11 +782,21 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--type", default="script")
     check.add_argument("--first-party", default="https://publisher.example/",
                        dest="first_party")
+    check.add_argument("--engine", choices=("compiled", "interpreted"),
+                       default="compiled",
+                       help="which matcher to use (verdicts are identical; "
+                            "the compiled index is the scale-ready one)")
     check.set_defaults(func=_cmd_check)
 
     lists = sub.add_parser("lists", help="dump the synthetic filter lists")
     lists.add_argument("--list", choices=("easylist", "easyprivacy", "both"),
                        default="both")
+    lists.add_argument("--scale", choices=sorted(LIST_SCALES), default="",
+                       help="instead of the registry lists, emit a "
+                            "scale-calibrated synthetic list with this many "
+                            "rules (EasyList-shaped mix)")
+    lists.add_argument("--seed", type=int, default=2018,
+                       help="deterministic seed for --scale generation")
     lists.set_defaults(func=_cmd_lists)
 
     lint = sub.add_parser("lint", help="run the static analyzers")

@@ -14,13 +14,16 @@ The engine serves two distinct roles from the paper:
 * the post-hoc "would this chain have been blocked?" analysis (§4.2).
 """
 
-from repro.filters.engine import FilterEngine, MatchResult
+from repro.filters.compiled import CompiledFilterEngine
+from repro.filters.engine import FilterEngine, MatchResult, linear_match
 from repro.filters.parser import FilterParseError, parse_filter_line, parse_filter_list
 from repro.filters.rules import FilterList, FilterRule, RuleOptions
 
 __all__ = [
+    "CompiledFilterEngine",
     "FilterEngine",
     "MatchResult",
+    "linear_match",
     "FilterParseError",
     "parse_filter_line",
     "parse_filter_list",

@@ -81,6 +81,14 @@ class RuleOptions:
             return self._domain_constraint_allows(host)
         return True
 
+    def domains_allow(self, first_party_host: str) -> bool:
+        """Just the ``$domain=`` constraint (the compiled engine's
+        pre-filter calls this after its own type/party bit checks)."""
+        if not (self.include_domains or self.exclude_domains):
+            return True
+        host = first_party_host.lower() if first_party_host else ""
+        return self._domain_constraint_allows(host)
+
     def _domain_constraint_allows(self, host: str) -> bool:
         """ABP ``$domain=`` resolution: the most specific entry wins."""
         best_length = -1
@@ -104,6 +112,23 @@ def _host_within(host: str, entry: str) -> bool:
     return host == entry or host.endswith("." + entry)
 
 
+# Characters that terminate the literal host span of a ``||`` rule body:
+# wildcards/anchors plus the first char that leaves the authority.
+_HOST_SPAN_BREAKERS = frozenset("*^|/:?")
+
+# A URL scheme as the ``||`` prefix accepts it, matched against the
+# lowered URL when extracting the authority span.
+SCHEME_RE = re.compile(r"[a-z][a-z0-9+.-]*://")
+
+
+def host_span_length(body: str) -> int:
+    """Length of the leading literal host span of a ``||`` rule body."""
+    for i, ch in enumerate(body):
+        if ch in _HOST_SPAN_BREAKERS:
+            return i
+    return len(body)
+
+
 def pattern_to_regex(pattern: str) -> str:
     """Translate an ABP URL pattern to a Python regex (ABP reference rules).
 
@@ -112,13 +137,35 @@ def pattern_to_regex(pattern: str) -> str:
     * ``*``: any character run (including none).
     * ``^``: a separator — any char that is not alphanumeric or one of
       ``_ - . %``, or the end of the URL.
+
+    The scheme and host region of anchored patterns is wrapped in a
+    scoped ``(?i:...)`` group: ABP's ``$match-case`` applies to the
+    *pattern*, while schemes and hosts are case-normalized by browsers
+    before matching — so ``||DoubleClick.net^$match-case`` must still
+    match ``HTTP://x.doubleclick.net/``. Without the group, compiling
+    under ``match_case`` (no ``re.IGNORECASE``) silently broke the
+    ``[a-z][a-z0-9+.-]*://`` scheme prefix for upper-case scheme URLs.
+    Unanchored patterns carry no scheme/host region of their own and
+    are left untouched.
     """
     if pattern.startswith("||"):
-        prefix = r"^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?"
         body = pattern[2:]
+        split = host_span_length(body)
+        prefix = (
+            r"(?i:^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?"
+            + re.escape(body[:split].lower())
+            + r")"
+        )
+        body = body[split:]
     elif pattern.startswith("|"):
-        prefix = "^"
         body = pattern[1:]
+        scheme = SCHEME_RE.match(body.lower())
+        if scheme is not None:
+            split = scheme.end() + host_span_length(body[scheme.end():])
+            prefix = "(?i:^" + re.escape(body[:split].lower()) + ")"
+            body = body[split:]
+        else:
+            prefix = "^"
     else:
         prefix = ""
         body = pattern
@@ -139,8 +186,8 @@ def pattern_to_regex(pattern: str) -> str:
 
 
 _TOKEN_RE = re.compile(r"[a-z0-9]{3,}")
-# Characters at which literal runs end for token extraction purposes.
-_BREAKERS = set("*^|")
+# The alphabet of URL index tokens (maximal runs of these make tokens).
+_TOKEN_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789")
 
 
 @dataclass
@@ -176,7 +223,13 @@ class FilterRule:
         return self.regex.search(url) is not None
 
     def anchor_domain(self) -> str | None:
-        """For ``||domain...`` rules, the anchoring registrable domain."""
+        """For ``||domain...`` rules, the anchoring registrable domain.
+
+        The host chars are lowered before the public-suffix lookup:
+        hostnames are case-insensitive, and ``||DoubleClick.net^`` must
+        anchor to ``doubleclick.net``, not a case-mismatched string the
+        rest of the pipeline (which works on lowered hosts) never sees.
+        """
         if not self.pattern.startswith("||"):
             return None
         body = self.pattern[2:]
@@ -186,32 +239,92 @@ class FilterRule:
                 host_chars.append(ch)
             else:
                 break
-        host = "".join(host_chars).strip(".")
+        host = "".join(host_chars).strip(".").lower()
         if not host or "." not in host:
             return None
         return registrable_domain(host)
 
-    def index_tokens(self) -> list[str]:
-        """Literal tokens that must appear in any matching URL.
+    def host_anchor_literal(self) -> str:
+        """The lowered literal host span of a ``||`` rule ('' otherwise).
 
-        Used by the matcher to shard rules: a rule is only tried against
-        URLs containing one of its tokens. Tokens are maximal ≥3-char
-        alphanumeric runs inside literal (non-wildcard) spans.
+        The span runs from the anchor to the first wildcard/anchor/
+        authority-leaving char — the part of the pattern the hostname
+        index lane can key on. Unlike :meth:`anchor_domain` it is the
+        raw span (no public-suffix collapsing) and is non-empty for
+        hosts without a dot.
         """
-        literal: list[str] = []
-        span: list[str] = []
-        body = self.pattern.lstrip("|")
-        for ch in body:
-            if ch in _BREAKERS:
-                literal.append("".join(span))
-                span = []
-            else:
-                span.append(ch)
-        literal.append("".join(span))
-        tokens: list[str] = []
-        for chunk in literal:
-            tokens.extend(_TOKEN_RE.findall(chunk.lower()))
-        return tokens
+        if not self.pattern.startswith("||"):
+            return ""
+        body = self.pattern[2:]
+        return body[: host_span_length(body)].lower()
+
+    def token_details(self) -> list[tuple[str, bool]]:
+        """Every literal token of the pattern with its reliability bit.
+
+        A token is a maximal ≥3-char ``[a-z0-9]`` run inside the
+        pattern's literal text (lowered). It is *reliable* — guaranteed
+        to appear as a maximal alphanumeric run in every matching URL,
+        and therefore safe to index the rule under — only when both of
+        its edges are bounded:
+
+        * by a literal non-alphanumeric char (``/``, ``.``, ``-``, …):
+          the matching URL contains that char right next to the token;
+        * by ``^``: the separator class excludes alphanumerics, and a
+          ``^`` adjacent to a token can only have matched a real
+          separator char or the URL end;
+        * by an anchored pattern edge: ``|`` is the URL start/end, and
+          the ``||`` prefix always puts ``://`` or ``.`` before the
+          first host char.
+
+        A token abutting ``*`` or an *unanchored* pattern edge is
+        unreliable: the neighboring URL text may extend the
+        alphanumeric run, so the URL tokenizer (which emits only
+        maximal runs) never produces the token and an index keyed on it
+        silently drops matches — ``/ads*banner`` indexed under
+        ``banner`` is never offered for ``/adsbanner123``.
+        """
+        pattern = self.pattern
+        if pattern.startswith("||"):
+            body = pattern[2:]
+            left_anchored = True
+        elif pattern.startswith("|"):
+            body = pattern[1:]
+            left_anchored = True
+        else:
+            body = pattern
+            left_anchored = False
+        if body.endswith("|"):
+            body = body[:-1]
+            right_anchored = True
+        else:
+            right_anchored = False
+        lowered = body.lower()
+        details: list[tuple[str, bool]] = []
+        i, n = 0, len(lowered)
+        while i < n:
+            if lowered[i] not in _TOKEN_CHARS:
+                i += 1
+                continue
+            j = i
+            while j < n and lowered[j] in _TOKEN_CHARS:
+                j += 1
+            if j - i >= 3:
+                left_ok = left_anchored if i == 0 else lowered[i - 1] != "*"
+                right_ok = right_anchored if j == n else lowered[j] != "*"
+                details.append((lowered[i:j], left_ok and right_ok))
+            i = j
+        return details
+
+    def index_tokens(self) -> list[str]:
+        """Reliable literal tokens that must appear in any matching URL.
+
+        Used by the matchers to shard rules: a rule is only tried
+        against URLs containing one of its tokens, so only tokens whose
+        :meth:`token_details` reliability bit is set may be returned —
+        indexing under an unreliable token causes silent false
+        negatives (the PR-9 token-index bug).
+        """
+        return [token for token, reliable in self.token_details() if reliable]
 
 
 @dataclass

@@ -22,9 +22,9 @@ running the real matching engine — the property tests do exactly that):
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 
+from repro.filters.compiled import CompiledFilterEngine
 from repro.filters.rules import FilterList, FilterRule
 from repro.net.domains import is_third_party, registrable_domain
 from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
@@ -55,11 +55,7 @@ class _ProbeContext:
     probe: UrlProbe
     third_party: bool
     first_party_host: str
-    tokens: frozenset[str]
     domain: str  # registrable domain of the probe URL's host
-
-
-_TOKEN_RE = re.compile(r"[a-z0-9]{3,}")
 
 
 def _probe_contexts(universe: UrlUniverse) -> list[_ProbeContext]:
@@ -76,29 +72,35 @@ def _probe_contexts(universe: UrlUniverse) -> list[_ProbeContext]:
                 probe=probe,
                 third_party=third_party,
                 first_party_host=first_party_host,
-                tokens=frozenset(_TOKEN_RE.findall(probe.url.lower())),
                 domain=registrable_domain(parse_url(probe.url).host),
             )
         )
     return contexts
 
 
-def _match_probes(
-    indexed: _IndexedRule, contexts: list[_ProbeContext]
+def _match_all_probes(
+    lists: list[FilterList],
+    indexed: list[_IndexedRule],
+    contexts: list[_ProbeContext],
 ) -> None:
-    """Fill ``indexed.matched`` with applicable matching probe indices."""
-    rule = indexed.rule
-    tokens = rule.index_tokens()
-    required = max(tokens, key=len) if tokens else None
+    """Fill every ``entry.matched`` with applicable matching probe
+    indices, via the compiled engine's candidate machinery.
+
+    For each probe only the rules the compiled index *offers* for its
+    URL are match-tested — sound because offered candidates are a
+    superset of true matches (the engine's own correctness guarantee,
+    pinned by the equivalence suite), and the fix for the longest-token
+    probe skip this analyzer previously shared with the old engine.
+    """
+    compiled = CompiledFilterEngine(lists)
     for i, ctx in enumerate(contexts):
-        if required is not None and required not in ctx.tokens:
-            continue
-        if not rule.options.applies_to(
-            ctx.probe.resource_type, ctx.third_party, ctx.first_party_host
-        ):
-            continue
-        if rule.matches_url(ctx.probe.url):
-            indexed.matched.append(i)
+        for order, rule in compiled.candidate_rules(ctx.probe.url):
+            if not rule.options.applies_to(
+                ctx.probe.resource_type, ctx.third_party, ctx.first_party_host
+            ):
+                continue
+            if rule.matches_url(ctx.probe.url):
+                indexed[order].matched.append(i)
 
 
 @dataclass
@@ -163,9 +165,9 @@ def analyze_filter_lists(
                 order=order,
                 rule=rule,
             )
-            _match_probes(entry, contexts)
             indexed.append(entry)
             order += 1
+    _match_all_probes(lists, indexed, contexts)
 
     blocks = [e for e in indexed if not e.rule.is_exception]
     exceptions = [e for e in indexed if e.rule.is_exception]

@@ -149,5 +149,32 @@ class TestEngineStats:
         assert set(counts) == {
             "matches", "blocked", "exception_overrides", "token_buckets",
             "token_candidates", "generic_candidates",
+            "block_token_buckets", "block_token_candidates",
+            "block_generic_candidates", "exception_token_buckets",
+            "exception_token_candidates", "exception_generic_candidates",
+            "host_candidates",
         }
         assert all(v == 0 for v in counts.values())
+
+    def test_polarity_split_sums_to_combined(self):
+        engine = _engine(
+            "||ads.example^", "@@||ads.example^$script", "/tracker123/"
+        )
+        engine.would_block(
+            "https://ads.example/tracker123/", ResourceType.SCRIPT, PAGE
+        )
+        engine.would_block(
+            "https://ads.example/pixel", ResourceType.IMAGE, PAGE
+        )
+        stats = engine.stats
+        assert stats.token_buckets == (
+            stats.block_token_buckets + stats.exception_token_buckets
+        )
+        assert stats.token_candidates == (
+            stats.block_token_candidates + stats.exception_token_candidates
+        )
+        assert stats.generic_candidates == (
+            stats.block_generic_candidates + stats.exception_generic_candidates
+        )
+        assert stats.block_token_candidates >= 1
+        assert stats.exception_token_candidates >= 1

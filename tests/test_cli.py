@@ -9,7 +9,18 @@ def test_check_blocked(capsys):
     assert main(["check",
                  "https://securepubads.doubleclick.net/ads/tag.js"]) == 0
     out = capsys.readouterr().out
-    assert "BLOCKED" in out and "doubleclick" in out
+    # The decisive rule is the canonical first applicable match in list
+    # order (/ads/tag.js…), not whichever bucket the old index walked
+    # first (||doubleclick.net^…).
+    assert "BLOCKED by easylist" in out and "/ads/tag.js" in out
+
+
+def test_check_engines_agree(capsys):
+    url = "https://securepubads.doubleclick.net/ads/tag.js"
+    assert main(["check", url, "--engine", "compiled"]) == 0
+    compiled_out = capsys.readouterr().out
+    assert main(["check", url, "--engine", "interpreted"]) == 0
+    assert capsys.readouterr().out == compiled_out
 
 
 def test_check_allowed(capsys):
