@@ -11,7 +11,7 @@ from repro.analysis.report import render_figure3
 
 def test_figure3(benchmark, bench_study):
     series = benchmark(
-        compute_figure3, bench_study.views, bench_study.dataset.crawl_sites
+        compute_figure3, bench_study.views, bench_study.dataset.meta
     )
     print()
     print(render_figure3(series))

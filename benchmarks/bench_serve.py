@@ -1,0 +1,122 @@
+"""Benchmarks for the `repro serve` query service.
+
+Measures sustained throughput and tail latency of the service layer —
+one immutable snapshot, dispatch with opt-in stats, typed envelopes —
+for single and batched ``check`` queries at EasyList-scale snapshots
+(10k/50k/100k rules; the smoke preset keeps 10k only). Per-request
+wall latencies give p50/p99; QPS is checks answered over the sustained
+loop. ``BENCH_SERVE.json`` records the scale table and every numeric
+leaf lands in ``results/bench/history.jsonl`` under the ``qps``/
+``p99``-marked names ``repro perf check`` knows how to gate.
+"""
+
+from time import perf_counter_ns
+
+from conftest import BENCH_CONFIG, write_bench_json
+
+from repro.serve import (
+    BatchCheckRequest,
+    CheckRequest,
+    ServeService,
+    build_scale_snapshot,
+)
+from repro.web.filterlists import generate_filter_lists, generate_request_corpus
+
+_SMOKE = BENCH_CONFIG.name == "bench-smoke"
+_SCALES = ("10k",) if _SMOKE else ("10k", "50k", "100k")
+_SINGLE_QUERIES = 1_500 if _SMOKE else 4_000
+_BATCHES = 60 if _SMOKE else 150
+_BATCH_SIZE = 16
+
+
+def _percentile(sorted_values, q: float) -> float:
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _run(service, requests) -> tuple[float, list[int], list]:
+    """(elapsed_seconds, per-request latencies ns, results)."""
+    latencies = []
+    results = []
+    start = perf_counter_ns()
+    for request in requests:
+        t0 = perf_counter_ns()
+        results.append(service.handle(request))
+        latencies.append(perf_counter_ns() - t0)
+    elapsed = (perf_counter_ns() - start) / 1e9
+    return elapsed, latencies, results
+
+
+def _stats(latencies_ns, checks: int, elapsed: float) -> dict:
+    ordered = sorted(latencies_ns)
+    return {
+        "qps": round(checks / elapsed, 1),
+        "p50_us": round(_percentile(ordered, 0.50) / 1e3, 1),
+        "p99_us": round(_percentile(ordered, 0.99) / 1e3, 1),
+    }
+
+
+def test_serve_check_scaling():
+    scales = {}
+    for scale in _SCALES:
+        snapshot = build_scale_snapshot(scale)
+        lists = generate_filter_lists(snapshot.rule_counts()["live"])
+        corpus = generate_request_corpus(lists, 512, seed=2018)
+        singles = [
+            CheckRequest(url=url, resource_type=rt.value,
+                         first_party_url=fp)
+            for url, rt, fp in corpus
+        ]
+        single_stream = [
+            singles[i % len(singles)] for i in range(_SINGLE_QUERIES)
+        ]
+        batch_stream = [
+            BatchCheckRequest(items=tuple(
+                singles[(b * _BATCH_SIZE + j) % len(singles)]
+                for j in range(_BATCH_SIZE)
+            ))
+            for b in range(_BATCHES)
+        ]
+
+        service = ServeService(snapshot)
+        # Warm-up: touch every index path once before timing.
+        _run(service, single_stream[:100])
+
+        single_elapsed, single_lat, single_results = _run(
+            service, single_stream
+        )
+        batch_elapsed, batch_lat, batch_results = _run(
+            service, batch_stream
+        )
+        assert all(r.ok for r in single_results)
+        assert all(r.ok for r in batch_results)
+        blocked = sum(1 for r in single_results if r.body.blocked)
+        assert 0 < blocked < len(single_results)  # a real verdict mix
+
+        scales[scale] = {
+            "rules": snapshot.rule_counts()["live"],
+            "single": {
+                "queries": len(single_stream),
+                **_stats(single_lat, len(single_stream), single_elapsed),
+            },
+            "batch": {
+                "batches": len(batch_stream),
+                "batch_size": _BATCH_SIZE,
+                **_stats(
+                    batch_lat,
+                    len(batch_stream) * _BATCH_SIZE,
+                    batch_elapsed,
+                ),
+            },
+        }
+        row = scales[scale]
+        print(f"\n[{scale}] single {row['single']['qps']:.0f} qps "
+              f"p99 {row['single']['p99_us']:.0f} µs · "
+              f"batch {row['batch']['qps']:.0f} checks/s "
+              f"p99 {row['batch']['p99_us']:.0f} µs/batch")
+
+    write_bench_json("serve", {
+        "preset": BENCH_CONFIG.name,
+        "serve_version": 1,
+        "scales": scales,
+    })

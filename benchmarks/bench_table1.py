@@ -22,8 +22,7 @@ def test_table1(benchmark, bench_study):
     rows = benchmark(
         compute_table1,
         bench_study.views,
-        bench_study.dataset.crawl_sites,
-        bench_study.dataset.crawl_labels,
+        bench_study.dataset.meta,
     )
     print()
     print(render_table1(rows))

@@ -15,7 +15,12 @@ outside ``repro.analysis`` trips the ``API-PRIVATE`` lint.
 """
 
 from repro.analysis.blocking import BlockingStats, compute_blocking_stats
-from repro.analysis.cache import StageCache, stage_key
+from repro.analysis.cache import (
+    StageCache,
+    StateCache,
+    labeler_fingerprint,
+    stage_key,
+)
 from repro.analysis.classify import SocketView, classify_sockets
 from repro.analysis.drift import (
     InitiatorDrift,
@@ -26,6 +31,7 @@ from repro.analysis.engine import (
     AnalysisEngine,
     AnalysisResult,
     DatasetSource,
+    SegmentSlice,
     fold_shard,
     merge_stage_lists,
 )
@@ -42,7 +48,7 @@ from repro.analysis.stats import OverallStats, compute_overall_stats
 from repro.analysis.table1 import Table1Row, compute_table1
 from repro.analysis.table2 import Table2Row, compute_table2
 from repro.analysis.table3 import Table3Row, compute_table3
-from repro.analysis.table4 import Table4Row, compute_table4
+from repro.analysis.table4 import Table4, Table4Row, compute_table4
 from repro.analysis.table5 import Table5, compute_table5
 
 __all__ = [
@@ -54,10 +60,13 @@ __all__ = [
     "AnalysisResult",
     "AnalysisStage",
     "DatasetSource",
+    "SegmentSlice",
     "StageCache",
     "StageContext",
+    "StateCache",
     "default_stages",
     "fold_shard",
+    "labeler_fingerprint",
     "merge_stage_lists",
     "register_stage",
     "registered_stages",
@@ -70,6 +79,7 @@ __all__ = [
     "compute_table2",
     "Table3Row",
     "compute_table3",
+    "Table4",
     "Table4Row",
     "compute_table4",
     "Table5",

@@ -25,7 +25,7 @@ from repro.analysis.stage import (
     fold_views,
     register_stage,
 )
-from repro.filters.engine import FilterEngine
+from repro.filters import FilterEngine
 from repro.net.http import ResourceType
 
 _GENERIC_FIRST_PARTY = "https://publisher-context.example/"

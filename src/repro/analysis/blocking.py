@@ -27,7 +27,7 @@ from repro.analysis.stage import (
     register_stage,
 )
 from repro.crawler.dataset import StudyDataset
-from repro.filters.engine import FilterEngine
+from repro.filters import FilterEngine
 from repro.labeling.aa_labeler import AaLabeler
 from repro.labeling.resolver import DomainResolver
 from repro.net.http import ResourceType

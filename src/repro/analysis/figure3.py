@@ -144,19 +144,17 @@ class Figure3Stage(AnalysisStage):
 
 def compute_figure3(
     views: Iterable[SocketView],
-    meta: DatasetMeta | dict[int, list[tuple[str, int]]],
+    meta: DatasetMeta,
     bin_width: int = BIN_WIDTH,
 ) -> Figure3Series:
     """Bin publishers by rank and compute per-bin socket prevalence.
 
-    ``meta`` is the dataset's :class:`DatasetMeta`; the legacy
-    ``crawl_sites`` mapping is still accepted but deprecated.
+    ``meta`` is the dataset's :class:`DatasetMeta` (use
+    :meth:`DatasetMeta.from_mappings` when starting from a raw
+    ``crawl_sites`` mapping).
     """
-    from repro.analysis.table1 import _coerce_meta
-
-    resolved = _coerce_meta(meta, None, "compute_figure3")
     stage = fold_views(Figure3Stage(bin_width), views)
-    return stage.finalize(StageContext(meta=resolved))
+    return stage.finalize(StageContext(meta=meta))
 
 
 def coarse_series(

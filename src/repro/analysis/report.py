@@ -15,8 +15,7 @@ from repro.analysis.table3 import Table3Row
 from repro.analysis.table4 import Table4
 from repro.analysis.table5 import Table5
 from repro.content.items import RECEIVED_CLASSES, SENT_ITEMS
-from repro.obs.recorder import ObsSummary
-from repro.obs.report import render_obs_summary
+from repro.obs import ObsSummary, render_obs_summary
 from repro.staticlint.diagnostics import LintReport
 from repro.staticlint.runner import FullLintResult
 

@@ -37,7 +37,7 @@ from repro.crawler.dataset import DatasetMeta
 if TYPE_CHECKING:
     from repro.analysis.classify import SocketView
     from repro.crawler.dataset import StudyDataset
-    from repro.filters.engine import FilterEngine
+    from repro.filters import FilterEngine
     from repro.labeling.aa_labeler import AaLabeler
     from repro.labeling.resolver import DomainResolver
 

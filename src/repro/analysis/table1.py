@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -135,34 +134,15 @@ class Table1Stage(AnalysisStage):
         return [Table1Row(**row) for row in payload]
 
 
-def _coerce_meta(
-    meta: DatasetMeta | dict,
-    crawl_labels: dict[int, str] | None,
-    caller: str,
-) -> DatasetMeta:
-    """Accept the legacy mapping pair, with a deprecation warning."""
-    if isinstance(meta, DatasetMeta):
-        return meta
-    warnings.warn(
-        f"passing crawl_sites/crawl_labels mappings to {caller} is "
-        "deprecated; pass a DatasetMeta (e.g. dataset.meta)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return DatasetMeta.from_mappings(meta, crawl_labels)
-
-
 def compute_table1(
     views: Iterable[SocketView],
-    meta: DatasetMeta | dict[int, list[tuple[str, int]]],
-    crawl_labels: dict[int, str] | None = None,
+    meta: DatasetMeta,
 ) -> list[Table1Row]:
     """Compute one row per crawl, in crawl order.
 
-    ``meta`` is the dataset's :class:`DatasetMeta`; the legacy
-    ``(crawl_sites, crawl_labels)`` mapping pair is still accepted but
-    deprecated.
+    ``meta`` is the dataset's :class:`DatasetMeta` (e.g.
+    ``dataset.meta``, or :meth:`DatasetMeta.from_mappings` when
+    starting from raw site/label mappings).
     """
-    resolved = _coerce_meta(meta, crawl_labels, "compute_table1")
     stage = fold_views(Table1Stage(), views)
-    return stage.finalize(StageContext(meta=resolved))
+    return stage.finalize(StageContext(meta=meta))

@@ -27,6 +27,14 @@ Commands:
   (per-path deltas between two traces; byte-identical traces diff
   empty), ``perf check`` (rolling-baseline regression gate over
   ``results/bench/history.jsonl``; exits 5 on a regression).
+* ``serve``   — the measurement system as a query service over one
+  immutable snapshot (compiled lists per phase, WRB policy, A&A
+  labels, cached artifacts): ``serve snapshot`` prints the snapshot
+  identity, ``serve queries`` emits a seeded scripted query mix as
+  JSONL envelopes, ``serve script`` answers a query stream on N
+  worker threads and writes the byte-stable response transcript
+  (``--transcript``), ``serve http`` binds the stdlib HTTP frontend
+  (``POST /v1/query``, ``GET /v1/snapshot``).
 * ``visit``   — load one site in the simulated browser and print its
   inclusion tree and WebSocket traffic.
 * ``check``   — evaluate a URL against the synthetic EasyList/EasyPrivacy.
@@ -47,7 +55,9 @@ page and produced no data, 4 parallel execution failure — a shard
 worker died before the study could merge, 5 performance regression —
 ``perf check`` found a gated metric past tolerance, 6 spool quota
 hard breach — the spool is over budget with nothing evictable left
-(import or raise ``--spool-quota``) (see README.md).
+(import or raise ``--spool-quota``), 7 serve error — a scripted
+``serve script`` run produced at least one error envelope (see
+README.md).
 """
 
 from __future__ import annotations
@@ -71,8 +81,14 @@ from repro.extension.adblocker import AdBlockerExtension
 from repro.faults import PROFILES
 from repro.inclusion import InclusionTreeBuilder
 from repro.net.http import ResourceType
-from repro.obs import Obs, read_trace, render_obs_summary, write_metrics, write_trace
-from repro.obs.tracer import ObsEvent
+from repro.obs import (
+    Obs,
+    ObsEvent,
+    read_trace,
+    render_obs_summary,
+    write_metrics,
+    write_trace,
+)
 from repro.parallel import ParallelExecutionError
 from repro.web.filterlists import (
     LIST_SCALES,
@@ -135,7 +151,7 @@ def _render_degradation(summaries) -> str:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.spool import SpoolCorruptionError, SpoolQuotaExceeded
-    from repro.spool.segment import SpoolDiskFull
+    from repro.spool import SpoolDiskFull
 
     config = _PRESETS[args.preset]
     if args.faults != config.faults:
@@ -214,9 +230,9 @@ def _spool_slices(spool_dir: str, dataset: str):
     """
     from pathlib import Path
 
-    from repro.analysis.engine import SegmentSlice
+    from repro.analysis import SegmentSlice
     from repro.crawler.persistence import open_dataset
-    from repro.spool.importer import ImportState
+    from repro.spool import ImportState
 
     state = ImportState.load(Path(spool_dir), Path(dataset))
     reader = open_dataset(dataset)
@@ -247,9 +263,13 @@ def _spool_slices(spool_dir: str, dataset: str):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis.cache import StageCache, StateCache
-    from repro.analysis.engine import AnalysisEngine, DatasetSource
-    from repro.analysis.stage import default_stages
+    from repro.analysis import (
+        AnalysisEngine,
+        DatasetSource,
+        StageCache,
+        StateCache,
+        default_stages,
+    )
     from repro.util.serialization import dumps
 
     try:
@@ -314,8 +334,7 @@ def _cmd_spool_status(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.spool import SpoolCorruptionError, recover_spool
-    from repro.spool.importer import ImportState
-    from repro.spool.segment import list_segments
+    from repro.spool import ImportState, list_segments
 
     root = Path(args.spool_dir)
     if not root.is_dir():
@@ -382,7 +401,7 @@ def _cmd_spool_import(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.report import obs_summary_json
+    from repro.obs import obs_summary_json
 
     try:
         summary = read_trace(args.trace)
@@ -410,7 +429,7 @@ def _read_trace_or_none(path: str):
 def _cmd_perf_flame(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.perf import build_flame, flame_json, render_flame
+    from repro.obs import build_flame, flame_json, render_flame
 
     summary = _read_trace_or_none(args.trace)
     if summary is None:
@@ -427,7 +446,7 @@ def _cmd_perf_flame(args: argparse.Namespace) -> int:
 def _cmd_perf_diff(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.perf import diff_json, diff_traces, render_diff
+    from repro.obs import diff_json, diff_traces, render_diff
 
     summary_a = _read_trace_or_none(args.trace_a)
     summary_b = _read_trace_or_none(args.trace_b)
@@ -446,12 +465,7 @@ def _cmd_perf_diff(args: argparse.Namespace) -> int:
 def _cmd_perf_check(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.history import (
-        check_history,
-        check_json,
-        read_history,
-        render_check,
-    )
+    from repro.obs import check_history, check_json, read_history, render_check
 
     try:
         records, skipped = read_history(args.history)
@@ -582,6 +596,136 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report_mod.render_lint(result))
     return result.exit_code
+
+
+def _serve_snapshot(args: argparse.Namespace):
+    """Build the snapshot a serve subcommand was pointed at."""
+    from repro.serve import build_scale_snapshot
+
+    return build_scale_snapshot(args.scale, seed=args.seed)
+
+
+def _cmd_serve_snapshot(args: argparse.Namespace) -> int:
+    from repro.serve import ServeService, SnapshotRequest, result_line
+
+    service = ServeService(_serve_snapshot(args))
+    result = service.handle(SnapshotRequest())
+    if args.json:
+        print(result_line(result))
+        return 0
+    info = result.body
+    print(f"snapshot v{info.snapshot_version} "
+          f"fingerprint={result.fingerprint}")
+    print(f"  serve version : {info.serve_version}")
+    print(f"  phases        : {', '.join(info.phases)}")
+    for phase, count in info.rule_counts.items():
+        print(f"  rules[{phase}]   : {count}")
+    print(f"  A&A domains   : {info.aa_domains}")
+    print(f"  dataset       : {info.dataset_fingerprint}")
+    print(f"  artifacts     : "
+          f"{', '.join(info.artifact_stages) or '(none)'}")
+    return 0
+
+
+def _cmd_serve_queries(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import encode_request, generate_query_mix
+    from repro.web.filterlists import generate_filter_lists
+
+    lists = generate_filter_lists(LIST_SCALES[args.scale], seed=args.seed)
+    requests = generate_query_mix(lists, args.count, seed=args.query_seed)
+    out = sys.stdout
+    if args.out:
+        out = open(args.out, "w", encoding="utf-8")
+    try:
+        for request in requests:
+            print(json.dumps(encode_request(request), sort_keys=True,
+                             separators=(",", ":")), file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
+def _cmd_serve_script(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import (
+        ServeProtocolError,
+        ServeService,
+        decode_request,
+        generate_query_mix,
+        run_workers,
+        transcript_lines,
+        write_transcript,
+    )
+    from repro.web.filterlists import generate_filter_lists
+
+    snapshot = _serve_snapshot(args)
+    if args.queries:
+        try:
+            with open(args.queries, encoding="utf-8") as handle:
+                requests = [
+                    decode_request(json.loads(line))
+                    for line in handle if line.strip()
+                ]
+        except OSError as error:
+            print(f"cannot read queries: {error}", file=sys.stderr)
+            return 2
+        except (ValueError, ServeProtocolError) as error:
+            print(f"bad query envelope: {error}", file=sys.stderr)
+            return 2
+    else:
+        lists = generate_filter_lists(
+            LIST_SCALES[args.scale], seed=args.seed
+        )
+        requests = generate_query_mix(
+            lists, args.count, seed=args.query_seed
+        )
+    if not requests:
+        print("no queries to run", file=sys.stderr)
+        return 2
+    service = ServeService(snapshot)
+    results = run_workers(service, requests, workers=args.workers)
+    if args.transcript:
+        write_transcript(args.transcript, results)
+    else:
+        for line in transcript_lines(results):
+            print(line)
+    errors = sum(1 for result in results if not result.ok)
+    if not args.quiet:
+        blocked = sum(
+            1 for result in results
+            if result.ok and result.endpoint == "check"
+            and result.body.blocked
+        )
+        print(
+            f"[serve] {len(results)} queries · workers={args.workers} · "
+            f"fingerprint={snapshot.fingerprint} · blocked={blocked} · "
+            f"errors={errors}",
+            file=sys.stderr,
+        )
+    return 7 if errors else 0
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    from repro.serve import ServeService, make_server
+
+    service = ServeService(_serve_snapshot(args))
+    server = make_server(service, host=args.host, port=args.port)
+    print(
+        f"[serve] snapshot {service.snapshot.fingerprint} on "
+        f"http://{args.host}:{server.port}/v1/query",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def _cmd_lists(args: argparse.Namespace) -> int:
@@ -787,6 +931,75 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which matcher to use (verdicts are identical; "
                             "the compiled index is the scale-ready one)")
     check.set_defaults(func=_cmd_check)
+
+    serve = sub.add_parser(
+        "serve",
+        help="query the compiled engine + artifact cache as a service",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    def _serve_common(command) -> None:
+        command.add_argument("--scale", choices=sorted(LIST_SCALES),
+                             default="10k",
+                             help="snapshot list scale (rule count)")
+        command.add_argument("--seed", type=int, default=2018,
+                             help="list-generation seed (part of the "
+                                  "snapshot fingerprint)")
+
+    ssnapshot = serve_sub.add_parser(
+        "snapshot", help="print the snapshot identity and health"
+    )
+    _serve_common(ssnapshot)
+    ssnapshot.add_argument("--json", action="store_true",
+                           help="emit the response envelope instead of "
+                                "the human summary")
+    ssnapshot.set_defaults(func=_cmd_serve_snapshot)
+
+    squeries = serve_sub.add_parser(
+        "queries", help="emit a seeded scripted query mix (JSONL "
+                        "request envelopes)"
+    )
+    _serve_common(squeries)
+    squeries.add_argument("--count", type=int, default=200,
+                          help="number of queries to generate")
+    squeries.add_argument("--query-seed", type=int, default=2018,
+                          dest="query_seed",
+                          help="seed of the query-mix stream")
+    squeries.add_argument("-o", "--out", default="",
+                          help="write envelopes here instead of stdout")
+    squeries.set_defaults(func=_cmd_serve_queries)
+
+    sscript = serve_sub.add_parser(
+        "script", help="answer a query stream on N workers; the "
+                       "transcript is byte-identical across runs and "
+                       "worker counts (exit 7 on any error envelope)"
+    )
+    _serve_common(sscript)
+    sscript.add_argument("--queries", default="",
+                         help="JSONL request envelopes to answer "
+                              "(default: a generated --count mix)")
+    sscript.add_argument("--count", type=int, default=200,
+                         help="generated query count when --queries "
+                              "is not given")
+    sscript.add_argument("--query-seed", type=int, default=2018,
+                         dest="query_seed",
+                         help="seed of the generated query mix")
+    sscript.add_argument("--workers", type=int, default=1,
+                         help="worker threads sharing the snapshot")
+    sscript.add_argument("--transcript", default="",
+                         help="write the response transcript here "
+                              "instead of stdout")
+    sscript.set_defaults(func=_cmd_serve_script)
+
+    shttp = serve_sub.add_parser(
+        "http", help="bind the stdlib HTTP frontend "
+                     "(POST /v1/query, GET /v1/snapshot)"
+    )
+    _serve_common(shttp)
+    shttp.add_argument("--host", default="127.0.0.1")
+    shttp.add_argument("--port", type=int, default=8058,
+                       help="bind port (0 picks a free one)")
+    shttp.set_defaults(func=_cmd_serve_http)
 
     lists = sub.add_parser("lists", help="dump the synthetic filter lists")
     lists.add_argument("--list", choices=("easylist", "easyprivacy", "both"),

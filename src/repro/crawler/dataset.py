@@ -25,7 +25,7 @@ from repro.content.items import ReceivedClass, SentItem
 from repro.content.received import classify_http_response
 from repro.crawler.crawler import CrawlRunSummary
 from repro.crawler.observation import PageObservation
-from repro.filters.engine import FilterEngine
+from repro.filters import FilterEngine
 from repro.labeling.aa_labeler import AaLabeler, DomainTagCounter
 from repro.labeling.cloudfront import CloudfrontMapper, is_cloudfront_host
 from repro.labeling.resolver import DomainResolver

@@ -49,7 +49,7 @@ from repro.util.serialization import (
 
 if TYPE_CHECKING:
     from repro.crawler.crawler import CrawlRunSummary
-    from repro.filters.engine import FilterEngine
+    from repro.filters import FilterEngine
 
 DATASET_FORMAT = "repro.dataset"
 DATASET_VERSION = 2

@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-from repro.analysis.blocking import BlockingStats
-from repro.analysis.figure3 import Figure3Series
-from repro.analysis.stats import OverallStats
-from repro.analysis.table1 import Table1Row
-from repro.analysis.table2 import Table2Row
-from repro.analysis.table3 import Table3Row
-from repro.analysis.table4 import Table4
-from repro.analysis.table5 import Table5
+from repro.analysis import (
+    BlockingStats,
+    Figure3Series,
+    OverallStats,
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    Table4,
+    Table5,
+)
 from repro.content.items import RECEIVED_CLASSES, SENT_ITEMS
 from repro.experiments import expected
 

@@ -13,17 +13,20 @@ from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.analysis.blocking import BlockingStats
-from repro.analysis.classify import SocketView
-from repro.analysis.engine import AnalysisEngine, DatasetSource
-from repro.analysis.figure3 import Figure3Series
-from repro.analysis.stage import study_stages
-from repro.analysis.stats import OverallStats
-from repro.analysis.table1 import Table1Row
-from repro.analysis.table2 import Table2Row
-from repro.analysis.table3 import Table3Row
-from repro.analysis.table4 import Table4
-from repro.analysis.table5 import Table5
+from repro.analysis import (
+    AnalysisEngine,
+    BlockingStats,
+    DatasetSource,
+    Figure3Series,
+    OverallStats,
+    SocketView,
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    Table4,
+    Table5,
+    study_stages,
+)
 from repro.crawler.crawler import (
     CrawlAccountant,
     CrawlConfig,

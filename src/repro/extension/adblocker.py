@@ -16,7 +16,7 @@ from repro.extension.webrequest import (
     RequestFilter,
     WebRequestApi,
 )
-from repro.filters.engine import FilterEngine
+from repro.filters import FilterEngine
 from repro.net.http import HttpRequest
 
 _HTTP_ONLY_PATTERNS = ("http://*", "https://*")

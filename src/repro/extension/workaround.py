@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.filters.engine import FilterEngine
+from repro.filters import FilterEngine
 from repro.net.http import ResourceType
 
 

@@ -15,19 +15,38 @@ The engine serves two distinct roles from the paper:
 """
 
 from repro.filters.compiled import CompiledFilterEngine
-from repro.filters.engine import FilterEngine, MatchResult, linear_match
+from repro.filters.engine import (
+    OWN_STATS,
+    EngineStats,
+    FilterEngine,
+    MatchResult,
+    linear_match,
+)
+from repro.filters.loader import load_filter_engine, load_filter_file
 from repro.filters.parser import FilterParseError, parse_filter_line, parse_filter_list
-from repro.filters.rules import FilterList, FilterRule, RuleOptions
+from repro.filters.rules import (
+    DEFAULT_TYPES,
+    SCHEME_RE,
+    FilterList,
+    FilterRule,
+    RuleOptions,
+)
 
 __all__ = [
     "CompiledFilterEngine",
+    "EngineStats",
     "FilterEngine",
     "MatchResult",
+    "OWN_STATS",
     "linear_match",
     "FilterParseError",
     "parse_filter_line",
     "parse_filter_list",
+    "load_filter_engine",
+    "load_filter_file",
     "FilterRule",
     "FilterList",
     "RuleOptions",
+    "DEFAULT_TYPES",
+    "SCHEME_RE",
 ]

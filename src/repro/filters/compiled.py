@@ -53,7 +53,12 @@ from __future__ import annotations
 import re
 from typing import Iterable, Iterator, Sequence
 
-from repro.filters.engine import _URL_TOKEN_RE, EngineStats, MatchResult
+from repro.filters.engine import (
+    _URL_TOKEN_RE,
+    OWN_STATS,
+    EngineStats,
+    MatchResult,
+)
 from repro.filters.rules import SCHEME_RE, FilterList, FilterRule
 from repro.net.domains import is_third_party
 from repro.net.http import ResourceType
@@ -519,10 +524,19 @@ class CompiledFilterEngine:
         url: str,
         resource_type: ResourceType,
         first_party_url: str,
+        stats: EngineStats | None = OWN_STATS,
     ) -> MatchResult:
-        """Evaluate one request (see :meth:`FilterEngine.match`)."""
-        stats = self.stats
-        stats.matches += 1
+        """Evaluate one request (see :meth:`FilterEngine.match`).
+
+        Pass ``stats`` explicitly (caller-owned, or ``None`` for no
+        recording) when the engine is shared across threads: the index
+        itself is immutable, so with a non-default ``stats`` the call
+        is read-only on the engine and safe under concurrent readers.
+        """
+        if stats is OWN_STATS:
+            stats = self.stats
+        if stats is not None:
+            stats.matches += 1
         lowered = url.lower()
         url_tokens = _URL_TOKEN_RE.findall(lowered)
         auth = authority_span(lowered)
@@ -545,14 +559,16 @@ class CompiledFilterEngine:
                 third_party, first_party_host, stats,
             )
             if exception_hit is not None:
-                stats.exception_overrides += 1
+                if stats is not None:
+                    stats.exception_overrides += 1
                 return MatchResult(
                     blocked=False,
                     rule=block_hit[_E_RULE],
                     exception_rule=exception_hit[_E_RULE],
                     list_name=exception_hit[_E_LIST],
                 )
-        stats.blocked += 1
+        if stats is not None:
+            stats.blocked += 1
         return MatchResult(
             blocked=True, rule=block_hit[_E_RULE], list_name=block_hit[_E_LIST]
         )

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, cast
 
 from repro.filters.rules import FilterList, FilterRule
 from repro.net.domains import is_third_party
@@ -36,6 +36,14 @@ from repro.net.http import ResourceType
 from repro.util.urls import parse_url
 
 _URL_TOKEN_RE = re.compile(r"[a-z0-9]{3,}")
+
+#: Sentinel default for ``match(stats=...)``: record telemetry into the
+#: engine-owned ``self.stats`` (the historical single-threaded
+#: behaviour). Callers sharing one engine across threads/workers must
+#: instead pass an ``EngineStats`` they own — or ``None`` to skip
+#: recording — so ``match`` never mutates shared state (the
+#: ``repro.serve`` snapshot contract).
+OWN_STATS: "EngineStats" = cast("EngineStats", object())
 
 # One indexed rule: (global order, rule, owning list name). Global order
 # is file order across lists — the tiebreak that makes the decisive
@@ -274,6 +282,7 @@ class FilterEngine:
         url: str,
         resource_type: ResourceType,
         first_party_url: str,
+        stats: EngineStats | None = OWN_STATS,
     ) -> MatchResult:
         """Evaluate one request.
 
@@ -282,13 +291,20 @@ class FilterEngine:
             resource_type: What kind of resource is being fetched. Pass
                 :attr:`ResourceType.WEBSOCKET` for socket handshakes.
             first_party_url: Top-level page URL providing party context.
+            stats: Where to record match telemetry. Defaults to the
+                engine-owned ``self.stats``; pass a caller-owned
+                :class:`EngineStats` (merge deltas yourself) or ``None``
+                (no recording) when the engine is shared across threads
+                — with either, ``match`` is read-only on the engine.
 
         Returns:
             The match verdict. ``blocked`` is True only when a blocking
             rule matches and no exception rule does.
         """
-        stats = self.stats
-        stats.matches += 1
+        if stats is OWN_STATS:
+            stats = self.stats
+        if stats is not None:
+            stats.matches += 1
         lowered = url.lower()
         url_tokens = _URL_TOKEN_RE.findall(lowered)
         third_party = bool(first_party_url) and is_third_party(url, first_party_url)
@@ -304,14 +320,16 @@ class FilterEngine:
             url, url_tokens, resource_type, third_party, first_party_host, stats
         )
         if exception_hit is not None:
-            stats.exception_overrides += 1
+            if stats is not None:
+                stats.exception_overrides += 1
             return MatchResult(
                 blocked=False,
                 rule=block_hit[1],
                 exception_rule=exception_hit[1],
                 list_name=exception_hit[2],
             )
-        stats.blocked += 1
+        if stats is not None:
+            stats.blocked += 1
         return MatchResult(blocked=True, rule=block_hit[1], list_name=block_hit[2])
 
     def would_block(

@@ -36,17 +36,21 @@ from repro.obs.history import (
     HistoryCheck,
     append_history,
     check_history,
+    check_json,
     fingerprint_key,
     git_sha,
     hardware_fingerprint,
     read_history,
+    render_check,
 )
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.perf import (
     FlameReport,
     TraceDiff,
     build_flame,
+    diff_json,
     diff_traces,
+    flame_json,
     render_diff,
     render_flame,
 )
@@ -123,7 +127,11 @@ __all__ = [
     "append_history",
     "build_flame",
     "check_history",
+    "check_json",
+    "diff_json",
     "diff_traces",
+    "flame_json",
+    "render_check",
     "fingerprint_key",
     "git_sha",
     "hardware_fingerprint",

@@ -1,0 +1,98 @@
+"""A stdlib HTTP frontend over :class:`ServeService`.
+
+``POST /v1/query`` takes one wire envelope (see
+:mod:`repro.serve.types`) and returns the response envelope;
+``GET /v1/snapshot`` is the health/version probe. The server is a
+:class:`ThreadingHTTPServer`, so concurrent requests exercise exactly
+the shared-snapshot path the in-process workers do.
+
+This is the operational wrapper, not the determinism surface — the
+byte-identical transcript contract is tested on the in-process script
+runner (:mod:`repro.serve.transcript`), where no socket framing can
+intervene.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.serve.types import (
+    ServeProtocolError,
+    SnapshotRequest,
+    decode_request,
+    result_line,
+)
+
+if TYPE_CHECKING:
+    from repro.serve.service import ServeService
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    server: "ServeHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # no per-request stderr noise; obs has the counters
+
+    def _reply(self, status: int, payload: str) -> None:
+        body = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path.rstrip("/") != "/v1/snapshot":
+            self._reply(404, json.dumps(
+                {"ok": False,
+                 "error": {"code": "not-found", "message": self.path}}
+            ))
+            return
+        result = self.server.service.handle(SnapshotRequest())
+        self._reply(200, result_line(result))
+
+    def do_POST(self) -> None:
+        if self.path.rstrip("/") != "/v1/query":
+            self._reply(404, json.dumps(
+                {"ok": False,
+                 "error": {"code": "not-found", "message": self.path}}
+            ))
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        try:
+            envelope = json.loads(self.rfile.read(length) or b"{}")
+            request = decode_request(envelope)
+        except (ValueError, ServeProtocolError) as exc:
+            code = getattr(exc, "code", "bad-request")
+            self._reply(400, json.dumps(
+                {"ok": False,
+                 "error": {"code": code, "message": str(exc)}}
+            ))
+            return
+        result = self.server.service.handle(request)
+        self._reply(200 if result.ok else 400, result_line(result))
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ServeService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: "ServeService", address=("127.0.0.1", 0)):
+        super().__init__(address, _ServeHandler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after binding port 0)."""
+        return self.server_address[1]
+
+
+def make_server(
+    service: "ServeService", host: str = "127.0.0.1", port: int = 0
+) -> ServeHTTPServer:
+    """Bind (but do not start) an HTTP frontend for ``service``."""
+    return ServeHTTPServer(service, (host, port))

@@ -1,0 +1,328 @@
+"""The query service: N workers, one shared snapshot, atomic hot-swap.
+
+:class:`ServeService` holds a reference to the current
+:class:`~repro.serve.snapshot.ServeSnapshot` and dispatches typed
+requests against it. The concurrency contract:
+
+* Every request (and every *batch*) is answered entirely from one
+  snapshot, taken under a lease at dispatch time — so a response
+  always carries exactly one snapshot fingerprint, and a batch's items
+  are mutually consistent even if a swap lands mid-batch.
+* :meth:`ServeService.swap` installs the new snapshot atomically
+  (a single reference assignment under the lock — new requests lease
+  the new snapshot immediately, nothing is rejected or dropped) and
+  then blocks until every lease on the old snapshot is released, so
+  the caller knows when the old engines are unreachable and
+  collectable.
+* Matching never mutates shared state: engines are called with
+  ``stats=None`` and per-endpoint telemetry goes to the service's own
+  obs registry. The SERVE-RO flow zone pins this module statically
+  read-only (no filesystem writes reachable from serving).
+
+Endpoint latency is recorded into per-endpoint histograms
+(``serve.latency_us.<endpoint>``) on the optional obs registry — they
+feed ``repro perf`` reporting, never the response transcript (which
+must stay byte-identical across runs, worker counts, and hardware).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.util.obsclock import WallClock
+
+from repro.net.domains import registrable_domain
+from repro.net.http import ResourceType
+from repro.serve.snapshot import ServeSnapshot, resource_type_for
+from repro.serve.types import (
+    SERVE_VERSION,
+    ArtifactRequest,
+    ArtifactResponse,
+    BatchCheckRequest,
+    BatchCheckResponse,
+    BatchClassifyRequest,
+    BatchClassifyResponse,
+    CheckRequest,
+    CheckResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    ServeError,
+    ServeProtocolError,
+    ServeRequest,
+    ServeResult,
+    SnapshotInfo,
+    SnapshotRequest,
+)
+
+if TYPE_CHECKING:
+    from repro.obs import Obs
+
+#: Microsecond bounds for the per-endpoint latency histograms.
+_LATENCY_BOUNDS_US = (
+    5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 50_000.0,
+)
+
+
+class SwapError(RuntimeError):
+    """A snapshot swap that would violate the version monotonicity."""
+
+
+class ServeService:
+    """Dispatches typed serve requests against the current snapshot."""
+
+    def __init__(
+        self, snapshot: ServeSnapshot, obs: "Obs | None" = None
+    ) -> None:
+        self._cond = threading.Condition()
+        self._current = snapshot
+        self._inflight: dict[int, int] = {}
+        self.obs = obs
+        # Latency wants wall time, not deterministic ticks; WallClock
+        # is the sanctioned counter, and its readings only ever reach
+        # obs histograms — never the response transcript.
+        self._wall = WallClock()
+        self.served = 0
+        self.swaps = 0
+
+    @property
+    def snapshot(self) -> ServeSnapshot:
+        """The snapshot new requests will lease right now."""
+        with self._cond:
+            return self._current
+
+    @contextmanager
+    def lease(self) -> Iterator[ServeSnapshot]:
+        """Pin one snapshot for the duration of one request/batch.
+
+        The lease is what makes the swap atomic from a client's view:
+        everything answered inside it comes from one snapshot.
+        """
+        with self._cond:
+            snapshot = self._current
+            self._inflight[snapshot.version] = (
+                self._inflight.get(snapshot.version, 0) + 1
+            )
+        try:
+            yield snapshot
+        finally:
+            with self._cond:
+                remaining = self._inflight[snapshot.version] - 1
+                if remaining:
+                    self._inflight[snapshot.version] = remaining
+                else:
+                    del self._inflight[snapshot.version]
+                    self._cond.notify_all()
+
+    def swap(self, snapshot: ServeSnapshot) -> dict:
+        """Install ``snapshot`` and drain the old one.
+
+        New requests see the new snapshot the moment it is installed;
+        the call then blocks until every in-flight lease on the old
+        snapshot has been released. Zero queries are dropped: a query
+        is answered by whichever snapshot it leased.
+
+        Returns:
+            A swap report: old/new fingerprints and versions.
+
+        Raises:
+            SwapError: If ``snapshot.version`` does not increase.
+        """
+        with self._cond:
+            old = self._current
+            if snapshot.version <= old.version:
+                raise SwapError(
+                    f"snapshot version must increase: "
+                    f"{snapshot.version} <= {old.version}"
+                )
+            self._current = snapshot
+            self._cond.wait_for(
+                lambda: self._inflight.get(old.version, 0) == 0
+            )
+            self.swaps += 1
+        return {
+            "old_fingerprint": old.fingerprint,
+            "new_fingerprint": snapshot.fingerprint,
+            "old_version": old.version,
+            "new_version": snapshot.version,
+        }
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request: ServeRequest) -> ServeResult:
+        """Answer one typed request from one leased snapshot."""
+        start = self._wall.now()
+        with self.lease() as snapshot:
+            result = self._dispatch(snapshot, request)
+        self.served += 1
+        if self.obs is not None:
+            elapsed_us = (self._wall.now() - start) / 1e3
+            self.obs.metrics.counter(
+                f"serve.requests.{result.endpoint}"
+            ).inc()
+            self.obs.metrics.histogram(
+                f"serve.latency_us.{result.endpoint}", _LATENCY_BOUNDS_US
+            ).observe(elapsed_us)
+            if not result.ok:
+                self.obs.metrics.counter("serve.errors").inc()
+        return result
+
+    def _dispatch(
+        self, snapshot: ServeSnapshot, request: ServeRequest
+    ) -> ServeResult:
+        try:
+            if isinstance(request, CheckRequest):
+                return self._ok(
+                    snapshot, "check", self._check(snapshot, request)
+                )
+            if isinstance(request, ClassifyRequest):
+                return self._ok(
+                    snapshot, "classify", self._classify(snapshot, request)
+                )
+            if isinstance(request, ArtifactRequest):
+                return self._ok(
+                    snapshot, "artifact", self._artifact(snapshot, request)
+                )
+            if isinstance(request, SnapshotRequest):
+                return self._ok(
+                    snapshot, "snapshot", self._snapshot_info(snapshot)
+                )
+            if isinstance(request, BatchCheckRequest):
+                return self._ok(
+                    snapshot,
+                    "batch_check",
+                    BatchCheckResponse(items=tuple(
+                        self._check(snapshot, item)
+                        for item in request.items
+                    )),
+                )
+            if isinstance(request, BatchClassifyRequest):
+                return self._ok(
+                    snapshot,
+                    "batch_classify",
+                    BatchClassifyResponse(items=tuple(
+                        self._classify(snapshot, item)
+                        for item in request.items
+                    )),
+                )
+            raise ServeProtocolError(
+                "bad-request",
+                f"unsupported request type {type(request).__name__}",
+            )
+        except ServeProtocolError as exc:
+            endpoint = _ENDPOINT_OF.get(type(request), "unknown")
+            return ServeResult(
+                endpoint=endpoint,
+                fingerprint=snapshot.fingerprint,
+                ok=False,
+                error=ServeError(code=exc.code, message=str(exc)),
+            )
+
+    @staticmethod
+    def _ok(snapshot: ServeSnapshot, endpoint: str, body) -> ServeResult:
+        return ServeResult(
+            endpoint=endpoint,
+            fingerprint=snapshot.fingerprint,
+            ok=True,
+            body=body,
+        )
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _check(
+        self, snapshot: ServeSnapshot, request: CheckRequest
+    ) -> CheckResponse:
+        engine = snapshot.engine_for(request.phase)
+        if engine is None:
+            raise ServeProtocolError(
+                "unknown-phase",
+                f"unknown phase {request.phase!r} "
+                f"(snapshot has {', '.join(snapshot.phases)})",
+            )
+        try:
+            resource_type = resource_type_for(request.resource_type)
+        except ValueError as exc:
+            raise ServeProtocolError("bad-request", str(exc)) from exc
+        verdict = engine.match(
+            request.url,
+            resource_type,
+            request.first_party_url,
+            stats=None,
+        )
+        # The paper's split: pre-58 Chrome never delivered WebSocket
+        # requests to onBeforeRequest, so the extension's verdict is
+        # moot — the handshake always proceeds.
+        wrb_suppressed = resource_type is ResourceType.WEBSOCKET
+        return CheckResponse(
+            url=request.url,
+            resource_type=resource_type.value,
+            phase=request.phase or snapshot.default_phase,
+            matched=verdict.matched,
+            blocked=verdict.blocked,
+            rule=verdict.rule.raw if verdict.rule else "",
+            exception_rule=(
+                verdict.exception_rule.raw if verdict.exception_rule else ""
+            ),
+            list_name=verdict.list_name,
+            wrb_suppressed=wrb_suppressed,
+            pre58_blocked=verdict.blocked and not wrb_suppressed,
+            post58_blocked=verdict.blocked,
+        )
+
+    def _classify(
+        self, snapshot: ServeSnapshot, request: ClassifyRequest
+    ) -> ClassifyResponse:
+        if not request.domain:
+            raise ServeProtocolError("bad-request", "domain is required")
+        domain = registrable_domain(request.domain)
+        aa_count, non_aa_count = snapshot.tag_counter.counts(domain)
+        return ClassifyResponse(
+            domain=request.domain,
+            registrable_domain=domain,
+            is_aa=snapshot.labeler.is_aa(request.domain),
+            aa_count=aa_count,
+            non_aa_count=non_aa_count,
+            threshold=snapshot.labeler.threshold,
+        )
+
+    def _artifact(
+        self, snapshot: ServeSnapshot, request: ArtifactRequest
+    ) -> ArtifactResponse:
+        if not request.stage:
+            raise ServeProtocolError("bad-request", "stage is required")
+        wanted = request.fingerprint or snapshot.dataset_fingerprint
+        found = (
+            wanted == snapshot.dataset_fingerprint
+            and request.stage in snapshot.artifacts
+        )
+        return ArtifactResponse(
+            stage=request.stage,
+            fingerprint=snapshot.dataset_fingerprint,
+            found=found,
+            artifact=snapshot.artifacts[request.stage] if found else None,
+        )
+
+    def _snapshot_info(self, snapshot: ServeSnapshot) -> SnapshotInfo:
+        return SnapshotInfo(
+            serve_version=SERVE_VERSION,
+            snapshot_version=snapshot.version,
+            fingerprint=snapshot.fingerprint,
+            phases=snapshot.phases,
+            rule_counts=snapshot.rule_counts(),
+            aa_domains=len(snapshot.labeler),
+            artifact_stages=tuple(sorted(snapshot.artifacts)),
+            dataset_fingerprint=snapshot.dataset_fingerprint,
+            healthy=True,
+        )
+
+
+_ENDPOINT_OF = {
+    CheckRequest: "check",
+    ClassifyRequest: "classify",
+    ArtifactRequest: "artifact",
+    SnapshotRequest: "snapshot",
+    BatchCheckRequest: "batch_check",
+    BatchClassifyRequest: "batch_classify",
+}

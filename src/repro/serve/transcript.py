@@ -1,0 +1,132 @@
+"""Scripted query mixes and response transcripts.
+
+The serve determinism contract is tested end to end with scripted
+runs: a seeded query mix (URLs sampled from the snapshot's own lists,
+so checks exercise hits, exceptions, and misses) is answered by the
+service and every response envelope is written as one canonical JSON
+line. Same stream ⇒ byte-identical transcript, across runs *and*
+across worker counts — `cmp` in CI's ``serve-smoke`` job is the gate.
+
+This module owns the only filesystem write in the serve package
+(:func:`write_transcript`), which is why it sits outside the SERVE-RO
+flow zone: serving itself is statically read-only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.serve.types import (
+    ArtifactRequest,
+    BatchCheckRequest,
+    CheckRequest,
+    ClassifyRequest,
+    ServeRequest,
+    ServeResult,
+    SnapshotRequest,
+    result_line,
+)
+from repro.util.atomicio import atomic_open
+from repro.util.rng import RngStream
+from repro.util.urls import parse_url
+from repro.web.filterlists import generate_request_corpus
+
+if TYPE_CHECKING:
+    from repro.filters import FilterList
+
+#: Endpoint mix of a generated query stream (weights sum to 1.0):
+#: mostly single checks, a realistic share of batches and classifies,
+#: an occasional artifact fetch and health poll.
+_MIX = (
+    ("check", 0.62),
+    ("batch_check", 0.10),
+    ("classify", 0.20),
+    ("artifact", 0.04),
+    ("snapshot", 0.04),
+)
+
+_BATCH_SIZE = 16
+
+_ARTIFACT_STAGES = ("table1", "table2", "figure3")
+
+
+def generate_query_mix(
+    lists: "Sequence[FilterList]",
+    count: int,
+    *,
+    seed: int = 2018,
+) -> list[ServeRequest]:
+    """A deterministic stream of ``count`` typed serve requests.
+
+    Check URLs come from :func:`generate_request_corpus` over the same
+    lists the snapshot compiled (≈45% hit-derived, so verdicts are a
+    real mix); classify domains are the hosts of those URLs.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    corpus = generate_request_corpus(
+        lists, max(count, _BATCH_SIZE * 2), seed=seed
+    )
+    rng = RngStream(seed, "serve", "query-mix", count)
+    requests: list[ServeRequest] = []
+    cursor = 0
+
+    def next_check() -> CheckRequest:
+        nonlocal cursor
+        url, resource_type, first_party = corpus[cursor % len(corpus)]
+        cursor += 1
+        return CheckRequest(
+            url=url,
+            resource_type=resource_type.value,
+            first_party_url=first_party,
+        )
+
+    while len(requests) < count:
+        draw = rng.random()
+        acc = 0.0
+        endpoint = _MIX[-1][0]
+        for name, weight in _MIX:
+            acc += weight
+            if draw < acc:
+                endpoint = name
+                break
+        if endpoint == "check":
+            requests.append(next_check())
+        elif endpoint == "batch_check":
+            requests.append(BatchCheckRequest(items=tuple(
+                next_check() for _ in range(_BATCH_SIZE)
+            )))
+        elif endpoint == "classify":
+            url, _, _ = corpus[cursor % len(corpus)]
+            cursor += 1
+            host = parse_url(url).host or "example.com"
+            requests.append(ClassifyRequest(domain=host))
+        elif endpoint == "artifact":
+            stage = _ARTIFACT_STAGES[
+                rng.randint(0, len(_ARTIFACT_STAGES) - 1)
+            ]
+            requests.append(ArtifactRequest(stage=stage))
+        else:
+            requests.append(SnapshotRequest())
+    return requests
+
+
+def transcript_lines(results: Iterable[ServeResult]) -> list[str]:
+    """Canonical one-line-per-response transcript records."""
+    return [result_line(result) for result in results]
+
+
+def write_transcript(
+    path: str | Path, results: Iterable[ServeResult]
+) -> int:
+    """Write the response transcript atomically; returns line count.
+
+    The byte-identity artifact: `cmp`-equal across reruns of the same
+    query stream, whatever the worker count.
+    """
+    lines = transcript_lines(results)
+    with atomic_open(Path(path)) as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)

@@ -1,0 +1,448 @@
+"""The versioned `repro serve` wire types (``SERVE_VERSION 1``).
+
+Every endpoint has a frozen request dataclass and a frozen response
+dataclass; the CLI, the in-process service, the HTTP frontend, and the
+tests all share these — there is no second, informal encoding. The
+wire envelope is::
+
+    request:  {"endpoint": "check", "v": 1, "body": {...}}
+    response: {"endpoint": "check", "v": 1, "fingerprint": "…",
+               "ok": true, "body": {...}}
+              {"endpoint": "check", "v": 1, "fingerprint": "…",
+               "ok": false, "error": {"code": "…", "message": "…"}}
+
+``fingerprint`` is the content address of the :class:`ServeSnapshot`
+that answered — the hot-swap observability hook: a batched request is
+answered entirely from one snapshot, so every response in it echoes
+the same fingerprint, and queries racing a swap see either the old or
+the new fingerprint, never a blend.
+
+JSON schemas for every body are generated from the dataclasses
+themselves (:data:`SERVE_SCHEMAS`), so the documented schema cannot
+drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Wire-format version. Bump on any incompatible request/response change.
+SERVE_VERSION = 1
+
+
+class ServeProtocolError(ValueError):
+    """A request that cannot be decoded into a typed endpoint request.
+
+    Attributes:
+        code: Stable machine-readable error code for the wire error
+            object (``bad-request``, ``unknown-endpoint``,
+            ``version-mismatch``).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+# -- endpoint requests ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """Would this request/WebSocket be blocked, pre- and post-Chrome-58?
+
+    Attributes:
+        url: Request URL (http/https/ws/wss).
+        resource_type: ``chrome.webRequest`` resource type string
+            (``"websocket"`` for socket handshakes).
+        first_party_url: Top-level page URL providing party context.
+        phase: Study-phase name selecting a compiled list; ``""`` means
+            the snapshot's default (first) phase.
+    """
+
+    url: str
+    resource_type: str = "script"
+    first_party_url: str = ""
+    phase: str = ""
+
+
+@dataclass(frozen=True)
+class CheckResponse:
+    """The verdict, the decisive rules, and the WRB pre/post-58 split.
+
+    Attributes:
+        url / resource_type / phase: Echo of the resolved request.
+        matched: Whether any blocking rule matched (pre-exception).
+        blocked: Engine verdict after exception processing.
+        rule: Raw text of the decisive blocking rule (``""`` if none).
+        exception_rule: Raw text of the rescuing exception (``""``).
+        list_name: List contributing the decisive rule.
+        wrb_suppressed: True when a pre-58 Chrome would never deliver
+            this request to ``onBeforeRequest`` (the WebSocket bug the
+            paper is about) — the extension cannot block what it never
+            sees.
+        pre58_blocked: Effective verdict under Chrome < 58.
+        post58_blocked: Effective verdict once the WRB fix landed.
+    """
+
+    url: str
+    resource_type: str
+    phase: str
+    matched: bool
+    blocked: bool
+    rule: str
+    exception_rule: str
+    list_name: str
+    wrb_suppressed: bool
+    pre58_blocked: bool
+    post58_blocked: bool
+
+
+@dataclass(frozen=True)
+class ClassifyRequest:
+    """Is this domain ad-and-analytics under ``a(d) ≥ 0.1·n(d)``?"""
+
+    domain: str
+
+
+@dataclass(frozen=True)
+class ClassifyResponse:
+    """The A&A decision with its evidence.
+
+    Attributes:
+        domain: Echo of the queried host/domain.
+        registrable_domain: The second-level domain actually labeled.
+        is_aa: The labeler's decision.
+        aa_count / non_aa_count: ``a(d)`` and ``n(d)`` from the
+            snapshot's tag corpus (both 0 for never-observed domains).
+        threshold: The ratio the snapshot's labeler used.
+    """
+
+    domain: str
+    registrable_domain: str
+    is_aa: bool
+    aa_count: int
+    non_aa_count: int
+    threshold: float
+
+
+@dataclass(frozen=True)
+class ArtifactRequest:
+    """Fetch a cached table/figure artifact by stage name.
+
+    Attributes:
+        stage: Stage name (``table1`` … ``figure3`` …).
+        fingerprint: Dataset fingerprint the artifact must belong to;
+            ``""`` accepts the snapshot's own dataset fingerprint.
+    """
+
+    stage: str
+    fingerprint: str = ""
+
+
+@dataclass(frozen=True)
+class ArtifactResponse:
+    """One cached artifact (or a recorded miss).
+
+    Attributes:
+        stage: Echo of the requested stage.
+        fingerprint: Dataset fingerprint the artifact was computed for.
+        found: Whether the snapshot holds this artifact.
+        artifact: The JSON-encoded stage artifact (``None`` on a miss).
+    """
+
+    stage: str
+    fingerprint: str
+    found: bool
+    artifact: Any = None
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Version/fingerprint/health of the currently served snapshot."""
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """The snapshot endpoint's body.
+
+    Attributes:
+        serve_version: Wire-format version (:data:`SERVE_VERSION`).
+        snapshot_version: Monotonic snapshot counter (bumps per swap).
+        fingerprint: Content address of the snapshot.
+        phases: Phase names, default phase first.
+        rule_counts: Phase name → compiled rule count.
+        aa_domains: Size of the A&A label set.
+        artifact_stages: Stage names with cached artifacts.
+        dataset_fingerprint: Content address of the labeling dataset.
+        healthy: Liveness flag (always True from a serving snapshot —
+            the endpoint existing is the health check).
+    """
+
+    serve_version: int
+    snapshot_version: int
+    fingerprint: str
+    phases: tuple[str, ...]
+    rule_counts: dict[str, int]
+    aa_domains: int
+    artifact_stages: tuple[str, ...]
+    dataset_fingerprint: str
+    healthy: bool
+
+
+@dataclass(frozen=True)
+class BatchCheckRequest:
+    """Many checks answered atomically from one snapshot."""
+
+    items: tuple[CheckRequest, ...] = ()
+
+
+@dataclass(frozen=True)
+class BatchCheckResponse:
+    """Per-item verdicts, in request order."""
+
+    items: tuple[CheckResponse, ...] = ()
+
+
+@dataclass(frozen=True)
+class BatchClassifyRequest:
+    """Many A&A decisions answered atomically from one snapshot."""
+
+    items: tuple[ClassifyRequest, ...] = ()
+
+
+@dataclass(frozen=True)
+class BatchClassifyResponse:
+    """Per-item decisions, in request order."""
+
+    items: tuple[ClassifyResponse, ...] = ()
+
+
+@dataclass(frozen=True)
+class ServeError:
+    """The error body of a failed response."""
+
+    code: str
+    message: str
+
+
+ServeRequest = (
+    CheckRequest
+    | ClassifyRequest
+    | ArtifactRequest
+    | SnapshotRequest
+    | BatchCheckRequest
+    | BatchClassifyRequest
+)
+
+#: Endpoint name → (request type, response type).
+ENDPOINTS: dict[str, tuple[type, type]] = {
+    "check": (CheckRequest, CheckResponse),
+    "classify": (ClassifyRequest, ClassifyResponse),
+    "artifact": (ArtifactRequest, ArtifactResponse),
+    "snapshot": (SnapshotRequest, SnapshotInfo),
+    "batch_check": (BatchCheckRequest, BatchCheckResponse),
+    "batch_classify": (BatchClassifyRequest, BatchClassifyResponse),
+}
+
+_REQUEST_ENDPOINT = {req: name for name, (req, _) in ENDPOINTS.items()}
+
+# Nested request/response payload fields that decode into dataclasses.
+_NESTED_ITEM_TYPES: dict[type, type] = {
+    BatchCheckRequest: CheckRequest,
+    BatchClassifyRequest: ClassifyRequest,
+    BatchCheckResponse: CheckResponse,
+    BatchClassifyResponse: ClassifyResponse,
+}
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One response envelope: what one endpoint call produced.
+
+    Attributes:
+        endpoint: Endpoint name.
+        fingerprint: Fingerprint of the snapshot that answered.
+        ok: Whether ``body`` (vs ``error``) is populated.
+        body: The endpoint's typed response on success.
+        error: The typed error on failure.
+    """
+
+    endpoint: str
+    fingerprint: str
+    ok: bool
+    body: Any = None
+    error: ServeError | None = None
+
+    def to_json(self) -> dict:
+        """The canonical wire dict for this result."""
+        payload: dict[str, Any] = {
+            "endpoint": self.endpoint,
+            "v": SERVE_VERSION,
+            "fingerprint": self.fingerprint,
+            "ok": self.ok,
+        }
+        if self.ok:
+            payload["body"] = _body_to_json(self.body)
+        else:
+            payload["error"] = dataclasses.asdict(self.error)
+        return payload
+
+
+def _body_to_json(body: Any) -> Any:
+    if dataclasses.is_dataclass(body) and not isinstance(body, type):
+        out = {}
+        for f in dataclasses.fields(body):
+            value = getattr(body, f.name)
+            if isinstance(value, tuple):
+                value = [_body_to_json(v) for v in value]
+            out[f.name] = _body_to_json(value) if dataclasses.is_dataclass(
+                value
+            ) else value
+        return out
+    return body
+
+
+def encode_request(request: ServeRequest) -> dict:
+    """The wire envelope for a typed request."""
+    endpoint = _REQUEST_ENDPOINT.get(type(request))
+    if endpoint is None:
+        raise ServeProtocolError(
+            "bad-request", f"not a serve request: {type(request).__name__}"
+        )
+    return {
+        "endpoint": endpoint,
+        "v": SERVE_VERSION,
+        "body": _body_to_json(request),
+    }
+
+
+def _decode_body(cls: type, payload: Any) -> Any:
+    if not isinstance(payload, dict):
+        raise ServeProtocolError(
+            "bad-request", f"{cls.__name__} body must be an object"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ServeProtocolError(
+            "bad-request",
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}",
+        )
+    kwargs = dict(payload)
+    item_type = _NESTED_ITEM_TYPES.get(cls)
+    if item_type is not None and "items" in kwargs:
+        items = kwargs["items"]
+        if not isinstance(items, list):
+            raise ServeProtocolError(
+                "bad-request", f"{cls.__name__}.items must be an array"
+            )
+        kwargs["items"] = tuple(
+            _decode_body(item_type, item) for item in items
+        )
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ServeProtocolError("bad-request", str(exc)) from exc
+
+
+def decode_request(envelope: Any) -> ServeRequest:
+    """Parse one wire envelope into a typed endpoint request.
+
+    Raises:
+        ServeProtocolError: On a malformed envelope, an unknown
+            endpoint, or a serve-version mismatch.
+    """
+    if not isinstance(envelope, dict):
+        raise ServeProtocolError("bad-request", "envelope must be an object")
+    version = envelope.get("v", SERVE_VERSION)
+    if version != SERVE_VERSION:
+        raise ServeProtocolError(
+            "version-mismatch",
+            f"serve version {version!r} unsupported (want {SERVE_VERSION})",
+        )
+    endpoint = envelope.get("endpoint")
+    pair = ENDPOINTS.get(endpoint)
+    if pair is None:
+        raise ServeProtocolError(
+            "unknown-endpoint", f"unknown endpoint: {endpoint!r}"
+        )
+    return _decode_body(pair[0], envelope.get("body", {}))
+
+
+def result_line(result: ServeResult) -> str:
+    """One canonical transcript line (sorted keys, compact separators).
+
+    This is the byte-identity surface: the same query stream must
+    yield the same transcript bytes across runs and worker counts.
+    """
+    return json.dumps(
+        result.to_json(), sort_keys=True, separators=(",", ":")
+    )
+
+
+# -- generated JSON schemas -------------------------------------------------
+
+
+def _type_schema(annotation: Any) -> dict:
+    origin = typing.get_origin(annotation)
+    if origin is tuple:
+        args = [a for a in typing.get_args(annotation) if a is not Ellipsis]
+        item = args[0] if args else Any
+        return {"type": "array", "items": _type_schema(item)}
+    if origin is dict:
+        args = typing.get_args(annotation)
+        value = args[1] if len(args) == 2 else Any
+        return {"type": "object", "additionalProperties": _type_schema(value)}
+    if annotation is str:
+        return {"type": "string"}
+    if annotation is bool:
+        return {"type": "boolean"}
+    if annotation is int:
+        return {"type": "integer"}
+    if annotation is float:
+        return {"type": "number"}
+    if dataclasses.is_dataclass(annotation):
+        return _dataclass_schema(annotation)
+    return {}  # Any
+
+
+def _dataclass_schema(cls: type) -> dict:
+    hints = typing.get_type_hints(cls)
+    properties = {}
+    required = []
+    for f in dataclasses.fields(cls):
+        properties[f.name] = _type_schema(hints[f.name])
+        if (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            required.append(f.name)
+    schema: dict[str, Any] = {
+        "type": "object",
+        "properties": properties,
+        "additionalProperties": False,
+    }
+    if required:
+        schema["required"] = required
+    return schema
+
+
+def _build_schemas() -> dict[str, dict]:
+    schemas = {}
+    for endpoint, (request_type, response_type) in ENDPOINTS.items():
+        schemas[endpoint] = {
+            "serve_version": SERVE_VERSION,
+            "request": _dataclass_schema(request_type),
+            "response": _dataclass_schema(response_type),
+        }
+    return schemas
+
+
+#: Endpoint → generated request/response JSON schemas, straight from
+#: the dataclasses above (the README embeds these; tests pin them).
+SERVE_SCHEMAS: dict[str, dict] = _build_schemas()

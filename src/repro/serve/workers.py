@@ -1,0 +1,64 @@
+"""N worker frontends over one :class:`ServeService`.
+
+Workers are threads sharing the service (and through it, the current
+snapshot) — the shape the compiled engine was built for: the index is
+immutable, matching with ``stats=None`` is read-only, so concurrent
+workers need no coordination beyond the service's snapshot lease.
+
+Determinism contract: responses are collected *by request index*, so
+the response stream is in request order for any worker count — the
+transcript bytes for a query stream are identical at ``--workers 1``
+and ``--workers 8`` (pinned by tests and the CI ``serve-smoke`` job).
+Work is dealt round-robin by index, which keeps the assignment itself
+deterministic too (only scheduling interleaving varies, and nothing
+observable depends on it).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Sequence
+
+from repro.serve.types import ServeRequest, ServeResult
+
+if TYPE_CHECKING:
+    from repro.serve.service import ServeService
+
+
+def run_workers(
+    service: "ServeService",
+    requests: Sequence[ServeRequest],
+    workers: int = 1,
+) -> list[ServeResult]:
+    """Answer ``requests`` on ``workers`` threads, in request order.
+
+    Every request is answered exactly once (the zero-drop guarantee a
+    hot-swap must preserve); the returned list aligns index-for-index
+    with ``requests``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    results: list[ServeResult | None] = [None] * len(requests)
+    if workers == 1 or len(requests) <= 1:
+        for index, request in enumerate(requests):
+            results[index] = service.handle(request)
+        return results  # type: ignore[return-value]
+
+    def worker(offset: int) -> None:
+        for index in range(offset, len(requests), workers):
+            results[index] = service.handle(requests[index])
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(offset,), name=f"serve-worker-{offset}"
+        )
+        for offset in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    missing = sum(1 for r in results if r is None)
+    if missing:
+        raise RuntimeError(f"{missing} queries dropped")  # pragma: no cover
+    return results  # type: ignore[return-value]

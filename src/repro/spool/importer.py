@@ -60,7 +60,7 @@ from repro.util.serialization import dumps, iter_lines
 
 if TYPE_CHECKING:
     from repro.crawler.dataset import StudyDataset
-    from repro.filters.engine import FilterEngine
+    from repro.filters import FilterEngine
 
 JOURNAL_NAME = "import.journal"
 JOURNAL_KIND = "spool-import-journal"

@@ -11,6 +11,16 @@ change without notice. One rule makes the boundary checkable in CI:
   ``from repro.x import _y``) or a private name
   (``from repro.x.y import _name``) from a file whose own module path
   is not inside the owning package.
+* ``API-FACADE`` — an import that reaches *into* a facade-gated
+  package by dotted submodule path (``from repro.filters.engine
+  import ...`` / ``import repro.obs.history``) from a file outside
+  that package. The gated packages (:data:`FACADE_PACKAGES`) publish
+  an explicit ``__all__`` on their ``__init__``; everything else in
+  them is internal layout that may move without notice. Import from
+  the package facade — or from the root-level ``repro.api`` module,
+  which re-exports the sanctioned union. A record that already
+  violates ``API-PRIVATE`` reports only that (one finding per
+  import).
 
 The owning package of ``repro.x._y`` (or of ``_name`` in
 ``repro.x.y``) is ``repro.x``; any module at or below ``repro.x`` may
@@ -39,6 +49,18 @@ from pathlib import Path
 from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
 
 _PRAGMA = "api: allow"
+
+#: Packages whose submodules are internal: cross-package code must go
+#: through the package facade (``from repro.filters import ...``) or
+#: the root-level ``repro.api`` aggregate. Same set the serve redesign
+#: froze — extend it when a package grows a deliberate ``__all__``.
+FACADE_PACKAGES = frozenset({
+    "repro.analysis",
+    "repro.filters",
+    "repro.obs",
+    "repro.serve",
+    "repro.spool",
+})
 
 
 @dataclass(frozen=True)
@@ -155,29 +177,57 @@ def _private_violation(
     return None
 
 
+def _facade_violation(
+    record: ImportRecord, module: str, facade_packages: frozenset[str],
+) -> tuple[str, str] | None:
+    """The (target, owner) pair when the record bypasses a facade."""
+    if record.level or not record.module.startswith("repro"):
+        return None
+    for owner in facade_packages:
+        if record.module.startswith(owner + "."):
+            if not _within(module, owner):
+                return record.module, owner
+            return None
+    return None
+
+
 def check_import_records(
     records: list[ImportRecord],
     path: str,
     module: str,
     packages: frozenset[str] = frozenset(),
+    facade_packages: frozenset[str] = FACADE_PACKAGES,
 ) -> LintReport:
-    """API-PRIVATE findings for one module's extracted import records."""
+    """API-PRIVATE/API-FACADE findings for one module's import records."""
     report = LintReport()
     for record in records:
         if record.suppressed:
             continue
         violation = _private_violation(record, module, packages)
-        if violation is None:
+        if violation is not None:
+            target, owner = violation
+            report.add(Diagnostic(
+                rule_id="API-PRIVATE",
+                severity=Severity.ERROR,
+                source=f"{path}:{record.lineno}",
+                message=f"import of package-private {target!r} from outside "
+                        f"{owner!r}",
+                fix_hint=f"use the public API re-exported by {owner}, or "
+                         f"move the importer into the package",
+            ))
             continue
-        target, owner = violation
+        bypass = _facade_violation(record, module, facade_packages)
+        if bypass is None:
+            continue
+        target, owner = bypass
         report.add(Diagnostic(
-            rule_id="API-PRIVATE",
+            rule_id="API-FACADE",
             severity=Severity.ERROR,
             source=f"{path}:{record.lineno}",
-            message=f"import of package-private {target!r} from outside "
-                    f"{owner!r}",
-            fix_hint=f"use the public API re-exported by {owner}, or move "
-                     f"the importer into the package",
+            message=f"deep import of {target!r} bypasses the {owner!r} "
+                    f"facade",
+            fix_hint=f"import the name from {owner} (or repro.api); "
+                     f"submodule paths under it are internal layout",
         ))
     return report
 

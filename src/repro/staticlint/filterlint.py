@@ -24,8 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.filters.compiled import CompiledFilterEngine
-from repro.filters.rules import FilterList, FilterRule
+from repro.filters import CompiledFilterEngine, FilterList, FilterRule
 from repro.net.domains import is_third_party, registrable_domain
 from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
 from repro.staticlint.probes import UrlProbe, UrlUniverse

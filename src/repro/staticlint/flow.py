@@ -32,6 +32,13 @@ enforces three *zone contracts* that per-file syntactic linting cannot:
   ``truncate_segment`` in ``repro.spool.segment`` — a recovery pass
   that could write anywhere else might destroy the very evidence
   (a torn tail, a corrupt frame) it exists to adjudicate.
+* ``SERVE-RO`` — **query-serving read-only zone**: answering a
+  `repro serve` query (``repro.serve.service`` / ``types`` /
+  ``workers``) must be statically read-only — N workers share one
+  immutable snapshot, so any write reachable from dispatch is a
+  race or a side channel. Snapshot *builders* (which may warm the
+  stage cache) and transcript writers deliberately live outside the
+  zone; there is no sanctioned write sink inside it.
 
 Every interprocedural finding carries the full call chain from the
 zone entry point to the effect's origin, both rendered in the message
@@ -81,7 +88,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "browser": 4, "staticlint": 4,
     "crawler": 5,
     "parallel": 6, "analysis": 6, "spool": 6,
-    "experiments": 7,
+    "experiments": 7, "serve": 7,
     "": 8,
 }
 
@@ -108,6 +115,13 @@ class FlowConfig:
         spool_sink_modules: The sanctioned repair boundary for that
             zone — segment primitives (``truncate_segment``) are the
             only place recovery-driven writes may happen.
+        serve_readonly_prefixes: Dotted module prefixes forming the
+            serving read-only zone (no ``fs-write``): answering a
+            query must be statically read-only over the shared
+            snapshot — snapshot *building* (which may warm the stage
+            cache) and transcript writing live outside the zone.
+        serve_sink_modules: Sanctioned write boundary for that zone
+            — empty by default: serving has no sanctioned writes.
     """
 
     root_package: str = "repro"
@@ -135,6 +149,10 @@ class FlowConfig:
     spool_sink_modules: frozenset[str] = frozenset(
         {"repro.spool.segment"}
     )
+    serve_readonly_prefixes: tuple[str, ...] = (
+        "repro.serve.service", "repro.serve.types", "repro.serve.workers",
+    )
+    serve_sink_modules: frozenset[str] = frozenset()
 
     def package_of(self, module: str, packages: frozenset[str]) -> str:
         """The layer-DAG package a module belongs to: its first path
@@ -163,6 +181,12 @@ class FlowConfig:
         return any(
             module == prefix or module.startswith(prefix + ".")
             for prefix in self.spool_readonly_prefixes
+        )
+
+    def in_serve_zone(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.serve_readonly_prefixes
         )
 
     def mask(self, node_module: str, effects: frozenset[str]) -> frozenset[str]:
@@ -535,6 +559,20 @@ def analyze_facts(
         "SPOOL-RO", "spool recovery (read-only over segments)",
         "recovery must not write; the one sanctioned repair is "
         "truncate_segment in repro.spool.segment",
+    ))
+
+    def serve_mask(module: str, node_effects: frozenset[str]) -> frozenset[str]:
+        node_effects = config.mask(module, node_effects)
+        if module in config.serve_sink_modules:
+            return node_effects - {FS_WRITE}
+        return node_effects
+
+    flow_report.extend(_zone_findings(
+        graph, effects, config.in_serve_zone,
+        frozenset({FS_WRITE}), serve_mask,
+        "SERVE-RO", "query serving (read-only over snapshots)",
+        "serving must not write; build snapshots and write transcripts "
+        "outside repro.serve.service/types/workers",
     ))
     flow_report.extend(_layer_findings(graph, config))
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.filters.rules import DEFAULT_TYPES, FilterList, FilterRule
+from repro.filters import DEFAULT_TYPES, FilterList, FilterRule
 from repro.net.http import ResourceType
 
 # The neutral embedding publisher: third-party to every company domain.

@@ -89,7 +89,7 @@ class FullLintResult:
         failing = [
             d for d in self.report.errors
             if d.rule_id.startswith(("DET-", "API-", "FLOW-", "OBS-",
-                                     "SPOOL-"))
+                                     "SPOOL-", "SERVE-"))
             or d.rule_id == "WR-XCHECK"
         ]
         return 1 if failing else 0

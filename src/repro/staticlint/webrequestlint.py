@@ -22,8 +22,7 @@ from repro.extension.webrequest import (
     RequestFilter,
     WebRequestApi,
 )
-from repro.filters.engine import FilterEngine
-from repro.filters.rules import FilterList
+from repro.filters import FilterEngine, FilterList
 from repro.net.http import HttpRequest, ResourceType
 from repro.staticlint.diagnostics import Diagnostic, LintReport, Severity
 from repro.staticlint.filterlint import analyze_filter_lists

@@ -26,10 +26,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.filters.compiled import CompiledFilterEngine
-from repro.filters.engine import FilterEngine
-from repro.filters.parser import parse_filter_list
-from repro.filters.rules import SCHEME_RE, FilterList, FilterRule
+from repro.filters import (
+    SCHEME_RE,
+    CompiledFilterEngine,
+    FilterEngine,
+    FilterList,
+    FilterRule,
+    parse_filter_list,
+)
 from repro.net.http import ResourceType
 from repro.util.rng import RngStream
 from repro.web.registry import CompanyRegistry

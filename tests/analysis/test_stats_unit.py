@@ -3,7 +3,7 @@
 from repro.analysis.classify import SocketView
 from repro.analysis.stats import compute_overall_stats
 from repro.analysis.table1 import compute_table1
-from repro.crawler.dataset import SocketRecord
+from repro.crawler.dataset import DatasetMeta, SocketRecord
 
 
 def _view(crawl, site, initiator, receiver, aa_init, aa_recv,
@@ -67,7 +67,9 @@ def test_table1_denominators():
         1: [("a.com", 1), ("b.com", 2), ("c.com", 3), ("d.com", 4)],
     }
     labels = {0: "first", 1: "second"}
-    rows = compute_table1(_views(), crawl_sites, labels)
+    rows = compute_table1(
+        _views(), DatasetMeta.from_mappings(crawl_sites, labels)
+    )
     assert rows[0].pct_sites_with_sockets == 75.0  # a, b, c of 4
     assert rows[1].pct_sites_with_sockets == 25.0  # only a
     assert rows[0].pct_sockets_aa_initiators == 50.0  # 2 of 4
@@ -75,7 +77,9 @@ def test_table1_denominators():
 
 
 def test_table1_empty_crawl():
-    rows = compute_table1([], {0: [("a.com", 1)]}, {0: "x"})
+    rows = compute_table1(
+        [], DatasetMeta.from_mappings({0: [("a.com", 1)]}, {0: "x"})
+    )
     assert rows[0].total_sockets == 0
     assert rows[0].pct_sites_with_sockets == 0.0
 

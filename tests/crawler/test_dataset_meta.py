@@ -1,4 +1,4 @@
-"""Tests for the typed ``DatasetMeta`` and its deprecated mapping shims."""
+"""Tests for the typed ``DatasetMeta`` and its mapping constructors."""
 
 import pytest
 
@@ -45,20 +45,31 @@ class TestDatasetMeta:
         assert meta.crawl_labels == tiny_study.dataset.crawl_labels
 
 
-class TestDeprecatedMappingShims:
-    def test_table1_mapping_args_warn_and_agree(self, tiny_study):
+class TestFromMappingsEquivalence:
+    """``DatasetMeta.from_mappings`` is the one sanctioned bridge from
+    raw mapping data (the deprecated positional-mapping arguments to
+    ``compute_table1``/``compute_figure3`` were removed in PR 10)."""
+
+    def test_table1_from_mappings_agrees_with_live_meta(self, tiny_study):
         meta = tiny_study.dataset.meta
         views = tiny_study.views
         modern = compute_table1(views, meta)
-        with pytest.warns(DeprecationWarning):
-            legacy = compute_table1(views, meta.crawl_sites,
-                                    meta.crawl_labels)
-        assert dumps(legacy) == dumps(modern)
+        bridged = compute_table1(views, DatasetMeta.from_mappings(
+            meta.crawl_sites, meta.crawl_labels
+        ))
+        assert dumps(bridged) == dumps(modern)
 
-    def test_figure3_mapping_args_warn_and_agree(self, tiny_study):
+    def test_figure3_from_mappings_agrees_with_live_meta(self, tiny_study):
         meta = tiny_study.dataset.meta
         views = tiny_study.views
         modern = compute_figure3(views, meta)
-        with pytest.warns(DeprecationWarning):
-            legacy = compute_figure3(views, meta.crawl_sites)
-        assert dumps(legacy) == dumps(modern)
+        bridged = compute_figure3(
+            views, DatasetMeta.from_mappings(meta.crawl_sites)
+        )
+        assert dumps(bridged) == dumps(modern)
+
+    def test_mapping_positional_args_are_rejected(self, tiny_study):
+        with pytest.raises(AttributeError):
+            compute_table1(
+                tiny_study.views, tiny_study.dataset.meta.crawl_sites
+            )

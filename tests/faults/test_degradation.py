@@ -70,8 +70,7 @@ def test_tables_compute_on_partial_data(flaky_study):
     labeler = flaky_study.labeler
     views = classify_sockets(flaky_study.dataset, labeler,
                              flaky_study.resolver)
-    table1 = compute_table1(views, flaky_study.dataset.crawl_sites,
-                            flaky_study.dataset.crawl_labels)
+    table1 = compute_table1(views, flaky_study.dataset.meta)
     assert [r.sites_crawled for r in table1] == \
         [r.sites_crawled for r in flaky_study.table1]
 

@@ -38,9 +38,7 @@ def _table1_text(dataset) -> str:
     labeler = dataset.derive_labeler()
     resolver = dataset.derive_resolver(labeler)
     views = classify_sockets(dataset, labeler, resolver)
-    return render_table1(compute_table1(
-        views, dataset.crawl_sites, dataset.crawl_labels
-    ))
+    return render_table1(compute_table1(views, dataset.meta))
 
 
 class _Killed(RuntimeError):

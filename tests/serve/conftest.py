@@ -1,0 +1,56 @@
+"""Shared serve fixtures: one 10k snapshot, cheap custom snapshots."""
+
+import pytest
+
+from repro.extension import WEBREQUEST_BUG_FIX_VERSION
+from repro.filters import CompiledFilterEngine
+from repro.labeling import AaLabeler, DomainTagCounter
+from repro.serve import ServeSnapshot, build_scale_snapshot, snapshot_fingerprint
+from repro.web.filterlists import generate_filter_lists
+
+
+def make_snapshot(
+    *,
+    version=1,
+    seed=7,
+    rules=400,
+    artifacts=None,
+    dataset_fingerprint="test-dataset",
+):
+    """A small snapshot built from public parts (fast: ~400 rules)."""
+    lists = generate_filter_lists(rules, seed=seed)
+    counter = DomainTagCounter()
+    counter.observe("tracker.example.com", True)
+    counter.observe("tracker.example.com", True)
+    counter.observe("news.example.org", False)
+    labeler = AaLabeler.from_counts(counter)
+    artifacts = dict(artifacts or {})
+    phase_lists = {"live": lists}
+    return ServeSnapshot(
+        version=version,
+        fingerprint=snapshot_fingerprint(
+            phase_lists=phase_lists,
+            labeler=labeler,
+            artifacts=artifacts,
+            dataset_fingerprint=dataset_fingerprint,
+        ),
+        phases=("live",),
+        engines={"live": CompiledFilterEngine(lists)},
+        wrb_fix_version=WEBREQUEST_BUG_FIX_VERSION,
+        labeler=labeler,
+        tag_counter=counter,
+        artifacts=artifacts,
+        dataset_fingerprint=dataset_fingerprint,
+    )
+
+
+@pytest.fixture(scope="session")
+def snapshot_10k():
+    """The CI-shaped snapshot: calibrated 10k-rule synthetic EasyList."""
+    return build_scale_snapshot("10k")
+
+
+@pytest.fixture(scope="session")
+def lists_10k():
+    """The exact lists the 10k snapshot compiled (same seed + name)."""
+    return generate_filter_lists(10_000, seed=2018)

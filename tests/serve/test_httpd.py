@@ -1,0 +1,97 @@
+"""The stdlib HTTP frontend: envelopes in, envelopes out."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    SERVE_VERSION,
+    CheckRequest,
+    ServeService,
+    encode_request,
+    make_server,
+)
+
+from tests.serve.conftest import make_snapshot
+
+
+@pytest.fixture()
+def http_service():
+    snapshot = make_snapshot()
+    service = ServeService(snapshot)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield snapshot, f"http://127.0.0.1:{server.port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    data = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHttpFrontend:
+    def test_snapshot_probe(self, http_service):
+        snapshot, base = http_service
+        status, payload = _get(f"{base}/v1/snapshot")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["v"] == SERVE_VERSION
+        assert payload["fingerprint"] == snapshot.fingerprint
+        assert payload["body"]["healthy"] is True
+
+    def test_check_query_round_trip(self, http_service):
+        snapshot, base = http_service
+        envelope = encode_request(
+            CheckRequest(url="https://ads.example/pixel.js")
+        )
+        status, payload = _post(f"{base}/v1/query", envelope)
+        assert status == 200
+        assert payload["endpoint"] == "check"
+        assert payload["fingerprint"] == snapshot.fingerprint
+        assert set(payload["body"]) >= {
+            "blocked", "pre58_blocked", "post58_blocked", "wrb_suppressed",
+        }
+
+    def test_protocol_error_is_http_400(self, http_service):
+        _, base = http_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/v1/query", {"endpoint": "frobnicate", "v": 1})
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "unknown-endpoint"
+
+    def test_typed_endpoint_error_is_http_400(self, http_service):
+        _, base = http_service
+        envelope = encode_request(
+            CheckRequest(url="https://x.example/a.js", phase="bogus")
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/v1/query", envelope)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["code"] == "unknown-phase"
+
+    def test_unknown_path_is_404(self, http_service):
+        _, base = http_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/v2/everything")
+        assert excinfo.value.code == 404

@@ -1,0 +1,259 @@
+"""Endpoint semantics: verdicts, WRB split, labeling evidence, errors."""
+
+from repro.net.domains import registrable_domain
+from repro.net.http import ResourceType
+from repro.obs import Obs
+from repro.serve import (
+    SERVE_VERSION,
+    ArtifactRequest,
+    BatchCheckRequest,
+    BatchClassifyRequest,
+    CheckRequest,
+    ClassifyRequest,
+    ServeService,
+    SnapshotRequest,
+)
+from repro.web.filterlists import generate_request_corpus
+
+from tests.serve.conftest import make_snapshot
+
+
+def _blocked_url(snapshot, lists):
+    """A corpus URL the snapshot's engine actually blocks."""
+    engine = snapshot.engine_for("")
+    for url, resource_type, first_party in generate_request_corpus(
+        lists, 200, seed=2018
+    ):
+        verdict = engine.match(url, resource_type, first_party, stats=None)
+        if verdict.blocked:
+            return url, resource_type, first_party, verdict
+    raise AssertionError("corpus produced no blocked request")
+
+
+class TestCheck:
+    def test_blocked_verdict_carries_decisive_rule(
+        self, snapshot_10k, lists_10k
+    ):
+        url, resource_type, first_party, verdict = _blocked_url(
+            snapshot_10k, lists_10k
+        )
+        service = ServeService(snapshot_10k)
+        result = service.handle(CheckRequest(
+            url=url,
+            resource_type=resource_type.value,
+            first_party_url=first_party,
+        ))
+        assert result.ok and result.endpoint == "check"
+        assert result.fingerprint == snapshot_10k.fingerprint
+        body = result.body
+        assert body.blocked is True
+        assert body.rule == verdict.rule.raw
+        assert body.list_name == verdict.list_name
+        assert body.phase == "live"
+
+    def test_http_request_has_no_wrb_split(self, snapshot_10k, lists_10k):
+        url, resource_type, first_party, _ = _blocked_url(
+            snapshot_10k, lists_10k
+        )
+        service = ServeService(snapshot_10k)
+        body = service.handle(CheckRequest(
+            url=url,
+            resource_type=resource_type.value,
+            first_party_url=first_party,
+        )).body
+        if resource_type is not ResourceType.WEBSOCKET:
+            assert body.wrb_suppressed is False
+            assert body.pre58_blocked == body.blocked
+            assert body.post58_blocked == body.blocked
+
+    def test_websocket_is_wrb_suppressed_pre58(self, snapshot_10k):
+        # The paper's core mechanism: whatever the engine says, a
+        # pre-58 Chrome never delivers the handshake to the extension.
+        service = ServeService(snapshot_10k)
+        body = service.handle(CheckRequest(
+            url="wss://tracker.example/socket",
+            resource_type="websocket",
+        )).body
+        assert body.wrb_suppressed is True
+        assert body.pre58_blocked is False
+        assert body.post58_blocked == body.blocked
+
+    def test_unknown_phase_is_a_typed_error(self, snapshot_10k):
+        service = ServeService(snapshot_10k)
+        result = service.handle(CheckRequest(
+            url="https://x.example/a.js", phase="2031-01"
+        ))
+        assert not result.ok
+        assert result.endpoint == "check"
+        assert result.error.code == "unknown-phase"
+        assert "live" in result.error.message
+        assert result.fingerprint == snapshot_10k.fingerprint
+
+    def test_bad_resource_type_is_a_typed_error(self, snapshot_10k):
+        result = ServeService(snapshot_10k).handle(CheckRequest(
+            url="https://x.example/a.js", resource_type="blimp"
+        ))
+        assert not result.ok
+        assert result.error.code == "bad-request"
+
+
+class TestClassify:
+    def test_observed_domain_returns_evidence(self):
+        snapshot = make_snapshot()
+        result = ServeService(snapshot).handle(
+            ClassifyRequest(domain="tracker.example.com")
+        )
+        assert result.ok
+        body = result.body
+        assert body.registrable_domain == registrable_domain(
+            "tracker.example.com"
+        )
+        assert (body.aa_count, body.non_aa_count) == (2, 0)
+        assert body.is_aa is True
+        assert body.threshold == snapshot.labeler.threshold
+
+    def test_never_observed_domain_is_not_aa(self):
+        result = ServeService(make_snapshot()).handle(
+            ClassifyRequest(domain="quiet.example.net")
+        )
+        assert result.ok
+        assert result.body.is_aa is False
+        assert (result.body.aa_count, result.body.non_aa_count) == (0, 0)
+
+    def test_labeler_agreement(self, snapshot_10k):
+        # The endpoint must answer exactly what the snapshot's labeler
+        # would: spot-check every domain the tag corpus observed.
+        service = ServeService(snapshot_10k)
+        for domain in sorted(snapshot_10k.tag_counter.domains())[:50]:
+            body = service.handle(ClassifyRequest(domain=domain)).body
+            assert body.is_aa == snapshot_10k.labeler.is_aa(domain)
+
+    def test_empty_domain_is_a_typed_error(self):
+        result = ServeService(make_snapshot()).handle(
+            ClassifyRequest(domain="")
+        )
+        assert not result.ok
+        assert result.error.code == "bad-request"
+
+
+class TestArtifact:
+    def test_hit_returns_the_cached_artifact(self):
+        artifact = {"rows": [{"rank": 1, "domain": "tracker.example.com"}]}
+        snapshot = make_snapshot(artifacts={"table1": artifact})
+        result = ServeService(snapshot).handle(
+            ArtifactRequest(stage="table1")
+        )
+        assert result.ok and result.body.found
+        assert result.body.artifact == artifact
+        assert result.body.fingerprint == snapshot.dataset_fingerprint
+
+    def test_wrong_fingerprint_is_a_miss(self):
+        snapshot = make_snapshot(artifacts={"table1": {"rows": []}})
+        body = ServeService(snapshot).handle(
+            ArtifactRequest(stage="table1", fingerprint="stale-fp")
+        ).body
+        assert body.found is False
+        assert body.artifact is None
+
+    def test_unknown_stage_is_a_miss(self):
+        body = ServeService(make_snapshot()).handle(
+            ArtifactRequest(stage="table9")
+        ).body
+        assert body.found is False
+
+    def test_missing_stage_name_is_a_typed_error(self):
+        result = ServeService(make_snapshot()).handle(
+            ArtifactRequest(stage="")
+        )
+        assert not result.ok
+        assert result.error.code == "bad-request"
+
+
+class TestSnapshotEndpoint:
+    def test_reports_identity_and_health(self, snapshot_10k):
+        body = ServeService(snapshot_10k).handle(SnapshotRequest()).body
+        assert body.serve_version == SERVE_VERSION
+        assert body.snapshot_version == snapshot_10k.version
+        assert body.fingerprint == snapshot_10k.fingerprint
+        assert body.phases == ("live",)
+        assert body.rule_counts == {"live": 10_000}
+        assert body.aa_domains == len(snapshot_10k.labeler)
+        assert body.healthy is True
+
+
+class TestBatches:
+    def test_batch_check_preserves_order_and_fingerprint(
+        self, snapshot_10k, lists_10k
+    ):
+        corpus = generate_request_corpus(lists_10k, 8, seed=4)
+        request = BatchCheckRequest(items=tuple(
+            CheckRequest(
+                url=url, resource_type=rt.value, first_party_url=fp
+            )
+            for url, rt, fp in corpus
+        ))
+        result = ServeService(snapshot_10k).handle(request)
+        assert result.ok and result.endpoint == "batch_check"
+        assert result.fingerprint == snapshot_10k.fingerprint
+        assert [item.url for item in result.body.items] == [
+            url for url, _, _ in corpus
+        ]
+
+    def test_batch_classify(self):
+        result = ServeService(make_snapshot()).handle(BatchClassifyRequest(
+            items=(
+                ClassifyRequest(domain="tracker.example.com"),
+                ClassifyRequest(domain="news.example.org"),
+            )
+        ))
+        assert result.ok
+        assert [item.is_aa for item in result.body.items] == [True, False]
+
+    def test_bad_item_fails_the_whole_batch(self, snapshot_10k):
+        # One envelope, one verdict: a batch is atomic, so a poisoned
+        # item turns the whole response into a typed error.
+        result = ServeService(snapshot_10k).handle(BatchCheckRequest(
+            items=(
+                CheckRequest(url="https://x.example/a.js"),
+                CheckRequest(url="https://x.example/b.js", phase="bogus"),
+            )
+        ))
+        assert not result.ok
+        assert result.endpoint == "batch_check"
+        assert result.error.code == "unknown-phase"
+
+
+class TestObservability:
+    def test_counters_and_latency_histograms(self, snapshot_10k):
+        obs = Obs()
+        service = ServeService(snapshot_10k, obs=obs)
+        service.handle(CheckRequest(url="https://x.example/a.js"))
+        service.handle(CheckRequest(url="https://x.example/a.js"))
+        service.handle(CheckRequest(url="x", resource_type="blimp"))
+        service.handle(SnapshotRequest())
+        counters = obs.metrics.counter_values()
+        assert counters["serve.requests.check"] == 3
+        assert counters["serve.requests.snapshot"] == 1
+        assert counters["serve.errors"] == 1
+        histograms = obs.metrics.histogram_records()
+        assert histograms["serve.latency_us.check"]["count"] == 3
+        assert service.served == 4
+
+    def test_engine_stats_never_mutated_by_serving(self, snapshot_10k):
+        # The shared-snapshot contract: dispatch matches with
+        # stats=None, so the engine's own counters stay untouched.
+        engine = snapshot_10k.engine_for("")
+        before = (
+            engine.stats.matches,
+            engine.stats.blocked,
+            engine.stats.exception_overrides,
+        )
+        service = ServeService(snapshot_10k)
+        for _ in range(5):
+            service.handle(CheckRequest(url="https://ads.example/a.js"))
+        after = (
+            engine.stats.matches,
+            engine.stats.blocked,
+            engine.stats.exception_overrides,
+        )
+        assert after == before

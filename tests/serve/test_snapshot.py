@@ -1,0 +1,97 @@
+"""Snapshot building, fingerprinting, and the phase/engine map."""
+
+import pytest
+
+from repro.extension import WEBREQUEST_BUG_FIX_VERSION
+from repro.net.http import ResourceType
+from repro.serve import build_scale_snapshot, resource_type_for
+from repro.web.filterlists import LIST_SCALES
+
+from tests.serve.conftest import make_snapshot
+
+
+class TestScaleSnapshot:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            build_scale_snapshot("9000k")
+
+    def test_compiles_the_named_scale(self, snapshot_10k):
+        assert snapshot_10k.phases == ("live",)
+        assert snapshot_10k.rule_counts() == {"live": LIST_SCALES["10k"]}
+        assert snapshot_10k.wrb_fix_version == WEBREQUEST_BUG_FIX_VERSION
+        assert snapshot_10k.dataset_fingerprint == "lists:10k:seed=2018"
+
+    def test_build_is_deterministic(self, snapshot_10k):
+        again = build_scale_snapshot("10k")
+        assert again.fingerprint == snapshot_10k.fingerprint
+        assert len(again.labeler) == len(snapshot_10k.labeler)
+
+    def test_labeling_state_is_nonempty(self, snapshot_10k):
+        # The derived tag corpus must produce a real A&A set: the
+        # classify endpoint is useless over an empty labeler.
+        assert len(snapshot_10k.labeler) > 0
+        assert snapshot_10k.tag_counter.domains()
+
+    def test_multi_phase_snapshot(self):
+        snapshot = build_scale_snapshot(
+            "10k", phases={"2016-07": 2016, "2017-12": 2017}
+        )
+        assert snapshot.phases == ("2016-07", "2017-12")
+        assert snapshot.default_phase == "2016-07"
+        assert snapshot.engine_for("2017-12") is not None
+        assert snapshot.engine_for("") is snapshot.engine_for("2016-07")
+        assert snapshot.engine_for("unknown") is None
+        # Different seeds generate different lists per phase.
+        first = snapshot.engines["2016-07"].match(
+            "https://x.example/a.js", ResourceType.SCRIPT, "", stats=None
+        )
+        assert first is not None  # distinct engines both answer
+
+    def test_engine_matches_generated_lists(self, snapshot_10k, lists_10k):
+        # The snapshot must compile exactly the lists that
+        # generate_filter_lists(10_000, seed=2018) produces — the
+        # query-mix corpus is sampled from those.
+        engine = snapshot_10k.engine_for("")
+        assert engine.rule_count == sum(len(l.rules) for l in lists_10k)
+        assert {l.name for l in lists_10k} == {"easylist-scaled"}
+
+
+class TestFingerprint:
+    def test_same_inputs_same_fingerprint(self):
+        assert make_snapshot().fingerprint == make_snapshot().fingerprint
+
+    def test_list_change_bumps_fingerprint(self):
+        assert make_snapshot(seed=7).fingerprint != (
+            make_snapshot(seed=8).fingerprint
+        )
+
+    def test_artifact_keys_bump_fingerprint(self):
+        with_artifact = make_snapshot(artifacts={"table1": {"rows": []}})
+        assert with_artifact.fingerprint != make_snapshot().fingerprint
+
+    def test_dataset_fingerprint_bumps_fingerprint(self):
+        assert make_snapshot(dataset_fingerprint="other").fingerprint != (
+            make_snapshot().fingerprint
+        )
+
+    def test_version_does_not_affect_fingerprint(self):
+        # The fingerprint is a content address; the version is the
+        # swap-ordering counter. Same content at version 2 (a rollback
+        # re-install) keeps the same fingerprint.
+        assert make_snapshot(version=2).fingerprint == (
+            make_snapshot(version=1).fingerprint
+        )
+
+
+class TestResourceTypeFor:
+    def test_wire_values(self):
+        assert resource_type_for("websocket") is ResourceType.WEBSOCKET
+        assert resource_type_for("script") is ResourceType.SCRIPT
+
+    def test_enum_names_case_insensitive(self):
+        assert resource_type_for("XHR") is ResourceType.XHR
+        assert resource_type_for("WebSocket") is ResourceType.WEBSOCKET
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown resource type"):
+            resource_type_for("carrier-pigeon")

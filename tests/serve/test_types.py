@@ -1,0 +1,200 @@
+"""Wire-type round-trips, protocol errors, and schema pinning."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    ENDPOINTS,
+    SERVE_SCHEMAS,
+    SERVE_VERSION,
+    ArtifactRequest,
+    BatchCheckRequest,
+    BatchClassifyRequest,
+    CheckRequest,
+    CheckResponse,
+    ClassifyRequest,
+    ServeError,
+    ServeProtocolError,
+    ServeResult,
+    SnapshotRequest,
+    decode_request,
+    encode_request,
+    result_line,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("request_obj", [
+        CheckRequest(url="https://ads.example/pixel.js"),
+        CheckRequest(
+            url="wss://t.example/sock",
+            resource_type="websocket",
+            first_party_url="https://news.example/",
+            phase="live",
+        ),
+        ClassifyRequest(domain="tracker.example.com"),
+        ArtifactRequest(stage="table1"),
+        ArtifactRequest(stage="figure3", fingerprint="abc123"),
+        SnapshotRequest(),
+        BatchCheckRequest(items=(
+            CheckRequest(url="https://a.example/x.js"),
+            CheckRequest(url="wss://b.example/y", resource_type="websocket"),
+        )),
+        BatchClassifyRequest(items=(
+            ClassifyRequest(domain="a.example"),
+            ClassifyRequest(domain="b.example"),
+        )),
+    ])
+    def test_encode_decode_round_trip(self, request_obj):
+        envelope = encode_request(request_obj)
+        assert envelope["v"] == SERVE_VERSION
+        # The envelope survives JSON serialization (the wire).
+        rehydrated = decode_request(json.loads(json.dumps(envelope)))
+        assert rehydrated == request_obj
+
+    def test_envelope_endpoint_names_match_registry(self):
+        for name, (request_type, _) in ENDPOINTS.items():
+            if request_type is BatchCheckRequest:
+                request = BatchCheckRequest()
+            elif request_type is BatchClassifyRequest:
+                request = BatchClassifyRequest()
+            elif request_type is SnapshotRequest:
+                request = SnapshotRequest()
+            elif request_type is ArtifactRequest:
+                request = ArtifactRequest(stage="table1")
+            elif request_type is ClassifyRequest:
+                request = ClassifyRequest(domain="x.example")
+            else:
+                request = CheckRequest(url="https://x.example/")
+            assert encode_request(request)["endpoint"] == name
+
+    def test_missing_body_defaults_apply(self):
+        request = decode_request({"endpoint": "snapshot", "v": 1})
+        assert request == SnapshotRequest()
+
+
+class TestProtocolErrors:
+    def _code(self, envelope):
+        with pytest.raises(ServeProtocolError) as excinfo:
+            decode_request(envelope)
+        return excinfo.value.code
+
+    def test_non_object_envelope(self):
+        assert self._code([1, 2]) == "bad-request"
+
+    def test_version_mismatch(self):
+        assert self._code(
+            {"endpoint": "check", "v": 99, "body": {"url": "x"}}
+        ) == "version-mismatch"
+
+    def test_unknown_endpoint(self):
+        assert self._code({"endpoint": "frobnicate", "v": 1}) == (
+            "unknown-endpoint"
+        )
+
+    def test_unknown_field_rejected(self):
+        code = self._code({
+            "endpoint": "check", "v": 1,
+            "body": {"url": "x", "verbose": True},
+        })
+        assert code == "bad-request"
+
+    def test_missing_required_field_rejected(self):
+        assert self._code(
+            {"endpoint": "classify", "v": 1, "body": {}}
+        ) == "bad-request"
+
+    def test_batch_items_must_be_array(self):
+        assert self._code({
+            "endpoint": "batch_check", "v": 1, "body": {"items": "nope"},
+        }) == "bad-request"
+
+    def test_nested_item_fields_validated(self):
+        assert self._code({
+            "endpoint": "batch_check", "v": 1,
+            "body": {"items": [{"url": "x", "bogus": 1}]},
+        }) == "bad-request"
+
+    def test_non_request_rejected_by_encode(self):
+        with pytest.raises(ServeProtocolError):
+            encode_request(object())
+
+
+class TestResultLine:
+    def _result(self):
+        return ServeResult(
+            endpoint="check",
+            fingerprint="cafe0123",
+            ok=True,
+            body=CheckResponse(
+                url="https://x.example/a.js", resource_type="script",
+                phase="live", matched=True, blocked=True,
+                rule="/a.js", exception_rule="", list_name="easylist-scaled",
+                wrb_suppressed=False, pre58_blocked=True,
+                post58_blocked=True,
+            ),
+        )
+
+    def test_line_is_canonical_json(self):
+        line = result_line(self._result())
+        payload = json.loads(line)
+        assert payload["endpoint"] == "check"
+        assert payload["v"] == SERVE_VERSION
+        assert payload["fingerprint"] == "cafe0123"
+        assert payload["ok"] is True
+        assert payload["body"]["pre58_blocked"] is True
+        # Canonical form: sorted keys, no whitespace.
+        assert line == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_error_result_serializes_error_object(self):
+        result = ServeResult(
+            endpoint="check", fingerprint="cafe0123", ok=False,
+            error=ServeError(code="unknown-phase", message="no such phase"),
+        )
+        payload = json.loads(result_line(result))
+        assert payload["ok"] is False
+        assert "body" not in payload
+        assert payload["error"] == {
+            "code": "unknown-phase", "message": "no such phase",
+        }
+
+
+class TestSchemas:
+    def test_every_endpoint_has_a_schema(self):
+        assert set(SERVE_SCHEMAS) == set(ENDPOINTS)
+        for schema in SERVE_SCHEMAS.values():
+            assert schema["serve_version"] == SERVE_VERSION
+            for side in ("request", "response"):
+                assert schema[side]["type"] == "object"
+                assert schema[side]["additionalProperties"] is False
+
+    def test_check_schema_pins_the_wire_contract(self):
+        schema = SERVE_SCHEMAS["check"]
+        assert schema["request"]["required"] == ["url"]
+        assert set(schema["request"]["properties"]) == {
+            "url", "resource_type", "first_party_url", "phase",
+        }
+        assert set(schema["response"]["properties"]) == {
+            "url", "resource_type", "phase", "matched", "blocked",
+            "rule", "exception_rule", "list_name", "wrb_suppressed",
+            "pre58_blocked", "post58_blocked",
+        }
+        assert schema["response"]["properties"]["pre58_blocked"] == {
+            "type": "boolean"
+        }
+
+    def test_batch_schema_nests_item_schema(self):
+        schema = SERVE_SCHEMAS["batch_check"]
+        items = schema["request"]["properties"]["items"]
+        assert items["type"] == "array"
+        assert items["items"] == SERVE_SCHEMAS["check"]["request"]
+
+    def test_snapshot_schema_reports_counts_map(self):
+        schema = SERVE_SCHEMAS["snapshot"]["response"]
+        assert schema["properties"]["rule_counts"] == {
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        }

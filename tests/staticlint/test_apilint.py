@@ -80,15 +80,69 @@ class TestPrivateNames:
         assert _rules(report) == []
 
     def test_dunder_names_are_not_private(self):
+        # In-package importer so the facade rule stays out of frame.
         report = _lint(
-            "repro/cli.py", "from repro.analysis.table1 import __doc__\n"
+            "repro/analysis/figure3.py",
+            "from repro.analysis.table1 import __doc__\n",
         )
         assert _rules(report) == []
 
     def test_public_names_pass(self):
         report = _lint(
             "repro/cli.py",
-            "from repro.analysis.table1 import compute_table1\n",
+            "from repro.analysis import compute_table1\n",
+        )
+        assert _rules(report) == []
+
+
+class TestFacade:
+    def test_deep_from_import_flagged(self):
+        report = _lint(
+            "repro/cli.py",
+            "from repro.filters.engine import FilterEngine\n",
+        )
+        assert _rules(report) == ["API-FACADE"]
+        assert "repro.filters" in report.diagnostics[0].fix_hint
+        assert "repro.api" in report.diagnostics[0].fix_hint
+
+    def test_deep_plain_import_flagged(self):
+        report = _lint(
+            "repro/cli.py", "import repro.obs.history\n"
+        )
+        assert _rules(report) == ["API-FACADE"]
+
+    def test_facade_import_allowed(self):
+        report = _lint(
+            "repro/cli.py", "from repro.serve import ServeService\n"
+        )
+        assert _rules(report) == []
+
+    def test_in_package_deep_import_allowed(self):
+        report = _lint(
+            "repro/serve/service.py",
+            "from repro.serve.types import CheckRequest\n",
+        )
+        assert _rules(report) == []
+
+    def test_ungated_package_deep_import_allowed(self):
+        report = _lint(
+            "repro/cli.py",
+            "from repro.crawler.dataset import StudyDataset\n",
+        )
+        assert _rules(report) == []
+
+    def test_private_violation_wins_over_facade(self):
+        # One finding per import: the sharper private-boundary rule.
+        report = _lint(
+            "repro/cli.py",
+            "from repro.analysis._codecs import encode_table5\n",
+        )
+        assert _rules(report) == ["API-PRIVATE"]
+
+    def test_pragma_suppresses_facade(self):
+        report = _lint(
+            "repro/cli.py",
+            "from repro.filters.engine import FilterEngine  # api: allow\n",
         )
         assert _rules(report) == []
 

@@ -449,6 +449,108 @@ class TestSpoolReadonlyZone:
         assert result.exit_code == 1
 
 
+class TestServeReadonlyZone:
+    """SERVE-RO: answering a serve query must not write the filesystem."""
+
+    _SERVE_INITS = {
+        "repro/__init__.py": "",
+        "repro/serve/__init__.py": "",
+    }
+
+    def test_interprocedural_dispatch_write_leak_is_flagged(self, tmp_path):
+        # handle -> audit -> record: the write sits two calls outside
+        # the shared-snapshot dispatch path.
+        root = _tree(tmp_path, {
+            **self._SERVE_INITS,
+            "repro/serve/audit.py": (
+                "def record(path, line):\n"
+                "    path.write_text(line)\n"
+                "def audit(path, line):\n"
+                "    record(path, line)\n"
+            ),
+            "repro/serve/service.py": (
+                "from repro.serve.audit import audit\n"
+                "def handle(path, request):\n"
+                "    audit(path, request)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("SERVE-RO")
+        assert len(findings) == 1
+        diag = findings[0]
+        assert diag.source == "repro/serve/service.py:2"
+        assert diag.trace == (
+            "repro.serve.service.handle",
+            "repro.serve.audit.audit",
+            "repro.serve.audit.record",
+        )
+        assert "fs-write" in diag.message
+        assert "snapshots" in diag.fix_hint
+        assert diag.baseline_key == (
+            "SERVE-RO::repro.serve.service:handle::fs-write"
+        )
+
+    def test_snapshot_builders_are_outside_the_zone(self, tmp_path):
+        # Building a snapshot may warm the stage cache (a write); only
+        # *serving* from one is pinned read-only.
+        root = _tree(tmp_path, {
+            **self._SERVE_INITS,
+            "repro/serve/snapshot.py": (
+                "def build(path, data):\n"
+                "    path.write_bytes(data)\n"
+            ),
+            "repro/serve/transcript.py": (
+                "def write_transcript(path, lines):\n"
+                "    path.write_text(lines)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("SERVE-RO") == []
+
+    def test_read_only_dispatch_is_fine(self, tmp_path):
+        root = _tree(tmp_path, {
+            **self._SERVE_INITS,
+            "repro/serve/service.py": (
+                "def handle(path):\n"
+                "    with open(path, 'rb') as handle:\n"
+                "        return handle.read()\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        assert analysis.flow_report.by_rule("SERVE-RO") == []
+
+    def test_workers_are_in_the_zone(self, tmp_path):
+        root = _tree(tmp_path, {
+            **self._SERVE_INITS,
+            "repro/serve/workers.py": (
+                "def run(path, data):\n"
+                "    path.write_bytes(data)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        findings = analysis.flow_report.by_rule("SERVE-RO")
+        assert [d.baseline_key for d in findings] == [
+            "SERVE-RO::repro.serve.workers:run::fs-write"
+        ]
+
+    def test_serve_finding_gates_the_exit_code(self, tmp_path):
+        from repro.staticlint.runner import FullLintResult
+
+        root = _tree(tmp_path, {
+            **self._SERVE_INITS,
+            "repro/serve/types.py": (
+                "def decode(path, data):\n"
+                "    path.write_bytes(data)\n"
+            ),
+        })
+        analysis = analyze_tree(root, root=tmp_path)
+        result = FullLintResult(flow_report=analysis.flow_report)
+        for diag in analysis.flow_report.diagnostics:
+            result.report.add(diag)
+        assert [d.rule_id for d in result.report.errors] == ["SERVE-RO"]
+        assert result.exit_code == 1
+
+
 class TestSelfAnalysis:
     @pytest.fixture(scope="class")
     def self_analysis(self):
@@ -462,6 +564,14 @@ class TestSelfAnalysis:
 
     def test_repro_spool_recovery_is_read_only(self, self_analysis):
         assert self_analysis.flow_report.by_rule("SPOOL-RO") == []
+
+    def test_repro_serving_is_read_only(self, self_analysis):
+        assert self_analysis.flow_report.by_rule("SERVE-RO") == []
+
+    def test_repro_facade_boundaries_hold(self, self_analysis):
+        # repro.api (plus the package facades) is the only sanctioned
+        # cross-package import surface for the gated packages.
+        assert self_analysis.api_report.by_rule("API-FACADE") == []
 
     def test_repro_layering_holds(self, self_analysis):
         assert self_analysis.flow_report.by_rule("FLOW-LAYER") == []

@@ -350,3 +350,75 @@ class TestPerfCommands:
     def test_perf_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["perf"])
+
+
+class TestServeCli:
+    def test_snapshot_human_summary(self, capsys):
+        assert main(["serve", "snapshot"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint=" in out
+        assert "rules[live]   : 10000" in out
+
+    def test_snapshot_json_envelope(self, capsys):
+        import json
+
+        assert main(["serve", "snapshot", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["endpoint"] == "snapshot"
+        assert payload["body"]["rule_counts"] == {"live": 10_000}
+
+    def test_queries_emits_decodable_envelopes(self, tmp_path, capsys):
+        import json
+
+        from repro.serve import decode_request
+
+        out = tmp_path / "queries.jsonl"
+        assert main(["serve", "queries", "--count", "25",
+                     "-o", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 25
+        for line in lines:
+            decode_request(json.loads(line))  # raises on a bad envelope
+
+    def test_script_transcript_is_stable_across_worker_counts(
+        self, tmp_path, capsys
+    ):
+        first = tmp_path / "w1.jsonl"
+        second = tmp_path / "w4.jsonl"
+        assert main(["serve", "script", "--count", "60",
+                     "--transcript", str(first)]) == 0
+        assert main(["serve", "script", "--count", "60", "--workers", "4",
+                     "--transcript", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert "errors=0" in capsys.readouterr().err
+
+    def test_script_replays_a_saved_query_file(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        transcript = tmp_path / "transcript.jsonl"
+        assert main(["serve", "queries", "--count", "20",
+                     "-o", str(queries)]) == 0
+        assert main(["serve", "script", "--queries", str(queries),
+                     "--transcript", str(transcript)]) == 0
+        assert len(transcript.read_text().splitlines()) == 20
+
+    def test_script_error_envelope_exits_7(self, tmp_path, capsys):
+        import json
+
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(json.dumps({
+            "endpoint": "check", "v": 1,
+            "body": {"url": "https://x.example/a.js", "phase": "bogus"},
+        }) + "\n")
+        assert main(["serve", "script", "--queries", str(queries),
+                     "--transcript", str(tmp_path / "t.jsonl")]) == 7
+
+    def test_script_malformed_query_file_is_exit_2(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text('{"endpoint": "frobnicate", "v": 1}\n')
+        assert main(["serve", "script", "--queries", str(queries)]) == 2
+        assert "bad query envelope" in capsys.readouterr().err
+
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
