@@ -27,6 +27,12 @@ _SCALES = ("10k",) if _SMOKE else ("10k", "50k", "100k")
 _SINGLE_QUERIES = 1_500 if _SMOKE else 4_000
 _BATCHES = 60 if _SMOKE else 150
 _BATCH_SIZE = 16
+# A single sustained pass on a 1-CPU host is hostage to one scheduler
+# stall: elapsed balloons (QPS craters) while the percentiles — which
+# only see per-request time — stay healthy, an internally inconsistent
+# row that then pollutes the history baseline. Best-of-N keeps QPS and
+# latencies from the same (least-disturbed) pass.
+_PASSES = 3
 
 
 def _percentile(sorted_values, q: float) -> float:
@@ -45,6 +51,17 @@ def _run(service, requests) -> tuple[float, list[int], list]:
         latencies.append(perf_counter_ns() - t0)
     elapsed = (perf_counter_ns() - start) / 1e9
     return elapsed, latencies, results
+
+
+def _run_best_of(service, requests) -> tuple[float, list[int], list]:
+    """Best-of-``_PASSES`` by elapsed time; stats stay internally
+    consistent because QPS and latencies come from the same pass."""
+    best = None
+    for _ in range(_PASSES):
+        candidate = _run(service, requests)
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    return best
 
 
 def _stats(latencies_ns, checks: int, elapsed: float) -> dict:
@@ -82,10 +99,10 @@ def test_serve_check_scaling():
         # Warm-up: touch every index path once before timing.
         _run(service, single_stream[:100])
 
-        single_elapsed, single_lat, single_results = _run(
+        single_elapsed, single_lat, single_results = _run_best_of(
             service, single_stream
         )
-        batch_elapsed, batch_lat, batch_results = _run(
+        batch_elapsed, batch_lat, batch_results = _run_best_of(
             service, batch_stream
         )
         assert all(r.ok for r in single_results)

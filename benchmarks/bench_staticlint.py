@@ -72,16 +72,23 @@ def test_flow_whole_program_cold_vs_warm(tmp_path):
     assert warm_analysis.parsed_files == 0  # re-parsed nothing
 
     # The two standalone linters parse the tree once EACH — what
-    # ``repro lint --self`` did before the single-parse core.
-    start = perf_counter()
-    lint_self()
-    lint_api_self()
-    legacy = perf_counter() - start
+    # ``repro lint --self`` did before the single-parse core. Both
+    # sides are timed best-of-3: a single pass each on a 1-CPU host
+    # lets one scheduler stall flip the speedup ratio run-to-run
+    # (history has recorded 0.77–1.87 from single-pass timings).
+    legacy = float("inf")
+    for _ in range(3):
+        start = perf_counter()
+        lint_self()
+        lint_api_self()
+        legacy = min(legacy, perf_counter() - start)
 
     # One parse, determinism + API + whole-program flow together.
-    start = perf_counter()
-    analyze_self()
-    single_parse = perf_counter() - start
+    single_parse = float("inf")
+    for _ in range(3):
+        start = perf_counter()
+        analyze_self()
+        single_parse = min(single_parse, perf_counter() - start)
 
     graph = cold_analysis.graph
     write_bench_json("staticlint", {
